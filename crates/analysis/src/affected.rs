@@ -1,0 +1,318 @@
+//! Affected positions and the harmless / harmful / dangerous variable
+//! classification of Section 3.
+//!
+//! A position `R[i]` is *affected* if a null value can reach it during the
+//! chase. The inductive definition of the paper is a least fixpoint:
+//!
+//! 1. positions hosting an existentially quantified variable are affected;
+//! 2. if a frontier variable occurs in the body **only** at affected
+//!    positions and it occurs in the head at position π, then π is affected.
+//!
+//! Body variables are then classified per TGD: *harmless* if at least one
+//! occurrence is at a non-affected position, *harmful* otherwise, and
+//! *dangerous* if harmful and in the frontier.
+
+use std::collections::{BTreeMap, BTreeSet};
+use vadalog_model::{Predicate, Program, Term, Tgd, Variable};
+
+/// A position `R[i]` of the schema (0-based index internally; the paper's
+/// `R[i]` is 1-based).
+pub type Position = (Predicate, usize);
+
+/// The set of affected positions of a program's schema.
+#[derive(Debug, Clone)]
+pub struct AffectedPositions {
+    affected: BTreeSet<Position>,
+    all_positions: BTreeSet<Position>,
+}
+
+impl AffectedPositions {
+    /// Computes the affected positions of `program` by the least fixpoint of
+    /// the two inference rules above.
+    pub fn compute(program: &Program) -> AffectedPositions {
+        let mut all_positions = BTreeSet::new();
+        for p in program.schema() {
+            let arity = program.arity_of(p).unwrap_or(0);
+            for i in 0..arity {
+                all_positions.insert((p, i));
+            }
+        }
+
+        let mut affected: BTreeSet<Position> = BTreeSet::new();
+        // Rule 1: positions of existential variables.
+        for (_, tgd) in program.iter() {
+            let ex = tgd.existential_variables();
+            for head_atom in &tgd.head {
+                for (i, t) in head_atom.terms.iter().enumerate() {
+                    if let Term::Var(v) = t {
+                        if ex.contains(v) {
+                            affected.insert((head_atom.predicate, i));
+                        }
+                    }
+                }
+            }
+        }
+        // Rule 2: propagate through frontier variables, to fixpoint.
+        loop {
+            let mut changed = false;
+            for (_, tgd) in program.iter() {
+                let frontier = tgd.frontier();
+                for v in &frontier {
+                    let occurrences = body_positions_of(tgd, *v);
+                    if occurrences.is_empty() {
+                        continue;
+                    }
+                    let only_affected = occurrences.iter().all(|pos| affected.contains(pos));
+                    if !only_affected {
+                        continue;
+                    }
+                    for head_atom in &tgd.head {
+                        for (i, t) in head_atom.terms.iter().enumerate() {
+                            if t.as_var() == Some(*v)
+                                && affected.insert((head_atom.predicate, i))
+                            {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        AffectedPositions {
+            affected,
+            all_positions,
+        }
+    }
+
+    /// `true` iff the position is affected.
+    pub fn is_affected(&self, position: Position) -> bool {
+        self.affected.contains(&position)
+    }
+
+    /// The affected positions.
+    pub fn affected(&self) -> &BTreeSet<Position> {
+        &self.affected
+    }
+
+    /// The non-affected positions (the paper's `nonaff(Σ)`).
+    pub fn non_affected(&self) -> BTreeSet<Position> {
+        self.all_positions
+            .difference(&self.affected)
+            .copied()
+            .collect()
+    }
+
+    /// Classifies every body variable of the given TGD.
+    pub fn classify_variables(&self, tgd: &Tgd) -> VariableClassification {
+        let frontier = tgd.frontier();
+        let mut classes = BTreeMap::new();
+        for v in tgd.body_variables() {
+            let occurrences = body_positions_of(tgd, v);
+            let harmless = occurrences.iter().any(|pos| !self.is_affected(*pos));
+            let class = if harmless {
+                VariableClass::Harmless
+            } else if frontier.contains(&v) {
+                VariableClass::Dangerous
+            } else {
+                VariableClass::Harmful
+            };
+            classes.insert(v, class);
+        }
+        VariableClassification { classes }
+    }
+}
+
+fn body_positions_of(tgd: &Tgd, v: Variable) -> Vec<Position> {
+    let mut out = Vec::new();
+    for atom in &tgd.body {
+        for (i, t) in atom.terms.iter().enumerate() {
+            if t.as_var() == Some(v) {
+                out.push((atom.predicate, i));
+            }
+        }
+    }
+    out
+}
+
+/// The classification of a body variable with respect to the affected
+/// positions of the program (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariableClass {
+    /// At least one body occurrence is at a non-affected position: the
+    /// variable can only ever be bound to constants.
+    Harmless,
+    /// All body occurrences are at affected positions, but the variable is
+    /// not propagated to the head.
+    Harmful,
+    /// Harmful and in the frontier: a null may be propagated to the head.
+    Dangerous,
+}
+
+/// The per-TGD classification of all body variables.
+#[derive(Debug, Clone)]
+pub struct VariableClassification {
+    classes: BTreeMap<Variable, VariableClass>,
+}
+
+impl VariableClassification {
+    /// The class of a body variable (`None` if it does not occur in the body).
+    pub fn class_of(&self, v: Variable) -> Option<VariableClass> {
+        self.classes.get(&v).copied()
+    }
+
+    /// The dangerous variables of the TGD.
+    pub fn dangerous(&self) -> Vec<Variable> {
+        self.filter(VariableClass::Dangerous)
+    }
+
+    /// The harmful (but not dangerous) variables of the TGD.
+    pub fn harmful(&self) -> Vec<Variable> {
+        self.filter(VariableClass::Harmful)
+    }
+
+    /// The harmless variables of the TGD.
+    pub fn harmless(&self) -> Vec<Variable> {
+        self.filter(VariableClass::Harmless)
+    }
+
+    fn filter(&self, class: VariableClass) -> Vec<Variable> {
+        self.classes
+            .iter()
+            .filter(|(_, &c)| c == class)
+            .map(|(v, _)| *v)
+            .collect()
+    }
+
+    /// Iterates over all classified variables.
+    pub fn iter(&self) -> impl Iterator<Item = (Variable, VariableClass)> + '_ {
+        self.classes.iter().map(|(v, c)| (*v, *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::parser::parse_rules;
+    use vadalog_model::Predicate;
+
+    #[test]
+    fn existential_positions_are_affected() {
+        // P(x) → ∃z R(x, z): R[2] is affected, R[1] is not, P[1] is not.
+        let program = parse_rules("r(X, Z) :- p(X).").unwrap();
+        let aff = AffectedPositions::compute(&program);
+        assert!(aff.is_affected((Predicate::new("r"), 1)));
+        assert!(!aff.is_affected((Predicate::new("r"), 0)));
+        assert!(!aff.is_affected((Predicate::new("p"), 0)));
+    }
+
+    #[test]
+    fn propagation_through_frontier_variables() {
+        // P(x) → ∃z R(x, z) ;  R(x, y) → P2(y):
+        // R[2] affected by rule 1; y occurs only at R[2] so P2[1] is affected.
+        let program = parse_rules("r(X, Z) :- p(X).\n p2(Y) :- r(X, Y).").unwrap();
+        let aff = AffectedPositions::compute(&program);
+        assert!(aff.is_affected((Predicate::new("p2"), 0)));
+    }
+
+    #[test]
+    fn no_propagation_when_variable_also_occurs_at_safe_position() {
+        // R(x, y), S(y) → P2(y): y also occurs at the non-affected S[1], so
+        // P2[1] stays non-affected.
+        let program = parse_rules(
+            "r(X, Z) :- p(X).\n p2(Y) :- r(X, Y), s(Y).",
+        )
+        .unwrap();
+        let aff = AffectedPositions::compute(&program);
+        assert!(!aff.is_affected((Predicate::new("p2"), 0)));
+    }
+
+    #[test]
+    fn dangerous_variable_in_the_papers_introductory_example() {
+        // P(x) → ∃z R(x,z) ; R(x,y) → P(y): y is dangerous in the second TGD.
+        let program = parse_rules("r(X, Z) :- p(X).\n p(Y) :- r(X, Y).").unwrap();
+        let aff = AffectedPositions::compute(&program);
+        let tgd = &program.tgds()[1];
+        let classes = aff.classify_variables(tgd);
+        assert_eq!(
+            classes.class_of(Variable::new("Y")),
+            Some(VariableClass::Dangerous)
+        );
+        // R[1] is also affected (the null at P[1] flows back through the first
+        // TGD), so x is harmful — but it is not dangerous because it does not
+        // reach the head.
+        assert!(aff.is_affected((Predicate::new("r"), 0)));
+        assert_eq!(
+            classes.class_of(Variable::new("X")),
+            Some(VariableClass::Harmful)
+        );
+    }
+
+    #[test]
+    fn harmful_but_not_dangerous_variables() {
+        // P(x) → ∃z R(x,z) ; R(x,y) → Q(x): y is harmful (only affected
+        // positions) but not dangerous (not in the frontier).
+        let program = parse_rules("r(X, Z) :- p(X).\n q(X) :- r(X, Y).").unwrap();
+        let aff = AffectedPositions::compute(&program);
+        let tgd = &program.tgds()[1];
+        let classes = aff.classify_variables(tgd);
+        assert_eq!(
+            classes.class_of(Variable::new("Y")),
+            Some(VariableClass::Harmful)
+        );
+        assert_eq!(classes.dangerous().len(), 0);
+        assert_eq!(classes.harmful().len(), 1);
+    }
+
+    #[test]
+    fn datalog_programs_have_no_affected_positions() {
+        let program = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        let aff = AffectedPositions::compute(&program);
+        assert!(aff.affected().is_empty());
+        let tgd = &program.tgds()[1];
+        let classes = aff.classify_variables(tgd);
+        assert!(classes.dangerous().is_empty());
+        assert!(classes.harmful().is_empty());
+        assert_eq!(classes.harmless().len(), 3);
+    }
+
+    #[test]
+    fn example_3_3_affected_positions_match_the_paper() {
+        let program = parse_rules(
+            "subclassStar(X, Y) :- subclass(X, Y).\n\
+             subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).\n\
+             type(X, Z) :- type(X, Y), subclassStar(Y, Z).\n\
+             triple(X, Z, W) :- type(X, Y), restriction(Y, Z).\n\
+             triple(Z, W, X) :- triple(X, Y, Z), inverse(Y, W).\n\
+             type(X, W) :- triple(X, Y, Z), restriction(W, Y).",
+        )
+        .unwrap();
+        let aff = AffectedPositions::compute(&program);
+        // The existential W of rule 4 sits at Triple[3]; via rule 5 the value
+        // flows to Triple[1] (the body variable Z of rule 5 occurs only at the
+        // affected Triple[3] and is placed first in the head), and via rule 6
+        // it flows to Type[1]. The paper notes that exactly the frontier
+        // variables at Type[1], Triple[1] and Triple[3] are dangerous.
+        // (Positions are 0-based here, 1-based in the paper.)
+        assert!(aff.is_affected((Predicate::new("triple"), 2)));
+        assert!(aff.is_affected((Predicate::new("triple"), 0)));
+        assert!(aff.is_affected((Predicate::new("type"), 0)));
+        // Triple[2] only ever receives values of inverse/restriction
+        // properties, which are harmless — it stays non-affected.
+        assert!(!aff.is_affected((Predicate::new("triple"), 1)));
+        // Purely extensional predicates are never affected, and neither is
+        // subclassStar.
+        assert!(!aff.is_affected((Predicate::new("subclass"), 0)));
+        assert!(!aff.is_affected((Predicate::new("restriction"), 0)));
+        assert!(!aff.is_affected((Predicate::new("subclassStar"), 0)));
+        assert!(!aff.is_affected((Predicate::new("subclassStar"), 1)));
+        // type[2] is only ever filled from subclassStar / restriction values.
+        assert!(!aff.is_affected((Predicate::new("type"), 1)));
+    }
+}

@@ -1,0 +1,113 @@
+//! Scenario classification used to reproduce the introduction's statistics.
+//!
+//! Section 1.2 of the paper reports that, over the analysed benchmarks and
+//! industrial scenarios, roughly 55 % of the TGD sets are directly piece-wise
+//! linear, another 15 % become piece-wise linear after eliminating
+//! unnecessary non-linear recursion, and the remaining ones are genuinely
+//! non-PWL. This module provides the classifier that the E2 experiment runs
+//! over generated scenario suites.
+
+use crate::linearize::linearize;
+use crate::pwl::is_piecewise_linear;
+use crate::wardedness::is_warded;
+use std::fmt;
+use vadalog_model::Program;
+
+/// The class of a scenario with respect to wardedness and piece-wise
+/// linearity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScenarioClass {
+    /// The program is not warded (outside the Vadalog core).
+    NotWarded,
+    /// Warded and directly piece-wise linear.
+    WardedPwl,
+    /// Warded, not piece-wise linear as written, but piece-wise linear after
+    /// the linearisation rewriting.
+    WardedLinearizable,
+    /// Warded with genuinely non-piece-wise-linear recursion.
+    WardedNonPwl,
+}
+
+impl fmt::Display for ScenarioClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScenarioClass::NotWarded => "not warded",
+            ScenarioClass::WardedPwl => "warded ∩ pwl",
+            ScenarioClass::WardedLinearizable => "warded, pwl after linearisation",
+            ScenarioClass::WardedNonPwl => "warded, not pwl",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies a program.
+pub fn classify_scenario(program: &Program) -> ScenarioClass {
+    if !is_warded(program) {
+        return ScenarioClass::NotWarded;
+    }
+    if is_piecewise_linear(program) {
+        return ScenarioClass::WardedPwl;
+    }
+    let linearized = linearize(program);
+    if linearized.changed() && is_piecewise_linear(&linearized.program) {
+        ScenarioClass::WardedLinearizable
+    } else {
+        ScenarioClass::WardedNonPwl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::parser::parse_rules;
+
+    #[test]
+    fn linear_tc_is_warded_pwl() {
+        let p = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        assert_eq!(classify_scenario(&p), ScenarioClass::WardedPwl);
+    }
+
+    #[test]
+    fn nonlinear_tc_is_linearizable() {
+        let p = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        assert_eq!(classify_scenario(&p), ScenarioClass::WardedLinearizable);
+    }
+
+    #[test]
+    fn same_generation_is_warded_but_not_pwl() {
+        let p = parse_rules(
+            "sg(X, Y) :- flat(X, Y).\n sg(X, Y) :- up(X, X1), sg(X1, Y1), sg(Y1, Y).",
+        )
+        .unwrap();
+        assert_eq!(classify_scenario(&p), ScenarioClass::WardedNonPwl);
+    }
+
+    #[test]
+    fn dangerous_join_is_not_warded() {
+        let p = parse_rules(
+            "r(X, Z) :- p(X).\n t(Y, X) :- r(X, Y), r(W, Y).",
+        )
+        .unwrap();
+        assert_eq!(classify_scenario(&p), ScenarioClass::NotWarded);
+    }
+
+    #[test]
+    fn owl_example_is_warded_pwl() {
+        let p = parse_rules(
+            "subclassStar(X, Y) :- subclass(X, Y).\n\
+             subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).\n\
+             type(X, Z) :- type(X, Y), subclassStar(Y, Z).\n\
+             triple(X, Z, W) :- type(X, Y), restriction(Y, Z).\n\
+             triple(Z, W, X) :- triple(X, Y, Z), inverse(Y, W).\n\
+             type(X, W) :- triple(X, Y, Z), restriction(W, Y).",
+        )
+        .unwrap();
+        assert_eq!(classify_scenario(&p), ScenarioClass::WardedPwl);
+    }
+}

@@ -1,0 +1,156 @@
+//! Predicate levels ℓΣ (Section 4.2).
+//!
+//! The level of a predicate `P` is defined by the unique function satisfying
+//! `ℓΣ(P) = max{ ℓΣ(R) | (R, P) ∈ pg(Σ), R ∉ rec(P) } + 1` — i.e. mutually
+//! recursive predicates share a level, and a predicate sits one level above
+//! the highest non-recursive predicate feeding into it. Levels bound the
+//! node-width polynomial `f_{WARD∩PWL}` of Theorem 4.8.
+
+use crate::predicate_graph::PredicateGraph;
+use std::collections::BTreeMap;
+use vadalog_model::{Predicate, Program};
+
+/// The level assignment ℓΣ for every predicate of the schema.
+#[derive(Debug, Clone)]
+pub struct PredicateLevels {
+    levels: BTreeMap<Predicate, usize>,
+}
+
+impl PredicateLevels {
+    /// Computes predicate levels from the predicate graph.
+    pub fn compute(program: &Program, graph: &PredicateGraph) -> PredicateLevels {
+        // All predicates of the same cyclic SCC share a level; process SCCs in
+        // topological order so that all feeding components are already done.
+        let mut scc_level: BTreeMap<usize, usize> = BTreeMap::new();
+        let order = graph.sccs_topological();
+
+        // Incoming edges per SCC from *different* SCCs.
+        let mut incoming: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (from, to) in graph.edges() {
+            let (sf, st) = (
+                graph.scc_id(from).expect("edge endpoint in graph"),
+                graph.scc_id(to).expect("edge endpoint in graph"),
+            );
+            if sf != st {
+                incoming.entry(st).or_default().push(sf);
+            }
+        }
+
+        for scc in order {
+            let feeding_max = incoming
+                .get(&scc)
+                .map(|preds| {
+                    preds
+                        .iter()
+                        .map(|p| scc_level.get(p).copied().unwrap_or(0))
+                        .max()
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0);
+            scc_level.insert(scc, feeding_max + 1);
+        }
+
+        let mut levels = BTreeMap::new();
+        for &p in graph.predicates() {
+            let scc = graph.scc_id(p).expect("predicate in graph");
+            levels.insert(p, *scc_level.get(&scc).unwrap_or(&1));
+        }
+        // Predicates that appear in the program schema but not in the graph
+        // cannot exist (the graph is built from the schema), but guard anyway.
+        for p in program.schema() {
+            levels.entry(p).or_insert(1);
+        }
+        PredicateLevels { levels }
+    }
+
+    /// The level of a predicate (1 for unknown predicates, matching the level
+    /// of an extensional predicate with no incoming edges).
+    pub fn level_of(&self, p: Predicate) -> usize {
+        self.levels.get(&p).copied().unwrap_or(1)
+    }
+
+    /// The maximum level over the schema (the paper's
+    /// `max_{P ∈ sch(Σ)} ℓΣ(P)`); 1 for an empty program.
+    pub fn max_level(&self) -> usize {
+        self.levels.values().copied().max().unwrap_or(1)
+    }
+
+    /// Iterates over all `(predicate, level)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Predicate, usize)> + '_ {
+        self.levels.iter().map(|(p, l)| (*p, *l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::parser::parse_rules;
+
+    fn levels_of(src: &str) -> PredicateLevels {
+        let program = parse_rules(src).unwrap();
+        let graph = PredicateGraph::new(&program);
+        PredicateLevels::compute(&program, &graph)
+    }
+
+    fn pred(n: &str) -> Predicate {
+        Predicate::new(n)
+    }
+
+    #[test]
+    fn transitive_closure_levels() {
+        let levels = levels_of("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).");
+        assert_eq!(levels.level_of(pred("edge")), 1);
+        assert_eq!(levels.level_of(pred("t")), 2);
+        assert_eq!(levels.max_level(), 2);
+    }
+
+    #[test]
+    fn mutually_recursive_predicates_share_a_level() {
+        let levels = levels_of(
+            "p(X) :- e(X).\n p(X) :- q(X).\n q(X) :- p(X).",
+        );
+        assert_eq!(levels.level_of(pred("p")), levels.level_of(pred("q")));
+        assert_eq!(levels.level_of(pred("p")), 2);
+    }
+
+    #[test]
+    fn levels_grow_along_non_recursive_chains() {
+        let levels = levels_of(
+            "b(X) :- a(X).\n c(X) :- b(X).\n d(X) :- c(X).",
+        );
+        assert_eq!(levels.level_of(pred("a")), 1);
+        assert_eq!(levels.level_of(pred("b")), 2);
+        assert_eq!(levels.level_of(pred("c")), 3);
+        assert_eq!(levels.level_of(pred("d")), 4);
+        assert_eq!(levels.max_level(), 4);
+    }
+
+    #[test]
+    fn example_3_3_levels_follow_the_dependency_strata() {
+        let levels = levels_of(
+            "subclassStar(X, Y) :- subclass(X, Y).\n\
+             subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).\n\
+             type(X, Z) :- type(X, Y), subclassStar(Y, Z).\n\
+             triple(X, Z, W) :- type(X, Y), restriction(Y, Z).\n\
+             triple(Z, W, X) :- triple(X, Y, Z), inverse(Y, W).\n\
+             type(X, W) :- triple(X, Y, Z), restriction(W, Y).",
+        );
+        // EDB predicates are level 1, subclassStar level 2, and the mutually
+        // recursive {type, triple} component sits above subclassStar.
+        assert_eq!(levels.level_of(pred("subclass")), 1);
+        assert_eq!(levels.level_of(pred("subclassStar")), 2);
+        assert_eq!(levels.level_of(pred("type")), levels.level_of(pred("triple")));
+        assert_eq!(levels.level_of(pred("type")), 3);
+        assert_eq!(levels.max_level(), 3);
+    }
+
+    #[test]
+    fn recursion_does_not_inflate_levels() {
+        // A self-recursive predicate over an EDB stays at level 2 regardless
+        // of how many recursive rules it has.
+        let levels = levels_of(
+            "p(X, Y) :- e(X, Y).\n p(X, Y) :- p(X, Z), e(Z, Y).\n p(X, Y) :- e(X, Z), p(Z, Y).",
+        );
+        assert_eq!(levels.level_of(pred("p")), 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Elimination of unnecessary non-linear recursion (Section 1.2).
+//!
+//! The paper observes that ≈15 % of the analysed scenarios are not directly
+//! piece-wise linear but become so after a standard rewriting that removes
+//! unnecessary non-linear recursion. The canonical example is transitive
+//! closure:
+//!
+//! ```text
+//! E(x,y) → T(x,y)        T(x,y) ∧ T(y,z) → T(x,z)
+//! ```
+//!
+//! which is equivalent to the linear
+//!
+//! ```text
+//! E(x,y) → T(x,y)        E(x,y) ∧ T(y,z) → T(x,z)
+//! ```
+//!
+//! This module implements that rewriting for transitive-closure-shaped rules:
+//! a rule whose body consists of exactly two atoms over the (binary) head
+//! predicate `P`, chained as `P(X,Y), P(Y,Z) → P(X,Z)`, where `P` also has at
+//! least one non-recursive base rule. The first recursive atom is unfolded
+//! with each base rule's body. The rewriting preserves certain answers
+//! because the fixpoint of the chained rule is reached by composing base
+//! facts on the left, exactly as in the classic left-/right-linear
+//! equivalence for transitive closure.
+
+use crate::predicate_graph::PredicateGraph;
+use vadalog_model::{Program, Substitution, Term, Tgd};
+
+/// The outcome of attempting to linearise a program.
+#[derive(Debug, Clone)]
+pub struct LinearizationOutcome {
+    /// The (possibly rewritten) program.
+    pub program: Program,
+    /// Indexes (in the *original* program) of the rules that were rewritten.
+    pub linearized_rules: Vec<usize>,
+}
+
+impl LinearizationOutcome {
+    /// `true` iff at least one rule was rewritten.
+    pub fn changed(&self) -> bool {
+        !self.linearized_rules.is_empty()
+    }
+}
+
+/// Attempts to remove unnecessary non-linear recursion from `program`.
+/// Rules that do not match the supported transitive-closure shape are left
+/// untouched.
+pub fn linearize(program: &Program) -> LinearizationOutcome {
+    let graph = PredicateGraph::new(program);
+    let mut out = Program::new();
+    let mut linearized = Vec::new();
+
+    for (index, tgd) in program.iter() {
+        match try_linearize_rule(program, &graph, tgd) {
+            Some(replacements) => {
+                for r in replacements {
+                    out.add(r).expect("linearised rule must be valid");
+                }
+                linearized.push(index);
+            }
+            None => out.add(tgd.clone()).expect("original rule is valid"),
+        }
+    }
+
+    LinearizationOutcome {
+        program: out,
+        linearized_rules: linearized,
+    }
+}
+
+/// Tries to rewrite a single TC-shaped rule; returns the replacement rules on
+/// success.
+fn try_linearize_rule(
+    program: &Program,
+    graph: &PredicateGraph,
+    tgd: &Tgd,
+) -> Option<Vec<Tgd>> {
+    // Shape: single head atom P(X, Z) over a binary predicate.
+    if tgd.head.len() != 1 {
+        return None;
+    }
+    let head = &tgd.head[0];
+    if head.arity() != 2 {
+        return None;
+    }
+    let p = head.predicate;
+    // Body: exactly two atoms, both over P, chained P(X,Y), P(Y,Z).
+    if tgd.body.len() != 2 {
+        return None;
+    }
+    if tgd.body.iter().any(|a| a.predicate != p || a.arity() != 2) {
+        return None;
+    }
+    if !graph.is_recursive(p) {
+        return None;
+    }
+    let (first, second) = (&tgd.body[0], &tgd.body[1]);
+    let (x, y1) = (first.terms[0], first.terms[1]);
+    let (y2, z) = (second.terms[0], second.terms[1]);
+    if y1 != y2 || head.terms[0] != x || head.terms[1] != z {
+        return None;
+    }
+    let (x, y, z) = (x.as_var()?, y1.as_var()?, z.as_var()?);
+    if x == y || y == z || x == z {
+        return None;
+    }
+
+    // Base rules: non-recursive rules with head P whose body predicates are
+    // not mutually recursive with P.
+    let base_rules: Vec<&Tgd> = program
+        .tgds()
+        .iter()
+        .filter(|r| {
+            r.head.len() == 1
+                && r.head[0].predicate == p
+                && r.body
+                    .iter()
+                    .all(|a| !graph.mutually_recursive(a.predicate, p))
+                && r.is_full()
+        })
+        .collect();
+    if base_rules.is_empty() {
+        return None;
+    }
+
+    // For every base rule  β(…) → P(u, v)  produce  β[u↦X, v↦Y], P(Y, Z) → P(X, Z).
+    let mut replacements = Vec::new();
+    for (i, base) in base_rules.iter().enumerate() {
+        let renamed = base.rename_apart(&format!("lin{i}"));
+        let base_head = &renamed.head[0];
+        let (u, v) = (base_head.terms[0].as_var()?, base_head.terms[1].as_var()?);
+        let mut subst = Substitution::new();
+        subst.bind_var(u, Term::Var(x));
+        subst.bind_var(v, Term::Var(y));
+        let mut new_body = subst.apply_atoms(&renamed.body);
+        new_body.push(second.clone());
+        replacements.push(Tgd::new(new_body, vec![head.clone()]).ok()?);
+    }
+    Some(replacements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pwl::is_piecewise_linear;
+    use vadalog_model::parser::parse_rules;
+
+    #[test]
+    fn nonlinear_transitive_closure_is_linearized() {
+        let p = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        assert!(!is_piecewise_linear(&p));
+        let out = linearize(&p);
+        assert!(out.changed());
+        assert_eq!(out.linearized_rules, vec![1]);
+        assert!(is_piecewise_linear(&out.program));
+        // The rewritten rule joins the base predicate with t.
+        let rewritten = out
+            .program
+            .tgds()
+            .iter()
+            .find(|t| t.body.len() == 2 && t.body[0].predicate.name() == "edge")
+            .expect("rewritten rule present");
+        assert_eq!(rewritten.head[0].predicate.name(), "t");
+    }
+
+    #[test]
+    fn multiple_base_rules_produce_multiple_linear_rules() {
+        let p = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Y) :- road(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        let out = linearize(&p);
+        assert!(out.changed());
+        // 2 base rules stay + 2 linearised variants of the recursive rule.
+        assert_eq!(out.program.len(), 4);
+        assert!(is_piecewise_linear(&out.program));
+    }
+
+    #[test]
+    fn already_linear_rules_are_untouched() {
+        let p = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        let out = linearize(&p);
+        assert!(!out.changed());
+        assert_eq!(out.program.len(), 2);
+    }
+
+    #[test]
+    fn rules_without_a_base_rule_are_not_rewritten() {
+        let p = parse_rules("t(X, Z) :- t(X, Y), t(Y, Z).").unwrap();
+        let out = linearize(&p);
+        assert!(!out.changed());
+    }
+
+    #[test]
+    fn non_tc_shapes_are_left_alone() {
+        // Same-generation style recursion does not match the TC pattern.
+        let p = parse_rules(
+            "sg(X, Y) :- flat(X, Y).\n sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).",
+        )
+        .unwrap();
+        let out = linearize(&p);
+        assert!(!out.changed());
+    }
+
+    #[test]
+    fn linearization_preserves_answers_on_a_chain() {
+        // Certain answers of the non-linear and linearised programs coincide
+        // (checked here by a small hand evaluation through the datalog engine
+        // in the integration tests; at unit level we check rule structure).
+        let p = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        let out = linearize(&p);
+        for tgd in out.program.tgds() {
+            assert!(tgd.is_datalog_rule());
+        }
+    }
+}

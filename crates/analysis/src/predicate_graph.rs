@@ -1,0 +1,322 @@
+//! The predicate graph `pg(Σ)` and mutual recursion (Section 4).
+//!
+//! The predicate graph has the schema predicates as nodes and an edge `P → R`
+//! whenever some TGD has `P` in its body and `R` in its head. Two predicates
+//! are *mutually recursive* iff they lie on a common cycle, i.e. they belong
+//! to the same strongly connected component **and** that component actually
+//! contains a cycle (a single node with no self-loop is not recursive).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use vadalog_model::{Predicate, Program};
+
+/// The predicate graph of a program, together with its strongly connected
+/// components.
+#[derive(Debug, Clone)]
+pub struct PredicateGraph {
+    nodes: Vec<Predicate>,
+    edges: BTreeSet<(Predicate, Predicate)>,
+    successors: BTreeMap<Predicate, Vec<Predicate>>,
+    /// SCC id of each predicate (0-based, in reverse topological order of
+    /// discovery by Tarjan's algorithm).
+    scc_of: HashMap<Predicate, usize>,
+    /// Members of each SCC.
+    scc_members: Vec<Vec<Predicate>>,
+    /// Whether the SCC contains a cycle (more than one node, or a self-loop).
+    scc_cyclic: Vec<bool>,
+}
+
+impl PredicateGraph {
+    /// Builds the predicate graph of a program.
+    pub fn new(program: &Program) -> PredicateGraph {
+        let nodes: Vec<Predicate> = program.schema().into_iter().collect();
+        let mut edges = BTreeSet::new();
+        for (_, tgd) in program.iter() {
+            for b in tgd.body_predicates() {
+                for h in tgd.head_predicates() {
+                    edges.insert((b, h));
+                }
+            }
+        }
+        let mut successors: BTreeMap<Predicate, Vec<Predicate>> = BTreeMap::new();
+        for &(from, to) in &edges {
+            successors.entry(from).or_default().push(to);
+        }
+        let mut graph = PredicateGraph {
+            nodes,
+            edges,
+            successors,
+            scc_of: HashMap::new(),
+            scc_members: Vec::new(),
+            scc_cyclic: Vec::new(),
+        };
+        graph.compute_sccs();
+        graph
+    }
+
+    fn compute_sccs(&mut self) {
+        // Iterative Tarjan's algorithm.
+        #[derive(Clone)]
+        struct NodeState {
+            index: Option<usize>,
+            lowlink: usize,
+            on_stack: bool,
+        }
+        let mut states: HashMap<Predicate, NodeState> = self
+            .nodes
+            .iter()
+            .map(|&p| {
+                (
+                    p,
+                    NodeState {
+                        index: None,
+                        lowlink: 0,
+                        on_stack: false,
+                    },
+                )
+            })
+            .collect();
+        let mut index = 0usize;
+        let mut stack: Vec<Predicate> = Vec::new();
+
+        enum Frame {
+            Enter(Predicate),
+            Continue(Predicate, usize),
+        }
+
+        let nodes = self.nodes.clone();
+        for start in nodes {
+            if states[&start].index.is_some() {
+                continue;
+            }
+            let mut work = vec![Frame::Enter(start)];
+            while let Some(frame) = work.pop() {
+                match frame {
+                    Frame::Enter(v) => {
+                        let st = states.get_mut(&v).unwrap();
+                        if st.index.is_some() {
+                            continue;
+                        }
+                        st.index = Some(index);
+                        st.lowlink = index;
+                        st.on_stack = true;
+                        index += 1;
+                        stack.push(v);
+                        work.push(Frame::Continue(v, 0));
+                    }
+                    Frame::Continue(v, child_idx) => {
+                        let succs = self.successors.get(&v).cloned().unwrap_or_default();
+                        if child_idx < succs.len() {
+                            let w = succs[child_idx];
+                            work.push(Frame::Continue(v, child_idx + 1));
+                            if states[&w].index.is_none() {
+                                work.push(Frame::Enter(w));
+                            } else if states[&w].on_stack {
+                                let w_index = states[&w].index.unwrap();
+                                let st = states.get_mut(&v).unwrap();
+                                st.lowlink = st.lowlink.min(w_index);
+                            }
+                        } else {
+                            // Post-processing: fold children lowlinks that were
+                            // computed after v was pushed.
+                            let succs_low: Vec<usize> = succs
+                                .iter()
+                                .filter(|w| states[w].on_stack || self.scc_of.contains_key(w))
+                                .filter_map(|w| {
+                                    if states[w].on_stack {
+                                        Some(states[w].lowlink)
+                                    } else {
+                                        None
+                                    }
+                                })
+                                .collect();
+                            {
+                                let mut low = states[&v].lowlink;
+                                for l in succs_low {
+                                    low = low.min(l);
+                                }
+                                states.get_mut(&v).unwrap().lowlink = low;
+                            }
+                            if states[&v].lowlink == states[&v].index.unwrap() {
+                                // v is the root of an SCC.
+                                let scc_id = self.scc_members.len();
+                                let mut members = Vec::new();
+                                loop {
+                                    let w = stack.pop().expect("tarjan stack underflow");
+                                    states.get_mut(&w).unwrap().on_stack = false;
+                                    self.scc_of.insert(w, scc_id);
+                                    members.push(w);
+                                    if w == v {
+                                        break;
+                                    }
+                                }
+                                let cyclic = members.len() > 1
+                                    || members
+                                        .iter()
+                                        .any(|&m| self.edges.contains(&(m, m)));
+                                self.scc_members.push(members);
+                                self.scc_cyclic.push(cyclic);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The predicates (nodes) of the graph.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.nodes
+    }
+
+    /// The edges of the graph.
+    pub fn edges(&self) -> impl Iterator<Item = (Predicate, Predicate)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// `true` iff the graph contains the edge `from → to`.
+    pub fn has_edge(&self, from: Predicate, to: Predicate) -> bool {
+        self.edges.contains(&(from, to))
+    }
+
+    /// The SCC identifier of a predicate (predicates not in the schema return
+    /// `None`).
+    pub fn scc_id(&self, p: Predicate) -> Option<usize> {
+        self.scc_of.get(&p).copied()
+    }
+
+    /// Number of strongly connected components.
+    pub fn scc_count(&self) -> usize {
+        self.scc_members.len()
+    }
+
+    /// The members of an SCC.
+    pub fn scc_members(&self, id: usize) -> &[Predicate] {
+        &self.scc_members[id]
+    }
+
+    /// Two predicates are mutually recursive iff they lie on a common cycle of
+    /// the predicate graph.
+    pub fn mutually_recursive(&self, p: Predicate, r: Predicate) -> bool {
+        match (self.scc_of.get(&p), self.scc_of.get(&r)) {
+            (Some(&a), Some(&b)) => a == b && self.scc_cyclic[a],
+            _ => false,
+        }
+    }
+
+    /// `true` iff `p` is recursive (lies on some cycle).
+    pub fn is_recursive(&self, p: Predicate) -> bool {
+        self.mutually_recursive(p, p)
+    }
+
+    /// The set `rec(P)` of predicates mutually recursive with `p` (including
+    /// `p` itself when it is recursive).
+    pub fn rec(&self, p: Predicate) -> BTreeSet<Predicate> {
+        match self.scc_of.get(&p) {
+            Some(&id) if self.scc_cyclic[id] => {
+                self.scc_members[id].iter().copied().collect()
+            }
+            _ => BTreeSet::new(),
+        }
+    }
+
+    /// The SCC identifiers in topological order (every edge goes from an
+    /// earlier to a later component in the returned order). Tarjan emits SCCs
+    /// in reverse topological order, so we reverse the id sequence.
+    pub fn sccs_topological(&self) -> Vec<usize> {
+        (0..self.scc_members.len()).rev().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::parser::parse_rules;
+
+    fn pred(n: &str) -> Predicate {
+        Predicate::new(n)
+    }
+
+    #[test]
+    fn transitive_closure_graph_is_recursive_in_t_only() {
+        let program = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        let g = PredicateGraph::new(&program);
+        assert!(g.is_recursive(pred("t")));
+        assert!(!g.is_recursive(pred("edge")));
+        assert!(!g.mutually_recursive(pred("edge"), pred("t")));
+        assert!(g.has_edge(pred("edge"), pred("t")));
+        assert_eq!(g.rec(pred("t")).len(), 1);
+        assert!(g.rec(pred("edge")).is_empty());
+    }
+
+    #[test]
+    fn mutual_recursion_via_two_predicates() {
+        let program = parse_rules("p(X) :- q(X).\n q(X) :- p(X).").unwrap();
+        let g = PredicateGraph::new(&program);
+        assert!(g.mutually_recursive(pred("p"), pred("q")));
+        assert!(g.mutually_recursive(pred("q"), pred("p")));
+        assert!(g.is_recursive(pred("p")));
+        assert_eq!(g.rec(pred("p")).len(), 2);
+    }
+
+    #[test]
+    fn non_recursive_chain_has_singleton_acyclic_sccs() {
+        let program = parse_rules("b(X) :- a(X).\n c(X) :- b(X).").unwrap();
+        let g = PredicateGraph::new(&program);
+        assert_eq!(g.scc_count(), 3);
+        assert!(!g.is_recursive(pred("a")));
+        assert!(!g.is_recursive(pred("b")));
+        assert!(!g.is_recursive(pred("c")));
+    }
+
+    #[test]
+    fn example_3_3_recursion_structure() {
+        let program = parse_rules(
+            "subclassStar(X, Y) :- subclass(X, Y).\n\
+             subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).\n\
+             type(X, Z) :- type(X, Y), subclassStar(Y, Z).\n\
+             triple(X, Z, W) :- type(X, Y), restriction(Y, Z).\n\
+             triple(Z, W, X) :- triple(X, Y, Z), inverse(Y, W).\n\
+             type(X, W) :- triple(X, Y, Z), restriction(W, Y).",
+        )
+        .unwrap();
+        let g = PredicateGraph::new(&program);
+        // subclassStar is self-recursive but not mutually recursive with type.
+        assert!(g.is_recursive(pred("subclassStar")));
+        assert!(!g.mutually_recursive(pred("subclassStar"), pred("type")));
+        // type and triple feed each other (rules 4 and 6).
+        assert!(g.mutually_recursive(pred("type"), pred("triple")));
+        assert!(g.is_recursive(pred("type")));
+        // EDB predicates are not recursive.
+        assert!(!g.is_recursive(pred("subclass")));
+        assert!(!g.is_recursive(pred("restriction")));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let program = parse_rules(
+            "b(X) :- a(X).\n c(X) :- b(X).\n c(X) :- c(X).",
+        )
+        .unwrap();
+        let g = PredicateGraph::new(&program);
+        let order = g.sccs_topological();
+        // Position of each SCC in the order.
+        let pos: HashMap<usize, usize> = order.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        for (from, to) in g.edges() {
+            let (sf, st) = (g.scc_id(from).unwrap(), g.scc_id(to).unwrap());
+            if sf != st {
+                assert!(pos[&sf] < pos[&st], "edge {from}->{to} violates topo order");
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_makes_a_singleton_scc_cyclic() {
+        let program = parse_rules("p(X) :- p(X).\n q(X) :- p(X).").unwrap();
+        let g = PredicateGraph::new(&program);
+        assert!(g.is_recursive(pred("p")));
+        assert!(!g.is_recursive(pred("q")));
+    }
+}

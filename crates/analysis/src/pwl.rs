@@ -1,0 +1,210 @@
+//! Piece-wise linearity (Definition 4.1), intensional linearity and linear
+//! Datalog.
+//!
+//! * A set Σ is **piece-wise linear** (PWL) iff every TGD has at most one body
+//!   atom whose predicate is mutually recursive with a predicate of the head.
+//! * Σ is **intensionally linear** (IL) iff every TGD has at most one body
+//!   atom with an intensional predicate.
+//! * A Datalog program is **linear** iff it is IL and consists of Datalog
+//!   rules.
+
+use crate::predicate_graph::PredicateGraph;
+use vadalog_model::{Program, Tgd};
+
+/// Per-TGD piece-wise linearity information.
+#[derive(Debug, Clone)]
+pub struct TgdPwl {
+    /// Index of the TGD in the program.
+    pub tgd_index: usize,
+    /// Indexes of body atoms whose predicate is mutually recursive with a
+    /// head predicate.
+    pub recursive_body_atoms: Vec<usize>,
+    /// `true` iff at most one such atom exists.
+    pub piecewise_linear: bool,
+}
+
+/// The report of a piece-wise linearity check.
+#[derive(Debug, Clone)]
+pub struct PwlReport {
+    /// Per-TGD results.
+    pub per_tgd: Vec<TgdPwl>,
+}
+
+impl PwlReport {
+    /// `true` iff the whole program is piece-wise linear.
+    pub fn is_piecewise_linear(&self) -> bool {
+        self.per_tgd.iter().all(|t| t.piecewise_linear)
+    }
+
+    /// TGD indexes violating piece-wise linearity.
+    pub fn violating_tgds(&self) -> Vec<usize> {
+        self.per_tgd
+            .iter()
+            .filter(|t| !t.piecewise_linear)
+            .map(|t| t.tgd_index)
+            .collect()
+    }
+
+    /// For a piece-wise linear TGD, the index of *the* recursive body atom, if
+    /// any. Used by the engine's join-ordering optimisation (Section 7).
+    pub fn recursive_atom_of(&self, tgd_index: usize) -> Option<usize> {
+        self.per_tgd
+            .iter()
+            .find(|t| t.tgd_index == tgd_index)
+            .and_then(|t| t.recursive_body_atoms.first().copied())
+    }
+}
+
+/// Checks piece-wise linearity of a program against its predicate graph.
+pub fn check_pwl(program: &Program, graph: &PredicateGraph) -> PwlReport {
+    let per_tgd = program
+        .iter()
+        .map(|(i, tgd)| {
+            let recursive_body_atoms = recursive_body_atoms(tgd, graph);
+            TgdPwl {
+                tgd_index: i,
+                piecewise_linear: recursive_body_atoms.len() <= 1,
+                recursive_body_atoms,
+            }
+        })
+        .collect();
+    PwlReport { per_tgd }
+}
+
+/// The indexes of body atoms of `tgd` whose predicate is mutually recursive
+/// with some head predicate.
+pub fn recursive_body_atoms(tgd: &Tgd, graph: &PredicateGraph) -> Vec<usize> {
+    tgd.body
+        .iter()
+        .enumerate()
+        .filter(|(_, atom)| {
+            tgd.head_predicates()
+                .iter()
+                .any(|h| graph.mutually_recursive(atom.predicate, *h))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// `true` iff the program is piece-wise linear (Definition 4.1).
+pub fn is_piecewise_linear(program: &Program) -> bool {
+    let graph = PredicateGraph::new(program);
+    check_pwl(program, &graph).is_piecewise_linear()
+}
+
+/// `true` iff the program is intensionally linear: every TGD has at most one
+/// body atom with an intensional predicate (the paper's class IL).
+pub fn is_intensionally_linear(program: &Program) -> bool {
+    let idb = program.intensional_predicates();
+    program.tgds().iter().all(|tgd| {
+        tgd.body
+            .iter()
+            .filter(|a| idb.contains(&a.predicate))
+            .count()
+            <= 1
+    })
+}
+
+/// `true` iff the program is a linear Datalog program: Datalog rules with at
+/// most one intensional body atom.
+pub fn is_linear_datalog(program: &Program) -> bool {
+    program.is_datalog() && is_intensionally_linear(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::parser::parse_rules;
+
+    #[test]
+    fn linear_transitive_closure_is_pwl_il_and_linear() {
+        let p = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        assert!(is_piecewise_linear(&p));
+        assert!(is_intensionally_linear(&p));
+        assert!(is_linear_datalog(&p));
+    }
+
+    #[test]
+    fn nonlinear_transitive_closure_is_not_pwl() {
+        let p = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        assert!(!is_piecewise_linear(&p));
+        assert!(!is_intensionally_linear(&p));
+        let graph = PredicateGraph::new(&p);
+        let report = check_pwl(&p, &graph);
+        assert_eq!(report.violating_tgds(), vec![1]);
+        assert_eq!(report.per_tgd[1].recursive_body_atoms, vec![0, 1]);
+    }
+
+    #[test]
+    fn example_3_3_is_pwl_but_not_intensionally_linear() {
+        // Rule 3 joins two intensional predicates (type and subclassStar) but
+        // only type is mutually recursive with the head — the distinction the
+        // paper uses to motivate piece-wise linearity over plain linearity.
+        let p = parse_rules(
+            "subclassStar(X, Y) :- subclass(X, Y).\n\
+             subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).\n\
+             type(X, Z) :- type(X, Y), subclassStar(Y, Z).\n\
+             triple(X, Z, W) :- type(X, Y), restriction(Y, Z).\n\
+             triple(Z, W, X) :- triple(X, Y, Z), inverse(Y, W).\n\
+             type(X, W) :- triple(X, Y, Z), restriction(W, Y).",
+        )
+        .unwrap();
+        assert!(is_piecewise_linear(&p));
+        assert!(!is_intensionally_linear(&p));
+        assert!(!is_linear_datalog(&p)); // existentials + not IL
+        let graph = PredicateGraph::new(&p);
+        let report = check_pwl(&p, &graph);
+        // In rule 3 the recursive body atom is the first one (type).
+        assert_eq!(report.recursive_atom_of(2), Some(0));
+        // In rule 1 there is no recursive body atom.
+        assert_eq!(report.recursive_atom_of(0), None);
+    }
+
+    #[test]
+    fn mutual_recursion_across_predicates_counts_for_pwl() {
+        // p and q are mutually recursive; a rule joining both is not PWL.
+        let p = parse_rules(
+            "p(X) :- e(X).\n p(X) :- q(X).\n q(X) :- p(X).\n r(X) :- p(X), q(X).",
+        )
+        .unwrap();
+        // The last rule's head r is not recursive with p or q, so the rule is
+        // fine; the program stays PWL.
+        assert!(is_piecewise_linear(&p));
+
+        let bad = parse_rules(
+            "p(X) :- e(X).\n p(X) :- q(X).\n q(X) :- p(X), q(X).",
+        )
+        .unwrap();
+        assert!(!is_piecewise_linear(&bad));
+    }
+
+    #[test]
+    fn non_recursive_programs_are_trivially_pwl_and_il() {
+        let p = parse_rules("s(X) :- a(X), b(X), c(X).").unwrap();
+        assert!(is_piecewise_linear(&p));
+        assert!(is_intensionally_linear(&p));
+    }
+
+    #[test]
+    fn the_section5_tiling_program_shape_is_pwl() {
+        // The Section 5 reduction joins two Row atoms in the Comp rules, but
+        // Row is not mutually recursive with Comp, so the program is PWL.
+        let p = parse_rules(
+            "row(Z, Z, X, X) :- tile(X).\n\
+             row(X, U, Y, W) :- row(_, X, Y, Z), h(Z, W).\n\
+             comp(X, X2) :- row(X, X, Y, Y), row(X2, X2, Y2, Y2), v(Y, Y2).\n\
+             comp(Y, Y2) :- row(X, Y, _, Z), row(X2, Y2, _, Z2), comp(X, X2), v(Z, Z2).\n\
+             ctiling(X, Y) :- row(_, X, Y, Z), start(Y), rightb(Z).\n\
+             ctiling(Y, Z) :- ctiling(X, _), row(_, Y, Z, W), comp(X, Y), leftb(Z), rightb(W).",
+        )
+        .unwrap();
+        assert!(is_piecewise_linear(&p));
+        assert!(!is_intensionally_linear(&p));
+    }
+}

@@ -1,0 +1,142 @@
+//! Stratification of a program by its recursive components.
+//!
+//! The engine of Section 7 materialises intermediate results at the
+//! boundaries of the strata induced by piece-wise linearity; the Datalog
+//! engine evaluates stratum by stratum with semi-naive iteration. A stratum
+//! is a strongly connected component of the predicate graph together with the
+//! rules whose head belongs to it, and strata are ordered topologically.
+
+use crate::predicate_graph::PredicateGraph;
+use std::collections::BTreeSet;
+use vadalog_model::{Predicate, Program};
+
+/// A single stratum: a set of head predicates evaluated together, plus the
+/// indexes of the rules defining them.
+#[derive(Debug, Clone)]
+pub struct Stratum {
+    /// The (mutually recursive) predicates defined in this stratum.
+    pub predicates: BTreeSet<Predicate>,
+    /// Indexes (into the program) of the TGDs whose head predicate belongs to
+    /// this stratum.
+    pub rules: Vec<usize>,
+    /// `true` iff the stratum is recursive (its predicates lie on a cycle).
+    pub recursive: bool,
+}
+
+/// A stratification: strata in bottom-up evaluation order.
+#[derive(Debug, Clone)]
+pub struct Stratification {
+    /// The strata, bottom-up.
+    pub strata: Vec<Stratum>,
+}
+
+impl Stratification {
+    /// Number of strata (only counting strata that define at least one rule).
+    pub fn len(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// `true` iff there are no strata with rules.
+    pub fn is_empty(&self) -> bool {
+        self.strata.is_empty()
+    }
+
+    /// The stratum index defining a predicate, if any.
+    pub fn stratum_of(&self, p: Predicate) -> Option<usize> {
+        self.strata.iter().position(|s| s.predicates.contains(&p))
+    }
+}
+
+/// Computes the stratification of a program.
+pub fn stratify(program: &Program) -> Stratification {
+    let graph = PredicateGraph::new(program);
+    let order = graph.sccs_topological();
+    let mut strata = Vec::new();
+    for scc in order {
+        let members: BTreeSet<Predicate> = graph.scc_members(scc).iter().copied().collect();
+        let rules: Vec<usize> = program
+            .iter()
+            .filter(|(_, tgd)| {
+                tgd.head_predicates()
+                    .iter()
+                    .any(|h| members.contains(h))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if rules.is_empty() {
+            // Purely extensional component: nothing to evaluate.
+            continue;
+        }
+        let recursive = members
+            .iter()
+            .any(|&p| graph.is_recursive(p));
+        strata.push(Stratum {
+            predicates: members,
+            rules,
+            recursive,
+        });
+    }
+    Stratification { strata }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::parser::parse_rules;
+
+    #[test]
+    fn transitive_closure_has_a_single_recursive_stratum() {
+        let p = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        let s = stratify(&p);
+        assert_eq!(s.len(), 1);
+        assert!(s.strata[0].recursive);
+        assert_eq!(s.strata[0].rules, vec![0, 1]);
+    }
+
+    #[test]
+    fn strata_are_ordered_bottom_up() {
+        let p = parse_rules(
+            "b(X) :- a(X).\n c(X) :- b(X).\n c(X) :- c(X).\n d(X) :- c(X).",
+        )
+        .unwrap();
+        let s = stratify(&p);
+        let b = s.stratum_of(Predicate::new("b")).unwrap();
+        let c = s.stratum_of(Predicate::new("c")).unwrap();
+        let d = s.stratum_of(Predicate::new("d")).unwrap();
+        assert!(b < c && c < d);
+        assert!(!s.strata[b].recursive);
+        assert!(s.strata[c].recursive);
+    }
+
+    #[test]
+    fn example_3_3_strata() {
+        let p = parse_rules(
+            "subclassStar(X, Y) :- subclass(X, Y).\n\
+             subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).\n\
+             type(X, Z) :- type(X, Y), subclassStar(Y, Z).\n\
+             triple(X, Z, W) :- type(X, Y), restriction(Y, Z).\n\
+             triple(Z, W, X) :- triple(X, Y, Z), inverse(Y, W).\n\
+             type(X, W) :- triple(X, Y, Z), restriction(W, Y).",
+        )
+        .unwrap();
+        let s = stratify(&p);
+        assert_eq!(s.len(), 2);
+        let sub = s.stratum_of(Predicate::new("subclassStar")).unwrap();
+        let ty = s.stratum_of(Predicate::new("type")).unwrap();
+        let tr = s.stratum_of(Predicate::new("triple")).unwrap();
+        assert_eq!(ty, tr);
+        assert!(sub < ty);
+        // EDB predicates belong to no stratum.
+        assert!(s.stratum_of(Predicate::new("subclass")).is_none());
+    }
+
+    #[test]
+    fn empty_program_has_no_strata() {
+        let p = Program::new();
+        let s = stratify(&p);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! E1 — data complexity: linear proof search (space-efficient decision) vs
+//! bottom-up materialisation on reachability workloads of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vadalog_bench::{program, LINEAR_TC};
+use vadalog_benchgen::graphs::chain_graph;
+use vadalog_core::{linear_proof_search, SearchOptions};
+use vadalog_datalog::DatalogEngine;
+use vadalog_model::parser::parse_query;
+use vadalog_model::Symbol;
+
+fn e1(c: &mut Criterion) {
+    let tc = program(LINEAR_TC);
+    let query = parse_query("?(X, Y) :- t(X, Y).").unwrap();
+    let mut group = c.benchmark_group("e1_space_reachability");
+    group.sample_size(10);
+
+    for &n in &[50usize, 100, 200] {
+        let db = chain_graph(n);
+        let boolean = query
+            .instantiate(&[Symbol::new("n0"), Symbol::new(&format!("n{n}"))])
+            .unwrap();
+
+        group.bench_with_input(
+            BenchmarkId::new("linear_proof_search_decision", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let outcome =
+                        linear_proof_search(&tc, &db, &boolean, SearchOptions::default());
+                    assert!(outcome.is_accepted());
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("semi_naive_materialisation", n),
+            &n,
+            |b, _| {
+                let engine = DatalogEngine::new(tc.clone()).unwrap();
+                b.iter(|| {
+                    let result = engine.evaluate(&db);
+                    assert!(result.stats.derived_atoms > 0);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e1);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E3 — combined complexity: search work as the program's level structure
+//! grows, on a fixed small database.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vadalog_bench::layered_program;
+use vadalog_benchgen::graphs::chain_graph;
+use vadalog_core::{linear_proof_search, SearchOptions};
+use vadalog_model::parser::parse_query;
+use vadalog_model::Symbol;
+
+fn e3(c: &mut Criterion) {
+    let db = chain_graph(6);
+    let mut group = c.benchmark_group("e3_combined_complexity");
+    group.sample_size(10);
+
+    for &levels in &[1usize, 2, 3, 4] {
+        let prog = layered_program(levels);
+        let query = parse_query(&format!("?(X, Y) :- p{levels}(X, Y).")).unwrap();
+        let boolean = query
+            .instantiate(&[Symbol::new("n0"), Symbol::new("n6")])
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("proof_search", levels), &levels, |b, _| {
+            b.iter(|| {
+                let outcome = linear_proof_search(&prog, &db, &boolean, SearchOptions::default());
+                assert!(outcome.is_accepted());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e3);
+criterion_main!(benches);

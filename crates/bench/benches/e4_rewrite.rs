@@ -1,0 +1,48 @@
+//! E4 — Theorem 6.3: cost of the rewriting into piece-wise linear Datalog and
+//! of evaluating the rewritten program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vadalog_bench::{program, LINEAR_TC};
+use vadalog_benchgen::graphs::chain_graph;
+use vadalog_core::{rewrite_to_pwl_datalog, RewriteOptions};
+use vadalog_datalog::DatalogEngine;
+use vadalog_model::parser::parse_query;
+
+fn e4(c: &mut Criterion) {
+    let tc = program(LINEAR_TC);
+    let query = parse_query("?(A, B) :- t(A, B).").unwrap();
+    let mut group = c.benchmark_group("e4_rewriting");
+    group.sample_size(10);
+
+    group.bench_function("rewrite_linear_tc", |b| {
+        b.iter(|| {
+            let rewritten = rewrite_to_pwl_datalog(&tc, &query, RewriteOptions::default())
+                .unwrap()
+                .unwrap();
+            assert!(rewritten.program.len() > 0);
+        })
+    });
+
+    let rewritten = rewrite_to_pwl_datalog(&tc, &query, RewriteOptions::default())
+        .unwrap()
+        .unwrap();
+    let db = chain_graph(60);
+    group.bench_function("evaluate_rewritten_program", |b| {
+        let engine = DatalogEngine::new(rewritten.program.clone()).unwrap();
+        b.iter(|| {
+            let answers = engine.answers(&db, &rewritten.query);
+            assert!(!answers.is_empty());
+        })
+    });
+    group.bench_function("evaluate_original_program", |b| {
+        let engine = DatalogEngine::new(tc.clone()).unwrap();
+        b.iter(|| {
+            let answers = engine.answers(&db, &query);
+            assert!(!answers.is_empty());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, e4);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E8 — the linearisation rewriting of Section 1.2: non-linear vs linearised
+//! transitive closure under semi-naive evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vadalog_analysis::linearize::linearize;
+use vadalog_bench::{program, NONLINEAR_TC};
+use vadalog_benchgen::graphs::random_graph;
+use vadalog_datalog::DatalogEngine;
+
+fn e8(c: &mut Criterion) {
+    let nonlinear = program(NONLINEAR_TC);
+    let linearized = linearize(&nonlinear).program;
+    let mut group = c.benchmark_group("e8_linearisation");
+    group.sample_size(10);
+
+    for &edges in &[100usize, 200] {
+        let db = random_graph(edges / 4, edges, 3);
+        group.bench_with_input(
+            BenchmarkId::new("nonlinear_tc", edges),
+            &edges,
+            |b, _| {
+                let engine = DatalogEngine::new(nonlinear.clone()).unwrap();
+                b.iter(|| engine.evaluate(&db).stats.derived_atoms)
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("linearised_tc", edges),
+            &edges,
+            |b, _| {
+                let engine = DatalogEngine::new(linearized.clone()).unwrap();
+                b.iter(|| engine.evaluate(&db).stats.derived_atoms)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, e8);
+criterion_main!(benches);

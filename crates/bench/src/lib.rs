@@ -1,0 +1,124 @@
+//! Shared helpers for the Vadalog reproduction benchmark harness.
+//!
+//! The experiment drivers live in `src/bin/harness.rs` (which prints the
+//! tables recorded in EXPERIMENTS.md) and in the Criterion benches under
+//! `benches/`. This library hosts the small amount of code they share:
+//! canonical programs, query strings and a tiny table printer.
+
+#![forbid(unsafe_code)]
+
+use vadalog_model::parser::parse_rules;
+use vadalog_model::Program;
+
+/// The linear transitive-closure program used throughout the experiments.
+pub const LINEAR_TC: &str =
+    "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).";
+
+/// The non-linear transitive-closure program of Section 1.2.
+pub const NONLINEAR_TC: &str =
+    "t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).";
+
+/// Parses one of the canonical programs above.
+pub fn program(src: &str) -> Program {
+    parse_rules(src).expect("canonical program parses")
+}
+
+/// Builds a program family with `levels` strata for the combined-complexity
+/// experiment (E3): each level copies the previous one and adds a piece-wise
+/// linear recursive rule.
+pub fn layered_program(levels: usize) -> Program {
+    let mut src = String::from("p1(X, Y) :- edge(X, Y).\np1(X, Z) :- edge(X, Y), p1(Y, Z).\n");
+    for level in 2..=levels.max(1) {
+        let prev = level - 1;
+        src.push_str(&format!("p{level}(X, Y) :- p{prev}(X, Y).\n"));
+        src.push_str(&format!(
+            "p{level}(X, Z) :- p{prev}(X, Y), p{level}(Y, Z).\n"
+        ));
+    }
+    parse_rules(&src).expect("layered program parses")
+}
+
+/// A minimal fixed-width table printer for the harness output.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must have as many cells as the header).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<width$}", width = w))
+                .collect();
+            format!("| {} |", parts.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&sep, &widths));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_analysis::classify::{classify_scenario, ScenarioClass};
+
+    #[test]
+    fn canonical_programs_parse_and_classify() {
+        assert_eq!(classify_scenario(&program(LINEAR_TC)), ScenarioClass::WardedPwl);
+        assert_eq!(
+            classify_scenario(&program(NONLINEAR_TC)),
+            ScenarioClass::WardedLinearizable
+        );
+    }
+
+    #[test]
+    fn layered_programs_grow_linearly_and_stay_pwl() {
+        let p3 = layered_program(3);
+        assert_eq!(p3.len(), 2 + 2 * 2);
+        assert_eq!(classify_scenario(&p3), ScenarioClass::WardedPwl);
+        let p6 = layered_program(6);
+        assert!(p6.len() > p3.len());
+    }
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["alpha".to_string(), "1".to_string()]);
+        t.row(&["b".to_string(), "12345".to_string()]);
+        let rendered = t.render();
+        assert!(rendered.contains("| alpha | 1     |"));
+        assert!(rendered.lines().count() == 4);
+    }
+}

@@ -1,0 +1,128 @@
+//! Graph generators producing `edge/2` databases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vadalog_model::{Atom, Database};
+
+fn node(i: usize) -> String {
+    format!("n{i}")
+}
+
+fn edge_db(edges: impl IntoIterator<Item = (usize, usize)>) -> Database {
+    let mut db = Database::new();
+    for (a, b) in edges {
+        db.insert(Atom::fact("edge", &[node(a).as_str(), node(b).as_str()]))
+            .expect("edge facts are ground");
+    }
+    db
+}
+
+/// A directed chain `n0 → n1 → … → n_len`.
+pub fn chain_graph(len: usize) -> Database {
+    edge_db((0..len).map(|i| (i, i + 1)))
+}
+
+/// A directed grid of `width × height` nodes with edges to the right and
+/// downward neighbours (node `(x, y)` has index `y * width + x`).
+pub fn grid_graph(width: usize, height: usize) -> Database {
+    let mut edges = Vec::new();
+    for y in 0..height {
+        for x in 0..width {
+            let id = y * width + x;
+            if x + 1 < width {
+                edges.push((id, id + 1));
+            }
+            if y + 1 < height {
+                edges.push((id, id + width));
+            }
+        }
+    }
+    edge_db(edges)
+}
+
+/// A uniformly random directed graph with `nodes` nodes and (up to) `edges`
+/// distinct edges (self-loops excluded).
+pub fn random_graph(nodes: usize, edges: usize, seed: u64) -> Database {
+    assert!(nodes >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = std::collections::BTreeSet::new();
+    let mut attempts = 0usize;
+    while set.len() < edges && attempts < edges * 20 {
+        attempts += 1;
+        let a = rng.gen_range(0..nodes);
+        let b = rng.gen_range(0..nodes);
+        if a != b {
+            set.insert((a, b));
+        }
+    }
+    edge_db(set)
+}
+
+/// A preferential-attachment ("scale-free") digraph: each new node attaches
+/// `out_degree` edges to existing nodes with probability proportional to
+/// their current degree — the degree distribution of knowledge-graph-like
+/// data.
+pub fn preferential_attachment(nodes: usize, out_degree: usize, seed: u64) -> Database {
+    assert!(nodes >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize)> = vec![(0, 1)];
+    let mut degree_pool: Vec<usize> = vec![0, 1];
+    for new in 2..nodes {
+        for _ in 0..out_degree.max(1) {
+            let target = degree_pool[rng.gen_range(0..degree_pool.len())];
+            if target != new {
+                edges.push((new, target));
+                degree_pool.push(target);
+                degree_pool.push(new);
+            }
+        }
+    }
+    edge_db(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::Predicate;
+
+    #[test]
+    fn chain_has_expected_size() {
+        let db = chain_graph(10);
+        assert_eq!(db.len(), 10);
+        assert!(db.contains(&Atom::fact("edge", &["n0", "n1"])));
+        assert!(db.contains(&Atom::fact("edge", &["n9", "n10"])));
+    }
+
+    #[test]
+    fn grid_has_expected_edge_count() {
+        // A w×h grid has h·(w−1) horizontal and w·(h−1) vertical edges.
+        let db = grid_graph(4, 3);
+        assert_eq!(db.len(), 3 * 3 + 4 * 2);
+    }
+
+    #[test]
+    fn random_graph_is_reproducible_per_seed() {
+        let a = random_graph(50, 120, 7);
+        let b = random_graph(50, 120, 7);
+        let c = random_graph(50, 120, 8);
+        let collect = |db: &Database| -> Vec<String> {
+            let mut v: Vec<String> = db.iter().map(|a| a.to_string()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(collect(&a), collect(&b));
+        assert_ne!(collect(&a), collect(&c));
+        assert_eq!(a.len(), 120);
+    }
+
+    #[test]
+    fn preferential_attachment_produces_edges_over_one_predicate() {
+        let db = preferential_attachment(100, 2, 3);
+        assert!(db.len() >= 100);
+        assert_eq!(db.as_instance().predicates().count(), 1);
+        assert_eq!(
+            db.as_instance().arity_of(Predicate::new("edge")),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,437 @@
+//! The chase engine: restricted and oblivious chase with termination control.
+
+use crate::provenance::{ChaseGraph, DerivationRecord};
+use crate::termination::TerminationPolicy;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use vadalog_model::{
+    homomorphisms, Atom, ConjunctiveQuery, Database, HomSearch, Instance, NullId, Program,
+    Substitution, Symbol, Term,
+};
+
+/// Which chase variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChaseVariant {
+    /// The standard (restricted) chase: a trigger fires only if its head is
+    /// not already satisfied by an extension of the trigger homomorphism.
+    #[default]
+    Restricted,
+    /// The oblivious chase: every trigger fires exactly once.
+    Oblivious,
+}
+
+/// Configuration of a chase run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaseConfig {
+    /// The chase variant.
+    pub variant: ChaseVariant,
+    /// The termination policy.
+    pub policy: TerminationPolicy,
+    /// Whether to record provenance (the chase graph). Disable for large
+    /// benchmark runs where only the result instance matters.
+    pub record_provenance: bool,
+}
+
+impl ChaseConfig {
+    /// A restricted chase with the given termination policy and provenance
+    /// recording enabled.
+    pub fn restricted(policy: TerminationPolicy) -> ChaseConfig {
+        ChaseConfig {
+            variant: ChaseVariant::Restricted,
+            policy,
+            record_provenance: true,
+        }
+    }
+
+    /// An oblivious chase with the given termination policy.
+    pub fn oblivious(policy: TerminationPolicy) -> ChaseConfig {
+        ChaseConfig {
+            variant: ChaseVariant::Oblivious,
+            policy,
+            record_provenance: true,
+        }
+    }
+}
+
+/// Counters describing a chase run; the peak-atom counter is the space proxy
+/// used by the E1 experiment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaseStats {
+    /// Number of applied triggers (chase steps).
+    pub steps: usize,
+    /// Number of invented labelled nulls.
+    pub nulls_created: usize,
+    /// Number of atoms in the final instance.
+    pub final_atoms: usize,
+    /// Peak number of atoms materialised at any point (equals `final_atoms`
+    /// for the chase, but reported separately so that all engines expose the
+    /// same space metric).
+    pub peak_atoms: usize,
+    /// Number of candidate triggers examined.
+    pub triggers_examined: usize,
+}
+
+/// The result of a chase run.
+#[derive(Debug, Clone)]
+pub struct ChaseResult {
+    /// The chased instance.
+    pub instance: Instance,
+    /// Run statistics.
+    pub stats: ChaseStats,
+    /// `true` iff the chase stopped because no applicable trigger remained
+    /// (as opposed to hitting the termination policy).
+    pub completed: bool,
+    /// The chase graph (empty when provenance recording is disabled).
+    pub graph: ChaseGraph,
+}
+
+/// The chase engine. Holds the program and configuration; each [`ChaseEngine::run`]
+/// call chases one database.
+#[derive(Debug, Clone)]
+pub struct ChaseEngine {
+    program: Program,
+    config: ChaseConfig,
+}
+
+impl ChaseEngine {
+    /// Creates an engine for the given program and configuration.
+    pub fn new(program: Program, config: ChaseConfig) -> ChaseEngine {
+        ChaseEngine { program, config }
+    }
+
+    /// The program being chased.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Runs the chase on a database.
+    pub fn run(&self, database: &Database) -> ChaseResult {
+        let mut instance = database.as_instance().clone();
+        let mut stats = ChaseStats::default();
+        let mut graph = ChaseGraph::new();
+        let mut null_counter: u64 = 0;
+        let mut null_depth: HashMap<NullId, usize> = HashMap::new();
+        // For the oblivious chase: remember fired triggers (tgd index + body image).
+        let mut fired: HashSet<(usize, Vec<Atom>)> = HashSet::new();
+        let mut completed = true;
+
+        loop {
+            if !self.config.policy.allows_step(stats.steps, stats.nulls_created) {
+                completed = false;
+                break;
+            }
+            let mut applied_this_round = false;
+
+            for (tgd_index, tgd) in self.program.iter() {
+                let triggers = homomorphisms(
+                    &tgd.body,
+                    &instance,
+                    &Substitution::new(),
+                    HomSearch::all(),
+                );
+                for trigger in triggers {
+                    stats.triggers_examined += 1;
+                    if !self.config.policy.allows_step(stats.steps, stats.nulls_created) {
+                        completed = false;
+                        break;
+                    }
+                    let premises = trigger.apply_atoms(&tgd.body);
+
+                    match self.config.variant {
+                        ChaseVariant::Oblivious => {
+                            let key = (tgd_index, premises.clone());
+                            if fired.contains(&key) {
+                                continue;
+                            }
+                            fired.insert(key);
+                        }
+                        ChaseVariant::Restricted => {
+                            // Skip if some extension of the trigger already
+                            // satisfies the head.
+                            let head_pattern = trigger.apply_atoms(&tgd.head);
+                            if !homomorphisms(
+                                &head_pattern,
+                                &instance,
+                                &Substitution::new(),
+                                HomSearch::first(),
+                            )
+                            .is_empty()
+                            {
+                                continue;
+                            }
+                        }
+                    }
+
+                    // Generation depth of the nulls this trigger would create:
+                    // one more than the deepest null among the frontier images.
+                    let premise_depth = premises
+                        .iter()
+                        .flat_map(|a| a.nulls())
+                        .map(|n| null_depth.get(&n).copied().unwrap_or(0))
+                        .max()
+                        .unwrap_or(0);
+                    let new_depth = premise_depth + 1;
+                    if !tgd.existential_variables().is_empty()
+                        && !self.config.policy.allows_null_depth(new_depth)
+                    {
+                        // Too deep: suppress this trigger (but keep chasing).
+                        completed = false;
+                        continue;
+                    }
+
+                    // Extend the trigger with fresh nulls for the existential
+                    // variables and add the head images.
+                    let mut extended = trigger.clone();
+                    for z in tgd.existential_variables() {
+                        let null = NullId(null_counter);
+                        null_counter += 1;
+                        stats.nulls_created += 1;
+                        null_depth.insert(null, new_depth);
+                        extended.bind_var(z, Term::Null(null));
+                    }
+                    let mut conclusions = Vec::new();
+                    for head_atom in &tgd.head {
+                        let atom = extended.apply_atom(head_atom);
+                        if instance
+                            .insert(atom.clone())
+                            .expect("head image is variable-free")
+                        {
+                            conclusions.push(atom);
+                        }
+                    }
+                    stats.steps += 1;
+                    applied_this_round = true;
+                    if self.config.record_provenance && !conclusions.is_empty() {
+                        graph.record(DerivationRecord {
+                            tgd_index,
+                            premises,
+                            conclusions,
+                        });
+                    }
+                }
+            }
+
+            if !applied_this_round {
+                break;
+            }
+        }
+
+        stats.final_atoms = instance.len();
+        stats.peak_atoms = instance.len();
+        ChaseResult {
+            instance,
+            stats,
+            completed,
+            graph,
+        }
+    }
+
+    /// Chases the database and evaluates the query over the result, returning
+    /// the certain answers (Proposition 2.1). Answers containing nulls are
+    /// discarded by CQ evaluation.
+    pub fn certain_answers(
+        &self,
+        database: &Database,
+        query: &ConjunctiveQuery,
+    ) -> BTreeSet<Vec<Symbol>> {
+        self.run(database).instance_answers(query)
+    }
+}
+
+impl ChaseResult {
+    /// Evaluates a query over the chased instance.
+    pub fn instance_answers(&self, query: &ConjunctiveQuery) -> BTreeSet<Vec<Symbol>> {
+        query.evaluate(&self.instance)
+    }
+
+    /// `true` for Boolean queries that hold in the chased instance.
+    pub fn boolean_answer(&self, query: &ConjunctiveQuery) -> bool {
+        query.holds_in(&self.instance)
+    }
+}
+
+/// One-shot convenience function: chases `database` under `program` with the
+/// given configuration and returns the certain answers to `query`.
+pub fn certain_answers(
+    program: &Program,
+    database: &Database,
+    query: &ConjunctiveQuery,
+    config: ChaseConfig,
+) -> BTreeSet<Vec<Symbol>> {
+    ChaseEngine::new(program.clone(), config).certain_answers(database, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::parser::{parse, parse_query, parse_rules};
+
+    fn run_chase(rules: &str, facts: &str, config: ChaseConfig) -> ChaseResult {
+        let program = parse_rules(rules).unwrap();
+        let db = parse(facts).unwrap().database;
+        ChaseEngine::new(program, config).run(&db)
+    }
+
+    #[test]
+    fn transitive_closure_terminates_and_is_complete() {
+        let result = run_chase(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
+            "edge(a, b). edge(b, c). edge(c, d).",
+            ChaseConfig::restricted(TerminationPolicy::Unbounded),
+        );
+        assert!(result.completed);
+        // 3 edges + 6 pairs of the transitive closure.
+        assert_eq!(result.instance.len(), 3 + 6);
+        assert!(result.instance.contains(&Atom::fact("t", &["a", "d"])));
+        assert_eq!(result.stats.nulls_created, 0);
+    }
+
+    #[test]
+    fn existential_rules_invent_nulls() {
+        let result = run_chase(
+            "r(X, Z) :- p(X).",
+            "p(a). p(b).",
+            ChaseConfig::restricted(TerminationPolicy::Unbounded),
+        );
+        assert!(result.completed);
+        assert_eq!(result.stats.nulls_created, 2);
+        assert_eq!(result.instance.len(), 4);
+    }
+
+    #[test]
+    fn restricted_chase_does_not_refire_satisfied_heads() {
+        // Once r(a, ⊥) exists the restricted chase must not create another
+        // null for the same p(a).
+        let result = run_chase(
+            "r(X, Z) :- p(X).",
+            "p(a).",
+            ChaseConfig::restricted(TerminationPolicy::MaxSteps(100)),
+        );
+        assert!(result.completed);
+        assert_eq!(result.stats.nulls_created, 1);
+    }
+
+    #[test]
+    fn infinite_chase_is_cut_by_null_depth_policy() {
+        // P(x) → ∃z R(x,z); R(x,y) → P(y): the restricted chase runs forever,
+        // the depth bound stops it.
+        let result = run_chase(
+            "r(X, Z) :- p(X).\n p(Y) :- r(X, Y).",
+            "p(a).",
+            ChaseConfig::restricted(TerminationPolicy::MaxNullDepth(3)),
+        );
+        assert!(!result.completed);
+        assert!(result.stats.nulls_created <= 4);
+        assert!(result.instance.len() >= 4);
+    }
+
+    #[test]
+    fn infinite_chase_is_cut_by_step_policy() {
+        let result = run_chase(
+            "r(X, Z) :- p(X).\n p(Y) :- r(X, Y).",
+            "p(a).",
+            ChaseConfig::restricted(TerminationPolicy::MaxSteps(10)),
+        );
+        assert!(!result.completed);
+        assert!(result.stats.steps <= 10);
+    }
+
+    #[test]
+    fn oblivious_chase_fires_triggers_once() {
+        let result = run_chase(
+            "t(X, Y) :- edge(X, Y).",
+            "edge(a, b). edge(b, c).",
+            ChaseConfig::oblivious(TerminationPolicy::Unbounded),
+        );
+        assert!(result.completed);
+        assert_eq!(result.stats.steps, 2);
+        assert_eq!(result.instance.len(), 4);
+    }
+
+    #[test]
+    fn certain_answers_match_proposition_2_1() {
+        let program = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        let db = parse("edge(a, b). edge(b, c).").unwrap().database;
+        let query = parse_query("?(X, Y) :- t(X, Y).").unwrap();
+        let answers = certain_answers(
+            &program,
+            &db,
+            &query,
+            ChaseConfig::restricted(TerminationPolicy::Unbounded),
+        );
+        assert_eq!(answers.len(), 3);
+        assert!(answers.contains(&vec![Symbol::new("a"), Symbol::new("c")]));
+    }
+
+    #[test]
+    fn answers_never_contain_nulls() {
+        let program = parse_rules("r(X, Z) :- p(X).").unwrap();
+        let db = parse("p(a).").unwrap().database;
+        let q_out = parse_query("?(X, Z) :- r(X, Z).").unwrap();
+        let answers = certain_answers(
+            &program,
+            &db,
+            &q_out,
+            ChaseConfig::restricted(TerminationPolicy::Unbounded),
+        );
+        assert!(answers.is_empty());
+        // The Boolean projection holds, though.
+        let q_bool = parse_query("? :- r(X, Z).").unwrap();
+        let engine = ChaseEngine::new(
+            program,
+            ChaseConfig::restricted(TerminationPolicy::Unbounded),
+        );
+        assert!(engine.run(&db).boolean_answer(&q_bool));
+    }
+
+    #[test]
+    fn provenance_tracks_derivations() {
+        let result = run_chase(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
+            "edge(a, b). edge(b, c).",
+            ChaseConfig::restricted(TerminationPolicy::Unbounded),
+        );
+        let t_ac = Atom::fact("t", &["a", "c"]);
+        let record = result.graph.derivation_of(&t_ac).expect("t(a,c) derived");
+        assert_eq!(record.tgd_index, 1);
+        assert!(result.graph.depth_of(&t_ac) >= 2);
+    }
+
+    #[test]
+    fn owl_example_chase_produces_expected_inferences() {
+        let rules = "subclassStar(X, Y) :- subclass(X, Y).\n\
+             subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).\n\
+             type(X, Z) :- type(X, Y), subclassStar(Y, Z).\n\
+             triple(X, Z, W) :- type(X, Y), restriction(Y, Z).\n\
+             triple(Z, W, X) :- triple(X, Y, Z), inverse(Y, W).\n\
+             type(X, W) :- triple(X, Y, Z), restriction(W, Y).";
+        let facts = "subclass(student, person). subclass(person, agent).\n\
+             type(alice, student). type(alice, enrolled).\n\
+             restriction(enrolled, hasCourse). inverse(hasCourse, courseOf).";
+        let program = parse_rules(rules).unwrap();
+        let db = parse(facts).unwrap().database;
+        let engine = ChaseEngine::new(
+            program,
+            ChaseConfig::restricted(TerminationPolicy::MaxNullDepth(4)),
+        );
+        let result = engine.run(&db);
+        // Subclass closure and type propagation.
+        assert!(result
+            .instance
+            .contains(&Atom::fact("subclassStar", &["student", "agent"])));
+        assert!(result
+            .instance
+            .contains(&Atom::fact("type", &["alice", "person"])));
+        assert!(result
+            .instance
+            .contains(&Atom::fact("type", &["alice", "agent"])));
+        // alice gets a triple for the restriction of enrolled, and the inverse
+        // rule produces a reversed triple over the invented null.
+        let q = parse_query("? :- triple(alice, hasCourse, C).").unwrap();
+        assert!(result.boolean_answer(&q));
+        let q_inv = parse_query("? :- triple(C, courseOf, alice).").unwrap();
+        assert!(result.boolean_answer(&q_inv));
+    }
+}

@@ -1,0 +1,82 @@
+//! Termination policies for the chase.
+//!
+//! Warded TGDs admit infinite chases (value invention can go on forever), so
+//! any practical engine must decide when to stop. The policies here mirror
+//! the controls discussed in Section 7: a hard bound on steps or nulls, and a
+//! bound on the *generation depth* of labelled nulls, i.e. how many
+//! existential rule firings separate a null from the database constants. For
+//! warded programs a depth bound that depends only on the query suffices to
+//! answer that query correctly, which is exactly the intuition the
+//! proof-tree node-width bounds make precise.
+
+/// A policy deciding when the chase must stop even though triggers remain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminationPolicy {
+    /// Run until no trigger is applicable (may not terminate for programs
+    /// with recursive value invention).
+    Unbounded,
+    /// Stop after the given number of chase steps (applied triggers).
+    MaxSteps(usize),
+    /// Stop once the given number of labelled nulls has been invented.
+    MaxNulls(usize),
+    /// Ignore triggers whose firing would create a null of generation depth
+    /// greater than the bound. The chase still runs to completion on the
+    /// remaining triggers, so Datalog-style recursion is unaffected.
+    MaxNullDepth(usize),
+}
+
+impl Default for TerminationPolicy {
+    fn default() -> Self {
+        TerminationPolicy::MaxSteps(1_000_000)
+    }
+}
+
+impl TerminationPolicy {
+    /// `true` iff the policy permits another chase step given the current
+    /// counters.
+    pub fn allows_step(&self, steps: usize, nulls: usize) -> bool {
+        match self {
+            TerminationPolicy::Unbounded | TerminationPolicy::MaxNullDepth(_) => true,
+            TerminationPolicy::MaxSteps(max) => steps < *max,
+            TerminationPolicy::MaxNulls(max) => nulls < *max,
+        }
+    }
+
+    /// `true` iff a trigger creating nulls of the given generation depth may
+    /// fire.
+    pub fn allows_null_depth(&self, depth: usize) -> bool {
+        match self {
+            TerminationPolicy::MaxNullDepth(max) => depth <= *max,
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_always_allows() {
+        let p = TerminationPolicy::Unbounded;
+        assert!(p.allows_step(10_000_000, 10_000_000));
+        assert!(p.allows_null_depth(10_000_000));
+    }
+
+    #[test]
+    fn step_and_null_bounds() {
+        assert!(TerminationPolicy::MaxSteps(10).allows_step(9, 0));
+        assert!(!TerminationPolicy::MaxSteps(10).allows_step(10, 0));
+        assert!(TerminationPolicy::MaxNulls(5).allows_step(100, 4));
+        assert!(!TerminationPolicy::MaxNulls(5).allows_step(100, 5));
+    }
+
+    #[test]
+    fn depth_bound_only_restricts_deep_triggers() {
+        let p = TerminationPolicy::MaxNullDepth(2);
+        assert!(p.allows_step(usize::MAX - 1, usize::MAX - 1));
+        assert!(p.allows_null_depth(0));
+        assert!(p.allows_null_depth(2));
+        assert!(!p.allows_null_depth(3));
+    }
+}

@@ -1,0 +1,343 @@
+//! The alternating-style decision procedure for `CQAns(WARD)`
+//! (re-establishing Proposition 3.2 via Theorem 4.9).
+//!
+//! For arbitrary warded programs proof trees need not be linear: a
+//! decomposition step may split the current CQ into several subqueries that
+//! are processed independently (universal branching). The procedure below
+//! mirrors the paper's alternating algorithm: existential choices (which
+//! resolution or match-and-drop step to take) are explored by backtracking,
+//! and universal choices (the components of a decomposition) must all
+//! succeed. The node-width of every state is bounded by `f_{WARD}(q, Σ)`.
+//!
+//! Proven states are memoised globally; states on the current call path are
+//! treated as failing to keep the recursion well-founded (a proof that needs
+//! itself is no proof).
+
+use crate::bounds::node_width_bound_ward;
+use crate::resolution::{chunk_resolvents, CqState};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use vadalog_model::{
+    exists_homomorphism, homomorphisms, Atom, ConjunctiveQuery, Database, HomSearch, Predicate,
+    Program, Substitution, Variable,
+};
+
+/// Dead-branch pruning shared with the linear search: an extensional atom with
+/// no database match can never be discharged (extensional predicates never
+/// occur in rule heads), so the whole state is unprovable.
+fn has_dead_extensional_atom(
+    state: &CqState,
+    edb: &BTreeSet<Predicate>,
+    database: &Database,
+) -> bool {
+    state.atoms().iter().any(|atom| {
+        edb.contains(&atom.predicate)
+            && !exists_homomorphism(
+                std::slice::from_ref(atom),
+                database.as_instance(),
+                &Substitution::new(),
+            )
+    })
+}
+
+/// Options for the alternating search.
+#[derive(Debug, Clone, Copy)]
+pub struct AlternatingOptions {
+    /// Override for the node-width bound; `None` uses `f_{WARD}(q, Σ)`.
+    pub node_width: Option<usize>,
+    /// Cap on the total number of recursive expansions.
+    pub max_expansions: usize,
+}
+
+impl Default for AlternatingOptions {
+    fn default() -> Self {
+        AlternatingOptions {
+            node_width: None,
+            max_expansions: 500_000,
+        }
+    }
+}
+
+/// The outcome of the alternating search.
+#[derive(Debug, Clone, Copy)]
+pub struct AlternatingOutcome {
+    /// `true` iff the tuple was shown to be a certain answer.
+    pub accepted: bool,
+    /// `true` iff the expansion cap was hit (the negative answer is then
+    /// inconclusive).
+    pub budget_exhausted: bool,
+    /// Number of state expansions performed.
+    pub expansions: usize,
+    /// Largest state encountered.
+    pub max_state_size: usize,
+}
+
+struct Searcher<'a> {
+    program: &'a Program,
+    database: &'a Database,
+    edb: BTreeSet<Predicate>,
+    bound: usize,
+    proven: HashSet<CqState>,
+    /// States that were fully explored (no path-cut involved) and failed.
+    disproven: HashSet<CqState>,
+    expansions: usize,
+    max_expansions: usize,
+    max_state_size: usize,
+    budget_exhausted: bool,
+    /// Number of times the path check cut a branch; used to decide whether a
+    /// failure is definitive and may be cached in `disproven`.
+    path_cuts: usize,
+}
+
+/// Decides whether the (already instantiated, Boolean) query is a certain
+/// answer under an arbitrary warded program.
+pub fn alternating_certain_answer(
+    program: &Program,
+    database: &Database,
+    boolean_query: &ConjunctiveQuery,
+    options: AlternatingOptions,
+) -> AlternatingOutcome {
+    let bound = options
+        .node_width
+        .unwrap_or_else(|| node_width_bound_ward(boolean_query, program))
+        .max(boolean_query.size());
+    let mut searcher = Searcher {
+        program,
+        database,
+        edb: program.extensional_predicates(),
+        bound,
+        proven: HashSet::new(),
+        disproven: HashSet::new(),
+        expansions: 0,
+        max_expansions: options.max_expansions,
+        max_state_size: 0,
+        budget_exhausted: false,
+        path_cuts: 0,
+    };
+    let initial = CqState::new(boolean_query.atoms.clone());
+    let mut path = HashSet::new();
+    let accepted = searcher.provable(&initial, &mut path);
+    AlternatingOutcome {
+        accepted,
+        budget_exhausted: searcher.budget_exhausted,
+        expansions: searcher.expansions,
+        max_state_size: searcher.max_state_size,
+    }
+}
+
+impl<'a> Searcher<'a> {
+    fn provable(&mut self, state: &CqState, path: &mut HashSet<CqState>) -> bool {
+        if self.proven.contains(state) {
+            return true;
+        }
+        if self.disproven.contains(state) {
+            return false;
+        }
+        if path.contains(state) {
+            // A proof may not depend on itself.
+            self.path_cuts += 1;
+            return false;
+        }
+        if self.expansions >= self.max_expansions {
+            self.budget_exhausted = true;
+            return false;
+        }
+        if has_dead_extensional_atom(state, &self.edb, self.database) {
+            self.disproven.insert(state.clone());
+            return false;
+        }
+        self.expansions += 1;
+        self.max_state_size = self.max_state_size.max(state.size());
+
+        // Acceptance: the state embeds into the database.
+        if exists_homomorphism(state.atoms(), self.database.as_instance(), &Substitution::new()) {
+            self.proven.insert(state.clone());
+            return true;
+        }
+
+        path.insert(state.clone());
+        let cuts_before = self.path_cuts;
+        let result = self.expand(state, path);
+        path.remove(state);
+        if result {
+            self.proven.insert(state.clone());
+        } else if self.path_cuts == cuts_before && !self.budget_exhausted {
+            // The failure did not rely on cutting a cycle through the current
+            // path, so it is definitive and can be cached.
+            self.disproven.insert(state.clone());
+        }
+        result
+    }
+
+    fn expand(&mut self, state: &CqState, path: &mut HashSet<CqState>) -> bool {
+        // Universal branching: if the state splits into variable-disjoint
+        // components, each component must be provable on its own. This is the
+        // decomposition step of Definition 4.6 (constants may be shared, only
+        // variables tie atoms together).
+        let components = variable_components(state.atoms());
+        if components.len() > 1 {
+            return components
+                .into_iter()
+                .all(|component| self.provable(&CqState::new(component), path));
+        }
+
+        // Existential branching: resolution steps.
+        for resolvent in chunk_resolvents(state, self.program) {
+            if resolvent.state.size() > self.bound {
+                continue;
+            }
+            if self.provable(&resolvent.state, path) {
+                return true;
+            }
+        }
+
+        // Existential branching: match-and-drop steps.
+        for (index, atom) in state.atoms().iter().enumerate() {
+            let single = [atom.clone()];
+            for h in homomorphisms(
+                &single,
+                self.database.as_instance(),
+                &Substitution::new(),
+                HomSearch::all(),
+            ) {
+                let successor = state.drop_atom(index, &h);
+                if self.provable(&successor, path) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Splits a set of atoms into connected components under the
+/// "shares a variable" relation.
+fn variable_components(atoms: &[Atom]) -> Vec<Vec<Atom>> {
+    let n = atoms.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    let mut by_var: BTreeMap<Variable, Vec<usize>> = BTreeMap::new();
+    for (i, atom) in atoms.iter().enumerate() {
+        for v in atom.variables() {
+            by_var.entry(v).or_default().push(i);
+        }
+    }
+    for indexes in by_var.values() {
+        for w in indexes.windows(2) {
+            let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            if a != b {
+                parent[a] = b;
+            }
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<Atom>> = BTreeMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(atoms[i].clone());
+    }
+    let components: Vec<Vec<Atom>> = groups.into_values().collect();
+    if components.is_empty() {
+        vec![Vec::new()]
+    } else {
+        components
+    }
+}
+
+/// Variables shared between at least two atoms (exposed for tests).
+#[allow(dead_code)]
+fn shared_variables(atoms: &[Atom]) -> BTreeSet<Variable> {
+    let mut counts: BTreeMap<Variable, usize> = BTreeMap::new();
+    for atom in atoms {
+        for v in atom.variables() {
+            *counts.entry(v).or_default() += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|(_, c)| *c > 1)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_analysis::normalize::normalize_single_head;
+    use vadalog_model::parser::{parse, parse_query, parse_rules};
+    use vadalog_model::Symbol;
+
+    fn decide(rules: &str, facts: &str, query: &str, tuple: &[&str]) -> AlternatingOutcome {
+        let program = normalize_single_head(&parse_rules(rules).unwrap())
+            .unwrap()
+            .program;
+        let database = parse(facts).unwrap().database;
+        let q = parse_query(query).unwrap();
+        let symbols: Vec<Symbol> = tuple.iter().map(|s| Symbol::new(s)).collect();
+        let boolean = q.instantiate(&symbols).expect("arity matches");
+        alternating_certain_answer(&program, &database, &boolean, AlternatingOptions::default())
+    }
+
+    #[test]
+    fn handles_non_pwl_recursion() {
+        // Non-linear transitive closure is warded but not PWL: the alternating
+        // procedure must still answer correctly.
+        let rules = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).";
+        let facts = "edge(a, b). edge(b, c). edge(c, d).";
+        let query = "?(X, Y) :- t(X, Y).";
+        assert!(decide(rules, facts, query, &["a", "d"]).accepted);
+        assert!(!decide(rules, facts, query, &["d", "a"]).accepted);
+    }
+
+    #[test]
+    fn decomposition_splits_disconnected_queries() {
+        let rules = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).";
+        let facts = "edge(a, b). edge(b, c). edge(x, y).";
+        // Two independent reachability questions in one Boolean query.
+        let outcome = decide(rules, facts, "? :- t(a, c), t(x, y).", &[]);
+        assert!(outcome.accepted);
+        let negative = decide(rules, facts, "? :- t(a, c), t(y, x).", &[]);
+        assert!(!negative.accepted);
+    }
+
+    #[test]
+    fn existentials_are_supported() {
+        let rules = "r(X, Z) :- p(X).\n p(Y) :- r(X, Y).";
+        let facts = "p(a).";
+        assert!(decide(rules, facts, "? :- r(a, Y), r(Y, W).", &[]).accepted);
+        assert!(!decide(rules, facts, "?(Y) :- r(a, Y).", &["a"]).accepted);
+    }
+
+    #[test]
+    fn same_generation_style_program() {
+        // A classic warded-but-not-PWL program evaluated on a small tree.
+        let rules = "sg(X, Y) :- flat(X, Y).\n sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).";
+        let facts = "up(a, p). up(b, p). flat(p, p). down(p, a). down(p, b).";
+        let query = "?(X, Y) :- sg(X, Y).";
+        assert!(decide(rules, facts, query, &["a", "b"]).accepted);
+        assert!(decide(rules, facts, query, &["a", "a"]).accepted);
+        assert!(!decide(rules, facts, query, &["p", "a"]).accepted);
+    }
+
+    #[test]
+    fn variable_components_group_by_shared_variables() {
+        let atoms = vec![
+            Atom::new("r", vec![vadalog_model::Term::variable("X"), vadalog_model::Term::variable("Y")]),
+            Atom::new("s", vec![vadalog_model::Term::variable("Y")]),
+            Atom::new("t", vec![vadalog_model::Term::variable("Z")]),
+            Atom::new("u", vec![vadalog_model::Term::constant("c")]),
+        ];
+        let components = variable_components(&atoms);
+        assert_eq!(components.len(), 3);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = components.iter().map(|c| c.len()).collect();
+            s.sort();
+            s
+        };
+        assert_eq!(sizes, vec![1, 1, 2]);
+    }
+}

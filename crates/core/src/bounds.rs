@@ -1,0 +1,64 @@
+//! The node-width bounds of Theorems 4.8 and 4.9.
+//!
+//! * `f_{WARD∩PWL}(q, Σ) = (|q| + 1) · max_P ℓΣ(P) · max_σ |body(σ)|`
+//! * `f_{WARD}(q, Σ)      = 2 · max(|q|, max_σ |body(σ)|)`
+//!
+//! These polynomials bound the size of the conjunctive queries that the
+//! space-bounded algorithms ever need to hold in memory, which is the formal
+//! source of the NLogSpace / PSpace upper bounds.
+
+use vadalog_analysis::levels::PredicateLevels;
+use vadalog_analysis::predicate_graph::PredicateGraph;
+use vadalog_model::{ConjunctiveQuery, Program};
+
+/// Computes `f_{WARD∩PWL}(q, Σ)`.
+pub fn node_width_bound_ward_pwl(query: &ConjunctiveQuery, program: &Program) -> usize {
+    let graph = PredicateGraph::new(program);
+    let levels = PredicateLevels::compute(program, &graph);
+    let max_body = program.max_body_size().max(1);
+    (query.size() + 1) * levels.max_level() * max_body
+}
+
+/// Computes `f_{WARD}(q, Σ)`.
+pub fn node_width_bound_ward(query: &ConjunctiveQuery, program: &Program) -> usize {
+    2 * query.size().max(program.max_body_size()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::parser::{parse_query, parse_rules};
+
+    #[test]
+    fn pwl_bound_grows_with_query_levels_and_body_size() {
+        let program = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        let q = parse_query("?(X, Y) :- t(X, Y).").unwrap();
+        // |q| = 1, max level = 2 (edge=1, t=2), max body = 2.
+        assert_eq!(node_width_bound_ward_pwl(&q, &program), (1 + 1) * 2 * 2);
+        let q2 = parse_query("?(X, Z) :- t(X, Y), t(Y, Z).").unwrap();
+        assert_eq!(node_width_bound_ward_pwl(&q2, &program), (2 + 1) * 2 * 2);
+    }
+
+    #[test]
+    fn ward_bound_is_twice_the_larger_of_query_and_body() {
+        let program = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- e(X, Y), e2(Y, W), t(W, Z).",
+        )
+        .unwrap();
+        let q = parse_query("?(X, Y) :- t(X, Y).").unwrap();
+        assert_eq!(node_width_bound_ward(&q, &program), 2 * 3);
+        let q_big = parse_query("? :- t(A, B), t(B, C), t(C, D), t(D, E).").unwrap();
+        assert_eq!(node_width_bound_ward(&q_big, &program), 2 * 4);
+    }
+
+    #[test]
+    fn bounds_are_positive_even_for_degenerate_inputs() {
+        let program = Program::new();
+        let q = parse_query("? :- edge(X, Y).").unwrap();
+        assert!(node_width_bound_ward_pwl(&q, &program) >= 1);
+        assert!(node_width_bound_ward(&q, &program) >= 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! The space-efficient core of Vadalog: proof-tree based query answering for
+//! (piece-wise linear) warded sets of TGDs.
+//!
+//! This crate implements the paper's primary contribution (Sections 4 and 6):
+//!
+//! * **chunk-based resolution** — most general chunk unifiers (MGCUs) and
+//!   σ-resolvents ([`resolution`]);
+//! * the **node-width bounds** `f_{WARD∩PWL}` and `f_{WARD}` of
+//!   Theorems 4.8/4.9 ([`bounds`]);
+//! * the **space-bounded decision procedure** for
+//!   `CQAns(WARD ∩ PWL)` — a deterministic, memoised simulation of the
+//!   non-deterministic algorithm of Section 4.3 that explores linear proof
+//!   trees level by level ([`search`]);
+//! * the **alternating-style procedure** for `CQAns(WARD)` that explores
+//!   branching proof trees of bounded node-width ([`alternating`]);
+//! * the **rewriting into piece-wise linear Datalog** behind the
+//!   expressiveness result of Theorem 6.3 ([`rewrite`]);
+//! * a high-level [`answer::CertainAnswerEngine`] that normalises a program,
+//!   analyses it, picks the appropriate procedure and exposes both the
+//!   decision problem (`is c̄ a certain answer?`) and answer enumeration;
+//! * [`metrics::SpaceMeter`] — the peak-working-set instrumentation used by
+//!   the space-efficiency experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alternating;
+pub mod answer;
+pub mod bounds;
+pub mod metrics;
+pub mod resolution;
+pub mod rewrite;
+pub mod search;
+
+pub use alternating::{alternating_certain_answer, AlternatingOptions, AlternatingOutcome};
+pub use answer::{CertainAnswerEngine, EngineOptions, Strategy};
+pub use bounds::{node_width_bound_ward, node_width_bound_ward_pwl};
+pub use metrics::SpaceMeter;
+pub use resolution::{chunk_resolvents, mgcus, CqState, Resolvent};
+pub use rewrite::{rewrite_to_pwl_datalog, RewriteOptions, RewrittenQuery};
+pub use search::{linear_proof_search, SearchOptions, SearchOutcome, SearchStats};

@@ -1,0 +1,404 @@
+//! Chunk-based resolution (Definition 4.3) and canonical CQ states.
+//!
+//! The decision procedures of Section 4.3 manipulate Boolean conjunctive
+//! queries whose output variables have already been instantiated with
+//! constants. A [`CqState`] is such a query in *canonical form*: variables
+//! are renamed `V0, V1, …` in order of first occurrence and atoms are sorted,
+//! so that two states that differ only in variable names (which resolution
+//! produces all the time) are recognised as equal and the search space stays
+//! finite.
+//!
+//! [`mgcus`] enumerates the most general chunk unifiers of a state with a
+//! (single-head) TGD, enforcing the two conditions of the paper: existential
+//! variables of the TGD must not unify with constants, and they may only
+//! unify with query variables that occur exclusively inside the resolved
+//! chunk (non-shared variables). [`chunk_resolvents`] applies them to produce
+//! σ-resolvents.
+
+use std::collections::{BTreeMap, BTreeSet};
+use vadalog_model::{unify_all_with, Atom, Program, Substitution, Term, Tgd, Variable};
+
+/// A Boolean conjunctive query in canonical form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CqState {
+    atoms: Vec<Atom>,
+}
+
+impl CqState {
+    /// Creates a state from atoms, canonicalising variable names and atom
+    /// order.
+    pub fn new(atoms: Vec<Atom>) -> CqState {
+        CqState {
+            atoms: canonicalize(atoms),
+        }
+    }
+
+    /// The atoms of the state.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of atoms (the node-width contribution of this state).
+    pub fn size(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// `true` iff the state has no atoms left (a fully resolved proof branch).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The distinct variables of the state.
+    pub fn variables(&self) -> BTreeSet<Variable> {
+        self.atoms.iter().flat_map(|a| a.variables()).collect()
+    }
+
+    /// Removes the atom at `index` and applies `subst` to the remainder,
+    /// returning the canonicalised successor state. This is the
+    /// "match-and-drop" step: the dropped atom has been matched against the
+    /// database and the grounding it induced is propagated to the rest.
+    pub fn drop_atom(&self, index: usize, subst: &Substitution) -> CqState {
+        let remaining: Vec<Atom> = self
+            .atoms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != index)
+            .map(|(_, a)| subst.apply_atom(a))
+            .collect();
+        CqState::new(remaining)
+    }
+}
+
+impl std::fmt::Display for CqState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "⊤");
+        }
+        let parts: Vec<String> = self.atoms.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+/// Canonicalises a list of atoms: variables are renamed in order of first
+/// occurrence after a name-independent sort, and the atoms are then sorted.
+fn canonicalize(mut atoms: Vec<Atom>) -> Vec<Atom> {
+    // Sort by a key that ignores variable identity but keeps the pattern of
+    // repeated variables within each atom.
+    atoms.sort_by_key(shape_key);
+    // Rename variables in order of first occurrence.
+    let mut mapping: BTreeMap<Variable, Variable> = BTreeMap::new();
+    let mut counter = 0usize;
+    let mut renamed: Vec<Atom> = atoms
+        .iter()
+        .map(|a| {
+            let terms = a
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => {
+                        let fresh = *mapping.entry(*v).or_insert_with(|| {
+                            let name = format!("V{counter}");
+                            counter += 1;
+                            Variable::new(&name)
+                        });
+                        Term::Var(fresh)
+                    }
+                    other => *other,
+                })
+                .collect();
+            Atom {
+                predicate: a.predicate,
+                terms,
+            }
+        })
+        .collect();
+    renamed.sort();
+    renamed.dedup();
+    renamed
+}
+
+/// A name-independent sort key: predicate, arity, and for each argument a tag
+/// for constants (with the constant), nulls, or the index of the first
+/// occurrence of the variable within the atom.
+fn shape_key(atom: &Atom) -> (String, usize, Vec<(u8, String)>) {
+    let mut first_seen: BTreeMap<Variable, usize> = BTreeMap::new();
+    let args = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => (0u8, c.as_str().to_string()),
+            Term::Null(n) => (1u8, n.0.to_string()),
+            Term::Var(v) => {
+                let next = first_seen.len();
+                let idx = *first_seen.entry(*v).or_insert(next);
+                (2u8, idx.to_string())
+            }
+        })
+        .collect();
+    (atom.predicate.name().to_string(), atom.arity(), args)
+}
+
+/// A most general chunk unifier of a state with a TGD: the chunk `S₁` (indexes
+/// into the state's atoms) and the unifier γ.
+#[derive(Debug, Clone)]
+pub struct Mgcu {
+    /// Indexes of the state atoms forming the chunk S₁.
+    pub chunk: Vec<usize>,
+    /// The unifier γ.
+    pub unifier: Substitution,
+}
+
+/// A σ-resolvent of a state together with the TGD that produced it.
+#[derive(Debug, Clone)]
+pub struct Resolvent {
+    /// The resolvent state (canonicalised).
+    pub state: CqState,
+    /// Index of the TGD used.
+    pub tgd_index: usize,
+    /// Size of the chunk that was resolved.
+    pub chunk_size: usize,
+}
+
+/// Enumerates the most general chunk unifiers of `state` with the single-head
+/// TGD `tgd`. The TGD must already have variables disjoint from the state
+/// (use [`Tgd::rename_apart`]).
+pub fn mgcus(state: &CqState, tgd: &Tgd) -> Vec<Mgcu> {
+    assert_eq!(
+        tgd.head.len(),
+        1,
+        "chunk-based resolution requires single-head TGDs (normalise first)"
+    );
+    let head = &tgd.head[0];
+    let existentials = tgd.existential_variables();
+
+    // Candidate atoms: same predicate and arity as the head.
+    let candidates: Vec<usize> = state
+        .atoms()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.predicate == head.predicate && a.arity() == head.arity())
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+
+    let mut out = Vec::new();
+    // Enumerate non-empty subsets of the candidates. Chunks larger than one
+    // atom are only useful when atoms actually share existential-variable
+    // images, which keeps the practical subset sizes tiny; the candidate list
+    // is already bounded by the node width.
+    let n = candidates.len();
+    for mask in 1u64..(1u64 << n.min(16)) {
+        let chunk: Vec<usize> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| candidates[i])
+            .collect();
+        let chunk_atoms: Vec<Atom> = chunk.iter().map(|&i| state.atoms()[i].clone()).collect();
+        let gamma = match unify_all_with(&chunk_atoms, head) {
+            Some(g) => g,
+            None => continue,
+        };
+        if chunk_conditions_hold(state, &chunk, &gamma, &existentials) {
+            out.push(Mgcu {
+                chunk,
+                unifier: gamma,
+            });
+        }
+    }
+    out
+}
+
+/// Checks the two MGCU side conditions for the existential variables of the
+/// TGD.
+fn chunk_conditions_hold(
+    state: &CqState,
+    chunk: &[usize],
+    gamma: &Substitution,
+    existentials: &BTreeSet<Variable>,
+) -> bool {
+    let chunk_set: BTreeSet<usize> = chunk.iter().copied().collect();
+    // Variables of the state occurring outside the chunk are "shared".
+    let outside_vars: BTreeSet<Variable> = state
+        .atoms()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !chunk_set.contains(i))
+        .flat_map(|(_, a)| a.variables())
+        .collect();
+    let chunk_vars: BTreeSet<Variable> = chunk
+        .iter()
+        .flat_map(|&i| state.atoms()[i].variables())
+        .collect();
+
+    for x in existentials {
+        let image = gamma.apply_term(&Term::Var(*x));
+        // Condition (1): γ(x) is not a constant.
+        if image.is_const() || image.is_null() {
+            return false;
+        }
+        // Condition (2): every state variable with the same image must occur
+        // in the chunk and be non-shared.
+        for y in state.variables() {
+            if gamma.apply_term(&Term::Var(y)) == image {
+                if !chunk_vars.contains(&y) || outside_vars.contains(&y) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Computes all σ-resolvents of a state with respect to every TGD of the
+/// (single-head) program.
+pub fn chunk_resolvents(state: &CqState, program: &Program) -> Vec<Resolvent> {
+    let mut out = Vec::new();
+    for (tgd_index, tgd) in program.iter() {
+        // Rename the TGD apart from the canonical state variables (which are
+        // all named `V<n>`): the suffix guarantees disjointness.
+        let renamed = tgd.rename_apart(&format!("r{tgd_index}"));
+        for mgcu in mgcus(state, &renamed) {
+            let chunk_set: BTreeSet<usize> = mgcu.chunk.iter().copied().collect();
+            let mut atoms: Vec<Atom> = state
+                .atoms()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !chunk_set.contains(i))
+                .map(|(_, a)| mgcu.unifier.apply_atom(a))
+                .collect();
+            atoms.extend(mgcu.unifier.apply_atoms(&renamed.body));
+            out.push(Resolvent {
+                state: CqState::new(atoms),
+                tgd_index,
+                chunk_size: mgcu.chunk.len(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::parser::{parse_query, parse_rules};
+
+    fn state_of(query: &str) -> CqState {
+        let q = parse_query(query).unwrap();
+        CqState::new(q.atoms)
+    }
+
+    #[test]
+    fn canonical_form_identifies_renamed_states() {
+        let a = state_of("? :- edge(X, Y), t(Y, Z).");
+        let b = state_of("? :- t(B, C), edge(A, B).");
+        assert_eq!(a, b);
+        let c = state_of("? :- edge(X, X), t(X, Z).");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn canonical_form_deduplicates_atoms() {
+        let s = state_of("? :- edge(X, Y), edge(X, Y).");
+        assert_eq!(s.size(), 1);
+    }
+
+    #[test]
+    fn simple_resolution_against_a_datalog_rule() {
+        // Query t(a, V); rule t(X, Z) :- edge(X, Y), t(Y, Z).
+        let program = parse_rules("t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
+        let state = state_of("? :- t(a, V).");
+        let resolvents = chunk_resolvents(&state, &program);
+        assert_eq!(resolvents.len(), 1);
+        let r = &resolvents[0];
+        assert_eq!(r.state.size(), 2);
+        // The constant a must survive into the edge atom.
+        assert!(r
+            .state
+            .atoms()
+            .iter()
+            .any(|a| a.predicate.name() == "edge" && a.terms[0] == Term::constant("a")));
+    }
+
+    #[test]
+    fn existential_variables_must_not_unify_with_constants() {
+        // Rule p(X) → ∃Z r(X, Z): the resolvent of r(a, b) is blocked because
+        // Z would have to become the constant b.
+        let program = parse_rules("r(X, Z) :- p(X).").unwrap();
+        let state = state_of("? :- r(a, b).");
+        assert!(chunk_resolvents(&state, &program).is_empty());
+    }
+
+    #[test]
+    fn existential_variables_must_not_unify_with_shared_variables() {
+        // The paper's own example: Q(x) ← R(x, y), S(y) cannot resolve R(x, y)
+        // with P(x') → ∃y' R(x', y') because y is shared with S(y).
+        let program = parse_rules("r(X, Y) :- p(X).").unwrap();
+        let state = state_of("? :- r(X, Y), s(Y).");
+        let resolvents = chunk_resolvents(&state, &program);
+        assert!(resolvents.is_empty());
+    }
+
+    #[test]
+    fn non_shared_variables_can_absorb_existentials() {
+        // Q(x) ← R(x, y) resolves fine: y is not shared.
+        let program = parse_rules("r(X, Y) :- p(X).").unwrap();
+        let state = state_of("? :- r(X, Y).");
+        let resolvents = chunk_resolvents(&state, &program);
+        assert_eq!(resolvents.len(), 1);
+        assert_eq!(resolvents[0].state.size(), 1);
+        assert_eq!(resolvents[0].state.atoms()[0].predicate.name(), "p");
+    }
+
+    #[test]
+    fn chunks_with_two_atoms_resolve_as_a_whole() {
+        // The paper's example: R(x,y), S(y) resolved against
+        // P(x') → ∃y' (R(x',y'), S(y')) — after single-head normalisation this
+        // becomes a two-step resolution through the auxiliary predicate, so we
+        // test the chunk mechanics directly on a single-head rule with a
+        // repeated existential position: query r(X, Y), r(Z, Y) against
+        // p(W) → ∃V r(W, V): both query atoms must be resolved together.
+        let program = parse_rules("r(W, V) :- p(W).").unwrap();
+        let state = state_of("? :- r(X, Y), r(Z, Y).");
+        let resolvents = chunk_resolvents(&state, &program);
+        // The only admissible MGCU takes both atoms (the shared Y forbids
+        // resolving either atom alone), unifying X with Z.
+        assert_eq!(resolvents.len(), 1);
+        assert_eq!(resolvents[0].chunk_size, 2);
+        assert_eq!(resolvents[0].state.size(), 1);
+        assert_eq!(resolvents[0].state.atoms()[0].predicate.name(), "p");
+    }
+
+    #[test]
+    fn drop_atom_applies_the_grounding_to_the_remainder() {
+        let state = state_of("? :- edge(X, Y), t(Y, Z).");
+        // Ground the edge atom as edge(a, b) and drop it.
+        let mut subst = Substitution::new();
+        // Canonical names are V0, V1, … — find the variables of the edge atom.
+        let edge = state
+            .atoms()
+            .iter()
+            .find(|a| a.predicate.name() == "edge")
+            .unwrap()
+            .clone();
+        let index = state.atoms().iter().position(|a| *a == edge).unwrap();
+        subst.bind_var(edge.terms[0].as_var().unwrap(), Term::constant("a"));
+        subst.bind_var(edge.terms[1].as_var().unwrap(), Term::constant("b"));
+        let next = state.drop_atom(index, &subst);
+        assert_eq!(next.size(), 1);
+        let t = &next.atoms()[0];
+        assert_eq!(t.predicate.name(), "t");
+        assert_eq!(t.terms[0], Term::constant("b"));
+    }
+
+    #[test]
+    fn resolvent_count_respects_multiple_rules() {
+        let program = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        let state = state_of("? :- t(a, V).");
+        let resolvents = chunk_resolvents(&state, &program);
+        assert_eq!(resolvents.len(), 2);
+    }
+}

@@ -1,0 +1,292 @@
+//! Semi-naive bottom-up evaluation.
+
+use std::collections::BTreeSet;
+use vadalog_analysis::stratify::{stratify, Stratification};
+use vadalog_model::{
+    homomorphisms, Atom, ConjunctiveQuery, Database, HomSearch, Instance, ModelError, Program,
+    Substitution, Symbol,
+};
+
+/// Counters describing an evaluation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DatalogStats {
+    /// Total number of derived (IDB) atoms.
+    pub derived_atoms: usize,
+    /// Total number of atoms materialised (EDB + IDB) — the space proxy.
+    pub peak_atoms: usize,
+    /// Number of semi-naive iterations summed over all strata.
+    pub iterations: usize,
+    /// Number of rule-body homomorphisms enumerated.
+    pub joins_evaluated: usize,
+}
+
+/// The result of evaluating a Datalog program over a database.
+#[derive(Debug, Clone)]
+pub struct DatalogResult {
+    /// The materialised instance (database facts plus derived facts).
+    pub instance: Instance,
+    /// Run statistics.
+    pub stats: DatalogStats,
+}
+
+impl DatalogResult {
+    /// Evaluates a conjunctive query over the materialised instance.
+    pub fn answers(&self, query: &ConjunctiveQuery) -> BTreeSet<Vec<Symbol>> {
+        query.evaluate(&self.instance)
+    }
+
+    /// `true` iff the Boolean query holds in the materialised instance.
+    pub fn holds(&self, query: &ConjunctiveQuery) -> bool {
+        query.holds_in(&self.instance)
+    }
+}
+
+/// A stratified semi-naive Datalog engine for a fixed program.
+#[derive(Debug, Clone)]
+pub struct DatalogEngine {
+    program: Program,
+    stratification: Stratification,
+}
+
+impl DatalogEngine {
+    /// Creates an engine. Fails if the program is not plain Datalog (i.e.
+    /// contains existential variables or multi-atom heads).
+    pub fn new(program: Program) -> Result<DatalogEngine, ModelError> {
+        if !program.is_datalog() {
+            return Err(ModelError::InvalidTgd(
+                "the Datalog engine requires full single-head TGDs (no existentials)".into(),
+            ));
+        }
+        let stratification = stratify(&program);
+        Ok(DatalogEngine {
+            program,
+            stratification,
+        })
+    }
+
+    /// The program being evaluated.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The stratification used for evaluation.
+    pub fn stratification(&self) -> &Stratification {
+        &self.stratification
+    }
+
+    /// Materialises all IDB predicates over `database`.
+    pub fn evaluate(&self, database: &Database) -> DatalogResult {
+        let mut instance = database.as_instance().clone();
+        let mut stats = DatalogStats::default();
+
+        for stratum in &self.stratification.strata {
+            let rules: Vec<&_> = stratum
+                .rules
+                .iter()
+                .map(|&i| &self.program.tgds()[i])
+                .collect();
+
+            // Naive first round: evaluate every rule on the full instance.
+            let mut delta = Instance::new();
+            for rule in &rules {
+                stats.joins_evaluated += 1;
+                for h in homomorphisms(&rule.body, &instance, &Substitution::new(), HomSearch::all())
+                {
+                    let fact = h.apply_atom(&rule.head[0]);
+                    if !instance.contains(&fact) {
+                        delta.insert(fact.clone()).expect("derived fact is ground");
+                        instance.insert(fact).expect("derived fact is ground");
+                        stats.derived_atoms += 1;
+                    }
+                }
+            }
+            stats.iterations += 1;
+
+            if !stratum.recursive {
+                continue;
+            }
+
+            // Semi-naive rounds: differentiate each rule with respect to the
+            // predicates of this stratum, seeding one body atom from the delta.
+            while !delta.is_empty() {
+                stats.iterations += 1;
+                let mut next_delta = Instance::new();
+                for rule in &rules {
+                    for (pos, body_atom) in rule.body.iter().enumerate() {
+                        if !stratum.predicates.contains(&body_atom.predicate) {
+                            continue;
+                        }
+                        // Seed the differentiated atom from the delta...
+                        for delta_fact in delta.atoms_with_predicate(body_atom.predicate) {
+                            let seed = match match_atom(body_atom, delta_fact) {
+                                Some(s) => s,
+                                None => continue,
+                            };
+                            // ...and the remaining atoms from the full instance.
+                            let rest: Vec<Atom> = rule
+                                .body
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, _)| *i != pos)
+                                .map(|(_, a)| a.clone())
+                                .collect();
+                            stats.joins_evaluated += 1;
+                            for h in homomorphisms(&rest, &instance, &seed, HomSearch::all()) {
+                                let fact = h.apply_atom(&rule.head[0]);
+                                if !instance.contains(&fact) {
+                                    next_delta
+                                        .insert(fact.clone())
+                                        .expect("derived fact is ground");
+                                    instance.insert(fact).expect("derived fact is ground");
+                                    stats.derived_atoms += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                delta = next_delta;
+            }
+        }
+
+        stats.peak_atoms = instance.len();
+        DatalogResult { instance, stats }
+    }
+
+    /// Evaluates the program and answers the query in one call.
+    pub fn answers(
+        &self,
+        database: &Database,
+        query: &ConjunctiveQuery,
+    ) -> BTreeSet<Vec<Symbol>> {
+        self.evaluate(database).answers(query)
+    }
+}
+
+/// Matches a body atom against a concrete fact, returning the induced
+/// substitution if they are compatible.
+fn match_atom(pattern: &Atom, fact: &Atom) -> Option<Substitution> {
+    if pattern.predicate != fact.predicate || pattern.arity() != fact.arity() {
+        return None;
+    }
+    let mut subst = Substitution::new();
+    for (p, f) in pattern.terms.iter().zip(fact.terms.iter()) {
+        if p.is_var() {
+            match subst.get(p) {
+                Some(existing) if existing != *f => return None,
+                Some(_) => {}
+                None => subst.bind(*p, *f),
+            }
+        } else if p != f {
+            return None;
+        }
+    }
+    Some(subst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::parser::{parse, parse_query, parse_rules};
+
+    fn engine(rules: &str) -> DatalogEngine {
+        DatalogEngine::new(parse_rules(rules).unwrap()).unwrap()
+    }
+
+    fn db(facts: &str) -> Database {
+        parse(facts).unwrap().database
+    }
+
+    #[test]
+    fn rejects_programs_with_existentials() {
+        let p = parse_rules("r(X, Z) :- p(X).").unwrap();
+        assert!(DatalogEngine::new(p).is_err());
+    }
+
+    #[test]
+    fn linear_transitive_closure_over_a_chain() {
+        let e = engine("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).");
+        let result = e.evaluate(&db("edge(a, b). edge(b, c). edge(c, d). edge(d, e)."));
+        // Closure of a 4-edge chain has 4+3+2+1 = 10 pairs.
+        assert_eq!(result.stats.derived_atoms, 10);
+        let q = parse_query("?(X, Y) :- t(X, Y).").unwrap();
+        assert_eq!(result.answers(&q).len(), 10);
+        assert!(result.holds(&parse_query("? :- t(a, e).").unwrap()));
+    }
+
+    #[test]
+    fn nonlinear_transitive_closure_matches_linear_answers() {
+        let lin = engine("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).");
+        let non = engine("t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).");
+        let database = db("edge(a, b). edge(b, c). edge(c, a). edge(c, d).");
+        let q = parse_query("?(X, Y) :- t(X, Y).").unwrap();
+        assert_eq!(lin.answers(&database, &q), non.answers(&database, &q));
+    }
+
+    #[test]
+    fn mutually_recursive_predicates_are_evaluated_together() {
+        let e = engine(
+            "even(X) :- zero(X).\n even(Y) :- odd(X), succ(X, Y).\n odd(Y) :- even(X), succ(X, Y).",
+        );
+        let database = db("zero(n0). succ(n0, n1). succ(n1, n2). succ(n2, n3). succ(n3, n4).");
+        let result = e.evaluate(&database);
+        assert!(result.holds(&parse_query("? :- even(n0).").unwrap()));
+        assert!(result.holds(&parse_query("? :- odd(n1).").unwrap()));
+        assert!(result.holds(&parse_query("? :- even(n4).").unwrap()));
+        assert!(!result.holds(&parse_query("? :- odd(n4).").unwrap()));
+    }
+
+    #[test]
+    fn strata_are_evaluated_bottom_up() {
+        let e = engine(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).\n\
+             reach_pair(X, Y) :- t(X, Y), red(Y).",
+        );
+        let database = db("edge(a, b). edge(b, c). red(c).");
+        let result = e.evaluate(&database);
+        let q = parse_query("?(X) :- reach_pair(X, Y).").unwrap();
+        let answers = result.answers(&q);
+        assert_eq!(answers.len(), 2); // a and b reach the red node c.
+    }
+
+    #[test]
+    fn repeated_head_variables_are_handled() {
+        let e = engine("loop(X, X) :- node(X).\n self(X) :- loop(X, X).");
+        let result = e.evaluate(&db("node(a). node(b)."));
+        assert!(result.holds(&parse_query("? :- self(a).").unwrap()));
+        assert_eq!(result.stats.derived_atoms, 4);
+    }
+
+    #[test]
+    fn empty_database_yields_no_derivations() {
+        let e = engine("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).");
+        let result = e.evaluate(&Database::new());
+        assert_eq!(result.stats.derived_atoms, 0);
+    }
+
+    #[test]
+    fn constants_in_queries_filter_answers() {
+        let e = engine("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).");
+        let database = db("edge(a, b). edge(b, c).");
+        let q = parse_query("?(Y) :- t(a, Y).").unwrap();
+        let answers = e.answers(&database, &q);
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn semi_naive_does_not_rederive_known_facts() {
+        // On a cycle the naive algorithm would loop forever re-deriving the
+        // same facts; the semi-naive loop must converge and stop.
+        let e = engine("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).");
+        let database = db("edge(a, b). edge(b, a).");
+        let result = e.evaluate(&database);
+        assert_eq!(result.stats.derived_atoms, 4); // t(a,b) t(b,a) t(a,a) t(b,b)
+        assert!(result.stats.iterations < 10);
+    }
+
+    #[test]
+    fn peak_atoms_counts_edb_plus_idb() {
+        let e = engine("t(X, Y) :- edge(X, Y).");
+        let result = e.evaluate(&db("edge(a, b). edge(b, c)."));
+        assert_eq!(result.stats.peak_atoms, 4);
+    }
+}

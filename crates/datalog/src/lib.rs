@@ -1,0 +1,23 @@
+//! A stratified, semi-naive Datalog evaluation engine.
+//!
+//! The paper compares (piece-wise linear) warded Datalog∃ against plain
+//! (piece-wise linear) Datalog both complexity-wise and in expressive power
+//! (Section 6). This crate provides the Datalog side of those comparisons:
+//!
+//! * it is the **target** of the Theorem 6.3 rewriting implemented in
+//!   `vadalog-core::rewrite`, and
+//! * it is the **baseline engine** used by the benchmark harness whenever a
+//!   scenario is expressible in plain Datalog.
+//!
+//! Evaluation is bottom-up: the program is stratified by its recursive
+//! components (`vadalog-analysis::stratify`), each stratum is saturated with
+//! semi-naive iteration (rules are differentiated with respect to the
+//! predicates of the current stratum, so work in round *i + 1* is driven only
+//! by the atoms discovered in round *i*).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+
+pub use engine::{DatalogEngine, DatalogResult, DatalogStats};

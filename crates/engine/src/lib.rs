@@ -1,0 +1,29 @@
+//! A Vadalog-style bottom-up evaluation engine (Section 7 of the paper).
+//!
+//! The Vadalog system evaluates warded programs through a network of operator
+//! nodes with three optimisations that piece-wise linearity makes possible or
+//! more effective:
+//!
+//! 1. **aggressive termination control** — guide structures terminate
+//!    recursive value invention as early as possible; here this is a
+//!    null-generation-depth policy shared with the chase crate;
+//! 2. **PWL-aware join ordering** — in a piece-wise linear rule the single
+//!    body atom that is mutually recursive with the head is placed first (its
+//!    delta drives the join), while the remaining atoms are ordered by how
+//!    constrained they are;
+//! 3. **materialisation at strata boundaries** — intermediate results are
+//!    materialised per stratum (trading memory for re-computation), which the
+//!    benchmark harness ablates.
+//!
+//! The [`Reasoner`] combines these switches with the stratified, semi-naive
+//! evaluation style of the Datalog crate, extended with existential head
+//! variables (null invention).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod optimizer;
+
+pub use executor::{Reasoner, ReasonerResult, ReasonerStats};
+pub use optimizer::{EngineConfig, JoinOrdering, OptimizedProgram, OptimizedRule};

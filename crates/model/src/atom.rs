@@ -1,0 +1,233 @@
+//! Relational atoms and predicates.
+
+use crate::symbols::Symbol;
+use crate::term::{NullId, Term, Variable};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A predicate name. Arity is determined by the atoms using the predicate and
+/// validated by [`crate::program::Program`] / [`crate::database::Instance`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Predicate(pub Symbol);
+
+impl Predicate {
+    /// Creates a predicate with the given name.
+    pub fn new(name: &str) -> Predicate {
+        Predicate(Symbol::new(name))
+    }
+
+    /// The predicate name.
+    pub fn name(&self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Debug for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pred({})", self.name())
+    }
+}
+
+impl From<&str> for Predicate {
+    fn from(s: &str) -> Self {
+        Predicate::new(s)
+    }
+}
+
+/// An atom `R(t1, …, tn)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// The predicate `R`.
+    pub predicate: Predicate,
+    /// The argument terms `t1, …, tn`.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom from a predicate and terms.
+    pub fn new(predicate: impl Into<Predicate>, terms: Vec<Term>) -> Atom {
+        Atom {
+            predicate: predicate.into(),
+            terms,
+        }
+    }
+
+    /// Creates a ground atom (a fact) from constant names.
+    pub fn fact(predicate: &str, constants: &[&str]) -> Atom {
+        Atom::new(
+            predicate,
+            constants.iter().map(|c| Term::constant(c)).collect(),
+        )
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` iff the atom contains only constants.
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(Term::is_const)
+    }
+
+    /// `true` iff the atom contains no variables (constants and nulls only).
+    pub fn is_variable_free(&self) -> bool {
+        self.terms.iter().all(|t| !t.is_var())
+    }
+
+    /// The set of variables occurring in the atom, in order of first
+    /// occurrence.
+    pub fn variables(&self) -> Vec<Variable> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if seen.insert(*v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// The set of constants occurring in the atom.
+    pub fn constants(&self) -> BTreeSet<Symbol> {
+        self.terms.iter().filter_map(Term::as_const).collect()
+    }
+
+    /// The set of labelled nulls occurring in the atom.
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        self.terms.iter().filter_map(Term::as_null).collect()
+    }
+
+    /// `true` iff the given variable occurs in this atom.
+    pub fn mentions_var(&self, v: Variable) -> bool {
+        self.terms.iter().any(|t| t.as_var() == Some(v))
+    }
+
+    /// The positions (0-based argument indexes) at which `v` occurs.
+    pub fn positions_of_var(&self, v: Variable) -> Vec<usize> {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| (t.as_var() == Some(v)).then_some(i))
+            .collect()
+    }
+}
+
+/// Collects the distinct variables of a set of atoms, in order of first
+/// occurrence (the paper's `var(·)` notation lifted to sets).
+pub fn variables_of(atoms: &[Atom]) -> Vec<Variable> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for a in atoms {
+        for t in &a.terms {
+            if let Term::Var(v) = t {
+                if seen.insert(*v) {
+                    out.push(*v);
+                }
+            }
+        }
+    }
+    out
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(s: &str, terms: Vec<Term>) -> Atom {
+        Atom::new(s, terms)
+    }
+
+    #[test]
+    fn groundness_and_arity() {
+        let a = Atom::fact("edge", &["a", "b"]);
+        assert!(a.is_ground());
+        assert_eq!(a.arity(), 2);
+
+        let b = atom("edge", vec![Term::constant("a"), Term::variable("X")]);
+        assert!(!b.is_ground());
+        assert!(!b.is_variable_free());
+
+        let c = atom("edge", vec![Term::constant("a"), Term::Null(NullId(0))]);
+        assert!(!c.is_ground());
+        assert!(c.is_variable_free());
+    }
+
+    #[test]
+    fn variable_extraction_preserves_first_occurrence_order() {
+        let a = atom(
+            "r",
+            vec![
+                Term::variable("Y"),
+                Term::variable("X"),
+                Term::variable("Y"),
+            ],
+        );
+        assert_eq!(a.variables(), vec![Variable::new("Y"), Variable::new("X")]);
+        assert_eq!(a.positions_of_var(Variable::new("Y")), vec![0, 2]);
+        assert!(a.mentions_var(Variable::new("X")));
+        assert!(!a.mentions_var(Variable::new("Z")));
+    }
+
+    #[test]
+    fn variables_of_set() {
+        let a = atom("r", vec![Term::variable("X"), Term::variable("Y")]);
+        let b = atom("s", vec![Term::variable("Y"), Term::variable("Z")]);
+        let vars = variables_of(&[a, b]);
+        assert_eq!(
+            vars,
+            vec![
+                Variable::new("X"),
+                Variable::new("Y"),
+                Variable::new("Z")
+            ]
+        );
+    }
+
+    #[test]
+    fn display_matches_expected_syntax() {
+        let a = atom("edge", vec![Term::constant("a"), Term::variable("X")]);
+        assert_eq!(a.to_string(), "edge(a, X)");
+    }
+
+    #[test]
+    fn constants_and_nulls_are_collected() {
+        let a = atom(
+            "r",
+            vec![
+                Term::constant("a"),
+                Term::Null(NullId(1)),
+                Term::constant("b"),
+            ],
+        );
+        assert_eq!(a.constants().len(), 2);
+        assert_eq!(a.nulls().len(), 1);
+    }
+}

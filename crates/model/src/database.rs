@@ -1,0 +1,322 @@
+//! Databases and instances (Section 2 of the paper).
+//!
+//! An [`Instance`] is a finite set of atoms over constants and nulls, indexed
+//! by predicate and by (position, term) pairs so that the chase and the
+//! homomorphism search can retrieve candidate atoms without scanning entire
+//! relations. A [`Database`] is an instance whose atoms are all ground
+//! (facts).
+
+use crate::atom::{Atom, Predicate};
+use crate::error::ModelError;
+use crate::symbols::Symbol;
+use crate::term::{NullId, Term};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// A finite set of atoms over constants and labelled nulls.
+#[derive(Clone, Default)]
+pub struct Instance {
+    by_predicate: HashMap<Predicate, Vec<Atom>>,
+    /// Index: (predicate, argument position, term) → indexes into
+    /// `by_predicate[predicate]`.
+    position_index: HashMap<(Predicate, usize, Term), Vec<usize>>,
+    set: HashSet<Atom>,
+    arities: HashMap<Predicate, usize>,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `true` iff the instance has no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Inserts an atom; returns `true` if it was not already present.
+    /// Returns an error if the atom contains a variable or if its arity
+    /// conflicts with earlier atoms over the same predicate.
+    pub fn insert(&mut self, atom: Atom) -> Result<bool, ModelError> {
+        if !atom.is_variable_free() {
+            return Err(ModelError::NonGroundFact(atom.to_string()));
+        }
+        if let Some(&arity) = self.arities.get(&atom.predicate) {
+            if arity != atom.arity() {
+                return Err(ModelError::ArityMismatch {
+                    predicate: atom.predicate.name().to_string(),
+                    expected: arity,
+                    found: atom.arity(),
+                });
+            }
+        } else {
+            self.arities.insert(atom.predicate, atom.arity());
+        }
+        if self.set.contains(&atom) {
+            return Ok(false);
+        }
+        self.set.insert(atom.clone());
+        let rel = self.by_predicate.entry(atom.predicate).or_default();
+        let idx = rel.len();
+        for (pos, term) in atom.terms.iter().enumerate() {
+            self.position_index
+                .entry((atom.predicate, pos, *term))
+                .or_default()
+                .push(idx);
+        }
+        rel.push(atom);
+        Ok(true)
+    }
+
+    /// `true` iff the atom is present.
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.set.contains(atom)
+    }
+
+    /// All atoms with the given predicate.
+    pub fn atoms_with_predicate(&self, p: Predicate) -> &[Atom] {
+        self.by_predicate.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Atoms with predicate `p` whose argument at `position` equals `term`.
+    /// Used by the homomorphism search to exploit already-bound arguments.
+    pub fn atoms_matching(&self, p: Predicate, position: usize, term: Term) -> Vec<&Atom> {
+        match self.position_index.get(&(p, position, term)) {
+            Some(indexes) => {
+                let rel = &self.by_predicate[&p];
+                indexes.iter().map(|&i| &rel[i]).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Iterates over all atoms.
+    pub fn iter(&self) -> impl Iterator<Item = &Atom> {
+        self.by_predicate.values().flatten()
+    }
+
+    /// The predicates present in the instance.
+    pub fn predicates(&self) -> impl Iterator<Item = Predicate> + '_ {
+        self.by_predicate.keys().copied()
+    }
+
+    /// The arity of a predicate, if it occurs in the instance.
+    pub fn arity_of(&self, p: Predicate) -> Option<usize> {
+        self.arities.get(&p).copied()
+    }
+
+    /// The active domain: all constants and nulls occurring in the instance.
+    pub fn active_domain(&self) -> BTreeSet<Term> {
+        self.iter().flat_map(|a| a.terms.iter().copied()).collect()
+    }
+
+    /// All constants occurring in the instance.
+    pub fn constants(&self) -> BTreeSet<Symbol> {
+        self.iter().flat_map(|a| a.constants()).collect()
+    }
+
+    /// All labelled nulls occurring in the instance.
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        self.iter().flat_map(|a| a.nulls()).collect()
+    }
+
+    /// Number of atoms per predicate, useful for join-order heuristics.
+    pub fn relation_size(&self, p: Predicate) -> usize {
+        self.by_predicate.get(&p).map(Vec::len).unwrap_or(0)
+    }
+}
+
+impl FromIterator<Atom> for Instance {
+    /// Builds an instance, panicking on invalid atoms; use [`Instance::insert`]
+    /// for fallible construction.
+    fn from_iter<I: IntoIterator<Item = Atom>>(iter: I) -> Self {
+        let mut inst = Instance::new();
+        for a in iter {
+            inst.insert(a).expect("invalid atom while building instance");
+        }
+        inst
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut atoms: Vec<String> = self.iter().map(|a| a.to_string()).collect();
+        atoms.sort();
+        write!(f, "Instance{{{}}}", atoms.join(", "))
+    }
+}
+
+/// A database: an instance containing only ground facts.
+#[derive(Clone, Default, Debug)]
+pub struct Database {
+    instance: Instance,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Inserts a fact. Fails if the atom is not ground or the arity conflicts.
+    pub fn insert(&mut self, fact: Atom) -> Result<bool, ModelError> {
+        if !fact.is_ground() {
+            return Err(ModelError::NonGroundFact(fact.to_string()));
+        }
+        self.instance.insert(fact)
+    }
+
+    /// Convenience constructor from `(predicate, constants)` tuples.
+    pub fn from_facts<'a>(
+        facts: impl IntoIterator<Item = (&'a str, Vec<&'a str>)>,
+    ) -> Result<Database, ModelError> {
+        let mut db = Database::new();
+        for (p, args) in facts {
+            db.insert(Atom::fact(p, &args))?;
+        }
+        Ok(db)
+    }
+
+    /// The underlying instance view of the database.
+    pub fn as_instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Converts the database into an instance (for chasing).
+    pub fn into_instance(self) -> Instance {
+        self.instance
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.instance.len()
+    }
+
+    /// `true` iff the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instance.is_empty()
+    }
+
+    /// `true` iff the fact is present.
+    pub fn contains(&self, fact: &Atom) -> bool {
+        self.instance.contains(fact)
+    }
+
+    /// Iterates over all facts.
+    pub fn iter(&self) -> impl Iterator<Item = &Atom> {
+        self.instance.iter()
+    }
+
+    /// All facts with the given predicate.
+    pub fn facts_with_predicate(&self, p: Predicate) -> &[Atom] {
+        self.instance.atoms_with_predicate(p)
+    }
+
+    /// The constants of the active domain `dom(D)`.
+    pub fn domain(&self) -> BTreeSet<Symbol> {
+        self.instance.constants()
+    }
+}
+
+impl FromIterator<Atom> for Database {
+    fn from_iter<I: IntoIterator<Item = Atom>>(iter: I) -> Self {
+        let mut db = Database::new();
+        for a in iter {
+            db.insert(a).expect("invalid fact while building database");
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Variable;
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut db = Database::new();
+        assert!(db.insert(Atom::fact("edge", &["a", "b"])).unwrap());
+        assert!(!db.insert(Atom::fact("edge", &["a", "b"])).unwrap());
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn non_ground_facts_are_rejected() {
+        let mut db = Database::new();
+        let bad = Atom::new("edge", vec![Term::constant("a"), Term::variable("X")]);
+        assert!(matches!(
+            db.insert(bad),
+            Err(ModelError::NonGroundFact(_))
+        ));
+    }
+
+    #[test]
+    fn arity_conflicts_are_rejected() {
+        let mut db = Database::new();
+        db.insert(Atom::fact("p", &["a"])).unwrap();
+        assert!(matches!(
+            db.insert(Atom::fact("p", &["a", "b"])),
+            Err(ModelError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn instances_accept_nulls_but_not_variables() {
+        let mut inst = Instance::new();
+        inst.insert(Atom::new(
+            "r",
+            vec![Term::constant("a"), Term::Null(NullId(0))],
+        ))
+        .unwrap();
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst.nulls().len(), 1);
+
+        let bad = Atom::new("r", vec![Term::Var(Variable::new("X")), Term::constant("a")]);
+        assert!(inst.insert(bad).is_err());
+    }
+
+    #[test]
+    fn position_index_finds_matching_atoms() {
+        let mut db = Database::new();
+        db.insert(Atom::fact("edge", &["a", "b"])).unwrap();
+        db.insert(Atom::fact("edge", &["a", "c"])).unwrap();
+        db.insert(Atom::fact("edge", &["b", "c"])).unwrap();
+        let inst = db.as_instance();
+        let from_a = inst.atoms_matching(Predicate::new("edge"), 0, Term::constant("a"));
+        assert_eq!(from_a.len(), 2);
+        let to_c = inst.atoms_matching(Predicate::new("edge"), 1, Term::constant("c"));
+        assert_eq!(to_c.len(), 2);
+        assert!(inst
+            .atoms_matching(Predicate::new("edge"), 0, Term::constant("z"))
+            .is_empty());
+    }
+
+    #[test]
+    fn domain_collects_constants() {
+        let db = Database::from_facts([("edge", vec!["a", "b"]), ("node", vec!["c"])]).unwrap();
+        let dom = db.domain();
+        assert_eq!(dom.len(), 3);
+        assert!(dom.contains(&Symbol::new("a")));
+        assert!(dom.contains(&Symbol::new("c")));
+    }
+
+    #[test]
+    fn relation_size_reports_per_predicate_counts() {
+        let db = Database::from_facts([
+            ("edge", vec!["a", "b"]),
+            ("edge", vec!["b", "c"]),
+            ("node", vec!["a"]),
+        ])
+        .unwrap();
+        assert_eq!(db.as_instance().relation_size(Predicate::new("edge")), 2);
+        assert_eq!(db.as_instance().relation_size(Predicate::new("node")), 1);
+        assert_eq!(db.as_instance().relation_size(Predicate::new("zzz")), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types shared by the model crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or parsing model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A predicate was used with two different arities.
+    ArityMismatch {
+        /// Predicate name.
+        predicate: String,
+        /// Arity seen first.
+        expected: usize,
+        /// Conflicting arity.
+        found: usize,
+    },
+    /// A fact (database atom) contained a variable or a null.
+    NonGroundFact(String),
+    /// A TGD failed a structural validity check.
+    InvalidTgd(String),
+    /// A conjunctive query failed a structural validity check (e.g. an output
+    /// variable that does not occur in the body).
+    InvalidQuery(String),
+    /// A parse error, with a line/column location and message.
+    Parse {
+        /// 1-based line of the error.
+        line: usize,
+        /// 1-based column of the error.
+        column: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ArityMismatch {
+                predicate,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate `{predicate}` used with arity {found} but previously with arity {expected}"
+            ),
+            ModelError::NonGroundFact(a) => {
+                write!(f, "fact `{a}` must contain only constants")
+            }
+            ModelError::InvalidTgd(msg) => write!(f, "invalid TGD: {msg}"),
+            ModelError::InvalidQuery(msg) => write!(f, "invalid conjunctive query: {msg}"),
+            ModelError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_useful_messages() {
+        let e = ModelError::ArityMismatch {
+            predicate: "edge".into(),
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains("edge"));
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('3'));
+
+        let p = ModelError::Parse {
+            line: 4,
+            column: 7,
+            message: "unexpected token".into(),
+        };
+        assert!(p.to_string().contains("4:7"));
+    }
+}

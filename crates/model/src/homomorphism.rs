@@ -1,0 +1,275 @@
+//! Homomorphisms from sets of atoms into instances.
+//!
+//! A homomorphism is a substitution that is the identity on constants and maps
+//! every atom of the source set onto an atom of the target instance. This is
+//! exactly conjunctive-query evaluation, and it is used pervasively: CQ
+//! evaluation over the chase, trigger detection in the chase, the
+//! "match-and-drop" step of the proof-tree search, and the leaves of chase
+//! trees.
+//!
+//! The search is a straightforward backtracking join that picks the next atom
+//! with the most bound arguments first and uses the instance's position index
+//! to enumerate candidates.
+
+use crate::atom::Atom;
+use crate::database::Instance;
+use crate::substitution::Substitution;
+use crate::term::Term;
+
+/// Options for the homomorphism search.
+#[derive(Clone, Copy, Debug)]
+pub struct HomSearch {
+    /// Stop after this many homomorphisms have been found (`usize::MAX` for
+    /// all of them).
+    pub limit: usize,
+}
+
+impl Default for HomSearch {
+    fn default() -> Self {
+        HomSearch { limit: usize::MAX }
+    }
+}
+
+impl HomSearch {
+    /// A search that stops after the first homomorphism.
+    pub fn first() -> HomSearch {
+        HomSearch { limit: 1 }
+    }
+
+    /// A search that enumerates every homomorphism.
+    pub fn all() -> HomSearch {
+        HomSearch::default()
+    }
+}
+
+/// Finds homomorphisms from `atoms` into `target`, extending the partial
+/// substitution `seed`. Every returned substitution `h` satisfies
+/// `h(atoms) ⊆ target` and agrees with `seed`.
+pub fn homomorphisms(
+    atoms: &[Atom],
+    target: &Instance,
+    seed: &Substitution,
+    options: HomSearch,
+) -> Vec<Substitution> {
+    let mut results = Vec::new();
+    if options.limit == 0 {
+        return results;
+    }
+    let mut remaining: Vec<&Atom> = atoms.iter().collect();
+    let mut current = seed.clone();
+    search(&mut remaining, target, &mut current, &mut results, options.limit);
+    results
+}
+
+/// Finds one homomorphism from `atoms` into `target` extending `seed`, if any.
+pub fn find_homomorphism(
+    atoms: &[Atom],
+    target: &Instance,
+    seed: &Substitution,
+) -> Option<Substitution> {
+    homomorphisms(atoms, target, seed, HomSearch::first())
+        .into_iter()
+        .next()
+}
+
+/// `true` iff some homomorphism from `atoms` into `target` extends `seed`.
+pub fn exists_homomorphism(atoms: &[Atom], target: &Instance, seed: &Substitution) -> bool {
+    find_homomorphism(atoms, target, seed).is_some()
+}
+
+fn search(
+    remaining: &mut Vec<&Atom>,
+    target: &Instance,
+    current: &mut Substitution,
+    results: &mut Vec<Substitution>,
+    limit: usize,
+) {
+    if results.len() >= limit {
+        return;
+    }
+    if remaining.is_empty() {
+        results.push(current.clone());
+        return;
+    }
+    // Pick the atom with the most bound (non-variable after substitution)
+    // arguments: it has the fewest candidate matches.
+    let (best_idx, _) = remaining
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let bound = a
+                .terms
+                .iter()
+                .filter(|t| !current.apply_term(t).is_var())
+                .count();
+            (i, bound)
+        })
+        .max_by_key(|&(_, bound)| bound)
+        .expect("remaining is non-empty");
+    let atom = remaining.swap_remove(best_idx);
+    let partial = current.apply_atom(atom);
+
+    // Use the position index on the first bound argument, otherwise scan the
+    // whole relation.
+    let candidates: Vec<&Atom> = match partial
+        .terms
+        .iter()
+        .enumerate()
+        .find(|(_, t)| !t.is_var())
+    {
+        Some((pos, term)) => target.atoms_matching(partial.predicate, pos, *term),
+        None => target.atoms_with_predicate(partial.predicate).iter().collect(),
+    };
+
+    'candidates: for candidate in candidates {
+        if candidate.arity() != partial.arity() {
+            continue;
+        }
+        let mut extension = Substitution::new();
+        for (pattern, value) in partial.terms.iter().zip(candidate.terms.iter()) {
+            match pattern {
+                Term::Var(_) => match extension.get(pattern) {
+                    Some(existing) if existing != *value => continue 'candidates,
+                    Some(_) => {}
+                    None => extension.bind(*pattern, *value),
+                },
+                // Constants and nulls must match exactly.
+                other => {
+                    if other != value {
+                        continue 'candidates;
+                    }
+                }
+            }
+        }
+        let saved = current.clone();
+        if current.merge_compatible(&extension) {
+            search(remaining, target, current, results, limit);
+        }
+        *current = saved;
+        if results.len() >= limit {
+            break;
+        }
+    }
+
+    remaining.push(atom);
+    // Restore original ordering irrelevant — remaining is a set.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::database::Database;
+    use crate::term::{NullId, Term, Variable};
+
+    fn chain_db() -> Instance {
+        Database::from_facts([
+            ("edge", vec!["a", "b"]),
+            ("edge", vec!["b", "c"]),
+            ("edge", vec!["c", "d"]),
+        ])
+        .unwrap()
+        .into_instance()
+    }
+
+    fn var(name: &str) -> Term {
+        Term::variable(name)
+    }
+
+    #[test]
+    fn single_atom_matching() {
+        let db = chain_db();
+        let pattern = vec![Atom::new("edge", vec![var("X"), var("Y")])];
+        let hs = homomorphisms(&pattern, &db, &Substitution::new(), HomSearch::all());
+        assert_eq!(hs.len(), 3);
+    }
+
+    #[test]
+    fn join_via_shared_variable() {
+        let db = chain_db();
+        // edge(X,Y), edge(Y,Z) — two-step paths: a-b-c, b-c-d.
+        let pattern = vec![
+            Atom::new("edge", vec![var("X"), var("Y")]),
+            Atom::new("edge", vec![var("Y"), var("Z")]),
+        ];
+        let hs = homomorphisms(&pattern, &db, &Substitution::new(), HomSearch::all());
+        assert_eq!(hs.len(), 2);
+        for h in &hs {
+            let y = h.get_var(Variable::new("Y")).unwrap();
+            assert!(y == Term::constant("b") || y == Term::constant("c"));
+        }
+    }
+
+    #[test]
+    fn seed_constrains_the_search() {
+        let db = chain_db();
+        let pattern = vec![Atom::new("edge", vec![var("X"), var("Y")])];
+        let mut seed = Substitution::new();
+        seed.bind_var(Variable::new("X"), Term::constant("b"));
+        let hs = homomorphisms(&pattern, &db, &seed, HomSearch::all());
+        assert_eq!(hs.len(), 1);
+        assert_eq!(
+            hs[0].get_var(Variable::new("Y")),
+            Some(Term::constant("c"))
+        );
+    }
+
+    #[test]
+    fn constants_in_patterns_must_match() {
+        let db = chain_db();
+        let pattern = vec![Atom::new("edge", vec![Term::constant("a"), var("Y")])];
+        let hs = homomorphisms(&pattern, &db, &Substitution::new(), HomSearch::all());
+        assert_eq!(hs.len(), 1);
+
+        let no_match = vec![Atom::new("edge", vec![Term::constant("z"), var("Y")])];
+        assert!(!exists_homomorphism(&no_match, &db, &Substitution::new()));
+    }
+
+    #[test]
+    fn repeated_variables_require_equal_values() {
+        let mut db = Database::new();
+        db.insert(Atom::fact("r", &["a", "a"])).unwrap();
+        db.insert(Atom::fact("r", &["a", "b"])).unwrap();
+        let inst = db.into_instance();
+        let pattern = vec![Atom::new("r", vec![var("X"), var("X")])];
+        let hs = homomorphisms(&pattern, &inst, &Substitution::new(), HomSearch::all());
+        assert_eq!(hs.len(), 1);
+        assert_eq!(
+            hs[0].get_var(Variable::new("X")),
+            Some(Term::constant("a"))
+        );
+    }
+
+    #[test]
+    fn nulls_in_target_can_be_matched_by_variables() {
+        let mut inst = Instance::new();
+        inst.insert(Atom::new(
+            "r",
+            vec![Term::constant("a"), Term::Null(NullId(5))],
+        ))
+        .unwrap();
+        let pattern = vec![Atom::new("r", vec![var("X"), var("Y")])];
+        let hs = homomorphisms(&pattern, &inst, &Substitution::new(), HomSearch::all());
+        assert_eq!(hs.len(), 1);
+        assert_eq!(
+            hs[0].get_var(Variable::new("Y")),
+            Some(Term::Null(NullId(5)))
+        );
+    }
+
+    #[test]
+    fn limit_short_circuits() {
+        let db = chain_db();
+        let pattern = vec![Atom::new("edge", vec![var("X"), var("Y")])];
+        let hs = homomorphisms(&pattern, &db, &Substitution::new(), HomSearch::first());
+        assert_eq!(hs.len(), 1);
+    }
+
+    #[test]
+    fn empty_pattern_has_the_identity_homomorphism() {
+        let db = chain_db();
+        let hs = homomorphisms(&[], &db, &Substitution::new(), HomSearch::all());
+        assert_eq!(hs.len(), 1);
+        assert!(hs[0].is_empty());
+    }
+}

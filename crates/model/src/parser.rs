@@ -1,0 +1,623 @@
+//! A small Vadalog-like surface syntax.
+//!
+//! The syntax is the rule-based notation used throughout the paper:
+//!
+//! ```text
+//! % facts are ground atoms terminated by a full stop
+//! edge(a, b).
+//! edge(b, c).
+//!
+//! % TGDs are written head :- body. Variables start with an upper-case
+//! % letter (or `_`); head-only variables are existentially quantified.
+//! t(X, Y) :- edge(X, Y).
+//! t(X, Z) :- edge(X, Y), t(Y, Z).
+//! triple(X, Z, W) :- type(X, Y), restriction(Y, Z).   % W is existential
+//!
+//! % queries are written with the reserved head `?`; the arguments are the
+//! % output variables. `? :- body.` is a Boolean query.
+//! ?(X, Z) :- t(X, Z).
+//! ```
+//!
+//! `_` denotes a don't-care variable (fresh at every occurrence), mirroring
+//! the paper's Prolog-style convention in Section 5. Comments start with `%`
+//! or `#` and run to the end of the line.
+
+use crate::atom::Atom;
+use crate::database::Database;
+use crate::error::ModelError;
+use crate::program::Program;
+use crate::query::ConjunctiveQuery;
+use crate::term::{Term, Variable};
+use crate::tgd::Tgd;
+
+/// The result of parsing a source text: TGDs, ground facts and queries.
+#[derive(Debug, Default, Clone)]
+pub struct ParsedProgram {
+    /// The set of TGDs Σ.
+    pub program: Program,
+    /// The database D (ground facts).
+    pub database: Database,
+    /// The conjunctive queries, in source order.
+    pub queries: Vec<ConjunctiveQuery>,
+}
+
+/// Parses a complete source text.
+pub fn parse(source: &str) -> Result<ParsedProgram, ModelError> {
+    Parser::new(source)?.parse_program()
+}
+
+/// Parses a single conjunctive query written as `?(X, …) :- body.`.
+pub fn parse_query(source: &str) -> Result<ConjunctiveQuery, ModelError> {
+    let parsed = parse(source)?;
+    parsed
+        .queries
+        .into_iter()
+        .next()
+        .ok_or_else(|| ModelError::InvalidQuery("no query found in source".into()))
+}
+
+/// Parses a source text expected to contain only TGDs.
+pub fn parse_rules(source: &str) -> Result<Program, ModelError> {
+    let parsed = parse(source)?;
+    Ok(parsed.program)
+}
+
+/// Parses a source text expected to contain only ground facts.
+pub fn parse_facts(source: &str) -> Result<Database, ModelError> {
+    let parsed = parse(source)?;
+    Ok(parsed.database)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    UpperIdent(String),
+    Number(String),
+    QuotedString(String),
+    Question,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Implies, // :-
+    Underscore,
+}
+
+#[derive(Debug, Clone)]
+struct LocatedToken {
+    token: Token,
+    line: usize,
+    column: usize,
+}
+
+struct Parser {
+    tokens: Vec<LocatedToken>,
+    pos: usize,
+    anon_counter: usize,
+}
+
+impl Parser {
+    fn new(source: &str) -> Result<Parser, ModelError> {
+        Ok(Parser {
+            tokens: lex(source)?,
+            pos: 0,
+            anon_counter: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&LocatedToken> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<LocatedToken> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_at(&self, message: impl Into<String>) -> ModelError {
+        let (line, column) = self
+            .peek()
+            .map(|t| (t.line, t.column))
+            .unwrap_or_else(|| {
+                self.tokens
+                    .last()
+                    .map(|t| (t.line, t.column))
+                    .unwrap_or((1, 1))
+            });
+        ModelError::Parse {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, expected: Token, what: &str) -> Result<(), ModelError> {
+        match self.next() {
+            Some(t) if t.token == expected => Ok(()),
+            Some(t) => Err(ModelError::Parse {
+                line: t.line,
+                column: t.column,
+                message: format!("expected {what}, found {:?}", t.token),
+            }),
+            None => Err(self.error_at(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<ParsedProgram, ModelError> {
+        let mut out = ParsedProgram::default();
+        while self.peek().is_some() {
+            self.parse_statement(&mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn parse_statement(&mut self, out: &mut ParsedProgram) -> Result<(), ModelError> {
+        // Query: `? ( vars )? :- body .`
+        if matches!(self.peek().map(|t| &t.token), Some(Token::Question)) {
+            self.next();
+            let output = if matches!(self.peek().map(|t| &t.token), Some(Token::LParen)) {
+                self.parse_output_variables()?
+            } else {
+                Vec::new()
+            };
+            self.expect(Token::Implies, "`:-`")?;
+            let body = self.parse_atom_list()?;
+            self.expect(Token::Dot, "`.`")?;
+            out.queries.push(ConjunctiveQuery::new(output, body)?);
+            return Ok(());
+        }
+
+        // Otherwise: an atom list (head) optionally followed by `:- body`.
+        let head = self.parse_atom_list()?;
+        if matches!(self.peek().map(|t| &t.token), Some(Token::Implies)) {
+            self.next();
+            let body = self.parse_atom_list()?;
+            self.expect(Token::Dot, "`.`")?;
+            out.program.add(Tgd::new(body, head)?)?;
+        } else {
+            self.expect(Token::Dot, "`.`")?;
+            for fact in head {
+                out.database.insert(fact)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_output_variables(&mut self) -> Result<Vec<Variable>, ModelError> {
+        self.expect(Token::LParen, "`(`")?;
+        let mut vars = Vec::new();
+        if matches!(self.peek().map(|t| &t.token), Some(Token::RParen)) {
+            self.next();
+            return Ok(vars);
+        }
+        loop {
+            match self.next() {
+                Some(LocatedToken {
+                    token: Token::UpperIdent(name),
+                    ..
+                }) => vars.push(Variable::new(&name)),
+                Some(t) => {
+                    return Err(ModelError::Parse {
+                        line: t.line,
+                        column: t.column,
+                        message: "query output positions must be variables".into(),
+                    })
+                }
+                None => return Err(self.error_at("unexpected end of input in query head")),
+            }
+            match self.next() {
+                Some(LocatedToken {
+                    token: Token::Comma,
+                    ..
+                }) => continue,
+                Some(LocatedToken {
+                    token: Token::RParen,
+                    ..
+                }) => break,
+                Some(t) => {
+                    return Err(ModelError::Parse {
+                        line: t.line,
+                        column: t.column,
+                        message: "expected `,` or `)` in query head".into(),
+                    })
+                }
+                None => return Err(self.error_at("unexpected end of input in query head")),
+            }
+        }
+        Ok(vars)
+    }
+
+    fn parse_atom_list(&mut self) -> Result<Vec<Atom>, ModelError> {
+        let mut atoms = vec![self.parse_atom()?];
+        while matches!(self.peek().map(|t| &t.token), Some(Token::Comma)) {
+            self.next();
+            atoms.push(self.parse_atom()?);
+        }
+        Ok(atoms)
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, ModelError> {
+        let predicate = match self.next() {
+            Some(LocatedToken {
+                token: Token::Ident(name),
+                ..
+            }) => name,
+            Some(t) => {
+                return Err(ModelError::Parse {
+                    line: t.line,
+                    column: t.column,
+                    message: format!("expected a predicate name, found {:?}", t.token),
+                })
+            }
+            None => return Err(self.error_at("expected a predicate name, found end of input")),
+        };
+        self.expect(Token::LParen, "`(`")?;
+        let mut terms = Vec::new();
+        if matches!(self.peek().map(|t| &t.token), Some(Token::RParen)) {
+            self.next();
+            return Ok(Atom::new(predicate.as_str(), terms));
+        }
+        loop {
+            terms.push(self.parse_term()?);
+            match self.next() {
+                Some(LocatedToken {
+                    token: Token::Comma,
+                    ..
+                }) => continue,
+                Some(LocatedToken {
+                    token: Token::RParen,
+                    ..
+                }) => break,
+                Some(t) => {
+                    return Err(ModelError::Parse {
+                        line: t.line,
+                        column: t.column,
+                        message: "expected `,` or `)` in atom".into(),
+                    })
+                }
+                None => return Err(self.error_at("unexpected end of input in atom")),
+            }
+        }
+        Ok(Atom::new(predicate.as_str(), terms))
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ModelError> {
+        match self.next() {
+            Some(LocatedToken {
+                token: Token::Ident(name),
+                ..
+            }) => Ok(Term::constant(&name)),
+            Some(LocatedToken {
+                token: Token::Number(n),
+                ..
+            }) => Ok(Term::constant(&n)),
+            Some(LocatedToken {
+                token: Token::QuotedString(s),
+                ..
+            }) => Ok(Term::constant(&s)),
+            Some(LocatedToken {
+                token: Token::UpperIdent(name),
+                ..
+            }) => Ok(Term::variable(&name)),
+            Some(LocatedToken {
+                token: Token::Underscore,
+                ..
+            }) => {
+                self.anon_counter += 1;
+                Ok(Term::variable(&format!("_Anon{}", self.anon_counter)))
+            }
+            Some(t) => Err(ModelError::Parse {
+                line: t.line,
+                column: t.column,
+                message: format!("expected a term, found {:?}", t.token),
+            }),
+            None => Err(self.error_at("expected a term, found end of input")),
+        }
+    }
+}
+
+fn lex(source: &str) -> Result<Vec<LocatedToken>, ModelError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut column = 1usize;
+    let mut chars = source.chars().peekable();
+
+    macro_rules! push {
+        ($tok:expr, $col:expr) => {
+            tokens.push(LocatedToken {
+                token: $tok,
+                line,
+                column: $col,
+            })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let start_col = column;
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                column = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                column += 1;
+            }
+            '%' | '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                    column += 1;
+                }
+            }
+            '(' => {
+                chars.next();
+                column += 1;
+                push!(Token::LParen, start_col);
+            }
+            ')' => {
+                chars.next();
+                column += 1;
+                push!(Token::RParen, start_col);
+            }
+            ',' => {
+                chars.next();
+                column += 1;
+                push!(Token::Comma, start_col);
+            }
+            '.' => {
+                chars.next();
+                column += 1;
+                push!(Token::Dot, start_col);
+            }
+            '?' => {
+                chars.next();
+                column += 1;
+                push!(Token::Question, start_col);
+            }
+            ':' => {
+                chars.next();
+                column += 1;
+                match chars.peek() {
+                    Some('-') => {
+                        chars.next();
+                        column += 1;
+                        push!(Token::Implies, start_col);
+                    }
+                    _ => {
+                        return Err(ModelError::Parse {
+                            line,
+                            column: start_col,
+                            message: "expected `:-`".into(),
+                        })
+                    }
+                }
+            }
+            '"' => {
+                chars.next();
+                column += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            column += 1;
+                            break;
+                        }
+                        Some('\n') => {
+                            return Err(ModelError::Parse {
+                                line,
+                                column: start_col,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(c) => {
+                            column += 1;
+                            s.push(c);
+                        }
+                        None => {
+                            return Err(ModelError::Parse {
+                                line,
+                                column: start_col,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                push!(Token::QuotedString(s), start_col);
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(Token::Number(s), start_col);
+            }
+            '_' => {
+                // Either a lone `_` (anonymous variable) or an identifier
+                // starting with `_`, which we treat as a variable name.
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if s == "_" {
+                    push!(Token::Underscore, start_col);
+                } else {
+                    push!(Token::UpperIdent(s), start_col);
+                }
+            }
+            c if c.is_alphabetic() => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if s.chars().next().unwrap().is_uppercase() {
+                    push!(Token::UpperIdent(s), start_col);
+                } else {
+                    push!(Token::Ident(s), start_col);
+                }
+            }
+            other => {
+                return Err(ModelError::Parse {
+                    line,
+                    column: start_col,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Predicate;
+    use crate::symbols::Symbol;
+
+    #[test]
+    fn parses_facts_rules_and_queries() {
+        let src = r#"
+            % transitive closure
+            edge(a, b).
+            edge(b, c).
+            t(X, Y) :- edge(X, Y).
+            t(X, Z) :- edge(X, Y), t(Y, Z).
+            ?(X, Z) :- t(X, Z).
+        "#;
+        let parsed = parse(src).unwrap();
+        assert_eq!(parsed.database.len(), 2);
+        assert_eq!(parsed.program.len(), 2);
+        assert_eq!(parsed.queries.len(), 1);
+        assert_eq!(parsed.queries[0].output.len(), 2);
+    }
+
+    #[test]
+    fn head_only_variables_are_existential() {
+        let src = "r(X, Z) :- p(X).";
+        let parsed = parse(src).unwrap();
+        let tgd = &parsed.program.tgds()[0];
+        assert_eq!(tgd.existential_variables().len(), 1);
+    }
+
+    #[test]
+    fn multi_atom_heads_are_supported() {
+        let src = "r(X, Z), s(Z) :- p(X).";
+        let parsed = parse(src).unwrap();
+        let tgd = &parsed.program.tgds()[0];
+        assert_eq!(tgd.head.len(), 2);
+    }
+
+    #[test]
+    fn boolean_queries_parse() {
+        let src = "? :- t(X, Y), finish(Y).";
+        let q = parse_query(src).unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.atoms.len(), 2);
+    }
+
+    #[test]
+    fn anonymous_variables_are_fresh() {
+        let src = "row(X, U, Y, W) :- row(_, X, Y, Z), h(Z, W).";
+        let parsed = parse(src).unwrap();
+        let tgd = &parsed.program.tgds()[0];
+        // The `_` must not equal any named variable and appears only once.
+        let vars = tgd.body_variables();
+        let anon: Vec<_> = vars.iter().filter(|v| v.name().starts_with("_Anon")).collect();
+        assert_eq!(anon.len(), 1);
+    }
+
+    #[test]
+    fn quoted_strings_and_numbers_are_constants() {
+        let src = r#"label(n1, "Hello world"). count(n1, 42)."#;
+        let parsed = parse(src).unwrap();
+        assert_eq!(parsed.database.len(), 2);
+        assert!(parsed.database.domain().contains(&Symbol::new("Hello world")));
+        assert!(parsed.database.domain().contains(&Symbol::new("42")));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = "# hash comment\n% percent comment\nedge(a, b). % trailing\n";
+        let parsed = parse(src).unwrap();
+        assert_eq!(parsed.database.len(), 1);
+    }
+
+    #[test]
+    fn facts_with_variables_are_rejected() {
+        let src = "edge(X, b).";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rules_with_constants_are_rejected() {
+        // The paper's TGDs are constant-free; the parser surfaces the model error.
+        let src = "t(X, Y) :- edge(X, a), foo(Y).";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_location() {
+        let err = parse("edge(a, b)").unwrap_err(); // missing dot
+        match err {
+            ModelError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let err2 = parse("edge(a, ; b).").unwrap_err();
+        assert!(matches!(err2, ModelError::Parse { .. }));
+    }
+
+    #[test]
+    fn example_3_3_owl_program_parses_and_has_expected_schema() {
+        let src = r#"
+            subclassStar(X, Y) :- subclass(X, Y).
+            subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).
+            type(X, Z) :- type(X, Y), subclassStar(Y, Z).
+            triple(X, Z, W) :- type(X, Y), restriction(Y, Z).
+            triple(Z, W, X) :- triple(X, Y, Z), inverse(Y, W).
+            type(X, W) :- triple(X, Y, Z), restriction(W, Y).
+        "#;
+        let parsed = parse(src).unwrap();
+        assert_eq!(parsed.program.len(), 6);
+        let edb = parsed.program.extensional_predicates();
+        assert!(edb.contains(&Predicate::new("subclass")));
+        assert!(edb.contains(&Predicate::new("restriction")));
+        assert!(edb.contains(&Predicate::new("inverse")));
+        let idb = parsed.program.intensional_predicates();
+        assert!(idb.contains(&Predicate::new("subclassStar")));
+        assert!(idb.contains(&Predicate::new("type")));
+        assert!(idb.contains(&Predicate::new("triple")));
+    }
+
+    #[test]
+    fn display_round_trip_for_rules() {
+        let src = "t(X, Z) :- edge(X, Y), t(Y, Z).";
+        let parsed = parse(src).unwrap();
+        let printed = parsed.program.tgds()[0].to_string();
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(reparsed.program.tgds()[0], parsed.program.tgds()[0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Programs: finite sets of TGDs with schema bookkeeping.
+
+use crate::atom::Predicate;
+use crate::error::ModelError;
+use crate::tgd::Tgd;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A finite set of TGDs Σ. Keeps track of the schema `sch(Σ)` (predicates and
+/// arities) and distinguishes extensional (EDB) from intensional (IDB)
+/// predicates: a predicate is intensional iff it occurs in the head of some
+/// TGD.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    tgds: Vec<Tgd>,
+    arities: BTreeMap<Predicate, usize>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Creates a program from TGDs, validating arity consistency.
+    pub fn from_tgds(tgds: impl IntoIterator<Item = Tgd>) -> Result<Program, ModelError> {
+        let mut p = Program::new();
+        for t in tgds {
+            p.add(t)?;
+        }
+        Ok(p)
+    }
+
+    /// Adds a TGD, checking that every predicate keeps a consistent arity.
+    pub fn add(&mut self, tgd: Tgd) -> Result<(), ModelError> {
+        tgd.validate()?;
+        for atom in tgd.body.iter().chain(tgd.head.iter()) {
+            match self.arities.get(&atom.predicate) {
+                Some(&arity) if arity != atom.arity() => {
+                    return Err(ModelError::ArityMismatch {
+                        predicate: atom.predicate.name().to_string(),
+                        expected: arity,
+                        found: atom.arity(),
+                    });
+                }
+                Some(_) => {}
+                None => {
+                    self.arities.insert(atom.predicate, atom.arity());
+                }
+            }
+        }
+        self.tgds.push(tgd);
+        Ok(())
+    }
+
+    /// The TGDs of the program.
+    pub fn tgds(&self) -> &[Tgd] {
+        &self.tgds
+    }
+
+    /// Number of TGDs.
+    pub fn len(&self) -> usize {
+        self.tgds.len()
+    }
+
+    /// `true` iff the program has no TGDs.
+    pub fn is_empty(&self) -> bool {
+        self.tgds.is_empty()
+    }
+
+    /// The schema `sch(Σ)`: every predicate occurring in the program.
+    pub fn schema(&self) -> BTreeSet<Predicate> {
+        self.arities.keys().copied().collect()
+    }
+
+    /// The arity of a predicate of the schema.
+    pub fn arity_of(&self, p: Predicate) -> Option<usize> {
+        self.arities.get(&p).copied()
+    }
+
+    /// The intensional predicates: those occurring in the head of some TGD.
+    pub fn intensional_predicates(&self) -> BTreeSet<Predicate> {
+        self.tgds
+            .iter()
+            .flat_map(|t| t.head_predicates())
+            .collect()
+    }
+
+    /// The extensional (database) predicates `edb(Σ)`: schema predicates that
+    /// never occur in a head.
+    pub fn extensional_predicates(&self) -> BTreeSet<Predicate> {
+        let idb = self.intensional_predicates();
+        self.schema().into_iter().filter(|p| !idb.contains(p)).collect()
+    }
+
+    /// `true` iff every TGD is a Datalog rule (full, single head atom).
+    pub fn is_datalog(&self) -> bool {
+        self.tgds.iter().all(Tgd::is_datalog_rule)
+    }
+
+    /// The largest body size among the TGDs (the paper's
+    /// `max_{σ∈Σ} |body(σ)|`); 0 for an empty program.
+    pub fn max_body_size(&self) -> usize {
+        self.tgds.iter().map(|t| t.body.len()).max().unwrap_or(0)
+    }
+
+    /// Iterates over the TGDs together with their index, which is used as the
+    /// renaming tag during resolution.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Tgd)> {
+        self.tgds.iter().enumerate()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tgds {
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::term::Term;
+
+    fn var(n: &str) -> Term {
+        Term::variable(n)
+    }
+
+    fn tc_program() -> Program {
+        Program::from_tgds([
+            Tgd::new(
+                vec![Atom::new("edge", vec![var("X"), var("Y")])],
+                vec![Atom::new("t", vec![var("X"), var("Y")])],
+            )
+            .unwrap(),
+            Tgd::new(
+                vec![
+                    Atom::new("edge", vec![var("X"), var("Y")]),
+                    Atom::new("t", vec![var("Y"), var("Z")]),
+                ],
+                vec![Atom::new("t", vec![var("X"), var("Z")])],
+            )
+            .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn edb_and_idb_are_split_correctly() {
+        let p = tc_program();
+        let edb = p.extensional_predicates();
+        let idb = p.intensional_predicates();
+        assert!(edb.contains(&Predicate::new("edge")));
+        assert!(idb.contains(&Predicate::new("t")));
+        assert!(!idb.contains(&Predicate::new("edge")));
+        assert_eq!(p.schema().len(), 2);
+    }
+
+    #[test]
+    fn arity_conflicts_are_rejected() {
+        let mut p = tc_program();
+        let bad = Tgd::new(
+            vec![Atom::new("edge", vec![var("X")])],
+            vec![Atom::new("t", vec![var("X"), var("X")])],
+        )
+        .unwrap();
+        assert!(matches!(p.add(bad), Err(ModelError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn datalog_detection() {
+        let p = tc_program();
+        assert!(p.is_datalog());
+
+        let mut q = tc_program();
+        q.add(
+            Tgd::new(
+                vec![Atom::new("t", vec![var("X"), var("Y")])],
+                vec![Atom::new("r", vec![var("X"), var("Z")])],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(!q.is_datalog());
+    }
+
+    #[test]
+    fn max_body_size_is_reported() {
+        assert_eq!(tc_program().max_body_size(), 2);
+        assert_eq!(Program::new().max_body_size(), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Conjunctive queries in the rule-based syntax of the paper:
+//! `Q(x̄) ← R₁(z̄₁), …, Rₙ(z̄ₙ)`.
+
+use crate::atom::{variables_of, Atom};
+use crate::database::Instance;
+use crate::error::ModelError;
+use crate::homomorphism::{homomorphisms, HomSearch};
+use crate::substitution::Substitution;
+use crate::symbols::Symbol;
+use crate::term::{Term, Variable};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A conjunctive query with output (free) variables `output` and body
+/// `atoms`. A Boolean CQ has no output variables.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ConjunctiveQuery {
+    /// The output variables x̄ (answer tuple positions, in order).
+    pub output: Vec<Variable>,
+    /// The body atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a CQ, validating that every output variable occurs in the body
+    /// and that body atoms contain no nulls.
+    pub fn new(output: Vec<Variable>, atoms: Vec<Atom>) -> Result<ConjunctiveQuery, ModelError> {
+        let q = ConjunctiveQuery { output, atoms };
+        q.validate()?;
+        Ok(q)
+    }
+
+    /// Creates a CQ without validation.
+    pub fn new_unchecked(output: Vec<Variable>, atoms: Vec<Atom>) -> ConjunctiveQuery {
+        ConjunctiveQuery { output, atoms }
+    }
+
+    /// Creates a Boolean CQ from body atoms.
+    pub fn boolean(atoms: Vec<Atom>) -> Result<ConjunctiveQuery, ModelError> {
+        ConjunctiveQuery::new(Vec::new(), atoms)
+    }
+
+    /// Structural validation.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.atoms.is_empty() {
+            return Err(ModelError::InvalidQuery("empty body".into()));
+        }
+        let body_vars: BTreeSet<Variable> = variables_of(&self.atoms).into_iter().collect();
+        for v in &self.output {
+            if !body_vars.contains(v) {
+                return Err(ModelError::InvalidQuery(format!(
+                    "output variable {v} does not occur in the body"
+                )));
+            }
+        }
+        for atom in &self.atoms {
+            if atom.terms.iter().any(Term::is_null) {
+                return Err(ModelError::InvalidQuery(format!(
+                    "query atom {atom} contains a labelled null"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` iff the query has no output variables.
+    pub fn is_boolean(&self) -> bool {
+        self.output.is_empty()
+    }
+
+    /// The number of body atoms (the paper's `|q|`).
+    pub fn size(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// All variables occurring in the body, in order of first occurrence.
+    pub fn variables(&self) -> Vec<Variable> {
+        variables_of(&self.atoms)
+    }
+
+    /// The non-output (existential) variables of the query.
+    pub fn existential_variables(&self) -> Vec<Variable> {
+        let out: BTreeSet<Variable> = self.output.iter().copied().collect();
+        self.variables()
+            .into_iter()
+            .filter(|v| !out.contains(v))
+            .collect()
+    }
+
+    /// Evaluates the query over an instance: the set of tuples `h(x̄)` for
+    /// homomorphisms `h` from the body into the instance **such that the
+    /// answer tuple contains only constants** (certain-answer semantics never
+    /// returns nulls).
+    pub fn evaluate(&self, instance: &Instance) -> BTreeSet<Vec<Symbol>> {
+        let hs = homomorphisms(&self.atoms, instance, &Substitution::new(), HomSearch::all());
+        let mut answers = BTreeSet::new();
+        'hom: for h in hs {
+            let mut tuple = Vec::with_capacity(self.output.len());
+            for v in &self.output {
+                match h.get_var(*v) {
+                    Some(Term::Const(c)) => tuple.push(c),
+                    // Output mapped to a null (or unbound): not a certain answer.
+                    _ => continue 'hom,
+                }
+            }
+            answers.insert(tuple);
+        }
+        answers
+    }
+
+    /// Evaluates a Boolean query: `true` iff some homomorphism exists whose
+    /// answer tuple (empty here) is constant-free, i.e. iff the body matches.
+    pub fn holds_in(&self, instance: &Instance) -> bool {
+        if self.is_boolean() {
+            !homomorphisms(&self.atoms, instance, &Substitution::new(), HomSearch::first())
+                .is_empty()
+        } else {
+            !self.evaluate(instance).is_empty()
+        }
+    }
+
+    /// Instantiates the output variables with the constants of `tuple`,
+    /// producing the Boolean CQ `q(c̄)` used as the first step of the
+    /// decision-problem algorithms. Returns `None` if the arity differs.
+    pub fn instantiate(&self, tuple: &[Symbol]) -> Option<ConjunctiveQuery> {
+        if tuple.len() != self.output.len() {
+            return None;
+        }
+        let mut subst = Substitution::new();
+        for (v, c) in self.output.iter().zip(tuple.iter()) {
+            subst.bind_var(*v, Term::Const(*c));
+        }
+        Some(ConjunctiveQuery {
+            output: Vec::new(),
+            atoms: subst.apply_atoms(&self.atoms),
+        })
+    }
+
+    /// Applies a substitution to the body, keeping output variables that are
+    /// still variables after the substitution.
+    pub fn apply(&self, subst: &Substitution) -> ConjunctiveQuery {
+        let output = self
+            .output
+            .iter()
+            .filter_map(|v| subst.apply_term(&Term::Var(*v)).as_var())
+            .collect();
+        ConjunctiveQuery {
+            output,
+            atoms: subst.apply_atoms(&self.atoms),
+        }
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let out: Vec<String> = self.output.iter().map(|v| v.to_string()).collect();
+        let body: Vec<String> = self.atoms.iter().map(|a| a.to_string()).collect();
+        write!(f, "Q({}) :- {}.", out.join(", "), body.join(", "))
+    }
+}
+
+impl fmt::Debug for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+
+    fn var(n: &str) -> Term {
+        Term::variable(n)
+    }
+
+    fn v(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    fn chain_instance() -> Instance {
+        Database::from_facts([
+            ("edge", vec!["a", "b"]),
+            ("edge", vec!["b", "c"]),
+            ("colour", vec!["b", "red"]),
+        ])
+        .unwrap()
+        .into_instance()
+    }
+
+    #[test]
+    fn evaluation_returns_answer_tuples() {
+        let q = ConjunctiveQuery::new(
+            vec![v("X"), v("Z")],
+            vec![
+                Atom::new("edge", vec![var("X"), var("Y")]),
+                Atom::new("edge", vec![var("Y"), var("Z")]),
+            ],
+        )
+        .unwrap();
+        let answers = q.evaluate(&chain_instance());
+        assert_eq!(answers.len(), 1);
+        assert!(answers.contains(&vec![Symbol::new("a"), Symbol::new("c")]));
+    }
+
+    #[test]
+    fn boolean_queries_report_satisfiability() {
+        let yes = ConjunctiveQuery::boolean(vec![Atom::new(
+            "colour",
+            vec![var("X"), Term::constant("red")],
+        )])
+        .unwrap();
+        let no = ConjunctiveQuery::boolean(vec![Atom::new(
+            "colour",
+            vec![var("X"), Term::constant("blue")],
+        )])
+        .unwrap();
+        let inst = chain_instance();
+        assert!(yes.holds_in(&inst));
+        assert!(!no.holds_in(&inst));
+    }
+
+    #[test]
+    fn output_variables_must_occur_in_body() {
+        let bad = ConjunctiveQuery::new(
+            vec![v("Missing")],
+            vec![Atom::new("edge", vec![var("X"), var("Y")])],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn answers_with_nulls_are_dropped() {
+        use crate::term::NullId;
+        let mut inst = Instance::new();
+        inst.insert(Atom::new(
+            "r",
+            vec![Term::constant("a"), Term::Null(NullId(0))],
+        ))
+        .unwrap();
+        let q = ConjunctiveQuery::new(
+            vec![v("Y")],
+            vec![Atom::new("r", vec![var("X"), var("Y")])],
+        )
+        .unwrap();
+        assert!(q.evaluate(&inst).is_empty());
+        // But the Boolean projection of the same query holds.
+        let b = ConjunctiveQuery::boolean(vec![Atom::new("r", vec![var("X"), var("Y")])]).unwrap();
+        assert!(b.holds_in(&inst));
+    }
+
+    #[test]
+    fn instantiate_freezes_output_variables() {
+        let q = ConjunctiveQuery::new(
+            vec![v("X")],
+            vec![Atom::new("edge", vec![var("X"), var("Y")])],
+        )
+        .unwrap();
+        let frozen = q.instantiate(&[Symbol::new("a")]).unwrap();
+        assert!(frozen.is_boolean());
+        assert_eq!(frozen.atoms[0].to_string(), "edge(a, Y)");
+        assert!(q.instantiate(&[Symbol::new("a"), Symbol::new("b")]).is_none());
+    }
+
+    #[test]
+    fn existential_variables_exclude_output() {
+        let q = ConjunctiveQuery::new(
+            vec![v("X")],
+            vec![Atom::new("edge", vec![var("X"), var("Y")])],
+        )
+        .unwrap();
+        assert_eq!(q.existential_variables(), vec![v("Y")]);
+    }
+}

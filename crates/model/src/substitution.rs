@@ -1,0 +1,243 @@
+//! Substitutions: finite mappings from variables (and nulls) to terms.
+//!
+//! Substitutions are the workhorse of the whole system: homomorphisms,
+//! most-general unifiers, chase triggers and chunk unifiers are all
+//! substitutions with extra conditions. Following the paper, a substitution is
+//! always the identity on constants; we additionally allow labelled nulls in
+//! the domain because homomorphisms between chase instances must map nulls.
+
+use crate::atom::Atom;
+use crate::term::{Term, Variable};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A substitution `{x₁ ↦ t₁, …, xₙ ↦ tₙ}` with variables or nulls in its
+/// domain. The identity on everything not explicitly mapped.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Substitution {
+    map: BTreeMap<Term, Term>,
+}
+
+impl Substitution {
+    /// The empty (identity) substitution.
+    pub fn new() -> Substitution {
+        Substitution::default()
+    }
+
+    /// Number of explicit bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff no bindings are present.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Binds `from` (a variable or null term) to `to`. Panics if `from` is a
+    /// constant — substitutions are always the identity on constants.
+    pub fn bind(&mut self, from: Term, to: Term) {
+        assert!(
+            !from.is_const(),
+            "substitutions must be the identity on constants (tried to bind {from})"
+        );
+        self.map.insert(from, to);
+    }
+
+    /// Convenience: binds a variable to a term.
+    pub fn bind_var(&mut self, v: Variable, to: Term) {
+        self.map.insert(Term::Var(v), to);
+    }
+
+    /// Looks up the image of a term. Returns `None` if the term is unmapped.
+    pub fn get(&self, t: &Term) -> Option<Term> {
+        self.map.get(t).copied()
+    }
+
+    /// The image of a variable, if bound.
+    pub fn get_var(&self, v: Variable) -> Option<Term> {
+        self.map.get(&Term::Var(v)).copied()
+    }
+
+    /// Applies the substitution to a term (single step, no path compression —
+    /// bindings produced by unification are already fully resolved).
+    pub fn apply_term(&self, t: &Term) -> Term {
+        match t {
+            Term::Const(_) => *t,
+            other => self.map.get(other).copied().unwrap_or(*other),
+        }
+    }
+
+    /// Applies the substitution to every argument of an atom.
+    pub fn apply_atom(&self, a: &Atom) -> Atom {
+        Atom {
+            predicate: a.predicate,
+            terms: a.terms.iter().map(|t| self.apply_term(t)).collect(),
+        }
+    }
+
+    /// Applies the substitution to a sequence of atoms.
+    pub fn apply_atoms(&self, atoms: &[Atom]) -> Vec<Atom> {
+        atoms.iter().map(|a| self.apply_atom(a)).collect()
+    }
+
+    /// Restricts the substitution to the given domain of variables
+    /// (the paper's `h|S`).
+    pub fn restrict_to_vars(&self, vars: &[Variable]) -> Substitution {
+        let mut out = Substitution::new();
+        for v in vars {
+            if let Some(t) = self.get_var(*v) {
+                out.bind_var(*v, t);
+            }
+        }
+        out
+    }
+
+    /// Composition `other ∘ self`: first apply `self`, then `other`.
+    /// Every binding of `self` is rewritten by `other`, and bindings of
+    /// `other` whose domain is untouched by `self` are added.
+    pub fn compose(&self, other: &Substitution) -> Substitution {
+        let mut out = Substitution::new();
+        for (from, to) in &self.map {
+            out.map.insert(*from, other.apply_term(to));
+        }
+        for (from, to) in &other.map {
+            out.map.entry(*from).or_insert(*to);
+        }
+        out
+    }
+
+    /// Extends this substitution with the bindings of `other`, failing (by
+    /// returning `false`) on any conflicting binding.
+    pub fn merge_compatible(&mut self, other: &Substitution) -> bool {
+        for (from, to) in &other.map {
+            match self.map.get(from) {
+                Some(existing) if existing != to => return false,
+                Some(_) => {}
+                None => {
+                    self.map.insert(*from, *to);
+                }
+            }
+        }
+        true
+    }
+
+    /// Iterates over the explicit bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&Term, &Term)> {
+        self.map.iter()
+    }
+
+    /// The explicit domain of the substitution.
+    pub fn domain(&self) -> impl Iterator<Item = &Term> {
+        self.map.keys()
+    }
+
+    /// `true` iff every explicit binding maps a term to a constant.
+    pub fn is_grounding(&self) -> bool {
+        self.map.values().all(Term::is_const)
+    }
+}
+
+impl fmt::Display for Substitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (from, to)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{from} ↦ {to}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Substitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromIterator<(Variable, Term)> for Substitution {
+    fn from_iter<I: IntoIterator<Item = (Variable, Term)>>(iter: I) -> Self {
+        let mut s = Substitution::new();
+        for (v, t) in iter {
+            s.bind_var(v, t);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::NullId;
+
+    fn v(name: &str) -> Variable {
+        Variable::new(name)
+    }
+
+    #[test]
+    fn apply_to_atom_replaces_only_bound_terms() {
+        let mut s = Substitution::new();
+        s.bind_var(v("X"), Term::constant("a"));
+        let atom = Atom::new(
+            "r",
+            vec![Term::variable("X"), Term::variable("Y"), Term::constant("c")],
+        );
+        let applied = s.apply_atom(&atom);
+        assert_eq!(applied.to_string(), "r(a, Y, c)");
+    }
+
+    #[test]
+    #[should_panic(expected = "identity on constants")]
+    fn binding_a_constant_panics() {
+        let mut s = Substitution::new();
+        s.bind(Term::constant("a"), Term::constant("b"));
+    }
+
+    #[test]
+    fn restriction_keeps_only_requested_vars() {
+        let mut s = Substitution::new();
+        s.bind_var(v("X"), Term::constant("a"));
+        s.bind_var(v("Y"), Term::constant("b"));
+        let r = s.restrict_to_vars(&[v("X")]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get_var(v("X")), Some(Term::constant("a")));
+        assert_eq!(r.get_var(v("Y")), None);
+    }
+
+    #[test]
+    fn composition_applies_left_then_right() {
+        // self: X -> Y ; other: Y -> a. compose = X -> a (plus Y -> a).
+        let mut s = Substitution::new();
+        s.bind_var(v("X"), Term::variable("Y"));
+        let mut o = Substitution::new();
+        o.bind_var(v("Y"), Term::constant("a"));
+        let c = s.compose(&o);
+        assert_eq!(c.get_var(v("X")), Some(Term::constant("a")));
+        assert_eq!(c.get_var(v("Y")), Some(Term::constant("a")));
+    }
+
+    #[test]
+    fn merge_compatible_detects_conflicts() {
+        let mut s = Substitution::new();
+        s.bind_var(v("X"), Term::constant("a"));
+        let mut o = Substitution::new();
+        o.bind_var(v("X"), Term::constant("b"));
+        assert!(!s.clone().merge_compatible(&o));
+
+        let mut o2 = Substitution::new();
+        o2.bind_var(v("X"), Term::constant("a"));
+        o2.bind_var(v("Y"), Term::constant("c"));
+        assert!(s.merge_compatible(&o2));
+        assert_eq!(s.get_var(v("Y")), Some(Term::constant("c")));
+    }
+
+    #[test]
+    fn nulls_can_be_mapped() {
+        let mut s = Substitution::new();
+        s.bind(Term::Null(NullId(0)), Term::constant("a"));
+        assert_eq!(s.apply_term(&Term::Null(NullId(0))), Term::constant("a"));
+        assert!(s.is_grounding());
+    }
+}

@@ -1,0 +1,128 @@
+//! Global string interning.
+//!
+//! Constants, predicate names and variable names all appear many times in
+//! atoms, rules and database facts. Interning them once turns every later
+//! comparison and hash into an integer operation, which is essential for the
+//! join- and unification-heavy workloads of the chase and the proof-tree
+//! search.
+//!
+//! The interner is global and append-only: a [`Symbol`] is a `u32` index into
+//! a process-wide table. Interned strings are leaked exactly once, so
+//! [`Symbol::as_str`] can hand out `&'static str` without a guard.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string. Cheap to copy, compare and hash.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name` and returns its symbol. Interning the same string twice
+    /// yields the same symbol.
+    pub fn new(name: &str) -> Symbol {
+        {
+            let guard = interner().read();
+            if let Some(&id) = guard.by_name.get(name) {
+                return Symbol(id);
+            }
+        }
+        let mut guard = interner().write();
+        if let Some(&id) = guard.by_name.get(name) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = guard.names.len() as u32;
+        guard.names.push(leaked);
+        guard.by_name.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The string this symbol was interned from.
+    pub fn as_str(&self) -> &'static str {
+        interner().read().names[self.0 as usize]
+    }
+
+    /// The raw interner index. Useful for dense per-symbol tables.
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::new(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("edge");
+        let b = Symbol::new("edge");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "edge");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Symbol::new("alpha_sym_test");
+        let b = Symbol::new("beta_sym_test");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "alpha_sym_test");
+        assert_eq!(b.as_str(), "beta_sym_test");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let a = Symbol::new("hello_world");
+        assert_eq!(a.to_string(), "hello_world");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Symbol::new("concurrent_symbol").index()))
+            .collect();
+        let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,174 @@
+//! Terms: constants, variables and labelled nulls (Section 2 of the paper).
+
+use crate::symbols::Symbol;
+use std::fmt;
+
+/// A variable. Variables are identified by their (interned) name; renaming a
+/// rule apart simply produces variables with fresh names.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Variable(pub Symbol);
+
+impl Variable {
+    /// Creates a variable with the given name.
+    pub fn new(name: &str) -> Variable {
+        Variable(Symbol::new(name))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Debug for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.name())
+    }
+}
+
+/// A labelled null, invented by a chase step for an existentially quantified
+/// variable. Nulls are identified by a numeric id that is unique within a
+/// chase run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NullId(pub u64);
+
+impl fmt::Display for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⊥{}", self.0)
+    }
+}
+
+impl fmt::Debug for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Null({})", self.0)
+    }
+}
+
+/// A term: a constant of **C**, a variable of **V**, or a labelled null of
+/// **N** (the three disjoint countably infinite sets of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A constant.
+    Const(Symbol),
+    /// A variable.
+    Var(Variable),
+    /// A labelled null.
+    Null(NullId),
+}
+
+impl Term {
+    /// Convenience constructor for a constant term.
+    pub fn constant(name: &str) -> Term {
+        Term::Const(Symbol::new(name))
+    }
+
+    /// Convenience constructor for a variable term.
+    pub fn variable(name: &str) -> Term {
+        Term::Var(Variable::new(name))
+    }
+
+    /// `true` iff this term is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// `true` iff this term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// `true` iff this term is a labelled null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Term::Null(_))
+    }
+
+    /// The variable inside this term, if any.
+    pub fn as_var(&self) -> Option<Variable> {
+        match self {
+            Term::Var(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The constant inside this term, if any.
+    pub fn as_const(&self) -> Option<Symbol> {
+        match self {
+            Term::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The null inside this term, if any.
+    pub fn as_null(&self) -> Option<NullId> {
+        match self {
+            Term::Null(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Null(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<Variable> for Term {
+    fn from(v: Variable) -> Term {
+        Term::Var(v)
+    }
+}
+
+impl From<NullId> for Term {
+    fn from(n: NullId) -> Term {
+        Term::Null(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_predicates() {
+        let c = Term::constant("a");
+        let v = Term::variable("X");
+        let n = Term::Null(NullId(3));
+        assert!(c.is_const() && !c.is_var() && !c.is_null());
+        assert!(v.is_var() && !v.is_const());
+        assert!(n.is_null());
+        assert_eq!(v.as_var(), Some(Variable::new("X")));
+        assert_eq!(c.as_const(), Some(Symbol::new("a")));
+        assert_eq!(n.as_null(), Some(NullId(3)));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Term::constant("a"), Term::constant("a"));
+        assert_ne!(Term::constant("a"), Term::variable("a"));
+        assert_ne!(Term::Null(NullId(1)), Term::Null(NullId(2)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::constant("a").to_string(), "a");
+        assert_eq!(Term::variable("X").to_string(), "X");
+        assert_eq!(Term::Null(NullId(7)).to_string(), "⊥7");
+    }
+}

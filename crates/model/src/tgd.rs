@@ -1,0 +1,250 @@
+//! Tuple-generating dependencies (TGDs), a.k.a. existential rules /
+//! Datalog∃ rules (Section 2 of the paper).
+
+use crate::atom::{variables_of, Atom, Predicate};
+use crate::error::ModelError;
+use crate::substitution::Substitution;
+use crate::term::{Term, Variable};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A TGD `∀x̄∀ȳ (φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄))`, stored as a body and a head list of
+/// atoms. Universally quantified variables are the body variables; variables
+/// occurring only in the head are implicitly existentially quantified.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tgd {
+    /// The body φ.
+    pub body: Vec<Atom>,
+    /// The head ψ.
+    pub head: Vec<Atom>,
+}
+
+impl Tgd {
+    /// Creates a TGD and validates it structurally.
+    pub fn new(body: Vec<Atom>, head: Vec<Atom>) -> Result<Tgd, ModelError> {
+        let tgd = Tgd { body, head };
+        tgd.validate()?;
+        Ok(tgd)
+    }
+
+    /// Creates a TGD without validation (used internally when the invariants
+    /// are known to hold, e.g. after renaming variables apart).
+    pub fn new_unchecked(body: Vec<Atom>, head: Vec<Atom>) -> Tgd {
+        Tgd { body, head }
+    }
+
+    /// Structural validation: non-empty body and head, no constants or nulls
+    /// in the TGD (the paper's TGDs are constant-free; the parser enforces the
+    /// same restriction), and at least one frontier or existential variable in
+    /// each head atom is not required but each head atom must only use body
+    /// variables or existential variables (trivially true).
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.body.is_empty() {
+            return Err(ModelError::InvalidTgd("empty body".into()));
+        }
+        if self.head.is_empty() {
+            return Err(ModelError::InvalidTgd("empty head".into()));
+        }
+        for atom in self.body.iter().chain(self.head.iter()) {
+            for t in &atom.terms {
+                match t {
+                    Term::Null(_) => {
+                        return Err(ModelError::InvalidTgd(format!(
+                            "TGD contains a labelled null in {atom}"
+                        )))
+                    }
+                    Term::Const(_) => {
+                        return Err(ModelError::InvalidTgd(format!(
+                            "TGD contains a constant in {atom}; the formalism of the paper is constant-free"
+                        )))
+                    }
+                    Term::Var(_) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The variables occurring in the body.
+    pub fn body_variables(&self) -> Vec<Variable> {
+        variables_of(&self.body)
+    }
+
+    /// The variables occurring in the head.
+    pub fn head_variables(&self) -> Vec<Variable> {
+        variables_of(&self.head)
+    }
+
+    /// The frontier: variables occurring in both body and head.
+    pub fn frontier(&self) -> BTreeSet<Variable> {
+        let body: BTreeSet<Variable> = self.body_variables().into_iter().collect();
+        self.head_variables()
+            .into_iter()
+            .filter(|v| body.contains(v))
+            .collect()
+    }
+
+    /// The existentially quantified variables: head variables that do not
+    /// occur in the body (the paper's `var∃(σ)`).
+    pub fn existential_variables(&self) -> BTreeSet<Variable> {
+        let body: BTreeSet<Variable> = self.body_variables().into_iter().collect();
+        self.head_variables()
+            .into_iter()
+            .filter(|v| !body.contains(v))
+            .collect()
+    }
+
+    /// `true` iff the TGD has no existential variables (a *full* TGD).
+    pub fn is_full(&self) -> bool {
+        self.existential_variables().is_empty()
+    }
+
+    /// `true` iff the TGD is full and has a single head atom — i.e. a Datalog
+    /// rule (the paper's class `FULL₁`).
+    pub fn is_datalog_rule(&self) -> bool {
+        self.is_full() && self.head.len() == 1
+    }
+
+    /// The predicates occurring in the body.
+    pub fn body_predicates(&self) -> BTreeSet<Predicate> {
+        self.body.iter().map(|a| a.predicate).collect()
+    }
+
+    /// The predicates occurring in the head.
+    pub fn head_predicates(&self) -> BTreeSet<Predicate> {
+        self.head.iter().map(|a| a.predicate).collect()
+    }
+
+    /// Renames every variable `x` of the TGD to `x__<tag>` (the paper's `σ_o`
+    /// device for avoiding variable clashes during resolution).
+    pub fn rename_apart(&self, tag: &str) -> Tgd {
+        let mut subst = Substitution::new();
+        for v in self
+            .body_variables()
+            .into_iter()
+            .chain(self.head_variables())
+        {
+            let fresh = Variable::new(&format!("{}__{}", v.name(), tag));
+            subst.bind_var(v, Term::Var(fresh));
+        }
+        Tgd {
+            body: subst.apply_atoms(&self.body),
+            head: subst.apply_atoms(&self.head),
+        }
+    }
+
+    /// Applies a substitution to both body and head.
+    pub fn apply(&self, subst: &Substitution) -> Tgd {
+        Tgd {
+            body: subst.apply_atoms(&self.body),
+            head: subst.apply_atoms(&self.head),
+        }
+    }
+}
+
+impl fmt::Display for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let body: Vec<String> = self.body.iter().map(|a| a.to_string()).collect();
+        let head: Vec<String> = self.head.iter().map(|a| a.to_string()).collect();
+        write!(f, "{} :- {}.", head.join(", "), body.join(", "))
+    }
+}
+
+impl fmt::Debug for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(n: &str) -> Term {
+        Term::variable(n)
+    }
+
+    /// P(x) → ∃z R(x, z)
+    fn existential_tgd() -> Tgd {
+        Tgd::new(
+            vec![Atom::new("p", vec![var("X")])],
+            vec![Atom::new("r", vec![var("X"), var("Z")])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn frontier_and_existential_variables() {
+        let t = existential_tgd();
+        assert_eq!(
+            t.frontier().into_iter().collect::<Vec<_>>(),
+            vec![Variable::new("X")]
+        );
+        assert_eq!(
+            t.existential_variables().into_iter().collect::<Vec<_>>(),
+            vec![Variable::new("Z")]
+        );
+        assert!(!t.is_full());
+        assert!(!t.is_datalog_rule());
+    }
+
+    #[test]
+    fn full_single_head_tgds_are_datalog_rules() {
+        let t = Tgd::new(
+            vec![Atom::new("edge", vec![var("X"), var("Y")])],
+            vec![Atom::new("t", vec![var("X"), var("Y")])],
+        )
+        .unwrap();
+        assert!(t.is_full());
+        assert!(t.is_datalog_rule());
+    }
+
+    #[test]
+    fn empty_body_or_head_is_invalid() {
+        assert!(Tgd::new(vec![], vec![Atom::new("p", vec![var("X")])]).is_err());
+        assert!(Tgd::new(vec![Atom::new("p", vec![var("X")])], vec![]).is_err());
+    }
+
+    #[test]
+    fn constants_in_tgds_are_rejected() {
+        let bad = Tgd::new(
+            vec![Atom::new("p", vec![Term::constant("a")])],
+            vec![Atom::new("q", vec![var("X")])],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn rename_apart_produces_disjoint_variables() {
+        let t = existential_tgd();
+        let renamed = t.rename_apart("7");
+        let original_vars: BTreeSet<Variable> = t
+            .body_variables()
+            .into_iter()
+            .chain(t.head_variables())
+            .collect();
+        let renamed_vars: BTreeSet<Variable> = renamed
+            .body_variables()
+            .into_iter()
+            .chain(renamed.head_variables())
+            .collect();
+        assert!(original_vars.is_disjoint(&renamed_vars));
+        // Structure preserved.
+        assert_eq!(renamed.body.len(), 1);
+        assert_eq!(renamed.head.len(), 1);
+        assert_eq!(renamed.existential_variables().len(), 1);
+    }
+
+    #[test]
+    fn display_uses_rule_syntax() {
+        let t = existential_tgd();
+        assert_eq!(t.to_string(), "r(X, Z) :- p(X).");
+    }
+
+    #[test]
+    fn predicates_are_reported() {
+        let t = existential_tgd();
+        assert!(t.body_predicates().contains(&Predicate::new("p")));
+        assert!(t.head_predicates().contains(&Predicate::new("r")));
+    }
+}

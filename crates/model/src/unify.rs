@@ -1,0 +1,170 @@
+//! Most-general unifiers for atoms (Section 4.1 of the paper).
+//!
+//! Terms are flat (no function symbols), so unification is simple: walk the
+//! argument lists, bind variables, and require constants/nulls to be equal.
+//! The chunk-unifier conditions specific to existential variables live in
+//! `vadalog-core`; this module provides the underlying syntactic MGU.
+
+use crate::atom::Atom;
+use crate::substitution::Substitution;
+use crate::term::Term;
+
+/// Computes a most-general unifier of two atoms, if one exists. The returned
+/// substitution is idempotent and the identity on constants.
+pub fn mgu_atom_with_atom(a: &Atom, b: &Atom) -> Option<Substitution> {
+    if a.predicate != b.predicate || a.arity() != b.arity() {
+        return None;
+    }
+    let mut subst = Substitution::new();
+    for (ta, tb) in a.terms.iter().zip(b.terms.iter()) {
+        let ta = subst.apply_term(ta);
+        let tb = subst.apply_term(tb);
+        if ta == tb {
+            continue;
+        }
+        match (ta, tb) {
+            (Term::Var(_), _) => extend(&mut subst, ta, tb),
+            (_, Term::Var(_)) => extend(&mut subst, tb, ta),
+            // Distinct constants or nulls: not unifiable.
+            _ => return None,
+        }
+    }
+    Some(subst)
+}
+
+/// Unifies every atom of `atoms` with `target` under a single substitution γ,
+/// i.e. computes γ such that γ(a) = γ(target) for every `a ∈ atoms`. This is
+/// the shape of unifier needed by chunk-based resolution once TGDs are in
+/// single-head normal form (the set S₁ of query atoms is unified, as a whole,
+/// with the single head atom S₂).
+pub fn unify_all_with(atoms: &[Atom], target: &Atom) -> Option<Substitution> {
+    let mut subst = Substitution::new();
+    for atom in atoms {
+        let a = subst.apply_atom(atom);
+        let t = subst.apply_atom(target);
+        let step = mgu_atom_with_atom(&a, &t)?;
+        subst = subst.compose(&step);
+    }
+    // Make the result idempotent by applying it to its own images once more.
+    Some(normalize(subst))
+}
+
+fn extend(subst: &mut Substitution, var_term: Term, value: Term) {
+    // Rewrite existing bindings that point at `var_term` so the substitution
+    // stays fully resolved.
+    let mut step = Substitution::new();
+    step.bind(var_term, value);
+    *subst = subst.compose(&step);
+    subst.bind(var_term, value);
+}
+
+fn normalize(subst: Substitution) -> Substitution {
+    let mut out = Substitution::new();
+    for (from, to) in subst.iter() {
+        out.bind(*from, subst.apply_term(to));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{NullId, Variable};
+
+    fn var(n: &str) -> Term {
+        Term::variable(n)
+    }
+
+    fn cst(n: &str) -> Term {
+        Term::constant(n)
+    }
+
+    #[test]
+    fn unifies_variables_with_constants() {
+        let a = Atom::new("r", vec![var("X"), cst("b")]);
+        let b = Atom::new("r", vec![cst("a"), var("Y")]);
+        let mgu = mgu_atom_with_atom(&a, &b).unwrap();
+        assert_eq!(mgu.apply_atom(&a), mgu.apply_atom(&b));
+        assert_eq!(mgu.get_var(Variable::new("X")), Some(cst("a")));
+        assert_eq!(mgu.get_var(Variable::new("Y")), Some(cst("b")));
+    }
+
+    #[test]
+    fn distinct_constants_do_not_unify() {
+        let a = Atom::new("r", vec![cst("a")]);
+        let b = Atom::new("r", vec![cst("b")]);
+        assert!(mgu_atom_with_atom(&a, &b).is_none());
+    }
+
+    #[test]
+    fn different_predicates_or_arities_do_not_unify() {
+        let a = Atom::new("r", vec![var("X")]);
+        let b = Atom::new("s", vec![var("X")]);
+        assert!(mgu_atom_with_atom(&a, &b).is_none());
+        let c = Atom::new("r", vec![var("X"), var("Y")]);
+        assert!(mgu_atom_with_atom(&a, &c).is_none());
+    }
+
+    #[test]
+    fn variable_to_variable_bindings_propagate() {
+        // r(X, X) with r(Y, a): X ↦ Y, then Y ↦ a must give X ↦ a too.
+        let a = Atom::new("r", vec![var("X"), var("X")]);
+        let b = Atom::new("r", vec![var("Y"), cst("a")]);
+        let mgu = mgu_atom_with_atom(&a, &b).unwrap();
+        assert_eq!(mgu.apply_atom(&a), mgu.apply_atom(&b));
+        assert_eq!(mgu.apply_term(&var("X")), cst("a"));
+        assert_eq!(mgu.apply_term(&var("Y")), cst("a"));
+    }
+
+    #[test]
+    fn repeated_variable_conflicts_are_rejected() {
+        // r(X, X) cannot unify with r(a, b).
+        let a = Atom::new("r", vec![var("X"), var("X")]);
+        let b = Atom::new("r", vec![cst("a"), cst("b")]);
+        assert!(mgu_atom_with_atom(&a, &b).is_none());
+    }
+
+    #[test]
+    fn nulls_behave_like_constants_in_unification() {
+        let n = Term::Null(NullId(1));
+        let a = Atom::new("r", vec![n, var("X")]);
+        let b = Atom::new("r", vec![var("Y"), cst("a")]);
+        let mgu = mgu_atom_with_atom(&a, &b).unwrap();
+        assert_eq!(mgu.apply_term(&var("Y")), n);
+
+        let c = Atom::new("r", vec![n]);
+        let d = Atom::new("r", vec![Term::Null(NullId(2))]);
+        assert!(mgu_atom_with_atom(&c, &d).is_none());
+    }
+
+    #[test]
+    fn unify_all_with_merges_several_query_atoms() {
+        // {T(X, Y), T(X, Z)} unified with head atom T(W, W):
+        // requires Y = Z = W... actually X↦W? Unifier: X↦W? Let's check:
+        // unify T(X,Y) with T(W,W): X↦W, Y↦W. Then T(X,Z)→T(W,Z) with T(W,W): Z↦W.
+        let q1 = Atom::new("t", vec![var("X"), var("Y")]);
+        let q2 = Atom::new("t", vec![var("X"), var("Z")]);
+        let head = Atom::new("t", vec![var("W"), var("W")]);
+        let gamma = unify_all_with(&[q1.clone(), q2.clone()], &head).unwrap();
+        assert_eq!(gamma.apply_atom(&q1), gamma.apply_atom(&head));
+        assert_eq!(gamma.apply_atom(&q2), gamma.apply_atom(&head));
+    }
+
+    #[test]
+    fn unify_all_with_fails_on_conflicting_constants() {
+        let q1 = Atom::new("t", vec![cst("a"), var("Y")]);
+        let q2 = Atom::new("t", vec![cst("b"), var("Z")]);
+        let head = Atom::new("t", vec![var("W"), var("V")]);
+        assert!(unify_all_with(&[q1, q2], &head).is_none());
+    }
+
+    #[test]
+    fn mgu_is_most_general_for_simple_cases() {
+        // Unifying r(X) with r(Y) should not ground anything.
+        let a = Atom::new("r", vec![var("X")]);
+        let b = Atom::new("r", vec![var("Y")]);
+        let mgu = mgu_atom_with_atom(&a, &b).unwrap();
+        assert_eq!(mgu.apply_atom(&a), mgu.apply_atom(&b));
+        assert!(mgu.len() == 1);
+    }
+}

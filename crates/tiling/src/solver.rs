@@ -1,0 +1,212 @@
+//! A bounded brute-force tiling solver.
+//!
+//! The unbounded tiling problem is undecidable, but for fixed maximum width
+//! and height it is a finite search. The solver is used to cross-validate the
+//! Section 5 reduction: whenever a tiling of bounded size exists, the Boolean
+//! query of the reduction is a certain answer (witnessed by a sufficiently
+//! deep chase), and the E5 experiment checks exactly that correspondence.
+
+use crate::system::TilingSystem;
+
+/// A concrete tiling: `rows[i][j]` is the tile at row `i` (top to bottom),
+/// column `j` (left to right).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tiling {
+    /// The rows of the tiling, each of equal width.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Tiling {
+    /// Width (number of columns).
+    pub fn width(&self) -> usize {
+        self.rows.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Height (number of rows).
+    pub fn height(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Checks that this tiling is valid for the given system.
+    pub fn is_valid_for(&self, system: &TilingSystem) -> bool {
+        let (w, h) = (self.width(), self.height());
+        if w == 0 || h == 0 {
+            return false;
+        }
+        if self.rows.iter().any(|r| r.len() != w) {
+            return false;
+        }
+        if self.rows[0][0] != system.start || self.rows[h - 1][0] != system.finish {
+            return false;
+        }
+        for row in &self.rows {
+            if !system.left.contains(&row[0]) || !system.right.contains(&row[w - 1]) {
+                return false;
+            }
+            for j in 0..w - 1 {
+                if !system.allows_horizontal(&row[j], &row[j + 1]) {
+                    return false;
+                }
+            }
+        }
+        for i in 0..h - 1 {
+            for j in 0..w {
+                if !system.allows_vertical(&self.rows[i][j], &self.rows[i + 1][j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Searches for a tiling of width ≤ `max_width` and height ≤ `max_height`.
+/// Returns the first tiling found, if any.
+pub fn has_tiling_within(
+    system: &TilingSystem,
+    max_width: usize,
+    max_height: usize,
+) -> Option<Tiling> {
+    for width in 1..=max_width {
+        // All rows of this width that respect H and the border conditions.
+        let rows = enumerate_rows(system, width);
+        if rows.is_empty() {
+            continue;
+        }
+        // First rows must start with the start tile, last rows with finish.
+        let starts: Vec<&Vec<String>> = rows.iter().filter(|r| r[0] == system.start).collect();
+        if starts.is_empty() {
+            continue;
+        }
+        for first in starts {
+            let mut stack = vec![first.clone()];
+            if let Some(solution) =
+                extend_downwards(system, &rows, &mut stack, max_height)
+            {
+                return Some(solution);
+            }
+        }
+    }
+    None
+}
+
+fn extend_downwards(
+    system: &TilingSystem,
+    rows: &[Vec<String>],
+    stack: &mut Vec<Vec<String>>,
+    max_height: usize,
+) -> Option<Tiling> {
+    let last = stack.last().expect("stack never empty").clone();
+    if last[0] == system.finish && stack.len() >= 2 {
+        return Some(Tiling { rows: stack.clone() });
+    }
+    // A single-row tiling is allowed if start == finish, which well-formed
+    // systems exclude; still handle it for robustness.
+    if last[0] == system.finish && system.start == system.finish {
+        return Some(Tiling { rows: stack.clone() });
+    }
+    if stack.len() >= max_height {
+        return None;
+    }
+    for candidate in rows {
+        if (0..last.len()).all(|j| system.allows_vertical(&last[j], &candidate[j])) {
+            stack.push(candidate.clone());
+            if let Some(sol) = extend_downwards(system, rows, stack, max_height) {
+                return Some(sol);
+            }
+            stack.pop();
+        }
+    }
+    None
+}
+
+/// Enumerates every row of exactly `width` tiles that starts in `L`, ends in
+/// `R` and respects the horizontal constraints.
+fn enumerate_rows(system: &TilingSystem, width: usize) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    let mut partial: Vec<String> = Vec::new();
+    fn recurse(
+        system: &TilingSystem,
+        width: usize,
+        partial: &mut Vec<String>,
+        out: &mut Vec<Vec<String>>,
+    ) {
+        if partial.len() == width {
+            if system.right.contains(partial.last().unwrap()) {
+                out.push(partial.clone());
+            }
+            return;
+        }
+        for tile in &system.tiles {
+            let ok = if partial.is_empty() {
+                system.left.contains(tile)
+            } else {
+                system.allows_horizontal(partial.last().unwrap(), tile)
+            };
+            if ok {
+                partial.push(tile.clone());
+                recurse(system, width, partial, out);
+                partial.pop();
+            }
+        }
+    }
+    recurse(system, width, &mut partial, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solvable_example_has_a_small_tiling() {
+        let system = TilingSystem::solvable_example();
+        let tiling = has_tiling_within(&system, 4, 4).expect("solvable");
+        assert!(tiling.is_valid_for(&system));
+        assert_eq!(tiling.rows[0][0], "a");
+        assert_eq!(tiling.rows.last().unwrap()[0], "b");
+    }
+
+    #[test]
+    fn unsolvable_example_has_no_tiling_within_bounds() {
+        let system = TilingSystem::unsolvable_example();
+        assert!(has_tiling_within(&system, 5, 5).is_none());
+    }
+
+    #[test]
+    fn validity_checks_catch_broken_tilings() {
+        let system = TilingSystem::solvable_example();
+        let good = Tiling {
+            rows: vec![
+                vec!["a".into(), "r".into()],
+                vec!["b".into(), "r".into()],
+            ],
+        };
+        assert!(good.is_valid_for(&system));
+        let bad_borders = Tiling {
+            rows: vec![
+                vec!["r".into(), "r".into()],
+                vec!["b".into(), "r".into()],
+            ],
+        };
+        assert!(!bad_borders.is_valid_for(&system));
+        let bad_vertical = Tiling {
+            rows: vec![
+                vec!["b".into(), "r".into()],
+                vec!["a".into(), "r".into()],
+            ],
+        };
+        assert!(!bad_vertical.is_valid_for(&system));
+    }
+
+    #[test]
+    fn row_enumeration_respects_constraints() {
+        let system = TilingSystem::solvable_example();
+        let rows = enumerate_rows(&system, 2);
+        // a r and b r are the only valid rows of width 2.
+        assert_eq!(rows.len(), 2);
+        let rows3 = enumerate_rows(&system, 3);
+        // a r r and b r r.
+        assert_eq!(rows3.len(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Tiling systems (Section 5).
+
+use std::collections::BTreeSet;
+
+/// A tiling system `T = (T, L, R, H, V, a, b)`.
+///
+/// A *tiling* is a function `f : [n] × [m] → T` (n columns of m rows in the
+/// paper's convention: `f(1,1) = a` starts the first row, `f(1,m) = b` starts
+/// the last row) such that the leftmost column carries only tiles of `L`, the
+/// rightmost column only tiles of `R`, and horizontally/vertically adjacent
+/// tiles satisfy `H` and `V` respectively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilingSystem {
+    /// The tiles, identified by name.
+    pub tiles: Vec<String>,
+    /// Left border tiles `L ⊆ T`.
+    pub left: BTreeSet<String>,
+    /// Right border tiles `R ⊆ T` (disjoint from `L`).
+    pub right: BTreeSet<String>,
+    /// Horizontal constraints: `(t, t')` allows `t'` to appear immediately to
+    /// the right of `t`.
+    pub horizontal: BTreeSet<(String, String)>,
+    /// Vertical constraints: `(t, t')` allows `t'` to appear immediately
+    /// below `t`.
+    pub vertical: BTreeSet<(String, String)>,
+    /// The start tile `a` (first tile of the first row).
+    pub start: String,
+    /// The finish tile `b` (first tile of the last row).
+    pub finish: String,
+}
+
+impl TilingSystem {
+    /// Creates a tiling system, checking basic well-formedness: all referenced
+    /// tiles exist and `L ∩ R = ∅`.
+    pub fn new(
+        tiles: Vec<&str>,
+        left: Vec<&str>,
+        right: Vec<&str>,
+        horizontal: Vec<(&str, &str)>,
+        vertical: Vec<(&str, &str)>,
+        start: &str,
+        finish: &str,
+    ) -> Result<TilingSystem, String> {
+        let tile_set: BTreeSet<&str> = tiles.iter().copied().collect();
+        let check = |t: &str| -> Result<(), String> {
+            if tile_set.contains(t) {
+                Ok(())
+            } else {
+                Err(format!("unknown tile `{t}`"))
+            }
+        };
+        for t in left.iter().chain(right.iter()) {
+            check(t)?;
+        }
+        for (x, y) in horizontal.iter().chain(vertical.iter()) {
+            check(x)?;
+            check(y)?;
+        }
+        check(start)?;
+        check(finish)?;
+        let left: BTreeSet<String> = left.into_iter().map(String::from).collect();
+        let right: BTreeSet<String> = right.into_iter().map(String::from).collect();
+        if !left.is_disjoint(&right) {
+            return Err("left and right border tile sets must be disjoint".into());
+        }
+        Ok(TilingSystem {
+            tiles: tiles.into_iter().map(String::from).collect(),
+            left,
+            right,
+            horizontal: horizontal
+                .into_iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+            vertical: vertical
+                .into_iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+            start: start.to_string(),
+            finish: finish.to_string(),
+        })
+    }
+
+    /// Number of tiles.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// `true` iff the pair is allowed horizontally.
+    pub fn allows_horizontal(&self, a: &str, b: &str) -> bool {
+        self.horizontal.contains(&(a.to_string(), b.to_string()))
+    }
+
+    /// `true` iff the pair is allowed vertically.
+    pub fn allows_vertical(&self, a: &str, b: &str) -> bool {
+        self.vertical.contains(&(a.to_string(), b.to_string()))
+    }
+
+    /// A simple solvable example: a 2×2 corridor where the first row is
+    /// `a r` and the second row is `b r` (all constraints permitting).
+    pub fn solvable_example() -> TilingSystem {
+        TilingSystem::new(
+            vec!["a", "b", "r"],
+            vec!["a", "b"],
+            vec!["r"],
+            vec![("a", "r"), ("b", "r"), ("r", "r")],
+            vec![("a", "b"), ("r", "r"), ("b", "b"), ("a", "a")],
+            "a",
+            "b",
+        )
+        .expect("example is well-formed")
+    }
+
+    /// An unsolvable example: the finish tile can never be placed below the
+    /// start tile because no vertical constraint chain reaches it.
+    pub fn unsolvable_example() -> TilingSystem {
+        TilingSystem::new(
+            vec!["a", "b", "r"],
+            vec!["a", "b"],
+            vec!["r"],
+            vec![("a", "r"), ("b", "r"), ("r", "r")],
+            // `a` can only sit above `a`, so a row starting with `b` can never
+            // appear below the first row.
+            vec![("a", "a"), ("r", "r")],
+            "a",
+            "b",
+        )
+        .expect("example is well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_tile_references() {
+        assert!(TilingSystem::new(
+            vec!["a"],
+            vec!["a"],
+            vec![],
+            vec![],
+            vec![],
+            "a",
+            "missing"
+        )
+        .is_err());
+        assert!(TilingSystem::new(
+            vec!["a", "b"],
+            vec!["a"],
+            vec!["a"],
+            vec![],
+            vec![],
+            "a",
+            "b"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn constraint_lookups() {
+        let t = TilingSystem::solvable_example();
+        assert!(t.allows_horizontal("a", "r"));
+        assert!(!t.allows_horizontal("r", "a"));
+        assert!(t.allows_vertical("a", "b"));
+        assert_eq!(t.tile_count(), 3);
+    }
+}

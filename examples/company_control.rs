@@ -1,0 +1,60 @@
+//! A knowledge-graph scenario from the Vadalog papers' motivation: company
+//! ownership and control. A shareholder controls a company either directly
+//! or through a chain of controlled intermediaries; every controlled company
+//! must publish a filing signed by *some* responsible officer (value
+//! invention).
+//!
+//! The resulting program is warded and piece-wise linear, so it lies in the
+//! space-efficient core identified by the paper.
+//!
+//! Run with: `cargo run --example company_control`
+
+use vadalog::analysis::classify::{classify_scenario, ScenarioClass};
+use vadalog::core::CertainAnswerEngine;
+use vadalog::model::parser;
+use vadalog::model::Symbol;
+
+fn main() {
+    let source = r#"
+        % ownership edges: owner holds a majority stake in company
+        majority_stake(holding_a, firm_b).
+        majority_stake(firm_b, firm_c).
+        majority_stake(firm_c, firm_d).
+        majority_stake(holding_x, firm_y).
+
+        % piece-wise linear recursion: control through chains of majorities
+        controls(X, Y) :- majority_stake(X, Y).
+        controls(X, Z) :- majority_stake(X, Y), controls(Y, Z).
+
+        % every controlled company publishes a filing signed by some officer
+        filing(Y, F, O) :- controls(X, Y).
+        has_officer(Y, O) :- filing(Y, F, O).
+
+        % who does holding_a ultimately control?
+        ?(Y) :- controls(holding_a, Y).
+    "#;
+
+    let parsed = parser::parse(source).expect("program parses");
+    assert_eq!(classify_scenario(&parsed.program), ScenarioClass::WardedPwl);
+
+    let engine = CertainAnswerEngine::with_defaults(parsed.program.clone()).unwrap();
+    let query = &parsed.queries[0];
+    let controlled = engine.all_answers(&parsed.database, query).unwrap();
+    println!("holding_a controls: {controlled:?}");
+    assert_eq!(controlled.len(), 3); // firm_b, firm_c, firm_d
+    assert!(!engine
+        .is_certain_answer(&parsed.database, query, &[Symbol::new("firm_y")])
+        .unwrap());
+
+    // Value invention: each controlled company certainly has *an* officer,
+    // even though no officer constant exists in the database.
+    let q_officer = parser::parse_query("? :- has_officer(firm_d, O).").unwrap();
+    assert!(engine.boolean_certain(&parsed.database, &q_officer));
+    println!("firm_d certainly has a responsible officer (a labelled null witness)");
+
+    // But no *specific* officer is a certain answer.
+    let q_named = parser::parse_query("?(O) :- has_officer(firm_d, O).").unwrap();
+    let named = engine.all_answers(&parsed.database, &q_named).unwrap();
+    assert!(named.is_empty());
+    println!("…and indeed no concrete officer constant is a certain answer: {named:?}");
+}

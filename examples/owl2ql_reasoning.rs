@@ -1,0 +1,67 @@
+//! Ontological reasoning in the style of Example 3.3: the fragment of the
+//! OWL 2 QL direct-semantics entailment regime expressed as a warded,
+//! piece-wise linear set of TGDs, evaluated over a generated ontology.
+//!
+//! Run with: `cargo run --example owl2ql_reasoning`
+
+use vadalog::analysis::pwl::is_piecewise_linear;
+use vadalog::analysis::wardedness::is_warded;
+use vadalog::benchgen::owl::{owl_database, owl_program};
+use vadalog::chase::{ChaseConfig, ChaseEngine, TerminationPolicy};
+use vadalog::core::CertainAnswerEngine;
+use vadalog::model::parser::{parse, parse_query};
+
+fn main() {
+    // The fixed rule set of Example 3.3.
+    let program = owl_program();
+    assert!(is_warded(&program));
+    assert!(is_piecewise_linear(&program));
+    println!("Example 3.3 rule set: {} TGDs, warded ∩ piece-wise linear", program.len());
+
+    // A small hand-written ontology about a university domain.
+    let db = parse(
+        "subclass(student, person). subclass(person, agent). subclass(professor, person).\n\
+         type(alice, student). type(bob, professor). type(alice, enrolled).\n\
+         restriction(enrolled, hasCourse). inverse(hasCourse, courseOf).",
+    )
+    .unwrap()
+    .database;
+
+    let engine = CertainAnswerEngine::with_defaults(program.clone()).unwrap();
+
+    // Class subsumption propagates to instance types.
+    let q_types = parse_query("?(C) :- type(alice, C).").unwrap();
+    let alice_types = engine.all_answers(&db, &q_types).unwrap();
+    println!("alice's inferred types: {alice_types:?}");
+    assert!(alice_types.iter().any(|t| t[0].as_str() == "person"));
+    assert!(alice_types.iter().any(|t| t[0].as_str() == "agent"));
+
+    // Existential value invention: alice is enrolled, so she is related to
+    // *some* course via hasCourse — a Boolean certain answer even though the
+    // course itself is a labelled null.
+    let q_course = parse_query("? :- triple(alice, hasCourse, C).").unwrap();
+    assert!(engine.boolean_certain(&db, &q_course));
+    println!("alice certainly has some course (witnessed by a labelled null)");
+
+    // The inverse property is populated for the invented value too.
+    let q_inverse = parse_query("? :- triple(C, courseOf, alice).").unwrap();
+    assert!(engine.boolean_certain(&db, &q_inverse));
+
+    // The same questions can be answered bottom-up with a terminating chase.
+    let chase = ChaseEngine::new(
+        program,
+        ChaseConfig::restricted(TerminationPolicy::MaxNullDepth(4)),
+    );
+    let result = chase.run(&db);
+    println!(
+        "bounded chase materialised {} atoms ({} nulls invented)",
+        result.instance.len(),
+        result.stats.nulls_created
+    );
+    assert!(result.boolean_answer(&q_course));
+
+    // The generators used by the benchmarks produce larger ontologies of the
+    // same shape.
+    let big = owl_database(50, 10, 500, 42);
+    println!("generated benchmark ontology with {} facts", big.len());
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the whole Vadalog reproduction workspace.
+#![forbid(unsafe_code)]
+
+pub use vadalog_analysis as analysis;
+pub use vadalog_benchgen as benchgen;
+pub use vadalog_chase as chase;
+pub use vadalog_core as core;
+pub use vadalog_datalog as datalog;
+pub use vadalog_engine as engine;
+pub use vadalog_model as model;
+pub use vadalog_tiling as tiling;
