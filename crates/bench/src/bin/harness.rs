@@ -8,6 +8,10 @@
 //! cargo run -p vadalog-bench --release --bin harness -- e1 e5   # a selection
 //! cargo run -p vadalog-bench --release --bin harness -- --quick # smaller sizes
 //! ```
+//!
+//! The `joins` experiment additionally writes `BENCH_joins.json` (wall-times
+//! and peak atom counts of the join-kernel workloads against the retained
+//! seed baseline) into the current directory.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -66,6 +70,103 @@ fn main() {
     if run("e8") {
         e8_linearization(quick);
     }
+    if run("joins") {
+        joins_bench(quick);
+    }
+}
+
+/// Joins — kernel vs. seed baseline on transitive-closure materialisation
+/// (200-node random graph) and a join-heavy 3-hop CQ; writes
+/// `BENCH_joins.json` next to the working directory.
+fn joins_bench(quick: bool) {
+    use std::ops::ControlFlow;
+    use vadalog_bench::seed_reference;
+    use vadalog_model::homomorphism::reference::homomorphisms_reference;
+    use vadalog_model::{Atom, HomSearch, JoinSpec, Matcher, Substitution, Term};
+
+    println!("-- joins: columnar store + zero-allocation kernel vs. seed algorithm --");
+    let (nodes, edges) = if quick { (100, 150) } else { (200, 400) };
+    let db = random_graph(nodes, edges, 42);
+    let tc = program(LINEAR_TC);
+    let engine = DatalogEngine::new(tc.clone()).unwrap();
+
+    // Transitive-closure materialisation (best of N timed runs each, after a
+    // shared warm-up, so one scheduler hiccup cannot skew the ratio).
+    let samples = if quick { 3 } else { 5 };
+    let warm = engine.evaluate(&db);
+    let mut kernel_tc_ms = f64::MAX;
+    let mut kernel_result = engine.evaluate(&db);
+    for _ in 0..samples {
+        let start = Instant::now();
+        kernel_result = engine.evaluate(&db);
+        kernel_tc_ms = kernel_tc_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut seed_tc_ms = f64::MAX;
+    let mut seed_stats = seed_reference::evaluate(&tc, &db).1;
+    for _ in 0..samples {
+        let start = Instant::now();
+        seed_stats = seed_reference::evaluate(&tc, &db).1;
+        seed_tc_ms = seed_tc_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    assert_eq!(kernel_result.stats.derived_atoms, seed_stats.derived_atoms);
+    assert_eq!(kernel_result.stats.peak_atoms, seed_stats.peak_atoms);
+
+    // Join-heavy CQ over a materialised closure. Evaluated on a sparser
+    // graph's closure than the TC workload: the baseline *materialises*
+    // every answer substitution, and a 3-hop pattern over a dense closure
+    // has too many answers for it to finish in sensible time.
+    let (cq_nodes, cq_edges) = if quick { (100, 130) } else { (200, 260) };
+    let closure = if (cq_nodes, cq_edges) == (nodes, edges) {
+        warm.instance
+    } else {
+        engine.evaluate(&random_graph(cq_nodes, cq_edges, 42)).instance
+    };
+    let v = Term::variable;
+    let pattern = vec![
+        Atom::new("t", vec![v("X"), v("Y")]),
+        Atom::new("t", vec![v("Y"), v("Z")]),
+        Atom::new("t", vec![v("Z"), v("W")]),
+    ];
+    let spec = JoinSpec::compile(&pattern);
+    let start = Instant::now();
+    let mut kernel_answers = 0u64;
+    Matcher::new(&spec).for_each(&closure, |_| {
+        kernel_answers += 1;
+        ControlFlow::Continue(())
+    });
+    let kernel_cq_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let seed_answers =
+        homomorphisms_reference(&pattern, &closure, &Substitution::new(), HomSearch::all()).len();
+    let seed_cq_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(kernel_answers as usize, seed_answers);
+
+    let mut table = Table::new(&["workload", "kernel (ms)", "seed (ms)", "speedup"]);
+    table.row(&[
+        format!("TC materialisation ({nodes} nodes, {edges} edges)"),
+        format!("{kernel_tc_ms:.2}"),
+        format!("{seed_tc_ms:.2}"),
+        format!("{:.1}x", seed_tc_ms / kernel_tc_ms),
+    ]);
+    table.row(&[
+        "3-hop CQ over closure".to_string(),
+        format!("{kernel_cq_ms:.2}"),
+        format!("{seed_cq_ms:.2}"),
+        format!("{:.1}x", seed_cq_ms / kernel_cq_ms),
+    ]);
+    println!("{}", table.render());
+
+    let json = format!(
+        "{{\n  \"workloads\": {{\n    \"tc_materialization\": {{\n      \"nodes\": {nodes},\n      \"edges\": {edges},\n      \"derived_atoms\": {derived},\n      \"peak_atoms\": {peak},\n      \"kernel_wall_ms\": {kernel_tc_ms:.3},\n      \"seed_reference_wall_ms\": {seed_tc_ms:.3},\n      \"speedup\": {tc_speedup:.2}\n    }},\n    \"cq_path3\": {{\n      \"nodes\": {cq_nodes},\n      \"edges\": {cq_edges},\n      \"answers\": {answers},\n      \"peak_atoms\": {cq_peak},\n      \"kernel_wall_ms\": {kernel_cq_ms:.3},\n      \"seed_reference_wall_ms\": {seed_cq_ms:.3},\n      \"speedup\": {cq_speedup:.2}\n    }}\n  }}\n}}\n",
+        derived = kernel_result.stats.derived_atoms,
+        peak = kernel_result.stats.peak_atoms,
+        tc_speedup = seed_tc_ms / kernel_tc_ms,
+        answers = kernel_answers,
+        cq_peak = closure.len(),
+        cq_speedup = seed_cq_ms / kernel_cq_ms,
+    );
+    std::fs::write("BENCH_joins.json", &json).expect("write BENCH_joins.json");
+    println!("wrote BENCH_joins.json");
 }
 
 /// E1 — data complexity / space: the proof search keeps a constant-size

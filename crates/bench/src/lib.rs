@@ -38,6 +38,129 @@ pub fn layered_program(levels: usize) -> Program {
     parse_rules(&src).expect("layered program parses")
 }
 
+/// The seed repository's semi-naive evaluation loop, retained as the joins
+/// benchmark baseline: rule bodies are cloned per delta fact, candidate
+/// matches allocate and clone `BTreeMap`-backed substitutions, and every
+/// homomorphism search materialises its full result vector — exactly the
+/// allocation profile the columnar store + zero-allocation join kernel
+/// replaced.
+pub mod seed_reference {
+    use vadalog_analysis::stratify::stratify;
+    use vadalog_model::homomorphism::reference::homomorphisms_reference;
+    use vadalog_model::{Atom, Database, HomSearch, Instance, Program, Substitution};
+
+    /// Counters mirroring `DatalogStats` for the baseline run.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct SeedStats {
+        /// Derived (IDB) atoms.
+        pub derived_atoms: usize,
+        /// Total atoms materialised.
+        pub peak_atoms: usize,
+    }
+
+    /// Matches a body atom against a concrete fact, returning the induced
+    /// substitution if they are compatible (the seed's `match_atom`).
+    fn match_atom(pattern: &Atom, fact: &Atom) -> Option<Substitution> {
+        if pattern.predicate != fact.predicate || pattern.arity() != fact.arity() {
+            return None;
+        }
+        let mut subst = Substitution::new();
+        for (p, f) in pattern.terms.iter().zip(fact.terms.iter()) {
+            if p.is_var() {
+                match subst.get(p) {
+                    Some(existing) if existing != *f => return None,
+                    Some(_) => {}
+                    None => subst.bind(*p, *f),
+                }
+            } else if p != f {
+                return None;
+            }
+        }
+        Some(subst)
+    }
+
+    /// Stratified semi-naive materialisation with the seed's allocation
+    /// profile. Produces the same instance as `DatalogEngine::evaluate`.
+    pub fn evaluate(program: &Program, database: &Database) -> (Instance, SeedStats) {
+        let stratification = stratify(program);
+        let mut instance = database.as_instance().clone();
+        let mut stats = SeedStats::default();
+
+        for stratum in &stratification.strata {
+            let rules: Vec<&_> = stratum
+                .rules
+                .iter()
+                .map(|&i| &program.tgds()[i])
+                .collect();
+
+            let mut delta = Instance::new();
+            for rule in &rules {
+                for h in homomorphisms_reference(
+                    &rule.body,
+                    &instance,
+                    &Substitution::new(),
+                    HomSearch::all(),
+                ) {
+                    let fact = h.apply_atom(&rule.head[0]);
+                    if !instance.contains(&fact) {
+                        delta.insert(fact.clone()).expect("derived fact is ground");
+                        instance.insert(fact).expect("derived fact is ground");
+                        stats.derived_atoms += 1;
+                    }
+                }
+            }
+
+            if !stratum.recursive {
+                continue;
+            }
+
+            while !delta.is_empty() {
+                let mut next_delta = Instance::new();
+                for rule in &rules {
+                    for (pos, body_atom) in rule.body.iter().enumerate() {
+                        if !stratum.predicates.contains(&body_atom.predicate) {
+                            continue;
+                        }
+                        for delta_fact in delta.atoms_with_predicate(body_atom.predicate) {
+                            let seed = match match_atom(body_atom, &delta_fact) {
+                                Some(s) => s,
+                                None => continue,
+                            };
+                            // The seed's per-delta-fact body clone.
+                            let rest: Vec<Atom> = rule
+                                .body
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, _)| *i != pos)
+                                .map(|(_, a)| a.clone())
+                                .collect();
+                            for h in homomorphisms_reference(
+                                &rest,
+                                &instance,
+                                &seed,
+                                HomSearch::all(),
+                            ) {
+                                let fact = h.apply_atom(&rule.head[0]);
+                                if !instance.contains(&fact) {
+                                    next_delta
+                                        .insert(fact.clone())
+                                        .expect("derived fact is ground");
+                                    instance.insert(fact).expect("derived fact is ground");
+                                    stats.derived_atoms += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                delta = next_delta;
+            }
+        }
+
+        stats.peak_atoms = instance.len();
+        (instance, stats)
+    }
+}
+
 /// A minimal fixed-width table printer for the harness output.
 pub struct Table {
     header: Vec<String>,

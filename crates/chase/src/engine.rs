@@ -3,9 +3,10 @@
 use crate::provenance::{ChaseGraph, DerivationRecord};
 use crate::termination::TerminationPolicy;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::ops::ControlFlow;
 use vadalog_model::{
-    homomorphisms, Atom, ConjunctiveQuery, Database, HomSearch, Instance, NullId, Program,
-    Substitution, Symbol, Term,
+    Atom, ConjunctiveQuery, Database, Instance, JoinSpec, Matcher, NullId, Program, RowId, Symbol,
+    Term, Variable,
 };
 
 /// Which chase variant to run.
@@ -110,9 +111,34 @@ impl ChaseEngine {
         let mut graph = ChaseGraph::new();
         let mut null_counter: u64 = 0;
         let mut null_depth: HashMap<NullId, usize> = HashMap::new();
-        // For the oblivious chase: remember fired triggers (tgd index + body image).
-        let mut fired: HashSet<(usize, Vec<Atom>)> = HashSet::new();
+        // For the oblivious chase: fired triggers as (tgd index, body row-id
+        // tuple). Row ids are stable in the append-only columnar store, so
+        // the trigger key never clones an atom.
+        let mut fired: HashSet<(usize, Vec<RowId>)> = HashSet::new();
         let mut completed = true;
+
+        // Compile every TGD once: body join spec for trigger detection, head
+        // join spec for the restricted satisfaction check, and the variable
+        // plumbing between them. The matchers (and their bind-state buffers)
+        // are created once and reused across all rounds and triggers.
+        let compiled: Vec<CompiledTgd> = self
+            .program
+            .iter()
+            .map(|(_, tgd)| CompiledTgd::new(tgd))
+            .collect();
+        let mut body_matchers: Vec<Matcher<'_>> =
+            compiled.iter().map(|c| Matcher::new(&c.body)).collect();
+        let mut head_matchers: Vec<Matcher<'_>> = compiled
+            .iter()
+            .map(|c| {
+                let mut m = Matcher::new(&c.head);
+                m.set_limit(1);
+                m
+            })
+            .collect();
+        // Reused per-round buffer of collected triggers (the instance cannot
+        // be mutated while the kernel iterates over it).
+        let mut triggers: Vec<Trigger> = Vec::new();
 
         loop {
             if !self.config.policy.allows_step(stats.steps, stats.nulls_created) {
@@ -122,23 +148,33 @@ impl ChaseEngine {
             let mut applied_this_round = false;
 
             for (tgd_index, tgd) in self.program.iter() {
-                let triggers = homomorphisms(
-                    &tgd.body,
-                    &instance,
-                    &Substitution::new(),
-                    HomSearch::all(),
-                );
-                for trigger in triggers {
+                let ctgd = &compiled[tgd_index];
+                triggers.clear();
+                let body_matcher = &mut body_matchers[tgd_index];
+                body_matcher.clear();
+                body_matcher.for_each(&instance, |bindings| {
+                    triggers.push(Trigger {
+                        values: (0..ctgd.body.num_slots())
+                            .map(|s| {
+                                bindings
+                                    .get(ctgd.body.var_of(s))
+                                    .expect("every body variable is bound by a full match")
+                            })
+                            .collect(),
+                        rows: bindings.matched_rows().to_vec(),
+                    });
+                    ControlFlow::Continue(())
+                });
+                for trigger in &triggers {
                     stats.triggers_examined += 1;
                     if !self.config.policy.allows_step(stats.steps, stats.nulls_created) {
                         completed = false;
                         break;
                     }
-                    let premises = trigger.apply_atoms(&tgd.body);
 
                     match self.config.variant {
                         ChaseVariant::Oblivious => {
-                            let key = (tgd_index, premises.clone());
+                            let key = (tgd_index, trigger.rows.clone());
                             if fired.contains(&key) {
                                 continue;
                             }
@@ -146,16 +182,21 @@ impl ChaseEngine {
                         }
                         ChaseVariant::Restricted => {
                             // Skip if some extension of the trigger already
-                            // satisfies the head.
-                            let head_pattern = trigger.apply_atoms(&tgd.head);
-                            if !homomorphisms(
-                                &head_pattern,
-                                &instance,
-                                &Substitution::new(),
-                                HomSearch::first(),
-                            )
-                            .is_empty()
-                            {
+                            // satisfies the head: prebind the frontier image
+                            // and search for any match of the head pattern.
+                            let head_matcher = &mut head_matchers[tgd_index];
+                            head_matcher.clear();
+                            for (slot, &value) in trigger.values.iter().enumerate() {
+                                let bound =
+                                    head_matcher.prebind(ctgd.body.var_of(slot), value);
+                                debug_assert!(bound, "fresh matcher cannot conflict");
+                            }
+                            let mut satisfied = false;
+                            head_matcher.for_each(&instance, |_| {
+                                satisfied = true;
+                                ControlFlow::Break(())
+                            });
+                            if satisfied {
                                 continue;
                             }
                         }
@@ -163,14 +204,18 @@ impl ChaseEngine {
 
                     // Generation depth of the nulls this trigger would create:
                     // one more than the deepest null among the frontier images.
-                    let premise_depth = premises
+                    // TGDs are constant- and null-free, so the nulls of the
+                    // premise images are exactly the nulls among the trigger's
+                    // slot values.
+                    let premise_depth = trigger
+                        .values
                         .iter()
-                        .flat_map(|a| a.nulls())
+                        .filter_map(Term::as_null)
                         .map(|n| null_depth.get(&n).copied().unwrap_or(0))
                         .max()
                         .unwrap_or(0);
                     let new_depth = premise_depth + 1;
-                    if !tgd.existential_variables().is_empty()
+                    if !ctgd.existentials.is_empty()
                         && !self.config.policy.allows_null_depth(new_depth)
                     {
                         // Too deep: suppress this trigger (but keep chasing).
@@ -180,17 +225,20 @@ impl ChaseEngine {
 
                     // Extend the trigger with fresh nulls for the existential
                     // variables and add the head images.
-                    let mut extended = trigger.clone();
-                    for z in tgd.existential_variables() {
-                        let null = NullId(null_counter);
-                        null_counter += 1;
-                        stats.nulls_created += 1;
-                        null_depth.insert(null, new_depth);
-                        extended.bind_var(z, Term::Null(null));
-                    }
+                    let nulls: Vec<(Variable, Term)> = ctgd
+                        .existentials
+                        .iter()
+                        .map(|&z| {
+                            let null = NullId(null_counter);
+                            null_counter += 1;
+                            stats.nulls_created += 1;
+                            null_depth.insert(null, new_depth);
+                            (z, Term::Null(null))
+                        })
+                        .collect();
                     let mut conclusions = Vec::new();
                     for head_atom in &tgd.head {
-                        let atom = extended.apply_atom(head_atom);
+                        let atom = ctgd.instantiate(head_atom, &trigger.values, &nulls);
                         if instance
                             .insert(atom.clone())
                             .expect("head image is variable-free")
@@ -203,7 +251,11 @@ impl ChaseEngine {
                     if self.config.record_provenance && !conclusions.is_empty() {
                         graph.record(DerivationRecord {
                             tgd_index,
-                            premises,
+                            premises: tgd
+                                .body
+                                .iter()
+                                .map(|a| ctgd.instantiate(a, &trigger.values, &[]))
+                                .collect(),
                             conclusions,
                         });
                     }
@@ -235,6 +287,40 @@ impl ChaseEngine {
     ) -> BTreeSet<Vec<Symbol>> {
         self.run(database).instance_answers(query)
     }
+}
+
+/// A TGD with its join machinery compiled once per chase run.
+struct CompiledTgd {
+    /// The body pattern, driving trigger detection.
+    body: JoinSpec,
+    /// The head pattern, driving the restricted-chase satisfaction check.
+    head: JoinSpec,
+    existentials: Vec<Variable>,
+}
+
+impl CompiledTgd {
+    fn new(tgd: &vadalog_model::Tgd) -> CompiledTgd {
+        CompiledTgd {
+            body: JoinSpec::compile(&tgd.body),
+            head: JoinSpec::compile(&tgd.head),
+            existentials: tgd.existential_variables().into_iter().collect(),
+        }
+    }
+
+    /// The image of `atom` under a trigger given as body-slot values,
+    /// extended with fresh nulls for existential variables.
+    fn instantiate(&self, atom: &Atom, values: &[Term], nulls: &[(Variable, Term)]) -> Atom {
+        self.body.image_with(atom, values, |v| {
+            nulls.iter().find(|&&(w, _)| w == v).map(|&(_, n)| n)
+        })
+    }
+}
+
+/// One collected trigger: the body homomorphism as a dense slot-value tuple
+/// plus the matched body rows (the oblivious chase's dedup key).
+struct Trigger {
+    values: Vec<Term>,
+    rows: Vec<RowId>,
 }
 
 impl ChaseResult {

@@ -15,27 +15,33 @@
 
 use crate::bounds::node_width_bound_ward;
 use crate::resolution::{chunk_resolvents, CqState};
+use crate::support::PositionSupport;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::ops::ControlFlow;
 use vadalog_model::{
-    exists_homomorphism, homomorphisms, Atom, ConjunctiveQuery, Database, HomSearch, Predicate,
-    Program, Substitution, Variable,
+    exists_homomorphism, Atom, ConjunctiveQuery, Database, JoinSpec, Matcher, Predicate, Program,
+    Substitution, Variable,
 };
 
-/// Dead-branch pruning shared with the linear search: an extensional atom with
-/// no database match can never be discharged (extensional predicates never
-/// occur in rule heads), so the whole state is unprovable.
-fn has_dead_extensional_atom(
+/// Dead-branch pruning shared with the linear search: an extensional atom
+/// with no database match can never be discharged (extensional predicates
+/// never occur in rule heads), and an atom whose constants fall outside the
+/// [`PositionSupport`] of their positions can never map into the chase — in
+/// either case the whole state is unprovable.
+fn has_dead_atom(
     state: &CqState,
     edb: &BTreeSet<Predicate>,
     database: &Database,
+    support: &PositionSupport,
 ) -> bool {
     state.atoms().iter().any(|atom| {
-        edb.contains(&atom.predicate)
-            && !exists_homomorphism(
-                std::slice::from_ref(atom),
-                database.as_instance(),
-                &Substitution::new(),
-            )
+        !support.atom_satisfiable(atom)
+            || (edb.contains(&atom.predicate)
+                && !exists_homomorphism(
+                    std::slice::from_ref(atom),
+                    database.as_instance(),
+                    &Substitution::new(),
+                ))
     })
 }
 
@@ -75,6 +81,7 @@ struct Searcher<'a> {
     program: &'a Program,
     database: &'a Database,
     edb: BTreeSet<Predicate>,
+    support: PositionSupport,
     bound: usize,
     proven: HashSet<CqState>,
     /// States that were fully explored (no path-cut involved) and failed.
@@ -104,6 +111,7 @@ pub fn alternating_certain_answer(
         program,
         database,
         edb: program.extensional_predicates(),
+        support: PositionSupport::compute(program, database),
         bound,
         proven: HashSet::new(),
         disproven: HashSet::new(),
@@ -141,7 +149,7 @@ impl<'a> Searcher<'a> {
             self.budget_exhausted = true;
             return false;
         }
-        if has_dead_extensional_atom(state, &self.edb, self.database) {
+        if has_dead_atom(state, &self.edb, self.database, &self.support) {
             self.disproven.insert(state.clone());
             return false;
         }
@@ -180,6 +188,16 @@ impl<'a> Searcher<'a> {
                 .all(|component| self.provable(&CqState::new(component), path));
         }
 
+        // Selection rule (see `crate::search` module docs): while the state
+        // contains an extensional atom, its database matches are the only
+        // successors that need to be explored — extensional atoms can never
+        // be resolved away and their drops commute with every other step.
+        // This avoids branching over the exponentially many interleavings of
+        // extensional drops.
+        if let Some(index) = self.select_extensional_atom(state) {
+            return self.drop_provable(state, index, path);
+        }
+
         // Existential branching: resolution steps.
         for resolvent in chunk_resolvents(state, self.program) {
             if resolvent.state.size() > self.bound {
@@ -190,22 +208,56 @@ impl<'a> Searcher<'a> {
             }
         }
 
-        // Existential branching: match-and-drop steps.
-        for (index, atom) in state.atoms().iter().enumerate() {
-            let single = [atom.clone()];
-            for h in homomorphisms(
-                &single,
-                self.database.as_instance(),
-                &Substitution::new(),
-                HomSearch::all(),
-            ) {
-                let successor = state.drop_atom(index, &h);
-                if self.provable(&successor, path) {
-                    return true;
-                }
+        // Existential branching: match-and-drop steps over the remaining
+        // (intensional) atoms, streamed from the kernel.
+        for index in 0..state.atoms().len() {
+            if self.drop_provable(state, index, path) {
+                return true;
             }
         }
         false
+    }
+
+    /// The extensional atom with the fewest estimated database matches, if any.
+    fn select_extensional_atom(&self, state: &CqState) -> Option<usize> {
+        let instance = self.database.as_instance();
+        state
+            .atoms()
+            .iter()
+            .enumerate()
+            .filter(|(_, atom)| self.edb.contains(&atom.predicate))
+            .min_by_key(|(_, atom)| match instance.relation(atom.predicate) {
+                None => 0,
+                Some(rel) => atom
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !t.is_var())
+                    .map(|(pos, t)| rel.matching_count(pos, *t))
+                    .min()
+                    .unwrap_or_else(|| rel.len()),
+            })
+            .map(|(index, _)| index)
+    }
+
+    /// `true` iff some match-and-drop of `state.atoms()[index]` leads to a
+    /// provable successor (Break short-circuits on the first proof).
+    fn drop_provable(&mut self, state: &CqState, index: usize, path: &mut HashSet<CqState>) -> bool {
+        let database = self.database;
+        let atom = &state.atoms()[index];
+        let spec = JoinSpec::compile(std::slice::from_ref(atom));
+        let mut matcher = Matcher::new(&spec);
+        let mut proved = false;
+        matcher.for_each(database.as_instance(), |bindings| {
+            let successor = state.drop_atom(index, &bindings.to_substitution());
+            if self.provable(&successor, path) {
+                proved = true;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        proved
     }
 }
 

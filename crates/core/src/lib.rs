@@ -31,6 +31,7 @@ pub mod metrics;
 pub mod resolution;
 pub mod rewrite;
 pub mod search;
+pub mod support;
 
 pub use alternating::{alternating_certain_answer, AlternatingOptions, AlternatingOutcome};
 pub use answer::{CertainAnswerEngine, EngineOptions, Strategy};
@@ -39,3 +40,4 @@ pub use metrics::SpaceMeter;
 pub use resolution::{chunk_resolvents, mgcus, CqState, Resolvent};
 pub use rewrite::{rewrite_to_pwl_datalog, RewriteOptions, RewrittenQuery};
 pub use search::{linear_proof_search, SearchOptions, SearchOutcome, SearchStats};
+pub use support::PositionSupport;

@@ -18,33 +18,59 @@
 //!
 //! The search memoises canonical states, so it terminates even when the
 //! underlying proof trees could be unboundedly deep.
+//!
+//! # Extensional selection rule
+//!
+//! Match-and-drop is restricted by a *selection rule*: while the state
+//! contains an atom over an **extensional** predicate, exactly one such atom
+//! (the most constrained one) is selected, and the only successors explored
+//! are its database matches. This is complete, by the classic independence-
+//! of-the-selection-rule argument specialised to this calculus: an
+//! extensional atom can never be resolved away (extensional predicates do
+//! not occur in rule heads), so every accepting branch eventually drops it,
+//! and that drop commutes with every other step. Resolution steps commute
+//! because the chunk unifier of an instance state is an instance of the
+//! original chunk unifier — in particular the "existential variables unify
+//! only with non-shared variables" side-condition is insensitive to the
+//! reordering: a variable shared with the still-present extensional atom is
+//! shared either way, and after the drop it is a constant, which is equally
+//! forbidden. Without the selection rule the search explores every
+//! *interleaving* of extensional drops, an exponential redundancy that the
+//! canonical-state memo cannot collapse (the intermediate states genuinely
+//! differ); with it, negative decisions exhaust the reachable space quickly
+//! instead of enumerating drop permutations.
 
 use crate::bounds::node_width_bound_ward_pwl;
 use crate::metrics::SpaceMeter;
 use crate::resolution::{chunk_resolvents, CqState};
+use crate::support::PositionSupport;
 use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::ops::ControlFlow;
 use vadalog_model::{
-    exists_homomorphism, homomorphisms, ConjunctiveQuery, Database, HomSearch, Predicate, Program,
+    exists_homomorphism, ConjunctiveQuery, Database, JoinSpec, Matcher, Predicate, Program,
     Substitution,
 };
 
-/// A state is dead if it contains an atom over an *extensional* predicate that
-/// has no homomorphism into the database on its own: extensional atoms can
-/// never be resolved away (their predicates never occur in rule heads), so the
-/// branch can never be completed. Pruning such states is sound and keeps
-/// negative decisions cheap.
-fn has_dead_extensional_atom(
+/// A state is dead if it contains an atom that can never be mapped into the
+/// chase: an atom over an *extensional* predicate with no homomorphism into
+/// the database on its own (extensional atoms can never be resolved away —
+/// their predicates never occur in rule heads), or any atom carrying a
+/// constant outside the [`PositionSupport`] of its position. Pruning such
+/// states is sound and keeps negative decisions cheap.
+fn has_dead_atom(
     state: &CqState,
     edb: &BTreeSet<Predicate>,
     database: &Database,
+    support: &PositionSupport,
 ) -> bool {
     state.atoms().iter().any(|atom| {
-        edb.contains(&atom.predicate)
-            && !exists_homomorphism(
-                std::slice::from_ref(atom),
-                database.as_instance(),
-                &Substitution::new(),
-            )
+        !support.atom_satisfiable(atom)
+            || (edb.contains(&atom.predicate)
+                && !exists_homomorphism(
+                    std::slice::from_ref(atom),
+                    database.as_instance(),
+                    &Substitution::new(),
+                ))
     })
 }
 
@@ -133,30 +159,64 @@ impl SearchOutcome {
 /// Runs the linear proof search for a Boolean query (output variables already
 /// instantiated — use [`ConjunctiveQuery::instantiate`]) against a single-head
 /// program and a database.
+///
+/// When no explicit node-width override is given the search **iteratively
+/// deepens the width**: a proof found within a smaller node-width is sound
+/// (the bound only restricts which resolvents may be kept), so positive
+/// instances are decided at the width their proof actually needs — usually
+/// far below the worst-case `f_{WARD∩PWL}(q, Σ)` — while only a rejection at
+/// the full bound is treated as definitive.
 pub fn linear_proof_search(
     program: &Program,
     database: &Database,
     boolean_query: &ConjunctiveQuery,
     options: SearchOptions,
 ) -> SearchOutcome {
-    let bound = options
+    let full_bound = options
         .node_width
         .unwrap_or_else(|| node_width_bound_ward_pwl(boolean_query, program))
         .max(boolean_query.size());
+    // Width-independent machinery, shared by every deepening iteration.
+    let edb = program.extensional_predicates();
+    let support = PositionSupport::compute(program, database);
+    if options.node_width.is_some() {
+        return bounded_search(program, database, boolean_query, options, full_bound, &edb, &support);
+    }
+    let mut width = boolean_query.size().max(2).min(full_bound);
+    loop {
+        let outcome =
+            bounded_search(program, database, boolean_query, options, width, &edb, &support);
+        match outcome {
+            SearchOutcome::Rejected { .. } if width < full_bound => {
+                width = (width * 2).min(full_bound);
+            }
+            _ => return outcome,
+        }
+    }
+}
 
+/// One run of the memoised BFS/DFS at a fixed node-width bound.
+fn bounded_search(
+    program: &Program,
+    database: &Database,
+    boolean_query: &ConjunctiveQuery,
+    options: SearchOptions,
+    bound: usize,
+    edb: &BTreeSet<Predicate>,
+    support: &PositionSupport,
+) -> SearchOutcome {
     let mut stats = SearchStats {
         node_width_bound: bound,
         ..SearchStats::default()
     };
     let mut meter = SpaceMeter::new();
     let instance = database.as_instance();
-    let edb = program.extensional_predicates();
 
     let initial = CqState::new(boolean_query.atoms.clone());
     let mut visited: HashSet<CqState> = HashSet::new();
     let mut frontier: VecDeque<(CqState, usize)> = VecDeque::new();
     visited.insert(initial.clone());
-    if !has_dead_extensional_atom(&initial, &edb, database) {
+    if !has_dead_atom(&initial, edb, database, support) {
         frontier.push_back((initial, 0));
     }
 
@@ -179,13 +239,31 @@ pub fn linear_proof_search(
             return SearchOutcome::Inconclusive { stats };
         }
 
+        // Selection rule (see module docs): while an extensional atom is
+        // present, its database matches are the only successors explored.
+        if let Some(index) = select_extensional_atom(&state, edb, instance) {
+            drop_successors(
+                &state,
+                index,
+                instance,
+                database,
+                edb,
+                support,
+                &mut stats,
+                &mut visited,
+                &mut frontier,
+                depth,
+            );
+            continue;
+        }
+
         // Resolution successors.
         for resolvent in chunk_resolvents(&state, program) {
             if resolvent.state.size() > bound {
                 continue;
             }
             stats.resolution_steps += 1;
-            if has_dead_extensional_atom(&resolvent.state, &edb, database) {
+            if has_dead_atom(&resolvent.state, edb, database, support) {
                 continue;
             }
             if visited.insert(resolvent.state.clone()) {
@@ -193,25 +271,83 @@ pub fn linear_proof_search(
             }
         }
 
-        // Match-and-drop successors: ground one atom against the database and
-        // remove it, propagating the grounding.
-        for (index, atom) in state.atoms().iter().enumerate() {
-            let single = [atom.clone()];
-            for h in homomorphisms(&single, instance, &Substitution::new(), HomSearch::all()) {
-                stats.drop_steps += 1;
-                let successor = state.drop_atom(index, &h);
-                if has_dead_extensional_atom(&successor, &edb, database) {
-                    continue;
-                }
-                if visited.insert(successor.clone()) {
-                    frontier.push_back((successor, depth + 1));
-                }
-            }
+        // Match-and-drop successors for the remaining (intensional) atoms:
+        // ground one atom against the database and remove it, propagating the
+        // grounding. The kernel streams each match straight into successor
+        // construction — no substitution vector is materialised.
+        for index in 0..state.atoms().len() {
+            drop_successors(
+                &state,
+                index,
+                instance,
+                database,
+                edb,
+                support,
+                &mut stats,
+                &mut visited,
+                &mut frontier,
+                depth,
+            );
         }
     }
 
     stats.peak_live_atoms = meter.peak();
     SearchOutcome::Rejected { stats }
+}
+
+/// Picks the extensional atom with the fewest estimated database matches, if
+/// the state contains any extensional atom (the selection rule's choice).
+fn select_extensional_atom(
+    state: &CqState,
+    edb: &BTreeSet<Predicate>,
+    instance: &vadalog_model::Instance,
+) -> Option<usize> {
+    state
+        .atoms()
+        .iter()
+        .enumerate()
+        .filter(|(_, atom)| edb.contains(&atom.predicate))
+        .min_by_key(|(_, atom)| match instance.relation(atom.predicate) {
+            None => 0,
+            Some(rel) => atom
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.is_var())
+                .map(|(pos, t)| rel.matching_count(pos, *t))
+                .min()
+                .unwrap_or_else(|| rel.len()),
+        })
+        .map(|(index, _)| index)
+}
+
+/// Pushes every match-and-drop successor of `state.atoms()[index]` that
+/// survives dead-branch pruning and the visited memo.
+#[allow(clippy::too_many_arguments)]
+fn drop_successors(
+    state: &CqState,
+    index: usize,
+    instance: &vadalog_model::Instance,
+    database: &Database,
+    edb: &BTreeSet<Predicate>,
+    support: &PositionSupport,
+    stats: &mut SearchStats,
+    visited: &mut HashSet<CqState>,
+    frontier: &mut VecDeque<(CqState, usize)>,
+    depth: usize,
+) {
+    let atom = &state.atoms()[index];
+    let spec = JoinSpec::compile(std::slice::from_ref(atom));
+    let mut matcher = Matcher::new(&spec);
+    matcher.for_each(instance, |bindings| {
+        stats.drop_steps += 1;
+        let successor = state.drop_atom(index, &bindings.to_substitution());
+        if !has_dead_atom(&successor, edb, database, support) && visited.insert(successor.clone())
+        {
+            frontier.push_back((successor, depth + 1));
+        }
+        ControlFlow::Continue(())
+    });
 }
 
 #[cfg(test)]
@@ -320,9 +456,13 @@ mod tests {
             .unwrap()
             .program;
         let database = parse(facts).unwrap().database;
+        // t(a, a) is derivable on the cycle but not immediately acceptable
+        // (the database holds no t-facts), so the cap of one state trips
+        // before the search can conclude. (An unsupported constant would be
+        // pruned before any state is ever visited — see `crate::support`.)
         let q = parse_query("?(X, Y) :- t(X, Y).").unwrap();
         let boolean = q
-            .instantiate(&[Symbol::new("a"), Symbol::new("zzz_not_there")])
+            .instantiate(&[Symbol::new("a"), Symbol::new("a")])
             .unwrap();
         let outcome = linear_proof_search(
             &program,

@@ -1,0 +1,228 @@
+//! Position-support pruning for the proof searches.
+//!
+//! [`PositionSupport`] over-approximates, for every predicate position
+//! `(P, i)`, the set of **constants** that can ever appear there in
+//! `chase(D, Σ)`:
+//!
+//! * database facts contribute their constants directly;
+//! * a rule head position fed by a frontier variable `x` contributes the
+//!   *intersection* of the supports of `x`'s body occurrences (the rule only
+//!   fires when all of them match the same value);
+//! * a head position fed by an existential variable is unconstrained (⊤) —
+//!   it holds labelled nulls, which never equal a constant, but anything
+//!   flowing *through* it later must be treated as unconstrained.
+//!
+//! The least fixpoint of these rules is finite (supports only grow and are
+//! bounded by the active domain) and cheap to compute. It yields a sound
+//! dead-branch test for proof-search states: a state atom with a constant
+//! outside the support of its position can never be mapped into the chase,
+//! so the whole state is unprovable. This generalises the extensional
+//! dead-atom prune to **intensional** atoms — e.g. with transitive closure
+//! over a chain, a goal `t(d, V)` where `d` is the chain's last node is
+//! pruned immediately, instead of spawning an unbounded resolution subtree.
+
+use std::collections::{BTreeSet, HashMap};
+use vadalog_model::{Database, Predicate, Program, Symbol, Term};
+
+/// One position's support: the constants that may occur there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Support {
+    /// Unconstrained (reachable from an existential position).
+    Top,
+    /// At most these constants (possibly none).
+    Constants(BTreeSet<Symbol>),
+}
+
+impl Support {
+    fn contains(&self, c: Symbol) -> bool {
+        match self {
+            Support::Top => true,
+            Support::Constants(s) => s.contains(&c),
+        }
+    }
+
+    /// Extends `self` with `other`; returns `true` if `self` grew.
+    fn union_with(&mut self, other: &Support) -> bool {
+        match (&mut *self, other) {
+            (Support::Top, _) => false,
+            (slot, Support::Top) => {
+                *slot = Support::Top;
+                true
+            }
+            (Support::Constants(a), Support::Constants(b)) => {
+                let before = a.len();
+                a.extend(b.iter().copied());
+                a.len() != before
+            }
+        }
+    }
+}
+
+/// The computed per-position constant supports.
+#[derive(Debug, Clone)]
+pub struct PositionSupport {
+    map: HashMap<(Predicate, usize), Support>,
+}
+
+impl PositionSupport {
+    /// Computes the least fixpoint for a program over a database.
+    pub fn compute(program: &Program, database: &Database) -> PositionSupport {
+        let mut map: HashMap<(Predicate, usize), Support> = HashMap::new();
+
+        // Base: database facts.
+        for rel in database.as_instance().relations() {
+            for row in rel.rows() {
+                for (i, term) in row.iter().enumerate() {
+                    if let Term::Const(c) = term {
+                        match map
+                            .entry((rel.predicate(), i))
+                            .or_insert_with(|| Support::Constants(BTreeSet::new()))
+                        {
+                            Support::Top => {}
+                            Support::Constants(s) => {
+                                s.insert(*c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Fixpoint over the rules.
+        loop {
+            let mut changed = false;
+            for (_, tgd) in program.iter() {
+                let frontier = tgd.frontier();
+                for head in &tgd.head {
+                    for (i, term) in head.terms.iter().enumerate() {
+                        let Term::Var(v) = term else { continue };
+                        let contribution = if frontier.contains(v) {
+                            // Intersection over the variable's body occurrences.
+                            let mut acc: Option<Support> = None;
+                            for body_atom in &tgd.body {
+                                for (j, bt) in body_atom.terms.iter().enumerate() {
+                                    if bt.as_var() != Some(*v) {
+                                        continue;
+                                    }
+                                    let occ = map
+                                        .get(&(body_atom.predicate, j))
+                                        .cloned()
+                                        .unwrap_or_else(|| Support::Constants(BTreeSet::new()));
+                                    acc = Some(match acc {
+                                        None => occ,
+                                        Some(Support::Top) => occ,
+                                        Some(prev) => match (prev, occ) {
+                                            (p, Support::Top) => p,
+                                            (
+                                                Support::Constants(a),
+                                                Support::Constants(b),
+                                            ) => Support::Constants(
+                                                a.intersection(&b).copied().collect(),
+                                            ),
+                                            (Support::Top, o) => o,
+                                        },
+                                    });
+                                }
+                            }
+                            acc.unwrap_or(Support::Top)
+                        } else {
+                            // Existential variable: unconstrained.
+                            Support::Top
+                        };
+                        let slot = map
+                            .entry((head.predicate, i))
+                            .or_insert_with(|| Support::Constants(BTreeSet::new()));
+                        changed |= slot.union_with(&contribution);
+                    }
+                }
+            }
+            if !changed {
+                return PositionSupport { map };
+            }
+        }
+    }
+
+    /// `true` iff constant `c` may appear at position `i` of predicate `p`
+    /// in the chase (over-approximation: `true` may be spurious, `false` is
+    /// definitive).
+    pub fn supports(&self, p: Predicate, i: usize, c: Symbol) -> bool {
+        self.map
+            .get(&(p, i))
+            .map(|s| s.contains(c))
+            .unwrap_or(false)
+    }
+
+    /// `true` iff the atom's constants are all within support — a necessary
+    /// condition for the atom to map into the chase. Variables and nulls are
+    /// ignored (they are unconstrained here).
+    pub fn atom_satisfiable(&self, atom: &vadalog_model::Atom) -> bool {
+        atom.terms.iter().enumerate().all(|(i, t)| match t {
+            Term::Const(c) => self.supports(atom.predicate, i, *c),
+            _ => true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::parser::{parse, parse_rules};
+    use vadalog_model::Atom;
+
+    fn support(rules: &str, facts: &str) -> PositionSupport {
+        let program = parse_rules(rules).unwrap();
+        let db = parse(facts).unwrap().database;
+        PositionSupport::compute(&program, &db)
+    }
+
+    #[test]
+    fn transitive_closure_supports_follow_the_chain() {
+        let s = support(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).",
+            "edge(a, b). edge(b, c). edge(c, d).",
+        );
+        let t = Predicate::new("t");
+        // First components of t-facts are first components of edges.
+        assert!(s.supports(t, 0, Symbol::new("a")));
+        assert!(s.supports(t, 0, Symbol::new("c")));
+        assert!(!s.supports(t, 0, Symbol::new("d"))); // chain end: no outgoing edge
+        assert!(s.supports(t, 1, Symbol::new("d")));
+        assert!(!s.supports(t, 1, Symbol::new("a"))); // chain start: no incoming edge
+        assert!(!s.atom_satisfiable(&Atom::fact("t", &["d", "a"])));
+        assert!(s.atom_satisfiable(&Atom::fact("t", &["a", "d"])));
+    }
+
+    #[test]
+    fn existential_positions_are_unconstrained() {
+        let s = support("r(X, Z) :- p(X).\n p(Y) :- r(X, Y).", "p(a).");
+        let r = Predicate::new("r");
+        let p = Predicate::new("p");
+        assert!(s.supports(r, 0, Symbol::new("a")));
+        // Position fed by an existential: anything goes (⊤).
+        assert!(s.supports(r, 1, Symbol::new("zzz")));
+        // p's support flows back from r's existential position: also ⊤.
+        assert!(s.supports(p, 0, Symbol::new("zzz")));
+    }
+
+    #[test]
+    fn unknown_predicates_have_empty_support() {
+        let s = support("t(X, Y) :- edge(X, Y).", "edge(a, b).");
+        assert!(!s.supports(Predicate::new("nope"), 0, Symbol::new("a")));
+        // Atoms over unknown predicates with constants are unsatisfiable.
+        assert!(!s.atom_satisfiable(&Atom::fact("nope", &["a"])));
+    }
+
+    #[test]
+    fn repeated_variables_intersect_supports() {
+        // The head variable occurs at two body positions; only values in both
+        // supports survive.
+        let s = support(
+            "both(X) :- p(X), q(X).",
+            "p(a). p(b). q(b). q(c).",
+        );
+        let both = Predicate::new("both");
+        assert!(s.supports(both, 0, Symbol::new("b")));
+        assert!(!s.supports(both, 0, Symbol::new("a")));
+        assert!(!s.supports(both, 0, Symbol::new("c")));
+    }
+}

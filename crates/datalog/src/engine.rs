@@ -1,10 +1,17 @@
-//! Semi-naive bottom-up evaluation.
+//! Semi-naive bottom-up evaluation, driven by the streaming join kernel.
+//!
+//! Each rule body is compiled once per stratum into a
+//! [`vadalog_model::JoinSpec`]; the naive round and every semi-naive round
+//! reuse one [`vadalog_model::Matcher`] per rule, so the per-delta-fact work
+//! is a [`Matcher::prematch`] against the delta row plus a streamed,
+//! allocation-free join against the full instance — the rule body is never
+//! cloned and no intermediate `Vec<Substitution>` is materialised.
 
 use std::collections::BTreeSet;
+use std::ops::ControlFlow;
 use vadalog_analysis::stratify::{stratify, Stratification};
 use vadalog_model::{
-    homomorphisms, Atom, ConjunctiveQuery, Database, HomSearch, Instance, ModelError, Program,
-    Substitution, Symbol,
+    Atom, ConjunctiveQuery, Database, Instance, JoinSpec, Matcher, ModelError, Program, Symbol,
 };
 
 /// Counters describing an evaluation run.
@@ -16,8 +23,18 @@ pub struct DatalogStats {
     pub peak_atoms: usize,
     /// Number of semi-naive iterations summed over all strata.
     pub iterations: usize,
-    /// Number of rule-body homomorphisms enumerated.
+    /// Number of join-kernel invocations. The counted unit is identical in
+    /// both evaluation phases — one invocation of the join kernel — but the
+    /// phases drive the kernel differently: the naive round invokes it once
+    /// per rule (the whole instance is the driver), while semi-naive rounds
+    /// invoke it once per (rule, differentiated body position, matching delta
+    /// fact), the delta fact being the driver. For a driver-independent
+    /// measure of join effort compare `join_probes`.
     pub joins_evaluated: usize,
+    /// Candidate rows examined across all join-kernel invocations. Unlike
+    /// `joins_evaluated` this unit is independent of what drives the join,
+    /// so naive and semi-naive work is directly comparable.
+    pub join_probes: u64,
 }
 
 /// The result of evaluating a Datalog program over a database.
@@ -39,6 +56,35 @@ impl DatalogResult {
     pub fn holds(&self, query: &ConjunctiveQuery) -> bool {
         query.holds_in(&self.instance)
     }
+}
+
+/// Drains the flat buffer of streamed head images into the instance,
+/// counting newly derived atoms (which thereby extend the current delta
+/// watermark range). The buffer holds `matches` rows of `head.arity()` terms
+/// each; for 0-ary heads the row is empty and `matches` alone says whether
+/// the fact was derived.
+fn flush_derived(
+    head: &Atom,
+    matches: u64,
+    derived: &mut Vec<vadalog_model::Term>,
+    instance: &mut Instance,
+    stats: &mut DatalogStats,
+) {
+    if head.arity() == 0 {
+        if matches > 0 && instance.insert_terms(head.predicate, &[]).expect("ground") {
+            stats.derived_atoms += 1;
+        }
+    } else {
+        for row in derived.chunks_exact(head.arity()) {
+            if instance
+                .insert_terms(head.predicate, row)
+                .expect("derived fact is ground")
+            {
+                stats.derived_atoms += 1;
+            }
+        }
+    }
+    derived.clear();
 }
 
 /// A stratified semi-naive Datalog engine for a fixed program.
@@ -78,6 +124,16 @@ impl DatalogEngine {
     pub fn evaluate(&self, database: &Database) -> DatalogResult {
         let mut instance = database.as_instance().clone();
         let mut stats = DatalogStats::default();
+        // Reused flat buffer of head-image rows: the kernel streams matches
+        // while the instance is immutably borrowed, so derivations are parked
+        // here (head-arity chunks, no per-fact `Atom` allocation) and
+        // inserted as soon as the enumeration finishes.
+        let mut derived: Vec<vadalog_model::Term> = Vec::new();
+        // Reused flat copies of the current round's delta ranges (one per
+        // stratum predicate, snapshotted once per round), so the
+        // per-delta-fact loops neither re-borrow the (mutating) instance per
+        // row nor re-copy a range for every rule position that consumes it.
+        let mut delta_snapshots: Vec<Vec<vadalog_model::Term>> = Vec::new();
 
         for stratum in &self.stratification.strata {
             let rules: Vec<&_> = stratum
@@ -85,20 +141,42 @@ impl DatalogEngine {
                 .iter()
                 .map(|&i| &self.program.tgds()[i])
                 .collect();
+            // Compile every rule body once per stratum; the matchers (and
+            // their bind-state buffers) are reused across all rounds and all
+            // delta facts — nothing inside the loops below clones a rule
+            // body or allocates per candidate.
+            let specs: Vec<JoinSpec> =
+                rules.iter().map(|rule| JoinSpec::compile(&rule.body)).collect();
+            let mut matchers: Vec<Matcher<'_>> = specs.iter().map(Matcher::new).collect();
+
+            // The delta of a round is not a separate instance: rows are
+            // append-only with stable ids, so "the facts derived in round
+            // i" is exactly a per-relation row-id range. Each round records
+            // the relation watermarks of the stratum's predicates and the
+            // next round replays the rows between the previous and current
+            // watermark — derivations stream straight into the instance and
+            // become the delta for free, with no second copy and no second
+            // hash of any row.
+            let preds: Vec<_> = stratum.predicates.iter().copied().collect();
+            let watermark = |instance: &Instance| -> Vec<u32> {
+                preds
+                    .iter()
+                    .map(|&p| instance.relation(p).map(|r| r.len() as u32).unwrap_or(0))
+                    .collect()
+            };
+            let mut lo = watermark(&instance);
 
             // Naive first round: evaluate every rule on the full instance.
-            let mut delta = Instance::new();
-            for rule in &rules {
+            for (rule, matcher) in rules.iter().zip(matchers.iter_mut()) {
+                let head = &rule.head[0];
                 stats.joins_evaluated += 1;
-                for h in homomorphisms(&rule.body, &instance, &Substitution::new(), HomSearch::all())
-                {
-                    let fact = h.apply_atom(&rule.head[0]);
-                    if !instance.contains(&fact) {
-                        delta.insert(fact.clone()).expect("derived fact is ground");
-                        instance.insert(fact).expect("derived fact is ground");
-                        stats.derived_atoms += 1;
-                    }
-                }
+                matcher.clear();
+                let run = matcher.for_each(&instance, |bindings| {
+                    derived.extend(head.terms.iter().map(|t| bindings.resolve(t)));
+                    ControlFlow::Continue(())
+                });
+                stats.join_probes += run.probes;
+                flush_derived(head, run.matches, &mut derived, &mut instance, &mut stats);
             }
             stats.iterations += 1;
 
@@ -108,43 +186,63 @@ impl DatalogEngine {
 
             // Semi-naive rounds: differentiate each rule with respect to the
             // predicates of this stratum, seeding one body atom from the delta.
-            while !delta.is_empty() {
+            delta_snapshots.resize_with(preds.len().max(delta_snapshots.len()), Vec::new);
+            let mut arities: Vec<usize> = vec![0; preds.len()];
+            let mut hi = watermark(&instance);
+            while lo.iter().zip(hi.iter()).any(|(l, h)| l < h) {
                 stats.iterations += 1;
-                let mut next_delta = Instance::new();
-                for rule in &rules {
-                    for (pos, body_atom) in rule.body.iter().enumerate() {
-                        if !stratum.predicates.contains(&body_atom.predicate) {
-                            continue;
-                        }
-                        // Seed the differentiated atom from the delta...
-                        for delta_fact in delta.atoms_with_predicate(body_atom.predicate) {
-                            let seed = match match_atom(body_atom, delta_fact) {
-                                Some(s) => s,
-                                None => continue,
-                            };
-                            // ...and the remaining atoms from the full instance.
-                            let rest: Vec<Atom> = rule
-                                .body
-                                .iter()
-                                .enumerate()
-                                .filter(|(i, _)| *i != pos)
-                                .map(|(_, a)| a.clone())
-                                .collect();
-                            stats.joins_evaluated += 1;
-                            for h in homomorphisms(&rest, &instance, &seed, HomSearch::all()) {
-                                let fact = h.apply_atom(&rule.head[0]);
-                                if !instance.contains(&fact) {
-                                    next_delta
-                                        .insert(fact.clone())
-                                        .expect("derived fact is ground");
-                                    instance.insert(fact).expect("derived fact is ground");
-                                    stats.derived_atoms += 1;
-                                }
-                            }
+                // Snapshot each predicate's delta range once for the round.
+                for (pred_index, &p) in preds.iter().enumerate() {
+                    let snapshot = &mut delta_snapshots[pred_index];
+                    snapshot.clear();
+                    if lo[pred_index] < hi[pred_index] {
+                        let rel = instance.relation(p).expect("watermarked relation exists");
+                        arities[pred_index] = rel.arity();
+                        for row in lo[pred_index]..hi[pred_index] {
+                            snapshot.extend_from_slice(rel.row(row));
                         }
                     }
                 }
-                delta = next_delta;
+                for (rule_index, rule) in rules.iter().enumerate() {
+                    for (pos, body_atom) in rule.body.iter().enumerate() {
+                        let Some(pred_index) =
+                            preds.iter().position(|&p| p == body_atom.predicate)
+                        else {
+                            continue;
+                        };
+                        let (start, end) = (lo[pred_index], hi[pred_index]);
+                        if start == end || arities[pred_index] != body_atom.arity() {
+                            continue;
+                        }
+                        let matcher = &mut matchers[rule_index];
+                        let head = &rule.head[0];
+                        let arity = arities[pred_index];
+                        // Seed the differentiated atom from each delta row and
+                        // join the remaining atoms against the full instance.
+                        for index in 0..(end - start) as usize {
+                            let delta_row = &delta_snapshots[pred_index][index * arity..][..arity];
+                            matcher.clear();
+                            if !matcher.prematch(pos, delta_row) {
+                                continue;
+                            }
+                            stats.joins_evaluated += 1;
+                            let run = matcher.for_each(&instance, |bindings| {
+                                derived.extend(head.terms.iter().map(|t| bindings.resolve(t)));
+                                ControlFlow::Continue(())
+                            });
+                            stats.join_probes += run.probes;
+                            flush_derived(
+                                head,
+                                run.matches,
+                                &mut derived,
+                                &mut instance,
+                                &mut stats,
+                            );
+                        }
+                    }
+                }
+                lo = hi;
+                hi = watermark(&instance);
             }
         }
 
@@ -160,27 +258,6 @@ impl DatalogEngine {
     ) -> BTreeSet<Vec<Symbol>> {
         self.evaluate(database).answers(query)
     }
-}
-
-/// Matches a body atom against a concrete fact, returning the induced
-/// substitution if they are compatible.
-fn match_atom(pattern: &Atom, fact: &Atom) -> Option<Substitution> {
-    if pattern.predicate != fact.predicate || pattern.arity() != fact.arity() {
-        return None;
-    }
-    let mut subst = Substitution::new();
-    for (p, f) in pattern.terms.iter().zip(fact.terms.iter()) {
-        if p.is_var() {
-            match subst.get(p) {
-                Some(existing) if existing != *f => return None,
-                Some(_) => {}
-                None => subst.bind(*p, *f),
-            }
-        } else if p != f {
-            return None;
-        }
-    }
-    Some(subst)
 }
 
 #[cfg(test)]
@@ -288,5 +365,18 @@ mod tests {
         let e = engine("t(X, Y) :- edge(X, Y).");
         let result = e.evaluate(&db("edge(a, b). edge(b, c)."));
         assert_eq!(result.stats.peak_atoms, 4);
+    }
+
+    #[test]
+    fn join_counters_use_one_unit_across_phases() {
+        let e = engine("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).");
+        let result = e.evaluate(&db("edge(a, b). edge(b, c). edge(c, d)."));
+        // Naive round: one invocation per rule (2). Semi-naive rounds: one
+        // invocation per (rule, recursive position, delta fact); only the
+        // second rule has a position in the recursive stratum.
+        // Round 1 delta = {t(a,b), t(b,c), t(c,d)} → 3 invocations,
+        // round 2 delta = {t(a,c), t(b,d)} → 2, round 3 delta = {t(a,d)} → 1.
+        assert_eq!(result.stats.joins_evaluated, 2 + 3 + 2 + 1);
+        assert!(result.stats.join_probes > 0);
     }
 }

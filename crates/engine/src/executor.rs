@@ -3,8 +3,10 @@
 
 use crate::optimizer::{optimize, EngineConfig, OptimizedProgram, OptimizedRule};
 use std::collections::{BTreeSet, HashMap};
+use std::ops::ControlFlow;
 use vadalog_model::{
-    Atom, ConjunctiveQuery, Database, Instance, NullId, Program, Substitution, Symbol, Term,
+    ConjunctiveQuery, Database, Instance, JoinSpec, Matcher, NullId, Program, Symbol, Term,
+    Variable,
 };
 
 /// Counters describing an evaluation run. `join_probes` counts every
@@ -111,29 +113,94 @@ impl Reasoner {
         null_counter: &mut u64,
         null_depth: &mut HashMap<NullId, usize>,
     ) {
+        // Compile each rule once per fixpoint: the body join runs in
+        // **fixed order** (the optimizer's join ordering is the point of the
+        // E6 ablation), the head spec drives the satisfaction check.
+        let compiled: Vec<(JoinSpec, JoinSpec, Vec<Variable>)> = rules
+            .iter()
+            .map(|r| {
+                (
+                    JoinSpec::compile(&r.rule.body),
+                    JoinSpec::compile(&r.rule.head),
+                    r.rule.existential_variables().into_iter().collect(),
+                )
+            })
+            .collect();
+        // Matchers are created once per fixpoint (their bind-state buffers
+        // are reused across every round and trigger).
+        let mut body_matchers: Vec<Matcher<'_>> = compiled
+            .iter()
+            .map(|(body_spec, _, _)| {
+                let mut m = Matcher::new(body_spec);
+                m.set_fixed_order(true);
+                m
+            })
+            .collect();
+        let mut head_matchers: Vec<Matcher<'_>> = compiled
+            .iter()
+            .map(|(_, head_spec, _)| {
+                let mut m = Matcher::new(head_spec);
+                m.set_limit(1);
+                m
+            })
+            .collect();
+        // Collected trigger tuples, reused across rules and rounds (the
+        // instance cannot be mutated while the kernel iterates over it).
+        let mut triggers: Vec<Vec<Term>> = Vec::new();
+
         loop {
             stats.rounds += 1;
             let mut changed = false;
-            for optimized_rule in rules {
+            for (rule_index, (optimized_rule, (body_spec, _, existentials))) in
+                rules.iter().zip(compiled.iter()).enumerate()
+            {
                 let rule = &optimized_rule.rule;
-                let bindings = ordered_join(&rule.body, instance, stats);
-                for binding in bindings {
+                triggers.clear();
+                let matcher = &mut body_matchers[rule_index];
+                matcher.clear();
+                let run = matcher.for_each(instance, |bindings| {
+                    triggers.push(
+                        (0..body_spec.num_slots())
+                            .map(|s| {
+                                bindings
+                                    .get(body_spec.var_of(s))
+                                    .expect("every body variable is bound by a full match")
+                            })
+                            .collect(),
+                    );
+                    ControlFlow::Continue(())
+                });
+                stats.join_probes += run.probes as usize;
+                for values in &triggers {
                     // Restricted-chase style satisfaction check: skip the
                     // trigger if an extension already satisfies the head.
-                    let head_pattern = binding.apply_atoms(&rule.head);
-                    if vadalog_model::exists_homomorphism(
-                        &head_pattern,
-                        instance,
-                        &Substitution::new(),
-                    ) {
+                    let head_matcher = &mut head_matchers[rule_index];
+                    head_matcher.clear();
+                    for (slot, &value) in values.iter().enumerate() {
+                        head_matcher.prebind(body_spec.var_of(slot), value);
+                    }
+                    let mut satisfied = false;
+                    head_matcher.for_each(instance, |_| {
+                        satisfied = true;
+                        ControlFlow::Break(())
+                    });
+                    if satisfied {
                         continue;
                     }
-                    let existentials = rule.existential_variables();
-                    if !existentials.is_empty() {
-                        let premise_depth = binding
-                            .apply_atoms(&rule.body)
+                    if existentials.is_empty() {
+                        for head_atom in &rule.head {
+                            let fact = body_spec.image(head_atom, values);
+                            if instance.insert(fact).expect("head image is variable-free") {
+                                stats.derived_atoms += 1;
+                                changed = true;
+                            }
+                        }
+                    } else {
+                        // Rules are constant- and null-free, so the premise
+                        // nulls are exactly the nulls among the trigger values.
+                        let premise_depth = values
                             .iter()
-                            .flat_map(|a| a.nulls())
+                            .filter_map(Term::as_null)
                             .map(|n| null_depth.get(&n).copied().unwrap_or(0))
                             .max()
                             .unwrap_or(0);
@@ -141,24 +208,20 @@ impl Reasoner {
                             stats.suppressed_triggers += 1;
                             continue;
                         }
-                        let mut extended = binding.clone();
-                        for z in existentials {
-                            let null = NullId(*null_counter);
-                            *null_counter += 1;
-                            stats.nulls_created += 1;
-                            null_depth.insert(null, premise_depth + 1);
-                            extended.bind_var(z, Term::Null(null));
-                        }
+                        let nulls: Vec<(Variable, Term)> = existentials
+                            .iter()
+                            .map(|&z| {
+                                let null = NullId(*null_counter);
+                                *null_counter += 1;
+                                stats.nulls_created += 1;
+                                null_depth.insert(null, premise_depth + 1);
+                                (z, Term::Null(null))
+                            })
+                            .collect();
                         for head_atom in &rule.head {
-                            let fact = extended.apply_atom(head_atom);
-                            if instance.insert(fact).expect("head image is variable-free") {
-                                stats.derived_atoms += 1;
-                                changed = true;
-                            }
-                        }
-                    } else {
-                        for head_atom in &rule.head {
-                            let fact = binding.apply_atom(head_atom);
+                            let fact = body_spec.image_with(head_atom, values, |v| {
+                                nulls.iter().find(|&&(w, _)| w == v).map(|&(_, n)| n)
+                            });
                             if instance.insert(fact).expect("head image is variable-free") {
                                 stats.derived_atoms += 1;
                                 changed = true;
@@ -171,73 +234,6 @@ impl Reasoner {
                 break;
             }
         }
-    }
-}
-
-/// A nested-loop join that follows the given atom order strictly, probing the
-/// instance's position index with whatever variables are already bound.
-fn ordered_join(
-    body: &[Atom],
-    instance: &Instance,
-    stats: &mut ReasonerStats,
-) -> Vec<Substitution> {
-    let mut results = Vec::new();
-    let mut current = Substitution::new();
-    join_rec(body, 0, instance, &mut current, &mut results, stats);
-    results
-}
-
-fn join_rec(
-    body: &[Atom],
-    position: usize,
-    instance: &Instance,
-    current: &mut Substitution,
-    results: &mut Vec<Substitution>,
-    stats: &mut ReasonerStats,
-) {
-    if position == body.len() {
-        results.push(current.clone());
-        return;
-    }
-    let pattern = current.apply_atom(&body[position]);
-    // Probe the index on the first bound argument, if any.
-    let candidates: Vec<&Atom> = match pattern
-        .terms
-        .iter()
-        .enumerate()
-        .find(|(_, t)| !t.is_var())
-    {
-        Some((pos, term)) => instance.atoms_matching(pattern.predicate, pos, *term),
-        None => instance
-            .atoms_with_predicate(pattern.predicate)
-            .iter()
-            .collect(),
-    };
-    'candidates: for candidate in candidates {
-        stats.join_probes += 1;
-        if candidate.arity() != pattern.arity() {
-            continue;
-        }
-        let mut extension = Substitution::new();
-        for (p, f) in pattern.terms.iter().zip(candidate.terms.iter()) {
-            match p {
-                Term::Var(_) => match extension.get(p) {
-                    Some(existing) if existing != *f => continue 'candidates,
-                    Some(_) => {}
-                    None => extension.bind(*p, *f),
-                },
-                other => {
-                    if other != f {
-                        continue 'candidates;
-                    }
-                }
-            }
-        }
-        let saved = current.clone();
-        if current.merge_compatible(&extension) {
-            join_rec(body, position + 1, instance, current, results, stats);
-        }
-        *current = saved;
     }
 }
 

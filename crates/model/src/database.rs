@@ -1,27 +1,249 @@
-//! Databases and instances (Section 2 of the paper).
+//! Databases and instances (Section 2 of the paper), stored **columnar**.
 //!
-//! An [`Instance`] is a finite set of atoms over constants and nulls, indexed
-//! by predicate and by (position, term) pairs so that the chase and the
-//! homomorphism search can retrieve candidate atoms without scanning entire
-//! relations. A [`Database`] is an instance whose atoms are all ground
-//! (facts).
+//! # Storage layout
+//!
+//! An [`Instance`] is a finite set of atoms over constants and labelled
+//! nulls. Internally it is a map from predicate to [`Relation`], and each
+//! relation is a single flat, dense table:
+//!
+//! ```text
+//! Relation "edge" (arity 2)
+//!   terms: [ a, b,   a, c,   b, c ]      row-major, row i = terms[i*arity .. (i+1)*arity]
+//!   row 0 ──┘        │        └── row 2
+//!                  row 1
+//! ```
+//!
+//! * **Row ids.** Rows are append-only and never removed, so the index of a
+//!   row within its relation (a `u32` [`RowId`]) is a stable, compact
+//!   identifier for the fact. Consumers that need to remember sets of facts
+//!   (e.g. the oblivious chase's fired-trigger set) store row-id tuples
+//!   instead of cloned atoms.
+//! * **Deduplication** is row-level: a hash of the row's terms keys a bucket
+//!   of candidate row ids whose term slices are compared exactly. Inserting a
+//!   duplicate is detected without materialising an `Atom`.
+//! * **Column indexes.** Each column of a relation can carry a hash index
+//!   `term → [row ids]`. Indexes are built **lazily**: the first probe of a
+//!   column builds (or extends) its index; columns that are never used as a
+//!   join key cost nothing. Because relations are append-only the index is
+//!   extended incrementally from the last indexed row. Laziness uses interior
+//!   mutability (`RefCell` per column); probes take `&self`, while inserts
+//!   take `&mut self`, so a stale index can never be observed while a probe
+//!   borrow is live.
+//!
+//! The join kernel in [`crate::homomorphism`] works directly on row ids and
+//! borrowed term slices; the `Atom`-returning methods here materialise atoms
+//! lazily and exist for the convenience of analysis code, provenance and
+//! tests.
+//!
+//! A [`Database`] is an instance whose atoms are all ground (facts).
 
 use crate::atom::{Atom, Predicate};
 use crate::error::ModelError;
+use crate::fasthash::{FxHashMap, FxHasher};
 use crate::symbols::Symbol;
 use crate::term::{NullId, Term};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::cell::{Ref, RefCell};
+use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
-/// A finite set of atoms over constants and labelled nulls.
+/// Stable identifier of a row within its [`Relation`].
+pub type RowId = u32;
+
+/// Hashes one row of terms for the dedup table.
+fn row_hash(terms: &[Term]) -> u64 {
+    let mut hasher = FxHasher::default();
+    terms.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// A dedup bucket: almost every row hash maps to a single row, so the first
+/// id is inlined and the spill vector is only allocated on a genuine 64-bit
+/// hash collision.
+#[derive(Clone, Debug)]
+enum Bucket {
+    One(RowId),
+    Many(Vec<RowId>),
+}
+
+impl Bucket {
+    fn ids(&self) -> &[RowId] {
+        match self {
+            Bucket::One(id) => std::slice::from_ref(id),
+            Bucket::Many(ids) => ids,
+        }
+    }
+
+    fn push(&mut self, id: RowId) {
+        match self {
+            Bucket::One(first) => *self = Bucket::Many(vec![*first, id]),
+            Bucket::Many(ids) => ids.push(id),
+        }
+    }
+}
+
+/// A lazily-built hash index over one column of a relation.
+#[derive(Clone, Default, Debug)]
+struct ColumnIndex {
+    map: FxHashMap<Term, Vec<RowId>>,
+    rows_indexed: u32,
+}
+
+/// One relation of an instance: a flat, dense, append-only table of rows.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    predicate: Predicate,
+    arity: usize,
+    /// Row-major storage: row `i` is `terms[i*arity .. (i+1)*arity]`.
+    terms: Vec<Term>,
+    /// Row-level dedup: row hash → candidate row ids.
+    dedup: FxHashMap<u64, Bucket>,
+    /// Per-column lazy indexes (`RefCell` so probes can build them on
+    /// demand behind `&self`).
+    columns: Vec<RefCell<ColumnIndex>>,
+}
+
+impl Relation {
+    fn new(predicate: Predicate, arity: usize) -> Relation {
+        Relation {
+            predicate,
+            arity,
+            terms: Vec::new(),
+            dedup: FxHashMap::default(),
+            columns: (0..arity).map(|_| RefCell::default()).collect(),
+        }
+    }
+
+    /// The relation's predicate.
+    pub fn predicate(&self) -> Predicate {
+        self.predicate
+    }
+
+    /// The arity all rows share.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        if self.arity == 0 {
+            // A 0-ary relation holds at most one (empty) row; track via dedup.
+            self.dedup.len()
+        } else {
+            self.terms.len() / self.arity
+        }
+    }
+
+    /// `true` iff the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The terms of row `id`.
+    pub fn row(&self, id: RowId) -> &[Term] {
+        let start = id as usize * self.arity;
+        &self.terms[start..start + self.arity]
+    }
+
+    /// Iterates over all rows as term slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[Term]> {
+        // `chunks_exact(0)` panics, so special-case arity 0 (rows are empty).
+        let arity = self.arity.max(1);
+        self.terms
+            .chunks_exact(arity)
+            .take(self.len())
+            .chain(std::iter::repeat(&[][..]).take(if self.arity == 0 { self.len() } else { 0 }))
+    }
+
+    /// Materialises row `id` as an [`Atom`].
+    pub fn atom(&self, id: RowId) -> Atom {
+        Atom {
+            predicate: self.predicate,
+            terms: self.row(id).to_vec(),
+        }
+    }
+
+    /// Finds the row id of an exact row, if present.
+    pub fn find_row(&self, row: &[Term]) -> Option<RowId> {
+        if row.len() != self.arity {
+            return None;
+        }
+        let candidates = self.dedup.get(&row_hash(row))?;
+        candidates
+            .ids()
+            .iter()
+            .copied()
+            .find(|&id| self.row(id) == row)
+    }
+
+    /// `true` iff the exact row is present.
+    pub fn contains_row(&self, row: &[Term]) -> bool {
+        self.find_row(row).is_some()
+    }
+
+    /// Appends a row if it is not already present; returns the row id and
+    /// whether it was newly inserted.
+    fn insert_row(&mut self, row: &[Term]) -> (RowId, bool) {
+        debug_assert_eq!(row.len(), self.arity);
+        let hash = row_hash(row);
+        if let Some(candidates) = self.dedup.get(&hash) {
+            if let Some(&id) = candidates.ids().iter().find(|&&id| self.row(id) == row) {
+                return (id, false);
+            }
+        }
+        let id = self.len() as RowId;
+        self.terms.extend_from_slice(row);
+        match self.dedup.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Bucket::One(id));
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => slot.get_mut().push(id),
+        }
+        (id, true)
+    }
+
+    /// Brings the lazy index of `col` up to date with the current rows.
+    ///
+    /// Invariant: a *stale* column index can never be mutably borrowed while a
+    /// probe borrow on the same column is live — probes take `&self` and
+    /// inserts take `&mut self`, so after the first probe of a session the
+    /// index stays fresh until the next mutation.
+    fn ensure_indexed(&self, col: usize) {
+        let rows = self.len() as u32;
+        if self.columns[col].borrow().rows_indexed == rows {
+            return;
+        }
+        let mut index = self.columns[col].borrow_mut();
+        for id in index.rows_indexed..rows {
+            let term = self.terms[id as usize * self.arity + col];
+            index.map.entry(term).or_default().push(id);
+        }
+        index.rows_indexed = rows;
+    }
+
+    /// Row ids whose `col`-th term equals `term`, as a borrowed slice (no
+    /// allocation; the column index is built or extended on first use).
+    pub fn matching_rows(&self, col: usize, term: Term) -> Ref<'_, [RowId]> {
+        assert!(col < self.arity, "column out of bounds");
+        self.ensure_indexed(col);
+        Ref::map(self.columns[col].borrow(), |index| {
+            index.map.get(&term).map(Vec::as_slice).unwrap_or(&[])
+        })
+    }
+
+    /// Number of rows whose `col`-th term equals `term` (used by the join
+    /// kernel's selectivity heuristic; builds the column index on demand).
+    pub fn matching_count(&self, col: usize, term: Term) -> usize {
+        self.matching_rows(col, term).len()
+    }
+}
+
+/// A finite set of atoms over constants and labelled nulls, stored as one
+/// columnar [`Relation`] per predicate.
 #[derive(Clone, Default)]
 pub struct Instance {
-    by_predicate: HashMap<Predicate, Vec<Atom>>,
-    /// Index: (predicate, argument position, term) → indexes into
-    /// `by_predicate[predicate]`.
-    position_index: HashMap<(Predicate, usize, Term), Vec<usize>>,
-    set: HashSet<Atom>,
-    arities: HashMap<Predicate, usize>,
+    relations: FxHashMap<Predicate, Relation>,
+    len: usize,
 }
 
 impl Instance {
@@ -32,103 +254,148 @@ impl Instance {
 
     /// Number of atoms.
     pub fn len(&self) -> usize {
-        self.set.len()
+        self.len
     }
 
     /// `true` iff the instance has no atoms.
     pub fn is_empty(&self) -> bool {
-        self.set.is_empty()
+        self.len == 0
+    }
+
+    /// The relation of a predicate, if it occurs in the instance.
+    pub fn relation(&self, p: Predicate) -> Option<&Relation> {
+        self.relations.get(&p)
     }
 
     /// Inserts an atom; returns `true` if it was not already present.
     /// Returns an error if the atom contains a variable or if its arity
     /// conflicts with earlier atoms over the same predicate.
     pub fn insert(&mut self, atom: Atom) -> Result<bool, ModelError> {
-        if !atom.is_variable_free() {
-            return Err(ModelError::NonGroundFact(atom.to_string()));
+        self.insert_terms(atom.predicate, &atom.terms)
+    }
+
+    /// Inserts a fact given as a predicate and a term slice, without
+    /// requiring a materialised [`Atom`]. Returns `true` if newly inserted.
+    pub fn insert_terms(&mut self, predicate: Predicate, terms: &[Term]) -> Result<bool, ModelError> {
+        if terms.iter().any(Term::is_var) {
+            return Err(ModelError::NonGroundFact(
+                Atom {
+                    predicate,
+                    terms: terms.to_vec(),
+                }
+                .to_string(),
+            ));
         }
-        if let Some(&arity) = self.arities.get(&atom.predicate) {
-            if arity != atom.arity() {
-                return Err(ModelError::ArityMismatch {
-                    predicate: atom.predicate.name().to_string(),
-                    expected: arity,
-                    found: atom.arity(),
-                });
-            }
-        } else {
-            self.arities.insert(atom.predicate, atom.arity());
+        let rel = self
+            .relations
+            .entry(predicate)
+            .or_insert_with(|| Relation::new(predicate, terms.len()));
+        if rel.arity != terms.len() {
+            return Err(ModelError::ArityMismatch {
+                predicate: predicate.name().to_string(),
+                expected: rel.arity,
+                found: terms.len(),
+            });
         }
-        if self.set.contains(&atom) {
-            return Ok(false);
+        let (_, inserted) = rel.insert_row(terms);
+        if inserted {
+            self.len += 1;
         }
-        self.set.insert(atom.clone());
-        let rel = self.by_predicate.entry(atom.predicate).or_default();
-        let idx = rel.len();
-        for (pos, term) in atom.terms.iter().enumerate() {
-            self.position_index
-                .entry((atom.predicate, pos, *term))
-                .or_default()
-                .push(idx);
-        }
-        rel.push(atom);
-        Ok(true)
+        Ok(inserted)
     }
 
     /// `true` iff the atom is present.
     pub fn contains(&self, atom: &Atom) -> bool {
-        self.set.contains(atom)
+        self.relations
+            .get(&atom.predicate)
+            .is_some_and(|rel| rel.contains_row(&atom.terms))
     }
 
-    /// All atoms with the given predicate.
-    pub fn atoms_with_predicate(&self, p: Predicate) -> &[Atom] {
-        self.by_predicate.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    /// All atoms with the given predicate, materialised lazily.
+    pub fn atoms_with_predicate(&self, p: Predicate) -> impl Iterator<Item = Atom> + '_ {
+        self.relations.get(&p).into_iter().flat_map(|rel| {
+            rel.rows().map(move |row| Atom {
+                predicate: rel.predicate,
+                terms: row.to_vec(),
+            })
+        })
     }
 
     /// Atoms with predicate `p` whose argument at `position` equals `term`.
-    /// Used by the homomorphism search to exploit already-bound arguments.
-    pub fn atoms_matching(&self, p: Predicate, position: usize, term: Term) -> Vec<&Atom> {
-        match self.position_index.get(&(p, position, term)) {
-            Some(indexes) => {
-                let rel = &self.by_predicate[&p];
-                indexes.iter().map(|&i| &rel[i]).collect()
-            }
-            None => Vec::new(),
-        }
+    ///
+    /// Convenience wrapper over the column index that copies the matching
+    /// row-id list and materialises atoms one by one; the join kernel and
+    /// other hot paths use [`Relation::matching_rows`] directly, which hands
+    /// out the borrowed row-id slice without allocating.
+    pub fn atoms_matching(
+        &self,
+        p: Predicate,
+        position: usize,
+        term: Term,
+    ) -> impl Iterator<Item = Atom> + '_ {
+        let rel = self
+            .relations
+            .get(&p)
+            .filter(|rel| position < rel.arity());
+        let ids: Vec<RowId> = rel
+            .map(|rel| rel.matching_rows(position, term).to_vec())
+            .unwrap_or_default();
+        ids.into_iter()
+            .filter_map(move |id| rel.map(|rel| rel.atom(id)))
     }
 
-    /// Iterates over all atoms.
-    pub fn iter(&self) -> impl Iterator<Item = &Atom> {
-        self.by_predicate.values().flatten()
+    /// Iterates over all atoms (materialised lazily).
+    pub fn iter(&self) -> impl Iterator<Item = Atom> + '_ {
+        self.relations.values().flat_map(|rel| {
+            rel.rows().map(move |row| Atom {
+                predicate: rel.predicate,
+                terms: row.to_vec(),
+            })
+        })
     }
 
     /// The predicates present in the instance.
     pub fn predicates(&self) -> impl Iterator<Item = Predicate> + '_ {
-        self.by_predicate.keys().copied()
+        self.relations.keys().copied()
+    }
+
+    /// The relations of the instance.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
     }
 
     /// The arity of a predicate, if it occurs in the instance.
     pub fn arity_of(&self, p: Predicate) -> Option<usize> {
-        self.arities.get(&p).copied()
+        self.relations.get(&p).map(Relation::arity)
     }
 
     /// The active domain: all constants and nulls occurring in the instance.
     pub fn active_domain(&self) -> BTreeSet<Term> {
-        self.iter().flat_map(|a| a.terms.iter().copied()).collect()
+        self.relations
+            .values()
+            .flat_map(|rel| rel.terms.iter().copied())
+            .collect()
     }
 
     /// All constants occurring in the instance.
     pub fn constants(&self) -> BTreeSet<Symbol> {
-        self.iter().flat_map(|a| a.constants()).collect()
+        self.relations
+            .values()
+            .flat_map(|rel| rel.terms.iter().filter_map(Term::as_const))
+            .collect()
     }
 
     /// All labelled nulls occurring in the instance.
     pub fn nulls(&self) -> BTreeSet<NullId> {
-        self.iter().flat_map(|a| a.nulls()).collect()
+        self.relations
+            .values()
+            .flat_map(|rel| rel.terms.iter().filter_map(Term::as_null))
+            .collect()
     }
 
     /// Number of atoms per predicate, useful for join-order heuristics.
     pub fn relation_size(&self, p: Predicate) -> usize {
-        self.by_predicate.get(&p).map(Vec::len).unwrap_or(0)
+        self.relations.get(&p).map(Relation::len).unwrap_or(0)
     }
 }
 
@@ -208,13 +475,13 @@ impl Database {
         self.instance.contains(fact)
     }
 
-    /// Iterates over all facts.
-    pub fn iter(&self) -> impl Iterator<Item = &Atom> {
+    /// Iterates over all facts (materialised lazily).
+    pub fn iter(&self) -> impl Iterator<Item = Atom> + '_ {
         self.instance.iter()
     }
 
-    /// All facts with the given predicate.
-    pub fn facts_with_predicate(&self, p: Predicate) -> &[Atom] {
+    /// All facts with the given predicate (materialised lazily).
+    pub fn facts_with_predicate(&self, p: Predicate) -> impl Iterator<Item = Atom> + '_ {
         self.instance.atoms_with_predicate(p)
     }
 
@@ -289,13 +556,53 @@ mod tests {
         db.insert(Atom::fact("edge", &["a", "c"])).unwrap();
         db.insert(Atom::fact("edge", &["b", "c"])).unwrap();
         let inst = db.as_instance();
-        let from_a = inst.atoms_matching(Predicate::new("edge"), 0, Term::constant("a"));
+        let from_a: Vec<Atom> = inst
+            .atoms_matching(Predicate::new("edge"), 0, Term::constant("a"))
+            .collect();
         assert_eq!(from_a.len(), 2);
-        let to_c = inst.atoms_matching(Predicate::new("edge"), 1, Term::constant("c"));
-        assert_eq!(to_c.len(), 2);
-        assert!(inst
-            .atoms_matching(Predicate::new("edge"), 0, Term::constant("z"))
-            .is_empty());
+        let to_c = inst
+            .atoms_matching(Predicate::new("edge"), 1, Term::constant("c"))
+            .count();
+        assert_eq!(to_c, 2);
+        assert_eq!(
+            inst.atoms_matching(Predicate::new("edge"), 0, Term::constant("z"))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn column_indexes_are_extended_after_later_inserts() {
+        let mut inst = Instance::new();
+        inst.insert(Atom::fact("edge", &["a", "b"])).unwrap();
+        // First probe builds the column-0 index.
+        assert_eq!(
+            inst.relation(Predicate::new("edge"))
+                .unwrap()
+                .matching_count(0, Term::constant("a")),
+            1
+        );
+        // Later inserts must be visible to subsequent probes.
+        inst.insert(Atom::fact("edge", &["a", "c"])).unwrap();
+        assert_eq!(
+            inst.relation(Predicate::new("edge"))
+                .unwrap()
+                .matching_count(0, Term::constant("a")),
+            2
+        );
+    }
+
+    #[test]
+    fn row_ids_are_stable_and_dense() {
+        let mut inst = Instance::new();
+        inst.insert(Atom::fact("edge", &["a", "b"])).unwrap();
+        inst.insert(Atom::fact("edge", &["b", "c"])).unwrap();
+        inst.insert(Atom::fact("edge", &["a", "b"])).unwrap(); // duplicate
+        let rel = inst.relation(Predicate::new("edge")).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.find_row(&[Term::constant("a"), Term::constant("b")]), Some(0));
+        assert_eq!(rel.find_row(&[Term::constant("b"), Term::constant("c")]), Some(1));
+        assert_eq!(rel.atom(1), Atom::fact("edge", &["b", "c"]));
     }
 
     #[test]

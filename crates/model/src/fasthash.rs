@@ -1,0 +1,89 @@
+//! Cheap hashing for the columnar store.
+//!
+//! Every key hashed on the storage hot path is built from interned integers
+//! (symbols, predicates, row hashes, terms), so the DoS-resistant default
+//! SipHash costs far more than it buys. This is the FxHash multiply-rotate
+//! scheme used by rustc: one rotate, one xor, one multiply per word.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for small integer-shaped keys.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let b = FxBuildHasher::default();
+        let h = |x: &[u64]| {
+            let mut hasher = b.build_hasher();
+            x.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(&[1, 2, 3]), h(&[1, 2, 3]));
+        assert_ne!(h(&[1, 2, 3]), h(&[1, 2, 4]));
+        assert_ne!(h(&[1, 2]), h(&[2, 1]));
+    }
+}

@@ -1,4 +1,4 @@
-//! Homomorphisms from sets of atoms into instances.
+//! Homomorphisms from sets of atoms into instances — the join kernel.
 //!
 //! A homomorphism is a substitution that is the identity on constants and maps
 //! every atom of the source set onto an atom of the target instance. This is
@@ -7,14 +7,41 @@
 //! "match-and-drop" step of the proof-tree search, and the leaves of chase
 //! trees.
 //!
-//! The search is a straightforward backtracking join that picks the next atom
-//! with the most bound arguments first and uses the instance's position index
-//! to enumerate candidates.
+//! # The zero-allocation kernel
+//!
+//! The hot path is [`JoinSpec`] + [`Matcher`]: a pattern is compiled once
+//! into per-atom argument specs (`Rigid` term or variable `Slot`), and the
+//! backtracking search binds slots in a fixed-size array with an **undo
+//! trail** (bind on match, pop on backtrack). Candidate atoms are enumerated
+//! as row ids borrowed from the instance's lazy column indexes
+//! ([`crate::database::Relation::matching_rows`]). The inner per-candidate
+//! loop therefore performs **no heap allocation** and never clones a
+//! substitution; results are streamed to a callback as a [`Bindings`] view.
+//!
+//! Atom selection is adaptive by default: at every search node the kernel
+//! picks the *most selective* remaining atom, where an atom's cost is the
+//! smallest candidate-list length over all of its already-resolved argument
+//! positions (not merely the first bound position — a first-bound-position
+//! probe can be arbitrarily worse than the best one). A fixed-order mode
+//! ([`Matcher::set_fixed_order`]) preserves a caller-chosen join order for
+//! join-ordering experiments; it still probes the most selective position of
+//! each atom.
+//!
+//! The classic [`homomorphisms`] / [`find_homomorphism`] /
+//! [`exists_homomorphism`] entry points are thin compatibility wrappers that
+//! compile a spec per call and materialise `Substitution`s from the streamed
+//! bindings. Engines (Datalog, chase, executor, proof search) drive the
+//! kernel directly.
+//!
+//! A faithful port of the seed's allocation-heavy algorithm is retained in
+//! [`reference`] as a correctness oracle for property tests and as the
+//! baseline the join benchmarks compare against.
 
 use crate::atom::Atom;
-use crate::database::Instance;
+use crate::database::{Instance, Relation, RowId};
 use crate::substitution::Substitution;
-use crate::term::Term;
+use crate::term::{Term, Variable};
+use std::ops::ControlFlow;
 
 /// Options for the homomorphism search.
 #[derive(Clone, Copy, Debug)]
@@ -42,9 +69,549 @@ impl HomSearch {
     }
 }
 
+/// Counters for one kernel run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JoinStats {
+    /// Candidate rows examined (the unit shared by every engine's
+    /// probe counter).
+    pub probes: u64,
+    /// Homomorphisms emitted.
+    pub matches: u64,
+}
+
+/// One compiled pattern argument: either a term that must match exactly
+/// (constant, null, or seed-substituted term) or a variable slot.
+#[derive(Clone, Copy, Debug)]
+enum ArgSpec {
+    Rigid(Term),
+    Slot(u32),
+}
+
+#[derive(Clone, Debug)]
+struct CompiledAtom {
+    predicate: crate::atom::Predicate,
+    args: Vec<ArgSpec>,
+}
+
+/// A pattern (conjunction of atoms) compiled for the join kernel: variables
+/// are numbered into dense slots, every argument becomes an [`ArgSpec`].
+/// Compile once, run many times via [`Matcher`].
+#[derive(Clone, Debug)]
+pub struct JoinSpec {
+    atoms: Vec<CompiledAtom>,
+    /// Slot → variable, in order of first occurrence.
+    vars: Vec<Variable>,
+}
+
+impl JoinSpec {
+    /// Compiles a pattern.
+    pub fn compile(atoms: &[Atom]) -> JoinSpec {
+        JoinSpec::compile_seeded(atoms, &Substitution::new())
+    }
+
+    /// Compiles a pattern with a seed substitution applied on the fly:
+    /// variables mapped by the seed become rigid terms (or slots for the
+    /// *renamed* variable if the seed maps variable to variable), exactly as
+    /// if `seed.apply_atoms(atoms)` had been compiled — without allocating
+    /// the intermediate atoms.
+    pub fn compile_seeded(atoms: &[Atom], seed: &Substitution) -> JoinSpec {
+        let mut vars: Vec<Variable> = Vec::new();
+        let mut compiled = Vec::with_capacity(atoms.len());
+        for atom in atoms {
+            let args = atom
+                .terms
+                .iter()
+                .map(|t| match seed.apply_term(t) {
+                    Term::Var(v) => {
+                        let slot = vars.iter().position(|&w| w == v).unwrap_or_else(|| {
+                            vars.push(v);
+                            vars.len() - 1
+                        });
+                        ArgSpec::Slot(slot as u32)
+                    }
+                    rigid => ArgSpec::Rigid(rigid),
+                })
+                .collect();
+            compiled.push(CompiledAtom {
+                predicate: atom.predicate,
+                args,
+            });
+        }
+        JoinSpec {
+            atoms: compiled,
+            vars,
+        }
+    }
+
+    /// Number of variable slots.
+    pub fn num_slots(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of pattern atoms.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// The slot of a variable, if the variable occurs in the pattern.
+    pub fn slot_of(&self, v: Variable) -> Option<usize> {
+        self.vars.iter().position(|&w| w == v)
+    }
+
+    /// The variable of a slot.
+    pub fn var_of(&self, slot: usize) -> Variable {
+        self.vars[slot]
+    }
+
+    /// The image of `atom` where each pattern variable resolves to
+    /// `values[slot]` (a dense trigger tuple as collected from a match).
+    pub fn image(&self, atom: &Atom, values: &[Term]) -> Atom {
+        self.image_with(atom, values, |_| None)
+    }
+
+    /// Like [`JoinSpec::image`], but variables outside the pattern (e.g. a
+    /// TGD head's existential variables) fall back to `extra`.
+    pub fn image_with(
+        &self,
+        atom: &Atom,
+        values: &[Term],
+        extra: impl Fn(Variable) -> Option<Term>,
+    ) -> Atom {
+        Atom {
+            predicate: atom.predicate,
+            terms: atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => self
+                        .slot_of(*v)
+                        .and_then(|s| values.get(s).copied())
+                        .or_else(|| extra(*v))
+                        .unwrap_or(*t),
+                    other => *other,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Row-id sentinel for pattern atoms satisfied by [`Matcher::prematch`]
+/// (their "row" lives outside the target instance).
+pub const PREMATCHED_ROW: RowId = RowId::MAX;
+
+/// A streamed result: read-only view of the kernel's bind state at a match.
+pub struct Bindings<'a> {
+    vars: &'a [Variable],
+    slots: &'a [Option<Term>],
+    rows: &'a [RowId],
+}
+
+impl Bindings<'_> {
+    /// The binding of a variable, if bound.
+    pub fn get(&self, v: Variable) -> Option<Term> {
+        let slot = self.vars.iter().position(|&w| w == v)?;
+        self.slots[slot]
+    }
+
+    /// Applies the bindings to a term (variables resolve to their binding or
+    /// themselves; constants and nulls are fixed).
+    pub fn resolve(&self, t: &Term) -> Term {
+        match t {
+            Term::Var(v) => self.get(*v).unwrap_or(*t),
+            other => *other,
+        }
+    }
+
+    /// The image of an atom under the bindings.
+    pub fn image(&self, atom: &Atom) -> Atom {
+        Atom {
+            predicate: atom.predicate,
+            terms: atom.terms.iter().map(|t| self.resolve(t)).collect(),
+        }
+    }
+
+    /// The image of an atom where unbound variables fall back to `extra`
+    /// (used by the chase to substitute fresh nulls for existentials).
+    pub fn image_with(&self, atom: &Atom, extra: impl Fn(Variable) -> Option<Term>) -> Atom {
+        Atom {
+            predicate: atom.predicate,
+            terms: atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => self.get(*v).or_else(|| extra(*v)).unwrap_or(*t),
+                    other => *other,
+                })
+                .collect(),
+        }
+    }
+
+    /// The target row id matched by each pattern atom, in pattern order
+    /// ([`PREMATCHED_ROW`] for atoms satisfied via [`Matcher::prematch`]).
+    pub fn matched_rows(&self) -> &[RowId] {
+        self.rows
+    }
+
+    /// Materialises the bound slots as a [`Substitution`].
+    pub fn to_substitution(&self) -> Substitution {
+        self.substitution_extending(&Substitution::new())
+    }
+
+    /// Materialises `seed` extended with the bound slots (the contract of the
+    /// classic [`homomorphisms`] entry point).
+    pub fn substitution_extending(&self, seed: &Substitution) -> Substitution {
+        let mut out = seed.clone();
+        for (slot, binding) in self.slots.iter().enumerate() {
+            if let Some(t) = binding {
+                out.bind_var(self.vars[slot], *t);
+            }
+        }
+        out
+    }
+}
+
+/// Reusable search state for a [`JoinSpec`]. Create once, then per run:
+/// [`Matcher::clear`], optional [`Matcher::prebind`] / [`Matcher::prematch`],
+/// then [`Matcher::for_each`]. All buffers are reused across runs, so a
+/// matcher driven in a loop (the semi-naive delta loop, the chase trigger
+/// loop) allocates nothing after its first run.
+pub struct Matcher<'s> {
+    spec: &'s JoinSpec,
+    slots: Vec<Option<Term>>,
+    trail: Vec<u32>,
+    used: Vec<bool>,
+    rows: Vec<RowId>,
+    fixed_order: bool,
+    limit: usize,
+}
+
+impl<'s> Matcher<'s> {
+    /// Creates a matcher for a compiled pattern.
+    pub fn new(spec: &'s JoinSpec) -> Matcher<'s> {
+        Matcher {
+            slots: vec![None; spec.num_slots()],
+            trail: Vec::with_capacity(spec.num_slots()),
+            used: vec![false; spec.num_atoms()],
+            rows: vec![PREMATCHED_ROW; spec.num_atoms()],
+            spec,
+            fixed_order: false,
+            limit: usize::MAX,
+        }
+    }
+
+    /// Resets all bindings and pre-matches for the next run.
+    pub fn clear(&mut self) {
+        self.slots.fill(None);
+        self.trail.clear();
+        self.used.fill(false);
+        self.rows.fill(PREMATCHED_ROW);
+    }
+
+    /// Follow the pattern's atom order instead of adaptive most-selective
+    /// selection (for join-ordering experiments).
+    pub fn set_fixed_order(&mut self, fixed: bool) -> &mut Self {
+        self.fixed_order = fixed;
+        self
+    }
+
+    /// Stop after `limit` matches.
+    pub fn set_limit(&mut self, limit: usize) -> &mut Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Pre-binds a variable before the search. Returns `false` on conflict
+    /// with an existing pre-binding (no state is changed in that case).
+    pub fn prebind(&mut self, v: Variable, t: Term) -> bool {
+        match self.spec.slot_of(v) {
+            // Binding a variable the pattern never mentions constrains nothing.
+            None => true,
+            Some(slot) => match self.slots[slot] {
+                Some(existing) => existing == t,
+                None => {
+                    self.slots[slot] = Some(t);
+                    true
+                }
+            },
+        }
+    }
+
+    /// Matches pattern atom `atom_index` against a concrete row (typically a
+    /// delta fact living outside the target instance), binding its slots and
+    /// marking the atom as satisfied. Returns `false` if the row does not
+    /// match (the caller should [`Matcher::clear`] before the next attempt).
+    pub fn prematch(&mut self, atom_index: usize, row: &[Term]) -> bool {
+        let atom = &self.spec.atoms[atom_index];
+        if atom.args.len() != row.len() {
+            return false;
+        }
+        for (arg, &val) in atom.args.iter().zip(row.iter()) {
+            match *arg {
+                ArgSpec::Rigid(t) => {
+                    if t != val {
+                        return false;
+                    }
+                }
+                ArgSpec::Slot(s) => match self.slots[s as usize] {
+                    Some(existing) => {
+                        if existing != val {
+                            return false;
+                        }
+                    }
+                    None => self.slots[s as usize] = Some(val),
+                },
+            }
+        }
+        self.used[atom_index] = true;
+        self.rows[atom_index] = PREMATCHED_ROW;
+        true
+    }
+
+    /// Runs the search over `target`, streaming every homomorphism to `f`.
+    /// Returning `ControlFlow::Break(())` from `f` stops the enumeration.
+    pub fn for_each<F>(&mut self, target: &Instance, mut f: F) -> JoinStats
+    where
+        F: FnMut(&Bindings<'_>) -> ControlFlow<()>,
+    {
+        let mut stats = JoinStats::default();
+        if self.limit == 0 {
+            return stats;
+        }
+        // Fail fast if some open pattern atom has no relation (or the wrong
+        // arity) in the target: the pattern cannot match at all.
+        let open = self.used.iter().filter(|u| !**u).count();
+        for (i, atom) in self.spec.atoms.iter().enumerate() {
+            if !self.used[i]
+                && target
+                    .relation(atom.predicate)
+                    .filter(|r| r.arity() == atom.args.len())
+                    .is_none()
+            {
+                return stats;
+            }
+        }
+        let mut ctx = SearchCtx {
+            spec: self.spec,
+            target,
+            slots: &mut self.slots,
+            trail: &mut self.trail,
+            used: &mut self.used,
+            rows: &mut self.rows,
+            fixed_order: self.fixed_order,
+            limit: self.limit,
+            emitted: 0,
+            stats: &mut stats,
+        };
+        let _ = search(&mut ctx, open, &mut f);
+        stats
+    }
+}
+
+struct SearchCtx<'a, 'b> {
+    spec: &'a JoinSpec,
+    target: &'b Instance,
+    slots: &'a mut Vec<Option<Term>>,
+    trail: &'a mut Vec<u32>,
+    used: &'a mut Vec<bool>,
+    rows: &'a mut Vec<RowId>,
+    fixed_order: bool,
+    limit: usize,
+    emitted: usize,
+    stats: &'a mut JoinStats,
+}
+
+/// The cheapest way to enumerate candidates for one atom.
+enum Probe {
+    /// Use the column index at this position with this term.
+    Index(usize, Term),
+    /// Scan the whole relation.
+    Scan,
+}
+
+impl<'b> SearchCtx<'_, 'b> {
+    /// The resolved value of an argument, if rigid or already bound.
+    fn resolved(&self, arg: ArgSpec) -> Option<Term> {
+        match arg {
+            ArgSpec::Rigid(t) => Some(t),
+            ArgSpec::Slot(s) => self.slots[s as usize],
+        }
+    }
+
+    /// The relation of pattern atom `i` (validated to exist, with matching
+    /// arity, before the search starts; resolving it is one lookup in the
+    /// Fx-hashed relation map and keeps the run allocation-free).
+    fn rel_of(&self, i: usize) -> &'b Relation {
+        self.target
+            .relation(self.spec.atoms[i].predicate)
+            .expect("unsatisfiable atoms are rejected before the search")
+    }
+
+    /// Estimates the candidate count for atom `i` and picks its best probe:
+    /// the indexed position with the smallest candidate list, falling back to
+    /// a full scan when no argument is resolved yet.
+    fn cost_of(&self, i: usize) -> (usize, Probe) {
+        let rel = self.rel_of(i);
+        let mut best = (rel.len(), Probe::Scan);
+        for (pos, &arg) in self.spec.atoms[i].args.iter().enumerate() {
+            if let Some(term) = self.resolved(arg) {
+                let count = rel.matching_count(pos, term);
+                if count < best.0 || matches!(best.1, Probe::Scan) {
+                    best = (count, Probe::Index(pos, term));
+                    if count == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The probe for atom `i` when its candidate *count* is not needed (the
+    /// atom is the only choice): with zero or one resolved position no index
+    /// size has to be consulted at all.
+    fn probe_of(&self, i: usize) -> Probe {
+        let mut found: Option<Probe> = None;
+        for (pos, &arg) in self.spec.atoms[i].args.iter().enumerate() {
+            if let Some(term) = self.resolved(arg) {
+                if found.is_some() {
+                    // Several resolved positions: pick the most selective.
+                    return self.cost_of(i).1;
+                }
+                found = Some(Probe::Index(pos, term));
+            }
+        }
+        found.unwrap_or(Probe::Scan)
+    }
+
+    /// Picks the next atom: pattern order when `fixed_order`, otherwise the
+    /// unused atom with the fewest candidates.
+    fn select(&self, open: usize) -> Option<(usize, Probe)> {
+        if self.fixed_order || open == 1 {
+            let i = self.used.iter().position(|u| !u)?;
+            return Some((i, self.probe_of(i)));
+        }
+        let mut best: Option<(usize, usize, Probe)> = None;
+        for i in 0..self.spec.atoms.len() {
+            if self.used[i] {
+                continue;
+            }
+            let (cost, probe) = self.cost_of(i);
+            if best.as_ref().is_none_or(|(_, c, _)| cost < *c) {
+                let zero = cost == 0;
+                best = Some((i, cost, probe));
+                if zero {
+                    break; // dead end; fail as fast as possible
+                }
+            }
+        }
+        best.map(|(i, _, probe)| (i, probe))
+    }
+
+    /// Binds atom `i`'s slots against `row`, pushing to the trail; returns
+    /// `false` on mismatch (caller unwinds the trail).
+    fn match_row(&mut self, i: usize, row: &[Term]) -> bool {
+        for (arg, &val) in self.spec.atoms[i].args.iter().zip(row.iter()) {
+            match *arg {
+                ArgSpec::Rigid(t) => {
+                    if t != val {
+                        return false;
+                    }
+                }
+                ArgSpec::Slot(s) => match self.slots[s as usize] {
+                    Some(existing) => {
+                        if existing != val {
+                            return false;
+                        }
+                    }
+                    None => {
+                        self.slots[s as usize] = Some(val);
+                        self.trail.push(s);
+                    }
+                },
+            }
+        }
+        true
+    }
+
+    fn unwind(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let slot = self.trail.pop().expect("trail is non-empty above the mark");
+            self.slots[slot as usize] = None;
+        }
+    }
+}
+
+/// The recursive kernel: zero heap allocation per candidate — candidates are
+/// borrowed row-id slices, bindings go through the slot array + undo trail.
+fn search<F>(ctx: &mut SearchCtx<'_, '_>, open: usize, f: &mut F) -> ControlFlow<()>
+where
+    F: FnMut(&Bindings<'_>) -> ControlFlow<()>,
+{
+    if open == 0 {
+        ctx.emitted += 1;
+        ctx.stats.matches += 1;
+        let view = Bindings {
+            vars: &ctx.spec.vars,
+            slots: ctx.slots,
+            rows: ctx.rows,
+        };
+        f(&view)?;
+        if ctx.emitted >= ctx.limit {
+            return ControlFlow::Break(());
+        }
+        return ControlFlow::Continue(());
+    }
+    let Some((atom, probe)) = ctx.select(open) else {
+        return ControlFlow::Continue(());
+    };
+    let rel = ctx.rel_of(atom);
+    ctx.used[atom] = true;
+    let result = match probe {
+        Probe::Index(pos, term) => {
+            let ids = rel.matching_rows(pos, term);
+            try_candidates(ctx, atom, rel, ids.iter().copied(), open, f)
+        }
+        Probe::Scan => {
+            let ids = 0..rel.len() as RowId;
+            try_candidates(ctx, atom, rel, ids, open, f)
+        }
+    };
+    ctx.used[atom] = false;
+    result
+}
+
+fn try_candidates<F>(
+    ctx: &mut SearchCtx<'_, '_>,
+    atom: usize,
+    rel: &Relation,
+    candidates: impl Iterator<Item = RowId>,
+    open: usize,
+    f: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&Bindings<'_>) -> ControlFlow<()>,
+{
+    for id in candidates {
+        ctx.stats.probes += 1;
+        let mark = ctx.trail.len();
+        if ctx.match_row(atom, rel.row(id)) {
+            ctx.rows[atom] = id;
+            let flow = search(ctx, open - 1, f);
+            ctx.unwind(mark);
+            flow?;
+        } else {
+            ctx.unwind(mark);
+        }
+    }
+    ControlFlow::Continue(())
+}
+
 /// Finds homomorphisms from `atoms` into `target`, extending the partial
 /// substitution `seed`. Every returned substitution `h` satisfies
 /// `h(atoms) ⊆ target` and agrees with `seed`.
+///
+/// Compatibility wrapper over the streaming kernel; engines drive
+/// [`JoinSpec`] / [`Matcher`] directly and never materialise this vector.
 pub fn homomorphisms(
     atoms: &[Atom],
     target: &Instance,
@@ -55,9 +622,13 @@ pub fn homomorphisms(
     if options.limit == 0 {
         return results;
     }
-    let mut remaining: Vec<&Atom> = atoms.iter().collect();
-    let mut current = seed.clone();
-    search(&mut remaining, target, &mut current, &mut results, options.limit);
+    let spec = JoinSpec::compile_seeded(atoms, seed);
+    let mut matcher = Matcher::new(&spec);
+    matcher.set_limit(options.limit);
+    matcher.for_each(target, |b| {
+        results.push(b.substitution_extending(seed));
+        ControlFlow::Continue(())
+    });
     results
 }
 
@@ -67,92 +638,133 @@ pub fn find_homomorphism(
     target: &Instance,
     seed: &Substitution,
 ) -> Option<Substitution> {
-    homomorphisms(atoms, target, seed, HomSearch::first())
-        .into_iter()
-        .next()
+    let spec = JoinSpec::compile_seeded(atoms, seed);
+    let mut matcher = Matcher::new(&spec);
+    matcher.set_limit(1);
+    let mut found = None;
+    matcher.for_each(target, |b| {
+        found = Some(b.substitution_extending(seed));
+        ControlFlow::Break(())
+    });
+    found
 }
 
 /// `true` iff some homomorphism from `atoms` into `target` extends `seed`.
 pub fn exists_homomorphism(atoms: &[Atom], target: &Instance, seed: &Substitution) -> bool {
-    find_homomorphism(atoms, target, seed).is_some()
+    let spec = JoinSpec::compile_seeded(atoms, seed);
+    let mut matcher = Matcher::new(&spec);
+    matcher.set_limit(1);
+    let mut found = false;
+    matcher.for_each(target, |_| {
+        found = true;
+        ControlFlow::Break(())
+    });
+    found
 }
 
-fn search(
-    remaining: &mut Vec<&Atom>,
-    target: &Instance,
-    current: &mut Substitution,
-    results: &mut Vec<Substitution>,
-    limit: usize,
-) {
-    if results.len() >= limit {
-        return;
-    }
-    if remaining.is_empty() {
-        results.push(current.clone());
-        return;
-    }
-    // Pick the atom with the most bound (non-variable after substitution)
-    // arguments: it has the fewest candidate matches.
-    let (best_idx, _) = remaining
-        .iter()
-        .enumerate()
-        .map(|(i, a)| {
-            let bound = a
-                .terms
-                .iter()
-                .filter(|t| !current.apply_term(t).is_var())
-                .count();
-            (i, bound)
-        })
-        .max_by_key(|&(_, bound)| bound)
-        .expect("remaining is non-empty");
-    let atom = remaining.swap_remove(best_idx);
-    let partial = current.apply_atom(atom);
+/// The seed repository's allocation-heavy search, retained verbatim in
+/// spirit: `BTreeMap`-backed substitutions cloned once per candidate, all
+/// results materialised into a `Vec`, candidates probed on the *first* bound
+/// argument position only. It is the correctness oracle for the kernel's
+/// property tests and the baseline of the join benchmarks.
+pub mod reference {
+    use super::{HomSearch, Instance, Substitution};
+    use crate::atom::Atom;
+    use crate::term::Term;
 
-    // Use the position index on the first bound argument, otherwise scan the
-    // whole relation.
-    let candidates: Vec<&Atom> = match partial
-        .terms
-        .iter()
-        .enumerate()
-        .find(|(_, t)| !t.is_var())
-    {
-        Some((pos, term)) => target.atoms_matching(partial.predicate, pos, *term),
-        None => target.atoms_with_predicate(partial.predicate).iter().collect(),
-    };
-
-    'candidates: for candidate in candidates {
-        if candidate.arity() != partial.arity() {
-            continue;
+    /// Finds homomorphisms with the seed algorithm (see module docs).
+    pub fn homomorphisms_reference(
+        atoms: &[Atom],
+        target: &Instance,
+        seed: &Substitution,
+        options: HomSearch,
+    ) -> Vec<Substitution> {
+        let mut results = Vec::new();
+        if options.limit == 0 {
+            return results;
         }
-        let mut extension = Substitution::new();
-        for (pattern, value) in partial.terms.iter().zip(candidate.terms.iter()) {
-            match pattern {
-                Term::Var(_) => match extension.get(pattern) {
-                    Some(existing) if existing != *value => continue 'candidates,
-                    Some(_) => {}
-                    None => extension.bind(*pattern, *value),
-                },
-                // Constants and nulls must match exactly.
-                other => {
-                    if other != value {
-                        continue 'candidates;
+        let mut remaining: Vec<&Atom> = atoms.iter().collect();
+        let mut current = seed.clone();
+        search(&mut remaining, target, &mut current, &mut results, options.limit);
+        results
+    }
+
+    fn search(
+        remaining: &mut Vec<&Atom>,
+        target: &Instance,
+        current: &mut Substitution,
+        results: &mut Vec<Substitution>,
+        limit: usize,
+    ) {
+        if results.len() >= limit {
+            return;
+        }
+        if remaining.is_empty() {
+            results.push(current.clone());
+            return;
+        }
+        // Pick the atom with the most bound (non-variable after substitution)
+        // arguments: it has the fewest candidate matches.
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let bound = a
+                    .terms
+                    .iter()
+                    .filter(|t| !current.apply_term(t).is_var())
+                    .count();
+                (i, bound)
+            })
+            .max_by_key(|&(_, bound)| bound)
+            .expect("remaining is non-empty");
+        let atom = remaining.swap_remove(best_idx);
+        let partial = current.apply_atom(atom);
+
+        // Use the position index on the first bound argument, otherwise scan
+        // the whole relation.
+        let candidates: Vec<Atom> = match partial
+            .terms
+            .iter()
+            .enumerate()
+            .find(|(_, t)| !t.is_var())
+        {
+            Some((pos, term)) => target.atoms_matching(partial.predicate, pos, *term).collect(),
+            None => target.atoms_with_predicate(partial.predicate).collect(),
+        };
+
+        'candidates: for candidate in candidates {
+            if candidate.arity() != partial.arity() {
+                continue;
+            }
+            let mut extension = Substitution::new();
+            for (pattern, value) in partial.terms.iter().zip(candidate.terms.iter()) {
+                match pattern {
+                    Term::Var(_) => match extension.get(pattern) {
+                        Some(existing) if existing != *value => continue 'candidates,
+                        Some(_) => {}
+                        None => extension.bind(*pattern, *value),
+                    },
+                    // Constants and nulls must match exactly.
+                    other => {
+                        if other != value {
+                            continue 'candidates;
+                        }
                     }
                 }
             }
+            let saved = current.clone();
+            if current.merge_compatible(&extension) {
+                search(remaining, target, current, results, limit);
+            }
+            *current = saved;
+            if results.len() >= limit {
+                break;
+            }
         }
-        let saved = current.clone();
-        if current.merge_compatible(&extension) {
-            search(remaining, target, current, results, limit);
-        }
-        *current = saved;
-        if results.len() >= limit {
-            break;
-        }
-    }
 
-    remaining.push(atom);
-    // Restore original ordering irrelevant — remaining is a set.
+        remaining.push(atom);
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +823,11 @@ mod tests {
         assert_eq!(
             hs[0].get_var(Variable::new("Y")),
             Some(Term::constant("c"))
+        );
+        // The seed's own bindings are part of the result.
+        assert_eq!(
+            hs[0].get_var(Variable::new("X")),
+            Some(Term::constant("b"))
         );
     }
 
@@ -271,5 +888,135 @@ mod tests {
         let hs = homomorphisms(&[], &db, &Substitution::new(), HomSearch::all());
         assert_eq!(hs.len(), 1);
         assert!(hs[0].is_empty());
+    }
+
+    #[test]
+    fn kernel_streams_matched_row_ids() {
+        let db = chain_db();
+        let pattern = vec![
+            Atom::new("edge", vec![var("X"), var("Y")]),
+            Atom::new("edge", vec![var("Y"), var("Z")]),
+        ];
+        let spec = JoinSpec::compile(&pattern);
+        let mut matcher = Matcher::new(&spec);
+        let rel = db.relation(crate::atom::Predicate::new("edge")).unwrap();
+        let mut seen = Vec::new();
+        matcher.for_each(&db, |b| {
+            let rows = b.matched_rows();
+            assert_eq!(rows.len(), 2);
+            // The matched rows really are the atoms' images.
+            assert_eq!(rel.atom(rows[0]), b.image(&pattern[0]));
+            assert_eq!(rel.atom(rows[1]), b.image(&pattern[1]));
+            seen.push((rows[0], rows[1]));
+            ControlFlow::Continue(())
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn prematch_drives_semi_naive_style_joins() {
+        let db = chain_db();
+        let pattern = vec![
+            Atom::new("edge", vec![var("X"), var("Y")]),
+            Atom::new("edge", vec![var("Y"), var("Z")]),
+        ];
+        let spec = JoinSpec::compile(&pattern);
+        let mut matcher = Matcher::new(&spec);
+        // Pretend edge(b, c) arrived in the delta: seed atom 1 with it.
+        assert!(matcher.prematch(1, &[Term::constant("b"), Term::constant("c")]));
+        let mut images = Vec::new();
+        matcher.for_each(&db, |b| {
+            images.push((b.resolve(&var("X")), b.resolve(&var("Z"))));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(images, vec![(Term::constant("a"), Term::constant("c"))]);
+
+        // A conflicting row does not match.
+        matcher.clear();
+        assert!(!matcher.prematch(1, &[Term::constant("b")]));
+    }
+
+    #[test]
+    fn prebind_constrains_like_a_seed() {
+        let db = chain_db();
+        let pattern = vec![Atom::new("edge", vec![var("X"), var("Y")])];
+        let spec = JoinSpec::compile(&pattern);
+        let mut matcher = Matcher::new(&spec);
+        assert!(matcher.prebind(Variable::new("X"), Term::constant("b")));
+        let mut count = 0;
+        matcher.for_each(&db, |b| {
+            assert_eq!(b.resolve(&var("Y")), Term::constant("c"));
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(count, 1);
+        // Conflicting prebind is rejected.
+        assert!(!matcher.prebind(Variable::new("X"), Term::constant("z")));
+    }
+
+    #[test]
+    fn fixed_order_and_adaptive_order_agree_on_answers() {
+        let db = chain_db();
+        let pattern = vec![
+            Atom::new("edge", vec![var("X"), var("Y")]),
+            Atom::new("edge", vec![Term::constant("b"), var("Z")]),
+        ];
+        let spec = JoinSpec::compile(&pattern);
+        let collect = |fixed: bool| {
+            let mut matcher = Matcher::new(&spec);
+            matcher.set_fixed_order(fixed);
+            let mut out = Vec::new();
+            matcher.for_each(&db, |b| {
+                out.push(b.to_substitution().to_string());
+                ControlFlow::Continue(())
+            });
+            out.sort();
+            out
+        };
+        assert_eq!(collect(true), collect(false));
+    }
+
+    #[test]
+    fn adaptive_selection_prefers_the_most_selective_position() {
+        // Relation r: many rows share column 0's value, exactly one matches
+        // on column 1. A first-bound-position probe would examine all rows
+        // with r(c, _); the kernel must pick column 1 (one candidate).
+        let mut db = Database::new();
+        for i in 0..50 {
+            db.insert(Atom::fact("r", &["c", &format!("v{i}")])).unwrap();
+        }
+        let inst = db.into_instance();
+        let pattern = vec![Atom::new(
+            "r",
+            vec![Term::constant("c"), Term::constant("v7")],
+        )];
+        let spec = JoinSpec::compile(&pattern);
+        let mut matcher = Matcher::new(&spec);
+        let stats = matcher.for_each(&inst, |_| ControlFlow::Continue(()));
+        assert_eq!(stats.matches, 1);
+        assert_eq!(stats.probes, 1, "most selective index position must be used");
+    }
+
+    #[test]
+    fn reference_and_kernel_agree_on_a_join() {
+        let db = chain_db();
+        let pattern = vec![
+            Atom::new("edge", vec![var("X"), var("Y")]),
+            Atom::new("edge", vec![var("Y"), var("Z")]),
+        ];
+        let mut kernel: Vec<String> =
+            homomorphisms(&pattern, &db, &Substitution::new(), HomSearch::all())
+                .iter()
+                .map(|h| h.to_string())
+                .collect();
+        let mut naive: Vec<String> =
+            reference::homomorphisms_reference(&pattern, &db, &Substitution::new(), HomSearch::all())
+                .iter()
+                .map(|h| h.to_string())
+                .collect();
+        kernel.sort();
+        naive.sort();
+        assert_eq!(kernel, naive);
     }
 }

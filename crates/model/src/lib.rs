@@ -27,6 +27,7 @@
 pub mod atom;
 pub mod database;
 pub mod error;
+pub mod fasthash;
 pub mod homomorphism;
 pub mod parser;
 pub mod program;
@@ -38,9 +39,12 @@ pub mod tgd;
 pub mod unify;
 
 pub use atom::{Atom, Predicate};
-pub use database::{Database, Instance};
+pub use database::{Database, Instance, Relation, RowId};
 pub use error::ModelError;
-pub use homomorphism::{exists_homomorphism, find_homomorphism, homomorphisms, HomSearch};
+pub use homomorphism::{
+    exists_homomorphism, find_homomorphism, homomorphisms, Bindings, HomSearch, JoinSpec,
+    JoinStats, Matcher, PREMATCHED_ROW,
+};
 pub use program::Program;
 pub use query::ConjunctiveQuery;
 pub use substitution::Substitution;

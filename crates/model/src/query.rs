@@ -4,12 +4,13 @@
 use crate::atom::{variables_of, Atom};
 use crate::database::Instance;
 use crate::error::ModelError;
-use crate::homomorphism::{homomorphisms, HomSearch};
+use crate::homomorphism::{exists_homomorphism, JoinSpec, Matcher};
 use crate::substitution::Substitution;
 use crate::symbols::Symbol;
 use crate::term::{Term, Variable};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::ops::ControlFlow;
 
 /// A conjunctive query with output (free) variables `output` and body
 /// `atoms`. A Boolean CQ has no output variables.
@@ -92,19 +93,21 @@ impl ConjunctiveQuery {
     /// answer tuple contains only constants** (certain-answer semantics never
     /// returns nulls).
     pub fn evaluate(&self, instance: &Instance) -> BTreeSet<Vec<Symbol>> {
-        let hs = homomorphisms(&self.atoms, instance, &Substitution::new(), HomSearch::all());
+        let spec = JoinSpec::compile(&self.atoms);
+        let mut matcher = Matcher::new(&spec);
         let mut answers = BTreeSet::new();
-        'hom: for h in hs {
+        matcher.for_each(instance, |bindings| {
             let mut tuple = Vec::with_capacity(self.output.len());
             for v in &self.output {
-                match h.get_var(*v) {
+                match bindings.get(*v) {
                     Some(Term::Const(c)) => tuple.push(c),
                     // Output mapped to a null (or unbound): not a certain answer.
-                    _ => continue 'hom,
+                    _ => return ControlFlow::Continue(()),
                 }
             }
             answers.insert(tuple);
-        }
+            ControlFlow::Continue(())
+        });
         answers
     }
 
@@ -112,8 +115,7 @@ impl ConjunctiveQuery {
     /// answer tuple (empty here) is constant-free, i.e. iff the body matches.
     pub fn holds_in(&self, instance: &Instance) -> bool {
         if self.is_boolean() {
-            !homomorphisms(&self.atoms, instance, &Substitution::new(), HomSearch::first())
-                .is_empty()
+            exists_homomorphism(&self.atoms, instance, &Substitution::new())
         } else {
             !self.evaluate(instance).is_empty()
         }

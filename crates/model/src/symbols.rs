@@ -10,10 +10,9 @@
 //! a process-wide table. Interned strings are leaked exactly once, so
 //! [`Symbol::as_str`] can hand out `&'static str` without a guard.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned string. Cheap to copy, compare and hash.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,12 +38,12 @@ impl Symbol {
     /// yields the same symbol.
     pub fn new(name: &str) -> Symbol {
         {
-            let guard = interner().read();
+            let guard = interner().read().expect("interner lock poisoned");
             if let Some(&id) = guard.by_name.get(name) {
                 return Symbol(id);
             }
         }
-        let mut guard = interner().write();
+        let mut guard = interner().write().expect("interner lock poisoned");
         if let Some(&id) = guard.by_name.get(name) {
             return Symbol(id);
         }
@@ -57,7 +56,7 @@ impl Symbol {
 
     /// The string this symbol was interned from.
     pub fn as_str(&self) -> &'static str {
-        interner().read().names[self.0 as usize]
+        interner().read().expect("interner lock poisoned").names[self.0 as usize]
     }
 
     /// The raw interner index. Useful for dense per-symbol tables.

@@ -1,0 +1,165 @@
+//! Offline stand-in for the subset of the `rand` crate API this workspace
+//! uses. The build environment has no network access, so the real crates.io
+//! `rand` cannot be vendored; the workload generators only need a seeded,
+//! reproducible PRNG with `gen_range`, `gen::<f64>()` and `gen_bool`, which
+//! this crate provides on top of a SplitMix64 core.
+//!
+//! The streams are **not** compatible with crates.io `rand` — only the API
+//! shape is. Every generator in this workspace is seeded explicitly, so
+//! reproducibility within this repository is all that matters.
+
+#![forbid(unsafe_code)]
+
+/// Core trait: a source of uniformly distributed `u64`s plus the convenience
+/// methods the workspace uses.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value in the given half-open range.
+    fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self.next_u64(), &range)
+    }
+
+    /// A uniformly distributed value of type `T` (here: `f64` in `[0, 1)`,
+    /// `u64`, `u32`, or `bool`).
+    fn gen<T: SampleUniform>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Types that can be sampled uniformly from a `Range`.
+pub trait SampleRange: Copy {
+    /// Maps 64 random bits into the range.
+    fn sample(bits: u64, range: &std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(bits: u64, range: &std::ops::Range<Self>) -> Self {
+                let span = (range.end as i128) - (range.start as i128);
+                assert!(span > 0, "cannot sample from an empty range");
+                let offset = (bits as u128 % span as u128) as i128;
+                (range.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(usize, u64, u32, i64, i32);
+
+impl SampleRange for f64 {
+    fn sample(bits: u64, range: &std::ops::Range<Self>) -> Self {
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Types producible from 64 raw random bits.
+pub trait SampleUniform {
+    /// Maps 64 random bits into the type's uniform distribution.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl SampleUniform for u64 {
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl SampleUniform for u32 {
+    fn from_bits(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl SampleUniform for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A deterministic SplitMix64 generator standing in for `rand`'s `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng {
+                // Avoid the all-zero fixed point and decorrelate tiny seeds.
+                state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (public domain, Sebastiano Vigna).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
