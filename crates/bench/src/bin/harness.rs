@@ -11,7 +11,9 @@
 //!
 //! The `joins` experiment additionally writes `BENCH_joins.json` (wall-times
 //! and peak atom counts of the join-kernel workloads against the retained
-//! seed baseline) into the current directory.
+//! seed baseline) into the current directory, and the `parallel` experiment
+//! writes `BENCH_parallel.json` (wall-times of the sharded evaluator at
+//! 1/2/4/8 worker threads, plus the host's available parallelism).
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -73,6 +75,120 @@ fn main() {
     if run("joins") {
         joins_bench(quick);
     }
+    if run("parallel") {
+        parallel_bench(quick);
+    }
+}
+
+/// Parallel — the sharded evaluator at 1/2/4/8 worker threads on the TC-200
+/// materialisation and the 3-hop CQ; writes `BENCH_parallel.json`. Every
+/// thread count is asserted to produce identical answers and counters, so
+/// the table measures pure scheduling/merge behaviour. Wall-clock speedup is
+/// bounded by the host's available parallelism (recorded in the JSON): on a
+/// single-core container every thread count necessarily ties.
+fn parallel_bench(quick: bool) {
+    use std::ops::ControlFlow;
+    use vadalog_model::parallel::sharded_match_count;
+    use vadalog_model::{Atom, JoinSpec, Matcher, Term};
+
+    println!("-- parallel: sharded semi-naive evaluation across worker threads --");
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let thread_counts: [usize; 4] = [1, 2, 4, 8];
+    let samples = if quick { 3 } else { 5 };
+    let (nodes, edges) = if quick { (100, 150) } else { (200, 400) };
+    let db = random_graph(nodes, edges, 42);
+    let tc = program(LINEAR_TC);
+
+    // TC materialisation at each thread count (best of N after a warm-up
+    // that also checks bit-identical stats against the sequential run).
+    let baseline = DatalogEngine::new(tc.clone()).unwrap().evaluate(&db);
+    let mut tc_ms = Vec::new();
+    for &threads in &thread_counts {
+        let engine = DatalogEngine::new(tc.clone()).unwrap().with_threads(threads);
+        let warm = engine.evaluate(&db);
+        assert_eq!(warm.stats.derived_atoms, baseline.stats.derived_atoms);
+        assert_eq!(warm.stats.joins_evaluated, baseline.stats.joins_evaluated);
+        assert_eq!(warm.stats.join_probes, baseline.stats.join_probes);
+        let mut best = f64::MAX;
+        for _ in 0..samples {
+            let start = Instant::now();
+            let _ = engine.evaluate(&db);
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+        tc_ms.push(best);
+    }
+
+    // 3-hop CQ over a sparser graph's materialised closure, sharded on the
+    // driver atom's rows.
+    let (cq_nodes, cq_edges) = if quick { (100, 130) } else { (200, 260) };
+    let closure = DatalogEngine::new(tc.clone())
+        .unwrap()
+        .evaluate(&random_graph(cq_nodes, cq_edges, 42))
+        .instance;
+    let v = Term::variable;
+    let pattern = vec![
+        Atom::new("t", vec![v("X"), v("Y")]),
+        Atom::new("t", vec![v("Y"), v("Z")]),
+        Atom::new("t", vec![v("Z"), v("W")]),
+    ];
+    let spec = JoinSpec::compile(&pattern);
+    let mut sequential_answers = 0u64;
+    Matcher::new(&spec).for_each(&closure, |_| {
+        sequential_answers += 1;
+        ControlFlow::Continue(())
+    });
+    let mut cq_ms = Vec::new();
+    for &threads in &thread_counts {
+        let warm = sharded_match_count(&spec, &closure, threads);
+        assert_eq!(warm.matches, sequential_answers);
+        let mut best = f64::MAX;
+        for _ in 0..samples {
+            let start = Instant::now();
+            let _ = sharded_match_count(&spec, &closure, threads);
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+        cq_ms.push(best);
+    }
+
+    let mut table = Table::new(&["workload", "threads", "wall (ms)", "speedup vs 1"]);
+    for (label, times) in [
+        (format!("TC materialisation ({nodes} nodes, {edges} edges)"), &tc_ms),
+        ("3-hop CQ over closure".to_string(), &cq_ms),
+    ] {
+        for (&threads, &ms) in thread_counts.iter().zip(times.iter()) {
+            table.row(&[
+                label.clone(),
+                threads.to_string(),
+                format!("{ms:.2}"),
+                format!("{:.2}x", times[0] / ms),
+            ]);
+        }
+    }
+    println!("available parallelism on this host: {cores}");
+    println!("{}", table.render());
+
+    let per_thread = |times: &[f64]| -> String {
+        thread_counts
+            .iter()
+            .zip(times.iter())
+            .map(|(&threads, &ms)| {
+                format!(
+                    "        \"{threads}\": {{ \"wall_ms\": {ms:.3}, \"speedup_vs_1\": {:.2} }}",
+                    times[0] / ms
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let json = format!(
+        "{{\n  \"available_parallelism\": {cores},\n  \"workloads\": {{\n    \"tc_materialization\": {{\n      \"nodes\": {nodes},\n      \"edges\": {edges},\n      \"derived_atoms\": {derived},\n      \"threads\": {{\n{tc_threads}\n      }}\n    }},\n    \"cq_path3\": {{\n      \"nodes\": {cq_nodes},\n      \"edges\": {cq_edges},\n      \"answers\": {answers},\n      \"threads\": {{\n{cq_threads}\n      }}\n    }}\n  }}\n}}\n",
+        derived = baseline.stats.derived_atoms,
+        tc_threads = per_thread(&tc_ms),
+        answers = sequential_answers,
+        cq_threads = per_thread(&cq_ms),
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
 }
 
 /// Joins — kernel vs. seed baseline on transitive-closure materialisation

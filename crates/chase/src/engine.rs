@@ -1,9 +1,19 @@
 //! The chase engine: restricted and oblivious chase with termination control.
+//!
+//! Each round separates **trigger detection** from **trigger application**:
+//! triggers for every TGD are collected against the round's frozen instance
+//! (in parallel across [`ChaseConfig::threads`] scoped workers, one task per
+//! TGD, via [`vadalog_model::parallel::run_tasks`]) and then applied
+//! sequentially in (TGD, trigger) order — null invention, the restricted
+//! chase's satisfaction check and provenance recording all happen in the
+//! sequential phase, so results and null ids are identical for every thread
+//! count.
 
 use crate::provenance::{ChaseGraph, DerivationRecord};
 use crate::termination::TerminationPolicy;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::ops::ControlFlow;
+use vadalog_model::parallel;
 use vadalog_model::{
     Atom, ConjunctiveQuery, Database, Instance, JoinSpec, Matcher, NullId, Program, RowId, Symbol,
     Term, Variable,
@@ -21,7 +31,7 @@ pub enum ChaseVariant {
 }
 
 /// Configuration of a chase run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ChaseConfig {
     /// The chase variant.
     pub variant: ChaseVariant,
@@ -30,6 +40,21 @@ pub struct ChaseConfig {
     /// Whether to record provenance (the chase graph). Disable for large
     /// benchmark runs where only the result instance matters.
     pub record_provenance: bool,
+    /// Worker threads for per-round trigger detection (1 = sequential,
+    /// 0 = all available parallelism). Trigger application stays sequential,
+    /// so results are identical for every thread count.
+    pub threads: usize,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> ChaseConfig {
+        ChaseConfig {
+            variant: ChaseVariant::default(),
+            policy: TerminationPolicy::default(),
+            record_provenance: false,
+            threads: 1,
+        }
+    }
 }
 
 impl ChaseConfig {
@@ -40,6 +65,7 @@ impl ChaseConfig {
             variant: ChaseVariant::Restricted,
             policy,
             record_provenance: true,
+            threads: 1,
         }
     }
 
@@ -49,7 +75,14 @@ impl ChaseConfig {
             variant: ChaseVariant::Oblivious,
             policy,
             record_provenance: true,
+            threads: 1,
         }
+    }
+
+    /// Sets the trigger-detection worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> ChaseConfig {
+        self.threads = threads;
+        self
     }
 }
 
@@ -119,15 +152,12 @@ impl ChaseEngine {
 
         // Compile every TGD once: body join spec for trigger detection, head
         // join spec for the restricted satisfaction check, and the variable
-        // plumbing between them. The matchers (and their bind-state buffers)
-        // are created once and reused across all rounds and triggers.
+        // plumbing between them.
         let compiled: Vec<CompiledTgd> = self
             .program
             .iter()
             .map(|(_, tgd)| CompiledTgd::new(tgd))
             .collect();
-        let mut body_matchers: Vec<Matcher<'_>> =
-            compiled.iter().map(|c| Matcher::new(&c.body)).collect();
         let mut head_matchers: Vec<Matcher<'_>> = compiled
             .iter()
             .map(|c| {
@@ -136,9 +166,6 @@ impl ChaseEngine {
                 m
             })
             .collect();
-        // Reused per-round buffer of collected triggers (the instance cannot
-        // be mutated while the kernel iterates over it).
-        let mut triggers: Vec<Trigger> = Vec::new();
 
         loop {
             if !self.config.policy.allows_step(stats.steps, stats.nulls_created) {
@@ -147,25 +174,33 @@ impl ChaseEngine {
             }
             let mut applied_this_round = false;
 
+            // Trigger detection: one task per TGD against the round's frozen
+            // instance, collected in parallel (read-only kernel runs) and
+            // applied below in deterministic (TGD, trigger) order.
+            let round_triggers: Vec<Vec<Trigger>> =
+                parallel::run_tasks(self.config.threads, compiled.len(), |tgd_index| {
+                    let ctgd = &compiled[tgd_index];
+                    let mut triggers = Vec::new();
+                    let mut body_matcher = Matcher::new(&ctgd.body);
+                    body_matcher.for_each(&instance, |bindings| {
+                        triggers.push(Trigger {
+                            values: (0..ctgd.body.num_slots())
+                                .map(|s| {
+                                    bindings
+                                        .get(ctgd.body.var_of(s))
+                                        .expect("every body variable is bound by a full match")
+                                })
+                                .collect(),
+                            rows: bindings.matched_rows().to_vec(),
+                        });
+                        ControlFlow::Continue(())
+                    });
+                    triggers
+                });
+
             for (tgd_index, tgd) in self.program.iter() {
                 let ctgd = &compiled[tgd_index];
-                triggers.clear();
-                let body_matcher = &mut body_matchers[tgd_index];
-                body_matcher.clear();
-                body_matcher.for_each(&instance, |bindings| {
-                    triggers.push(Trigger {
-                        values: (0..ctgd.body.num_slots())
-                            .map(|s| {
-                                bindings
-                                    .get(ctgd.body.var_of(s))
-                                    .expect("every body variable is bound by a full match")
-                            })
-                            .collect(),
-                        rows: bindings.matched_rows().to_vec(),
-                    });
-                    ControlFlow::Continue(())
-                });
-                for trigger in &triggers {
+                for trigger in &round_triggers[tgd_index] {
                     stats.triggers_examined += 1;
                     if !self.config.policy.allows_step(stats.steps, stats.nulls_created) {
                         completed = false;
@@ -483,6 +518,31 @@ mod tests {
         let record = result.graph.derivation_of(&t_ac).expect("t(a,c) derived");
         assert_eq!(record.tgd_index, 1);
         assert!(result.graph.depth_of(&t_ac) >= 2);
+    }
+
+    #[test]
+    fn parallel_trigger_detection_is_identical_to_sequential() {
+        let rules = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).\n r(X, W) :- t(X, Y).";
+        let facts = "edge(a, b). edge(b, c). edge(c, d). edge(d, b).";
+        let sequential = run_chase(
+            rules,
+            facts,
+            ChaseConfig::restricted(TerminationPolicy::MaxNullDepth(3)),
+        );
+        for threads in [2, 4] {
+            let sharded = run_chase(
+                rules,
+                facts,
+                ChaseConfig::restricted(TerminationPolicy::MaxNullDepth(3)).with_threads(threads),
+            );
+            assert_eq!(sharded.stats.steps, sequential.stats.steps);
+            assert_eq!(sharded.stats.nulls_created, sequential.stats.nulls_created);
+            assert_eq!(sharded.stats.triggers_examined, sequential.stats.triggers_examined);
+            // Null invention happens in the sequential apply phase, so even
+            // the invented null ids — and with them the full row layouts —
+            // must coincide.
+            assert_eq!(sharded.instance.row_layout(), sequential.instance.row_layout());
+        }
     }
 
     #[test]

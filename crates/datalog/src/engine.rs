@@ -1,17 +1,33 @@
 //! Semi-naive bottom-up evaluation, driven by the streaming join kernel.
 //!
 //! Each rule body is compiled once per stratum into a
-//! [`vadalog_model::JoinSpec`]; the naive round and every semi-naive round
-//! reuse one [`vadalog_model::Matcher`] per rule, so the per-delta-fact work
-//! is a [`Matcher::prematch`] against the delta row plus a streamed,
+//! [`vadalog_model::JoinSpec`]; the per-delta-fact work is a
+//! [`Matcher::prematch`] against the delta row plus a streamed,
 //! allocation-free join against the full instance — the rule body is never
 //! cloned and no intermediate `Vec<Substitution>` is materialised.
+//!
+//! # Round structure and parallelism
+//!
+//! Every round (the naive first round and each semi-naive round) evaluates
+//! against a **frozen** instance: derivations are parked in columnar
+//! [`vadalog_model::DerivationBatch`]es and merged with one batched dedup
+//! insert per relation at the end of the round
+//! ([`vadalog_model::parallel::merge_derivations`]). Freezing the round makes
+//! the work embarrassingly parallel — the round's delta row ranges are
+//! hash-partitioned into a fixed number of shards and the resulting
+//! (rule, body position, shard) tasks run on [`DatalogEngine::with_threads`]
+//! scoped workers, each driving its own [`Matcher`] read-only over the shared
+//! instance. Because the task decomposition and merge order depend only on
+//! the data, results (row-id order included) are bit-identical for every
+//! thread count; `threads = 1` runs the same tasks inline.
 
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 use vadalog_analysis::stratify::{stratify, Stratification};
+use vadalog_model::parallel::{self, DerivationBatch};
 use vadalog_model::{
-    Atom, ConjunctiveQuery, Database, Instance, JoinSpec, Matcher, ModelError, Program, Symbol,
+    Atom, ConjunctiveQuery, Database, Instance, JoinSpec, Matcher, ModelError, Predicate, Program,
+    RowId, Symbol,
 };
 
 /// Counters describing an evaluation run.
@@ -58,33 +74,36 @@ impl DatalogResult {
     }
 }
 
-/// Drains the flat buffer of streamed head images into the instance,
-/// counting newly derived atoms (which thereby extend the current delta
-/// watermark range). The buffer holds `matches` rows of `head.arity()` terms
-/// each; for 0-ary heads the row is empty and `matches` alone says whether
-/// the fact was derived.
-fn flush_derived(
-    head: &Atom,
-    matches: u64,
-    derived: &mut Vec<vadalog_model::Term>,
-    instance: &mut Instance,
-    stats: &mut DatalogStats,
-) {
-    if head.arity() == 0 {
-        if matches > 0 && instance.insert_terms(head.predicate, &[]).expect("ground") {
-            stats.derived_atoms += 1;
-        }
-    } else {
-        for row in derived.chunks_exact(head.arity()) {
-            if instance
-                .insert_terms(head.predicate, row)
-                .expect("derived fact is ground")
-            {
-                stats.derived_atoms += 1;
-            }
+/// One task's output: the derivations for the task's head predicate plus the
+/// task-local counters, produced against the round's frozen instance and
+/// merged in deterministic task order at the end of the round.
+struct TaskOutput {
+    batch: DerivationBatch,
+    joins_evaluated: usize,
+    join_probes: u64,
+}
+
+impl TaskOutput {
+    fn new(head: &Atom) -> TaskOutput {
+        TaskOutput {
+            batch: DerivationBatch::new(head.predicate, head.arity()),
+            joins_evaluated: 0,
+            join_probes: 0,
         }
     }
-    derived.clear();
+}
+
+/// Merges a round's task outputs into the instance (one batched dedup insert
+/// per relation, in task order) and folds the task counters into the stats.
+fn flush_round(outputs: Vec<TaskOutput>, instance: &mut Instance, stats: &mut DatalogStats) {
+    let mut batches = Vec::with_capacity(outputs.len());
+    for out in outputs {
+        stats.joins_evaluated += out.joins_evaluated;
+        stats.join_probes += out.join_probes;
+        batches.push(out.batch);
+    }
+    stats.derived_atoms += parallel::merge_derivations(instance, batches)
+        .expect("derived facts are ground and within capacity");
 }
 
 /// A stratified semi-naive Datalog engine for a fixed program.
@@ -92,6 +111,7 @@ fn flush_derived(
 pub struct DatalogEngine {
     program: Program,
     stratification: Stratification,
+    threads: usize,
 }
 
 impl DatalogEngine {
@@ -107,7 +127,21 @@ impl DatalogEngine {
         Ok(DatalogEngine {
             program,
             stratification,
+            threads: 1,
         })
+    }
+
+    /// Sets the number of evaluation worker threads (default 1 = sequential;
+    /// 0 = all available parallelism). Results are bit-identical — answer
+    /// sets, row-id order and counters — for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> DatalogEngine {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The program being evaluated.
@@ -124,16 +158,6 @@ impl DatalogEngine {
     pub fn evaluate(&self, database: &Database) -> DatalogResult {
         let mut instance = database.as_instance().clone();
         let mut stats = DatalogStats::default();
-        // Reused flat buffer of head-image rows: the kernel streams matches
-        // while the instance is immutably borrowed, so derivations are parked
-        // here (head-arity chunks, no per-fact `Atom` allocation) and
-        // inserted as soon as the enumeration finishes.
-        let mut derived: Vec<vadalog_model::Term> = Vec::new();
-        // Reused flat copies of the current round's delta ranges (one per
-        // stratum predicate, snapshotted once per round), so the
-        // per-delta-fact loops neither re-borrow the (mutating) instance per
-        // row nor re-copy a range for every rule position that consumes it.
-        let mut delta_snapshots: Vec<Vec<vadalog_model::Term>> = Vec::new();
 
         for stratum in &self.stratification.strata {
             let rules: Vec<&_> = stratum
@@ -141,43 +165,51 @@ impl DatalogEngine {
                 .iter()
                 .map(|&i| &self.program.tgds()[i])
                 .collect();
-            // Compile every rule body once per stratum; the matchers (and
-            // their bind-state buffers) are reused across all rounds and all
-            // delta facts — nothing inside the loops below clones a rule
+            // Compile every rule body once per stratum; workers build their
+            // own (cheap) `Matcher` per task, so nothing below clones a rule
             // body or allocates per candidate.
             let specs: Vec<JoinSpec> =
                 rules.iter().map(|rule| JoinSpec::compile(&rule.body)).collect();
-            let mut matchers: Vec<Matcher<'_>> = specs.iter().map(Matcher::new).collect();
 
             // The delta of a round is not a separate instance: rows are
             // append-only with stable ids, so "the facts derived in round
             // i" is exactly a per-relation row-id range. Each round records
-            // the relation watermarks of the stratum's predicates and the
-            // next round replays the rows between the previous and current
-            // watermark — derivations stream straight into the instance and
-            // become the delta for free, with no second copy and no second
-            // hash of any row.
-            let preds: Vec<_> = stratum.predicates.iter().copied().collect();
-            let watermark = |instance: &Instance| -> Vec<u32> {
+            // the relation watermarks of the stratum's predicates; the next
+            // round replays the rows between the previous and the current
+            // watermark. A relation missing at the `lo` sample watermarks at
+            // 0, so a predicate first materialised in a later round gets the
+            // full `0..hi` range — every row of it is genuinely new. Rounds
+            // are evaluated against a frozen instance (derivations merge at
+            // the end of the round), so `lo..hi` is exactly the previous
+            // round's output and seed rows are never re-joined as delta.
+            let preds: Vec<Predicate> = stratum.predicates.iter().copied().collect();
+            let watermark = |instance: &Instance| -> Vec<RowId> {
                 preds
                     .iter()
-                    .map(|&p| instance.relation(p).map(|r| r.len() as u32).unwrap_or(0))
+                    .map(|&p| instance.relation(p).map(|r| r.row_count()).unwrap_or(0))
                     .collect()
             };
             let mut lo = watermark(&instance);
 
-            // Naive first round: evaluate every rule on the full instance.
-            for (rule, matcher) in rules.iter().zip(matchers.iter_mut()) {
+            // Naive first round: evaluate every rule on the frozen instance
+            // (one task per rule).
+            let naive = parallel::run_tasks(self.threads, rules.len(), |rule_index| {
+                let rule = rules[rule_index];
                 let head = &rule.head[0];
-                stats.joins_evaluated += 1;
-                matcher.clear();
+                let mut out = TaskOutput::new(head);
+                out.joins_evaluated = 1;
+                let mut matcher = Matcher::new(&specs[rule_index]);
                 let run = matcher.for_each(&instance, |bindings| {
-                    derived.extend(head.terms.iter().map(|t| bindings.resolve(t)));
+                    out.batch
+                        .rows
+                        .extend(head.terms.iter().map(|t| bindings.resolve(t)));
                     ControlFlow::Continue(())
                 });
-                stats.join_probes += run.probes;
-                flush_derived(head, run.matches, &mut derived, &mut instance, &mut stats);
-            }
+                out.batch.matches = run.matches;
+                out.join_probes = run.probes;
+                out
+            });
+            flush_round(naive, &mut instance, &mut stats);
             stats.iterations += 1;
 
             if !stratum.recursive {
@@ -185,24 +217,34 @@ impl DatalogEngine {
             }
 
             // Semi-naive rounds: differentiate each rule with respect to the
-            // predicates of this stratum, seeding one body atom from the delta.
-            delta_snapshots.resize_with(preds.len().max(delta_snapshots.len()), Vec::new);
-            let mut arities: Vec<usize> = vec![0; preds.len()];
+            // predicates of this stratum, seeding one body atom from the
+            // delta. Each predicate's delta row range is hash-partitioned
+            // once per round into a fixed number of shards; the tasks of the
+            // round are the non-empty (rule, body position, shard) triples,
+            // a decomposition that depends only on the data so that merge
+            // order — and therefore row-id assignment — is identical for
+            // every thread count.
             let mut hi = watermark(&instance);
             while lo.iter().zip(hi.iter()).any(|(l, h)| l < h) {
                 stats.iterations += 1;
-                // Snapshot each predicate's delta range once for the round.
-                for (pred_index, &p) in preds.iter().enumerate() {
-                    let snapshot = &mut delta_snapshots[pred_index];
-                    snapshot.clear();
-                    if lo[pred_index] < hi[pred_index] {
-                        let rel = instance.relation(p).expect("watermarked relation exists");
-                        arities[pred_index] = rel.arity();
-                        for row in lo[pred_index]..hi[pred_index] {
-                            snapshot.extend_from_slice(rel.row(row));
-                        }
-                    }
+                let delta_shards: Vec<Option<Vec<Vec<RowId>>>> = preds
+                    .iter()
+                    .enumerate()
+                    .map(|(pred_index, &p)| {
+                        (lo[pred_index] < hi[pred_index]).then(|| {
+                            let rel =
+                                instance.relation(p).expect("watermarked relation exists");
+                            parallel::shard_delta_rows(rel, lo[pred_index], hi[pred_index])
+                        })
+                    })
+                    .collect();
+                struct DeltaTask {
+                    rule_index: usize,
+                    pos: usize,
+                    pred_index: usize,
+                    shard: usize,
                 }
+                let mut tasks: Vec<DeltaTask> = Vec::new();
                 for (rule_index, rule) in rules.iter().enumerate() {
                     for (pos, body_atom) in rule.body.iter().enumerate() {
                         let Some(pred_index) =
@@ -210,37 +252,60 @@ impl DatalogEngine {
                         else {
                             continue;
                         };
-                        let (start, end) = (lo[pred_index], hi[pred_index]);
-                        if start == end || arities[pred_index] != body_atom.arity() {
+                        let Some(shards) = &delta_shards[pred_index] else {
+                            continue;
+                        };
+                        let arity = instance
+                            .arity_of(preds[pred_index])
+                            .expect("watermarked relation exists");
+                        if arity != body_atom.arity() {
                             continue;
                         }
-                        let matcher = &mut matchers[rule_index];
-                        let head = &rule.head[0];
-                        let arity = arities[pred_index];
-                        // Seed the differentiated atom from each delta row and
-                        // join the remaining atoms against the full instance.
-                        for index in 0..(end - start) as usize {
-                            let delta_row = &delta_snapshots[pred_index][index * arity..][..arity];
-                            matcher.clear();
-                            if !matcher.prematch(pos, delta_row) {
-                                continue;
+                        for (shard, rows) in shards.iter().enumerate() {
+                            if !rows.is_empty() {
+                                tasks.push(DeltaTask {
+                                    rule_index,
+                                    pos,
+                                    pred_index,
+                                    shard,
+                                });
                             }
-                            stats.joins_evaluated += 1;
-                            let run = matcher.for_each(&instance, |bindings| {
-                                derived.extend(head.terms.iter().map(|t| bindings.resolve(t)));
-                                ControlFlow::Continue(())
-                            });
-                            stats.join_probes += run.probes;
-                            flush_derived(
-                                head,
-                                run.matches,
-                                &mut derived,
-                                &mut instance,
-                                &mut stats,
-                            );
                         }
                     }
                 }
+                let outputs = parallel::run_tasks(self.threads, tasks.len(), |task_index| {
+                    let task = &tasks[task_index];
+                    let rule = rules[task.rule_index];
+                    let head = &rule.head[0];
+                    let rel = instance
+                        .relation(preds[task.pred_index])
+                        .expect("watermarked relation exists");
+                    let rows = &delta_shards[task.pred_index]
+                        .as_ref()
+                        .expect("task shards exist")[task.shard];
+                    let mut out = TaskOutput::new(head);
+                    let mut matcher = Matcher::new(&specs[task.rule_index]);
+                    // Seed the differentiated atom from each delta row of the
+                    // shard and join the remaining atoms against the full
+                    // (frozen) instance.
+                    for &row_id in rows {
+                        matcher.clear();
+                        if !matcher.prematch(task.pos, rel.row(row_id)) {
+                            continue;
+                        }
+                        out.joins_evaluated += 1;
+                        let run = matcher.for_each(&instance, |bindings| {
+                            out.batch
+                                .rows
+                                .extend(head.terms.iter().map(|t| bindings.resolve(t)));
+                            ControlFlow::Continue(())
+                        });
+                        out.batch.matches += run.matches;
+                        out.join_probes += run.probes;
+                    }
+                    out
+                });
+                flush_round(outputs, &mut instance, &mut stats);
                 lo = hi;
                 hi = watermark(&instance);
             }
@@ -365,6 +430,69 @@ mod tests {
         let e = engine("t(X, Y) :- edge(X, Y).");
         let result = e.evaluate(&db("edge(a, b). edge(b, c)."));
         assert_eq!(result.stats.peak_atoms, 4);
+    }
+
+    #[test]
+    fn predicate_first_materialised_mid_stratum_gets_the_full_delta_range() {
+        // `odd` has no relation when the stratum samples its first watermark
+        // (a missing relation watermarks at 0) and is first materialised in
+        // the second round. Its first delta must be exactly the new rows —
+        // re-joining any earlier range would inflate `joins_evaluated`.
+        let e = engine(
+            "even(X) :- zero(X).\n even(Y) :- odd(X), succ(X, Y).\n odd(Y) :- even(X), succ(X, Y).",
+        );
+        let database = db("zero(n0). succ(n0, n1). succ(n1, n2). succ(n2, n3). succ(n3, n4).");
+        let result = e.evaluate(&database);
+        // even(n0), odd(n1), even(n2), odd(n3), even(n4).
+        assert_eq!(result.stats.derived_atoms, 5);
+        // Naive round: 3 rule invocations. Each semi-naive round seeds the
+        // single new fact into the one differentiated position that accepts
+        // it: rounds 2–6 contribute exactly one invocation each (the last
+        // finds no successor and closes the fixpoint).
+        assert_eq!(result.stats.joins_evaluated, 3 + 5);
+        assert_eq!(result.stats.iterations, 6);
+        assert!(result.holds(&parse_query("? :- even(n4).").unwrap()));
+        assert!(!result.holds(&parse_query("? :- odd(n0).").unwrap()));
+    }
+
+    #[test]
+    fn edb_seeded_idb_predicate_is_not_rejoined_as_delta() {
+        // The database already holds a `t` fact. The stratum's first
+        // watermark must cover it (the naive round joins it as part of the
+        // full instance), so the first semi-naive delta contains only the
+        // naive round's output — never the seed row again.
+        let e = engine("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).");
+        let result = e.evaluate(&db("edge(b, c). t(a, b)."));
+        assert_eq!(result.stats.derived_atoms, 1); // t(b, c)
+        // Naive: 2 invocations. Round 2: only the new t(b, c) seeds the
+        // recursive position (1 invocation). A drifting watermark would
+        // re-seed t(a, b) for a 4th invocation — and on programs with
+        // existing matches, re-derive its consequences out of order.
+        assert_eq!(result.stats.joins_evaluated, 3);
+        assert_eq!(result.stats.iterations, 2);
+        let q = parse_query("?(X, Y) :- t(X, Y).").unwrap();
+        assert_eq!(result.answers(&q).len(), 2);
+    }
+
+    #[test]
+    fn sharded_threads_are_bit_identical_to_sequential() {
+        let program = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).";
+        let database = db(
+            "edge(a, b). edge(b, c). edge(c, d). edge(d, a). edge(b, e). edge(e, f).",
+        );
+        let sequential = engine(program).evaluate(&database);
+        for threads in [2, 4] {
+            let sharded = engine(program).with_threads(threads).evaluate(&database);
+            assert_eq!(sharded.stats.derived_atoms, sequential.stats.derived_atoms);
+            assert_eq!(sharded.stats.joins_evaluated, sequential.stats.joins_evaluated);
+            assert_eq!(sharded.stats.join_probes, sequential.stats.join_probes);
+            assert_eq!(sharded.stats.iterations, sequential.stats.iterations);
+            assert_eq!(
+                sharded.instance.row_layout(),
+                sequential.instance.row_layout(),
+                "row-id assignment must not depend on the thread count"
+            );
+        }
     }
 
     #[test]

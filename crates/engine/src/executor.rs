@@ -1,9 +1,17 @@
 //! The bottom-up executor: stratified evaluation with null invention,
 //! ordered joins and termination control.
+//!
+//! Each fixpoint round separates trigger **detection** (all rule bodies
+//! joined against the round's frozen instance — in parallel across
+//! [`EngineConfig::threads`] workers, one task per rule) from trigger
+//! **application** (satisfaction checks, null invention and inserts, applied
+//! sequentially in (rule, trigger) order), so results are identical for
+//! every thread count.
 
 use crate::optimizer::{optimize, EngineConfig, OptimizedProgram, OptimizedRule};
 use std::collections::{BTreeSet, HashMap};
 use std::ops::ControlFlow;
+use vadalog_model::parallel;
 use vadalog_model::{
     ConjunctiveQuery, Database, Instance, JoinSpec, Matcher, NullId, Program, Symbol, Term,
     Variable,
@@ -126,16 +134,6 @@ impl Reasoner {
                 )
             })
             .collect();
-        // Matchers are created once per fixpoint (their bind-state buffers
-        // are reused across every round and trigger).
-        let mut body_matchers: Vec<Matcher<'_>> = compiled
-            .iter()
-            .map(|(body_spec, _, _)| {
-                let mut m = Matcher::new(body_spec);
-                m.set_fixed_order(true);
-                m
-            })
-            .collect();
         let mut head_matchers: Vec<Matcher<'_>> = compiled
             .iter()
             .map(|(_, head_spec, _)| {
@@ -144,34 +142,40 @@ impl Reasoner {
                 m
             })
             .collect();
-        // Collected trigger tuples, reused across rules and rounds (the
-        // instance cannot be mutated while the kernel iterates over it).
-        let mut triggers: Vec<Vec<Term>> = Vec::new();
 
         loop {
             stats.rounds += 1;
             let mut changed = false;
+            // Trigger detection: one task per rule against the round's
+            // frozen instance, run read-only in parallel; triggers apply
+            // below in deterministic (rule, trigger) order.
+            let round_triggers: Vec<(Vec<Vec<Term>>, u64)> =
+                parallel::run_tasks(self.config.threads, rules.len(), |rule_index| {
+                    let body_spec = &compiled[rule_index].0;
+                    let mut triggers = Vec::new();
+                    let mut matcher = Matcher::new(body_spec);
+                    matcher.set_fixed_order(true);
+                    let run = matcher.for_each(instance, |bindings| {
+                        triggers.push(
+                            (0..body_spec.num_slots())
+                                .map(|s| {
+                                    bindings
+                                        .get(body_spec.var_of(s))
+                                        .expect("every body variable is bound by a full match")
+                                })
+                                .collect(),
+                        );
+                        ControlFlow::Continue(())
+                    });
+                    (triggers, run.probes)
+                });
             for (rule_index, (optimized_rule, (body_spec, _, existentials))) in
                 rules.iter().zip(compiled.iter()).enumerate()
             {
                 let rule = &optimized_rule.rule;
-                triggers.clear();
-                let matcher = &mut body_matchers[rule_index];
-                matcher.clear();
-                let run = matcher.for_each(instance, |bindings| {
-                    triggers.push(
-                        (0..body_spec.num_slots())
-                            .map(|s| {
-                                bindings
-                                    .get(body_spec.var_of(s))
-                                    .expect("every body variable is bound by a full match")
-                            })
-                            .collect(),
-                    );
-                    ControlFlow::Continue(())
-                });
-                stats.join_probes += run.probes as usize;
-                for values in &triggers {
+                let (triggers, probes) = &round_triggers[rule_index];
+                stats.join_probes += *probes as usize;
+                for values in triggers {
                     // Restricted-chase style satisfaction check: skip the
                     // trigger if an extension already satisfies the head.
                     let head_matcher = &mut head_matchers[rule_index];

@@ -29,6 +29,11 @@ pub struct EngineConfig {
     pub materialize_strata: bool,
     /// Termination policy for existential rules.
     pub termination: TerminationPolicy,
+    /// Worker threads for per-round trigger detection in the fixpoint
+    /// (1 = sequential, 0 = all available parallelism). Trigger application
+    /// — satisfaction checks, null invention, inserts — stays sequential,
+    /// so results are identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -37,6 +42,7 @@ impl Default for EngineConfig {
             join_ordering: JoinOrdering::PwlAware,
             materialize_strata: true,
             termination: TerminationPolicy::MaxNullDepth(6),
+            threads: 1,
         }
     }
 }

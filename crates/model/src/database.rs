@@ -26,9 +26,20 @@
 //!   column builds (or extends) its index; columns that are never used as a
 //!   join key cost nothing. Because relations are append-only the index is
 //!   extended incrementally from the last indexed row. Laziness uses interior
-//!   mutability (`RefCell` per column); probes take `&self`, while inserts
-//!   take `&mut self`, so a stale index can never be observed while a probe
-//!   borrow is live.
+//!   mutability (an `RwLock` per column); probes take `&self`, while inserts
+//!   take `&mut self`. The lock makes the whole instance [`Sync`]: the
+//!   sharded parallel evaluator ([`crate::parallel`]) shares `&Instance`
+//!   across scoped worker threads, each probing (and, on first use, building)
+//!   column indexes concurrently.
+//!
+//!   Lock-order safety: rows only grow under `&mut self`, so during any probe
+//!   session the row count is frozen, long-lived read guards are only
+//!   acquired on columns observed *fresh* under that same guard, and index
+//!   builders never block-wait for the write lock (they `try_write` and
+//!   re-check, see [`Relation::ensure_indexed`]) — therefore no writer can
+//!   queue behind a held read guard, and re-entrant reads (the join kernel
+//!   probes a column while enumerating another probe of the same column
+//!   higher up the search tree) cannot deadlock.
 //!
 //! The join kernel in [`crate::homomorphism`] works directly on row ids and
 //! borrowed term slices; the `Atom`-returning methods here materialise atoms
@@ -42,16 +53,34 @@ use crate::error::ModelError;
 use crate::fasthash::{FxHashMap, FxHasher};
 use crate::symbols::Symbol;
 use crate::term::{NullId, Term};
-use std::cell::{Ref, RefCell};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::RwLock;
 
 /// Stable identifier of a row within its [`Relation`].
 pub type RowId = u32;
 
-/// Hashes one row of terms for the dedup table.
-fn row_hash(terms: &[Term]) -> u64 {
+/// Converts a row count to the id of the next row, reporting a typed
+/// capacity error for relations that have exhausted the 32-bit id space
+/// instead of silently truncating (4 billion rows of arity 2 are ~64 GiB of
+/// terms, so the bound is reachable on big hosts). The top id `RowId::MAX`
+/// is reserved — it is the [`crate::homomorphism::PREMATCHED_ROW`] sentinel,
+/// and rejecting it keeps the row *count* itself representable as a
+/// [`RowId`] (see [`Relation::row_count`]).
+fn checked_row_id(len: usize, predicate: Predicate) -> Result<RowId, ModelError> {
+    if len >= RowId::MAX as usize {
+        return Err(ModelError::CapacityExceeded {
+            predicate: predicate.name().to_string(),
+            rows: len,
+        });
+    }
+    Ok(len as RowId)
+}
+
+/// Hashes one row of terms for the dedup table (also the shard key of the
+/// parallel evaluator's delta partitioning).
+pub(crate) fn row_hash(terms: &[Term]) -> u64 {
     let mut hasher = FxHasher::default();
     terms.hash(&mut hasher);
     hasher.finish()
@@ -90,7 +119,7 @@ struct ColumnIndex {
 }
 
 /// One relation of an instance: a flat, dense, append-only table of rows.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Relation {
     predicate: Predicate,
     arity: usize,
@@ -98,9 +127,26 @@ pub struct Relation {
     terms: Vec<Term>,
     /// Row-level dedup: row hash → candidate row ids.
     dedup: FxHashMap<u64, Bucket>,
-    /// Per-column lazy indexes (`RefCell` so probes can build them on
-    /// demand behind `&self`).
-    columns: Vec<RefCell<ColumnIndex>>,
+    /// Per-column lazy indexes (an `RwLock` each, so probes can build them
+    /// on demand behind `&self` — including concurrently from the parallel
+    /// evaluator's worker threads).
+    columns: Vec<RwLock<ColumnIndex>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Relation {
+        Relation {
+            predicate: self.predicate,
+            arity: self.arity,
+            terms: self.terms.clone(),
+            dedup: self.dedup.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| RwLock::new(c.read().expect("column index lock poisoned").clone()))
+                .collect(),
+        }
+    }
 }
 
 impl Relation {
@@ -110,7 +156,7 @@ impl Relation {
             arity,
             terms: Vec::new(),
             dedup: FxHashMap::default(),
-            columns: (0..arity).map(|_| RefCell::default()).collect(),
+            columns: (0..arity).map(|_| RwLock::default()).collect(),
         }
     }
 
@@ -137,6 +183,22 @@ impl Relation {
     /// `true` iff the relation holds no rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of rows as a [`RowId`] — also the id the next inserted row
+    /// would receive, i.e. the relation's current **watermark**. Inserts
+    /// enforce the u32 capacity bound (see [`ModelError::CapacityExceeded`]),
+    /// so the count of *stored* rows always fits.
+    pub fn row_count(&self) -> RowId {
+        RowId::try_from(self.len()).expect("insert enforces the u32 row-id capacity bound")
+    }
+
+    /// Shard of row `id` under content hashing: the row's dedup hash reduced
+    /// modulo `shards`. Used by the parallel evaluator to hash-partition a
+    /// delta row range by join key so the partition depends only on the data,
+    /// never on the thread count.
+    pub fn row_shard(&self, id: RowId, shards: usize) -> usize {
+        (row_hash(self.row(id)) % shards.max(1) as u64) as usize
     }
 
     /// The terms of row `id`.
@@ -182,16 +244,17 @@ impl Relation {
     }
 
     /// Appends a row if it is not already present; returns the row id and
-    /// whether it was newly inserted.
-    fn insert_row(&mut self, row: &[Term]) -> (RowId, bool) {
+    /// whether it was newly inserted. Fails with
+    /// [`ModelError::CapacityExceeded`] once the u32 row-id space is full.
+    fn insert_row(&mut self, row: &[Term]) -> Result<(RowId, bool), ModelError> {
         debug_assert_eq!(row.len(), self.arity);
         let hash = row_hash(row);
         if let Some(candidates) = self.dedup.get(&hash) {
             if let Some(&id) = candidates.ids().iter().find(|&&id| self.row(id) == row) {
-                return (id, false);
+                return Ok((id, false));
             }
         }
-        let id = self.len() as RowId;
+        let id = checked_row_id(self.len(), self.predicate)?;
         self.terms.extend_from_slice(row);
         match self.dedup.entry(hash) {
             std::collections::hash_map::Entry::Vacant(slot) => {
@@ -199,42 +262,84 @@ impl Relation {
             }
             std::collections::hash_map::Entry::Occupied(mut slot) => slot.get_mut().push(id),
         }
-        (id, true)
+        Ok((id, true))
     }
 
     /// Brings the lazy index of `col` up to date with the current rows.
     ///
-    /// Invariant: a *stale* column index can never be mutably borrowed while a
-    /// probe borrow on the same column is live — probes take `&self` and
-    /// inserts take `&mut self`, so after the first probe of a session the
-    /// index stays fresh until the next mutation.
+    /// Deadlock-freedom: rows grow only under `&mut self`, so within a probe
+    /// session (`&self`) a column goes stale→fresh at most once, and a
+    /// long-lived read guard ([`Relation::with_matching_rows`] holds one
+    /// across its callback, which may recursively probe the same column) is
+    /// only ever acquired on a column that was *fresh* under that same
+    /// guard. The remaining hazard would be a thread that saw the column
+    /// stale, lost the race to another builder, and then **block-waited**
+    /// on the write lock of the now-fresh column: on writer-preferring
+    /// `RwLock` implementations the queued writer would make a re-entrant
+    /// read block behind it — deadlock. Hence builders never block-wait:
+    /// they `try_write`, and on contention re-check freshness and yield.
+    /// A failed `try_write` means either another builder is finishing (the
+    /// re-check will see fresh) or transient check-guards are draining, so
+    /// the loop terminates; no writer ever queues behind a held read guard.
     fn ensure_indexed(&self, col: usize) {
-        let rows = self.len() as u32;
-        if self.columns[col].borrow().rows_indexed == rows {
-            return;
+        let rows = self.row_count();
+        loop {
+            if self.columns[col]
+                .read()
+                .expect("column index lock poisoned")
+                .rows_indexed
+                == rows
+            {
+                return;
+            }
+            match self.columns[col].try_write() {
+                Ok(mut index) => {
+                    for id in index.rows_indexed..rows {
+                        let term = self.terms[id as usize * self.arity + col];
+                        index.map.entry(term).or_default().push(id);
+                    }
+                    index.rows_indexed = rows;
+                    return;
+                }
+                Err(std::sync::TryLockError::WouldBlock) => std::thread::yield_now(),
+                Err(std::sync::TryLockError::Poisoned(_)) => {
+                    panic!("column index lock poisoned")
+                }
+            }
         }
-        let mut index = self.columns[col].borrow_mut();
-        for id in index.rows_indexed..rows {
-            let term = self.terms[id as usize * self.arity + col];
-            index.map.entry(term).or_default().push(id);
-        }
-        index.rows_indexed = rows;
     }
 
-    /// Row ids whose `col`-th term equals `term`, as a borrowed slice (no
-    /// allocation; the column index is built or extended on first use).
-    pub fn matching_rows(&self, col: usize, term: Term) -> Ref<'_, [RowId]> {
+    /// Calls `f` with the row ids whose `col`-th term equals `term`, as a
+    /// borrowed slice (no allocation; the column index is built or extended
+    /// on first use). The column's read lock is held for the duration of
+    /// `f`, which may recursively probe this or other columns (see
+    /// [`Relation::ensure_indexed`] for why that cannot deadlock).
+    pub fn with_matching_rows<R>(&self, col: usize, term: Term, f: impl FnOnce(&[RowId]) -> R) -> R {
         assert!(col < self.arity, "column out of bounds");
+        let rows = self.row_count();
+        {
+            // Fast path: one uncontended read lock when the index is fresh.
+            let index = self.columns[col].read().expect("column index lock poisoned");
+            if index.rows_indexed == rows {
+                return f(index.map.get(&term).map(Vec::as_slice).unwrap_or(&[]));
+            }
+        }
         self.ensure_indexed(col);
-        Ref::map(self.columns[col].borrow(), |index| {
-            index.map.get(&term).map(Vec::as_slice).unwrap_or(&[])
-        })
+        let index = self.columns[col].read().expect("column index lock poisoned");
+        f(index.map.get(&term).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// Row ids whose `col`-th term equals `term`, copied into a fresh vector.
+    /// Convenience for non-hot paths; the join kernel uses
+    /// [`Relation::with_matching_rows`], which borrows instead of copying.
+    pub fn matching_rows(&self, col: usize, term: Term) -> Vec<RowId> {
+        self.with_matching_rows(col, term, |ids| ids.to_vec())
     }
 
     /// Number of rows whose `col`-th term equals `term` (used by the join
     /// kernel's selectivity heuristic; builds the column index on demand).
     pub fn matching_count(&self, col: usize, term: Term) -> usize {
-        self.matching_rows(col, term).len()
+        self.with_matching_rows(col, term, |ids| ids.len())
     }
 }
 
@@ -297,9 +402,55 @@ impl Instance {
                 found: terms.len(),
             });
         }
-        let (_, inserted) = rel.insert_row(terms);
+        let (_, inserted) = rel.insert_row(terms)?;
         if inserted {
             self.len += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Batched insert: adds `rows` (a row-major slice holding a multiple of
+    /// `arity` terms) to `predicate`'s relation through the row-level dedup,
+    /// returning the number of rows that were newly inserted.
+    ///
+    /// The relation lookup, arity check and groundness validation are done
+    /// once for the whole batch, and insertion order follows slice order, so
+    /// the parallel evaluator's merge step assigns the same row ids a
+    /// sequential run would. `arity` must be positive; 0-ary facts go
+    /// through [`Instance::insert_terms`].
+    pub fn insert_batch(
+        &mut self,
+        predicate: Predicate,
+        arity: usize,
+        rows: &[Term],
+    ) -> Result<usize, ModelError> {
+        assert!(arity > 0, "insert_batch requires positive arity");
+        assert_eq!(rows.len() % arity, 0, "rows must hold whole rows");
+        if let Some(bad) = rows.iter().find(|t| t.is_var()) {
+            return Err(ModelError::NonGroundFact(format!(
+                "{}(... {bad} ...)",
+                predicate.name()
+            )));
+        }
+        let rel = self
+            .relations
+            .entry(predicate)
+            .or_insert_with(|| Relation::new(predicate, arity));
+        if rel.arity != arity {
+            return Err(ModelError::ArityMismatch {
+                predicate: predicate.name().to_string(),
+                expected: rel.arity,
+                found: arity,
+            });
+        }
+        let mut inserted = 0;
+        for row in rows.chunks_exact(arity) {
+            // Count each row as it lands so `self.len` stays consistent with
+            // the relation even if a later row fails (e.g. on capacity).
+            if rel.insert_row(row)?.1 {
+                inserted += 1;
+                self.len += 1;
+            }
         }
         Ok(inserted)
     }
@@ -325,8 +476,8 @@ impl Instance {
     ///
     /// Convenience wrapper over the column index that copies the matching
     /// row-id list and materialises atoms one by one; the join kernel and
-    /// other hot paths use [`Relation::matching_rows`] directly, which hands
-    /// out the borrowed row-id slice without allocating.
+    /// other hot paths use [`Relation::with_matching_rows`] directly, which
+    /// hands out the borrowed row-id slice without allocating.
     pub fn atoms_matching(
         &self,
         p: Predicate,
@@ -338,7 +489,7 @@ impl Instance {
             .get(&p)
             .filter(|rel| position < rel.arity());
         let ids: Vec<RowId> = rel
-            .map(|rel| rel.matching_rows(position, term).to_vec())
+            .map(|rel| rel.matching_rows(position, term))
             .unwrap_or_default();
         ids.into_iter()
             .filter_map(move |id| rel.map(|rel| rel.atom(id)))
@@ -396,6 +547,26 @@ impl Instance {
     /// Number of atoms per predicate, useful for join-order heuristics.
     pub fn relation_size(&self, p: Predicate) -> usize {
         self.relations.get(&p).map(Relation::len).unwrap_or(0)
+    }
+
+    /// A canonical serialisation of the per-relation row layout: for each
+    /// predicate (sorted by name) the debug-printed rows **in row-id
+    /// order**. Two instances with equal layouts are bit-identical up to the
+    /// relation map's iteration order — the property the parallel
+    /// evaluator's determinism tests assert between thread counts.
+    pub fn row_layout(&self) -> Vec<(String, Vec<String>)> {
+        let mut layout: Vec<(String, Vec<String>)> = self
+            .relations
+            .values()
+            .map(|rel| {
+                (
+                    rel.predicate.name().to_string(),
+                    rel.rows().map(|row| format!("{row:?}")).collect(),
+                )
+            })
+            .collect();
+        layout.sort();
+        layout
     }
 }
 
@@ -603,6 +774,78 @@ mod tests {
         assert_eq!(rel.find_row(&[Term::constant("a"), Term::constant("b")]), Some(0));
         assert_eq!(rel.find_row(&[Term::constant("b"), Term::constant("c")]), Some(1));
         assert_eq!(rel.atom(1), Atom::fact("edge", &["b", "c"]));
+    }
+
+    #[test]
+    fn checked_row_ids_report_capacity_instead_of_truncating() {
+        // 2^32 rows cannot be materialised in a test, so exercise the helper
+        // the insert path uses directly.
+        let p = Predicate::new("big");
+        assert_eq!(checked_row_id(7, p), Ok(7));
+        // The top id is reserved (PREMATCHED_ROW sentinel, and the row count
+        // itself must stay representable), so the last valid id is MAX - 1.
+        assert_eq!(checked_row_id(u32::MAX as usize - 1, p), Ok(u32::MAX - 1));
+        let err = checked_row_id(u32::MAX as usize, p).unwrap_err();
+        assert!(matches!(err, ModelError::CapacityExceeded { rows, .. } if rows == u32::MAX as usize));
+        assert!(err.to_string().contains("big"));
+    }
+
+    #[test]
+    fn insert_batch_dedups_and_counts_new_rows() {
+        let mut inst = Instance::new();
+        inst.insert(Atom::fact("edge", &["a", "b"])).unwrap();
+        let p = Predicate::new("edge");
+        let rows = vec![
+            Term::constant("a"),
+            Term::constant("b"), // duplicate of the existing row
+            Term::constant("b"),
+            Term::constant("c"),
+            Term::constant("b"),
+            Term::constant("c"), // duplicate within the batch
+        ];
+        assert_eq!(inst.insert_batch(p, 2, &rows).unwrap(), 1);
+        assert_eq!(inst.len(), 2);
+        let rel = inst.relation(p).unwrap();
+        assert_eq!(rel.find_row(&[Term::constant("b"), Term::constant("c")]), Some(1));
+    }
+
+    #[test]
+    fn insert_batch_rejects_arity_conflicts_and_variables() {
+        let mut inst = Instance::new();
+        inst.insert(Atom::fact("p", &["a"])).unwrap();
+        let bad_arity = inst.insert_batch(
+            Predicate::new("p"),
+            2,
+            &[Term::constant("a"), Term::constant("b")],
+        );
+        assert!(matches!(bad_arity, Err(ModelError::ArityMismatch { .. })));
+        let bad_ground = inst.insert_batch(Predicate::new("q"), 1, &[Term::variable("X")]);
+        assert!(matches!(bad_ground, Err(ModelError::NonGroundFact(_))));
+    }
+
+    #[test]
+    fn instances_are_shareable_across_threads() {
+        let mut inst = Instance::new();
+        inst.insert(Atom::fact("edge", &["a", "b"])).unwrap();
+        inst.insert(Atom::fact("edge", &["a", "c"])).unwrap();
+        let shared = &inst;
+        let counts: Vec<usize> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        // Concurrent probes build the lazy index under the lock.
+                        shared
+                            .relation(Predicate::new("edge"))
+                            .unwrap()
+                            .matching_count(0, Term::constant("a"))
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(counts, vec![2; 4]);
     }
 
     #[test]

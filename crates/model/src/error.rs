@@ -16,6 +16,16 @@ pub enum ModelError {
     },
     /// A fact (database atom) contained a variable or a null.
     NonGroundFact(String),
+    /// A relation reached the row-id capacity bound (2^32 rows). Row ids are
+    /// `u32` by design (they are stored in every column index and dedup
+    /// bucket); inserting past the bound is reported instead of silently
+    /// truncating the id.
+    CapacityExceeded {
+        /// Predicate of the relation that is full.
+        predicate: String,
+        /// Number of rows already stored.
+        rows: usize,
+    },
     /// A TGD failed a structural validity check.
     InvalidTgd(String),
     /// A conjunctive query failed a structural validity check (e.g. an output
@@ -46,6 +56,10 @@ impl fmt::Display for ModelError {
             ModelError::NonGroundFact(a) => {
                 write!(f, "fact `{a}` must contain only constants")
             }
+            ModelError::CapacityExceeded { predicate, rows } => write!(
+                f,
+                "relation `{predicate}` is full: {rows} rows is the u32 row-id capacity"
+            ),
             ModelError::InvalidTgd(msg) => write!(f, "invalid TGD: {msg}"),
             ModelError::InvalidQuery(msg) => write!(f, "invalid conjunctive query: {msg}"),
             ModelError::Parse {

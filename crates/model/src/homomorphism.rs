@@ -14,7 +14,7 @@
 //! backtracking search binds slots in a fixed-size array with an **undo
 //! trail** (bind on match, pop on backtrack). Candidate atoms are enumerated
 //! as row ids borrowed from the instance's lazy column indexes
-//! ([`crate::database::Relation::matching_rows`]). The inner per-candidate
+//! ([`crate::database::Relation::with_matching_rows`]). The inner per-candidate
 //! loop therefore performs **no heap allocation** and never clones a
 //! substitution; results are streamed to a callback as a [`Bindings`] view.
 //!
@@ -151,6 +151,16 @@ impl JoinSpec {
     /// Number of pattern atoms.
     pub fn num_atoms(&self) -> usize {
         self.atoms.len()
+    }
+
+    /// The predicate of pattern atom `i`.
+    pub fn atom_predicate(&self, i: usize) -> crate::atom::Predicate {
+        self.atoms[i].predicate
+    }
+
+    /// The arity of pattern atom `i`.
+    pub fn atom_arity(&self, i: usize) -> usize {
+        self.atoms[i].args.len()
     }
 
     /// The slot of a variable, if the variable occurs in the pattern.
@@ -567,12 +577,11 @@ where
     let rel = ctx.rel_of(atom);
     ctx.used[atom] = true;
     let result = match probe {
-        Probe::Index(pos, term) => {
-            let ids = rel.matching_rows(pos, term);
+        Probe::Index(pos, term) => rel.with_matching_rows(pos, term, |ids| {
             try_candidates(ctx, atom, rel, ids.iter().copied(), open, f)
-        }
+        }),
         Probe::Scan => {
-            let ids = 0..rel.len() as RowId;
+            let ids = 0..rel.row_count();
             try_candidates(ctx, atom, rel, ids, open, f)
         }
     };

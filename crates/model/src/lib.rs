@@ -29,6 +29,7 @@ pub mod database;
 pub mod error;
 pub mod fasthash;
 pub mod homomorphism;
+pub mod parallel;
 pub mod parser;
 pub mod program;
 pub mod query;
@@ -45,6 +46,7 @@ pub use homomorphism::{
     exists_homomorphism, find_homomorphism, homomorphisms, Bindings, HomSearch, JoinSpec,
     JoinStats, Matcher, PREMATCHED_ROW,
 };
+pub use parallel::{DerivationBatch, DELTA_SHARDS};
 pub use program::Program;
 pub use query::ConjunctiveQuery;
 pub use substitution::Substitution;

@@ -1,0 +1,343 @@
+//! Sharded parallel execution over a read-only [`Instance`] snapshot — the
+//! shard/merge machinery shared by every fixpoint engine.
+//!
+//! # Model
+//!
+//! All engines in this workspace alternate two phases per round:
+//!
+//! 1. **Match (read-only, parallel).** The round's work is split into
+//!    *tasks* — e.g. one task per (rule, differentiated body position, delta
+//!    shard) in the semi-naive Datalog engine, or one task per TGD in the
+//!    chase. Workers created with [`std::thread::scope`] pull task ids from a
+//!    shared atomic cursor and run the [`crate::homomorphism`] join kernel
+//!    **read-only** against the shared `&Instance` (which is [`Sync`]: the
+//!    lazy column indexes sit behind per-column `RwLock`s). Each task streams
+//!    its derivations into a private columnar [`DerivationBatch`], so workers
+//!    never contend on anything but the task cursor and cold index builds.
+//! 2. **Merge (sequential, deterministic).** Task results are re-ordered by
+//!    task id and flushed with one batched dedup insert per relation
+//!    ([`Instance::insert_batch`]). Because the task decomposition and the
+//!    merge order depend only on the data — delta rows are hash-partitioned
+//!    into a *fixed* number of shards ([`DELTA_SHARDS`]), never into
+//!    "one shard per thread" — the row ids assigned during the merge are
+//!    **bit-identical for every thread count**, including the sequential
+//!    `threads = 1` path, which runs the same tasks inline without spawning.
+//!
+//! # Determinism contract
+//!
+//! Anything that influences results must be independent of the thread count:
+//! the task list, each task's output (the kernel is deterministic over a
+//! frozen instance), and the merge order. Thread count only decides which
+//! worker happens to execute a task. This is what lets the cross-engine
+//! property tests assert bit-identical instances and counter totals between
+//! `threads = 1` and `threads = N`.
+
+use crate::atom::Predicate;
+use crate::database::{Instance, Relation, RowId};
+use crate::error::ModelError;
+use crate::fasthash::FxHashMap;
+use crate::homomorphism::{JoinSpec, JoinStats, Matcher};
+use crate::term::Term;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of shards a delta row range is hash-partitioned into. Fixed (and
+/// deliberately *not* the thread count) so that the task decomposition — and
+/// with it row-id assignment order — is identical for every thread count;
+/// larger than any sane core count so work stealing can still balance skew.
+pub const DELTA_SHARDS: usize = 32;
+
+/// Resolves a requested thread count: `0` means "use all available
+/// parallelism", anything else is taken literally. The result is at least 1.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        requested
+    }
+}
+
+/// Hash-partitions the delta row range `lo..hi` of `rel` into
+/// [`DELTA_SHARDS`] row-id lists keyed on the row's content hash (its join
+/// key). Row order inside each shard stays ascending, and the partition
+/// depends only on the rows, never on the thread count.
+pub fn shard_delta_rows(rel: &Relation, lo: RowId, hi: RowId) -> Vec<Vec<RowId>> {
+    let mut shards: Vec<Vec<RowId>> = vec![Vec::new(); DELTA_SHARDS];
+    for id in lo..hi {
+        shards[rel.row_shard(id, DELTA_SHARDS)].push(id);
+    }
+    shards
+}
+
+/// Runs `num_tasks` tasks on up to `threads` workers (resolved through
+/// [`effective_threads`]) and returns the results **in task order**.
+///
+/// Tasks are pulled from a shared atomic cursor, so load balances even when
+/// task costs are skewed. With an effective thread count of 1 — or a single
+/// task — the tasks run inline on the calling thread, with no spawn, no
+/// atomics traffic and no re-sort: the sequential path is exactly "call
+/// `task` in a loop".
+pub fn run_tasks<R, F>(threads: usize, num_tasks: usize, task: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = effective_threads(threads).min(num_tasks.max(1));
+    if threads <= 1 {
+        return (0..num_tasks).map(task).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, R)> = Vec::with_capacity(num_tasks);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let id = cursor.fetch_add(1, Ordering::Relaxed);
+                        if id >= num_tasks {
+                            break;
+                        }
+                        out.push((id, task(id)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for worker in workers {
+            collected.extend(worker.join().expect("parallel worker panicked"));
+        }
+    });
+    collected.sort_unstable_by_key(|&(id, _)| id);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// One task's derivations for a single head predicate, parked in columnar
+/// form (row-major term buffer) while the instance is immutably shared.
+#[derive(Debug, Clone)]
+pub struct DerivationBatch {
+    /// Head predicate of the derivations.
+    pub predicate: Predicate,
+    /// Arity of the head predicate (0 for propositional heads).
+    pub arity: usize,
+    /// Row-major derived rows (`rows.len()` is a multiple of `arity`;
+    /// empty for 0-ary heads).
+    pub rows: Vec<Term>,
+    /// Number of kernel matches; for 0-ary heads this alone says whether the
+    /// fact was derived.
+    pub matches: u64,
+}
+
+impl DerivationBatch {
+    /// An empty batch for a head predicate.
+    pub fn new(predicate: Predicate, arity: usize) -> DerivationBatch {
+        DerivationBatch {
+            predicate,
+            arity,
+            rows: Vec::new(),
+            matches: 0,
+        }
+    }
+}
+
+/// Merges task batches into the instance **in iteration order** with one
+/// batched dedup insert per relation, returning the number of newly inserted
+/// atoms. Row ids are assigned per relation in batch order, which is exactly
+/// the order a sequential run would have inserted them in.
+pub fn merge_derivations(
+    instance: &mut Instance,
+    batches: impl IntoIterator<Item = DerivationBatch>,
+) -> Result<usize, ModelError> {
+    // Group per predicate preserving first-seen order; order across
+    // relations does not affect row ids (ids are per relation), order within
+    // a relation is batch order.
+    let mut order: Vec<Predicate> = Vec::new();
+    let mut merged: FxHashMap<Predicate, DerivationBatch> = FxHashMap::default();
+    for batch in batches {
+        match merged.entry(batch.predicate) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                order.push(batch.predicate);
+                slot.insert(batch);
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                let existing = slot.get_mut();
+                debug_assert_eq!(existing.arity, batch.arity);
+                existing.rows.extend_from_slice(&batch.rows);
+                existing.matches += batch.matches;
+            }
+        }
+    }
+    let mut inserted = 0;
+    for predicate in order {
+        let batch = merged.remove(&predicate).expect("grouped above");
+        if batch.arity == 0 {
+            if batch.matches > 0 && instance.insert_terms(predicate, &[])? {
+                inserted += 1;
+            }
+        } else if !batch.rows.is_empty() {
+            inserted += instance.insert_batch(predicate, batch.arity, &batch.rows)?;
+        }
+    }
+    Ok(inserted)
+}
+
+/// Counts the matches of a compiled pattern by sharding the rows of the
+/// pattern's first atom across workers: each task prematches atom 0 with one
+/// shard's rows and enumerates the remaining atoms read-only. Every full
+/// match binds atom 0 to exactly one row, so the shard counts partition the
+/// match set. Each prematch attempt is counted as one probe, mirroring what
+/// the sequential kernel would spend enumerating the driver atom.
+pub fn sharded_match_count(spec: &JoinSpec, instance: &Instance, threads: usize) -> JoinStats {
+    let mut total = JoinStats::default();
+    if spec.num_atoms() == 0 {
+        total.matches = 1; // the empty pattern has the identity homomorphism
+        return total;
+    }
+    let predicate = spec.atom_predicate(0);
+    let Some(rel) = instance
+        .relation(predicate)
+        .filter(|r| r.arity() == spec.atom_arity(0))
+    else {
+        return total;
+    };
+    let shards = shard_delta_rows(rel, 0, rel.row_count());
+    let results = run_tasks(threads, shards.len(), |shard| {
+        let mut matcher = Matcher::new(spec);
+        let mut stats = JoinStats::default();
+        for &id in &shards[shard] {
+            stats.probes += 1;
+            matcher.clear();
+            if !matcher.prematch(0, rel.row(id)) {
+                continue;
+            }
+            let run = matcher.for_each(instance, |_| ControlFlow::Continue(()));
+            stats.probes += run.probes;
+            stats.matches += run.matches;
+        }
+        stats
+    });
+    for stats in results {
+        total.probes += stats.probes;
+        total.matches += stats.matches;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::database::Database;
+    use crate::term::Term;
+
+    fn chain_db(n: usize) -> Instance {
+        let mut db = Database::new();
+        for i in 0..n {
+            db.insert(Atom::fact(
+                "edge",
+                &[format!("n{i}").as_str(), format!("n{}", i + 1).as_str()],
+            ))
+            .unwrap();
+        }
+        db.into_instance()
+    }
+
+    #[test]
+    fn run_tasks_returns_results_in_task_order() {
+        for threads in [1, 2, 4] {
+            let results = run_tasks(threads, 100, |id| id * 3);
+            assert_eq!(results, (0..100).map(|id| id * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_tasks_handles_zero_tasks() {
+        assert!(run_tasks::<usize, _>(4, 0, |id| id).is_empty());
+    }
+
+    #[test]
+    fn shards_partition_the_delta_range() {
+        let inst = chain_db(50);
+        let rel = inst.relation(Predicate::new("edge")).unwrap();
+        let shards = shard_delta_rows(rel, 10, 40);
+        let mut all: Vec<RowId> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (10..40).collect::<Vec<RowId>>());
+        // Within a shard, row order stays ascending.
+        for shard in &shards {
+            assert!(shard.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn merge_assigns_row_ids_in_batch_order() {
+        let p = Predicate::new("out");
+        let rows1 = vec![Term::constant("a"), Term::constant("b")];
+        let rows2 = vec![
+            Term::constant("a"),
+            Term::constant("b"), // duplicate of batch 1's row
+            Term::constant("c"),
+            Term::constant("d"),
+        ];
+        let mut inst = Instance::new();
+        let inserted = merge_derivations(
+            &mut inst,
+            [
+                DerivationBatch {
+                    predicate: p,
+                    arity: 2,
+                    rows: rows1,
+                    matches: 1,
+                },
+                DerivationBatch {
+                    predicate: p,
+                    arity: 2,
+                    rows: rows2,
+                    matches: 2,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(inserted, 2);
+        let rel = inst.relation(p).unwrap();
+        assert_eq!(rel.find_row(&[Term::constant("a"), Term::constant("b")]), Some(0));
+        assert_eq!(rel.find_row(&[Term::constant("c"), Term::constant("d")]), Some(1));
+    }
+
+    #[test]
+    fn merge_handles_zero_ary_heads() {
+        let p = Predicate::new("goal");
+        let mut inst = Instance::new();
+        let inserted =
+            merge_derivations(&mut inst, [DerivationBatch::new(p, 0)]).unwrap();
+        assert_eq!(inserted, 0);
+        let mut hit = DerivationBatch::new(p, 0);
+        hit.matches = 3;
+        assert_eq!(merge_derivations(&mut inst, [hit]).unwrap(), 1);
+        assert_eq!(inst.len(), 1);
+    }
+
+    #[test]
+    fn sharded_match_count_agrees_with_sequential_kernel() {
+        let inst = chain_db(30);
+        let v = Term::variable;
+        let pattern = vec![
+            Atom::new("edge", vec![v("X"), v("Y")]),
+            Atom::new("edge", vec![v("Y"), v("Z")]),
+        ];
+        let spec = JoinSpec::compile(&pattern);
+        let sequential = Matcher::new(&spec).for_each(&inst, |_| ControlFlow::Continue(()));
+        for threads in [1, 2, 4] {
+            let sharded = sharded_match_count(&spec, &inst, threads);
+            assert_eq!(sharded.matches, sequential.matches);
+        }
+    }
+
+    #[test]
+    fn sharded_match_count_of_missing_relation_is_zero() {
+        let inst = chain_db(3);
+        let pattern = vec![Atom::new("zzz", vec![Term::variable("X")])];
+        let spec = JoinSpec::compile(&pattern);
+        assert_eq!(sharded_match_count(&spec, &inst, 2).matches, 0);
+    }
+}

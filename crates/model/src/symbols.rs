@@ -48,7 +48,8 @@ impl Symbol {
             return Symbol(id);
         }
         let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
-        let id = guard.names.len() as u32;
+        let id = u32::try_from(guard.names.len())
+            .expect("interner capacity exceeded: more than 2^32 distinct symbols");
         guard.names.push(leaked);
         guard.by_name.insert(leaked, id);
         Symbol(id)
