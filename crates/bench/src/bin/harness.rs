@@ -80,12 +80,14 @@ fn main() {
     }
 }
 
-/// Parallel — the sharded evaluator at 1/2/4/8 worker threads on the TC-200
-/// materialisation and the 3-hop CQ; writes `BENCH_parallel.json`. Every
-/// thread count is asserted to produce identical answers and counters, so
-/// the table measures pure scheduling/merge behaviour. Wall-clock speedup is
-/// bounded by the host's available parallelism (recorded in the JSON): on a
-/// single-core container every thread count necessarily ties.
+/// Parallel — the sharded evaluator at 1/2/4/8 worker threads on four
+/// workloads (TC-200 materialisation, the 3-hop CQ, the OWL 2 QL scenario
+/// and the data-exchange scenario); writes `BENCH_parallel.json`. Every
+/// thread count is asserted **bit-identical** to the sequential run (stats,
+/// and for the materialisations the full row-id layout) before any timing,
+/// so the table measures pure scheduling/merge behaviour. Wall-clock speedup
+/// is bounded by the host's available parallelism (recorded in the JSON): on
+/// a single-core container every thread count necessarily ties.
 fn parallel_bench(quick: bool) {
     use std::ops::ControlFlow;
     use vadalog_model::parallel::sharded_match_count;
@@ -100,7 +102,7 @@ fn parallel_bench(quick: bool) {
     let tc = program(LINEAR_TC);
 
     // TC materialisation at each thread count (best of N after a warm-up
-    // that also checks bit-identical stats against the sequential run).
+    // that also checks bit-identity against the sequential run).
     let baseline = DatalogEngine::new(tc.clone()).unwrap().evaluate(&db);
     let mut tc_ms = Vec::new();
     for &threads in &thread_counts {
@@ -109,6 +111,12 @@ fn parallel_bench(quick: bool) {
         assert_eq!(warm.stats.derived_atoms, baseline.stats.derived_atoms);
         assert_eq!(warm.stats.joins_evaluated, baseline.stats.joins_evaluated);
         assert_eq!(warm.stats.join_probes, baseline.stats.join_probes);
+        assert_eq!(warm.stats.rows_prededuped, baseline.stats.rows_prededuped);
+        assert_eq!(
+            warm.instance.row_layout(),
+            baseline.instance.row_layout(),
+            "TC row layout must be bit-identical at {threads} threads"
+        );
         let mut best = f64::MAX;
         for _ in 0..samples {
             let start = Instant::now();
@@ -150,10 +158,79 @@ fn parallel_bench(quick: bool) {
         cq_ms.push(best);
     }
 
+    // OWL 2 QL (Example 3.3): existential rules, so the bottom-up reasoner
+    // carries the parallel trigger detection; application stays sequential,
+    // hence full row-layout bit-identity across thread counts.
+    let owl_db = owl_database(
+        if quick { 15 } else { 40 },
+        6,
+        if quick { 60 } else { 200 },
+        7,
+    );
+    let owl = owl_program();
+    let owl_baseline = Reasoner::new(&owl, EngineConfig::default()).run(&owl_db);
+    let mut owl_ms = Vec::new();
+    for &threads in &thread_counts {
+        let reasoner = Reasoner::new(
+            &owl,
+            EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            },
+        );
+        let warm = reasoner.run(&owl_db);
+        assert_eq!(warm.stats.derived_atoms, owl_baseline.stats.derived_atoms);
+        assert_eq!(warm.stats.join_probes, owl_baseline.stats.join_probes);
+        assert_eq!(warm.stats.nulls_created, owl_baseline.stats.nulls_created);
+        assert_eq!(
+            warm.instance.row_layout(),
+            owl_baseline.instance.row_layout(),
+            "OWL row layout must be bit-identical at {threads} threads"
+        );
+        let mut best = f64::MAX;
+        for _ in 0..samples {
+            let start = Instant::now();
+            let _ = reasoner.run(&owl_db);
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+        owl_ms.push(best);
+    }
+
+    // Data exchange: source-to-target TGDs with value invention plus a
+    // recursive target closure, chased with parallel trigger detection.
+    let dex = data_exchange_scenario(3, if quick { 40 } else { 120 }, 25, 11);
+    let dex_config = ChaseConfig {
+        record_provenance: false,
+        ..ChaseConfig::restricted(TerminationPolicy::Unbounded)
+    };
+    let dex_baseline = ChaseEngine::new(dex.program.clone(), dex_config).run(&dex.database);
+    assert!(dex_baseline.completed);
+    let mut dex_ms = Vec::new();
+    for &threads in &thread_counts {
+        let engine = ChaseEngine::new(dex.program.clone(), dex_config.with_threads(threads));
+        let warm = engine.run(&dex.database);
+        assert_eq!(warm.stats.steps, dex_baseline.stats.steps);
+        assert_eq!(warm.stats.nulls_created, dex_baseline.stats.nulls_created);
+        assert_eq!(
+            warm.instance.row_layout(),
+            dex_baseline.instance.row_layout(),
+            "data-exchange row layout must be bit-identical at {threads} threads"
+        );
+        let mut best = f64::MAX;
+        for _ in 0..samples {
+            let start = Instant::now();
+            let _ = engine.run(&dex.database);
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+        dex_ms.push(best);
+    }
+
     let mut table = Table::new(&["workload", "threads", "wall (ms)", "speedup vs 1"]);
     for (label, times) in [
         (format!("TC materialisation ({nodes} nodes, {edges} edges)"), &tc_ms),
         ("3-hop CQ over closure".to_string(), &cq_ms),
+        ("OWL 2 QL reasoning".to_string(), &owl_ms),
+        ("data exchange chase".to_string(), &dex_ms),
     ] {
         for (&threads, &ms) in thread_counts.iter().zip(times.iter()) {
             table.row(&[
@@ -181,34 +258,82 @@ fn parallel_bench(quick: bool) {
             .join(",\n")
     };
     let json = format!(
-        "{{\n  \"available_parallelism\": {cores},\n  \"workloads\": {{\n    \"tc_materialization\": {{\n      \"nodes\": {nodes},\n      \"edges\": {edges},\n      \"derived_atoms\": {derived},\n      \"threads\": {{\n{tc_threads}\n      }}\n    }},\n    \"cq_path3\": {{\n      \"nodes\": {cq_nodes},\n      \"edges\": {cq_edges},\n      \"answers\": {answers},\n      \"threads\": {{\n{cq_threads}\n      }}\n    }}\n  }}\n}}\n",
+        "{{\n  \"available_parallelism\": {cores},\n  \"workloads\": {{\n    \"tc_materialization\": {{\n      \"nodes\": {nodes},\n      \"edges\": {edges},\n      \"derived_atoms\": {derived},\n      \"rows_prededuped\": {prededuped},\n      \"threads\": {{\n{tc_threads}\n      }}\n    }},\n    \"cq_path3\": {{\n      \"nodes\": {cq_nodes},\n      \"edges\": {cq_edges},\n      \"answers\": {answers},\n      \"threads\": {{\n{cq_threads}\n      }}\n    }},\n    \"owl2ql\": {{\n      \"derived_atoms\": {owl_derived},\n      \"nulls_created\": {owl_nulls},\n      \"threads\": {{\n{owl_threads}\n      }}\n    }},\n    \"data_exchange\": {{\n      \"chase_steps\": {dex_steps},\n      \"nulls_created\": {dex_nulls},\n      \"threads\": {{\n{dex_threads}\n      }}\n    }}\n  }}\n}}\n",
         derived = baseline.stats.derived_atoms,
+        prededuped = baseline.stats.rows_prededuped,
         tc_threads = per_thread(&tc_ms),
         answers = sequential_answers,
         cq_threads = per_thread(&cq_ms),
+        owl_derived = owl_baseline.stats.derived_atoms,
+        owl_nulls = owl_baseline.stats.nulls_created,
+        owl_threads = per_thread(&owl_ms),
+        dex_steps = dex_baseline.stats.steps,
+        dex_nulls = dex_baseline.stats.nulls_created,
+        dex_threads = per_thread(&dex_ms),
     );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("wrote BENCH_parallel.json");
 }
 
-/// Joins — kernel vs. seed baseline on transitive-closure materialisation
-/// (200-node random graph) and a join-heavy 3-hop CQ; writes
-/// `BENCH_joins.json` next to the working directory.
+/// The PR 2 kernel wall times on the full-size workloads (recorded in the
+/// repository's `BENCH_joins.json` before this change), so the JSON can
+/// report the packed build/probe kernel's improvement against them. `None`
+/// in quick mode, whose workload sizes differ.
+const PR2_BASELINE_TC_MS: f64 = 5.701;
+const PR2_BASELINE_CQ_MS: f64 = 70.790;
+
+/// Joins — the packed build/probe kernel vs. the seed baseline on four
+/// workloads: transitive-closure materialisation (200-node random graph), a
+/// join-heavy 3-hop CQ, and CQs over the materialised OWL 2 QL and
+/// data-exchange scenarios. Every workload asserts kernel/reference answer
+/// equality before timing; writes `BENCH_joins.json` (including the PR 2
+/// kernel baseline for the two original workloads, full mode only).
 fn joins_bench(quick: bool) {
     use std::ops::ControlFlow;
     use vadalog_bench::seed_reference;
     use vadalog_model::homomorphism::reference::homomorphisms_reference;
-    use vadalog_model::{Atom, HomSearch, JoinSpec, Matcher, Substitution, Term};
+    use vadalog_model::{Atom, HomSearch, Instance, JoinSpec, Matcher, Substitution, Term};
 
-    println!("-- joins: columnar store + zero-allocation kernel vs. seed algorithm --");
+    println!("-- joins: packed columnar store + build/probe kernel vs. seed algorithm --");
     let (nodes, edges) = if quick { (100, 150) } else { (200, 400) };
     let db = random_graph(nodes, edges, 42);
     let tc = program(LINEAR_TC);
     let engine = DatalogEngine::new(tc.clone()).unwrap();
+    let samples = if quick { 3 } else { 5 };
+
+    // Times a planned kernel count and the reference enumeration of the same
+    // pattern, asserting equal answer counts (the bit-identity gate of the
+    // CQ workloads).
+    let cq_workload = |pattern: &[Atom], target: &Instance| -> (u64, f64, f64) {
+        let spec = JoinSpec::compile(pattern);
+        let plan = spec.plan(target, &[]);
+        let mut kernel_ms = f64::MAX;
+        let mut kernel_answers = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            let mut count = 0u64;
+            let mut matcher = Matcher::new(&spec);
+            matcher.set_plan(Some(&plan));
+            matcher.for_each(target, |_| {
+                count += 1;
+                ControlFlow::Continue(())
+            });
+            kernel_ms = kernel_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            kernel_answers = count;
+        }
+        let start = Instant::now();
+        let seed_answers =
+            homomorphisms_reference(pattern, target, &Substitution::new(), HomSearch::all()).len();
+        let seed_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            kernel_answers as usize, seed_answers,
+            "kernel and reference must agree on {pattern:?}"
+        );
+        (kernel_answers, kernel_ms, seed_ms)
+    };
 
     // Transitive-closure materialisation (best of N timed runs each, after a
     // shared warm-up, so one scheduler hiccup cannot skew the ratio).
-    let samples = if quick { 3 } else { 5 };
     let warm = engine.evaluate(&db);
     let mut kernel_tc_ms = f64::MAX;
     let mut kernel_result = engine.evaluate(&db);
@@ -243,43 +368,86 @@ fn joins_bench(quick: bool) {
         Atom::new("t", vec![v("Y"), v("Z")]),
         Atom::new("t", vec![v("Z"), v("W")]),
     ];
-    let spec = JoinSpec::compile(&pattern);
-    let start = Instant::now();
-    let mut kernel_answers = 0u64;
-    Matcher::new(&spec).for_each(&closure, |_| {
-        kernel_answers += 1;
-        ControlFlow::Continue(())
-    });
-    let kernel_cq_ms = start.elapsed().as_secs_f64() * 1e3;
-    let start = Instant::now();
-    let seed_answers =
-        homomorphisms_reference(&pattern, &closure, &Substitution::new(), HomSearch::all()).len();
-    let seed_cq_ms = start.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(kernel_answers as usize, seed_answers);
+    let (kernel_answers, kernel_cq_ms, seed_cq_ms) = cq_workload(&pattern, &closure);
+
+    // OWL 2 QL (Example 3.3): materialise with the bottom-up reasoner, then
+    // answer a 2-hop typing CQ with both kernels.
+    let owl_db = owl_database(
+        if quick { 15 } else { 40 },
+        6,
+        if quick { 60 } else { 200 },
+        7,
+    );
+    let owl_instance = Reasoner::new(&owl_program(), EngineConfig::default())
+        .run(&owl_db)
+        .instance;
+    let owl_pattern = vec![
+        Atom::new("type", vec![v("X"), v("C")]),
+        Atom::new("subclassStar", vec![v("C"), v("D")]),
+        Atom::new("type", vec![v("Y"), v("D")]),
+    ];
+    let (owl_answers, owl_kernel_ms, owl_seed_ms) = cq_workload(&owl_pattern, &owl_instance);
+
+    // Data exchange: chase the source-to-target TGDs, then answer a 2-hop
+    // connectivity CQ over the target closure.
+    let dex = data_exchange_scenario(3, if quick { 40 } else { 120 }, 25, 11);
+    let dex_instance = ChaseEngine::new(
+        dex.program.clone(),
+        ChaseConfig {
+            record_provenance: false,
+            ..ChaseConfig::restricted(TerminationPolicy::Unbounded)
+        },
+    )
+    .run(&dex.database)
+    .instance;
+    let dex_pattern = vec![
+        Atom::new("connected", vec![v("X"), v("Y")]),
+        Atom::new("connected", vec![v("Y"), v("Z")]),
+    ];
+    let (dex_answers, dex_kernel_ms, dex_seed_ms) = cq_workload(&dex_pattern, &dex_instance);
 
     let mut table = Table::new(&["workload", "kernel (ms)", "seed (ms)", "speedup"]);
-    table.row(&[
-        format!("TC materialisation ({nodes} nodes, {edges} edges)"),
-        format!("{kernel_tc_ms:.2}"),
-        format!("{seed_tc_ms:.2}"),
-        format!("{:.1}x", seed_tc_ms / kernel_tc_ms),
-    ]);
-    table.row(&[
-        "3-hop CQ over closure".to_string(),
-        format!("{kernel_cq_ms:.2}"),
-        format!("{seed_cq_ms:.2}"),
-        format!("{:.1}x", seed_cq_ms / kernel_cq_ms),
-    ]);
+    for (label, kernel_ms, seed_ms) in [
+        (
+            format!("TC materialisation ({nodes} nodes, {edges} edges)"),
+            kernel_tc_ms,
+            seed_tc_ms,
+        ),
+        ("3-hop CQ over closure".to_string(), kernel_cq_ms, seed_cq_ms),
+        ("OWL 2 QL typing CQ".to_string(), owl_kernel_ms, owl_seed_ms),
+        ("data-exchange connectivity CQ".to_string(), dex_kernel_ms, dex_seed_ms),
+    ] {
+        table.row(&[
+            label,
+            format!("{kernel_ms:.2}"),
+            format!("{seed_ms:.2}"),
+            format!("{:.1}x", seed_ms / kernel_ms),
+        ]);
+    }
     println!("{}", table.render());
 
+    // The PR 2 baseline comparison only applies to the full-size workloads.
+    let pr2 = |baseline: f64, now: f64| -> (String, String) {
+        if quick {
+            ("null".to_string(), "null".to_string())
+        } else {
+            (format!("{baseline:.3}"), format!("{:.2}", baseline / now))
+        }
+    };
+    let (tc_pr2, tc_pr2_speedup) = pr2(PR2_BASELINE_TC_MS, kernel_tc_ms);
+    let (cq_pr2, cq_pr2_speedup) = pr2(PR2_BASELINE_CQ_MS, kernel_cq_ms);
     let json = format!(
-        "{{\n  \"workloads\": {{\n    \"tc_materialization\": {{\n      \"nodes\": {nodes},\n      \"edges\": {edges},\n      \"derived_atoms\": {derived},\n      \"peak_atoms\": {peak},\n      \"kernel_wall_ms\": {kernel_tc_ms:.3},\n      \"seed_reference_wall_ms\": {seed_tc_ms:.3},\n      \"speedup\": {tc_speedup:.2}\n    }},\n    \"cq_path3\": {{\n      \"nodes\": {cq_nodes},\n      \"edges\": {cq_edges},\n      \"answers\": {answers},\n      \"peak_atoms\": {cq_peak},\n      \"kernel_wall_ms\": {kernel_cq_ms:.3},\n      \"seed_reference_wall_ms\": {seed_cq_ms:.3},\n      \"speedup\": {cq_speedup:.2}\n    }}\n  }}\n}}\n",
+        "{{\n  \"workloads\": {{\n    \"tc_materialization\": {{\n      \"nodes\": {nodes},\n      \"edges\": {edges},\n      \"derived_atoms\": {derived},\n      \"peak_atoms\": {peak},\n      \"kernel_wall_ms\": {kernel_tc_ms:.3},\n      \"seed_reference_wall_ms\": {seed_tc_ms:.3},\n      \"speedup\": {tc_speedup:.2},\n      \"pr2_kernel_wall_ms\": {tc_pr2},\n      \"speedup_vs_pr2_kernel\": {tc_pr2_speedup}\n    }},\n    \"cq_path3\": {{\n      \"nodes\": {cq_nodes},\n      \"edges\": {cq_edges},\n      \"answers\": {answers},\n      \"peak_atoms\": {cq_peak},\n      \"kernel_wall_ms\": {kernel_cq_ms:.3},\n      \"seed_reference_wall_ms\": {seed_cq_ms:.3},\n      \"speedup\": {cq_speedup:.2},\n      \"pr2_kernel_wall_ms\": {cq_pr2},\n      \"speedup_vs_pr2_kernel\": {cq_pr2_speedup}\n    }},\n    \"owl2ql_typing_cq\": {{\n      \"answers\": {owl_answers},\n      \"peak_atoms\": {owl_peak},\n      \"kernel_wall_ms\": {owl_kernel_ms:.3},\n      \"seed_reference_wall_ms\": {owl_seed_ms:.3},\n      \"speedup\": {owl_speedup:.2}\n    }},\n    \"data_exchange_connectivity_cq\": {{\n      \"answers\": {dex_answers},\n      \"peak_atoms\": {dex_peak},\n      \"kernel_wall_ms\": {dex_kernel_ms:.3},\n      \"seed_reference_wall_ms\": {dex_seed_ms:.3},\n      \"speedup\": {dex_speedup:.2}\n    }}\n  }}\n}}\n",
         derived = kernel_result.stats.derived_atoms,
         peak = kernel_result.stats.peak_atoms,
         tc_speedup = seed_tc_ms / kernel_tc_ms,
         answers = kernel_answers,
         cq_peak = closure.len(),
         cq_speedup = seed_cq_ms / kernel_cq_ms,
+        owl_peak = owl_instance.len(),
+        owl_speedup = owl_seed_ms / owl_kernel_ms,
+        dex_peak = dex_instance.len(),
+        dex_speedup = dex_seed_ms / dex_kernel_ms,
     );
     std::fs::write("BENCH_joins.json", &json).expect("write BENCH_joins.json");
     println!("wrote BENCH_joins.json");

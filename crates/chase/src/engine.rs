@@ -314,13 +314,15 @@ impl ChaseEngine {
 
     /// Chases the database and evaluates the query over the result, returning
     /// the certain answers (Proposition 2.1). Answers containing nulls are
-    /// discarded by CQ evaluation.
+    /// discarded by CQ evaluation, which runs through the sharded CQ kernel
+    /// on [`ChaseConfig::threads`] workers (answer sets are thread-count
+    /// independent).
     pub fn certain_answers(
         &self,
         database: &Database,
         query: &ConjunctiveQuery,
     ) -> BTreeSet<Vec<Symbol>> {
-        self.run(database).instance_answers(query)
+        query.evaluate_with_threads(&self.run(database).instance, self.config.threads)
     }
 }
 

@@ -288,9 +288,9 @@ fn variable_components(atoms: &[Atom]) -> Vec<Vec<Atom>> {
         }
     }
     let mut groups: BTreeMap<usize, Vec<Atom>> = BTreeMap::new();
-    for i in 0..n {
+    for (i, atom) in atoms.iter().enumerate() {
         let root = find(&mut parent, i);
-        groups.entry(root).or_default().push(atoms[i].clone());
+        groups.entry(root).or_default().push(atom.clone());
     }
     let components: Vec<Vec<Atom>> = groups.into_values().collect();
     if components.is_empty() {

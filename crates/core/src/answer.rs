@@ -54,6 +54,11 @@ pub struct EngineOptions {
     /// Accept non-warded programs and answer them best-effort with a bounded
     /// chase (unsound in general — Theorem 5.1 — but useful for experiments).
     pub allow_unwarded: bool,
+    /// Worker threads for answer enumeration (the rewriting's semi-naive
+    /// evaluation, the chase fallback's trigger detection, and the final CQ
+    /// answering all run through the sharded kernels; 1 = sequential, 0 =
+    /// all available parallelism). Answers are thread-count independent.
+    pub threads: usize,
 }
 
 impl Default for EngineOptions {
@@ -64,6 +69,7 @@ impl Default for EngineOptions {
             rewrite: RewriteOptions::default(),
             chase_policy: TerminationPolicy::MaxNullDepth(6),
             allow_unwarded: false,
+            threads: 1,
         }
     }
 }
@@ -205,7 +211,8 @@ impl CertainAnswerEngine {
             if let Ok(Some(rewritten)) =
                 rewrite_to_pwl_datalog(&self.normalized, query, self.options.rewrite)
             {
-                let engine = DatalogEngine::new(rewritten.program)?;
+                let engine =
+                    DatalogEngine::new(rewritten.program)?.with_threads(self.options.threads);
                 return Ok(engine.answers(database, &rewritten.query));
             }
         }
@@ -215,6 +222,7 @@ impl CertainAnswerEngine {
             self.normalized.clone(),
             ChaseConfig {
                 record_provenance: false,
+                threads: self.options.threads,
                 ..ChaseConfig::restricted(self.options.chase_policy)
             },
         );

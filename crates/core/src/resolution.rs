@@ -240,10 +240,10 @@ fn chunk_conditions_hold(
         // Condition (2): every state variable with the same image must occur
         // in the chunk and be non-shared.
         for y in state.variables() {
-            if gamma.apply_term(&Term::Var(y)) == image {
-                if !chunk_vars.contains(&y) || outside_vars.contains(&y) {
-                    return false;
-                }
+            if gamma.apply_term(&Term::Var(y)) == image
+                && (!chunk_vars.contains(&y) || outside_vars.contains(&y))
+            {
+                return false;
             }
         }
     }

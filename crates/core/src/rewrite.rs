@@ -138,11 +138,10 @@ pub fn rewrite_to_pwl_datalog(
                 .collect::<BTreeSet<_>>()
                 .into_iter()
                 .collect();
-            let mut next_frozen = max_frozen_index(state.atoms()).map_or(0, |i| i + 1);
+            let first_frozen = max_frozen_index(state.atoms()).map_or(0, |i| i + 1);
             let mut freeze_shared = Substitution::new();
-            for v in &shared {
-                freeze_shared.bind_var(*v, frozen_const(next_frozen));
-                next_frozen += 1;
+            for (offset, v) in shared.iter().enumerate() {
+                freeze_shared.bind_var(*v, frozen_const(first_frozen + offset));
             }
             let (child, child_map) =
                 canonical_rewrite_state(freeze_shared.apply_atoms(&idb_atoms));

@@ -73,14 +73,14 @@ impl PositionSupport {
         for rel in database.as_instance().relations() {
             for row in rel.rows() {
                 for (i, term) in row.iter().enumerate() {
-                    if let Term::Const(c) = term {
+                    if let Some(c) = term.as_const() {
                         match map
                             .entry((rel.predicate(), i))
                             .or_insert_with(|| Support::Constants(BTreeSet::new()))
                         {
                             Support::Top => {}
                             Support::Constants(s) => {
-                                s.insert(*c);
+                                s.insert(c);
                             }
                         }
                     }

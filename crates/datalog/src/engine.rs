@@ -1,33 +1,51 @@
-//! Semi-naive bottom-up evaluation, driven by the streaming join kernel.
+//! Semi-naive bottom-up evaluation, driven by the packed build/probe join
+//! kernel.
 //!
 //! Each rule body is compiled once per stratum into a
-//! [`vadalog_model::JoinSpec`]; the per-delta-fact work is a
-//! [`Matcher::prematch`] against the delta row plus a streamed,
-//! allocation-free join against the full instance — the rule body is never
-//! cloned and no intermediate `Vec<Substitution>` is materialised.
+//! [`vadalog_model::JoinSpec`] and, per round, into a static build/probe
+//! [`vadalog_model::JoinPlan`] (shared by every worker of the round); heads
+//! compile into packed [`vadalog_model::RowTemplate`]s. The per-delta-fact
+//! work is a [`Matcher::prematch`] against the packed delta row plus a
+//! planned, allocation-free join against the full instance — the rule body
+//! is never cloned, no per-node join-order estimation runs, and no
+//! intermediate `Vec<Substitution>` is materialised.
 //!
 //! # Round structure and parallelism
 //!
 //! Every round (the naive first round and each semi-naive round) evaluates
-//! against a **frozen** instance: derivations are parked in columnar
+//! against a **frozen** instance: derivations are parked in columnar packed
 //! [`vadalog_model::DerivationBatch`]es and merged with one batched dedup
 //! insert per relation at the end of the round
-//! ([`vadalog_model::parallel::merge_derivations`]). Freezing the round makes
-//! the work embarrassingly parallel — the round's delta row ranges are
-//! hash-partitioned into a fixed number of shards and the resulting
-//! (rule, body position, shard) tasks run on [`DatalogEngine::with_threads`]
-//! scoped workers, each driving its own [`Matcher`] read-only over the shared
-//! instance. Because the task decomposition and merge order depend only on
-//! the data, results (row-id order included) are bit-identical for every
-//! thread count; `threads = 1` runs the same tasks inline.
+//! ([`vadalog_model::parallel::merge_derivations_with`], with scratch
+//! buffers reused across rounds). Freezing the round makes the work
+//! embarrassingly parallel:
+//!
+//! * the **naive first round** is sharded by the rows of each rule's
+//!   *driver atom* (body atom 0): the driver relation's rows are
+//!   hash-partitioned into a fixed number of shards and each (rule, shard)
+//!   task prematches the driver rows and joins the remaining body atoms —
+//!   the same decomposition [`vadalog_model::parallel::sharded_match_count`]
+//!   uses for CQs;
+//! * **semi-naive rounds** shard each predicate's delta row range the same
+//!   way, producing (rule, body position, shard) tasks.
+//!
+//! Tasks run on [`DatalogEngine::with_threads`] scoped workers, each driving
+//! its own [`Matcher`] read-only over the shared instance. Before parking
+//! its batch, every task **pre-dedups** against the frozen instance
+//! ([`vadalog_model::DerivationBatch::prededup_against`]) so the sequential
+//! merge only sees rows that are new this round (the dropped count is
+//! reported as [`DatalogStats::rows_prededuped`]). Because the task
+//! decomposition, the shared plans and the merge order depend only on the
+//! data, results (row-id order included) are bit-identical for every thread
+//! count; `threads = 1` runs the same tasks inline.
 
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 use vadalog_analysis::stratify::{stratify, Stratification};
 use vadalog_model::parallel::{self, DerivationBatch};
 use vadalog_model::{
-    Atom, ConjunctiveQuery, Database, Instance, JoinSpec, Matcher, ModelError, Predicate, Program,
-    RowId, Symbol,
+    Atom, ConjunctiveQuery, Database, Instance, JoinPlan, JoinSpec, Matcher, MergeScratch,
+    ModelError, Predicate, Program, RowId, RowTemplate, Symbol,
 };
 
 /// Counters describing an evaluation run.
@@ -51,6 +69,12 @@ pub struct DatalogStats {
     /// `joins_evaluated` this unit is independent of what drives the join,
     /// so naive and semi-naive work is directly comparable.
     pub join_probes: u64,
+    /// Rows dropped by the workers' pre-dedup against the round's frozen
+    /// instance — work the sequential merge phase no longer performs. The
+    /// counter makes the serial-section shrinkage observable; it never
+    /// affects results (pre-dedup'd rows are exactly the duplicates the
+    /// merge would have skipped).
+    pub rows_prededuped: u64,
 }
 
 /// The result of evaluating a Datalog program over a database.
@@ -81,6 +105,7 @@ struct TaskOutput {
     batch: DerivationBatch,
     joins_evaluated: usize,
     join_probes: u64,
+    rows_prededuped: u64,
 }
 
 impl TaskOutput {
@@ -89,20 +114,35 @@ impl TaskOutput {
             batch: DerivationBatch::new(head.predicate, head.arity()),
             joins_evaluated: 0,
             join_probes: 0,
+            rows_prededuped: 0,
         }
+    }
+
+    /// Worker-side pre-dedup against the round's frozen instance: the merge
+    /// phase then inserts only rows that are new this round.
+    fn prededup(mut self, frozen: &Instance) -> TaskOutput {
+        self.rows_prededuped = self.batch.prededup_against(frozen);
+        self
     }
 }
 
 /// Merges a round's task outputs into the instance (one batched dedup insert
-/// per relation, in task order) and folds the task counters into the stats.
-fn flush_round(outputs: Vec<TaskOutput>, instance: &mut Instance, stats: &mut DatalogStats) {
+/// per relation, in task order, through the round-reused scratch) and folds
+/// the task counters into the stats.
+fn flush_round(
+    outputs: Vec<TaskOutput>,
+    scratch: &mut MergeScratch,
+    instance: &mut Instance,
+    stats: &mut DatalogStats,
+) {
     let mut batches = Vec::with_capacity(outputs.len());
     for out in outputs {
         stats.joins_evaluated += out.joins_evaluated;
         stats.join_probes += out.join_probes;
+        stats.rows_prededuped += out.rows_prededuped;
         batches.push(out.batch);
     }
-    stats.derived_atoms += parallel::merge_derivations(instance, batches)
+    stats.derived_atoms += parallel::merge_derivations_with(scratch, instance, batches)
         .expect("derived facts are ground and within capacity");
 }
 
@@ -158,6 +198,7 @@ impl DatalogEngine {
     pub fn evaluate(&self, database: &Database) -> DatalogResult {
         let mut instance = database.as_instance().clone();
         let mut stats = DatalogStats::default();
+        let mut scratch = MergeScratch::new();
 
         for stratum in &self.stratification.strata {
             let rules: Vec<&_> = stratum
@@ -165,11 +206,16 @@ impl DatalogEngine {
                 .iter()
                 .map(|&i| &self.program.tgds()[i])
                 .collect();
-            // Compile every rule body once per stratum; workers build their
-            // own (cheap) `Matcher` per task, so nothing below clones a rule
-            // body or allocates per candidate.
+            // Compile every rule body once per stratum (head row templates
+            // too); workers build their own (cheap) `Matcher` per task, so
+            // nothing below clones a rule body or allocates per candidate.
             let specs: Vec<JoinSpec> =
                 rules.iter().map(|rule| JoinSpec::compile(&rule.body)).collect();
+            let templates: Vec<RowTemplate> = rules
+                .iter()
+                .zip(specs.iter())
+                .map(|(rule, spec)| spec.row_template(&rule.head[0]))
+                .collect();
 
             // The delta of a round is not a separate instance: rows are
             // append-only with stable ids, so "the facts derived in round
@@ -191,25 +237,73 @@ impl DatalogEngine {
             };
             let mut lo = watermark(&instance);
 
-            // Naive first round: evaluate every rule on the frozen instance
-            // (one task per rule).
-            let naive = parallel::run_tasks(self.threads, rules.len(), |rule_index| {
-                let rule = rules[rule_index];
-                let head = &rule.head[0];
-                let mut out = TaskOutput::new(head);
-                out.joins_evaluated = 1;
-                let mut matcher = Matcher::new(&specs[rule_index]);
-                let run = matcher.for_each(&instance, |bindings| {
-                    out.batch
-                        .rows
-                        .extend(head.terms.iter().map(|t| bindings.resolve(t)));
-                    ControlFlow::Continue(())
-                });
-                out.batch.matches = run.matches;
-                out.join_probes = run.probes;
-                out
+            // Naive first round, sharded by **driver-atom row ranges**: each
+            // rule's body atom 0 is the driver; its relation's rows are
+            // hash-partitioned into the fixed shard count and each
+            // (rule, shard) task prematches the driver rows and joins the
+            // remaining atoms with the rule's shared build/probe plan. A
+            // rule whose driver relation is absent (or has the wrong arity)
+            // can have no matches and contributes no tasks. The round still
+            // counts one `joins_evaluated` per rule — the whole instance
+            // drives each rule exactly once, however many shards execute it.
+            stats.joins_evaluated += rules.len();
+            let naive_shards: Vec<Option<Vec<Vec<RowId>>>> = rules
+                .iter()
+                .map(|rule| {
+                    let driver = &rule.body[0];
+                    instance
+                        .relation(driver.predicate)
+                        .filter(|rel| rel.arity() == driver.arity())
+                        .map(|rel| parallel::shard_delta_rows(rel, 0, rel.row_count()))
+                })
+                .collect();
+            let naive_plans: Vec<JoinPlan> = specs
+                .iter()
+                .map(|spec| spec.plan(&instance, &[0]))
+                .collect();
+            struct NaiveTask {
+                rule_index: usize,
+                shard: usize,
+            }
+            let mut naive_tasks: Vec<NaiveTask> = Vec::new();
+            for (rule_index, shards) in naive_shards.iter().enumerate() {
+                if let Some(shards) = shards {
+                    for (shard, rows) in shards.iter().enumerate() {
+                        if !rows.is_empty() {
+                            naive_tasks.push(NaiveTask { rule_index, shard });
+                        }
+                    }
+                }
+            }
+            let naive = parallel::run_tasks(self.threads, naive_tasks.len(), |task_index| {
+                let task = &naive_tasks[task_index];
+                let rule = rules[task.rule_index];
+                let driver = &rule.body[0];
+                let rel = instance
+                    .relation(driver.predicate)
+                    .expect("sharded driver relation exists");
+                let rows = &naive_shards[task.rule_index]
+                    .as_ref()
+                    .expect("task shards exist")[task.shard];
+                let mut out = TaskOutput::new(&rule.head[0]);
+                let mut matcher = Matcher::new(&specs[task.rule_index]);
+                matcher.set_plan(Some(&naive_plans[task.rule_index]));
+                for &row_id in rows {
+                    out.join_probes += 1;
+                    matcher.clear();
+                    if !matcher.prematch(0, rel.row(row_id)) {
+                        continue;
+                    }
+                    let run = matcher.for_each(&instance, |bindings| {
+                        bindings.emit(&templates[task.rule_index], &mut out.batch.rows);
+                        ControlFlow::Continue(())
+                    });
+                    out.batch.matches += run.matches;
+                    out.join_probes += run.probes;
+                }
+                out.prededup(&instance)
             });
-            flush_round(naive, &mut instance, &mut stats);
+            flush_round(naive, &mut scratch, &mut instance, &mut stats);
             stats.iterations += 1;
 
             if !stratum.recursive {
@@ -243,7 +337,12 @@ impl DatalogEngine {
                     pos: usize,
                     pred_index: usize,
                     shard: usize,
+                    /// Index into the round's plan list (one shared plan per
+                    /// differentiated (rule, position), reused by all of its
+                    /// shards and workers).
+                    plan_index: usize,
                 }
+                let mut plans: Vec<JoinPlan> = Vec::new();
                 let mut tasks: Vec<DeltaTask> = Vec::new();
                 for (rule_index, rule) in rules.iter().enumerate() {
                     for (pos, body_atom) in rule.body.iter().enumerate() {
@@ -261,13 +360,19 @@ impl DatalogEngine {
                         if arity != body_atom.arity() {
                             continue;
                         }
+                        let mut plan_index = None;
                         for (shard, rows) in shards.iter().enumerate() {
                             if !rows.is_empty() {
+                                let plan_index = *plan_index.get_or_insert_with(|| {
+                                    plans.push(specs[rule_index].plan(&instance, &[pos]));
+                                    plans.len() - 1
+                                });
                                 tasks.push(DeltaTask {
                                     rule_index,
                                     pos,
                                     pred_index,
                                     shard,
+                                    plan_index,
                                 });
                             }
                         }
@@ -276,18 +381,18 @@ impl DatalogEngine {
                 let outputs = parallel::run_tasks(self.threads, tasks.len(), |task_index| {
                     let task = &tasks[task_index];
                     let rule = rules[task.rule_index];
-                    let head = &rule.head[0];
                     let rel = instance
                         .relation(preds[task.pred_index])
                         .expect("watermarked relation exists");
                     let rows = &delta_shards[task.pred_index]
                         .as_ref()
                         .expect("task shards exist")[task.shard];
-                    let mut out = TaskOutput::new(head);
+                    let mut out = TaskOutput::new(&rule.head[0]);
                     let mut matcher = Matcher::new(&specs[task.rule_index]);
+                    matcher.set_plan(Some(&plans[task.plan_index]));
                     // Seed the differentiated atom from each delta row of the
                     // shard and join the remaining atoms against the full
-                    // (frozen) instance.
+                    // (frozen) instance along the shared build/probe plan.
                     for &row_id in rows {
                         matcher.clear();
                         if !matcher.prematch(task.pos, rel.row(row_id)) {
@@ -295,17 +400,15 @@ impl DatalogEngine {
                         }
                         out.joins_evaluated += 1;
                         let run = matcher.for_each(&instance, |bindings| {
-                            out.batch
-                                .rows
-                                .extend(head.terms.iter().map(|t| bindings.resolve(t)));
+                            bindings.emit(&templates[task.rule_index], &mut out.batch.rows);
                             ControlFlow::Continue(())
                         });
                         out.batch.matches += run.matches;
                         out.join_probes += run.probes;
                     }
-                    out
+                    out.prededup(&instance)
                 });
-                flush_round(outputs, &mut instance, &mut stats);
+                flush_round(outputs, &mut scratch, &mut instance, &mut stats);
                 lo = hi;
                 hi = watermark(&instance);
             }
@@ -315,13 +418,15 @@ impl DatalogEngine {
         DatalogResult { instance, stats }
     }
 
-    /// Evaluates the program and answers the query in one call.
+    /// Evaluates the program and answers the query in one call. The query
+    /// itself is answered through the sharded CQ kernel on the engine's
+    /// configured thread count (answer sets are thread-count independent).
     pub fn answers(
         &self,
         database: &Database,
         query: &ConjunctiveQuery,
     ) -> BTreeSet<Vec<Symbol>> {
-        self.evaluate(database).answers(query)
+        query.evaluate_with_threads(&self.evaluate(database).instance, self.threads)
     }
 }
 
@@ -487,12 +592,30 @@ mod tests {
             assert_eq!(sharded.stats.joins_evaluated, sequential.stats.joins_evaluated);
             assert_eq!(sharded.stats.join_probes, sequential.stats.join_probes);
             assert_eq!(sharded.stats.iterations, sequential.stats.iterations);
+            assert_eq!(sharded.stats.rows_prededuped, sequential.stats.rows_prededuped);
             assert_eq!(
                 sharded.instance.row_layout(),
                 sequential.instance.row_layout(),
                 "row-id assignment must not depend on the thread count"
             );
         }
+    }
+
+    #[test]
+    fn workers_prededup_rederivations_before_the_merge() {
+        // On a cycle the recursive rule re-derives closure facts that are
+        // already materialised: those rows must be dropped by the workers
+        // (observable in the counter) without changing any result.
+        let e = engine("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).");
+        let result = e.evaluate(&db("edge(a, b). edge(b, a)."));
+        assert_eq!(result.stats.derived_atoms, 4);
+        assert!(
+            result.stats.rows_prededuped > 0,
+            "a cyclic closure re-derives known facts; workers must pre-dedup them"
+        );
+        // An acyclic single-pass program re-derives nothing.
+        let straight = engine("t(X, Y) :- edge(X, Y).").evaluate(&db("edge(a, b)."));
+        assert_eq!(straight.stats.rows_prededuped, 0);
     }
 
     #[test]

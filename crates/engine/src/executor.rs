@@ -104,13 +104,15 @@ impl Reasoner {
         ReasonerResult { instance, stats }
     }
 
-    /// Materialises and evaluates a query in one call.
+    /// Materialises and evaluates a query in one call; the query runs
+    /// through the sharded CQ kernel on [`EngineConfig::threads`] workers
+    /// (answer sets are thread-count independent).
     pub fn answers(
         &self,
         database: &Database,
         query: &ConjunctiveQuery,
     ) -> BTreeSet<Vec<Symbol>> {
-        self.run(database).answers(query)
+        query.evaluate_with_threads(&self.run(database).instance, self.config.threads)
     }
 
     fn fixpoint(

@@ -4,14 +4,24 @@
 //!
 //! An [`Instance`] is a finite set of atoms over constants and labelled
 //! nulls. Internally it is a map from predicate to [`Relation`], and each
-//! relation is a single flat, dense table:
+//! relation is a single flat, dense table of **packed 4-byte terms**
+//! ([`PackedTerm`]: 2 tag bits + a 30-bit symbol/null dictionary index):
 //!
 //! ```text
 //! Relation "edge" (arity 2)
-//!   terms: [ a, b,   a, c,   b, c ]      row-major, row i = terms[i*arity .. (i+1)*arity]
-//!   row 0 ──┘        │        └── row 2
+//!   terms: [ a, b,   a, c,   b, c ]      row-major Vec<PackedTerm>,
+//!   row 0 ──┘        │        └── row 2  row i = terms[i*arity .. (i+1)*arity]
 //!                  row 1
 //! ```
+//!
+//! * **Packed storage.** Every stored term is a `u32`, a quarter the width
+//!   of the `Term` enum, so a relation's cache footprint shrinks 4× and row
+//!   hashing, dedup probes, column-index lookups and the join kernel's slot
+//!   comparisons are integer operations on dense u32 data. The public
+//!   [`crate::term::Term`] API survives at the edges: insert paths pack
+//!   (rejecting terms past the 30-bit dictionary with
+//!   [`ModelError::PackOverflow`]), and the `Atom`-returning convenience
+//!   methods unpack lazily — both O(1) per term, no interner access.
 //!
 //! * **Row ids.** Rows are append-only and never removed, so the index of a
 //!   row within its relation (a `u32` [`RowId`]) is a stable, compact
@@ -52,7 +62,7 @@ use crate::atom::{Atom, Predicate};
 use crate::error::ModelError;
 use crate::fasthash::{FxHashMap, FxHasher};
 use crate::symbols::Symbol;
-use crate::term::{NullId, Term};
+use crate::term::{NullId, PackedTerm, Term};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -78,12 +88,44 @@ fn checked_row_id(len: usize, predicate: Predicate) -> Result<RowId, ModelError>
     Ok(len as RowId)
 }
 
-/// Hashes one row of terms for the dedup table (also the shard key of the
-/// parallel evaluator's delta partitioning).
-pub(crate) fn row_hash(terms: &[Term]) -> u64 {
+/// Hashes one packed row for the dedup table (also the shard key of the
+/// parallel evaluator's delta partitioning). Packed rows are dense u32
+/// slices, so this is a handful of integer mixes per row.
+pub(crate) fn row_hash(row: &[PackedTerm]) -> u64 {
     let mut hasher = FxHasher::default();
-    terms.hash(&mut hasher);
+    row.hash(&mut hasher);
     hasher.finish()
+}
+
+/// Packs a ground-term slice into `out`, reporting the typed error for
+/// variables and dictionary overflow. `out` is cleared first.
+fn pack_row_into(
+    predicate: Predicate,
+    terms: &[Term],
+    out: &mut Vec<PackedTerm>,
+) -> Result<(), ModelError> {
+    out.clear();
+    out.reserve(terms.len());
+    for t in terms {
+        match PackedTerm::pack(*t) {
+            Some(p) => out.push(p),
+            None if t.is_var() => {
+                return Err(ModelError::NonGroundFact(
+                    Atom {
+                        predicate,
+                        terms: terms.to_vec(),
+                    }
+                    .to_string(),
+                ))
+            }
+            None => {
+                return Err(ModelError::PackOverflow {
+                    term: t.to_string(),
+                })
+            }
+        }
+    }
+    Ok(())
 }
 
 /// A dedup bucket: almost every row hash maps to a single row, so the first
@@ -111,20 +153,22 @@ impl Bucket {
     }
 }
 
-/// A lazily-built hash index over one column of a relation.
+/// A lazily-built hash index over one column of a relation, keyed on the
+/// packed u32 term.
 #[derive(Clone, Default, Debug)]
 struct ColumnIndex {
-    map: FxHashMap<Term, Vec<RowId>>,
+    map: FxHashMap<PackedTerm, Vec<RowId>>,
     rows_indexed: u32,
 }
 
-/// One relation of an instance: a flat, dense, append-only table of rows.
+/// One relation of an instance: a flat, dense, append-only table of packed
+/// rows.
 #[derive(Debug)]
 pub struct Relation {
     predicate: Predicate,
     arity: usize,
-    /// Row-major storage: row `i` is `terms[i*arity .. (i+1)*arity]`.
-    terms: Vec<Term>,
+    /// Row-major packed storage: row `i` is `terms[i*arity .. (i+1)*arity]`.
+    terms: Vec<PackedTerm>,
     /// Row-level dedup: row hash → candidate row ids.
     dedup: FxHashMap<u64, Bucket>,
     /// Per-column lazy indexes (an `RwLock` each, so probes can build them
@@ -172,12 +216,11 @@ impl Relation {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        if self.arity == 0 {
-            // A 0-ary relation holds at most one (empty) row; track via dedup.
-            self.dedup.len()
-        } else {
-            self.terms.len() / self.arity
-        }
+        // A 0-ary relation holds at most one (empty) row; track via dedup.
+        self.terms
+            .len()
+            .checked_div(self.arity)
+            .unwrap_or(self.dedup.len())
     }
 
     /// `true` iff the relation holds no rows.
@@ -201,32 +244,41 @@ impl Relation {
         (row_hash(self.row(id)) % shards.max(1) as u64) as usize
     }
 
-    /// The terms of row `id`.
-    pub fn row(&self, id: RowId) -> &[Term] {
+    /// The packed terms of row `id`.
+    pub fn row(&self, id: RowId) -> &[PackedTerm] {
         let start = id as usize * self.arity;
         &self.terms[start..start + self.arity]
     }
 
-    /// Iterates over all rows as term slices.
-    pub fn rows(&self) -> impl Iterator<Item = &[Term]> {
+    /// The terms of row `id`, unpacked into a fresh vector. Convenience for
+    /// non-hot paths; the kernel works on [`Relation::row`] directly.
+    pub fn row_terms(&self, id: RowId) -> Vec<Term> {
+        self.row(id).iter().map(|p| p.unpack()).collect()
+    }
+
+    /// Iterates over all rows as packed slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[PackedTerm]> {
         // `chunks_exact(0)` panics, so special-case arity 0 (rows are empty).
         let arity = self.arity.max(1);
         self.terms
             .chunks_exact(arity)
             .take(self.len())
-            .chain(std::iter::repeat(&[][..]).take(if self.arity == 0 { self.len() } else { 0 }))
+            .chain(std::iter::repeat_n(
+                &[][..],
+                if self.arity == 0 { self.len() } else { 0 },
+            ))
     }
 
     /// Materialises row `id` as an [`Atom`].
     pub fn atom(&self, id: RowId) -> Atom {
         Atom {
             predicate: self.predicate,
-            terms: self.row(id).to_vec(),
+            terms: self.row_terms(id),
         }
     }
 
-    /// Finds the row id of an exact row, if present.
-    pub fn find_row(&self, row: &[Term]) -> Option<RowId> {
+    /// Finds the row id of an exact packed row, if present.
+    pub fn find_packed_row(&self, row: &[PackedTerm]) -> Option<RowId> {
         if row.len() != self.arity {
             return None;
         }
@@ -238,15 +290,36 @@ impl Relation {
             .find(|&id| self.row(id) == row)
     }
 
+    /// Finds the row id of an exact row of terms, if present. Terms that
+    /// cannot be packed (variables, dictionary overflow) occur in no
+    /// relation, so the answer for them is `None`.
+    pub fn find_row(&self, row: &[Term]) -> Option<RowId> {
+        if row.len() != self.arity {
+            return None;
+        }
+        let mut packed = Vec::with_capacity(row.len());
+        for t in row {
+            packed.push(PackedTerm::pack(*t)?);
+        }
+        self.find_packed_row(&packed)
+    }
+
     /// `true` iff the exact row is present.
     pub fn contains_row(&self, row: &[Term]) -> bool {
         self.find_row(row).is_some()
     }
 
+    /// `true` iff the exact packed row is present. Lock-free probe of the
+    /// dedup table — this is what the parallel evaluator's workers use to
+    /// pre-dedup their derivation batches against the frozen instance.
+    pub fn contains_packed_row(&self, row: &[PackedTerm]) -> bool {
+        self.find_packed_row(row).is_some()
+    }
+
     /// Appends a row if it is not already present; returns the row id and
     /// whether it was newly inserted. Fails with
     /// [`ModelError::CapacityExceeded`] once the u32 row-id space is full.
-    fn insert_row(&mut self, row: &[Term]) -> Result<(RowId, bool), ModelError> {
+    fn insert_row(&mut self, row: &[PackedTerm]) -> Result<(RowId, bool), ModelError> {
         debug_assert_eq!(row.len(), self.arity);
         let hash = row_hash(row);
         if let Some(candidates) = self.dedup.get(&hash) {
@@ -295,8 +368,8 @@ impl Relation {
             match self.columns[col].try_write() {
                 Ok(mut index) => {
                     for id in index.rows_indexed..rows {
-                        let term = self.terms[id as usize * self.arity + col];
-                        index.map.entry(term).or_default().push(id);
+                        let key = self.terms[id as usize * self.arity + col];
+                        index.map.entry(key).or_default().push(id);
                     }
                     index.rows_indexed = rows;
                     return;
@@ -309,37 +382,69 @@ impl Relation {
         }
     }
 
-    /// Calls `f` with the row ids whose `col`-th term equals `term`, as a
-    /// borrowed slice (no allocation; the column index is built or extended
-    /// on first use). The column's read lock is held for the duration of
-    /// `f`, which may recursively probe this or other columns (see
-    /// [`Relation::ensure_indexed`] for why that cannot deadlock).
-    pub fn with_matching_rows<R>(&self, col: usize, term: Term, f: impl FnOnce(&[RowId]) -> R) -> R {
+    /// Calls `f` with the row ids whose `col`-th packed term equals `key`,
+    /// as a borrowed slice (no allocation; the column index is built or
+    /// extended on first use). The column's read lock is held for the
+    /// duration of `f`, which may recursively probe this or other columns
+    /// (see [`Relation::ensure_indexed`] for why that cannot deadlock).
+    pub fn with_matching_rows<R>(
+        &self,
+        col: usize,
+        key: PackedTerm,
+        f: impl FnOnce(&[RowId]) -> R,
+    ) -> R {
         assert!(col < self.arity, "column out of bounds");
         let rows = self.row_count();
         {
             // Fast path: one uncontended read lock when the index is fresh.
             let index = self.columns[col].read().expect("column index lock poisoned");
             if index.rows_indexed == rows {
-                return f(index.map.get(&term).map(Vec::as_slice).unwrap_or(&[]));
+                return f(index.map.get(&key).map(Vec::as_slice).unwrap_or(&[]));
             }
         }
         self.ensure_indexed(col);
         let index = self.columns[col].read().expect("column index lock poisoned");
-        f(index.map.get(&term).map(Vec::as_slice).unwrap_or(&[]))
+        f(index.map.get(&key).map(Vec::as_slice).unwrap_or(&[]))
     }
 
     /// Row ids whose `col`-th term equals `term`, copied into a fresh vector.
     /// Convenience for non-hot paths; the join kernel uses
     /// [`Relation::with_matching_rows`], which borrows instead of copying.
     pub fn matching_rows(&self, col: usize, term: Term) -> Vec<RowId> {
-        self.with_matching_rows(col, term, |ids| ids.to_vec())
+        match PackedTerm::pack(term) {
+            Some(key) => self.with_matching_rows(col, key, |ids| ids.to_vec()),
+            None => Vec::new(),
+        }
     }
 
-    /// Number of rows whose `col`-th term equals `term` (used by the join
-    /// kernel's selectivity heuristic; builds the column index on demand).
+    /// Number of rows whose `col`-th term equals `term` (selectivity probes
+    /// outside the kernel; builds the column index on demand). Unpackable
+    /// terms match no stored row.
     pub fn matching_count(&self, col: usize, term: Term) -> usize {
-        self.with_matching_rows(col, term, |ids| ids.len())
+        match PackedTerm::pack(term) {
+            Some(key) => self.matching_count_packed(col, key),
+            None => 0,
+        }
+    }
+
+    /// Number of rows whose `col`-th packed term equals `key` (the join
+    /// kernel's selectivity probe).
+    pub fn matching_count_packed(&self, col: usize, key: PackedTerm) -> usize {
+        self.with_matching_rows(col, key, |ids| ids.len())
+    }
+
+    /// Number of distinct packed keys in `col` (builds the column index on
+    /// demand). `len / distinct_count` is the average probe fan-out the
+    /// join planner uses to estimate build/probe selectivity before any
+    /// binding is known.
+    pub fn distinct_count(&self, col: usize) -> usize {
+        assert!(col < self.arity, "column out of bounds");
+        self.ensure_indexed(col);
+        self.columns[col]
+            .read()
+            .expect("column index lock poisoned")
+            .map
+            .len()
     }
 }
 
@@ -349,6 +454,10 @@ impl Relation {
 pub struct Instance {
     relations: FxHashMap<Predicate, Relation>,
     len: usize,
+    /// Reusable pack buffer for the term-level insert path, so repeated
+    /// `insert` / `insert_terms` calls (the chase and executor apply phases)
+    /// do not allocate per fact.
+    pack_scratch: Vec<PackedTerm>,
 }
 
 impl Instance {
@@ -382,56 +491,55 @@ impl Instance {
     /// Inserts a fact given as a predicate and a term slice, without
     /// requiring a materialised [`Atom`]. Returns `true` if newly inserted.
     pub fn insert_terms(&mut self, predicate: Predicate, terms: &[Term]) -> Result<bool, ModelError> {
-        if terms.iter().any(Term::is_var) {
-            return Err(ModelError::NonGroundFact(
-                Atom {
-                    predicate,
-                    terms: terms.to_vec(),
-                }
-                .to_string(),
-            ));
-        }
+        let mut scratch = std::mem::take(&mut self.pack_scratch);
+        let result = pack_row_into(predicate, terms, &mut scratch)
+            .and_then(|()| self.insert_packed(predicate, &scratch));
+        self.pack_scratch = scratch;
+        result
+    }
+
+    /// Inserts one already-packed row. Returns `true` if newly inserted.
+    pub fn insert_packed(
+        &mut self,
+        predicate: Predicate,
+        row: &[PackedTerm],
+    ) -> Result<bool, ModelError> {
         let rel = self
             .relations
             .entry(predicate)
-            .or_insert_with(|| Relation::new(predicate, terms.len()));
-        if rel.arity != terms.len() {
+            .or_insert_with(|| Relation::new(predicate, row.len()));
+        if rel.arity != row.len() {
             return Err(ModelError::ArityMismatch {
                 predicate: predicate.name().to_string(),
                 expected: rel.arity,
-                found: terms.len(),
+                found: row.len(),
             });
         }
-        let (_, inserted) = rel.insert_row(terms)?;
+        let (_, inserted) = rel.insert_row(row)?;
         if inserted {
             self.len += 1;
         }
         Ok(inserted)
     }
 
-    /// Batched insert: adds `rows` (a row-major slice holding a multiple of
-    /// `arity` terms) to `predicate`'s relation through the row-level dedup,
-    /// returning the number of rows that were newly inserted.
+    /// Batched insert: adds `rows` (a row-major packed slice holding a
+    /// multiple of `arity` terms) to `predicate`'s relation through the
+    /// row-level dedup, returning the number of rows that were newly
+    /// inserted.
     ///
-    /// The relation lookup, arity check and groundness validation are done
-    /// once for the whole batch, and insertion order follows slice order, so
-    /// the parallel evaluator's merge step assigns the same row ids a
-    /// sequential run would. `arity` must be positive; 0-ary facts go
-    /// through [`Instance::insert_terms`].
+    /// The relation lookup and arity check are done once for the whole batch
+    /// (packed rows are ground by construction), and insertion order follows
+    /// slice order, so the parallel evaluator's merge step assigns the same
+    /// row ids a sequential run would. `arity` must be positive; 0-ary facts
+    /// go through [`Instance::insert_terms`].
     pub fn insert_batch(
         &mut self,
         predicate: Predicate,
         arity: usize,
-        rows: &[Term],
+        rows: &[PackedTerm],
     ) -> Result<usize, ModelError> {
         assert!(arity > 0, "insert_batch requires positive arity");
         assert_eq!(rows.len() % arity, 0, "rows must hold whole rows");
-        if let Some(bad) = rows.iter().find(|t| t.is_var()) {
-            return Err(ModelError::NonGroundFact(format!(
-                "{}(... {bad} ...)",
-                predicate.name()
-            )));
-        }
         let rel = self
             .relations
             .entry(predicate)
@@ -467,7 +575,7 @@ impl Instance {
         self.relations.get(&p).into_iter().flat_map(|rel| {
             rel.rows().map(move |row| Atom {
                 predicate: rel.predicate,
-                terms: row.to_vec(),
+                terms: row.iter().map(|t| t.unpack()).collect(),
             })
         })
     }
@@ -500,7 +608,7 @@ impl Instance {
         self.relations.values().flat_map(|rel| {
             rel.rows().map(move |row| Atom {
                 predicate: rel.predicate,
-                terms: row.to_vec(),
+                terms: row.iter().map(|t| t.unpack()).collect(),
             })
         })
     }
@@ -524,7 +632,7 @@ impl Instance {
     pub fn active_domain(&self) -> BTreeSet<Term> {
         self.relations
             .values()
-            .flat_map(|rel| rel.terms.iter().copied())
+            .flat_map(|rel| rel.terms.iter().map(|t| t.unpack()))
             .collect()
     }
 
@@ -532,7 +640,7 @@ impl Instance {
     pub fn constants(&self) -> BTreeSet<Symbol> {
         self.relations
             .values()
-            .flat_map(|rel| rel.terms.iter().filter_map(Term::as_const))
+            .flat_map(|rel| rel.terms.iter().filter_map(|t| t.as_const()))
             .collect()
     }
 
@@ -540,7 +648,7 @@ impl Instance {
     pub fn nulls(&self) -> BTreeSet<NullId> {
         self.relations
             .values()
-            .flat_map(|rel| rel.terms.iter().filter_map(Term::as_null))
+            .flat_map(|rel| rel.terms.iter().filter_map(|t| t.as_null()))
             .collect()
     }
 
@@ -790,18 +898,22 @@ mod tests {
         assert!(err.to_string().contains("big"));
     }
 
+    fn pk(t: Term) -> PackedTerm {
+        PackedTerm::pack(t).expect("ground term packs")
+    }
+
     #[test]
     fn insert_batch_dedups_and_counts_new_rows() {
         let mut inst = Instance::new();
         inst.insert(Atom::fact("edge", &["a", "b"])).unwrap();
         let p = Predicate::new("edge");
         let rows = vec![
-            Term::constant("a"),
-            Term::constant("b"), // duplicate of the existing row
-            Term::constant("b"),
-            Term::constant("c"),
-            Term::constant("b"),
-            Term::constant("c"), // duplicate within the batch
+            pk(Term::constant("a")),
+            pk(Term::constant("b")), // duplicate of the existing row
+            pk(Term::constant("b")),
+            pk(Term::constant("c")),
+            pk(Term::constant("b")),
+            pk(Term::constant("c")), // duplicate within the batch
         ];
         assert_eq!(inst.insert_batch(p, 2, &rows).unwrap(), 1);
         assert_eq!(inst.len(), 2);
@@ -810,17 +922,50 @@ mod tests {
     }
 
     #[test]
-    fn insert_batch_rejects_arity_conflicts_and_variables() {
+    fn insert_batch_rejects_arity_conflicts() {
         let mut inst = Instance::new();
         inst.insert(Atom::fact("p", &["a"])).unwrap();
         let bad_arity = inst.insert_batch(
             Predicate::new("p"),
             2,
-            &[Term::constant("a"), Term::constant("b")],
+            &[pk(Term::constant("a")), pk(Term::constant("b"))],
         );
         assert!(matches!(bad_arity, Err(ModelError::ArityMismatch { .. })));
-        let bad_ground = inst.insert_batch(Predicate::new("q"), 1, &[Term::variable("X")]);
-        assert!(matches!(bad_ground, Err(ModelError::NonGroundFact(_))));
+    }
+
+    #[test]
+    fn unpackable_terms_are_reported_not_stored() {
+        let mut inst = Instance::new();
+        // A null id past the 30-bit dictionary cannot be packed.
+        let overflowing = Term::Null(NullId(1 << 40));
+        let err = inst
+            .insert(Atom::new("r", vec![Term::constant("a"), overflowing]))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::PackOverflow { .. }));
+        assert_eq!(inst.len(), 0);
+        // Variables still report the groundness error, not overflow.
+        let bad = inst
+            .insert_terms(Predicate::new("r"), &[Term::variable("X")])
+            .unwrap_err();
+        assert!(matches!(bad, ModelError::NonGroundFact(_)));
+        // Lookups with unpackable terms are simply misses.
+        inst.insert(Atom::fact("r", &["a", "b"])).unwrap();
+        let rel = inst.relation(Predicate::new("r")).unwrap();
+        assert_eq!(rel.find_row(&[Term::constant("a"), overflowing]), None);
+        assert_eq!(rel.matching_count(1, overflowing), 0);
+    }
+
+    #[test]
+    fn distinct_count_reports_column_cardinality() {
+        let db = Database::from_facts([
+            ("edge", vec!["a", "b"]),
+            ("edge", vec!["a", "c"]),
+            ("edge", vec!["b", "c"]),
+        ])
+        .unwrap();
+        let rel = db.as_instance().relation(Predicate::new("edge")).unwrap();
+        assert_eq!(rel.distinct_count(0), 2); // a, b
+        assert_eq!(rel.distinct_count(1), 2); // b, c
     }
 
     #[test]

@@ -26,6 +26,15 @@ pub enum ModelError {
         /// Number of rows already stored.
         rows: usize,
     },
+    /// A ground term could not be dictionary-encoded into the 30-bit packed
+    /// payload (more than 2^30 distinct interned symbols, or a null id past
+    /// 2^30). The packed fact store stores every term as a 4-byte
+    /// [`crate::term::PackedTerm`]; exceeding the dictionary is reported
+    /// instead of silently widening or truncating.
+    PackOverflow {
+        /// Display form of the unpackable term.
+        term: String,
+    },
     /// A TGD failed a structural validity check.
     InvalidTgd(String),
     /// A conjunctive query failed a structural validity check (e.g. an output
@@ -59,6 +68,10 @@ impl fmt::Display for ModelError {
             ModelError::CapacityExceeded { predicate, rows } => write!(
                 f,
                 "relation `{predicate}` is full: {rows} rows is the u32 row-id capacity"
+            ),
+            ModelError::PackOverflow { term } => write!(
+                f,
+                "term `{term}` exceeds the 30-bit packed-term dictionary (2^30 distinct symbols/nulls)"
             ),
             ModelError::InvalidTgd(msg) => write!(f, "invalid TGD: {msg}"),
             ModelError::InvalidQuery(msg) => write!(f, "invalid conjunctive query: {msg}"),

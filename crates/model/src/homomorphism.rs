@@ -18,6 +18,16 @@
 //! loop therefore performs **no heap allocation** and never clones a
 //! substitution; results are streamed to a callback as a [`Bindings`] view.
 //!
+//! The kernel works on **packed terms** ([`crate::term::PackedTerm`]):
+//! slots, rigid arguments and candidate rows are all 4-byte u32 values, so
+//! the innermost compare-and-bind loop touches a quarter of the memory the
+//! enum representation would. Pattern terms are packed once at compile time
+//! (a rigid term past the 30-bit dictionary compiles to the `UNMATCHABLE`
+//! sentinel, which correctly matches nothing), and results unpack lazily in
+//! the [`Bindings`] accessors.
+//!
+//! # Join paths: adaptive streaming vs. planned build/probe
+//!
 //! Atom selection is adaptive by default: at every search node the kernel
 //! picks the *most selective* remaining atom, where an atom's cost is the
 //! smallest candidate-list length over all of its already-resolved argument
@@ -26,6 +36,28 @@
 //! ([`Matcher::set_fixed_order`]) preserves a caller-chosen join order for
 //! join-ordering experiments; it still probes the most selective position of
 //! each atom.
+//!
+//! The adaptive search re-estimates every remaining atom at every node —
+//! several index probes (each a column `RwLock` acquisition) per candidate
+//! row. For the fixpoint engines, which run the *same* pattern with the
+//! *same* shape of bound slots thousands of times per round, that planning
+//! work is identical on every run. [`JoinSpec::plan`] therefore computes a
+//! **static build/probe plan** once per (pattern, prematched-atom set,
+//! frozen instance): a greedy join order in which each step probes the lazy
+//! column index (the "build" side — built once, reused by every probe) at
+//! the position estimated most selective, using per-column distinct counts
+//! for positions that will be bound by the trail and exact index hits for
+//! rigid terms. Execution with [`Matcher::set_plan`] then skips all per-node
+//! estimation: one index probe per step per binding. When the greedy planner
+//! detects a step with no bound position (a cross product — the estimates
+//! cannot distinguish orders), the plan records that streaming is preferable
+//! and the matcher transparently falls back to the adaptive path; this is
+//! the selectivity-based choice between the two kernels.
+//!
+//! Both paths enumerate the same match set over the same frozen instance and
+//! count `probes` in the same unit (candidate rows examined); the planned
+//! path additionally fixes the emission order, which is what makes row-id
+//! assignment reproducible across thread counts in the sharded engines.
 //!
 //! The classic [`homomorphisms`] / [`find_homomorphism`] /
 //! [`exists_homomorphism`] entry points are thin compatibility wrappers that
@@ -40,7 +72,7 @@
 use crate::atom::Atom;
 use crate::database::{Instance, Relation, RowId};
 use crate::substitution::Substitution;
-use crate::term::{Term, Variable};
+use crate::term::{PackedTerm, Term, Variable};
 use std::ops::ControlFlow;
 
 /// Options for the homomorphism search.
@@ -79,11 +111,13 @@ pub struct JoinStats {
     pub matches: u64,
 }
 
-/// One compiled pattern argument: either a term that must match exactly
-/// (constant, null, or seed-substituted term) or a variable slot.
+/// One compiled pattern argument: either a packed term that must match
+/// exactly (constant, null, or seed-substituted term — `UNMATCHABLE` when
+/// the term cannot be packed and therefore occurs in no instance) or a
+/// variable slot.
 #[derive(Clone, Copy, Debug)]
 enum ArgSpec {
-    Rigid(Term),
+    Rigid(PackedTerm),
     Slot(u32),
 }
 
@@ -129,7 +163,9 @@ impl JoinSpec {
                         });
                         ArgSpec::Slot(slot as u32)
                     }
-                    rigid => ArgSpec::Rigid(rigid),
+                    rigid => ArgSpec::Rigid(
+                        PackedTerm::pack(rigid).unwrap_or(PackedTerm::UNMATCHABLE),
+                    ),
                 })
                 .collect();
             compiled.push(CompiledAtom {
@@ -203,6 +239,200 @@ impl JoinSpec {
                 .collect(),
         }
     }
+
+    /// Compiles `atom` into a packed row template over this spec's slots:
+    /// constants and nulls pack once, variables become slot references. With
+    /// a template, [`Bindings::emit`] appends the atom's image to a packed
+    /// row buffer with zero per-term searching — the emission path of the
+    /// batched fixpoint engines.
+    ///
+    /// # Panics
+    ///
+    /// If `atom` mentions a variable that does not occur in the pattern
+    /// (engines only build templates for heads whose variables are covered
+    /// by the body), or a rigid term past the packed dictionary.
+    pub fn row_template(&self, atom: &Atom) -> RowTemplate {
+        RowTemplate {
+            args: atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => ArgSpec::Slot(
+                        self.slot_of(*v)
+                            .expect("row-template variable must occur in the pattern")
+                            as u32,
+                    ),
+                    rigid => ArgSpec::Rigid(
+                        PackedTerm::pack(*rigid)
+                            .expect("row-template term fits the packed dictionary"),
+                    ),
+                })
+                .collect(),
+        }
+    }
+
+    /// Computes a static **build/probe join plan** for this pattern against
+    /// `target`, assuming the atoms in `prematched` are already satisfied
+    /// (with all their variable slots bound — the state a
+    /// [`Matcher::prematch`] of those atoms produces).
+    ///
+    /// The greedy planner repeatedly picks the cheapest remaining atom,
+    /// estimating each candidate atom by the most selective of:
+    ///
+    /// * an exact column-index hit count for rigid arguments,
+    /// * `rows / distinct_keys(column)` (the average probe fan-out of the
+    ///   lazy column index, which doubles as the build side of the hash
+    ///   join) for arguments bound by earlier steps, and
+    /// * the full relation size when nothing is bound (a scan).
+    ///
+    /// Estimates depend only on the frozen instance's statistics, so over a
+    /// fixpoint round the plan — and with it the match emission order — is
+    /// identical for every worker and every thread count.
+    ///
+    /// If some step other than the first has no bound position (a cross
+    /// product), the plan records a preference for the adaptive streaming
+    /// kernel ([`JoinPlan::prefers_streaming`]); [`Matcher::for_each`] then
+    /// ignores the plan, which is the selectivity-based fallback.
+    pub fn plan(&self, target: &Instance, prematched: &[usize]) -> JoinPlan {
+        let mut bound = vec![false; self.vars.len()];
+        let mut used = vec![false; self.atoms.len()];
+        for &i in prematched {
+            used[i] = true;
+            for arg in &self.atoms[i].args {
+                if let ArgSpec::Slot(s) = arg {
+                    bound[*s as usize] = true;
+                }
+            }
+        }
+        let mut steps = Vec::with_capacity(self.atoms.len());
+        let mut prefer_streaming = false;
+        while let Some(_next) = used.iter().position(|u| !u) {
+            let mut best: Option<(usize, usize, PlanProbe)> = None;
+            for (i, atom) in self.atoms.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let Some(rel) = target
+                    .relation(atom.predicate)
+                    .filter(|r| r.arity() == atom.args.len())
+                else {
+                    // Missing relation: the pattern cannot match at all (the
+                    // matcher fail-fasts before consulting the plan), so any
+                    // placement works; estimate zero to settle it first.
+                    if best.as_ref().is_none_or(|&(_, c, _)| c > 0) {
+                        best = Some((i, 0, PlanProbe::Scan));
+                    }
+                    continue;
+                };
+                let mut atom_best = (rel.len(), PlanProbe::Scan);
+                for (pos, &arg) in atom.args.iter().enumerate() {
+                    let est = match arg {
+                        ArgSpec::Rigid(key) => Some(rel.matching_count_packed(pos, key)),
+                        ArgSpec::Slot(s) if bound[s as usize] => {
+                            // Average fan-out of the build side.
+                            Some(rel.len().div_ceil(rel.distinct_count(pos).max(1)))
+                        }
+                        ArgSpec::Slot(_) => None,
+                    };
+                    if let Some(est) = est {
+                        if est < atom_best.0 || matches!(atom_best.1, PlanProbe::Scan) {
+                            atom_best = (est, PlanProbe::Index { pos });
+                        }
+                    }
+                }
+                if best.as_ref().is_none_or(|&(_, c, _)| atom_best.0 < c) {
+                    best = Some((i, atom_best.0, atom_best.1));
+                }
+            }
+            let (atom, _, probe) = best.expect("some atom is open");
+            if !steps.is_empty() && matches!(probe, PlanProbe::Scan) {
+                let has_rigid = self.atoms[atom]
+                    .args
+                    .iter()
+                    .any(|a| matches!(a, ArgSpec::Rigid(_)));
+                if !has_rigid {
+                    prefer_streaming = true;
+                }
+            }
+            used[atom] = true;
+            for arg in &self.atoms[atom].args {
+                if let ArgSpec::Slot(s) = arg {
+                    bound[*s as usize] = true;
+                }
+            }
+            steps.push(PlanStep { atom, probe });
+        }
+        let mut prematched = prematched.to_vec();
+        prematched.sort_unstable();
+        JoinPlan {
+            prematched,
+            steps,
+            prefer_streaming,
+        }
+    }
+}
+
+/// An atom compiled into packed slot references, for appending match images
+/// to packed row buffers without re-resolving variables per match. Built by
+/// [`JoinSpec::row_template`], consumed by [`Bindings::emit`].
+#[derive(Clone, Debug)]
+pub struct RowTemplate {
+    args: Vec<ArgSpec>,
+}
+
+impl RowTemplate {
+    /// Number of terms the template emits per match.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+}
+
+/// One step of a static build/probe plan.
+#[derive(Clone, Copy, Debug)]
+enum PlanProbe {
+    /// Probe the lazy column index at this position with the step's runtime
+    /// value (a rigid term or a slot bound by an earlier step).
+    Index { pos: usize },
+    /// Enumerate the whole relation.
+    Scan,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PlanStep {
+    atom: usize,
+    probe: PlanProbe,
+}
+
+/// A static join order with per-atom probe positions, computed once by
+/// [`JoinSpec::plan`] and replayed by [`Matcher::set_plan`] /
+/// [`Matcher::for_each`] without any per-node re-estimation.
+#[derive(Clone, Debug)]
+pub struct JoinPlan {
+    /// Atom indexes assumed prematched (sorted).
+    prematched: Vec<usize>,
+    steps: Vec<PlanStep>,
+    prefer_streaming: bool,
+}
+
+impl JoinPlan {
+    /// `true` when the planner estimated the adaptive streaming kernel to be
+    /// the better path (some mid-join step would be an unbound cross-product
+    /// scan). The matcher honours this automatically.
+    pub fn prefers_streaming(&self) -> bool {
+        self.prefer_streaming
+    }
+
+    /// `true` iff the plan was computed for exactly this prematched-atom
+    /// usage state.
+    fn applies_to(&self, used: &[bool]) -> bool {
+        let mut expected = self.prematched.iter().copied();
+        for (i, &u) in used.iter().enumerate() {
+            if u && expected.next() != Some(i) {
+                return false;
+            }
+        }
+        expected.next().is_none()
+    }
 }
 
 /// Row-id sentinel for pattern atoms satisfied by [`Matcher::prematch`]
@@ -212,7 +442,7 @@ pub const PREMATCHED_ROW: RowId = RowId::MAX;
 /// A streamed result: read-only view of the kernel's bind state at a match.
 pub struct Bindings<'a> {
     vars: &'a [Variable],
-    slots: &'a [Option<Term>],
+    slots: &'a [Option<PackedTerm>],
     rows: &'a [RowId],
 }
 
@@ -220,7 +450,32 @@ impl Bindings<'_> {
     /// The binding of a variable, if bound.
     pub fn get(&self, v: Variable) -> Option<Term> {
         let slot = self.vars.iter().position(|&w| w == v)?;
+        self.slots[slot].map(PackedTerm::unpack)
+    }
+
+    /// The packed binding of a slot, if bound.
+    pub fn packed_slot(&self, slot: usize) -> Option<PackedTerm> {
         self.slots[slot]
+    }
+
+    /// Appends the image of a compiled [`RowTemplate`] to a packed row
+    /// buffer: rigid terms are copied, slots read directly — no variable
+    /// lookup, no unpacking. This is how the batched engines park derived
+    /// rows.
+    ///
+    /// # Panics
+    ///
+    /// If a template slot is unbound (templates are emitted on full matches,
+    /// which bind every pattern slot).
+    pub fn emit(&self, template: &RowTemplate, out: &mut Vec<PackedTerm>) {
+        for arg in &template.args {
+            out.push(match *arg {
+                ArgSpec::Rigid(p) => p,
+                ArgSpec::Slot(s) => {
+                    self.slots[s as usize].expect("template slot bound by a full match")
+                }
+            });
+        }
     }
 
     /// Applies the bindings to a term (variables resolve to their binding or
@@ -273,7 +528,7 @@ impl Bindings<'_> {
         let mut out = seed.clone();
         for (slot, binding) in self.slots.iter().enumerate() {
             if let Some(t) = binding {
-                out.bind_var(self.vars[slot], *t);
+                out.bind_var(self.vars[slot], t.unpack());
             }
         }
         out
@@ -287,11 +542,12 @@ impl Bindings<'_> {
 /// loop) allocates nothing after its first run.
 pub struct Matcher<'s> {
     spec: &'s JoinSpec,
-    slots: Vec<Option<Term>>,
+    slots: Vec<Option<PackedTerm>>,
     trail: Vec<u32>,
     used: Vec<bool>,
     rows: Vec<RowId>,
     fixed_order: bool,
+    plan: Option<&'s JoinPlan>,
     limit: usize,
 }
 
@@ -305,11 +561,13 @@ impl<'s> Matcher<'s> {
             rows: vec![PREMATCHED_ROW; spec.num_atoms()],
             spec,
             fixed_order: false,
+            plan: None,
             limit: usize::MAX,
         }
     }
 
-    /// Resets all bindings and pre-matches for the next run.
+    /// Resets all bindings and pre-matches for the next run (the plan, the
+    /// fixed-order flag and the limit are run configuration and persist).
     pub fn clear(&mut self) {
         self.slots.fill(None);
         self.trail.clear();
@@ -324,6 +582,16 @@ impl<'s> Matcher<'s> {
         self
     }
 
+    /// Installs a static build/probe plan (see [`JoinSpec::plan`]). The plan
+    /// is used by [`Matcher::for_each`] whenever it does not prefer
+    /// streaming and its prematched-atom assumption matches the matcher's
+    /// state; otherwise the adaptive streaming search runs, so setting a
+    /// plan never changes the match set.
+    pub fn set_plan(&mut self, plan: Option<&'s JoinPlan>) -> &mut Self {
+        self.plan = plan;
+        self
+    }
+
     /// Stop after `limit` matches.
     pub fn set_limit(&mut self, limit: usize) -> &mut Self {
         self.limit = limit;
@@ -332,25 +600,29 @@ impl<'s> Matcher<'s> {
 
     /// Pre-binds a variable before the search. Returns `false` on conflict
     /// with an existing pre-binding (no state is changed in that case).
+    /// Terms outside the packed dictionary bind the `UNMATCHABLE` sentinel:
+    /// they occur in no instance, so the constrained slots match nothing —
+    /// the search correctly yields zero results.
     pub fn prebind(&mut self, v: Variable, t: Term) -> bool {
+        let packed = PackedTerm::pack(t).unwrap_or(PackedTerm::UNMATCHABLE);
         match self.spec.slot_of(v) {
             // Binding a variable the pattern never mentions constrains nothing.
             None => true,
             Some(slot) => match self.slots[slot] {
-                Some(existing) => existing == t,
+                Some(existing) => existing == packed,
                 None => {
-                    self.slots[slot] = Some(t);
+                    self.slots[slot] = Some(packed);
                     true
                 }
             },
         }
     }
 
-    /// Matches pattern atom `atom_index` against a concrete row (typically a
-    /// delta fact living outside the target instance), binding its slots and
+    /// Matches pattern atom `atom_index` against a concrete packed row
+    /// (typically a delta fact addressed by row id), binding its slots and
     /// marking the atom as satisfied. Returns `false` if the row does not
     /// match (the caller should [`Matcher::clear`] before the next attempt).
-    pub fn prematch(&mut self, atom_index: usize, row: &[Term]) -> bool {
+    pub fn prematch(&mut self, atom_index: usize, row: &[PackedTerm]) -> bool {
         let atom = &self.spec.atoms[atom_index];
         if atom.args.len() != row.len() {
             return false;
@@ -400,6 +672,13 @@ impl<'s> Matcher<'s> {
                 return stats;
             }
         }
+        // A planned run replays the static build/probe order; the plan is
+        // honoured only when it does not prefer streaming and was computed
+        // for exactly this prematched-atom state, so a stale or unsuitable
+        // plan degrades to the adaptive search instead of misbehaving.
+        let planned = self
+            .plan
+            .filter(|p| !self.fixed_order && !p.prefer_streaming && p.applies_to(&self.used));
         let mut ctx = SearchCtx {
             spec: self.spec,
             target,
@@ -412,7 +691,10 @@ impl<'s> Matcher<'s> {
             emitted: 0,
             stats: &mut stats,
         };
-        let _ = search(&mut ctx, open, &mut f);
+        let _ = match planned {
+            Some(plan) => search_planned(&mut ctx, plan, 0, &mut f),
+            None => search(&mut ctx, open, &mut f),
+        };
         stats
     }
 }
@@ -420,7 +702,7 @@ impl<'s> Matcher<'s> {
 struct SearchCtx<'a, 'b> {
     spec: &'a JoinSpec,
     target: &'b Instance,
-    slots: &'a mut Vec<Option<Term>>,
+    slots: &'a mut Vec<Option<PackedTerm>>,
     trail: &'a mut Vec<u32>,
     used: &'a mut Vec<bool>,
     rows: &'a mut Vec<RowId>,
@@ -432,15 +714,15 @@ struct SearchCtx<'a, 'b> {
 
 /// The cheapest way to enumerate candidates for one atom.
 enum Probe {
-    /// Use the column index at this position with this term.
-    Index(usize, Term),
+    /// Use the column index at this position with this packed key.
+    Index(usize, PackedTerm),
     /// Scan the whole relation.
     Scan,
 }
 
 impl<'b> SearchCtx<'_, 'b> {
     /// The resolved value of an argument, if rigid or already bound.
-    fn resolved(&self, arg: ArgSpec) -> Option<Term> {
+    fn resolved(&self, arg: ArgSpec) -> Option<PackedTerm> {
         match arg {
             ArgSpec::Rigid(t) => Some(t),
             ArgSpec::Slot(s) => self.slots[s as usize],
@@ -463,10 +745,10 @@ impl<'b> SearchCtx<'_, 'b> {
         let rel = self.rel_of(i);
         let mut best = (rel.len(), Probe::Scan);
         for (pos, &arg) in self.spec.atoms[i].args.iter().enumerate() {
-            if let Some(term) = self.resolved(arg) {
-                let count = rel.matching_count(pos, term);
+            if let Some(key) = self.resolved(arg) {
+                let count = rel.matching_count_packed(pos, key);
                 if count < best.0 || matches!(best.1, Probe::Scan) {
-                    best = (count, Probe::Index(pos, term));
+                    best = (count, Probe::Index(pos, key));
                     if count == 0 {
                         break;
                     }
@@ -482,12 +764,12 @@ impl<'b> SearchCtx<'_, 'b> {
     fn probe_of(&self, i: usize) -> Probe {
         let mut found: Option<Probe> = None;
         for (pos, &arg) in self.spec.atoms[i].args.iter().enumerate() {
-            if let Some(term) = self.resolved(arg) {
+            if let Some(key) = self.resolved(arg) {
                 if found.is_some() {
                     // Several resolved positions: pick the most selective.
                     return self.cost_of(i).1;
                 }
-                found = Some(Probe::Index(pos, term));
+                found = Some(Probe::Index(pos, key));
             }
         }
         found.unwrap_or(Probe::Scan)
@@ -517,9 +799,9 @@ impl<'b> SearchCtx<'_, 'b> {
         best.map(|(i, _, probe)| (i, probe))
     }
 
-    /// Binds atom `i`'s slots against `row`, pushing to the trail; returns
-    /// `false` on mismatch (caller unwinds the trail).
-    fn match_row(&mut self, i: usize, row: &[Term]) -> bool {
+    /// Binds atom `i`'s slots against a packed row, pushing to the trail;
+    /// returns `false` on mismatch (caller unwinds the trail).
+    fn match_row(&mut self, i: usize, row: &[PackedTerm]) -> bool {
         for (arg, &val) in self.spec.atoms[i].args.iter().zip(row.iter()) {
             match *arg {
                 ArgSpec::Rigid(t) => {
@@ -606,6 +888,81 @@ where
         if ctx.match_row(atom, rel.row(id)) {
             ctx.rows[atom] = id;
             let flow = search(ctx, open - 1, f);
+            ctx.unwind(mark);
+            flow?;
+        } else {
+            ctx.unwind(mark);
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// The planned build/probe kernel: replays a static [`JoinPlan`] — no
+/// per-node selection or cost estimation, exactly one column-index probe (or
+/// a scan, where planned) per step per binding. Candidate streaming, slot
+/// binding, the undo trail and the `probes` unit are shared with the
+/// adaptive path, so both enumerate the same match set.
+fn search_planned<F>(
+    ctx: &mut SearchCtx<'_, '_>,
+    plan: &JoinPlan,
+    step: usize,
+    f: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&Bindings<'_>) -> ControlFlow<()>,
+{
+    let Some(&PlanStep { atom, probe }) = plan.steps.get(step) else {
+        ctx.emitted += 1;
+        ctx.stats.matches += 1;
+        let view = Bindings {
+            vars: &ctx.spec.vars,
+            slots: ctx.slots,
+            rows: ctx.rows,
+        };
+        f(&view)?;
+        if ctx.emitted >= ctx.limit {
+            return ControlFlow::Break(());
+        }
+        return ControlFlow::Continue(());
+    };
+    let rel = ctx.rel_of(atom);
+    ctx.used[atom] = true;
+    let result = match probe {
+        PlanProbe::Index { pos } => {
+            let key = ctx
+                .resolved(ctx.spec.atoms[atom].args[pos])
+                .expect("planned probe position is rigid or bound by an earlier step");
+            rel.with_matching_rows(pos, key, |ids| {
+                try_candidates_planned(ctx, plan, step, atom, rel, ids.iter().copied(), f)
+            })
+        }
+        PlanProbe::Scan => {
+            let ids = 0..rel.row_count();
+            try_candidates_planned(ctx, plan, step, atom, rel, ids, f)
+        }
+    };
+    ctx.used[atom] = false;
+    result
+}
+
+fn try_candidates_planned<F>(
+    ctx: &mut SearchCtx<'_, '_>,
+    plan: &JoinPlan,
+    step: usize,
+    atom: usize,
+    rel: &Relation,
+    candidates: impl Iterator<Item = RowId>,
+    f: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&Bindings<'_>) -> ControlFlow<()>,
+{
+    for id in candidates {
+        ctx.stats.probes += 1;
+        let mark = ctx.trail.len();
+        if ctx.match_row(atom, rel.row(id)) {
+            ctx.rows[atom] = id;
+            let flow = search_planned(ctx, plan, step + 1, f);
             ctx.unwind(mark);
             flow?;
         } else {
@@ -797,6 +1154,12 @@ mod tests {
         Term::variable(name)
     }
 
+    fn packed(ts: &[Term]) -> Vec<PackedTerm> {
+        ts.iter()
+            .map(|&t| PackedTerm::pack(t).expect("ground term packs"))
+            .collect()
+    }
+
     #[test]
     fn single_atom_matching() {
         let db = chain_db();
@@ -933,7 +1296,7 @@ mod tests {
         let spec = JoinSpec::compile(&pattern);
         let mut matcher = Matcher::new(&spec);
         // Pretend edge(b, c) arrived in the delta: seed atom 1 with it.
-        assert!(matcher.prematch(1, &[Term::constant("b"), Term::constant("c")]));
+        assert!(matcher.prematch(1, &packed(&[Term::constant("b"), Term::constant("c")])));
         let mut images = Vec::new();
         matcher.for_each(&db, |b| {
             images.push((b.resolve(&var("X")), b.resolve(&var("Z"))));
@@ -943,7 +1306,7 @@ mod tests {
 
         // A conflicting row does not match.
         matcher.clear();
-        assert!(!matcher.prematch(1, &[Term::constant("b")]));
+        assert!(!matcher.prematch(1, &packed(&[Term::constant("b")])));
     }
 
     #[test]
@@ -1005,6 +1368,112 @@ mod tests {
         let stats = matcher.for_each(&inst, |_| ControlFlow::Continue(()));
         assert_eq!(stats.matches, 1);
         assert_eq!(stats.probes, 1, "most selective index position must be used");
+    }
+
+    #[test]
+    fn planned_and_adaptive_paths_agree() {
+        let db = chain_db();
+        let pattern = vec![
+            Atom::new("edge", vec![var("X"), var("Y")]),
+            Atom::new("edge", vec![var("Y"), var("Z")]),
+        ];
+        let spec = JoinSpec::compile(&pattern);
+        let plan = spec.plan(&db, &[]);
+        assert!(!plan.prefers_streaming(), "connected join plans fully");
+        let collect = |plan: Option<&JoinPlan>| {
+            let mut matcher = Matcher::new(&spec);
+            matcher.set_plan(plan);
+            let mut out = Vec::new();
+            let stats = matcher.for_each(&db, |b| {
+                out.push(b.to_substitution().to_string());
+                ControlFlow::Continue(())
+            });
+            out.sort();
+            (out, stats.matches)
+        };
+        let (planned, planned_matches) = collect(Some(&plan));
+        let (adaptive, adaptive_matches) = collect(None);
+        assert_eq!(planned, adaptive);
+        assert_eq!(planned_matches, adaptive_matches);
+    }
+
+    #[test]
+    fn planned_path_respects_prematch_assumptions() {
+        let db = chain_db();
+        let pattern = vec![
+            Atom::new("edge", vec![var("X"), var("Y")]),
+            Atom::new("edge", vec![var("Y"), var("Z")]),
+        ];
+        let spec = JoinSpec::compile(&pattern);
+        // Plan assuming atom 0 is prematched (the delta-driver shape).
+        let plan = spec.plan(&db, &[0]);
+        let mut matcher = Matcher::new(&spec);
+        matcher.set_plan(Some(&plan));
+        assert!(matcher.prematch(0, &packed(&[Term::constant("a"), Term::constant("b")])));
+        let mut images = Vec::new();
+        matcher.for_each(&db, |b| {
+            images.push((b.resolve(&var("X")), b.resolve(&var("Z"))));
+            ControlFlow::Continue(())
+        });
+        assert_eq!(images, vec![(Term::constant("a"), Term::constant("c"))]);
+
+        // The same matcher without the prematch: the plan no longer applies
+        // and the adaptive path answers (correctly) instead.
+        matcher.clear();
+        let mut count = 0;
+        matcher.for_each(&db, |_| {
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn disconnected_patterns_prefer_streaming() {
+        let db = chain_db();
+        let pattern = vec![
+            Atom::new("edge", vec![var("X"), var("Y")]),
+            Atom::new("edge", vec![var("Z"), var("W")]),
+        ];
+        let spec = JoinSpec::compile(&pattern);
+        let plan = spec.plan(&db, &[]);
+        assert!(plan.prefers_streaming(), "cross product has no good static order");
+        // Setting the plan anyway must not change the (cartesian) match set.
+        let mut matcher = Matcher::new(&spec);
+        matcher.set_plan(Some(&plan));
+        let stats = matcher.for_each(&db, |_| ControlFlow::Continue(()));
+        assert_eq!(stats.matches, 9);
+    }
+
+    #[test]
+    fn row_templates_emit_match_images() {
+        let db = chain_db();
+        let pattern = vec![
+            Atom::new("edge", vec![var("X"), var("Y")]),
+            Atom::new("edge", vec![var("Y"), var("Z")]),
+        ];
+        let spec = JoinSpec::compile(&pattern);
+        let head = Atom::new("t", vec![var("X"), var("Z"), Term::constant("tag")]);
+        let template = spec.row_template(&head);
+        assert_eq!(template.arity(), 3);
+        let mut rows: Vec<PackedTerm> = Vec::new();
+        let mut matcher = Matcher::new(&spec);
+        matcher.for_each(&db, |b| {
+            b.emit(&template, &mut rows);
+            ControlFlow::Continue(())
+        });
+        let mut unpacked: Vec<Vec<Term>> = rows
+            .chunks_exact(3)
+            .map(|row| row.iter().map(|p| p.unpack()).collect())
+            .collect();
+        unpacked.sort();
+        assert_eq!(
+            unpacked,
+            vec![
+                vec![Term::constant("a"), Term::constant("c"), Term::constant("tag")],
+                vec![Term::constant("b"), Term::constant("d"), Term::constant("tag")],
+            ]
+        );
     }
 
     #[test]

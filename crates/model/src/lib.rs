@@ -43,14 +43,14 @@ pub use atom::{Atom, Predicate};
 pub use database::{Database, Instance, Relation, RowId};
 pub use error::ModelError;
 pub use homomorphism::{
-    exists_homomorphism, find_homomorphism, homomorphisms, Bindings, HomSearch, JoinSpec,
-    JoinStats, Matcher, PREMATCHED_ROW,
+    exists_homomorphism, find_homomorphism, homomorphisms, Bindings, HomSearch, JoinPlan,
+    JoinSpec, JoinStats, Matcher, RowTemplate, PREMATCHED_ROW,
 };
-pub use parallel::{DerivationBatch, DELTA_SHARDS};
+pub use parallel::{DerivationBatch, MergeScratch, DELTA_SHARDS};
 pub use program::Program;
 pub use query::ConjunctiveQuery;
 pub use substitution::Substitution;
 pub use symbols::Symbol;
-pub use term::{NullId, Term, Variable};
+pub use term::{NullId, PackedTerm, Term, Variable};
 pub use tgd::Tgd;
 pub use unify::{mgu_atom_with_atom, unify_all_with};

@@ -37,7 +37,9 @@ use crate::database::{Instance, Relation, RowId};
 use crate::error::ModelError;
 use crate::fasthash::FxHashMap;
 use crate::homomorphism::{JoinSpec, JoinStats, Matcher};
-use crate::term::Term;
+use crate::symbols::Symbol;
+use crate::term::{PackedTerm, Variable};
+use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -113,16 +115,17 @@ where
 }
 
 /// One task's derivations for a single head predicate, parked in columnar
-/// form (row-major term buffer) while the instance is immutably shared.
+/// **packed** form (row-major `PackedTerm` buffer) while the instance is
+/// immutably shared.
 #[derive(Debug, Clone)]
 pub struct DerivationBatch {
     /// Head predicate of the derivations.
     pub predicate: Predicate,
     /// Arity of the head predicate (0 for propositional heads).
     pub arity: usize,
-    /// Row-major derived rows (`rows.len()` is a multiple of `arity`;
+    /// Row-major derived packed rows (`rows.len()` is a multiple of `arity`;
     /// empty for 0-ary heads).
-    pub rows: Vec<Term>,
+    pub rows: Vec<PackedTerm>,
     /// Number of kernel matches; for 0-ary heads this alone says whether the
     /// fact was derived.
     pub matches: u64,
@@ -138,47 +141,154 @@ impl DerivationBatch {
             matches: 0,
         }
     }
+
+    /// Drops every row that is already present in `instance`, compacting the
+    /// buffer in place, and returns how many rows were dropped.
+    ///
+    /// This is the **worker-side pre-dedup** that shrinks the sequential
+    /// merge phase: `&Instance` is `Sync` and the dedup probe
+    /// ([`crate::database::Relation::contains_packed_row`]) takes no locks,
+    /// so each parallel task filters its own batch against the round's
+    /// frozen instance before parking it. The merge then only re-dedups
+    /// rows derived *within* the round (by this or a sibling task), never
+    /// the bulk of re-derivations of old facts. Row-id assignment is
+    /// unchanged: the dropped rows are exactly those the batched insert
+    /// would have skipped as duplicates.
+    pub fn prededup_against(&mut self, instance: &Instance) -> u64 {
+        if self.arity == 0 || self.rows.is_empty() {
+            return 0;
+        }
+        let Some(rel) = instance.relation(self.predicate) else {
+            return 0;
+        };
+        let arity = self.arity;
+        let mut write = 0;
+        let mut dropped = 0u64;
+        for read in (0..self.rows.len()).step_by(arity) {
+            if rel.contains_packed_row(&self.rows[read..read + arity]) {
+                dropped += 1;
+            } else {
+                self.rows.copy_within(read..read + arity, write);
+                write += arity;
+            }
+        }
+        self.rows.truncate(write);
+        dropped
+    }
+}
+
+/// Reusable scratch state for [`merge_derivations_with`]: the per-predicate
+/// grouping map keeps its entries (and their row-buffer capacities) across
+/// rounds, so a fixpoint engine's merge phase stops allocating after the
+/// first round.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    /// Predicates touched this round, in first-seen batch order (one entry
+    /// per predicate per round).
+    order: Vec<Predicate>,
+    /// Per-predicate accumulation buffers. Entries persist across rounds
+    /// with cleared-but-capacitated row vectors; the `round` stamp marks the
+    /// last round that touched an entry, so first-touch detection does not
+    /// depend on the batch contents (tasks routinely park empty batches).
+    merged: FxHashMap<Predicate, ScratchEntry>,
+    /// Monotonic round counter for the first-touch stamps.
+    round: u64,
+}
+
+#[derive(Debug)]
+struct ScratchEntry {
+    batch: DerivationBatch,
+    round: u64,
+}
+
+impl MergeScratch {
+    /// Creates empty scratch state.
+    pub fn new() -> MergeScratch {
+        MergeScratch::default()
+    }
 }
 
 /// Merges task batches into the instance **in iteration order** with one
 /// batched dedup insert per relation, returning the number of newly inserted
 /// atoms. Row ids are assigned per relation in batch order, which is exactly
 /// the order a sequential run would have inserted them in.
+///
+/// Convenience wrapper over [`merge_derivations_with`] with throwaway
+/// scratch; engines that merge every round hold a [`MergeScratch`] instead.
 pub fn merge_derivations(
+    instance: &mut Instance,
+    batches: impl IntoIterator<Item = DerivationBatch>,
+) -> Result<usize, ModelError> {
+    merge_derivations_with(&mut MergeScratch::new(), instance, batches)
+}
+
+/// [`merge_derivations`] with caller-owned scratch buffers that are reused
+/// across rounds instead of reallocated per round.
+pub fn merge_derivations_with(
+    scratch: &mut MergeScratch,
     instance: &mut Instance,
     batches: impl IntoIterator<Item = DerivationBatch>,
 ) -> Result<usize, ModelError> {
     // Group per predicate preserving first-seen order; order across
     // relations does not affect row ids (ids are per relation), order within
     // a relation is batch order.
-    let mut order: Vec<Predicate> = Vec::new();
-    let mut merged: FxHashMap<Predicate, DerivationBatch> = FxHashMap::default();
+    scratch.order.clear();
+    scratch.round += 1;
+    let round = scratch.round;
     for batch in batches {
-        match merged.entry(batch.predicate) {
+        match scratch.merged.entry(batch.predicate) {
             std::collections::hash_map::Entry::Vacant(slot) => {
-                order.push(batch.predicate);
-                slot.insert(batch);
+                scratch.order.push(batch.predicate);
+                slot.insert(ScratchEntry { batch, round });
             }
             std::collections::hash_map::Entry::Occupied(mut slot) => {
                 let existing = slot.get_mut();
-                debug_assert_eq!(existing.arity, batch.arity);
-                existing.rows.extend_from_slice(&batch.rows);
-                existing.matches += batch.matches;
+                debug_assert_eq!(existing.batch.arity, batch.arity);
+                // First batch of this round for a retained entry: mark the
+                // predicate as touched exactly once.
+                if existing.round != round {
+                    existing.round = round;
+                    scratch.order.push(batch.predicate);
+                }
+                existing.batch.rows.extend_from_slice(&batch.rows);
+                existing.batch.matches += batch.matches;
             }
         }
     }
     let mut inserted = 0;
-    for predicate in order {
-        let batch = merged.remove(&predicate).expect("grouped above");
-        if batch.arity == 0 {
-            if batch.matches > 0 && instance.insert_terms(predicate, &[])? {
-                inserted += 1;
+    let mut failure: Option<ModelError> = None;
+    for predicate in &scratch.order {
+        let batch = &mut scratch
+            .merged
+            .get_mut(predicate)
+            .expect("grouped above")
+            .batch;
+        if failure.is_none() {
+            let result = if batch.arity == 0 {
+                if batch.matches > 0 {
+                    instance.insert_terms(*predicate, &[]).map(usize::from)
+                } else {
+                    Ok(0)
+                }
+            } else if !batch.rows.is_empty() {
+                instance.insert_batch(*predicate, batch.arity, &batch.rows)
+            } else {
+                Ok(0)
+            };
+            match result {
+                Ok(n) => inserted += n,
+                Err(e) => failure = Some(e),
             }
-        } else if !batch.rows.is_empty() {
-            inserted += instance.insert_batch(predicate, batch.arity, &batch.rows)?;
         }
+        // Reset for the next round (even after a failure, so the scratch
+        // never carries stale rows), keeping the allocation.
+        batch.rows.clear();
+        batch.matches = 0;
     }
-    Ok(inserted)
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(inserted),
+    }
 }
 
 /// Counts the matches of a compiled pattern by sharding the rows of the
@@ -201,8 +311,10 @@ pub fn sharded_match_count(spec: &JoinSpec, instance: &Instance, threads: usize)
         return total;
     };
     let shards = shard_delta_rows(rel, 0, rel.row_count());
+    let plan = spec.plan(instance, &[0]);
     let results = run_tasks(threads, shards.len(), |shard| {
         let mut matcher = Matcher::new(spec);
+        matcher.set_plan(Some(&plan));
         let mut stats = JoinStats::default();
         for &id in &shards[shard] {
             stats.probes += 1;
@@ -221,6 +333,77 @@ pub fn sharded_match_count(spec: &JoinSpec, instance: &Instance, threads: usize)
         total.matches += stats.matches;
     }
     total
+}
+
+/// Evaluates a compiled conjunctive-query pattern and collects the **answer
+/// tuples** (constants bound to `output`, certain-answer semantics: tuples
+/// touching a null or an unbound variable are dropped) by sharding the rows
+/// of the pattern's first atom across workers, exactly like
+/// [`sharded_match_count`]. Each task probes with the shared build/probe
+/// plan and collects into a private set; the union is returned. Answers are
+/// a set, so the result is independent of both enumeration order and thread
+/// count.
+pub fn sharded_query_answers(
+    spec: &JoinSpec,
+    output: &[Variable],
+    instance: &Instance,
+    threads: usize,
+) -> BTreeSet<Vec<Symbol>> {
+    let mut answers = BTreeSet::new();
+    if spec.num_atoms() == 0 {
+        // The empty pattern has the identity homomorphism; with no output
+        // variables that is the single empty answer tuple.
+        if output.is_empty() {
+            answers.insert(Vec::new());
+        }
+        return answers;
+    }
+    let predicate = spec.atom_predicate(0);
+    let Some(rel) = instance
+        .relation(predicate)
+        .filter(|r| r.arity() == spec.atom_arity(0))
+    else {
+        return answers;
+    };
+    // Output slots resolve once; an output variable outside the pattern can
+    // never be bound, so no tuple is certain.
+    let mut slots = Vec::with_capacity(output.len());
+    for v in output {
+        match spec.slot_of(*v) {
+            Some(s) => slots.push(s),
+            None => return answers,
+        }
+    }
+    let shards = shard_delta_rows(rel, 0, rel.row_count());
+    let plan = spec.plan(instance, &[0]);
+    let results = run_tasks(threads, shards.len(), |shard| {
+        let mut matcher = Matcher::new(spec);
+        matcher.set_plan(Some(&plan));
+        let mut found: BTreeSet<Vec<Symbol>> = BTreeSet::new();
+        for &id in &shards[shard] {
+            matcher.clear();
+            if !matcher.prematch(0, rel.row(id)) {
+                continue;
+            }
+            matcher.for_each(instance, |bindings| {
+                let mut tuple = Vec::with_capacity(slots.len());
+                for &s in &slots {
+                    match bindings.packed_slot(s).and_then(PackedTerm::as_const) {
+                        Some(c) => tuple.push(c),
+                        // Null or unbound: not a certain answer.
+                        None => return ControlFlow::Continue(()),
+                    }
+                }
+                found.insert(tuple);
+                ControlFlow::Continue(())
+            });
+        }
+        found
+    });
+    for found in results {
+        answers.extend(found);
+    }
+    answers
 }
 
 #[cfg(test)]
@@ -269,15 +452,19 @@ mod tests {
         }
     }
 
+    fn pk(name: &str) -> PackedTerm {
+        PackedTerm::pack(Term::constant(name)).expect("constant packs")
+    }
+
     #[test]
     fn merge_assigns_row_ids_in_batch_order() {
         let p = Predicate::new("out");
-        let rows1 = vec![Term::constant("a"), Term::constant("b")];
+        let rows1 = vec![pk("a"), pk("b")];
         let rows2 = vec![
-            Term::constant("a"),
-            Term::constant("b"), // duplicate of batch 1's row
-            Term::constant("c"),
-            Term::constant("d"),
+            pk("a"),
+            pk("b"), // duplicate of batch 1's row
+            pk("c"),
+            pk("d"),
         ];
         let mut inst = Instance::new();
         let inserted = merge_derivations(
@@ -315,6 +502,102 @@ mod tests {
         hit.matches = 3;
         assert_eq!(merge_derivations(&mut inst, [hit]).unwrap(), 1);
         assert_eq!(inst.len(), 1);
+    }
+
+    #[test]
+    fn prededup_drops_exactly_the_frozen_rows() {
+        let mut inst = Instance::new();
+        inst.insert(Atom::fact("out", &["a", "b"])).unwrap();
+        inst.insert(Atom::fact("out", &["c", "d"])).unwrap();
+        let mut batch = DerivationBatch {
+            predicate: Predicate::new("out"),
+            arity: 2,
+            rows: vec![
+                pk("a"),
+                pk("b"), // frozen duplicate → dropped
+                pk("x"),
+                pk("y"), // novel → kept
+                pk("c"),
+                pk("d"), // frozen duplicate → dropped
+                pk("x"),
+                pk("y"), // novel duplicate *within* the round → kept for merge
+            ],
+            matches: 4,
+        };
+        assert_eq!(batch.prededup_against(&inst), 2);
+        assert_eq!(batch.rows, vec![pk("x"), pk("y"), pk("x"), pk("y")]);
+        assert_eq!(batch.matches, 4, "pre-dedup never touches the match counter");
+        // Merging the filtered batch assigns the same ids a full merge would.
+        let inserted = merge_derivations(&mut inst, [batch]).unwrap();
+        assert_eq!(inserted, 1);
+        let rel = inst.relation(Predicate::new("out")).unwrap();
+        assert_eq!(rel.find_row(&[Term::constant("x"), Term::constant("y")]), Some(2));
+    }
+
+    #[test]
+    fn prededup_of_unknown_predicate_keeps_everything() {
+        let inst = Instance::new();
+        let mut batch = DerivationBatch {
+            predicate: Predicate::new("fresh"),
+            arity: 1,
+            rows: vec![pk("a")],
+            matches: 1,
+        };
+        assert_eq!(batch.prededup_against(&inst), 0);
+        assert_eq!(batch.rows.len(), 1);
+    }
+
+    #[test]
+    fn merge_scratch_is_reusable_across_rounds() {
+        let p = Predicate::new("out");
+        let mut inst = Instance::new();
+        let mut scratch = MergeScratch::new();
+        let round = |rows: Vec<PackedTerm>| DerivationBatch {
+            predicate: p,
+            arity: 1,
+            rows,
+            matches: 0,
+        };
+        assert_eq!(
+            merge_derivations_with(&mut scratch, &mut inst, [round(vec![pk("a")])]).unwrap(),
+            1
+        );
+        // Second round reuses the retained entry; stale rows must not leak.
+        assert_eq!(
+            merge_derivations_with(
+                &mut scratch,
+                &mut inst,
+                [round(vec![pk("a"), pk("b")]), round(vec![pk("c")])]
+            )
+            .unwrap(),
+            2
+        );
+        // An empty round flushes nothing.
+        assert_eq!(
+            merge_derivations_with(&mut scratch, &mut inst, std::iter::empty()).unwrap(),
+            0
+        );
+        assert_eq!(inst.len(), 3);
+        let rel = inst.relation(p).unwrap();
+        assert_eq!(rel.find_row(&[Term::constant("b")]), Some(1));
+        assert_eq!(rel.find_row(&[Term::constant("c")]), Some(2));
+    }
+
+    #[test]
+    fn sharded_query_answers_match_sequential_evaluation() {
+        let inst = chain_db(25);
+        let v = Term::variable;
+        let pattern = vec![
+            Atom::new("edge", vec![v("X"), v("Y")]),
+            Atom::new("edge", vec![v("Y"), v("Z")]),
+        ];
+        let spec = JoinSpec::compile(&pattern);
+        let output = [Variable::new("X"), Variable::new("Z")];
+        let sequential = sharded_query_answers(&spec, &output, &inst, 1);
+        assert_eq!(sequential.len(), 24); // 2-hop pairs on a 25-edge chain
+        for threads in [2, 4, 8] {
+            assert_eq!(sharded_query_answers(&spec, &output, &inst, threads), sequential);
+        }
     }
 
     #[test]

@@ -91,10 +91,17 @@ impl ConjunctiveQuery {
     /// Evaluates the query over an instance: the set of tuples `h(x̄)` for
     /// homomorphisms `h` from the body into the instance **such that the
     /// answer tuple contains only constants** (certain-answer semantics never
-    /// returns nulls).
+    /// returns nulls). Sequential; see
+    /// [`ConjunctiveQuery::evaluate_with_threads`] for the sharded kernel.
     pub fn evaluate(&self, instance: &Instance) -> BTreeSet<Vec<Symbol>> {
         let spec = JoinSpec::compile(&self.atoms);
+        // A cold CQ still benefits from the static build/probe plan: the
+        // body is joined once, but every candidate row of the driver atom
+        // re-plans in the adaptive kernel, and for CQ-shaped patterns the
+        // plan is decided by the same statistics every time.
+        let plan = spec.plan(instance, &[]);
         let mut matcher = Matcher::new(&spec);
+        matcher.set_plan(Some(&plan));
         let mut answers = BTreeSet::new();
         matcher.for_each(instance, |bindings| {
             let mut tuple = Vec::with_capacity(self.output.len());
@@ -109,6 +116,24 @@ impl ConjunctiveQuery {
             ControlFlow::Continue(())
         });
         answers
+    }
+
+    /// Evaluates the query with the sharded parallel kernel: the driver
+    /// atom's rows are hash-partitioned across `threads` workers
+    /// ([`crate::parallel::sharded_query_answers`]), each joining the rest
+    /// of the body read-only with a shared build/probe plan. Answer sets are
+    /// identical for every thread count; `threads <= 1` uses the sequential
+    /// path.
+    pub fn evaluate_with_threads(
+        &self,
+        instance: &Instance,
+        threads: usize,
+    ) -> BTreeSet<Vec<Symbol>> {
+        if crate::parallel::effective_threads(threads) <= 1 {
+            return self.evaluate(instance);
+        }
+        let spec = JoinSpec::compile(&self.atoms);
+        crate::parallel::sharded_query_answers(&spec, &self.output, instance, threads)
     }
 
     /// Evaluates a Boolean query: `true` iff some homomorphism exists whose

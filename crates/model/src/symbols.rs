@@ -64,6 +64,13 @@ impl Symbol {
     pub fn index(&self) -> u32 {
         self.0
     }
+
+    /// Rebuilds a symbol from a raw interner index. Only used by the packed
+    /// term representation ([`crate::term::PackedTerm`]), which always packs
+    /// indexes of symbols that were interned earlier.
+    pub(crate) fn from_raw(index: u32) -> Symbol {
+        Symbol(index)
+    }
 }
 
 impl fmt::Display for Symbol {

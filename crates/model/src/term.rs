@@ -129,6 +129,128 @@ impl fmt::Debug for Term {
     }
 }
 
+/// A ground term dictionary-encoded into 4 bytes: 2 tag bits and a 30-bit
+/// payload (a [`Symbol`] interner index for constants, a [`NullId`] for
+/// labelled nulls).
+///
+/// The columnar fact store ([`crate::database::Relation`]) and the join
+/// kernel ([`crate::homomorphism`]) work exclusively on packed terms: rows
+/// are `&[PackedTerm]` slices, so row hashing, dedup probes and slot
+/// comparisons are u32 operations over a table a quarter the width of the
+/// enum representation. The public [`Term`] API survives at the edges via
+/// [`PackedTerm::pack`] / [`PackedTerm::unpack`], both O(1) bit fiddling
+/// (no interner access).
+///
+/// Variables are deliberately unrepresentable — a packed row is ground by
+/// construction. Ground terms whose payload exceeds 30 bits (more than 2^30
+/// distinct symbols or nulls) cannot be packed; insert paths report
+/// [`crate::error::ModelError::PackOverflow`] for them, and rigid pattern
+/// terms that fail to pack compile to [`PackedTerm::UNMATCHABLE`], a
+/// reserved-tag value that compares equal to no stored term (such a term
+/// cannot occur in any instance, so "matches nothing" is exact).
+///
+/// The derived ordering is order-isomorphic to [`Term`]'s ordering
+/// restricted to ground terms: the constant tag (0) sorts before the null
+/// tag (1), constants sort by interner index and nulls by id — exactly as
+/// the enum sorts them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PackedTerm(u32);
+
+const PACK_TAG_SHIFT: u32 = 30;
+const PACK_PAYLOAD_MASK: u32 = (1 << PACK_TAG_SHIFT) - 1;
+const PACK_TAG_CONST: u32 = 0;
+const PACK_TAG_NULL: u32 = 1;
+const PACK_TAG_RESERVED: u32 = 2;
+
+impl PackedTerm {
+    /// Largest payload (symbol index or null id) that fits the 30-bit field.
+    pub const MAX_PAYLOAD: u32 = PACK_PAYLOAD_MASK;
+
+    /// A reserved-tag value equal to no packable term. Rigid pattern
+    /// arguments whose term cannot be packed compile to this sentinel: the
+    /// term provably occurs in no instance, so a probe with it finds nothing.
+    pub const UNMATCHABLE: PackedTerm = PackedTerm(PACK_TAG_RESERVED << PACK_TAG_SHIFT);
+
+    /// Packs a ground term. Returns `None` for variables and for terms whose
+    /// payload exceeds [`PackedTerm::MAX_PAYLOAD`].
+    pub fn pack(t: Term) -> Option<PackedTerm> {
+        match t {
+            Term::Const(c) => PackedTerm::pack_symbol(c),
+            Term::Null(n) => PackedTerm::pack_null(n),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// Packs a constant. `None` if the symbol index exceeds the payload.
+    pub fn pack_symbol(c: Symbol) -> Option<PackedTerm> {
+        (c.index() <= PACK_PAYLOAD_MASK)
+            .then(|| PackedTerm((PACK_TAG_CONST << PACK_TAG_SHIFT) | c.index()))
+    }
+
+    /// Packs a labelled null. `None` if the null id exceeds the payload.
+    pub fn pack_null(n: NullId) -> Option<PackedTerm> {
+        u32::try_from(n.0)
+            .ok()
+            .filter(|&id| id <= PACK_PAYLOAD_MASK)
+            .map(|id| PackedTerm((PACK_TAG_NULL << PACK_TAG_SHIFT) | id))
+    }
+
+    /// Decodes back to a [`Term`]. O(1): rebuilds the symbol/null id from the
+    /// payload without touching the interner.
+    ///
+    /// # Panics
+    ///
+    /// On the reserved tags (e.g. [`PackedTerm::UNMATCHABLE`]), which never
+    /// denote a term and are never stored in a relation.
+    pub fn unpack(self) -> Term {
+        let payload = self.0 & PACK_PAYLOAD_MASK;
+        match self.0 >> PACK_TAG_SHIFT {
+            PACK_TAG_CONST => Term::Const(Symbol::from_raw(payload)),
+            PACK_TAG_NULL => Term::Null(NullId(payload as u64)),
+            _ => panic!("reserved packed-term tag denotes no term"),
+        }
+    }
+
+    /// `true` iff this packed term encodes a constant.
+    pub fn is_const(self) -> bool {
+        self.0 >> PACK_TAG_SHIFT == PACK_TAG_CONST
+    }
+
+    /// The constant inside this packed term, if any.
+    pub fn as_const(self) -> Option<Symbol> {
+        self.is_const().then(|| Symbol::from_raw(self.0 & PACK_PAYLOAD_MASK))
+    }
+
+    /// `true` iff this packed term encodes a labelled null.
+    pub fn is_null(self) -> bool {
+        self.0 >> PACK_TAG_SHIFT == PACK_TAG_NULL
+    }
+
+    /// The null inside this packed term, if any.
+    pub fn as_null(self) -> Option<NullId> {
+        self.is_null()
+            .then_some(NullId((self.0 & PACK_PAYLOAD_MASK) as u64))
+    }
+}
+
+impl fmt::Display for PackedTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >> PACK_TAG_SHIFT >= PACK_TAG_RESERVED {
+            f.write_str("⊗unmatchable")
+        } else {
+            fmt::Display::fmt(&self.unpack(), f)
+        }
+    }
+}
+
+impl fmt::Debug for PackedTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Same text as the unpacked term's Debug, so packed row dumps (e.g.
+        // `Instance::row_layout`) read identically to term row dumps.
+        fmt::Display::fmt(self, f)
+    }
+}
+
 impl From<Variable> for Term {
     fn from(v: Variable) -> Term {
         Term::Var(v)
@@ -170,5 +292,60 @@ mod tests {
         assert_eq!(Term::constant("a").to_string(), "a");
         assert_eq!(Term::variable("X").to_string(), "X");
         assert_eq!(Term::Null(NullId(7)).to_string(), "⊥7");
+    }
+
+    #[test]
+    fn packed_terms_round_trip_ground_terms() {
+        for t in [
+            Term::constant("a"),
+            Term::constant("packed_roundtrip_sym"),
+            Term::Null(NullId(0)),
+            Term::Null(NullId(12345)),
+            Term::Null(NullId(PackedTerm::MAX_PAYLOAD as u64)),
+        ] {
+            let p = PackedTerm::pack(t).expect("ground term packs");
+            assert_eq!(p.unpack(), t, "round trip of {t}");
+            assert_eq!(p.to_string(), t.to_string());
+            assert_eq!(format!("{p:?}"), format!("{t:?}"));
+        }
+    }
+
+    #[test]
+    fn packed_terms_reject_variables_and_overflow() {
+        assert_eq!(PackedTerm::pack(Term::variable("X")), None);
+        assert_eq!(
+            PackedTerm::pack(Term::Null(NullId(PackedTerm::MAX_PAYLOAD as u64 + 1))),
+            None
+        );
+        assert_eq!(PackedTerm::pack(Term::Null(NullId(u64::MAX))), None);
+    }
+
+    #[test]
+    fn packed_ordering_is_isomorphic_to_term_ordering() {
+        let mut terms = vec![
+            Term::Null(NullId(3)),
+            Term::constant("pk_ord_b"),
+            Term::Null(NullId(1)),
+            Term::constant("pk_ord_a"),
+        ];
+        let mut packed: Vec<PackedTerm> =
+            terms.iter().map(|&t| PackedTerm::pack(t).unwrap()).collect();
+        terms.sort();
+        packed.sort();
+        assert_eq!(
+            packed.iter().map(|p| p.unpack()).collect::<Vec<_>>(),
+            terms
+        );
+    }
+
+    #[test]
+    fn unmatchable_sentinel_equals_no_packable_term() {
+        assert_ne!(
+            PackedTerm::pack(Term::constant("a")).unwrap(),
+            PackedTerm::UNMATCHABLE
+        );
+        assert_eq!(PackedTerm::UNMATCHABLE.to_string(), "⊗unmatchable");
+        assert!(!PackedTerm::UNMATCHABLE.is_const());
+        assert!(!PackedTerm::UNMATCHABLE.is_null());
     }
 }

@@ -184,6 +184,88 @@ fn kernel_fixpoint_matches_reference_on_random_programs() {
     }
 }
 
+/// The planned build/probe path is bit-identical to the adaptive streaming
+/// path and the reference oracle on random patterns: same answer sets, same
+/// match counts, and the same matched-row-id *sets* (the set of target rows
+/// each full match binds is enumeration-order independent).
+#[test]
+fn planned_path_matches_streaming_and_reference_on_random_joins() {
+    let mut rng = StdRng::seed_from_u64(2023);
+    for case in 0..CASES {
+        let inst = arb_instance(&mut rng, 15);
+        let pattern = arb_pattern(&mut rng, 3);
+        let spec = JoinSpec::compile(&pattern);
+        let plan = spec.plan(&inst, &[]);
+
+        let run = |plan: Option<&vadalog_model::JoinPlan>| {
+            let mut matcher = Matcher::new(&spec);
+            matcher.set_plan(plan);
+            let mut answers: Vec<Substitution> = Vec::new();
+            let mut rows: BTreeSet<Vec<(usize, u32)>> = BTreeSet::new();
+            let stats = matcher.for_each(&inst, |b| {
+                answers.push(b.to_substitution());
+                rows.insert(
+                    b.matched_rows()
+                        .iter()
+                        .enumerate()
+                        .map(|(atom, &id)| (atom, id))
+                        .collect(),
+                );
+                ControlFlow::Continue(())
+            });
+            (answers, rows, stats.matches)
+        };
+        let (planned, planned_rows, planned_matches) = run(Some(&plan));
+        let (streamed, streamed_rows, streamed_matches) = run(None);
+        assert_eq!(canon(&planned), canon(&streamed), "case {case}: {pattern:?}");
+        assert_eq!(planned_matches, streamed_matches, "case {case}");
+        assert_eq!(planned_rows, streamed_rows, "case {case}: matched row ids");
+        let naive =
+            homomorphisms_reference(&pattern, &inst, &Substitution::new(), HomSearch::all());
+        assert_eq!(canon(&planned), canon(&naive), "case {case} vs oracle");
+        assert_eq!(planned.len(), naive.len(), "case {case} count vs oracle");
+    }
+}
+
+/// The planned path under delta-style prematching agrees with the streaming
+/// path for every choice of prematched atom and delta row.
+#[test]
+fn planned_prematch_matches_streaming_on_random_joins() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for case in 0..CASES {
+        let inst = arb_instance(&mut rng, 12);
+        let pattern = arb_pattern(&mut rng, 3);
+        let spec = JoinSpec::compile(&pattern);
+        let pos = rng.gen_range(0..pattern.len());
+        let Some(rel) = inst.relation(pattern[pos].predicate) else {
+            continue;
+        };
+        if rel.arity() != pattern[pos].arity() || rel.is_empty() {
+            continue;
+        }
+        let row_id = rng.gen_range(0..rel.len()) as u32;
+        let plan = spec.plan(&inst, &[pos]);
+        let run = |plan: Option<&vadalog_model::JoinPlan>| {
+            let mut matcher = Matcher::new(&spec);
+            matcher.set_plan(plan);
+            if !matcher.prematch(pos, rel.row(row_id)) {
+                return None;
+            }
+            let mut answers: Vec<Substitution> = Vec::new();
+            let stats = matcher.for_each(&inst, |b| {
+                answers.push(b.to_substitution());
+                ControlFlow::Continue(())
+            });
+            Some((canon(&answers), stats.matches))
+        };
+        assert_eq!(
+            run(Some(&plan)),
+            run(None),
+            "case {case}: atom {pos} row {row_id} of {pattern:?}"
+        );
+    }
+}
+
 /// `HomSearch::first()` agrees with the reference on *existence* (the first
 /// match found may differ, its existence may not).
 #[test]

@@ -8,11 +8,47 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vadalog_model::{
-    exists_homomorphism, homomorphisms, mgu_atom_with_atom, Atom, Database, HomSearch,
-    Substitution, Term, Variable,
+    exists_homomorphism, homomorphisms, mgu_atom_with_atom, Atom, Database, HomSearch, NullId,
+    PackedTerm, Substitution, Symbol, Term, Variable,
 };
 
 const CASES: usize = 300;
+
+/// Every ground term — random constants (fresh and shared interner entries)
+/// and nulls across the full 30-bit payload — round-trips through the packed
+/// 4-byte representation, preserving equality, ordering and display.
+#[test]
+fn packed_terms_round_trip_all_ground_terms() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut prev: Option<(PackedTerm, Term)> = None;
+    for case in 0..CASES {
+        let t = if rng.gen_bool(0.5) {
+            // A mix of shared and distinct symbols.
+            if rng.gen_bool(0.5) {
+                Term::constant(["a", "b", "c", "d"][rng.gen_range(0..4usize)])
+            } else {
+                Term::Const(Symbol::new(&format!("pk_prop_{}", rng.gen_range(0..50u32))))
+            }
+        } else {
+            Term::Null(NullId(rng.gen_range(0..(1u64 << 30))))
+        };
+        let p = PackedTerm::pack(t).expect("ground term within the dictionary packs");
+        assert_eq!(p.unpack(), t, "case {case}: round trip of {t}");
+        assert_eq!(p.to_string(), t.to_string(), "case {case}: display");
+        assert_eq!(p.is_const(), t.is_const());
+        assert_eq!(p.is_null(), t.is_null());
+        assert_eq!(p.as_const(), t.as_const());
+        assert_eq!(p.as_null(), t.as_null());
+        assert_eq!(PackedTerm::pack(t), Some(p), "case {case}: packing is stable");
+        if let Some((q, u)) = prev {
+            assert_eq!(p.cmp(&q), t.cmp(&u), "case {case}: order isomorphism");
+            assert_eq!(p == q, t == u, "case {case}: equality isomorphism");
+        }
+        prev = Some((p, t));
+    }
+    // Variables never pack.
+    assert_eq!(PackedTerm::pack(Term::variable("X")), None);
+}
 
 /// A small vocabulary so that random atoms collide often enough to make the
 /// properties interesting.

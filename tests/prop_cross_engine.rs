@@ -155,6 +155,10 @@ fn sharded_datalog_is_bit_identical_across_thread_counts() {
                 "case {case}, {threads} threads: join_probes diverged"
             );
             assert_eq!(
+                sharded.stats.rows_prededuped, sequential.stats.rows_prededuped,
+                "case {case}, {threads} threads: worker pre-dedup diverged"
+            );
+            assert_eq!(
                 row_layout(&sharded.instance),
                 row_layout(&sequential.instance),
                 "case {case}, {threads} threads: row-id ordering diverged"
@@ -162,6 +166,14 @@ fn sharded_datalog_is_bit_identical_across_thread_counts() {
             for p in 0..4 {
                 let q = parse_query(&format!("?(X, Y) :- p{p}(X, Y).")).unwrap();
                 assert_eq!(sharded.answers(&q), sequential.answers(&q));
+                // The sharded CQ kernel answers identically at every thread
+                // count, through both the instance-level and engine-level
+                // entry points.
+                assert_eq!(
+                    q.evaluate_with_threads(&sharded.instance, threads),
+                    sequential.answers(&q),
+                    "case {case}, {threads} threads: sharded CQ answers diverged"
+                );
             }
         }
     }
