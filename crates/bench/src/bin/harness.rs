@@ -11,9 +11,13 @@
 //!
 //! The `joins` experiment additionally writes `BENCH_joins.json` (wall-times
 //! and peak atom counts of the join-kernel workloads against the retained
-//! seed baseline) into the current directory, and the `parallel` experiment
-//! writes `BENCH_parallel.json` (wall-times of the sharded evaluator at
-//! 1/2/4/8 worker threads, plus the host's available parallelism).
+//! seed baseline, plus the composite-index observability counters:
+//! `composite_probes` — planned probe steps answered by a multi-column
+//! fused-key index, `probe_misses_filtered` — index probes skipped by the
+//! fingerprint filters, and per-workload `index_bytes`) into the current
+//! directory, and the `parallel` experiment writes `BENCH_parallel.json`
+//! (wall-times of the sharded evaluator at 1/2/4/8 worker threads, plus the
+//! host's available parallelism).
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -275,24 +279,32 @@ fn parallel_bench(quick: bool) {
     println!("wrote BENCH_parallel.json");
 }
 
-/// The PR 2 kernel wall times on the full-size workloads (recorded in the
+/// The PR 3 kernel wall times on the full-size workloads (recorded in the
 /// repository's `BENCH_joins.json` before this change), so the JSON can
-/// report the packed build/probe kernel's improvement against them. `None`
+/// report the composite-index kernel's improvement against them. `None`
 /// in quick mode, whose workload sizes differ.
-const PR2_BASELINE_TC_MS: f64 = 5.701;
-const PR2_BASELINE_CQ_MS: f64 = 70.790;
+const PR3_BASELINE_TC_MS: f64 = 5.362;
+const PR3_BASELINE_CQ_MS: f64 = 66.876;
 
-/// Joins — the packed build/probe kernel vs. the seed baseline on four
+/// Joins — the packed build/probe kernel vs. the seed baseline on five
 /// workloads: transitive-closure materialisation (200-node random graph), a
-/// join-heavy 3-hop CQ, and CQs over the materialised OWL 2 QL and
-/// data-exchange scenarios. Every workload asserts kernel/reference answer
-/// equality before timing; writes `BENCH_joins.json` (including the PR 2
-/// kernel baseline for the two original workloads, full mode only).
+/// join-heavy 3-hop CQ, CQs over the materialised OWL 2 QL and
+/// data-exchange scenarios, and the 2-key foreign-key join chain whose
+/// every join binds a two-column key (composite plan vs. single-column plan
+/// on the same kernel). Every workload asserts kernel/reference answer
+/// equality before timing; writes `BENCH_joins.json` with the new
+/// composite-index observability fields — `composite_probes`,
+/// `probe_misses_filtered` (fingerprint skips) and per-workload
+/// `index_bytes` — plus the PR 3 kernel baseline for the two original
+/// workloads (full mode only).
 fn joins_bench(quick: bool) {
     use std::ops::ControlFlow;
     use vadalog_bench::seed_reference;
+    use vadalog_benchgen::fkjoin::fk_join_scenario;
     use vadalog_model::homomorphism::reference::homomorphisms_reference;
-    use vadalog_model::{Atom, HomSearch, Instance, JoinSpec, Matcher, Substitution, Term};
+    use vadalog_model::{
+        Atom, HomSearch, Instance, JoinPlan, JoinSpec, JoinStats, Matcher, Substitution, Term,
+    };
 
     println!("-- joins: packed columnar store + build/probe kernel vs. seed algorithm --");
     let (nodes, edges) = if quick { (100, 150) } else { (200, 400) };
@@ -301,26 +313,34 @@ fn joins_bench(quick: bool) {
     let engine = DatalogEngine::new(tc.clone()).unwrap();
     let samples = if quick { 3 } else { 5 };
 
-    // Times a planned kernel count and the reference enumeration of the same
-    // pattern, asserting equal answer counts (the bit-identity gate of the
-    // CQ workloads).
-    let cq_workload = |pattern: &[Atom], target: &Instance| -> (u64, f64, f64) {
-        let spec = JoinSpec::compile(pattern);
-        let plan = spec.plan(target, &[]);
-        let mut kernel_ms = f64::MAX;
-        let mut kernel_answers = 0u64;
+    // Times one planned kernel enumeration (best of N), returning the
+    // answer count, wall time and the kernel counters of the final run.
+    let time_plan = |spec: &JoinSpec, plan: &JoinPlan, target: &Instance| -> (u64, f64, JoinStats) {
+        let mut best_ms = f64::MAX;
+        let mut answers = 0u64;
+        let mut stats = JoinStats::default();
         for _ in 0..samples {
             let start = Instant::now();
             let mut count = 0u64;
-            let mut matcher = Matcher::new(&spec);
-            matcher.set_plan(Some(&plan));
-            matcher.for_each(target, |_| {
+            let mut matcher = Matcher::new(spec);
+            matcher.set_plan(Some(plan));
+            stats = matcher.for_each(target, |_| {
                 count += 1;
                 ControlFlow::Continue(())
             });
-            kernel_ms = kernel_ms.min(start.elapsed().as_secs_f64() * 1e3);
-            kernel_answers = count;
+            best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            answers = count;
         }
+        (answers, best_ms, stats)
+    };
+
+    // Times a planned kernel count and the reference enumeration of the same
+    // pattern, asserting equal answer counts (the bit-identity gate of the
+    // CQ workloads).
+    let cq_workload = |pattern: &[Atom], target: &Instance| -> (u64, f64, f64, JoinStats) {
+        let spec = JoinSpec::compile(pattern);
+        let plan = spec.plan(target, &[]);
+        let (kernel_answers, kernel_ms, stats) = time_plan(&spec, &plan, target);
         let start = Instant::now();
         let seed_answers =
             homomorphisms_reference(pattern, target, &Substitution::new(), HomSearch::all()).len();
@@ -329,7 +349,7 @@ fn joins_bench(quick: bool) {
             kernel_answers as usize, seed_answers,
             "kernel and reference must agree on {pattern:?}"
         );
-        (kernel_answers, kernel_ms, seed_ms)
+        (kernel_answers, kernel_ms, seed_ms, stats)
     };
 
     // Transitive-closure materialisation (best of N timed runs each, after a
@@ -368,7 +388,7 @@ fn joins_bench(quick: bool) {
         Atom::new("t", vec![v("Y"), v("Z")]),
         Atom::new("t", vec![v("Z"), v("W")]),
     ];
-    let (kernel_answers, kernel_cq_ms, seed_cq_ms) = cq_workload(&pattern, &closure);
+    let (kernel_answers, kernel_cq_ms, seed_cq_ms, _) = cq_workload(&pattern, &closure);
 
     // OWL 2 QL (Example 3.3): materialise with the bottom-up reasoner, then
     // answer a 2-hop typing CQ with both kernels.
@@ -386,7 +406,7 @@ fn joins_bench(quick: bool) {
         Atom::new("subclassStar", vec![v("C"), v("D")]),
         Atom::new("type", vec![v("Y"), v("D")]),
     ];
-    let (owl_answers, owl_kernel_ms, owl_seed_ms) = cq_workload(&owl_pattern, &owl_instance);
+    let (owl_answers, owl_kernel_ms, owl_seed_ms, _) = cq_workload(&owl_pattern, &owl_instance);
 
     // Data exchange: chase the source-to-target TGDs, then answer a 2-hop
     // connectivity CQ over the target closure.
@@ -404,7 +424,48 @@ fn joins_bench(quick: bool) {
         Atom::new("connected", vec![v("X"), v("Y")]),
         Atom::new("connected", vec![v("Y"), v("Z")]),
     ];
-    let (dex_answers, dex_kernel_ms, dex_seed_ms) = cq_workload(&dex_pattern, &dex_instance);
+    let (dex_answers, dex_kernel_ms, dex_seed_ms, _) = cq_workload(&dex_pattern, &dex_instance);
+
+    // 2-key foreign-key join chain: every join binds a two-column key, so
+    // this is where composite fused-key probes and fingerprint miss-skipping
+    // pay off. Both plan flavours run on the *same* kernel over the same
+    // instance and must enumerate the same answers (asserted, with the
+    // reference oracle as a third witness, before any timing).
+    let (fk_groups, fk_rows) = (40, if quick { 1500 } else { 6000 });
+    let fk = fk_join_scenario(fk_groups, fk_rows, 13);
+    let fk_instance = fk.database.as_instance();
+    let fk_spec = JoinSpec::compile(&fk.pattern);
+    let fk_composite_plan = fk_spec.plan(fk_instance, &[]);
+    let fk_single_plan = fk_spec.plan_with_options(
+        fk_instance,
+        &[],
+        vadalog_model::PlanOptions {
+            composite_keys: false,
+        },
+    );
+    let (fk_answers, fk_composite_ms, fk_stats) =
+        time_plan(&fk_spec, &fk_composite_plan, fk_instance);
+    let (fk_single_answers, fk_single_ms, fk_single_stats) =
+        time_plan(&fk_spec, &fk_single_plan, fk_instance);
+    assert_eq!(
+        fk_answers, fk_single_answers,
+        "composite and single-column plans must enumerate the same FK-chain answers"
+    );
+    assert_eq!(
+        fk_answers as usize, fk.expected_answers,
+        "FK-chain answers must match the generator's bookkeeping"
+    );
+    let start = Instant::now();
+    let fk_seed_answers = homomorphisms_reference(
+        &fk.pattern,
+        fk_instance,
+        &Substitution::new(),
+        HomSearch::all(),
+    )
+    .len();
+    let fk_seed_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(fk_answers as usize, fk_seed_answers, "FK chain vs reference oracle");
+    let fk_index_bytes = fk_instance.index_bytes();
 
     let mut table = Table::new(&["workload", "kernel (ms)", "seed (ms)", "speedup"]);
     for (label, kernel_ms, seed_ms) in [
@@ -416,6 +477,7 @@ fn joins_bench(quick: bool) {
         ("3-hop CQ over closure".to_string(), kernel_cq_ms, seed_cq_ms),
         ("OWL 2 QL typing CQ".to_string(), owl_kernel_ms, owl_seed_ms),
         ("data-exchange connectivity CQ".to_string(), dex_kernel_ms, dex_seed_ms),
+        ("2-key FK join chain CQ".to_string(), fk_composite_ms, fk_seed_ms),
     ] {
         table.row(&[
             label,
@@ -425,29 +487,53 @@ fn joins_bench(quick: bool) {
         ]);
     }
     println!("{}", table.render());
+    println!(
+        "FK chain, composite vs single-column plan: {fk_composite_ms:.2} ms vs \
+         {fk_single_ms:.2} ms ({:.2}x); composite_probes={}, probe_misses_filtered={} \
+         (single-column plan: {} filtered), index_bytes={fk_index_bytes}",
+        fk_single_ms / fk_composite_ms,
+        fk_stats.composite_probes,
+        fk_stats.misses_filtered,
+        fk_single_stats.misses_filtered,
+    );
+    println!(
+        "TC materialisation composite_probes={}, probe_misses_filtered={}",
+        warm.stats.composite_probes, warm.stats.probe_misses_filtered
+    );
 
-    // The PR 2 baseline comparison only applies to the full-size workloads.
-    let pr2 = |baseline: f64, now: f64| -> (String, String) {
+    // The PR 3 baseline comparison only applies to the full-size workloads.
+    let pr3 = |baseline: f64, now: f64| -> (String, String) {
         if quick {
             ("null".to_string(), "null".to_string())
         } else {
             (format!("{baseline:.3}"), format!("{:.2}", baseline / now))
         }
     };
-    let (tc_pr2, tc_pr2_speedup) = pr2(PR2_BASELINE_TC_MS, kernel_tc_ms);
-    let (cq_pr2, cq_pr2_speedup) = pr2(PR2_BASELINE_CQ_MS, kernel_cq_ms);
+    let (tc_pr3, tc_pr3_speedup) = pr3(PR3_BASELINE_TC_MS, kernel_tc_ms);
+    let (cq_pr3, cq_pr3_speedup) = pr3(PR3_BASELINE_CQ_MS, kernel_cq_ms);
     let json = format!(
-        "{{\n  \"workloads\": {{\n    \"tc_materialization\": {{\n      \"nodes\": {nodes},\n      \"edges\": {edges},\n      \"derived_atoms\": {derived},\n      \"peak_atoms\": {peak},\n      \"kernel_wall_ms\": {kernel_tc_ms:.3},\n      \"seed_reference_wall_ms\": {seed_tc_ms:.3},\n      \"speedup\": {tc_speedup:.2},\n      \"pr2_kernel_wall_ms\": {tc_pr2},\n      \"speedup_vs_pr2_kernel\": {tc_pr2_speedup}\n    }},\n    \"cq_path3\": {{\n      \"nodes\": {cq_nodes},\n      \"edges\": {cq_edges},\n      \"answers\": {answers},\n      \"peak_atoms\": {cq_peak},\n      \"kernel_wall_ms\": {kernel_cq_ms:.3},\n      \"seed_reference_wall_ms\": {seed_cq_ms:.3},\n      \"speedup\": {cq_speedup:.2},\n      \"pr2_kernel_wall_ms\": {cq_pr2},\n      \"speedup_vs_pr2_kernel\": {cq_pr2_speedup}\n    }},\n    \"owl2ql_typing_cq\": {{\n      \"answers\": {owl_answers},\n      \"peak_atoms\": {owl_peak},\n      \"kernel_wall_ms\": {owl_kernel_ms:.3},\n      \"seed_reference_wall_ms\": {owl_seed_ms:.3},\n      \"speedup\": {owl_speedup:.2}\n    }},\n    \"data_exchange_connectivity_cq\": {{\n      \"answers\": {dex_answers},\n      \"peak_atoms\": {dex_peak},\n      \"kernel_wall_ms\": {dex_kernel_ms:.3},\n      \"seed_reference_wall_ms\": {dex_seed_ms:.3},\n      \"speedup\": {dex_speedup:.2}\n    }}\n  }}\n}}\n",
+        "{{\n  \"workloads\": {{\n    \"tc_materialization\": {{\n      \"nodes\": {nodes},\n      \"edges\": {edges},\n      \"derived_atoms\": {derived},\n      \"peak_atoms\": {peak},\n      \"composite_probes\": {tc_composite},\n      \"probe_misses_filtered\": {tc_filtered},\n      \"index_bytes\": {tc_index_bytes},\n      \"kernel_wall_ms\": {kernel_tc_ms:.3},\n      \"seed_reference_wall_ms\": {seed_tc_ms:.3},\n      \"speedup\": {tc_speedup:.2},\n      \"pr3_kernel_wall_ms\": {tc_pr3},\n      \"speedup_vs_pr3_kernel\": {tc_pr3_speedup}\n    }},\n    \"cq_path3\": {{\n      \"nodes\": {cq_nodes},\n      \"edges\": {cq_edges},\n      \"answers\": {answers},\n      \"peak_atoms\": {cq_peak},\n      \"index_bytes\": {cq_index_bytes},\n      \"kernel_wall_ms\": {kernel_cq_ms:.3},\n      \"seed_reference_wall_ms\": {seed_cq_ms:.3},\n      \"speedup\": {cq_speedup:.2},\n      \"pr3_kernel_wall_ms\": {cq_pr3},\n      \"speedup_vs_pr3_kernel\": {cq_pr3_speedup}\n    }},\n    \"owl2ql_typing_cq\": {{\n      \"answers\": {owl_answers},\n      \"peak_atoms\": {owl_peak},\n      \"index_bytes\": {owl_index_bytes},\n      \"kernel_wall_ms\": {owl_kernel_ms:.3},\n      \"seed_reference_wall_ms\": {owl_seed_ms:.3},\n      \"speedup\": {owl_speedup:.2}\n    }},\n    \"data_exchange_connectivity_cq\": {{\n      \"answers\": {dex_answers},\n      \"peak_atoms\": {dex_peak},\n      \"index_bytes\": {dex_index_bytes},\n      \"kernel_wall_ms\": {dex_kernel_ms:.3},\n      \"seed_reference_wall_ms\": {dex_seed_ms:.3},\n      \"speedup\": {dex_speedup:.2}\n    }},\n    \"fk_join_2key_cq\": {{\n      \"groups\": {fk_groups},\n      \"rows\": {fk_rows},\n      \"answers\": {fk_answers},\n      \"peak_atoms\": {fk_peak},\n      \"composite_probes\": {fk_composite_probes},\n      \"probe_misses_filtered\": {fk_filtered},\n      \"index_bytes\": {fk_index_bytes},\n      \"kernel_wall_ms\": {fk_composite_ms:.3},\n      \"single_column_wall_ms\": {fk_single_ms:.3},\n      \"speedup_vs_single_column\": {fk_vs_single:.2},\n      \"seed_reference_wall_ms\": {fk_seed_ms:.3},\n      \"speedup\": {fk_speedup:.2}\n    }}\n  }}\n}}\n",
         derived = kernel_result.stats.derived_atoms,
         peak = kernel_result.stats.peak_atoms,
+        tc_composite = warm.stats.composite_probes,
+        tc_filtered = warm.stats.probe_misses_filtered,
+        tc_index_bytes = kernel_result.instance.index_bytes(),
         tc_speedup = seed_tc_ms / kernel_tc_ms,
         answers = kernel_answers,
         cq_peak = closure.len(),
+        cq_index_bytes = closure.index_bytes(),
         cq_speedup = seed_cq_ms / kernel_cq_ms,
         owl_peak = owl_instance.len(),
+        owl_index_bytes = owl_instance.index_bytes(),
         owl_speedup = owl_seed_ms / owl_kernel_ms,
         dex_peak = dex_instance.len(),
+        dex_index_bytes = dex_instance.index_bytes(),
         dex_speedup = dex_seed_ms / dex_kernel_ms,
+        fk_peak = fk_instance.len(),
+        fk_composite_probes = fk_stats.composite_probes,
+        fk_filtered = fk_stats.misses_filtered,
+        fk_vs_single = fk_single_ms / fk_composite_ms,
+        fk_speedup = fk_seed_ms / fk_composite_ms,
     );
     std::fs::write("BENCH_joins.json", &json).expect("write BENCH_joins.json");
     println!("wrote BENCH_joins.json");

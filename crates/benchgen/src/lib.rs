@@ -15,17 +15,21 @@
 //! * [`owl`] — OWL 2 QL-style ontologies shaped like Example 3.3, plus a
 //!   DBpedia-like synthetic knowledge graph (experiments E4/E6);
 //! * [`data_exchange`] — ChaseBench-style source-to-target scenarios with
-//!   existential target dependencies (experiment E6).
+//!   existential target dependencies (experiment E6);
+//! * [`fkjoin`] — 2-key foreign-key join chains whose every join binds a
+//!   two-column key (the composite-index workload of `BENCH_joins.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod data_exchange;
+pub mod fkjoin;
 pub mod graphs;
 pub mod iwarded;
 pub mod owl;
 
 pub use data_exchange::data_exchange_scenario;
+pub use fkjoin::{fk_join_scenario, FkJoinScenario};
 pub use graphs::{chain_graph, grid_graph, preferential_attachment, random_graph};
 pub use iwarded::{iwarded_scenario, ScenarioKind, ScenarioMix};
 pub use owl::{owl_database, owl_program, synthetic_kg};

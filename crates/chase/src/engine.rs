@@ -176,12 +176,21 @@ impl ChaseEngine {
 
             // Trigger detection: one task per TGD against the round's frozen
             // instance, collected in parallel (read-only kernel runs) and
-            // applied below in deterministic (TGD, trigger) order.
+            // applied below in deterministic (TGD, trigger) order. Each body
+            // runs a static build/probe plan computed once per round (so
+            // composite fused-key probes and fingerprint miss-skipping apply
+            // to the chase too); plans depend only on the frozen instance,
+            // keeping trigger order identical for every thread count.
+            let body_plans: Vec<vadalog_model::JoinPlan> = compiled
+                .iter()
+                .map(|ctgd| ctgd.body.plan(&instance, &[]))
+                .collect();
             let round_triggers: Vec<Vec<Trigger>> =
                 parallel::run_tasks(self.config.threads, compiled.len(), |tgd_index| {
                     let ctgd = &compiled[tgd_index];
                     let mut triggers = Vec::new();
                     let mut body_matcher = Matcher::new(&ctgd.body);
+                    body_matcher.set_plan(Some(&body_plans[tgd_index]));
                     body_matcher.for_each(&instance, |bindings| {
                         triggers.push(Trigger {
                             values: (0..ctgd.body.num_slots())

@@ -69,6 +69,16 @@ pub struct DatalogStats {
     /// `joins_evaluated` this unit is independent of what drives the join,
     /// so naive and semi-naive work is directly comparable.
     pub join_probes: u64,
+    /// Planned probe steps answered by a composite (multi-column) fused-key
+    /// index instead of a single-column index plus residual filtering (see
+    /// [`vadalog_model::JoinStats::composite_probes`]).
+    pub composite_probes: u64,
+    /// Index probes skipped outright because the index's fingerprint filter
+    /// proved the probe key absent — the common case in miss-heavy
+    /// semi-naive delta rounds (see
+    /// [`vadalog_model::JoinStats::misses_filtered`]). Purely observational:
+    /// a filtered probe has zero candidates either way.
+    pub probe_misses_filtered: u64,
     /// Rows dropped by the workers' pre-dedup against the round's frozen
     /// instance — work the sequential merge phase no longer performs. The
     /// counter makes the serial-section shrinkage observable; it never
@@ -105,6 +115,8 @@ struct TaskOutput {
     batch: DerivationBatch,
     joins_evaluated: usize,
     join_probes: u64,
+    composite_probes: u64,
+    probe_misses_filtered: u64,
     rows_prededuped: u64,
 }
 
@@ -114,8 +126,18 @@ impl TaskOutput {
             batch: DerivationBatch::new(head.predicate, head.arity()),
             joins_evaluated: 0,
             join_probes: 0,
+            composite_probes: 0,
+            probe_misses_filtered: 0,
             rows_prededuped: 0,
         }
+    }
+
+    /// Folds one kernel run's counters and match count into the task.
+    fn absorb_run(&mut self, run: vadalog_model::JoinStats) {
+        self.batch.matches += run.matches;
+        self.join_probes += run.probes;
+        self.composite_probes += run.composite_probes;
+        self.probe_misses_filtered += run.misses_filtered;
     }
 
     /// Worker-side pre-dedup against the round's frozen instance: the merge
@@ -139,6 +161,8 @@ fn flush_round(
     for out in outputs {
         stats.joins_evaluated += out.joins_evaluated;
         stats.join_probes += out.join_probes;
+        stats.composite_probes += out.composite_probes;
+        stats.probe_misses_filtered += out.probe_misses_filtered;
         stats.rows_prededuped += out.rows_prededuped;
         batches.push(out.batch);
     }
@@ -298,8 +322,7 @@ impl DatalogEngine {
                         bindings.emit(&templates[task.rule_index], &mut out.batch.rows);
                         ControlFlow::Continue(())
                     });
-                    out.batch.matches += run.matches;
-                    out.join_probes += run.probes;
+                    out.absorb_run(run);
                 }
                 out.prededup(&instance)
             });
@@ -403,8 +426,7 @@ impl DatalogEngine {
                             bindings.emit(&templates[task.rule_index], &mut out.batch.rows);
                             ControlFlow::Continue(())
                         });
-                        out.batch.matches += run.matches;
-                        out.join_probes += run.probes;
+                        out.absorb_run(run);
                     }
                     out.prededup(&instance)
                 });
@@ -593,6 +615,14 @@ mod tests {
             assert_eq!(sharded.stats.join_probes, sequential.stats.join_probes);
             assert_eq!(sharded.stats.iterations, sequential.stats.iterations);
             assert_eq!(sharded.stats.rows_prededuped, sequential.stats.rows_prededuped);
+            assert_eq!(
+                sharded.stats.composite_probes,
+                sequential.stats.composite_probes
+            );
+            assert_eq!(
+                sharded.stats.probe_misses_filtered,
+                sequential.stats.probe_misses_filtered
+            );
             assert_eq!(
                 sharded.instance.row_layout(),
                 sequential.instance.row_layout(),

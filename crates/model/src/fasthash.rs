@@ -63,6 +63,45 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Mixes one u64 with a single Fibonacci multiply (Knuth's multiplicative
+/// hashing: the golden-ratio constant ⌊2^64/φ⌋).
+///
+/// This is the slot hash of the open-addressed CSR index tables in
+/// [`crate::database`]: fused composite join keys are single u64 words, so
+/// one multiply per probe beats even the (cheap) hasher construction.
+/// **Consumers must take the *high* output bits** — a difference in input
+/// bit `i` only propagates to product bits ≥ `i`, so the top bits see every
+/// input bit while the low bits ignore the high input half (and fused keys
+/// carry one packed column per 32-bit half). The index tables therefore
+/// index slots by `hash >> (64 - log2(capacity))`. The fingerprint filters
+/// do **not** reuse this hash — they need [`mix_u64`] below.
+#[inline]
+pub fn hash_u64(word: u64) -> u64 {
+    word.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Fully avalanches one u64 (the murmur3 `fmix64` finalizer: xor-shifts
+/// interleaved with two odd multiplies).
+///
+/// This is the fingerprint-filter mix of the CSR index tables. The filter
+/// cannot reuse [`hash_u64`]: a bare multiply maps arithmetic progressions
+/// of keys (interned symbol ids are handed out sequentially!) onto
+/// arithmetic progressions of bits, so an absent key drawn from the same
+/// progression as the stored keys would alias their filter bits
+/// systematically instead of at the provisioned false-positive rate. The
+/// filter is only consulted on large tables — where it spares a probable
+/// cache miss — so the extra multiply is well spent.
+#[inline]
+pub fn mix_u64(word: u64) -> u64 {
+    let mut x = word;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
 /// `BuildHasher` for [`FxHasher`].
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
@@ -73,6 +112,21 @@ pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 mod tests {
     use super::*;
     use std::hash::{BuildHasher, Hash};
+
+    #[test]
+    fn hash_u64_top_bits_see_every_input_bit() {
+        // Fused composite keys put one packed column in each 32-bit half;
+        // the slot index is taken from the top bits, so keys sharing either
+        // half must still spread over slots.
+        let top_bits = |x: u64| hash_u64(x) >> (64 - 16); // a realistic slot width
+        let shared_low: std::collections::BTreeSet<u64> =
+            (0..64u64).map(|hi| top_bits((hi << 32) | 7)).collect();
+        assert!(shared_low.len() > 60, "high halves must spread over slots");
+        let shared_high: std::collections::BTreeSet<u64> =
+            (0..64u64).map(|lo| top_bits((7 << 32) | lo)).collect();
+        assert!(shared_high.len() > 60, "low halves must spread over slots");
+        assert_eq!(hash_u64(42), hash_u64(42));
+    }
 
     #[test]
     fn equal_values_hash_equal() {

@@ -43,16 +43,25 @@
 //! *same* shape of bound slots thousands of times per round, that planning
 //! work is identical on every run. [`JoinSpec::plan`] therefore computes a
 //! **static build/probe plan** once per (pattern, prematched-atom set,
-//! frozen instance): a greedy join order in which each step probes the lazy
-//! column index (the "build" side — built once, reused by every probe) at
-//! the position estimated most selective, using per-column distinct counts
-//! for positions that will be bound by the trail and exact index hits for
-//! rigid terms. Execution with [`Matcher::set_plan`] then skips all per-node
-//! estimation: one index probe per step per binding. When the greedy planner
-//! detects a step with no bound position (a cross product — the estimates
-//! cannot distinguish orders), the plan records that streaming is preferable
-//! and the matcher transparently falls back to the adaptive path; this is
-//! the selectivity-based choice between the two kernels.
+//! frozen instance): a greedy join order in which each step probes a lazy
+//! key index (the "build" side — built once, reused by every probe) at the
+//! position — or, when two or more positions of an atom are rigid or bound
+//! by earlier steps, the **composite column set** — estimated most
+//! selective, using (memoised) distinct key counts for positions that will
+//! be bound by the trail and exact index hits for rigid keys. A composite
+//! step fuses its resolved values into one u64
+//! ([`crate::database::fuse_key`]) and probes the composite index, so every
+//! fused position is settled by the key itself instead of row-at-a-time
+//! residual filtering; the miss-heavy probes of semi-naive delta rounds are
+//! additionally short-circuited by the indexes' fingerprint filters
+//! (observable as [`JoinStats::misses_filtered`] and
+//! [`JoinStats::composite_probes`]). Execution with [`Matcher::set_plan`]
+//! then skips all per-node estimation: one index probe per step per binding.
+//! When the greedy planner detects a step with no bound position (a cross
+//! product — the estimates cannot distinguish orders), the plan records that
+//! streaming is preferable and the matcher transparently falls back to the
+//! adaptive path; this is the selectivity-based choice between the two
+//! kernels.
 //!
 //! Both paths enumerate the same match set over the same frozen instance and
 //! count `probes` in the same unit (candidate rows examined); the planned
@@ -70,7 +79,7 @@
 //! baseline the join benchmarks compare against.
 
 use crate::atom::Atom;
-use crate::database::{Instance, Relation, RowId};
+use crate::database::{fuse_key, ColSet, Instance, Relation, RowId};
 use crate::substitution::Substitution;
 use crate::term::{PackedTerm, Term, Variable};
 use std::ops::ControlFlow;
@@ -109,6 +118,25 @@ pub struct JoinStats {
     pub probes: u64,
     /// Homomorphisms emitted.
     pub matches: u64,
+    /// Planned probe steps answered by a composite (multi-column) key index
+    /// — each one replaces a single-column probe plus row-at-a-time residual
+    /// filtering of the other bound positions.
+    pub composite_probes: u64,
+    /// Index probes skipped entirely because the fingerprint filter proved
+    /// the key absent (the dominant case in miss-heavy semi-naive delta
+    /// rounds). Skipped probes have zero candidates either way, so this
+    /// counter never correlates with a result change.
+    pub misses_filtered: u64,
+}
+
+impl JoinStats {
+    /// Folds another run's counters into this one.
+    pub fn absorb(&mut self, other: JoinStats) {
+        self.probes += other.probes;
+        self.matches += other.matches;
+        self.composite_probes += other.composite_probes;
+        self.misses_filtered += other.misses_filtered;
+    }
 }
 
 /// One compiled pattern argument: either a packed term that must match
@@ -272,9 +300,16 @@ impl JoinSpec {
     }
 
     /// Computes a static **build/probe join plan** for this pattern against
-    /// `target`, assuming the atoms in `prematched` are already satisfied
-    /// (with all their variable slots bound — the state a
-    /// [`Matcher::prematch`] of those atoms produces).
+    /// `target` with the default options (composite keys enabled), assuming
+    /// the atoms in `prematched` are already satisfied (with all their
+    /// variable slots bound — the state a [`Matcher::prematch`] of those
+    /// atoms produces). See [`JoinSpec::plan_with_options`].
+    pub fn plan(&self, target: &Instance, prematched: &[usize]) -> JoinPlan {
+        self.plan_with_options(target, prematched, PlanOptions::default())
+    }
+
+    /// Computes a static **build/probe join plan** (see [`JoinSpec::plan`])
+    /// with explicit [`PlanOptions`].
     ///
     /// The greedy planner repeatedly picks the cheapest remaining atom,
     /// estimating each candidate atom by the most selective of:
@@ -282,8 +317,17 @@ impl JoinSpec {
     /// * an exact column-index hit count for rigid arguments,
     /// * `rows / distinct_keys(column)` (the average probe fan-out of the
     ///   lazy column index, which doubles as the build side of the hash
-    ///   join) for arguments bound by earlier steps, and
-    /// * the full relation size when nothing is bound (a scan).
+    ///   join) for arguments bound by earlier steps,
+    /// * when ≥ 2 positions are resolvable and composite keys are enabled:
+    ///   the analogous **composite** estimate over the fused key of the (up
+    ///   to [`ColSet::MAX_COLS`]) individually most selective resolvable
+    ///   positions — an exact fused-key hit count when they are all rigid,
+    ///   `rows / distinct_keys(column set)` (memoised in the composite
+    ///   index) otherwise. A strictly better composite estimate emits a
+    ///   composite probe step, which covers every fused position at probe
+    ///   time — no residual row-at-a-time filtering of the other bound
+    ///   columns remains,
+    /// * and the full relation size when nothing is bound (a scan).
     ///
     /// Estimates depend only on the frozen instance's statistics, so over a
     /// fixpoint round the plan — and with it the match emission order — is
@@ -293,7 +337,12 @@ impl JoinSpec {
     /// product), the plan records a preference for the adaptive streaming
     /// kernel ([`JoinPlan::prefers_streaming`]); [`Matcher::for_each`] then
     /// ignores the plan, which is the selectivity-based fallback.
-    pub fn plan(&self, target: &Instance, prematched: &[usize]) -> JoinPlan {
+    pub fn plan_with_options(
+        &self,
+        target: &Instance,
+        prematched: &[usize],
+        options: PlanOptions,
+    ) -> JoinPlan {
         let mut bound = vec![false; self.vars.len()];
         let mut used = vec![false; self.atoms.len()];
         for &i in prematched {
@@ -325,6 +374,9 @@ impl JoinSpec {
                     continue;
                 };
                 let mut atom_best = (rel.len(), PlanProbe::Scan);
+                // (estimate, position) of every resolvable argument, for the
+                // composite bound-set scoring below.
+                let mut resolvable: Vec<(usize, usize)> = Vec::new();
                 for (pos, &arg) in atom.args.iter().enumerate() {
                     let est = match arg {
                         ArgSpec::Rigid(key) => Some(rel.matching_count_packed(pos, key)),
@@ -335,8 +387,55 @@ impl JoinSpec {
                         ArgSpec::Slot(_) => None,
                     };
                     if let Some(est) = est {
+                        resolvable.push((est, pos));
                         if est < atom_best.0 || matches!(atom_best.1, PlanProbe::Scan) {
                             atom_best = (est, PlanProbe::Index { pos });
+                        }
+                    }
+                }
+                // Composite bound set: fuse the individually most selective
+                // resolvable positions. Skipped when a single position is
+                // already (near-)exact — a composite cannot beat estimate
+                // ≤ 1, so the extra index would never pay for itself.
+                if options.composite_keys && resolvable.len() >= 2 && atom_best.0 > 1 {
+                    resolvable.sort_unstable();
+                    let take = resolvable.len().min(ColSet::MAX_COLS);
+                    let mut cols: Vec<usize> =
+                        resolvable[..take].iter().map(|&(_, pos)| pos).collect();
+                    cols.sort_unstable();
+                    let cols = ColSet::new(&cols);
+                    let rigid_key = self.fused_rigid_key(i, cols);
+                    // Pre-gate before materialising the composite index,
+                    // for the fan-out branch only: under column
+                    // independence the fused distinct count is at most the
+                    // product of the per-column ones (memoised, and
+                    // already built for the single-column plan), so the
+                    // optimistic estimate below lower-bounds the real
+                    // average fan-out — if even it cannot beat the current
+                    // best, the composite index would never be probed.
+                    // An all-rigid set bypasses the gate: its estimate is
+                    // an *exact* hit count, which can undercut any
+                    // average-based bound (down to 0 for a pair that
+                    // never co-occurs).
+                    let worth_scoring = rigid_key.is_some() || {
+                        let optimistic_distinct = cols
+                            .iter()
+                            .map(|pos| rel.distinct_count(pos))
+                            .fold(1usize, |acc, d| acc.saturating_mul(d.max(1)))
+                            .min(rel.len());
+                        rel.len().div_ceil(optimistic_distinct.max(1)) < atom_best.0
+                    };
+                    if worth_scoring {
+                        let est = match rigid_key {
+                            // All fused positions rigid: exact hit count.
+                            Some(key) => rel.key_matching_count(cols, key),
+                            // Some position binds at run time: average
+                            // fan-out of the composite build side
+                            // (memoised distinct).
+                            None => rel.len().div_ceil(rel.key_distinct_count(cols).max(1)),
+                        };
+                        if est < atom_best.0 {
+                            atom_best = (est, PlanProbe::Composite { cols });
                         }
                     }
                 }
@@ -370,6 +469,41 @@ impl JoinSpec {
             prefer_streaming,
         }
     }
+
+    /// The fused key of atom `i` over `cols` when every fused position is
+    /// rigid (plan-time exact counting); `None` as soon as one position is a
+    /// slot, whose value only exists at run time.
+    fn fused_rigid_key(&self, i: usize, cols: ColSet) -> Option<u64> {
+        let mut vals = [PackedTerm::UNMATCHABLE; ColSet::MAX_COLS];
+        let mut n = 0;
+        for pos in cols.iter() {
+            match self.atoms[i].args[pos] {
+                ArgSpec::Rigid(t) => {
+                    vals[n] = t;
+                    n += 1;
+                }
+                ArgSpec::Slot(_) => return None,
+            }
+        }
+        Some(fuse_key(&vals[..n]))
+    }
+}
+
+/// Options of [`JoinSpec::plan_with_options`].
+#[derive(Clone, Copy, Debug)]
+pub struct PlanOptions {
+    /// Allow composite (multi-column) probe steps backed by fused-key
+    /// indexes. On by default; the joins benchmark disables it to time the
+    /// single-column probe path on identical data.
+    pub composite_keys: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> PlanOptions {
+        PlanOptions {
+            composite_keys: true,
+        }
+    }
 }
 
 /// An atom compiled into packed slot references, for appending match images
@@ -390,9 +524,16 @@ impl RowTemplate {
 /// One step of a static build/probe plan.
 #[derive(Clone, Copy, Debug)]
 enum PlanProbe {
-    /// Probe the lazy column index at this position with the step's runtime
-    /// value (a rigid term or a slot bound by an earlier step).
+    /// Probe the lazy column key index at this position with the step's
+    /// runtime value (a rigid term or a slot bound by an earlier step).
     Index { pos: usize },
+    /// Probe the composite key index over this column set with the fused
+    /// key of the step's runtime values (each position rigid or bound by an
+    /// earlier step). The candidates already agree on every fused position,
+    /// so no residual filtering on them survives — the remaining full-row
+    /// comparison only settles positions outside the set (and the
+    /// vanishingly rare 3-column fold collision).
+    Composite { cols: ColSet },
     /// Enumerate the whole relation.
     Scan,
 }
@@ -860,7 +1001,14 @@ where
     ctx.used[atom] = true;
     let result = match probe {
         Probe::Index(pos, term) => rel.with_matching_rows(pos, term, |ids| {
-            try_candidates(ctx, atom, rel, ids.iter().copied(), open, f)
+            if ids.skipped_by_filter() {
+                ctx.stats.misses_filtered += 1;
+            }
+            // Consume the CSR and overflow parts as two plain slice loops
+            // (ascending overall) instead of one chained iterator, keeping
+            // the per-candidate hot loop branch-free.
+            try_candidates(ctx, atom, rel, ids.merged().iter().copied(), open, f)?;
+            try_candidates(ctx, atom, rel, ids.appended().iter().copied(), open, f)
         }),
         Probe::Scan => {
             let ids = 0..rel.row_count();
@@ -933,7 +1081,33 @@ where
                 .resolved(ctx.spec.atoms[atom].args[pos])
                 .expect("planned probe position is rigid or bound by an earlier step");
             rel.with_matching_rows(pos, key, |ids| {
-                try_candidates_planned(ctx, plan, step, atom, rel, ids.iter().copied(), f)
+                if ids.skipped_by_filter() {
+                    ctx.stats.misses_filtered += 1;
+                }
+                try_candidates_planned(ctx, plan, step, atom, rel, ids.merged().iter().copied(), f)?;
+                try_candidates_planned(ctx, plan, step, atom, rel, ids.appended().iter().copied(), f)
+            })
+        }
+        PlanProbe::Composite { cols } => {
+            // Fuse the step's runtime values (rigid terms and slots bound by
+            // earlier steps) into the composite probe key, in ascending
+            // column order — the fusion order of the index itself.
+            let mut vals = [PackedTerm::UNMATCHABLE; ColSet::MAX_COLS];
+            let mut n = 0;
+            for pos in cols.iter() {
+                vals[n] = ctx
+                    .resolved(ctx.spec.atoms[atom].args[pos])
+                    .expect("planned composite position is rigid or bound by an earlier step");
+                n += 1;
+            }
+            let key = fuse_key(&vals[..n]);
+            ctx.stats.composite_probes += 1;
+            rel.with_key_matching_rows(cols, key, |ids| {
+                if ids.skipped_by_filter() {
+                    ctx.stats.misses_filtered += 1;
+                }
+                try_candidates_planned(ctx, plan, step, atom, rel, ids.merged().iter().copied(), f)?;
+                try_candidates_planned(ctx, plan, step, atom, rel, ids.appended().iter().copied(), f)
             })
         }
         PlanProbe::Scan => {
@@ -1443,6 +1617,110 @@ mod tests {
         matcher.set_plan(Some(&plan));
         let stats = matcher.for_each(&db, |_| ControlFlow::Continue(()));
         assert_eq!(stats.matches, 9);
+    }
+
+    #[test]
+    fn composite_plans_probe_multi_column_bound_sets_exactly() {
+        // r(x, y, z) over a 10×10×3 grid: both single columns fan out to 30
+        // rows, the (0, 1) pair to only 3 — the composite key index is an
+        // order of magnitude more selective than any single column, so the
+        // planner must emit a composite probe step for the join below.
+        let mut db = Database::new();
+        for x in 0..10 {
+            for y in 0..10 {
+                for z in 0..3 {
+                    db.insert(Atom::fact(
+                        "r",
+                        &[&format!("x{x}"), &format!("y{y}"), &format!("z{z}")],
+                    ))
+                    .unwrap();
+                }
+            }
+        }
+        for i in 0..20 {
+            db.insert(Atom::fact("e", &[&format!("x{}", i % 10), &format!("y{}", (i * 3) % 10)]))
+                .unwrap();
+        }
+        let inst = db.into_instance();
+        // e(X, Y) drives (the smallest relation scans first); r(X, Y, Z)
+        // then has two bound positions whose fused key is the cheap probe.
+        let pattern = vec![
+            Atom::new("e", vec![var("X"), var("Y")]),
+            Atom::new("r", vec![var("X"), var("Y"), var("Z")]),
+        ];
+        let spec = JoinSpec::compile(&pattern);
+        let plan = spec.plan(&inst, &[]);
+        let run_with = |plan: Option<&JoinPlan>| {
+            let mut matcher = Matcher::new(&spec);
+            matcher.set_plan(plan);
+            let mut answers = Vec::new();
+            let stats = matcher.for_each(&inst, |b| {
+                answers.push(b.to_substitution().to_string());
+                ControlFlow::Continue(())
+            });
+            answers.sort();
+            (answers, stats)
+        };
+        let (composite_answers, composite_stats) = run_with(Some(&plan));
+        let (adaptive_answers, adaptive_stats) = run_with(None);
+        assert_eq!(composite_answers, adaptive_answers);
+        assert_eq!(composite_stats.matches, adaptive_stats.matches);
+        assert!(
+            composite_stats.composite_probes > 0,
+            "two bound columns must plan a composite probe"
+        );
+        // The single-column plan on the same data answers identically.
+        let single = spec.plan_with_options(&inst, &[], PlanOptions { composite_keys: false });
+        let (single_answers, single_stats) = run_with(Some(&single));
+        assert_eq!(single_answers, composite_answers);
+        assert_eq!(single_stats.composite_probes, 0);
+        assert!(
+            composite_stats.probes <= single_stats.probes,
+            "composite probes must never examine more candidates"
+        );
+    }
+
+    #[test]
+    fn composite_plans_skip_misses_through_the_fingerprint_filter() {
+        // Delta-style joins where most probes miss: edge(X, Y), probe(Y, X)
+        // — only one pair exists in `probe`, so almost every composite key
+        // fused from an edge row is absent and should be filtered.
+        let mut db = Database::new();
+        for i in 0..100 {
+            db.insert(Atom::fact("edge", &[&format!("a{i}"), &format!("b{i}")]))
+                .unwrap();
+        }
+        db.insert(Atom::fact("probe", &["b7", "a7"])).unwrap();
+        // Pad `probe` with enough distinct pairs that its composite index
+        // crosses the filter size gate (small tables carry no filter).
+        for i in 0..2500 {
+            db.insert(Atom::fact("probe", &[&format!("x{i}"), &format!("y{i}")]))
+                .unwrap();
+        }
+        let inst = db.into_instance();
+        let pattern = vec![
+            Atom::new("edge", vec![var("X"), var("Y")]),
+            Atom::new("probe", vec![var("Y"), var("X")]),
+        ];
+        let spec = JoinSpec::compile(&pattern);
+        let plan = spec.plan(&inst, &[0]);
+        let mut matches = 0u64;
+        let mut stats = JoinStats::default();
+        let rel = inst.relation(crate::atom::Predicate::new("edge")).unwrap();
+        let mut matcher = Matcher::new(&spec);
+        matcher.set_plan(Some(&plan));
+        for row in 0..rel.row_count() {
+            matcher.clear();
+            assert!(matcher.prematch(0, rel.row(row)));
+            stats.absorb(matcher.for_each(&inst, |_| ControlFlow::Continue(())));
+        }
+        matches += stats.matches;
+        assert_eq!(matches, 1, "only edge(a7, b7) joins probe(b7, a7)");
+        assert!(
+            stats.misses_filtered > 50,
+            "miss-heavy composite probes must be filter-skipped (got {})",
+            stats.misses_filtered
+        );
     }
 
     #[test]

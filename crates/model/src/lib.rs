@@ -40,11 +40,11 @@ pub mod tgd;
 pub mod unify;
 
 pub use atom::{Atom, Predicate};
-pub use database::{Database, Instance, Relation, RowId};
+pub use database::{fuse_key, Candidates, ColSet, Database, Instance, Relation, RowId};
 pub use error::ModelError;
 pub use homomorphism::{
     exists_homomorphism, find_homomorphism, homomorphisms, Bindings, HomSearch, JoinPlan,
-    JoinSpec, JoinStats, Matcher, RowTemplate, PREMATCHED_ROW,
+    JoinSpec, JoinStats, Matcher, PlanOptions, RowTemplate, PREMATCHED_ROW,
 };
 pub use parallel::{DerivationBatch, MergeScratch, DELTA_SHARDS};
 pub use program::Program;

@@ -322,15 +322,12 @@ pub fn sharded_match_count(spec: &JoinSpec, instance: &Instance, threads: usize)
             if !matcher.prematch(0, rel.row(id)) {
                 continue;
             }
-            let run = matcher.for_each(instance, |_| ControlFlow::Continue(()));
-            stats.probes += run.probes;
-            stats.matches += run.matches;
+            stats.absorb(matcher.for_each(instance, |_| ControlFlow::Continue(())));
         }
         stats
     });
     for stats in results {
-        total.probes += stats.probes;
-        total.matches += stats.matches;
+        total.absorb(stats);
     }
     total
 }

@@ -211,6 +211,14 @@ impl PackedTerm {
         }
     }
 
+    /// The raw 4-byte encoding (2 tag bits + 30-bit payload). Stored terms
+    /// only ever carry the constant/null tags, so their raw value fits 31
+    /// bits — which is what lets two packed columns fuse losslessly into one
+    /// u64 composite join key (see [`crate::database::fuse_key`]).
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+
     /// `true` iff this packed term encodes a constant.
     pub fn is_const(self) -> bool {
         self.0 >> PACK_TAG_SHIFT == PACK_TAG_CONST

@@ -1,0 +1,337 @@
+//! Property tests of the composite-key index layer: on randomized patterns
+//! and instances over wide (arity 3–4) predicates, the composite-probe plan,
+//! the single-column plan, the adaptive streaming kernel and the retained
+//! reference oracle must enumerate exactly the same homomorphism sets (and
+//! the same matched-row-id sets); fingerprint filters must never change any
+//! result; and the CSR storage must stay exact through arbitrary
+//! append/probe interleavings (overflow extension and geometric rebuilds).
+//!
+//! The generators deliberately use small constant pools over wide
+//! predicates, so multi-column bound sets — the shapes composite indexes
+//! exist for — occur in almost every case.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+use vadalog_model::homomorphism::reference::homomorphisms_reference;
+use vadalog_model::{
+    fuse_key, Atom, ColSet, Database, HomSearch, Instance, JoinPlan, JoinSpec, Matcher,
+    PackedTerm, PlanOptions, Predicate, RowId, Substitution, Term,
+};
+
+const CASES: usize = 200;
+
+/// Predicates wide enough that two or three columns can be bound at once.
+const PREDICATES: [(&str, usize); 3] = [("p", 3), ("q", 4), ("r", 3)];
+
+fn arb_term(rng: &mut StdRng) -> Term {
+    if rng.gen_bool(0.55) {
+        Term::constant(["a", "b", "c"][rng.gen_range(0..3usize)])
+    } else {
+        Term::variable(["X", "Y", "Z", "W", "U"][rng.gen_range(0..5usize)])
+    }
+}
+
+fn arb_atom(rng: &mut StdRng) -> Atom {
+    let (p, arity) = PREDICATES[rng.gen_range(0..PREDICATES.len())];
+    Atom::new(p, (0..arity).map(|_| arb_term(rng)).collect())
+}
+
+fn arb_ground_atom(rng: &mut StdRng) -> Atom {
+    let (p, arity) = PREDICATES[rng.gen_range(0..PREDICATES.len())];
+    Atom::new(
+        p,
+        (0..arity)
+            .map(|_| Term::constant(["a", "b", "c", "d"][rng.gen_range(0..4usize)]))
+            .collect(),
+    )
+}
+
+fn arb_instance(rng: &mut StdRng, max_facts: usize) -> Instance {
+    let n = rng.gen_range(1..max_facts + 1);
+    let mut db = Database::new();
+    for _ in 0..n {
+        db.insert(arb_ground_atom(rng)).expect("consistent arities");
+    }
+    db.into_instance()
+}
+
+fn arb_pattern(rng: &mut StdRng, max_atoms: usize) -> Vec<Atom> {
+    let n = rng.gen_range(1..max_atoms + 1);
+    (0..n).map(|_| arb_atom(rng)).collect()
+}
+
+fn canon(hs: &[Substitution]) -> BTreeSet<String> {
+    hs.iter().map(|h| h.to_string()).collect()
+}
+
+/// Runs a matcher over `inst` with the given plan, collecting the canonical
+/// answer set, the matched-row-id set, and the kernel counters.
+#[allow(clippy::type_complexity)]
+fn run_plan(
+    spec: &JoinSpec,
+    plan: Option<&JoinPlan>,
+    inst: &Instance,
+) -> (BTreeSet<String>, BTreeSet<Vec<(usize, RowId)>>, u64, u64) {
+    let mut matcher = Matcher::new(spec);
+    matcher.set_plan(plan);
+    let mut answers: Vec<Substitution> = Vec::new();
+    let mut rows: BTreeSet<Vec<(usize, RowId)>> = BTreeSet::new();
+    let stats = matcher.for_each(inst, |b| {
+        answers.push(b.to_substitution());
+        rows.insert(b.matched_rows().iter().copied().enumerate().collect());
+        ControlFlow::Continue(())
+    });
+    (canon(&answers), rows, stats.matches, stats.composite_probes)
+}
+
+/// Composite-probe plans, single-column plans, the adaptive streaming path
+/// and the reference oracle are bit-identical on answers, match counts and
+/// matched-row-id sets — and composite probes really occur across the suite.
+#[test]
+fn composite_single_column_streaming_and_reference_agree() {
+    let mut rng = StdRng::seed_from_u64(4001);
+    let mut composite_probes_total = 0u64;
+    for case in 0..CASES {
+        let inst = arb_instance(&mut rng, 18);
+        let pattern = arb_pattern(&mut rng, 3);
+        let spec = JoinSpec::compile(&pattern);
+        let composite_plan = spec.plan(&inst, &[]);
+        let single_plan = spec.plan_with_options(
+            &inst,
+            &[],
+            PlanOptions {
+                composite_keys: false,
+            },
+        );
+
+        let (comp_answers, comp_rows, comp_matches, comp_probes) =
+            run_plan(&spec, Some(&composite_plan), &inst);
+        let (single_answers, single_rows, single_matches, single_probes) =
+            run_plan(&spec, Some(&single_plan), &inst);
+        let (stream_answers, stream_rows, stream_matches, _) = run_plan(&spec, None, &inst);
+        composite_probes_total += comp_probes;
+        assert_eq!(single_probes, 0, "case {case}: single-column plans never fuse");
+
+        assert_eq!(comp_answers, single_answers, "case {case}: {pattern:?}");
+        assert_eq!(comp_answers, stream_answers, "case {case}: {pattern:?}");
+        assert_eq!(comp_matches, single_matches, "case {case}");
+        assert_eq!(comp_matches, stream_matches, "case {case}");
+        assert_eq!(comp_rows, single_rows, "case {case}: matched row ids");
+        assert_eq!(comp_rows, stream_rows, "case {case}: matched row ids");
+
+        let oracle =
+            homomorphisms_reference(&pattern, &inst, &Substitution::new(), HomSearch::all());
+        assert_eq!(comp_answers, canon(&oracle), "case {case} vs oracle");
+        assert_eq!(comp_matches as usize, oracle.len(), "case {case} count vs oracle");
+    }
+    assert!(
+        composite_probes_total > 0,
+        "the suite must actually exercise composite probe steps"
+    );
+}
+
+/// Delta-style prematching: for every choice of prematched atom and delta
+/// row, the composite plan agrees with the single-column plan and the
+/// streaming path.
+#[test]
+fn composite_prematch_agrees_with_single_column_and_streaming() {
+    let mut rng = StdRng::seed_from_u64(4002);
+    for case in 0..CASES {
+        let inst = arb_instance(&mut rng, 15);
+        let pattern = arb_pattern(&mut rng, 3);
+        let spec = JoinSpec::compile(&pattern);
+        let pos = rng.gen_range(0..pattern.len());
+        let Some(rel) = inst.relation(pattern[pos].predicate) else {
+            continue;
+        };
+        if rel.arity() != pattern[pos].arity() || rel.is_empty() {
+            continue;
+        }
+        let row_id = rng.gen_range(0..rel.len()) as RowId;
+        let composite_plan = spec.plan(&inst, &[pos]);
+        let single_plan = spec.plan_with_options(
+            &inst,
+            &[pos],
+            PlanOptions {
+                composite_keys: false,
+            },
+        );
+        let run = |plan: Option<&JoinPlan>| {
+            let mut matcher = Matcher::new(&spec);
+            matcher.set_plan(plan);
+            if !matcher.prematch(pos, rel.row(row_id)) {
+                return None;
+            }
+            let mut answers: Vec<Substitution> = Vec::new();
+            let stats = matcher.for_each(&inst, |b| {
+                answers.push(b.to_substitution());
+                ControlFlow::Continue(())
+            });
+            Some((canon(&answers), stats.matches))
+        };
+        let composite = run(Some(&composite_plan));
+        assert_eq!(
+            composite,
+            run(Some(&single_plan)),
+            "case {case}: atom {pos} row {row_id} of {pattern:?}"
+        );
+        assert_eq!(
+            composite,
+            run(None),
+            "case {case}: atom {pos} row {row_id} of {pattern:?}"
+        );
+    }
+}
+
+/// Fingerprint false positives and filter skips are harmless: probing random
+/// (mostly absent) fused keys through the public probe API returns exactly
+/// the rows a full scan finds, for single columns and composites alike.
+#[test]
+fn fingerprint_filters_are_transparent_to_probe_results() {
+    // Phase 1: a relation with enough distinct composite keys that its
+    // indexes genuinely cross the filter size gate, probed with a mix of
+    // present and absent pairs — the filtered path must agree with a scan.
+    {
+        let mut db = Database::new();
+        for i in 0..6000u32 {
+            db.insert(Atom::new(
+                "w",
+                vec![
+                    Term::constant(&format!("fa{}", i % 120)),
+                    Term::constant(&format!("fb{}", i / 120)),
+                    Term::constant(&format!("fv{i}")),
+                ],
+            ))
+            .unwrap();
+        }
+        let inst = db.into_instance();
+        let rel = inst.relation(Predicate::new("w")).unwrap();
+        let cols = ColSet::new(&[0, 1]);
+        assert_eq!(rel.key_distinct_count(cols), 6000);
+        // One linear pass builds the oracle buckets; every probe compares
+        // against it.
+        let mut oracle: std::collections::BTreeMap<(PackedTerm, PackedTerm), Vec<RowId>> =
+            std::collections::BTreeMap::new();
+        for id in 0..rel.row_count() {
+            let row = rel.row(id);
+            oracle.entry((row[0], row[1])).or_default().push(id);
+        }
+        let mut filtered = 0usize;
+        for a in 0..140u32 {
+            for b in 0..60u32 {
+                let pa = PackedTerm::pack(Term::constant(&format!("fa{a}"))).unwrap();
+                let pb = PackedTerm::pack(Term::constant(&format!("fb{b}"))).unwrap();
+                let key = fuse_key(&[pa, pb]);
+                let (indexed, skipped): (Vec<RowId>, bool) = rel
+                    .with_key_matching_rows(cols, key, |c| (c.iter().collect(), c.skipped_by_filter()));
+                filtered += usize::from(skipped);
+                let expected = oracle.get(&(pa, pb)).cloned().unwrap_or_default();
+                assert_eq!(indexed, expected, "pair (fa{a}, fb{b})");
+            }
+        }
+        // 140×60 probes cover 6000 present pairs and 2400 absent ones; the
+        // absent ones must be mostly filter-skipped (the filter exists).
+        assert!(filtered > 1500, "only {filtered} probes were filter-skipped");
+    }
+
+    // Phase 2: randomized small instances (below the filter gate — the
+    // unfiltered path must be just as transparent).
+    let mut rng = StdRng::seed_from_u64(4003);
+    for case in 0..60 {
+        let inst = arb_instance(&mut rng, 120);
+        for p in ["p", "q", "r"] {
+            let Some(rel) = inst.relation(Predicate::new(p)) else {
+                continue;
+            };
+            let arity = rel.arity();
+            for _ in 0..40 {
+                // Random (often absent) probe values over a wider pool than
+                // the stored data, on a random column pair.
+                let c0 = rng.gen_range(0..arity);
+                let c1 = (c0 + 1 + rng.gen_range(0..arity - 1)) % arity;
+                let cols = ColSet::new(&[c0.min(c1), c0.max(c1)]);
+                let v0 = Term::constant(["a", "b", "c", "d", "e", "zz"][rng.gen_range(0..6usize)]);
+                let v1 = Term::constant(["a", "b", "c", "d", "e", "zz"][rng.gen_range(0..6usize)]);
+                let (lo, hi) = if c0 < c1 { (v0, v1) } else { (v1, v0) };
+                let key = fuse_key(&[
+                    PackedTerm::pack(lo).unwrap(),
+                    PackedTerm::pack(hi).unwrap(),
+                ]);
+                let indexed: Vec<RowId> =
+                    rel.with_key_matching_rows(cols, key, |c| c.iter().collect());
+                let scanned: Vec<RowId> = (0..rel.row_count())
+                    .filter(|&id| {
+                        let row = rel.row(id);
+                        row[c0.min(c1)] == PackedTerm::pack(lo).unwrap()
+                            && row[c0.max(c1)] == PackedTerm::pack(hi).unwrap()
+                    })
+                    .collect();
+                assert_eq!(indexed, scanned, "case {case}: {p} cols {cols} probe");
+            }
+        }
+    }
+}
+
+/// CSR exactness through interleaved appends and probes: after every batch
+/// of inserts (which drives the index through overflow extension and
+/// geometric rebuilds), the index answers equal a full scan on single
+/// columns and composites.
+#[test]
+fn csr_stays_exact_through_append_probe_interleavings() {
+    let mut rng = StdRng::seed_from_u64(4004);
+    for case in 0..25 {
+        let mut inst = Instance::new();
+        let p = Predicate::new("q");
+        let cols = ColSet::new(&[0, 2]);
+        for batch in 0..12 {
+            let grow = rng.gen_range(1..40usize);
+            for _ in 0..grow {
+                let atom = Atom::new(
+                    "q",
+                    (0..4)
+                        .map(|_| {
+                            Term::constant(["a", "b", "c", "d"][rng.gen_range(0..4usize)])
+                        })
+                        .collect(),
+                );
+                inst.insert(atom).unwrap();
+            }
+            let rel = inst.relation(p).unwrap();
+            for v0 in ["a", "b", "c", "d"] {
+                // Single column.
+                let key0 = PackedTerm::pack(Term::constant(v0)).unwrap();
+                let got: Vec<RowId> = rel.with_matching_rows(0, key0, |c| c.iter().collect());
+                let want: Vec<RowId> = (0..rel.row_count())
+                    .filter(|&id| rel.row(id)[0] == key0)
+                    .collect();
+                assert_eq!(got, want, "case {case} batch {batch}: column 0 = {v0}");
+                // Composite (0, 2).
+                for v2 in ["a", "c"] {
+                    let key2 = PackedTerm::pack(Term::constant(v2)).unwrap();
+                    let key = fuse_key(&[key0, key2]);
+                    let got: Vec<RowId> =
+                        rel.with_key_matching_rows(cols, key, |c| c.iter().collect());
+                    let want: Vec<RowId> = (0..rel.row_count())
+                        .filter(|&id| rel.row(id)[0] == key0 && rel.row(id)[2] == key2)
+                        .collect();
+                    assert_eq!(got, want, "case {case} batch {batch}: ({v0}, {v2})");
+                }
+            }
+            // The memoised distinct counts match a recount from scratch.
+            let mut single = BTreeSet::new();
+            let mut pairs = BTreeSet::new();
+            for id in 0..rel.row_count() {
+                single.insert(rel.row(id)[0]);
+                pairs.insert((rel.row(id)[0], rel.row(id)[2]));
+            }
+            assert_eq!(rel.distinct_count(0), single.len(), "case {case} batch {batch}");
+            assert_eq!(
+                rel.key_distinct_count(cols),
+                pairs.len(),
+                "case {case} batch {batch}"
+            );
+        }
+    }
+}

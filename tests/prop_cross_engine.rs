@@ -96,7 +96,7 @@ fn arb_program(rng: &mut StdRng) -> Program {
     let n_rules = rng.gen_range(2..7usize);
     for _ in 0..n_rules {
         let head = rng.gen_range(0..4u32);
-        match rng.gen_range(0..3u32) {
+        match rng.gen_range(0..4u32) {
             // Copy rule: pk(X, Y) :- pa(X, Y).
             0 => {
                 let a = rng.gen_range(0..4u32);
@@ -107,6 +107,14 @@ fn arb_program(rng: &mut StdRng) -> Program {
                 let a = rng.gen_range(0..4u32);
                 let b = rng.gen_range(0..4u32);
                 src.push_str(&format!("p{head}(X, Z) :- p{a}(X, Y), p{b}(Y, Z).\n"));
+            }
+            // Intersection rule: pk(X, Y) :- pa(X, Y), pb(X, Y) — both
+            // columns of the second atom are bound at once, the shape the
+            // composite fused-key probes answer.
+            2 => {
+                let a = rng.gen_range(0..4u32);
+                let b = rng.gen_range(0..4u32);
+                src.push_str(&format!("p{head}(X, Y) :- p{a}(X, Y), p{b}(X, Y).\n"));
             }
             // Edge-extension rule: pk(X, Z) :- edge(X, Y), pa(Y, Z).
             _ => {
@@ -157,6 +165,14 @@ fn sharded_datalog_is_bit_identical_across_thread_counts() {
             assert_eq!(
                 sharded.stats.rows_prededuped, sequential.stats.rows_prededuped,
                 "case {case}, {threads} threads: worker pre-dedup diverged"
+            );
+            assert_eq!(
+                sharded.stats.composite_probes, sequential.stats.composite_probes,
+                "case {case}, {threads} threads: composite probes diverged"
+            );
+            assert_eq!(
+                sharded.stats.probe_misses_filtered, sequential.stats.probe_misses_filtered,
+                "case {case}, {threads} threads: fingerprint skips diverged"
             );
             assert_eq!(
                 row_layout(&sharded.instance),
