@@ -225,6 +225,33 @@ impl PredicateGraph {
     pub fn sccs_topological(&self) -> Vec<usize> {
         (0..self.scc_members.len()).rev().collect()
     }
+
+    /// The forward closure of `seeds` under the rule edges body → head:
+    /// every predicate whose relation can change when new facts over the
+    /// seed predicates arrive (the seeds themselves included, whether or not
+    /// they occur in the schema).
+    ///
+    /// This is the pruning set of incremental evaluation: a stratum none of
+    /// whose predicates lie in the closure of an ingested batch's touched
+    /// predicates is **provably** unaffected by the batch and can be skipped
+    /// without reading any data.
+    pub fn reachable_from(
+        &self,
+        seeds: impl IntoIterator<Item = Predicate>,
+    ) -> BTreeSet<Predicate> {
+        let mut closure: BTreeSet<Predicate> = seeds.into_iter().collect();
+        let mut work: Vec<Predicate> = closure.iter().copied().collect();
+        while let Some(p) = work.pop() {
+            if let Some(succs) = self.successors.get(&p) {
+                for &next in succs {
+                    if closure.insert(next) {
+                        work.push(next);
+                    }
+                }
+            }
+        }
+        closure
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +337,33 @@ mod tests {
                 assert!(pos[&sf] < pos[&st], "edge {from}->{to} violates topo order");
             }
         }
+    }
+
+    #[test]
+    fn reachable_from_follows_rule_edges_forward() {
+        let program = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).\n\
+             reach_pair(X, Y) :- t(X, Y), red(Y).\n\
+             s(X, Y) :- link(X, Y).\n s(X, Z) :- link(X, Y), s(Y, Z).",
+        )
+        .unwrap();
+        let g = PredicateGraph::new(&program);
+        // edge feeds t, which feeds reach_pair — but never the link/s chain.
+        let from_edge = g.reachable_from([pred("edge")]);
+        assert!(from_edge.contains(&pred("edge")));
+        assert!(from_edge.contains(&pred("t")));
+        assert!(from_edge.contains(&pred("reach_pair")));
+        assert!(!from_edge.contains(&pred("link")));
+        assert!(!from_edge.contains(&pred("s")));
+        // red only feeds the final join.
+        let from_red = g.reachable_from([pred("red")]);
+        assert_eq!(from_red.len(), 2);
+        assert!(from_red.contains(&pred("red")) && from_red.contains(&pred("reach_pair")));
+        // Seeds outside the schema stay in the closure (a batch may touch a
+        // predicate no rule reads — nothing is reachable from it).
+        let foreign = g.reachable_from([pred("zzz")]);
+        assert_eq!(foreign.len(), 1);
+        assert!(foreign.contains(&pred("zzz")));
     }
 
     #[test]

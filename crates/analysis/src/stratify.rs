@@ -45,6 +45,26 @@ impl Stratification {
     pub fn stratum_of(&self, p: Predicate) -> Option<usize> {
         self.strata.iter().position(|s| s.predicates.contains(&p))
     }
+
+    /// Per-stratum affectedness under a fact batch touching exactly the
+    /// predicates of `touched`: stratum `i` is affected iff one of its
+    /// predicates lies in the predicate graph's forward closure of the
+    /// touched set ([`PredicateGraph::reachable_from`]).
+    ///
+    /// Unaffected strata are **provably** unchanged by the batch — no chain
+    /// of rule applications can carry a new fact into them — so incremental
+    /// evaluation skips them without sampling a single watermark.
+    pub fn affected_strata(
+        &self,
+        graph: &PredicateGraph,
+        touched: &BTreeSet<Predicate>,
+    ) -> Vec<bool> {
+        let closure = graph.reachable_from(touched.iter().copied());
+        self.strata
+            .iter()
+            .map(|s| s.predicates.iter().any(|p| closure.contains(p)))
+            .collect()
+    }
 }
 
 /// Computes the stratification of a program.
@@ -131,6 +151,40 @@ mod tests {
         assert!(sub < ty);
         // EDB predicates belong to no stratum.
         assert!(s.stratum_of(Predicate::new("subclass")).is_none());
+    }
+
+    #[test]
+    fn affected_strata_follow_the_predicate_graph_closure() {
+        let p = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).\n\
+             reach_pair(X, Y) :- t(X, Y), red(Y).\n\
+             s(X, Y) :- link(X, Y).\n s(X, Z) :- link(X, Y), s(Y, Z).",
+        )
+        .unwrap();
+        let s = stratify(&p);
+        let graph = PredicateGraph::new(&p);
+        let t = s.stratum_of(Predicate::new("t")).unwrap();
+        let rp = s.stratum_of(Predicate::new("reach_pair")).unwrap();
+        let sc = s.stratum_of(Predicate::new("s")).unwrap();
+
+        // edge deltas reach t and reach_pair but never the link closure.
+        let edge_touch: BTreeSet<Predicate> = [Predicate::new("edge")].into_iter().collect();
+        let affected = s.affected_strata(&graph, &edge_touch);
+        assert!(affected[t] && affected[rp] && !affected[sc]);
+
+        // red deltas only reach the final join stratum.
+        let red_touch: BTreeSet<Predicate> = [Predicate::new("red")].into_iter().collect();
+        let affected = s.affected_strata(&graph, &red_touch);
+        assert!(!affected[t] && affected[rp] && !affected[sc]);
+
+        // A directly touched IDB predicate affects its own stratum.
+        let t_touch: BTreeSet<Predicate> = [Predicate::new("t")].into_iter().collect();
+        let affected = s.affected_strata(&graph, &t_touch);
+        assert!(affected[t] && affected[rp] && !affected[sc]);
+
+        // An empty batch affects nothing.
+        let affected = s.affected_strata(&graph, &BTreeSet::new());
+        assert!(affected.iter().all(|&a| !a));
     }
 
     #[test]

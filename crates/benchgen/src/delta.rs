@@ -1,0 +1,134 @@
+//! Delta-stream workloads for the incremental-ingestion benchmark: a base
+//! database plus a stream of small fact batches, with the union retained so
+//! the incremental materialisation can be checked bit-identical against a
+//! from-scratch evaluation.
+//!
+//! The canonical scenario runs **two independent transitive closures** —
+//! `t` over `edge` and `s` over `link` — and streams deltas that touch only
+//! `edge`. The `s` stratum is therefore provably unaffected by every delta
+//! batch, which is exactly what the incremental engine's affected-strata
+//! pruning must detect (`strata_skipped ≥ 1` per ingest) while the `t`
+//! stratum re-derives from its watermarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vadalog_model::parser::parse_rules;
+use vadalog_model::{Atom, Database, Program};
+
+/// The two-closure program of the delta-stream scenario.
+pub const TWO_CLOSURE_PROGRAM: &str = "t(X, Y) :- edge(X, Y).\n\
+                                       t(X, Z) :- edge(X, Y), t(Y, Z).\n\
+                                       s(X, Y) :- link(X, Y).\n\
+                                       s(X, Z) :- link(X, Y), s(Y, Z).";
+
+/// A delta-stream workload: evaluate `base`, then ingest the `deltas`
+/// batches in order; the result must match a from-scratch evaluation of
+/// `union`.
+pub struct DeltaStreamScenario {
+    /// The two-closure program (see [`TWO_CLOSURE_PROGRAM`]).
+    pub program: Program,
+    /// Everything except the streamed deltas (all `link` facts and the
+    /// retained `edge` facts).
+    pub base: Database,
+    /// The streamed batches, in ingestion order; every fact is an `edge`
+    /// fact, so each batch touches exactly one stratum's inputs.
+    pub deltas: Vec<Vec<Atom>>,
+    /// Base plus all deltas, in the same arrival order.
+    pub union: Database,
+}
+
+/// Generates a delta-stream scenario: a random `edge` graph of
+/// `edge_count + delta_batches * batch_size` distinct edges over `nodes`
+/// nodes whose last batches are held back as the stream, plus an
+/// independent random `link` graph of `link_count` edges (same node count)
+/// that no delta ever touches.
+pub fn two_closure_delta_stream(
+    nodes: usize,
+    edge_count: usize,
+    link_count: usize,
+    delta_batches: usize,
+    batch_size: usize,
+    seed: u64,
+) -> DeltaStreamScenario {
+    assert!(nodes >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut draw_edges = |target: usize| -> Vec<(usize, usize)> {
+        let mut set = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target * 20 {
+            attempts += 1;
+            let a = rng.gen_range(0..nodes);
+            let b = rng.gen_range(0..nodes);
+            if a != b && set.insert((a, b)) {
+                out.push((a, b));
+            }
+        }
+        out
+    };
+    let streamed = delta_batches * batch_size;
+    let edges = draw_edges(edge_count + streamed);
+    let links = draw_edges(link_count);
+    assert!(
+        edges.len() > streamed,
+        "graph too dense for the requested delta stream"
+    );
+
+    let fact = |pred: &str, (a, b): (usize, usize)| -> Atom {
+        Atom::fact(pred, &[format!("n{a}").as_str(), format!("n{b}").as_str()])
+    };
+    let split = edges.len() - streamed;
+    let mut base = Database::new();
+    let mut union = Database::new();
+    for &pair in &edges[..split] {
+        base.insert(fact("edge", pair)).expect("edge facts are ground");
+        union.insert(fact("edge", pair)).expect("edge facts are ground");
+    }
+    for &pair in &links {
+        base.insert(fact("link", pair)).expect("link facts are ground");
+        union.insert(fact("link", pair)).expect("link facts are ground");
+    }
+    let deltas: Vec<Vec<Atom>> = edges[split..]
+        .chunks(batch_size)
+        .map(|chunk| chunk.iter().map(|&pair| fact("edge", pair)).collect())
+        .collect();
+    for batch in &deltas {
+        for atom in batch {
+            union.insert(atom.clone()).expect("edge facts are ground");
+        }
+    }
+    DeltaStreamScenario {
+        program: parse_rules(TWO_CLOSURE_PROGRAM).expect("two-closure program parses"),
+        base,
+        deltas,
+        union,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::Predicate;
+
+    #[test]
+    fn scenario_splits_the_stream_off_the_union() {
+        let scenario = two_closure_delta_stream(40, 60, 30, 3, 4, 7);
+        assert_eq!(scenario.deltas.len(), 3);
+        assert!(scenario.deltas.iter().all(|batch| batch.len() == 4));
+        assert_eq!(scenario.base.len() + 12, scenario.union.len());
+        // Deltas touch only `edge`.
+        for batch in &scenario.deltas {
+            for atom in batch {
+                assert_eq!(atom.predicate, Predicate::new("edge"));
+                assert!(!scenario.base.contains(atom), "streamed facts are held back");
+                assert!(scenario.union.contains(atom));
+            }
+        }
+        // Reproducible per seed.
+        let again = two_closure_delta_stream(40, 60, 30, 3, 4, 7);
+        assert_eq!(
+            scenario.union.as_instance().row_layout(),
+            again.union.as_instance().row_layout()
+        );
+    }
+}

@@ -17,18 +17,23 @@
 //! * [`data_exchange`] — ChaseBench-style source-to-target scenarios with
 //!   existential target dependencies (experiment E6);
 //! * [`fkjoin`] — 2-key foreign-key join chains whose every join binds a
-//!   two-column key (the composite-index workload of `BENCH_joins.json`).
+//!   two-column key (the composite-index workload of `BENCH_joins.json`);
+//! * [`delta`] — delta-stream workloads (base database + small fact
+//!   batches) for the incremental-ingestion benchmark of
+//!   `BENCH_incremental.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod data_exchange;
+pub mod delta;
 pub mod fkjoin;
 pub mod graphs;
 pub mod iwarded;
 pub mod owl;
 
 pub use data_exchange::data_exchange_scenario;
+pub use delta::{two_closure_delta_stream, DeltaStreamScenario, TWO_CLOSURE_PROGRAM};
 pub use fkjoin::{fk_join_scenario, FkJoinScenario};
 pub use graphs::{chain_graph, grid_graph, preferential_attachment, random_graph};
 pub use iwarded::{iwarded_scenario, ScenarioKind, ScenarioMix};

@@ -45,7 +45,7 @@ use vadalog_analysis::stratify::{stratify, Stratification};
 use vadalog_model::parallel::{self, DerivationBatch};
 use vadalog_model::{
     Atom, ConjunctiveQuery, Database, Instance, JoinPlan, JoinSpec, Matcher, MergeScratch,
-    ModelError, Predicate, Program, RowId, RowTemplate, Symbol,
+    ModelError, Predicate, Program, RowId, RowTemplate, Symbol, Tgd,
 };
 
 /// Counters describing an evaluation run.
@@ -85,6 +85,17 @@ pub struct DatalogStats {
     /// affects results (pre-dedup'd rows are exactly the duplicates the
     /// merge would have skipped).
     pub rows_prededuped: u64,
+    /// Strata an incremental ingest skipped without reading any data —
+    /// either proven unreachable from the batch's touched predicates by the
+    /// predicate graph, or reachable but presented with no delta rows (see
+    /// [`crate::IncrementalEngine`]). Always 0 for full evaluation.
+    pub strata_skipped: usize,
+    /// Fixpoint rounds executed through the incremental ingest path (the
+    /// cross-stratum delta-seeded round of each affected stratum plus the
+    /// semi-naive rounds it triggers). Always 0 for full evaluation, where
+    /// rounds are counted by `iterations` alone (`iterations` covers both
+    /// paths).
+    pub rounds_incremental: usize,
 }
 
 /// The result of evaluating a Datalog program over a database.
@@ -111,7 +122,7 @@ impl DatalogResult {
 /// One task's output: the derivations for the task's head predicate plus the
 /// task-local counters, produced against the round's frozen instance and
 /// merged in deterministic task order at the end of the round.
-struct TaskOutput {
+pub(crate) struct TaskOutput {
     batch: DerivationBatch,
     joins_evaluated: usize,
     join_probes: u64,
@@ -151,7 +162,7 @@ impl TaskOutput {
 /// Merges a round's task outputs into the instance (one batched dedup insert
 /// per relation, in task order, through the round-reused scratch) and folds
 /// the task counters into the stats.
-fn flush_round(
+pub(crate) fn flush_round(
     outputs: Vec<TaskOutput>,
     scratch: &mut MergeScratch,
     instance: &mut Instance,
@@ -168,6 +179,120 @@ fn flush_round(
     }
     stats.derived_atoms += parallel::merge_derivations_with(scratch, instance, batches)
         .expect("derived facts are ground and within capacity");
+}
+
+/// One delta row range of a seeded round: the rows `lo..hi` of `predicate`
+/// drive every body position over that predicate. Entries of a round must
+/// name distinct predicates and have `lo < hi`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DeltaRange {
+    pub predicate: Predicate,
+    pub lo: RowId,
+    pub hi: RowId,
+}
+
+/// Runs one **seeded round** against the frozen `instance`: for every rule
+/// and every body position whose predicate carries a delta range, the delta
+/// rows seed that position (hash-partitioned into the fixed shard count) and
+/// the remaining body atoms join along a per-(rule, position) build/probe
+/// plan shared by all of the position's shards and workers. Returns the task
+/// outputs, pre-deduped, in deterministic task order — the caller merges
+/// them with [`flush_round`].
+///
+/// This is the shared round core of the batch engine's semi-naive loop
+/// (deltas over the stratum's own predicates) and of the incremental
+/// engine's ingest path (deltas over *any* body predicate: freshly ingested
+/// EDB rows and rows lower strata derived this ingest). The task
+/// decomposition depends only on the data, so results — row-id order
+/// included — are bit-identical for every thread count.
+pub(crate) fn seeded_round(
+    rules: &[&Tgd],
+    specs: &[JoinSpec],
+    templates: &[RowTemplate],
+    deltas: &[DeltaRange],
+    instance: &Instance,
+    threads: usize,
+) -> Vec<TaskOutput> {
+    let delta_shards: Vec<Vec<Vec<RowId>>> = deltas
+        .iter()
+        .map(|delta| {
+            let rel = instance
+                .relation(delta.predicate)
+                .expect("delta relation exists");
+            parallel::shard_delta_rows(rel, delta.lo, delta.hi)
+        })
+        .collect();
+    struct DeltaTask {
+        rule_index: usize,
+        pos: usize,
+        delta_index: usize,
+        shard: usize,
+        /// Index into the round's plan list (one shared plan per
+        /// differentiated (rule, position), reused by all of its shards and
+        /// workers).
+        plan_index: usize,
+    }
+    let mut plans: Vec<JoinPlan> = Vec::new();
+    let mut tasks: Vec<DeltaTask> = Vec::new();
+    for (rule_index, rule) in rules.iter().enumerate() {
+        for (pos, body_atom) in rule.body.iter().enumerate() {
+            let Some(delta_index) = deltas
+                .iter()
+                .position(|d| d.predicate == body_atom.predicate)
+            else {
+                continue;
+            };
+            let arity = instance
+                .arity_of(body_atom.predicate)
+                .expect("delta relation exists");
+            if arity != body_atom.arity() {
+                continue;
+            }
+            let mut plan_index = None;
+            for (shard, rows) in delta_shards[delta_index].iter().enumerate() {
+                if !rows.is_empty() {
+                    let plan_index = *plan_index.get_or_insert_with(|| {
+                        plans.push(specs[rule_index].plan(instance, &[pos]));
+                        plans.len() - 1
+                    });
+                    tasks.push(DeltaTask {
+                        rule_index,
+                        pos,
+                        delta_index,
+                        shard,
+                        plan_index,
+                    });
+                }
+            }
+        }
+    }
+    parallel::run_tasks(threads, tasks.len(), |task_index| {
+        let task = &tasks[task_index];
+        let rule = rules[task.rule_index];
+        let rel = instance
+            .relation(deltas[task.delta_index].predicate)
+            .expect("delta relation exists");
+        let rows = &delta_shards[task.delta_index][task.shard];
+        let mut out = TaskOutput::new(&rule.head[0]);
+        let mut matcher = Matcher::new(&specs[task.rule_index]);
+        matcher.set_plan(Some(&plans[task.plan_index]));
+        // Seed the differentiated atom from each delta row of the shard and
+        // join the remaining atoms against the full (frozen) instance along
+        // the shared build/probe plan.
+        for &row_id in rows {
+            matcher.clear();
+            if !matcher.prematch(task.pos, rel.row(row_id)) {
+                continue;
+            }
+            out.joins_evaluated += 1;
+            let run = matcher.for_each(instance, |bindings| {
+                bindings.emit(&templates[task.rule_index], &mut out.batch.rows);
+                ControlFlow::Continue(())
+            });
+            out.absorb_run(run);
+        }
+        out.prededup(instance)
+    })
 }
 
 /// A stratified semi-naive Datalog engine for a fixed program.
@@ -344,92 +469,18 @@ impl DatalogEngine {
             let mut hi = watermark(&instance);
             while lo.iter().zip(hi.iter()).any(|(l, h)| l < h) {
                 stats.iterations += 1;
-                let delta_shards: Vec<Option<Vec<Vec<RowId>>>> = preds
+                let deltas: Vec<DeltaRange> = preds
                     .iter()
                     .enumerate()
-                    .map(|(pred_index, &p)| {
-                        (lo[pred_index] < hi[pred_index]).then(|| {
-                            let rel =
-                                instance.relation(p).expect("watermarked relation exists");
-                            parallel::shard_delta_rows(rel, lo[pred_index], hi[pred_index])
-                        })
+                    .filter(|&(pred_index, _)| lo[pred_index] < hi[pred_index])
+                    .map(|(pred_index, &predicate)| DeltaRange {
+                        predicate,
+                        lo: lo[pred_index],
+                        hi: hi[pred_index],
                     })
                     .collect();
-                struct DeltaTask {
-                    rule_index: usize,
-                    pos: usize,
-                    pred_index: usize,
-                    shard: usize,
-                    /// Index into the round's plan list (one shared plan per
-                    /// differentiated (rule, position), reused by all of its
-                    /// shards and workers).
-                    plan_index: usize,
-                }
-                let mut plans: Vec<JoinPlan> = Vec::new();
-                let mut tasks: Vec<DeltaTask> = Vec::new();
-                for (rule_index, rule) in rules.iter().enumerate() {
-                    for (pos, body_atom) in rule.body.iter().enumerate() {
-                        let Some(pred_index) =
-                            preds.iter().position(|&p| p == body_atom.predicate)
-                        else {
-                            continue;
-                        };
-                        let Some(shards) = &delta_shards[pred_index] else {
-                            continue;
-                        };
-                        let arity = instance
-                            .arity_of(preds[pred_index])
-                            .expect("watermarked relation exists");
-                        if arity != body_atom.arity() {
-                            continue;
-                        }
-                        let mut plan_index = None;
-                        for (shard, rows) in shards.iter().enumerate() {
-                            if !rows.is_empty() {
-                                let plan_index = *plan_index.get_or_insert_with(|| {
-                                    plans.push(specs[rule_index].plan(&instance, &[pos]));
-                                    plans.len() - 1
-                                });
-                                tasks.push(DeltaTask {
-                                    rule_index,
-                                    pos,
-                                    pred_index,
-                                    shard,
-                                    plan_index,
-                                });
-                            }
-                        }
-                    }
-                }
-                let outputs = parallel::run_tasks(self.threads, tasks.len(), |task_index| {
-                    let task = &tasks[task_index];
-                    let rule = rules[task.rule_index];
-                    let rel = instance
-                        .relation(preds[task.pred_index])
-                        .expect("watermarked relation exists");
-                    let rows = &delta_shards[task.pred_index]
-                        .as_ref()
-                        .expect("task shards exist")[task.shard];
-                    let mut out = TaskOutput::new(&rule.head[0]);
-                    let mut matcher = Matcher::new(&specs[task.rule_index]);
-                    matcher.set_plan(Some(&plans[task.plan_index]));
-                    // Seed the differentiated atom from each delta row of the
-                    // shard and join the remaining atoms against the full
-                    // (frozen) instance along the shared build/probe plan.
-                    for &row_id in rows {
-                        matcher.clear();
-                        if !matcher.prematch(task.pos, rel.row(row_id)) {
-                            continue;
-                        }
-                        out.joins_evaluated += 1;
-                        let run = matcher.for_each(&instance, |bindings| {
-                            bindings.emit(&templates[task.rule_index], &mut out.batch.rows);
-                            ControlFlow::Continue(())
-                        });
-                        out.absorb_run(run);
-                    }
-                    out.prededup(&instance)
-                });
+                let outputs =
+                    seeded_round(&rules, &specs, &templates, &deltas, &instance, self.threads);
                 flush_round(outputs, &mut scratch, &mut instance, &mut stats);
                 lo = hi;
                 hi = watermark(&instance);

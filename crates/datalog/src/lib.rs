@@ -19,5 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod incremental;
 
 pub use engine::{DatalogEngine, DatalogResult, DatalogStats};
+pub use incremental::{IncrementalEngine, IngestOutcome};

@@ -102,6 +102,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::mem::size_of;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Stable identifier of a row within its [`Relation`].
@@ -385,9 +386,24 @@ const EMPTY_SLOT: IndexSlot = IndexSlot {
 /// alone serves probes, so tiny relations never pay for a rebuild.
 const CSR_BUILD_MIN_ROWS: usize = 16;
 
-/// Fingerprint-filter bits provisioned per distinct key (one set bit per
-/// key, so the false-positive rate is ≈ 1/16).
+/// Fingerprint-filter bits **initially** provisioned per distinct key (one
+/// set bit per key, so the false-positive rate starts at ≈ 1/16). The
+/// provisioning is adaptive: an index whose *measured* false-positive rate
+/// exceeds twice the provisioned target doubles its per-key bits (up to
+/// [`FILTER_MAX_BITS_PER_KEY`]) at the next index update — see
+/// [`KeyIndex::maybe_grow_filter`].
 const FILTER_BITS_PER_KEY: usize = 16;
+
+/// Upper bound of the adaptive per-key filter provisioning. 256 bits/key is
+/// a ≈ 1/256 false-positive target at 32 bytes per key — past that the
+/// filter would rival the slot table itself and growing further cannot pay.
+const FILTER_MAX_BITS_PER_KEY: usize = 256;
+
+/// Misses (filter skips + false positives) that must be observed before an
+/// adaptive resize decision is made. Below this the measured rate is noise;
+/// each decision consumes the window so a persistent rate re-triggers on
+/// fresh evidence only.
+const FILTER_RESIZE_MIN_MISSES: u64 = 512;
 
 /// Smallest slot-table capacity that gets a fingerprint filter. A filter's
 /// only payoff is sparing the slot probe on a miss; when the table fits
@@ -400,7 +416,7 @@ const FILTER_MIN_SLOTS: usize = 1 << 12;
 /// A lazily-built hash index over a [`ColSet`] of a relation's columns,
 /// keyed on the fused u64 of the packed terms (see the module docs for the
 /// CSR memory layout and the rebuild policy).
-#[derive(Clone, Debug, Default)]
+#[derive(Debug)]
 struct KeyIndex {
     /// Open-addressed slot table over the CSR arena (power-of-two capacity,
     /// linear probing, no tombstones — relations are append-only).
@@ -423,6 +439,56 @@ struct KeyIndex {
     /// One fingerprint bit per indexed key (power-of-two bit count; empty
     /// until the first CSR build, which disables filtering).
     filter: Vec<u64>,
+    /// Current adaptive per-key filter provisioning (starts at
+    /// [`FILTER_BITS_PER_KEY`], doubles when the measured false-positive
+    /// rate exceeds twice the provisioned target).
+    filter_bits_per_key: usize,
+    /// Miss probes the filter proved absent without touching the slot table.
+    /// Atomic because probes run under the index's **read** lock (possibly
+    /// from many worker threads at once); consumed, together with
+    /// `filter_false_positives`, by the adaptive resize decision, which runs
+    /// only under the write lock at index-update points.
+    filter_skips: AtomicU64,
+    /// Miss probes the filter let through (the bit was set but the probed
+    /// key had no candidates) — the numerator of the measured
+    /// false-positive rate.
+    filter_false_positives: AtomicU64,
+}
+
+impl Default for KeyIndex {
+    fn default() -> KeyIndex {
+        KeyIndex {
+            slots: Vec::new(),
+            arena: Vec::new(),
+            csr_rows: 0,
+            overflow: FxHashMap::default(),
+            rows_indexed: 0,
+            distinct: 0,
+            filter: Vec::new(),
+            filter_bits_per_key: FILTER_BITS_PER_KEY,
+            filter_skips: AtomicU64::new(0),
+            filter_false_positives: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Clone for KeyIndex {
+    fn clone(&self) -> KeyIndex {
+        KeyIndex {
+            slots: self.slots.clone(),
+            arena: self.arena.clone(),
+            csr_rows: self.csr_rows,
+            overflow: self.overflow.clone(),
+            rows_indexed: self.rows_indexed,
+            distinct: self.distinct,
+            filter: self.filter.clone(),
+            filter_bits_per_key: self.filter_bits_per_key,
+            filter_skips: AtomicU64::new(self.filter_skips.load(Ordering::Relaxed)),
+            filter_false_positives: AtomicU64::new(
+                self.filter_false_positives.load(Ordering::Relaxed),
+            ),
+        }
+    }
 }
 
 impl KeyIndex {
@@ -477,6 +543,14 @@ impl KeyIndex {
         if self.rows_indexed == rows {
             return;
         }
+        // Index-update points are where the adaptive filter provisioning is
+        // re-examined: the probes against the previous index version have
+        // all completed (rows only grow under `&mut Instance`, so no probe
+        // is in flight), which makes the miss counters a deterministic
+        // function of the data — independent of thread count and probe
+        // interleaving — and keeps the cross-thread bit-identity of the
+        // `misses_filtered` counters intact.
+        self.maybe_grow_filter();
         let unmerged = (rows - self.csr_rows) as usize;
         if unmerged >= (self.csr_rows as usize).max(CSR_BUILD_MIN_ROWS) {
             self.rebuild(terms, arity, cols, rows);
@@ -536,16 +610,20 @@ impl KeyIndex {
         }
         // Fingerprints of the (now complete) key set — only once the slot
         // table is big enough that skipping a miss probe pays (see
-        // [`FILTER_MIN_SLOTS`]).
+        // [`FILTER_MIN_SLOTS`]). The filter is provisioned at the current
+        // adaptive per-key width, and the miss window restarts with it.
         self.filter.clear();
         if slots.len() >= FILTER_MIN_SLOTS {
-            let words = (distinct * FILTER_BITS_PER_KEY).max(64).next_power_of_two() / 64;
+            let words =
+                (distinct * self.filter_bits_per_key).max(64).next_power_of_two() / 64;
             self.filter.resize(words, 0);
             for slot in slots.iter().filter(|s| s.len != 0) {
                 let (word, mask) = Self::filter_bit(words, slot.key);
                 self.filter[word] |= mask;
             }
         }
+        *self.filter_skips.get_mut() = 0;
+        *self.filter_false_positives.get_mut() = 0;
         self.slots = slots;
         self.overflow.clear();
         self.csr_rows = rows;
@@ -580,6 +658,59 @@ impl KeyIndex {
         self.rows_indexed = rows;
     }
 
+    /// Adaptive filter sizing from the **observed** miss rates: when the
+    /// measured false-positive rate of the fingerprint filter — misses that
+    /// passed the filter, over all misses — exceeds **twice** the
+    /// provisioned target rate of `1 / filter_bits_per_key`, the per-key
+    /// provisioning doubles (up to [`FILTER_MAX_BITS_PER_KEY`]) and the
+    /// filter alone is rebuilt. Sustained degradation (e.g. a long overflow
+    /// tail crowding the bit array, or adversarial key mixes) therefore
+    /// self-corrects, while a healthy filter never pays a rebuild.
+    ///
+    /// Every decision consumes the miss window (the counters reset), so a
+    /// resize is only ever triggered by evidence gathered against the
+    /// *current* provisioning. Runs under `&mut self` only — see the call
+    /// site in [`KeyIndex::ensure`] for why that keeps results and counters
+    /// deterministic across thread counts.
+    fn maybe_grow_filter(&mut self) {
+        if self.filter.is_empty() {
+            return;
+        }
+        let skips = *self.filter_skips.get_mut();
+        let false_positives = *self.filter_false_positives.get_mut();
+        let misses = skips + false_positives;
+        if misses < FILTER_RESIZE_MIN_MISSES {
+            return;
+        }
+        *self.filter_skips.get_mut() = 0;
+        *self.filter_false_positives.get_mut() = 0;
+        // rate > 2 / bits  ⟺  fp * bits > 2 * misses (integer-exact).
+        let degraded = false_positives * self.filter_bits_per_key as u64 > 2 * misses;
+        if !degraded || self.filter_bits_per_key >= FILTER_MAX_BITS_PER_KEY {
+            return;
+        }
+        self.filter_bits_per_key *= 2;
+        self.rebuild_filter();
+    }
+
+    /// Rebuilds the fingerprint filter alone — slot table, arena and
+    /// overflow map untouched — at the current per-key provisioning, from
+    /// the CSR keys plus the unmerged overflow keys.
+    fn rebuild_filter(&mut self) {
+        let words =
+            (self.distinct * self.filter_bits_per_key).max(64).next_power_of_two() / 64;
+        self.filter.clear();
+        self.filter.resize(words, 0);
+        for slot in self.slots.iter().filter(|s| s.len != 0) {
+            let (word, mask) = Self::filter_bit(words, slot.key);
+            self.filter[word] |= mask;
+        }
+        for &key in self.overflow.keys() {
+            let (word, mask) = Self::filter_bit(words, key);
+            self.filter[word] |= mask;
+        }
+    }
+
     /// The candidate rows of `key`: the CSR bucket plus the overflow bucket
     /// (globally ascending). The fingerprint filter is consulted first — a
     /// clear bit proves the key absent without touching the table, reported
@@ -592,6 +723,9 @@ impl KeyIndex {
         if !self.filter.is_empty() {
             let (word, mask) = Self::filter_bit(self.filter.len(), key);
             if self.filter[word] & mask == 0 {
+                // A proven miss: evidence that the filter is earning its
+                // keep (the denominator of the measured FP rate).
+                self.filter_skips.fetch_add(1, Ordering::Relaxed);
                 return Candidates {
                     csr: &[],
                     overflow: &[],
@@ -615,6 +749,11 @@ impl KeyIndex {
         } else {
             self.overflow.get(&key).map(Vec::as_slice).unwrap_or(&[])
         };
+        if !self.filter.is_empty() && csr.is_empty() && overflow.is_empty() {
+            // The filter passed a key that has no rows: a false positive.
+            // Counted on the miss path only, so hits stay untouched.
+            self.filter_false_positives.fetch_add(1, Ordering::Relaxed);
+        }
         Candidates {
             csr,
             overflow,
@@ -1327,6 +1466,20 @@ impl Instance {
         layout.sort();
         layout
     }
+
+    /// [`Instance::row_layout`] with each relation's rows additionally
+    /// sorted: equal sorted layouts mean the same per-relation row **sets**,
+    /// regardless of row-id order. This is the comparison between
+    /// materialisations whose row ids legitimately differ — e.g. an
+    /// incrementally maintained instance (ids encode arrival order) against
+    /// a from-scratch evaluation of the same facts.
+    pub fn sorted_row_layout(&self) -> Vec<(String, Vec<String>)> {
+        let mut layout = self.row_layout();
+        for (_, rows) in layout.iter_mut() {
+            rows.sort();
+        }
+        layout
+    }
 }
 
 impl FromIterator<Atom> for Instance {
@@ -1783,6 +1936,118 @@ mod tests {
         // Present keys are never filtered away.
         let hit = rel.with_matching_rows(0, pk(Term::constant("s3")), |c| c.len());
         assert_eq!(hit, 2);
+    }
+
+    /// Plants a synthetic miss window in the column-0 filter counters, as if
+    /// `skips + false_positives` miss probes had been observed against the
+    /// current filter.
+    fn plant_filter_window(inst: &mut Instance, skips: u64, false_positives: u64) {
+        let rel = inst
+            .relations
+            .get_mut(&Predicate::new("edge"))
+            .expect("edge relation exists");
+        let mut index = rel.columns[0].write().unwrap();
+        *index.filter_skips.get_mut() = skips;
+        *index.filter_false_positives.get_mut() = false_positives;
+    }
+
+    fn filter_shape(inst: &Instance) -> (usize, usize) {
+        let rel = inst.relation(Predicate::new("edge")).unwrap();
+        let index = rel.columns[0].read().unwrap();
+        (index.filter.len(), index.filter_bits_per_key)
+    }
+
+    #[test]
+    fn adaptive_filter_grows_when_the_measured_fp_rate_degrades() {
+        // 2500 distinct keys → the slot table crosses the filter size gate.
+        let mut inst = spread_relation(5000, 2500);
+        assert_eq!(inst.relation(Predicate::new("edge")).unwrap().distinct_count(0), 2500);
+        let (words_before, bits_before) = filter_shape(&inst);
+        assert!(words_before > 0, "large index carries a filter");
+        assert_eq!(bits_before, FILTER_BITS_PER_KEY);
+
+        // A degraded window: half of all observed misses passed the filter
+        // (measured FP rate 1/2 ≫ the 2/16 trigger threshold).
+        plant_filter_window(&mut inst, 600, 600);
+        // The next index update re-examines the window and resizes before
+        // indexing the appended row.
+        inst.insert(Atom::fact("edge", &["s0", "fresh"])).unwrap();
+        let rel = inst.relation(Predicate::new("edge")).unwrap();
+        assert_eq!(rel.matching_count(0, Term::constant("s0")), 3);
+        let (words_after, bits_after) = filter_shape(&inst);
+        assert_eq!(bits_after, 2 * FILTER_BITS_PER_KEY, "provisioning doubles");
+        assert!(words_after > words_before, "the bit array actually grew");
+
+        // Behaviour is preserved across the resize: present keys are found,
+        // absent keys have no candidates and are (mostly) still skipped.
+        let rel = inst.relation(Predicate::new("edge")).unwrap();
+        assert_eq!(rel.matching_count(0, Term::constant("s7")), 2);
+        let mut filtered = 0usize;
+        for i in 0..200 {
+            let key = pk(Term::constant(&format!("resized_absent_{i}")));
+            let (len, skipped) =
+                rel.with_matching_rows(0, key, |c| (c.len(), c.skipped_by_filter()));
+            assert_eq!(len, 0);
+            filtered += usize::from(skipped);
+        }
+        assert!(filtered > 150, "only {filtered}/200 misses were filtered after the resize");
+    }
+
+    #[test]
+    fn adaptive_filter_leaves_healthy_windows_alone() {
+        let mut inst = spread_relation(5000, 2500);
+        assert_eq!(inst.relation(Predicate::new("edge")).unwrap().distinct_count(0), 2500);
+        let before = filter_shape(&inst);
+
+        // A healthy window: rate 1/20, under the 2/16 trigger — consumed
+        // without a resize.
+        plant_filter_window(&mut inst, 1140, 60);
+        inst.insert(Atom::fact("edge", &["s0", "healthy"])).unwrap();
+        let rel = inst.relation(Predicate::new("edge")).unwrap();
+        assert_eq!(rel.matching_count(0, Term::constant("s0")), 3);
+        assert_eq!(filter_shape(&inst), before, "healthy rates never resize");
+        {
+            let index = rel.columns[0].read().unwrap();
+            assert_eq!(
+                index.filter_skips.load(Ordering::Relaxed)
+                    + index.filter_false_positives.load(Ordering::Relaxed),
+                0,
+                "a decided window is consumed"
+            );
+        }
+
+        // Too small a window (even at a terrible rate): no decision at all,
+        // the evidence keeps accumulating.
+        plant_filter_window(&mut inst, 8, 8);
+        inst.insert(Atom::fact("edge", &["s0", "tiny_window"])).unwrap();
+        let rel = inst.relation(Predicate::new("edge")).unwrap();
+        assert_eq!(rel.matching_count(0, Term::constant("s0")), 4);
+        assert_eq!(filter_shape(&inst), before);
+        {
+            let index = rel.columns[0].read().unwrap();
+            assert!(
+                index.filter_skips.load(Ordering::Relaxed) >= 8,
+                "an undecided window is retained"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_filter_growth_is_capped() {
+        let mut inst = spread_relation(5000, 2500);
+        assert_eq!(inst.relation(Predicate::new("edge")).unwrap().distinct_count(0), 2500);
+        {
+            let rel = inst.relations.get_mut(&Predicate::new("edge")).unwrap();
+            let mut index = rel.columns[0].write().unwrap();
+            index.filter_bits_per_key = FILTER_MAX_BITS_PER_KEY;
+            index.rebuild_filter();
+        }
+        let before = filter_shape(&inst);
+        plant_filter_window(&mut inst, 0, 1000); // catastrophic rate
+        inst.insert(Atom::fact("edge", &["s0", "capped"])).unwrap();
+        let rel = inst.relation(Predicate::new("edge")).unwrap();
+        assert_eq!(rel.matching_count(0, Term::constant("s0")), 3);
+        assert_eq!(filter_shape(&inst), before, "provisioning never grows past the cap");
     }
 
     #[test]

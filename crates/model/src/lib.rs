@@ -33,6 +33,7 @@ pub mod parallel;
 pub mod parser;
 pub mod program;
 pub mod query;
+pub mod snapshot;
 pub mod substitution;
 pub mod symbols;
 pub mod term;
@@ -49,6 +50,7 @@ pub use homomorphism::{
 pub use parallel::{DerivationBatch, MergeScratch, DELTA_SHARDS};
 pub use program::Program;
 pub use query::ConjunctiveQuery;
+pub use snapshot::{InstanceSnapshot, SnapshotCell};
 pub use substitution::Substitution;
 pub use symbols::Symbol;
 pub use term::{NullId, PackedTerm, Term, Variable};

@@ -68,6 +68,33 @@ pub fn parse_facts(source: &str) -> Result<Database, ModelError> {
     Ok(parsed.database)
 }
 
+/// Parses a source text expected to contain only ground facts, returning
+/// them **in source order** (duplicates preserved).
+///
+/// [`parse_facts`] routes through a [`Database`], whose per-predicate
+/// relation map does not remember statement order across predicates.
+/// Stream-oriented consumers — the live ingestion service feeds batches to
+/// an append-only store whose row-id assignment *is* the arrival order —
+/// need the facts exactly as written.
+pub fn parse_fact_list(source: &str) -> Result<Vec<Atom>, ModelError> {
+    let mut parser = Parser::new(source)?;
+    let mut facts = Vec::new();
+    while parser.peek().is_some() {
+        let atoms = parser.parse_atom_list()?;
+        if matches!(parser.peek().map(|t| &t.token), Some(Token::Implies)) {
+            return Err(parser.error_at("expected a fact, found a rule"));
+        }
+        parser.expect(Token::Dot, "`.`")?;
+        for atom in atoms {
+            if !atom.is_ground() {
+                return Err(ModelError::NonGroundFact(atom.to_string()));
+            }
+            facts.push(atom);
+        }
+    }
+    Ok(facts)
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Token {
     Ident(String),
@@ -570,6 +597,23 @@ mod tests {
     fn facts_with_variables_are_rejected() {
         let src = "edge(X, b).";
         assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn fact_lists_preserve_source_order_across_predicates() {
+        let src = r#"edge(a, b). node(c). edge(b, c). label(c, "x.y"). edge(a, b)."#;
+        let facts = parse_fact_list(src).unwrap();
+        let rendered: Vec<String> = facts.iter().map(|f| f.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec!["edge(a, b)", "node(c)", "edge(b, c)", "label(c, x.y)", "edge(a, b)"]
+        );
+        // Rules and non-ground atoms are rejected with a useful error.
+        assert!(parse_fact_list("t(X, Y) :- edge(X, Y).").is_err());
+        assert!(matches!(
+            parse_fact_list("edge(X, b)."),
+            Err(ModelError::NonGroundFact(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Epoch-stamped immutable snapshots of a materialised [`Instance`].
+//!
+//! A long-lived service interleaves two kinds of work over one
+//! materialisation: **ingestion** (mutates the instance through the
+//! incremental engine) and **query serving** (read-only, potentially long
+//! running, and ideally never blocked behind an ingest). The broker between
+//! them is an [`InstanceSnapshot`]: an `Arc`-shared, immutable view of the
+//! instance frozen at a specific **epoch** (a counter the owner bumps once
+//! per successful mutation batch).
+//!
+//! Snapshots are *copy-on-publish*: taking one clones the live instance —
+//! O(data), but only once per epoch, because a [`SnapshotCell`] caches the
+//! snapshot keyed by epoch and every later acquire at the same epoch is a
+//! reference-count bump. Readers therefore run entirely against frozen data
+//! (the same freezing discipline the sharded evaluator's rounds use, see
+//! [`crate::parallel`]) while the owner keeps appending to the live
+//! instance; no lock is held across a query.
+
+use crate::database::Instance;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex};
+
+/// An immutable view of an [`Instance`], frozen at a specific epoch.
+///
+/// Cloning is an `Arc` bump; the underlying instance is shared, never
+/// copied. Dereferences to [`Instance`], so the whole read-only query
+/// surface (CQ evaluation, the sharded kernel, …) works on a snapshot
+/// directly.
+#[derive(Clone, Debug)]
+pub struct InstanceSnapshot {
+    epoch: u64,
+    instance: Arc<Instance>,
+}
+
+impl InstanceSnapshot {
+    /// Freezes `instance` (by cloning it) at `epoch`.
+    pub fn freeze(instance: &Instance, epoch: u64) -> InstanceSnapshot {
+        InstanceSnapshot {
+            epoch,
+            instance: Arc::new(instance.clone()),
+        }
+    }
+
+    /// The epoch the snapshot was frozen at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+}
+
+impl Deref for InstanceSnapshot {
+    type Target = Instance;
+
+    fn deref(&self) -> &Instance {
+        &self.instance
+    }
+}
+
+/// An epoch-keyed snapshot cache: the owner of a live instance acquires
+/// snapshots through the cell, and only the **first** acquire after a
+/// mutation pays the instance clone — every later acquire at the same epoch
+/// hands out the cached `Arc`.
+///
+/// The cell itself is cheap to hold next to the live instance; it does not
+/// keep the instance alive and holds no lock beyond the brief cache probe.
+#[derive(Debug, Default)]
+pub struct SnapshotCell {
+    cached: Mutex<Option<InstanceSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// Creates an empty cell (the first acquire clones).
+    pub fn new() -> SnapshotCell {
+        SnapshotCell::default()
+    }
+
+    /// The snapshot of `live` at `epoch`: the cached one when fresh, a newly
+    /// frozen (cloned) one otherwise. The caller is responsible for bumping
+    /// `epoch` whenever `live` has been mutated — the cell trusts the epoch,
+    /// it does not inspect the instance.
+    pub fn acquire(&self, live: &Instance, epoch: u64) -> InstanceSnapshot {
+        let mut cached = self.cached.lock().expect("snapshot cache lock poisoned");
+        match cached.as_ref() {
+            Some(snapshot) if snapshot.epoch == epoch => snapshot.clone(),
+            _ => {
+                let snapshot = InstanceSnapshot::freeze(live, epoch);
+                *cached = Some(snapshot.clone());
+                snapshot
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+
+    #[test]
+    fn snapshots_are_frozen_views_of_the_live_instance() {
+        let mut live = Instance::new();
+        live.insert(Atom::fact("edge", &["a", "b"])).unwrap();
+        let snap = InstanceSnapshot::freeze(&live, 1);
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.len(), 1);
+        // Later mutations of the live instance are invisible to the snapshot.
+        live.insert(Atom::fact("edge", &["b", "c"])).unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(live.len(), 2);
+    }
+
+    #[test]
+    fn the_cell_caches_per_epoch_and_refreshes_on_epoch_change() {
+        let mut live = Instance::new();
+        live.insert(Atom::fact("edge", &["a", "b"])).unwrap();
+        let cell = SnapshotCell::new();
+        let first = cell.acquire(&live, 1);
+        let second = cell.acquire(&live, 1);
+        // Same epoch: the very same shared instance, no re-clone.
+        assert!(Arc::ptr_eq(&first.instance, &second.instance));
+        // New epoch: a fresh freeze that sees the mutation.
+        live.insert(Atom::fact("edge", &["b", "c"])).unwrap();
+        let third = cell.acquire(&live, 2);
+        assert!(!Arc::ptr_eq(&first.instance, &third.instance));
+        assert_eq!(third.epoch(), 2);
+        assert_eq!(third.len(), 2);
+        assert_eq!(first.len(), 1);
+    }
+
+    #[test]
+    fn snapshots_are_shareable_across_threads() {
+        let mut live = Instance::new();
+        live.insert(Atom::fact("edge", &["a", "b"])).unwrap();
+        let snap = InstanceSnapshot::freeze(&live, 7);
+        let counts: Vec<usize> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let snap = snap.clone();
+                    scope.spawn(move || snap.len())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(counts, vec![1; 4]);
+    }
+}

@@ -1,0 +1,61 @@
+//! The live materialisation service: a long-lived front door over an
+//! incrementally maintained instance.
+//!
+//! The paper's system is a *service*: facts arrive continuously and
+//! certain-answer queries are served against the maintained
+//! materialisation. This crate provides that front door on top of
+//! [`vadalog_datalog::IncrementalEngine`] (re-exported here): a
+//! line-oriented TCP protocol served by [`LiveServer`], with ingestion and
+//! query serving decoupled through epoch snapshots
+//! ([`vadalog_model::InstanceSnapshot`]) so reads run concurrently with
+//! writes.
+//!
+//! # Protocol reference
+//!
+//! One request per line; every response is one or more `\n`-terminated
+//! lines. The first response token is always `OK` or `ERR`.
+//!
+//! | Request | Response |
+//! |---|---|
+//! | `FACT <fact>.` | `OK inserted=<n> duplicate=<n> derived=<n> strata_skipped=<n> rounds=<n> epoch=<e>` |
+//! | `BATCH <fact>. <fact>. …` | same as `FACT` (one evaluation for the whole batch) |
+//! | `QUERY ?(X, …) :- body.` | `OK answers=<n> epoch=<e>`, then **exactly `n`** tuple lines (whitespace-separated constants, sorted; constants containing whitespace, quotes or control characters come back `"`-quoted with `\"`/`\\`/`\n` escapes), then `END` |
+//! | `STATS` | `OK` followed by one JSON object on the same line |
+//! | `SHUTDOWN` | `OK bye`; the server stops accepting connections |
+//!
+//! Clients must frame query answers by the header's `answers=<n>` count —
+//! read exactly `n` tuple lines, then the `END` line — rather than scanning
+//! for `END`: the count makes the framing independent of tuple *content*
+//! (a constant named `END` is a legal answer).
+//!
+//! Facts and queries use the crate's surface syntax
+//! ([`vadalog_model::parser`]): `edge(a, b).`, `?(X) :- t(a, X).` and so
+//! on. Errors — parse errors, arity conflicts, dictionary overflow
+//! ([`vadalog_model::ModelError::PackOverflow`]) and the per-relation row
+//! budget ([`vadalog_model::ModelError::CapacityExceeded`]) — come back as
+//! a single `ERR <message>` line. A rejected batch leaves the live instance
+//! untouched (the engine validates before applying), so the connection and
+//! the service remain fully usable afterwards.
+//!
+//! # Concurrency model
+//!
+//! * Ingests serialise on a mutex around the [`IncrementalEngine`]; each
+//!   successful ingest publishes a fresh epoch snapshot.
+//! * Queries clone the published snapshot handle (an `Arc` bump under a
+//!   briefly-held read lock) and evaluate against the frozen instance with
+//!   **no lock held** — a long query never blocks an ingest and vice versa.
+//! * The listener runs **thread-per-connection** over blocking `std::net`
+//!   sockets. The connection loop is deliberately thin — read line, call
+//!   the pure-ish request handler, write the rendered response — so an
+//!   async runtime can later replace the transport without touching the
+//!   protocol or the engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{parse_request, Request, Response};
+pub use server::LiveServer;
+pub use vadalog_datalog::{IncrementalEngine, IngestOutcome};

@@ -1,0 +1,218 @@
+//! The line-oriented request/response protocol (see the [crate docs](crate)
+//! for the reference table). Parsing and rendering are transport-free so
+//! the same protocol can later sit behind an async listener — and so tests
+//! can exercise it without a socket.
+
+use vadalog_datalog::IngestOutcome;
+use vadalog_model::parser::{parse_fact_list, parse_query};
+use vadalog_model::{Atom, ConjunctiveQuery, Symbol};
+
+/// A parsed protocol request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// `FACT <fact>.` or `BATCH <fact>. …` — ingest the facts as one batch.
+    Ingest(Vec<Atom>),
+    /// `QUERY ?(X, …) :- body.` — answer a CQ against the published
+    /// snapshot.
+    Query(ConjunctiveQuery),
+    /// `STATS` — report engine statistics as one JSON line.
+    Stats,
+    /// `SHUTDOWN` — stop accepting connections.
+    Shutdown,
+}
+
+/// Parses one request line. Errors are protocol-level strings, rendered to
+/// the client as `ERR <message>`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (keyword, rest) = match line.split_once(char::is_whitespace) {
+        Some((keyword, rest)) => (keyword, rest.trim()),
+        None => (line, ""),
+    };
+    match keyword.to_ascii_uppercase().as_str() {
+        "FACT" | "BATCH" => {
+            let facts = parse_fact_list(rest).map_err(|e| e.to_string())?;
+            if facts.is_empty() {
+                return Err(format!("{} requires at least one fact", keyword.to_ascii_uppercase()));
+            }
+            if keyword.eq_ignore_ascii_case("FACT") && facts.len() != 1 {
+                return Err("FACT takes exactly one fact; use BATCH for several".into());
+            }
+            Ok(Request::Ingest(facts))
+        }
+        "QUERY" => Ok(Request::Query(parse_query(rest).map_err(|e| e.to_string())?)),
+        "STATS" => Ok(Request::Stats),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "" => Err("empty command".into()),
+        other => Err(format!(
+            "unknown command `{other}` (expected FACT, BATCH, QUERY, STATS or SHUTDOWN)"
+        )),
+    }
+}
+
+/// A protocol response, rendered to one or more `\n`-terminated lines.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A single `OK <info>` line.
+    Ok(String),
+    /// A query result: header line, one line per tuple, `END`.
+    Answers {
+        /// Epoch of the snapshot the query ran against.
+        epoch: u64,
+        /// The answer tuples (already in the answer set's sorted order).
+        tuples: Vec<Vec<Symbol>>,
+    },
+    /// A single `ERR <message>` line.
+    Error(String),
+}
+
+impl Response {
+    /// The standard ingest acknowledgement line.
+    pub fn ingest(outcome: &IngestOutcome) -> Response {
+        Response::Ok(format!(
+            "inserted={} duplicate={} derived={} strata_skipped={} rounds={} epoch={}",
+            outcome.facts_inserted,
+            outcome.facts_duplicate,
+            outcome.derived_atoms,
+            outcome.strata_skipped,
+            outcome.rounds,
+            outcome.epoch,
+        ))
+    }
+
+    /// Renders the response as protocol lines (each `\n`-terminated).
+    pub fn render(&self) -> String {
+        match self {
+            Response::Ok(info) if info.is_empty() => "OK\n".to_string(),
+            Response::Ok(info) => format!("OK {}\n", one_line(info)),
+            Response::Error(message) => format!("ERR {}\n", one_line(message)),
+            Response::Answers { epoch, tuples } => {
+                let mut out = format!("OK answers={} epoch={}\n", tuples.len(), epoch);
+                for tuple in tuples {
+                    let cells: Vec<String> = tuple.iter().map(render_constant).collect();
+                    out.push_str(&cells.join(" "));
+                    out.push('\n');
+                }
+                out.push_str("END\n");
+                out
+            }
+        }
+    }
+}
+
+/// Collapses embedded newlines so a message can never be mistaken for
+/// additional protocol lines.
+fn one_line(message: &str) -> String {
+    if message.contains('\n') {
+        message.replace('\n', " ")
+    } else {
+        message.to_string()
+    }
+}
+
+/// Renders one answer constant. Plain identifiers go out verbatim; a
+/// constant that would corrupt the line framing — whitespace (the column
+/// separator), quotes, backslashes, control characters, or an empty symbol
+/// — is quoted with backslash escapes (`\"`, `\\`, `\n`). Clients frame by
+/// the header's `answers=<n>` count, so even a tuple rendering as `END`
+/// cannot be mistaken for the terminator; quoting only keeps the *columns*
+/// of a tuple unambiguous.
+fn render_constant(symbol: &Symbol) -> String {
+    let name = symbol.to_string();
+    let safe = !name.is_empty()
+        && !name
+            .chars()
+            .any(|c| c.is_whitespace() || c.is_control() || c == '"' || c == '\\');
+    if safe {
+        return name;
+    }
+    let mut out = String::with_capacity(name.len() + 2);
+    out.push('"');
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_case_insensitively() {
+        assert!(matches!(
+            parse_request("FACT edge(a, b)."),
+            Ok(Request::Ingest(facts)) if facts.len() == 1
+        ));
+        assert!(matches!(
+            parse_request("batch edge(a, b). edge(b, c)."),
+            Ok(Request::Ingest(facts)) if facts.len() == 2
+        ));
+        assert!(matches!(parse_request("  stats  "), Ok(Request::Stats)));
+        assert!(matches!(parse_request("SHUTDOWN"), Ok(Request::Shutdown)));
+        let q = parse_request("QUERY ?(X) :- t(a, X).").unwrap();
+        assert!(matches!(q, Request::Query(q) if q.output.len() == 1));
+    }
+
+    #[test]
+    fn malformed_requests_report_useful_errors() {
+        assert!(parse_request("").unwrap_err().contains("empty"));
+        assert!(parse_request("NOPE x").unwrap_err().contains("unknown command"));
+        assert!(parse_request("FACT").unwrap_err().contains("at least one fact"));
+        assert!(parse_request("FACT edge(a, b). edge(b, c).")
+            .unwrap_err()
+            .contains("exactly one"));
+        // Rules and variables are not facts.
+        assert!(parse_request("FACT t(X, Y) :- edge(X, Y).").is_err());
+        assert!(parse_request("FACT edge(X, b).").is_err());
+        // Parse errors propagate with locations.
+        assert!(parse_request("QUERY ?(X) :- ").is_err());
+    }
+
+    #[test]
+    fn responses_render_as_terminated_lines() {
+        assert_eq!(Response::Ok(String::new()).render(), "OK\n");
+        assert_eq!(Response::Ok("bye".into()).render(), "OK bye\n");
+        assert_eq!(
+            Response::Error("parse error at 1:1: nope\nmore".into()).render(),
+            "ERR parse error at 1:1: nope more\n"
+        );
+        let rendered = Response::Answers {
+            epoch: 3,
+            tuples: vec![
+                vec![Symbol::new("a"), Symbol::new("b")],
+                vec![Symbol::new("c"), Symbol::new("d")],
+            ],
+        }
+        .render();
+        assert_eq!(rendered, "OK answers=2 epoch=3\na b\nc d\nEND\n");
+    }
+
+    #[test]
+    fn awkward_constants_are_quoted_and_counted() {
+        // Constants that would corrupt naive line framing: whitespace (the
+        // column separator), quotes, and a tuple rendering exactly as the
+        // terminator keyword. The header count keeps the framing sound and
+        // quoting keeps the columns unambiguous.
+        let rendered = Response::Answers {
+            epoch: 1,
+            tuples: vec![
+                vec![Symbol::new("END")],
+                vec![Symbol::new("x.y z"), Symbol::new("plain")],
+                vec![Symbol::new("say \"hi\"")],
+            ],
+        }
+        .render();
+        assert_eq!(
+            rendered,
+            "OK answers=3 epoch=1\nEND\n\"x.y z\" plain\n\"say \\\"hi\\\"\"\nEND\n"
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! The thread-per-connection TCP front door (see the [crate docs](crate)
+//! for the protocol and the concurrency model).
+
+use crate::protocol::{parse_request, Request, Response};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use vadalog_datalog::IncrementalEngine;
+use vadalog_model::InstanceSnapshot;
+
+/// The state shared between the accept loop and the connection handlers.
+struct Shared {
+    /// The live engine; ingests serialise here.
+    engine: Mutex<IncrementalEngine>,
+    /// The snapshot queries run against, republished after every ingest.
+    /// Readers hold the lock only for the `Arc` clone.
+    published: RwLock<InstanceSnapshot>,
+    /// Worker threads for the sharded CQ kernel.
+    threads: usize,
+    /// Set by `SHUTDOWN`; the accept loop re-checks it per connection.
+    shutdown: AtomicBool,
+    /// The bound address, used to self-connect and wake a blocking accept.
+    addr: SocketAddr,
+}
+
+/// Serves one request against the shared state. This is the whole protocol
+/// semantics; the socket loop around it only moves lines.
+fn handle_request(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::Ingest(facts) => {
+            let mut engine = shared.engine.lock().expect("engine lock poisoned");
+            match engine.ingest(&facts) {
+                Ok(outcome) => {
+                    // Publish while still holding the engine lock: were the
+                    // engine released first, a concurrent ingest could
+                    // publish a *newer* epoch in the gap and this store
+                    // would regress the served snapshot to a stale one.
+                    // Lock order is always engine → published, and queries
+                    // take only `published`, so this cannot deadlock.
+                    let snapshot = engine.snapshot();
+                    *shared.published.write().expect("snapshot lock poisoned") = snapshot;
+                    drop(engine);
+                    Response::ingest(&outcome)
+                }
+                // A rejected batch left the instance untouched (the engine
+                // validates before applying) — report and keep serving.
+                Err(error) => Response::Error(error.to_string()),
+            }
+        }
+        Request::Query(query) => {
+            let snapshot = shared
+                .published
+                .read()
+                .expect("snapshot lock poisoned")
+                .clone();
+            // No lock is held here: the query runs against the frozen
+            // snapshot, concurrently with any in-flight ingest.
+            let answers = query.evaluate_with_threads(&snapshot, shared.threads);
+            Response::Answers {
+                epoch: snapshot.epoch(),
+                tuples: answers.into_iter().collect(),
+            }
+        }
+        Request::Stats => {
+            let engine = shared.engine.lock().expect("engine lock poisoned");
+            let stats = engine.stats();
+            Response::Ok(format!(
+                "{{\"epoch\":{},\"atoms\":{},\"derived_atoms\":{},\"iterations\":{},\
+                 \"rounds_incremental\":{},\"strata_skipped\":{},\"joins_evaluated\":{},\
+                 \"join_probes\":{},\"index_bytes\":{}}}",
+                engine.epoch(),
+                engine.instance().len(),
+                stats.derived_atoms,
+                stats.iterations,
+                stats.rounds_incremental,
+                stats.strata_skipped,
+                stats.joins_evaluated,
+                stats.join_probes,
+                engine.instance().index_bytes(),
+            ))
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop out of its blocking `accept`.
+            let _ = TcpStream::connect(shared.addr);
+            Response::Ok("bye".into())
+        }
+    }
+}
+
+/// Reads request lines off one connection until EOF (or `SHUTDOWN`),
+/// writing one rendered response per request.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, is_shutdown) = match parse_request(&line) {
+            Ok(request) => {
+                let is_shutdown = matches!(request, Request::Shutdown);
+                (handle_request(shared, request), is_shutdown)
+            }
+            Err(message) => (Response::Error(message), false),
+        };
+        if writer.write_all(response.render().as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if is_shutdown {
+            break;
+        }
+    }
+}
+
+/// A running live-materialisation server: a listener thread accepting
+/// connections, each served by its own thread against the shared engine.
+pub struct LiveServer {
+    addr: SocketAddr,
+    accept: JoinHandle<()>,
+}
+
+impl LiveServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// serving the given engine. The engine may already hold a
+    /// materialisation — its current state is published as the first
+    /// snapshot.
+    pub fn start(engine: IncrementalEngine, addr: impl ToSocketAddrs) -> std::io::Result<LiveServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let threads = engine.threads();
+        let published = RwLock::new(engine.snapshot());
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(engine),
+            published,
+            threads,
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        let accept = std::thread::spawn({
+            let shared = Arc::clone(&shared);
+            move || {
+                let mut connections: Vec<JoinHandle<()>> = Vec::new();
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    // Reap handlers whose client already disconnected, so a
+                    // long-lived server does not accumulate one handle per
+                    // connection it ever served.
+                    connections.retain(|connection| !connection.is_finished());
+                    let Ok(stream) = stream else { continue };
+                    let shared = Arc::clone(&shared);
+                    connections.push(std::thread::spawn(move || {
+                        serve_connection(&shared, stream)
+                    }));
+                }
+                // Drain the handlers of already-accepted connections; they
+                // exit when their client disconnects.
+                for connection in connections {
+                    let _ = connection.join();
+                }
+            }
+        });
+        Ok(LiveServer { addr, accept })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to stop: `SHUTDOWN` stops the accept loop, and
+    /// the loop then drains the remaining connection handlers (each ends
+    /// when its client disconnects).
+    pub fn join(self) {
+        let _ = self.accept.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::parser::parse_rules;
+
+    const TWO_CLOSURES: &str = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).\n\
+                                s(X, Y) :- link(X, Y).\n s(X, Z) :- link(X, Y), s(Y, Z).";
+
+    fn start(engine: IncrementalEngine) -> LiveServer {
+        LiveServer::start(engine, "127.0.0.1:0").expect("bind loopback")
+    }
+
+    /// A minimal blocking protocol client for the tests.
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: BufWriter<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect to live server");
+            let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            Client {
+                reader,
+                writer: BufWriter::new(stream),
+            }
+        }
+
+        /// Sends one request line and reads the full response: one line, or
+        /// — for query answers — the header plus exactly `answers=<n>`
+        /// tuple lines plus the `END` line (framing by count, as the
+        /// protocol requires).
+        fn send(&mut self, line: &str) -> Vec<String> {
+            self.writer
+                .write_all(format!("{line}\n").as_bytes())
+                .expect("write request");
+            self.writer.flush().expect("flush request");
+            let mut lines = vec![self.read_line()];
+            if let Some(rest) = lines[0].strip_prefix("OK answers=") {
+                let count: usize = rest
+                    .split_whitespace()
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .expect("answer count in header");
+                for _ in 0..count {
+                    let tuple = self.read_line();
+                    lines.push(tuple);
+                }
+                let end = self.read_line();
+                assert_eq!(end, "END", "answers must terminate with END");
+                lines.push(end);
+            }
+            lines
+        }
+
+        fn read_line(&mut self) -> String {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("read response");
+            line.trim_end_matches('\n').to_string()
+        }
+    }
+
+    fn engine() -> IncrementalEngine {
+        IncrementalEngine::new(parse_rules(TWO_CLOSURES).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn full_protocol_round_trip_over_loopback() {
+        let server = start(engine());
+        let addr = server.addr();
+        let mut client = Client::connect(addr);
+
+        let batch = client.send("BATCH edge(a, b). edge(b, c). link(p, q).");
+        // t-stratum: seed + 2 semi-naive rounds; s-stratum: seed + 1.
+        assert_eq!(
+            batch,
+            vec!["OK inserted=3 duplicate=0 derived=4 strata_skipped=0 rounds=5 epoch=1"]
+        );
+        let fact = client.send("FACT edge(c, d).");
+        assert!(fact[0].starts_with("OK inserted=1 "), "{fact:?}");
+        assert!(fact[0].contains("strata_skipped=1"), "link stratum untouched: {fact:?}");
+
+        let answers = client.send("QUERY ?(X) :- t(X, d).");
+        assert_eq!(answers, vec!["OK answers=3 epoch=2", "a", "b", "c", "END"]);
+        let pairs = client.send("QUERY ?(X, Y) :- s(X, Y).");
+        assert_eq!(pairs, vec!["OK answers=1 epoch=2", "p q", "END"]);
+
+        let stats = client.send("STATS");
+        assert!(stats[0].starts_with("OK {\"epoch\":2,"), "{stats:?}");
+        assert!(stats[0].contains("\"rounds_incremental\""), "{stats:?}");
+
+        // Unknown and malformed requests keep the connection alive.
+        assert!(client.send("NOPE")[0].starts_with("ERR unknown command"));
+        assert!(client.send("QUERY ?(X) :- ")[0].starts_with("ERR "));
+        assert!(client.send("FACT edge(a b).")[0].starts_with("ERR "));
+        let still = client.send("QUERY ? :- t(a, d).");
+        assert_eq!(still, vec!["OK answers=1 epoch=2", "", "END"]);
+
+        // A constant that renders exactly as the terminator keyword: the
+        // count-based framing keeps the answer distinguishable from `END`.
+        client.send("FACT edge(\"END\", zz).");
+        let tricky = client.send("QUERY ?(X) :- edge(X, zz).");
+        assert_eq!(tricky, vec!["OK answers=1 epoch=3", "END", "END"]);
+
+        assert_eq!(client.send("SHUTDOWN"), vec!["OK bye"]);
+        drop(client);
+        server.join();
+    }
+
+    #[test]
+    fn rejected_batches_leave_the_service_fully_usable() {
+        let server = start(engine().with_row_capacity(3));
+        let mut client = Client::connect(server.addr());
+
+        client.send("BATCH edge(a, b). edge(b, c).");
+        // 2 existing + 2 incoming > 3: rejected as a protocol error, not a
+        // dead server — and not a half-applied batch.
+        let err = client.send("BATCH edge(c, d). edge(d, e).");
+        assert!(err[0].starts_with("ERR relation `edge` is full"), "{err:?}");
+        let answers = client.send("QUERY ?(X, Y) :- t(X, Y).");
+        assert_eq!(answers[0], "OK answers=3 epoch=1", "{answers:?}");
+
+        // The service keeps ingesting up to the budget.
+        let ok = client.send("FACT edge(c, d).");
+        assert!(ok[0].starts_with("OK inserted=1 "), "{ok:?}");
+        let answers = client.send("QUERY ?(X) :- t(a, X).");
+        assert_eq!(answers, vec!["OK answers=3 epoch=2", "b", "c", "d", "END"]);
+
+        client.send("SHUTDOWN");
+        drop(client);
+        server.join();
+    }
+
+    #[test]
+    fn queries_are_served_from_epoch_snapshots_across_connections() {
+        let server = start(engine());
+        let addr = server.addr();
+        let mut writer_conn = Client::connect(addr);
+        let mut reader_conn = Client::connect(addr);
+
+        writer_conn.send("FACT edge(a, b).");
+        let before = reader_conn.send("QUERY ?(X, Y) :- t(X, Y).");
+        assert_eq!(before[0], "OK answers=1 epoch=1");
+
+        // A second connection's ingest is visible to the first reader's
+        // next query, with a bumped epoch.
+        writer_conn.send("FACT edge(b, c).");
+        let after = reader_conn.send("QUERY ?(X, Y) :- t(X, Y).");
+        assert_eq!(after[0], "OK answers=3 epoch=2");
+
+        // Concurrent readers all see a consistent snapshot.
+        let handles: Vec<std::thread::JoinHandle<String>> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr);
+                    c.send("QUERY ?(X, Y) :- t(X, Y).")[0].clone()
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), "OK answers=3 epoch=2");
+        }
+
+        reader_conn.send("SHUTDOWN");
+        drop(reader_conn);
+        drop(writer_conn);
+        server.join();
+    }
+}

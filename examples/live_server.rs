@@ -1,0 +1,100 @@
+//! Live materialisation service, end to end over loopback TCP: start the
+//! server on an ephemeral port, ingest facts (watch the unaffected stratum
+//! being skipped), query the maintained closure, read the stats, shut down.
+//!
+//! Run with: `cargo run --example live_server`
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use vadalog::model::parser::parse_rules;
+use vadalog::service::{IncrementalEngine, LiveServer};
+
+/// A minimal blocking protocol client: send one line, read the response
+/// (one line, or header..`END` for query answers).
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to the live server");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client {
+            reader,
+            writer: BufWriter::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Vec<String> {
+        writeln!(self.writer, "{line}").expect("write request");
+        self.writer.flush().expect("flush request");
+        let mut lines = vec![self.read_line()];
+        // Query answers are framed by the header's count — read exactly
+        // `answers=<n>` tuple lines, then the `END` line.
+        if let Some(rest) = lines[0].strip_prefix("OK answers=") {
+            let count: usize = rest
+                .split_whitespace()
+                .next()
+                .and_then(|n| n.parse().ok())
+                .expect("answer count in header");
+            for _ in 0..count {
+                let tuple = self.read_line();
+                lines.push(tuple);
+            }
+            let end = self.read_line();
+            assert_eq!(end, "END", "answers must terminate with END");
+            lines.push(end);
+        }
+        lines
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        line.trim_end_matches('\n').to_string()
+    }
+}
+
+fn main() {
+    // Two independent closures: `t` over `edge` and `s` over `link`. Deltas
+    // touching only one of them must leave the other stratum untouched.
+    let program = parse_rules(
+        "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).\n\
+         s(X, Y) :- link(X, Y).\n s(X, Z) :- link(X, Y), s(Y, Z).",
+    )
+    .expect("program parses");
+    let engine = IncrementalEngine::new(program).expect("plain Datalog program");
+    let server = LiveServer::start(engine, "127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = server.addr();
+    println!("live server listening on {addr}");
+
+    let mut client = Client::connect(addr);
+    for request in [
+        "BATCH edge(a, b). edge(b, c). link(p, q).",
+        "FACT edge(c, d).",
+        "QUERY ?(X) :- t(X, d).",
+        "QUERY ?(X, Y) :- s(X, Y).",
+        "STATS",
+    ] {
+        let response = client.send(request);
+        println!("> {request}");
+        for line in &response {
+            println!("< {line}");
+        }
+    }
+
+    // The ingest of `edge(c, d)` must have skipped the link/s stratum and
+    // the closure must now connect a, b and c to d.
+    let fact_ack = client.send("QUERY ?(X) :- t(X, d).");
+    assert_eq!(fact_ack[0], "OK answers=3 epoch=2");
+    assert_eq!(&fact_ack[1..], ["a", "b", "c", "END"]);
+
+    println!("> SHUTDOWN");
+    let bye = client.send("SHUTDOWN");
+    println!("< {}", bye[0]);
+    assert_eq!(bye, vec!["OK bye"]);
+    drop(client);
+    server.join();
+    println!("server stopped cleanly");
+}
