@@ -88,6 +88,179 @@ fn main() {
     if run("incremental") {
         incremental_bench(quick);
     }
+    if run("recovery") {
+        recovery_bench(quick);
+    }
+}
+
+/// Recovery — the durability tax and the recovery dividend, on the
+/// two-closure delta-stream workload.
+///
+/// Measures (a) the WAL overhead of durable ingestion (append + fsync
+/// before every applied batch) against the identical volatile path, and
+/// (b) cold-start recovery (snapshot load + WAL tail replay) against the
+/// full re-derivation a non-durable server would pay (base ingest + every
+/// delta batch re-applied). Before any timing the harness asserts the
+/// durable engine's materialisation — and the *recovered* engine's — are
+/// bit-identical to the volatile reference (per-relation row layouts,
+/// engine stats and epoch); a tripped assert fails the CI job. Asserts the
+/// WAL overhead stays ≤ 25% and recovery beats re-derivation, and writes
+/// `BENCH_recovery.json`.
+fn recovery_bench(quick: bool) {
+    use vadalog_benchgen::delta::two_closure_delta_stream;
+    use vadalog_datalog::IncrementalEngine;
+    use vadalog_service::{DurabilityConfig, DurableEngine, SyncPolicy};
+
+    println!("-- recovery: WAL overhead and crash recovery vs re-derivation --");
+    let samples = if quick { 5 } else { 7 };
+    let (nodes, edges, links) = if quick { (160, 280, 160) } else { (240, 500, 300) };
+    let (delta_batches, batch_size) = if quick { (12usize, 10usize) } else { (24, 12) };
+    let scenario = two_closure_delta_stream(nodes, edges, links, delta_batches, batch_size, 42);
+    let dir = std::env::temp_dir().join(format!("vadalog-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = DurabilityConfig::new(&dir);
+
+    let fresh = || IncrementalEngine::new(scenario.program.clone()).unwrap();
+    let mut seeded = fresh();
+    seeded.ingest_database(&scenario.base).unwrap();
+
+    // Correctness gate 1: the durable ingest path is bit-identical to the
+    // volatile one (the WAL must be invisible to the engine).
+    let mut volatile = seeded.clone();
+    let mut durable = DurableEngine::create(seeded.clone(), config.clone()).unwrap();
+    for batch in &scenario.deltas {
+        volatile.ingest(batch).unwrap();
+        durable.ingest(batch).unwrap();
+    }
+    assert_eq!(
+        durable.engine().instance().row_layout(),
+        volatile.instance().row_layout(),
+        "durable vs volatile ingestion must be bit-identical"
+    );
+    assert_eq!(durable.engine().stats(), volatile.stats());
+    assert_eq!(durable.engine().epoch(), volatile.epoch());
+    let (wal_records, wal_bytes, _, _) = durable.wal_stats();
+    // "Crash" without clean shutdown: the snapshot holds the base
+    // materialisation, the WAL tail holds every delta batch.
+    drop(durable);
+
+    // Correctness gate 2: recovery converges to the same bits.
+    let (recovered, report) = DurableEngine::recover(fresh(), config.clone()).unwrap();
+    assert_eq!(report.records_replayed, delta_batches as u64);
+    assert_eq!(
+        recovered.engine().instance().row_layout(),
+        volatile.instance().row_layout(),
+        "recovered state must be bit-identical to the uncrashed engine"
+    );
+    assert_eq!(recovered.engine().stats(), volatile.stats());
+    drop(recovered);
+
+    // Timed: the delta stream through the volatile path and two durable
+    // configurations — group commit (fsync every 8 appends; the bound is
+    // asserted on this one, since the tiny delta batches make per-batch
+    // fsync latency, not WAL bookkeeping, the dominant term) and
+    // fsync-per-batch (reported, not asserted). Fresh directory per
+    // durable sample so each pays the same WAL work.
+    let mut volatile_ms = f64::MAX;
+    for _ in 0..samples {
+        let mut engine = seeded.clone();
+        let start = Instant::now();
+        for batch in &scenario.deltas {
+            engine.ingest(batch).unwrap();
+        }
+        volatile_ms = volatile_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let durable_timing = |label: &str, policy: SyncPolicy| -> f64 {
+        let mut best = f64::MAX;
+        for sample in 0..samples {
+            let sample_dir = dir.join(format!("sample-{label}-{sample}"));
+            let sample_config = DurabilityConfig::new(&sample_dir).sync(policy);
+            let mut engine = DurableEngine::create(seeded.clone(), sample_config).unwrap();
+            let start = Instant::now();
+            for batch in &scenario.deltas {
+                engine.ingest(batch).unwrap();
+            }
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    let durable_ms = durable_timing("group", SyncPolicy::EveryN(8));
+    let durable_fsync_ms = durable_timing("always", SyncPolicy::Always);
+    let overhead_pct = (durable_ms / volatile_ms - 1.0) * 100.0;
+    let fsync_overhead_pct = (durable_fsync_ms / volatile_ms - 1.0) * 100.0;
+
+    // Timed: cold-start recovery (snapshot + tail replay) vs the full
+    // re-derivation a non-durable server pays at startup.
+    let mut recovery_ms = f64::MAX;
+    for _ in 0..samples {
+        let start = Instant::now();
+        let (recovered, _) = DurableEngine::recover(fresh(), config.clone()).unwrap();
+        recovery_ms = recovery_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        drop(recovered);
+    }
+    let mut rederive_ms = f64::MAX;
+    for _ in 0..samples {
+        let start = Instant::now();
+        let mut engine = fresh();
+        engine.ingest_database(&scenario.base).unwrap();
+        for batch in &scenario.deltas {
+            engine.ingest(batch).unwrap();
+        }
+        rederive_ms = rederive_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let recovery_speedup = rederive_ms / recovery_ms;
+    let snapshot_bytes = std::fs::metadata(dir.join("snapshot.bin")).map(|m| m.len()).unwrap_or(0);
+
+    let mut table = Table::new(&["path", "wall ms", "note"]);
+    table.row(&[
+        "volatile ingest".into(),
+        format!("{volatile_ms:.3}"),
+        format!("{delta_batches} batches of {batch_size}"),
+    ]);
+    table.row(&[
+        "durable ingest (group commit)".into(),
+        format!("{durable_ms:.3}"),
+        format!("WAL overhead {overhead_pct:.1}%"),
+    ]);
+    table.row(&[
+        "durable ingest (fsync/batch)".into(),
+        format!("{durable_fsync_ms:.3}"),
+        format!("WAL overhead {fsync_overhead_pct:.1}%"),
+    ]);
+    table.row(&[
+        "recovery".into(),
+        format!("{recovery_ms:.3}"),
+        format!("snapshot + {wal_records} records replayed"),
+    ]);
+    table.row(&[
+        "full re-derivation".into(),
+        format!("{rederive_ms:.3}"),
+        format!("recovery speedup {recovery_speedup:.2}x"),
+    ]);
+    print!("{}", table.render());
+
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"nodes\": {nodes},\n    \"edges\": {edges},\n    \
+         \"links\": {links},\n    \"delta_batches\": {delta_batches},\n    \
+         \"batch_size\": {batch_size}\n  }},\n  \"volatile_ingest_wall_ms\": {volatile_ms:.3},\n  \
+         \"durable_ingest_wall_ms\": {durable_ms:.3},\n  \"wal_overhead_pct\": {overhead_pct:.2},\n  \"durable_fsync_wall_ms\": {durable_fsync_ms:.3},\n  \"wal_fsync_overhead_pct\": {fsync_overhead_pct:.2},\n  \
+         \"recovery_wall_ms\": {recovery_ms:.3},\n  \"rederive_wall_ms\": {rederive_ms:.3},\n  \
+         \"recovery_speedup\": {recovery_speedup:.2},\n  \"wal_records\": {wal_records},\n  \
+         \"wal_bytes\": {wal_bytes},\n  \"snapshot_bytes\": {snapshot_bytes}\n}}\n"
+    );
+    std::fs::write("BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
+    println!("wrote BENCH_recovery.json");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(
+        overhead_pct <= 25.0,
+        "group-commit WAL overhead must stay within 25% of volatile ingestion, \
+         got {overhead_pct:.1}%"
+    );
+    assert!(
+        recovery_speedup > 1.0,
+        "recovery (snapshot + tail) must beat full re-derivation, got {recovery_speedup:.2}x"
+    );
 }
 
 /// Incremental — the live engine's delta-ingest path against a full

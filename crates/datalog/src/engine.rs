@@ -49,7 +49,7 @@ use vadalog_model::{
 };
 
 /// Counters describing an evaluation run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DatalogStats {
     /// Total number of derived (IDB) atoms.
     pub derived_atoms: usize,

@@ -1,0 +1,210 @@
+//! Query budgets: deadlines, row limits and cooperative cancellation.
+//!
+//! A served query must never be able to take the service down with it: a
+//! pathological join can enumerate for minutes, and a result set can exceed
+//! the memory of the machine. The budget machinery here bounds both without
+//! making any *successful* evaluation observably different:
+//!
+//! * A [`QueryBudget`] is the caller-facing limit declaration — an optional
+//!   wall-clock timeout and an optional cap on collected answer tuples.
+//! * A [`CancelCell`] is the shared cancellation flag a budgeted run
+//!   threads through its workers: one relaxed atomic, written once (the
+//!   first exceeded limit wins), polled cheaply everywhere.
+//! * A [`KernelBudget`] is what the join kernel itself polls: the cell plus
+//!   the resolved deadline. [`crate::homomorphism::Matcher::set_budget`]
+//!   installs one, and the kernel's candidate loops poll it every
+//!   [`BUDGET_POLL_INTERVAL`] probes — frequent enough that a runaway
+//!   cross product is cut within microseconds of the deadline, rare enough
+//!   that an unbudgeted probe loop pays a single predictable branch.
+//!
+//! Cancellation is **cooperative and conservative**: a cancelled run stops
+//! early and reports [`BudgetExceeded`]; it never returns a partial answer
+//! set as if it were complete. Runs without a budget take the `None` branch
+//! of every poll and remain bit-identical to the pre-budget kernel.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+/// How often (in kernel probes) the candidate loops poll the budget. A
+/// power of two so the check compiles to a mask test on the probe counter.
+pub const BUDGET_POLL_INTERVAL: u64 = 1024;
+
+/// Why a budgeted evaluation stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The collected answer tuples exceeded the row cap.
+    RowLimit,
+    /// The run was cancelled externally (e.g. server shutdown).
+    Cancelled,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetExceeded::Deadline => f.write_str("deadline"),
+            BudgetExceeded::RowLimit => f.write_str("row-limit"),
+            BudgetExceeded::Cancelled => f.write_str("cancelled"),
+        }
+    }
+}
+
+const STATE_LIVE: u8 = 0;
+const STATE_DEADLINE: u8 = 1;
+const STATE_ROW_LIMIT: u8 = 2;
+const STATE_CANCELLED: u8 = 3;
+
+/// A shared, write-once cancellation flag. The first
+/// [`CancelCell::cancel`] call records its reason; later calls (from other
+/// workers racing on the same budget) are ignored, so every worker of a
+/// budgeted run reports the same cause.
+#[derive(Debug, Default)]
+pub struct CancelCell {
+    state: AtomicU8,
+}
+
+impl CancelCell {
+    /// A live (uncancelled) cell.
+    pub fn new() -> CancelCell {
+        CancelCell::default()
+    }
+
+    /// Requests cancellation for `reason`. The first reason sticks.
+    pub fn cancel(&self, reason: BudgetExceeded) {
+        let state = match reason {
+            BudgetExceeded::Deadline => STATE_DEADLINE,
+            BudgetExceeded::RowLimit => STATE_ROW_LIMIT,
+            BudgetExceeded::Cancelled => STATE_CANCELLED,
+        };
+        let _ = self
+            .state
+            .compare_exchange(STATE_LIVE, state, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// The recorded cancellation reason, if the cell has been cancelled.
+    pub fn get(&self) -> Option<BudgetExceeded> {
+        match self.state.load(Ordering::Relaxed) {
+            STATE_DEADLINE => Some(BudgetExceeded::Deadline),
+            STATE_ROW_LIMIT => Some(BudgetExceeded::RowLimit),
+            STATE_CANCELLED => Some(BudgetExceeded::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// `true` iff cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.load(Ordering::Relaxed) != STATE_LIVE
+    }
+}
+
+/// The kernel-facing view of a budget: the shared cancel cell plus the
+/// resolved absolute deadline. Copyable so every worker and every
+/// [`crate::homomorphism::Matcher`] can carry its own.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelBudget<'a> {
+    cell: &'a CancelCell,
+    deadline: Option<Instant>,
+}
+
+impl<'a> KernelBudget<'a> {
+    /// A budget polled against `cell`, timing out at `deadline` (if any).
+    pub fn new(cell: &'a CancelCell, deadline: Option<Instant>) -> KernelBudget<'a> {
+        KernelBudget { cell, deadline }
+    }
+
+    /// The shared cancel cell.
+    pub fn cell(&self) -> &'a CancelCell {
+        self.cell
+    }
+
+    /// Polls the budget: `true` means "stop now". A passed deadline is
+    /// recorded in the cell, so sibling workers observe it on their next
+    /// poll without reading the clock themselves.
+    #[inline]
+    pub fn poll(&self) -> bool {
+        if self.cell.is_cancelled() {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.cell.cancel(BudgetExceeded::Deadline);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The caller-facing resource budget of one query evaluation.
+///
+/// `Default` is unlimited — a defaulted budget never cancels anything and
+/// adds only the poll branches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryBudget {
+    /// Wall-clock limit for the whole evaluation.
+    pub timeout: Option<Duration>,
+    /// Cap on collected answer tuples, counted across all workers as tuples
+    /// are materialised (per-worker distinct; a tuple found by two workers
+    /// can count twice, so the cap is a resource bound, not an exact answer
+    /// count — it can only trip *earlier*, never later).
+    pub max_rows: Option<usize>,
+}
+
+impl QueryBudget {
+    /// No limits at all.
+    pub fn unlimited() -> QueryBudget {
+        QueryBudget::default()
+    }
+
+    /// `true` iff neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.timeout.is_none() && self.max_rows.is_none()
+    }
+
+    /// Resolves the relative timeout against "now" into an absolute
+    /// deadline.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.timeout.map(|t| Instant::now() + t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_cancellation_reason_wins() {
+        let cell = CancelCell::new();
+        assert_eq!(cell.get(), None);
+        assert!(!cell.is_cancelled());
+        cell.cancel(BudgetExceeded::RowLimit);
+        cell.cancel(BudgetExceeded::Deadline);
+        assert_eq!(cell.get(), Some(BudgetExceeded::RowLimit));
+        assert!(cell.is_cancelled());
+    }
+
+    #[test]
+    fn polling_records_a_passed_deadline_in_the_cell() {
+        let cell = CancelCell::new();
+        let live = KernelBudget::new(&cell, Some(Instant::now() + Duration::from_secs(3600)));
+        assert!(!live.poll());
+        assert_eq!(cell.get(), None);
+
+        let passed = KernelBudget::new(&cell, Some(Instant::now() - Duration::from_millis(1)));
+        assert!(passed.poll());
+        assert_eq!(cell.get(), Some(BudgetExceeded::Deadline));
+        // Siblings without their own deadline see the shared cell.
+        let sibling = KernelBudget::new(&cell, None);
+        assert!(sibling.poll());
+    }
+
+    #[test]
+    fn unlimited_budget_never_polls_true() {
+        let cell = CancelCell::new();
+        let budget = KernelBudget::new(&cell, None);
+        assert!(!budget.poll());
+        assert!(QueryBudget::unlimited().is_unlimited());
+        assert!(QueryBudget::default().deadline().is_none());
+    }
+}

@@ -111,7 +111,7 @@ pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::hash::{BuildHasher, Hash};
+    use std::hash::BuildHasher;
 
     #[test]
     fn hash_u64_top_bits_see_every_input_bit() {
@@ -131,11 +131,7 @@ mod tests {
     #[test]
     fn equal_values_hash_equal() {
         let b = FxBuildHasher::default();
-        let h = |x: &[u64]| {
-            let mut hasher = b.build_hasher();
-            x.hash(&mut hasher);
-            hasher.finish()
-        };
+        let h = |x: &[u64]| b.hash_one(x);
         assert_eq!(h(&[1, 2, 3]), h(&[1, 2, 3]));
         assert_ne!(h(&[1, 2, 3]), h(&[1, 2, 4]));
         assert_ne!(h(&[1, 2]), h(&[2, 1]));

@@ -79,6 +79,7 @@
 //! baseline the join benchmarks compare against.
 
 use crate::atom::Atom;
+use crate::budget::{KernelBudget, BUDGET_POLL_INTERVAL};
 use crate::database::{fuse_key, ColSet, Instance, Relation, RowId};
 use crate::substitution::Substitution;
 use crate::term::{PackedTerm, Term, Variable};
@@ -690,6 +691,7 @@ pub struct Matcher<'s> {
     fixed_order: bool,
     plan: Option<&'s JoinPlan>,
     limit: usize,
+    budget: Option<KernelBudget<'s>>,
 }
 
 impl<'s> Matcher<'s> {
@@ -704,6 +706,7 @@ impl<'s> Matcher<'s> {
             fixed_order: false,
             plan: None,
             limit: usize::MAX,
+            budget: None,
         }
     }
 
@@ -736,6 +739,18 @@ impl<'s> Matcher<'s> {
     /// Stop after `limit` matches.
     pub fn set_limit(&mut self, limit: usize) -> &mut Self {
         self.limit = limit;
+        self
+    }
+
+    /// Installs a cooperative cancellation budget (see [`crate::budget`]).
+    /// The kernel's candidate loops poll it every
+    /// [`crate::budget::BUDGET_POLL_INTERVAL`] probes; a tripped budget
+    /// stops the enumeration like a callback `Break`, and the caller reads
+    /// the reason off the budget's [`crate::budget::CancelCell`]. With no
+    /// budget (the default) the kernel behaves — and counts — exactly as
+    /// before.
+    pub fn set_budget(&mut self, budget: Option<KernelBudget<'s>>) -> &mut Self {
+        self.budget = budget;
         self
     }
 
@@ -820,6 +835,10 @@ impl<'s> Matcher<'s> {
         let planned = self
             .plan
             .filter(|p| !self.fixed_order && !p.prefer_streaming && p.applies_to(&self.used));
+        // A budget that is already exceeded stops the run before any probe.
+        if self.budget.is_some_and(|b| b.poll()) {
+            return stats;
+        }
         let mut ctx = SearchCtx {
             spec: self.spec,
             target,
@@ -830,6 +849,7 @@ impl<'s> Matcher<'s> {
             fixed_order: self.fixed_order,
             limit: self.limit,
             emitted: 0,
+            budget: self.budget,
             stats: &mut stats,
         };
         let _ = match planned {
@@ -850,6 +870,7 @@ struct SearchCtx<'a, 'b> {
     fixed_order: bool,
     limit: usize,
     emitted: usize,
+    budget: Option<KernelBudget<'a>>,
     stats: &'a mut JoinStats,
 }
 
@@ -1032,6 +1053,9 @@ where
 {
     for id in candidates {
         ctx.stats.probes += 1;
+        if ctx.stats.probes.is_multiple_of(BUDGET_POLL_INTERVAL) && ctx.budget.is_some_and(|b| b.poll()) {
+            return ControlFlow::Break(());
+        }
         let mark = ctx.trail.len();
         if ctx.match_row(atom, rel.row(id)) {
             ctx.rows[atom] = id;
@@ -1133,6 +1157,9 @@ where
 {
     for id in candidates {
         ctx.stats.probes += 1;
+        if ctx.stats.probes.is_multiple_of(BUDGET_POLL_INTERVAL) && ctx.budget.is_some_and(|b| b.poll()) {
+            return ControlFlow::Break(());
+        }
         let mark = ctx.trail.len();
         if ctx.match_row(atom, rel.row(id)) {
             ctx.rows[atom] = id;

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod atom;
+pub mod budget;
 pub mod database;
 pub mod error;
 pub mod fasthash;
@@ -41,6 +42,7 @@ pub mod tgd;
 pub mod unify;
 
 pub use atom::{Atom, Predicate};
+pub use budget::{BudgetExceeded, CancelCell, KernelBudget, QueryBudget, BUDGET_POLL_INTERVAL};
 pub use database::{fuse_key, Candidates, ColSet, Database, Instance, Relation, RowId};
 pub use error::ModelError;
 pub use homomorphism::{

@@ -33,6 +33,7 @@
 //! `threads = 1` and `threads = N`.
 
 use crate::atom::Predicate;
+use crate::budget::{BudgetExceeded, CancelCell, KernelBudget, QueryBudget};
 use crate::database::{Instance, Relation, RowId};
 use crate::error::ModelError;
 use crate::fasthash::FxHashMap;
@@ -346,6 +347,26 @@ pub fn sharded_query_answers(
     instance: &Instance,
     threads: usize,
 ) -> BTreeSet<Vec<Symbol>> {
+    sharded_query_answers_budgeted(spec, output, instance, threads, &QueryBudget::unlimited())
+        .expect("an unlimited budget can never be exceeded")
+}
+
+/// [`sharded_query_answers`] under a [`QueryBudget`]: the same sharded
+/// evaluation, but every worker carries a [`KernelBudget`] over one shared
+/// [`CancelCell`], polled per driver row and (inside the kernel) every
+/// [`crate::BUDGET_POLL_INTERVAL`] probes. The row cap counts tuples as
+/// workers materialise them (per-worker distinct, so cross-shard duplicates
+/// may count twice — the cap is a resource bound that can only trip *early*;
+/// it is exact on the single-shard path). A tripped budget returns
+/// `Err(reason)` — never a partial answer set passed off as complete. With
+/// an unlimited budget the result is bit-identical to the unbudgeted path.
+pub fn sharded_query_answers_budgeted(
+    spec: &JoinSpec,
+    output: &[Variable],
+    instance: &Instance,
+    threads: usize,
+    budget: &QueryBudget,
+) -> Result<BTreeSet<Vec<Symbol>>, BudgetExceeded> {
     let mut answers = BTreeSet::new();
     if spec.num_atoms() == 0 {
         // The empty pattern has the identity homomorphism; with no output
@@ -353,14 +374,14 @@ pub fn sharded_query_answers(
         if output.is_empty() {
             answers.insert(Vec::new());
         }
-        return answers;
+        return Ok(answers);
     }
     let predicate = spec.atom_predicate(0);
     let Some(rel) = instance
         .relation(predicate)
         .filter(|r| r.arity() == spec.atom_arity(0))
     else {
-        return answers;
+        return Ok(answers);
     };
     // Output slots resolve once; an output variable outside the pattern can
     // never be bound, so no tuple is certain.
@@ -368,16 +389,28 @@ pub fn sharded_query_answers(
     for v in output {
         match spec.slot_of(*v) {
             Some(s) => slots.push(s),
-            None => return answers,
+            None => return Ok(answers),
         }
     }
+    let budgeted = !budget.is_unlimited();
+    let cell = CancelCell::new();
+    let deadline = budget.deadline();
+    let max_rows = budget.max_rows;
+    let rows_collected = AtomicUsize::new(0);
     let shards = shard_delta_rows(rel, 0, rel.row_count());
     let plan = spec.plan(instance, &[0]);
     let results = run_tasks(threads, shards.len(), |shard| {
+        let kernel = KernelBudget::new(&cell, deadline);
         let mut matcher = Matcher::new(spec);
         matcher.set_plan(Some(&plan));
+        if budgeted {
+            matcher.set_budget(Some(kernel));
+        }
         let mut found: BTreeSet<Vec<Symbol>> = BTreeSet::new();
         for &id in &shards[shard] {
+            if budgeted && kernel.poll() {
+                break;
+            }
             matcher.clear();
             if !matcher.prematch(0, rel.row(id)) {
                 continue;
@@ -391,16 +424,26 @@ pub fn sharded_query_answers(
                         None => return ControlFlow::Continue(()),
                     }
                 }
-                found.insert(tuple);
+                if found.insert(tuple) {
+                    if let Some(cap) = max_rows {
+                        if rows_collected.fetch_add(1, Ordering::Relaxed) + 1 > cap {
+                            cell.cancel(BudgetExceeded::RowLimit);
+                            return ControlFlow::Break(());
+                        }
+                    }
+                }
                 ControlFlow::Continue(())
             });
         }
         found
     });
+    if let Some(reason) = cell.get() {
+        return Err(reason);
+    }
     for found in results {
         answers.extend(found);
     }
-    answers
+    Ok(answers)
 }
 
 #[cfg(test)]
@@ -595,6 +638,80 @@ mod tests {
         for threads in [2, 4, 8] {
             assert_eq!(sharded_query_answers(&spec, &output, &inst, threads), sequential);
         }
+    }
+
+    #[test]
+    fn budgeted_query_answers_match_unbudgeted_under_an_unlimited_budget() {
+        let inst = chain_db(25);
+        let v = Term::variable;
+        let pattern = vec![
+            Atom::new("edge", vec![v("X"), v("Y")]),
+            Atom::new("edge", vec![v("Y"), v("Z")]),
+        ];
+        let spec = JoinSpec::compile(&pattern);
+        let output = [Variable::new("X"), Variable::new("Z")];
+        let reference = sharded_query_answers(&spec, &output, &inst, 4);
+        for threads in [1, 2, 4] {
+            let budgeted = sharded_query_answers_budgeted(
+                &spec,
+                &output,
+                &inst,
+                threads,
+                &QueryBudget::unlimited(),
+            );
+            assert_eq!(budgeted, Ok(reference.clone()));
+            // A generous budget that never trips is equally invisible.
+            let roomy = QueryBudget {
+                timeout: Some(std::time::Duration::from_secs(3600)),
+                max_rows: Some(1_000_000),
+            };
+            let under_roomy =
+                sharded_query_answers_budgeted(&spec, &output, &inst, threads, &roomy);
+            assert_eq!(under_roomy, Ok(reference.clone()));
+        }
+    }
+
+    #[test]
+    fn an_expired_deadline_cancels_instead_of_answering() {
+        let inst = chain_db(25);
+        let v = Term::variable;
+        let pattern = vec![Atom::new("edge", vec![v("X"), v("Y")])];
+        let spec = JoinSpec::compile(&pattern);
+        let output = [Variable::new("X")];
+        let expired = QueryBudget {
+            timeout: Some(std::time::Duration::ZERO),
+            max_rows: None,
+        };
+        for threads in [1, 4] {
+            let result =
+                sharded_query_answers_budgeted(&spec, &output, &inst, threads, &expired);
+            assert_eq!(result, Err(BudgetExceeded::Deadline));
+        }
+    }
+
+    #[test]
+    fn a_row_cap_trips_on_large_answer_sets_and_admits_small_ones() {
+        // edge × edge cross product: 40 × 40 = 1600 binding pairs, 40
+        // distinct (X, Z) projections per variable — plenty to trip a cap.
+        let inst = chain_db(40);
+        let v = Term::variable;
+        let pattern = vec![
+            Atom::new("edge", vec![v("X"), v("_y")]),
+            Atom::new("edge", vec![v("Z"), v("_w")]),
+        ];
+        let spec = JoinSpec::compile(&pattern);
+        let output = [Variable::new("X"), Variable::new("Z")];
+        let capped = QueryBudget { timeout: None, max_rows: Some(10) };
+        for threads in [1, 4] {
+            let result =
+                sharded_query_answers_budgeted(&spec, &output, &inst, threads, &capped);
+            assert_eq!(result, Err(BudgetExceeded::RowLimit));
+        }
+        // The full answer set (1600 tuples) fits under a cap of 1600 on the
+        // exact single-shard path.
+        let exact = QueryBudget { timeout: None, max_rows: Some(1600) };
+        let full = sharded_query_answers_budgeted(&spec, &output, &inst, 1, &exact).unwrap();
+        assert_eq!(full.len(), 1600);
     }
 
     #[test]

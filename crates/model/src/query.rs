@@ -2,6 +2,7 @@
 //! `Q(x̄) ← R₁(z̄₁), …, Rₙ(z̄ₙ)`.
 
 use crate::atom::{variables_of, Atom};
+use crate::budget::{BudgetExceeded, QueryBudget};
 use crate::database::Instance;
 use crate::error::ModelError;
 use crate::homomorphism::{exists_homomorphism, JoinSpec, Matcher};
@@ -134,6 +135,28 @@ impl ConjunctiveQuery {
         }
         let spec = JoinSpec::compile(&self.atoms);
         crate::parallel::sharded_query_answers(&spec, &self.output, instance, threads)
+    }
+
+    /// Evaluates the query under a [`QueryBudget`]: the sharded kernel with
+    /// cooperative cancellation threaded into every worker (deadline checks
+    /// every [`crate::BUDGET_POLL_INTERVAL`] probes, a shared row-count cap
+    /// across shards). Returns `Err` with the exceeded limit instead of a
+    /// partial answer set. An unlimited budget is bit-identical to
+    /// [`ConjunctiveQuery::evaluate_with_threads`].
+    pub fn evaluate_budgeted(
+        &self,
+        instance: &Instance,
+        threads: usize,
+        budget: &QueryBudget,
+    ) -> Result<BTreeSet<Vec<Symbol>>, BudgetExceeded> {
+        let spec = JoinSpec::compile(&self.atoms);
+        crate::parallel::sharded_query_answers_budgeted(
+            &spec,
+            &self.output,
+            instance,
+            threads,
+            budget,
+        )
     }
 
     /// Evaluates a Boolean query: `true` iff some homomorphism exists whose

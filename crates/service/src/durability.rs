@@ -1,0 +1,473 @@
+//! The durable engine: WAL-before-mutate ingestion, snapshot cadence, and
+//! crash recovery over [`IncrementalEngine`].
+//!
+//! # The durability invariant
+//!
+//! Every batch is appended (and, under the default [`SyncPolicy::Always`],
+//! fsynced) to the WAL **before** the engine applies it. The log therefore
+//! always holds a superset of the applied batches, and the applied state is
+//! always reproducible as *snapshot + WAL tail replay*:
+//!
+//! * WAL append fails → the record is rolled back, the engine is not
+//!   touched, the client gets an error. Nothing to recover.
+//! * Crash after append, before/during apply → recovery replays the batch;
+//!   the client never got an acknowledgement, and the recovered state is
+//!   exactly what an uncrashed server would hold *after* acking it — the
+//!   usual at-least-once window of any WAL system.
+//! * Engine rejects the batch (arity conflict, capacity, …) → the record
+//!   stays in the log and replay deterministically re-rejects it, because
+//!   admission only depends on engine state, which replay reproduces.
+//!
+//! # Snapshots
+//!
+//! Every `snapshot_every` accepted batches (or on demand), the full engine
+//! state is serialised via [`crate::snapshot`] and the WAL is truncated.
+//! A failed snapshot never fails the ingest that triggered it — the WAL
+//! simply keeps growing and the failure is counted. Sequence numbers stay
+//! monotonic across truncations, so a crash *between* the snapshot rename
+//! and the WAL reset recovers correctly: records the snapshot already
+//! covers are skipped by sequence number, not replayed twice.
+
+use crate::failpoints;
+use crate::snapshot::{read_snapshot, write_snapshot, SnapshotData};
+use crate::wal::{replay, SyncPolicy, Wal, WalRecord};
+use std::io;
+use std::path::{Path, PathBuf};
+use vadalog_datalog::{IncrementalEngine, IngestOutcome};
+use vadalog_model::{Atom, ModelError};
+
+/// An error from the durable ingestion path: either the engine rejected
+/// the batch (a protocol-level error; the service keeps running) or the
+/// durability layer failed (I/O).
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The engine rejected the batch; the instance is untouched.
+    Model(ModelError),
+    /// The WAL or snapshot I/O failed; the instance is untouched.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Model(error) => error.fmt(f),
+            ServiceError::Io(error) => write!(f, "durability failure: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ModelError> for ServiceError {
+    fn from(error: ModelError) -> ServiceError {
+        ServiceError::Model(error)
+    }
+}
+
+impl From<io::Error> for ServiceError {
+    fn from(error: io::Error) -> ServiceError {
+        ServiceError::Io(error)
+    }
+}
+
+/// Where and how a [`DurableEngine`] persists.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding `wal.log` and `snapshot.bin`.
+    pub dir: PathBuf,
+    /// WAL fsync policy.
+    pub sync: SyncPolicy,
+    /// Snapshot automatically after this many accepted batches (`None`:
+    /// only on demand).
+    pub snapshot_every: Option<u64>,
+}
+
+impl DurabilityConfig {
+    /// Durability in `dir` with per-batch fsync and no automatic snapshots.
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig { dir: dir.into(), sync: SyncPolicy::Always, snapshot_every: None }
+    }
+
+    /// Sets the automatic snapshot cadence.
+    pub fn snapshot_every(mut self, batches: u64) -> DurabilityConfig {
+        self.snapshot_every = Some(batches);
+        self
+    }
+
+    /// Sets the WAL fsync policy.
+    pub fn sync(mut self, policy: SyncPolicy) -> DurabilityConfig {
+        self.sync = policy;
+        self
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join("wal.log")
+    }
+
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("snapshot.bin")
+    }
+}
+
+/// What [`DurableEngine::recover`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Epoch of the snapshot the recovery started from (`None`: no
+    /// snapshot; replay started from an empty engine).
+    pub snapshot_epoch: Option<u64>,
+    /// WAL batches replayed into the engine.
+    pub records_replayed: u64,
+    /// WAL records skipped because the snapshot already covered them (a
+    /// crash landed between snapshot rename and WAL truncation).
+    pub stale_skipped: u64,
+    /// Bytes dropped off the WAL tail (torn last record or corruption).
+    pub tail_dropped_bytes: u64,
+    /// `true` iff the log ends with the clean-shutdown marker.
+    pub clean_shutdown: bool,
+}
+
+/// [`IncrementalEngine`] plus its durability machinery. All mutation goes
+/// through [`DurableEngine::ingest`], which enforces WAL-before-mutate.
+#[derive(Debug)]
+pub struct DurableEngine {
+    engine: IncrementalEngine,
+    wal: Option<Wal>,
+    config: Option<DurabilityConfig>,
+    batches_since_snapshot: u64,
+    snapshots_written: u64,
+    snapshot_failures: u64,
+}
+
+impl DurableEngine {
+    /// A purely in-memory engine: no WAL, no snapshots, no recovery. The
+    /// ingest path is identical minus the log append.
+    pub fn volatile(engine: IncrementalEngine) -> DurableEngine {
+        DurableEngine {
+            engine,
+            wal: None,
+            config: None,
+            batches_since_snapshot: 0,
+            snapshots_written: 0,
+            snapshot_failures: 0,
+        }
+    }
+
+    /// Starts durable operation in `config.dir`, creating the directory
+    /// and a fresh WAL. Any existing log or snapshot there is replaced —
+    /// use [`DurableEngine::recover`] to resume from one. The engine's
+    /// current state (often empty) is written as the initial snapshot so
+    /// the directory is always recoverable, even before the first ingest.
+    pub fn create(engine: IncrementalEngine, config: DurabilityConfig) -> Result<DurableEngine, ServiceError> {
+        std::fs::create_dir_all(&config.dir)?;
+        let wal = Wal::create(&config.wal_path(), config.sync)?;
+        let mut durable = DurableEngine {
+            engine,
+            wal: Some(wal),
+            config: Some(config),
+            batches_since_snapshot: 0,
+            snapshots_written: 0,
+            snapshot_failures: 0,
+        };
+        durable.snapshot_now()?;
+        Ok(durable)
+    }
+
+    /// Recovers the state persisted in `config.dir`: restores the snapshot
+    /// (if any) into `engine` — which must be a fresh engine over the
+    /// *same program* as the one that wrote the directory — then replays
+    /// the WAL tail, skipping records the snapshot already covers and
+    /// tolerating a torn or corrupt tail (dropped, not fatal). The
+    /// recovered engine is bit-identical to an uncrashed server that
+    /// accepted the same WAL'd batches.
+    pub fn recover(
+        engine: IncrementalEngine,
+        config: DurabilityConfig,
+    ) -> Result<(DurableEngine, RecoveryReport), ServiceError> {
+        std::fs::create_dir_all(&config.dir)?;
+        let mut engine = engine;
+        let snapshot = read_snapshot(&config.snapshot_path())?;
+        let mut last_seq = 0;
+        let snapshot_epoch = snapshot.as_ref().map(|data| data.epoch);
+        if let Some(data) = snapshot {
+            last_seq = data.last_seq;
+            engine.restore_state(data.instance, data.stats, data.epoch);
+        }
+
+        let scanned = replay(&config.wal_path())?;
+        let mut report = RecoveryReport {
+            snapshot_epoch,
+            records_replayed: 0,
+            stale_skipped: 0,
+            tail_dropped_bytes: scanned.dropped_bytes,
+            clean_shutdown: scanned.clean_shutdown,
+        };
+        for record in &scanned.records {
+            match record {
+                WalRecord::Batch { seq, facts } => {
+                    if *seq <= last_seq {
+                        report.stale_skipped += 1;
+                        continue;
+                    }
+                    // Replay reproduces the original admission decision:
+                    // an error here is a batch the live server also
+                    // rejected (deterministically, from the same state).
+                    let _ = self_ingest(&mut engine, facts);
+                    report.records_replayed += 1;
+                }
+                WalRecord::CleanShutdown { .. } => {}
+            }
+        }
+
+        let mut wal = if scanned.valid_len == 0 {
+            // No log existed yet (fresh directory next to a snapshot).
+            Wal::create(&config.wal_path(), config.sync)?
+        } else {
+            Wal::open_after_replay(&config.wal_path(), config.sync, &scanned)?
+        };
+        // The snapshot may certify sequence numbers past the end of the
+        // (truncated) log — e.g. a crash right after an automatic snapshot
+        // reset the WAL. New appends must not re-use those numbers, or the
+        // next recovery would skip them as already-covered.
+        wal.resume_sequence(last_seq + 1);
+        Ok((
+            DurableEngine {
+                engine,
+                wal: Some(wal),
+                config: Some(config),
+                batches_since_snapshot: 0,
+                snapshots_written: 0,
+                snapshot_failures: 0,
+            },
+            report,
+        ))
+    }
+
+    /// The wrapped engine (queries, snapshots, stats).
+    pub fn engine(&self) -> &IncrementalEngine {
+        &self.engine
+    }
+
+    /// Ingests one batch under the durability invariant: WAL append (and
+    /// fsync) first, engine mutation second, automatic snapshot (if due)
+    /// last. See the [module docs](self) for the failure cases.
+    pub fn ingest(&mut self, facts: &[Atom]) -> Result<IngestOutcome, ServiceError> {
+        if let Some(wal) = &mut self.wal {
+            wal.append_batch(facts)?;
+        }
+        // The window where a crash loses the ack but not the batch.
+        failpoints::check("durable.mid_ingest")?;
+        let outcome = self_ingest(&mut self.engine, facts)?;
+        if let Some(every) = self.config.as_ref().and_then(|c| c.snapshot_every) {
+            self.batches_since_snapshot += 1;
+            if self.batches_since_snapshot >= every {
+                // A failed automatic snapshot must not fail the (already
+                // durable, already applied) ingest: count it and let the
+                // WAL keep growing until the next attempt lands.
+                match self.snapshot_now() {
+                    Ok(()) => {}
+                    Err(_) => self.snapshot_failures += 1,
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Serialises the current engine state and truncates the WAL. The
+    /// write is atomic (tmp + rename); the truncation only happens after
+    /// the snapshot is durably installed.
+    pub fn snapshot_now(&mut self) -> Result<(), ServiceError> {
+        let Some(config) = &self.config else {
+            return Ok(()); // volatile: nothing to persist
+        };
+        let last_seq = self.wal.as_ref().map_or(0, Wal::last_seq);
+        let data = SnapshotData {
+            epoch: self.engine.epoch(),
+            last_seq,
+            stats: *self.engine.stats(),
+            instance: self.engine.instance().clone(),
+        };
+        write_snapshot(&config.snapshot_path(), &data)?;
+        if let Some(wal) = &mut self.wal {
+            wal.reset()?;
+        }
+        self.batches_since_snapshot = 0;
+        self.snapshots_written += 1;
+        Ok(())
+    }
+
+    /// Flushes the WAL and appends the clean-shutdown marker. Called by
+    /// the server after the last handler has drained.
+    pub fn clean_shutdown(&mut self) -> Result<(), ServiceError> {
+        if let Some(wal) = &mut self.wal {
+            wal.sync()?;
+            wal.append_clean_shutdown()?;
+        }
+        Ok(())
+    }
+
+    /// (records appended, WAL bytes, snapshots written, snapshot failures)
+    /// — the durability counters reported by `STATS`.
+    pub fn wal_stats(&self) -> (u64, u64, u64, u64) {
+        let (records, bytes) =
+            self.wal.as_ref().map_or((0, 0), |wal| (wal.records_appended(), wal.bytes()));
+        (records, bytes, self.snapshots_written, self.snapshot_failures)
+    }
+
+    /// The durability directory, if persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.config.as_ref().map(|config| config.dir.as_path())
+    }
+}
+
+/// One ingest call, shared by the live path and replay so both sides of
+/// the bit-identity property run exactly the same code.
+fn self_ingest(engine: &mut IncrementalEngine, facts: &[Atom]) -> Result<IngestOutcome, ModelError> {
+    engine.ingest(facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::parser::{parse_fact_list, parse_rules};
+
+    const CLOSURE: &str = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).";
+
+    fn fresh_engine() -> IncrementalEngine {
+        IncrementalEngine::new(parse_rules(CLOSURE).unwrap()).unwrap()
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vadalog-durable-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn batches() -> Vec<Vec<Atom>> {
+        ["edge(a, b). edge(b, c).", "edge(c, d).", "edge(d, e). edge(e, f)."]
+            .iter()
+            .map(|src| parse_fact_list(src).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn crash_recovery_is_bit_identical_to_the_uncrashed_engine() {
+        let dir = temp_dir("bitident");
+        let mut durable =
+            DurableEngine::create(fresh_engine(), DurabilityConfig::new(&dir)).unwrap();
+        let mut reference = fresh_engine();
+        for batch in batches() {
+            durable.ingest(&batch).unwrap();
+            reference.ingest(&batch).unwrap();
+        }
+        // "Crash": drop the durable engine without clean shutdown.
+        drop(durable);
+
+        let (recovered, report) =
+            DurableEngine::recover(fresh_engine(), DurabilityConfig::new(&dir)).unwrap();
+        assert_eq!(report.records_replayed, 3);
+        assert!(!report.clean_shutdown);
+        assert_eq!(report.tail_dropped_bytes, 0);
+        let engine = recovered.engine();
+        assert_eq!(engine.instance().row_layout(), reference.instance().row_layout());
+        assert_eq!(engine.stats(), reference.stats());
+        assert_eq!(engine.epoch(), reference.epoch());
+    }
+
+    #[test]
+    fn snapshots_truncate_the_log_and_recovery_replays_only_the_tail() {
+        let dir = temp_dir("cadence");
+        let config = DurabilityConfig::new(&dir).snapshot_every(2);
+        let mut durable = DurableEngine::create(fresh_engine(), config.clone()).unwrap();
+        let mut reference = fresh_engine();
+        for batch in batches() {
+            durable.ingest(&batch).unwrap();
+            reference.ingest(&batch).unwrap();
+        }
+        let (_, _, snapshots, failures) = durable.wal_stats();
+        assert_eq!(snapshots, 2, "initial snapshot + one automatic");
+        assert_eq!(failures, 0);
+        durable.clean_shutdown().unwrap();
+        drop(durable);
+
+        let (recovered, report) = DurableEngine::recover(fresh_engine(), config).unwrap();
+        assert_eq!(report.snapshot_epoch, Some(2), "snapshot covers the first two batches");
+        assert_eq!(report.records_replayed, 1, "only the post-snapshot batch replays");
+        assert!(report.clean_shutdown);
+        assert_eq!(
+            recovered.engine().instance().row_layout(),
+            reference.instance().row_layout()
+        );
+        assert_eq!(recovered.engine().stats(), reference.stats());
+        assert_eq!(recovered.engine().epoch(), reference.epoch());
+    }
+
+    #[test]
+    fn rejected_batches_rereject_deterministically_on_replay() {
+        let dir = temp_dir("reject");
+        let engine = fresh_engine().with_row_capacity(3);
+        let mut durable = DurableEngine::create(engine, DurabilityConfig::new(&dir)).unwrap();
+        let mut reference = fresh_engine().with_row_capacity(3);
+        durable.ingest(&parse_fact_list("edge(a, b). edge(b, c).").unwrap()).unwrap();
+        let _ = reference.ingest(&parse_fact_list("edge(a, b). edge(b, c).").unwrap());
+        // Over capacity: rejected live, logged anyway, re-rejected on replay.
+        let over = parse_fact_list("edge(c, d). edge(d, e).").unwrap();
+        assert!(matches!(durable.ingest(&over), Err(ServiceError::Model(_))));
+        let _ = reference.ingest(&over);
+        drop(durable);
+
+        let recovered_engine = fresh_engine().with_row_capacity(3);
+        let (recovered, report) =
+            DurableEngine::recover(recovered_engine, DurabilityConfig::new(&dir)).unwrap();
+        assert_eq!(report.records_replayed, 2);
+        assert_eq!(
+            recovered.engine().instance().row_layout(),
+            reference.instance().row_layout()
+        );
+        assert_eq!(recovered.engine().epoch(), reference.epoch());
+    }
+
+    #[test]
+    fn sequencing_survives_a_crash_right_after_a_snapshot_truncation() {
+        let dir = temp_dir("seq-resume");
+        let config = DurabilityConfig::new(&dir).snapshot_every(1);
+        let mut durable = DurableEngine::create(fresh_engine(), config.clone()).unwrap();
+        let mut reference = fresh_engine();
+        let first = parse_fact_list("edge(a, b).").unwrap();
+        durable.ingest(&first).unwrap();
+        reference.ingest(&first).unwrap();
+        // The cadence-1 snapshot just truncated the WAL; crash here, with
+        // an empty log next to a snapshot whose last_seq is 1.
+        drop(durable);
+
+        // Recover without a snapshot cadence, so the next batch lives only
+        // in the WAL. It must continue the numbering past the snapshot:
+        // were it logged as seq 1 again, the next recovery would skip it
+        // as already covered.
+        let no_cadence = DurabilityConfig::new(&dir);
+        let (mut recovered, _) =
+            DurableEngine::recover(fresh_engine(), no_cadence.clone()).unwrap();
+        let second = parse_fact_list("edge(b, c).").unwrap();
+        recovered.ingest(&second).unwrap();
+        reference.ingest(&second).unwrap();
+        drop(recovered);
+
+        let (again, report) = DurableEngine::recover(fresh_engine(), no_cadence).unwrap();
+        assert_eq!(report.stale_skipped, 0, "the post-snapshot batch is not stale");
+        assert_eq!(again.engine().instance().row_layout(), reference.instance().row_layout());
+        assert_eq!(again.engine().stats(), reference.stats());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn volatile_engines_ingest_without_touching_disk() {
+        let mut durable = DurableEngine::volatile(fresh_engine());
+        durable.ingest(&parse_fact_list("edge(a, b).").unwrap()).unwrap();
+        assert_eq!(durable.wal_stats(), (0, 0, 0, 0));
+        assert!(durable.dir().is_none());
+        durable.snapshot_now().unwrap();
+        durable.clean_shutdown().unwrap();
+    }
+}

@@ -19,9 +19,10 @@
 //! |---|---|
 //! | `FACT <fact>.` | `OK inserted=<n> duplicate=<n> derived=<n> strata_skipped=<n> rounds=<n> epoch=<e>` |
 //! | `BATCH <fact>. <fact>. …` | same as `FACT` (one evaluation for the whole batch) |
-//! | `QUERY ?(X, …) :- body.` | `OK answers=<n> epoch=<e>`, then **exactly `n`** tuple lines (whitespace-separated constants, sorted; constants containing whitespace, quotes or control characters come back `"`-quoted with `\"`/`\\`/`\n` escapes), then `END` |
-//! | `STATS` | `OK` followed by one JSON object on the same line |
-//! | `SHUTDOWN` | `OK bye`; the server stops accepting connections |
+//! | `QUERY [TIMEOUT_MS=<ms>] [MAX_ROWS=<n>] ?(X, …) :- body.` | `OK answers=<n> epoch=<e>`, then **exactly `n`** tuple lines (whitespace-separated constants, sorted; constants containing whitespace, quotes or control characters come back `"`-quoted with `\"`/`\\`/`\n` escapes), then `END` — or `ERR deadline timeout_ms=<ms>` / `ERR row-limit max_rows=<n>` when a budget trips |
+//! | `STATS` | `OK` followed by one JSON object on the same line (engine counters plus `wal_records`, `wal_bytes`, `snapshots_written`, `snapshot_failures`, `degraded`) |
+//! | `SNAPSHOT` | `OK snapshot epoch=<e>` after durably snapshotting the instance and truncating the WAL (a no-op `OK` on a volatile server) |
+//! | `SHUTDOWN` | `OK bye`; the server stops accepting connections, drains in-flight handlers, flushes the WAL and appends the clean-shutdown marker |
 //!
 //! Clients must frame query answers by the header's `answers=<n>` count —
 //! read exactly `n` tuple lines, then the `END` line — rather than scanning
@@ -49,13 +50,53 @@
 //!   the pure-ish request handler, write the rendered response — so an
 //!   async runtime can later replace the transport without touching the
 //!   protocol or the engine.
+//!
+//! # Durability model
+//!
+//! A [`LiveServer`] can serve a [`DurableEngine`]
+//! ([`LiveServer::start_with`]), which enforces **WAL-before-mutate**:
+//! every batch is appended to a checksummed, length-prefixed write-ahead
+//! log ([`wal`]) — and fsynced, under the default [`SyncPolicy::Always`] —
+//! *before* the engine applies it. Snapshots ([`snapshot`]) serialise the
+//! packed instance atomically (tmp + rename) and truncate the log, either
+//! on a cadence ([`DurabilityConfig::snapshot_every`]) or on demand (the
+//! `SNAPSHOT` verb). [`DurableEngine::recover`] restores the snapshot,
+//! replays the WAL tail — skipping records the snapshot already covers and
+//! dropping (not fataling on) a torn or corrupt tail — and yields a state
+//! **bit-identical** to the uncrashed engine's, as enforced by the
+//! fault-injection suite and the `recovery` bench harness. Acknowledged
+//! batches are never lost; a batch logged but unacknowledged at the crash
+//! may be replayed (the usual at-least-once window).
+//!
+//! # Robustness
+//!
+//! Query budgets default to [`ServerConfig`]'s `default_timeout` /
+//! `default_max_rows` (both unlimited unless set) and can be overridden
+//! per request with `TIMEOUT_MS=` / `MAX_ROWS=`; exceeded budgets answer
+//! structured `ERR deadline …` / `ERR row-limit …` lines and the kernels
+//! stop cooperatively (a cancellation flag polled every
+//! [`vadalog_model::BUDGET_POLL_INTERVAL`] probes). The transport caps
+//! request lines at `max_line_bytes`, cuts off stalled partial lines after
+//! `line_timeout` (slow-loris defence), and survives malformed, non-UTF-8
+//! and half-written input — each answers a single `ERR` line or a clean
+//! close, never a dead server. A handler that panics mid-write poisons the
+//! engine mutex: subsequent writes answer `ERR engine-unavailable` while
+//! queries keep serving the last published snapshot, and a restart
+//! recovers from the WAL. Fault-injection sites ([`failpoints`], debug
+//! builds only) let tests kill the durability pipeline at every seam.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durability;
+pub mod failpoints;
 pub mod protocol;
 pub mod server;
+pub mod snapshot;
+pub mod wal;
 
+pub use durability::{DurabilityConfig, DurableEngine, RecoveryReport, ServiceError};
 pub use protocol::{parse_request, Request, Response};
-pub use server::LiveServer;
+pub use server::{LiveServer, ServerConfig};
 pub use vadalog_datalog::{IncrementalEngine, IngestOutcome};
+pub use wal::SyncPolicy;

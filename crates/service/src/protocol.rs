@@ -12,11 +12,22 @@ use vadalog_model::{Atom, ConjunctiveQuery, Symbol};
 pub enum Request {
     /// `FACT <fact>.` or `BATCH <fact>. …` — ingest the facts as one batch.
     Ingest(Vec<Atom>),
-    /// `QUERY ?(X, …) :- body.` — answer a CQ against the published
-    /// snapshot.
-    Query(ConjunctiveQuery),
+    /// `QUERY [TIMEOUT_MS=<n>] [MAX_ROWS=<n>] ?(X, …) :- body.` — answer
+    /// a CQ against the published snapshot, optionally bounding its
+    /// wall-clock time and answer count (server defaults apply to
+    /// unspecified limits).
+    Query {
+        /// The conjunctive query.
+        query: ConjunctiveQuery,
+        /// Per-request deadline override, in milliseconds.
+        timeout_ms: Option<u64>,
+        /// Per-request answer-count cap override.
+        max_rows: Option<usize>,
+    },
     /// `STATS` — report engine statistics as one JSON line.
     Stats,
+    /// `SNAPSHOT` — persist the current engine state and truncate the WAL.
+    Snapshot,
     /// `SHUTDOWN` — stop accepting connections.
     Shutdown,
 }
@@ -40,14 +51,56 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Ingest(facts))
         }
-        "QUERY" => Ok(Request::Query(parse_query(rest).map_err(|e| e.to_string())?)),
+        "QUERY" => {
+            let (rest, timeout_ms, max_rows) = parse_query_options(rest)?;
+            Ok(Request::Query {
+                query: parse_query(rest).map_err(|e| e.to_string())?,
+                timeout_ms,
+                max_rows,
+            })
+        }
         "STATS" => Ok(Request::Stats),
+        "SNAPSHOT" => Ok(Request::Snapshot),
         "SHUTDOWN" => Ok(Request::Shutdown),
         "" => Err("empty command".into()),
         other => Err(format!(
-            "unknown command `{other}` (expected FACT, BATCH, QUERY, STATS or SHUTDOWN)"
+            "unknown command `{other}` (expected FACT, BATCH, QUERY, STATS, SNAPSHOT or SHUTDOWN)"
         )),
     }
+}
+
+/// Strips the optional leading `TIMEOUT_MS=<n>` / `MAX_ROWS=<n>` options
+/// off a `QUERY` argument string. Options precede the query text (the
+/// query itself contains spaces and periods, so trailing options would be
+/// ambiguous); each may appear at most once, in either order.
+fn parse_query_options(mut rest: &str) -> Result<(&str, Option<u64>, Option<usize>), String> {
+    let mut timeout_ms = None;
+    let mut max_rows = None;
+    loop {
+        let token = rest.split_whitespace().next().unwrap_or("");
+        let Some((key, value)) = token.split_once('=') else { break };
+        match key.to_ascii_uppercase().as_str() {
+            "TIMEOUT_MS" => {
+                if timeout_ms.is_some() {
+                    return Err("TIMEOUT_MS given twice".into());
+                }
+                let parsed: u64 =
+                    value.parse().map_err(|_| format!("bad TIMEOUT_MS value `{value}`"))?;
+                timeout_ms = Some(parsed);
+            }
+            "MAX_ROWS" => {
+                if max_rows.is_some() {
+                    return Err("MAX_ROWS given twice".into());
+                }
+                let parsed: usize =
+                    value.parse().map_err(|_| format!("bad MAX_ROWS value `{value}`"))?;
+                max_rows = Some(parsed);
+            }
+            _ => break, // not an option: the query text starts here
+        }
+        rest = rest[token.len()..].trim_start();
+    }
+    Ok((rest, timeout_ms, max_rows))
 }
 
 /// A protocol response, rendered to one or more `\n`-terminated lines.
@@ -158,7 +211,32 @@ mod tests {
         assert!(matches!(parse_request("  stats  "), Ok(Request::Stats)));
         assert!(matches!(parse_request("SHUTDOWN"), Ok(Request::Shutdown)));
         let q = parse_request("QUERY ?(X) :- t(a, X).").unwrap();
-        assert!(matches!(q, Request::Query(q) if q.output.len() == 1));
+        assert!(matches!(
+            q,
+            Request::Query { query, timeout_ms: None, max_rows: None } if query.output.len() == 1
+        ));
+        assert!(matches!(parse_request("SNAPSHOT"), Ok(Request::Snapshot)));
+    }
+
+    #[test]
+    fn query_budget_options_parse_in_any_order() {
+        let q = parse_request("QUERY TIMEOUT_MS=250 MAX_ROWS=10 ?(X) :- t(a, X).").unwrap();
+        assert!(matches!(
+            q,
+            Request::Query { timeout_ms: Some(250), max_rows: Some(10), .. }
+        ));
+        let q = parse_request("QUERY max_rows=7 ?(X) :- t(a, X).").unwrap();
+        assert!(matches!(q, Request::Query { timeout_ms: None, max_rows: Some(7), .. }));
+
+        assert!(parse_request("QUERY TIMEOUT_MS=abc ?(X) :- t(a, X).")
+            .unwrap_err()
+            .contains("bad TIMEOUT_MS"));
+        assert!(parse_request("QUERY MAX_ROWS=1 MAX_ROWS=2 ?(X) :- t(a, X).")
+            .unwrap_err()
+            .contains("twice"));
+        // A query whose own text merely contains `=` is untouched: options
+        // stop at the first non-option token.
+        assert!(parse_request("QUERY TIMEOUT_MS=10 ?(X) :- ").is_err());
     }
 
     #[test]

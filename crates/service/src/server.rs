@@ -1,28 +1,95 @@
 //! The thread-per-connection TCP front door (see the [crate docs](crate)
-//! for the protocol and the concurrency model).
+//! for the protocol, the concurrency model and the durability model).
+//!
+//! # Robustness
+//!
+//! The transport defends itself against slow and broken clients:
+//!
+//! * Reads poll with a short socket timeout, so every handler notices a
+//!   requested shutdown within [`ServerConfig::poll_interval`] instead of
+//!   blocking forever on a silent connection.
+//! * A line must fit in [`ServerConfig::max_line_bytes`] and complete
+//!   within [`ServerConfig::line_timeout`] of its first byte — the
+//!   slow-loris hole (one byte per minute, forever) closes a connection
+//!   instead of pinning a handler thread.
+//! * A panicked writer poisons the engine mutex; subsequent writes answer
+//!   `ERR engine-unavailable` while queries keep serving from the last
+//!   published snapshot (reads never need the engine lock). The process
+//!   can be restarted to recover the WAL — mid-ingest state is never
+//!   trusted.
+//! * Shutdown is cooperative: the accept loop polls a flag (no self-connect
+//!   wake), drains in-flight handlers, then flushes the WAL and appends
+//!   the clean-shutdown marker.
 
+use crate::durability::DurableEngine;
+use crate::failpoints;
 use crate::protocol::{parse_request, Request, Response};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use vadalog_datalog::IncrementalEngine;
-use vadalog_model::InstanceSnapshot;
+use vadalog_model::{BudgetExceeded, InstanceSnapshot, QueryBudget};
+
+/// Transport limits and query-budget defaults.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Default wall-clock budget for queries that do not pass
+    /// `TIMEOUT_MS` (`None`: unlimited).
+    pub default_timeout: Option<Duration>,
+    /// Default answer-count cap for queries that do not pass `MAX_ROWS`
+    /// (`None`: unlimited).
+    pub default_max_rows: Option<usize>,
+    /// Hard cap on one request line; longer lines answer `ERR` and close.
+    pub max_line_bytes: usize,
+    /// A started line must complete within this long of its first byte.
+    pub line_timeout: Duration,
+    /// Socket read-timeout granularity — also how quickly idle handlers
+    /// observe a shutdown request.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            default_timeout: None,
+            default_max_rows: None,
+            max_line_bytes: 1 << 20,
+            line_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+const ENGINE_UNAVAILABLE: &str =
+    "engine-unavailable (a writer panicked mid-request; queries still serve the last snapshot)";
 
 /// The state shared between the accept loop and the connection handlers.
 struct Shared {
-    /// The live engine; ingests serialise here.
-    engine: Mutex<IncrementalEngine>,
+    /// The live engine behind its durability layer; ingests serialise here.
+    engine: Mutex<DurableEngine>,
     /// The snapshot queries run against, republished after every ingest.
     /// Readers hold the lock only for the `Arc` clone.
     published: RwLock<InstanceSnapshot>,
     /// Worker threads for the sharded CQ kernel.
     threads: usize,
-    /// Set by `SHUTDOWN`; the accept loop re-checks it per connection.
+    /// Set by `SHUTDOWN` (or programmatically); polled by the accept loop
+    /// and by every handler's line reader.
     shutdown: AtomicBool,
-    /// The bound address, used to self-connect and wake a blocking accept.
-    addr: SocketAddr,
+    /// Latched when the engine mutex is found poisoned.
+    degraded: AtomicBool,
+    config: ServerConfig,
+}
+
+impl Shared {
+    /// Clones the published snapshot handle; a poisoned `published` lock is
+    /// recovered with `into_inner` — the guarded value is a plain handle
+    /// assignment, which cannot be left half-done.
+    fn published_snapshot(&self) -> InstanceSnapshot {
+        self.published.read().unwrap_or_else(|poisoned| poisoned.into_inner()).clone()
+    }
 }
 
 /// Serves one request against the shared state. This is the whole protocol
@@ -30,7 +97,13 @@ struct Shared {
 fn handle_request(shared: &Shared, request: Request) -> Response {
     match request {
         Request::Ingest(facts) => {
-            let mut engine = shared.engine.lock().expect("engine lock poisoned");
+            if let Err(error) = failpoints::check("server.lock") {
+                return Response::Error(error.to_string());
+            }
+            let Ok(mut engine) = shared.engine.lock() else {
+                shared.degraded.store(true, Ordering::SeqCst);
+                return Response::Error(ENGINE_UNAVAILABLE.into());
+            };
             match engine.ingest(&facts) {
                 Ok(outcome) => {
                     // Publish while still holding the engine lock: were the
@@ -39,67 +112,199 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                     // would regress the served snapshot to a stale one.
                     // Lock order is always engine → published, and queries
                     // take only `published`, so this cannot deadlock.
-                    let snapshot = engine.snapshot();
-                    *shared.published.write().expect("snapshot lock poisoned") = snapshot;
+                    let snapshot = engine.engine().snapshot();
+                    *shared.published.write().unwrap_or_else(|poisoned| poisoned.into_inner()) =
+                        snapshot;
                     drop(engine);
                     Response::ingest(&outcome)
                 }
                 // A rejected batch left the instance untouched (the engine
-                // validates before applying) — report and keep serving.
+                // validates before applying; a durability failure rolls the
+                // log back before the engine is touched) — report and keep
+                // serving.
                 Err(error) => Response::Error(error.to_string()),
             }
         }
-        Request::Query(query) => {
-            let snapshot = shared
-                .published
-                .read()
-                .expect("snapshot lock poisoned")
-                .clone();
+        Request::Query { query, timeout_ms, max_rows } => {
+            let snapshot = shared.published_snapshot();
+            let budget = QueryBudget {
+                timeout: timeout_ms.map(Duration::from_millis).or(shared.config.default_timeout),
+                max_rows: max_rows.or(shared.config.default_max_rows),
+            };
             // No lock is held here: the query runs against the frozen
             // snapshot, concurrently with any in-flight ingest.
-            let answers = query.evaluate_with_threads(&snapshot, shared.threads);
-            Response::Answers {
-                epoch: snapshot.epoch(),
-                tuples: answers.into_iter().collect(),
+            let answers = if budget.is_unlimited() {
+                Ok(query.evaluate_with_threads(&snapshot, shared.threads))
+            } else {
+                query.evaluate_budgeted(&snapshot, shared.threads, &budget)
+            };
+            match answers {
+                Ok(answers) => Response::Answers {
+                    epoch: snapshot.epoch(),
+                    tuples: answers.into_iter().collect(),
+                },
+                Err(BudgetExceeded::Deadline) => Response::Error(format!(
+                    "deadline timeout_ms={}",
+                    budget.timeout.map_or(0, |t| t.as_millis() as u64)
+                )),
+                Err(BudgetExceeded::RowLimit) => Response::Error(format!(
+                    "row-limit max_rows={}",
+                    budget.max_rows.unwrap_or(0)
+                )),
+                Err(BudgetExceeded::Cancelled) => Response::Error("cancelled".into()),
             }
         }
         Request::Stats => {
-            let engine = shared.engine.lock().expect("engine lock poisoned");
-            let stats = engine.stats();
+            let Ok(engine) = shared.engine.lock() else {
+                shared.degraded.store(true, Ordering::SeqCst);
+                return Response::Error(ENGINE_UNAVAILABLE.into());
+            };
+            let (wal_records, wal_bytes, snapshots_written, snapshot_failures) =
+                engine.wal_stats();
+            let inner = engine.engine();
+            let stats = inner.stats();
             Response::Ok(format!(
                 "{{\"epoch\":{},\"atoms\":{},\"derived_atoms\":{},\"iterations\":{},\
                  \"rounds_incremental\":{},\"strata_skipped\":{},\"joins_evaluated\":{},\
-                 \"join_probes\":{},\"index_bytes\":{}}}",
-                engine.epoch(),
-                engine.instance().len(),
+                 \"join_probes\":{},\"index_bytes\":{},\"wal_records\":{},\"wal_bytes\":{},\
+                 \"snapshots_written\":{},\"snapshot_failures\":{},\"degraded\":{}}}",
+                inner.epoch(),
+                inner.instance().len(),
                 stats.derived_atoms,
                 stats.iterations,
                 stats.rounds_incremental,
                 stats.strata_skipped,
                 stats.joins_evaluated,
                 stats.join_probes,
-                engine.instance().index_bytes(),
+                inner.instance().index_bytes(),
+                wal_records,
+                wal_bytes,
+                snapshots_written,
+                snapshot_failures,
+                shared.degraded.load(Ordering::SeqCst),
             ))
+        }
+        Request::Snapshot => {
+            let Ok(mut engine) = shared.engine.lock() else {
+                shared.degraded.store(true, Ordering::SeqCst);
+                return Response::Error(ENGINE_UNAVAILABLE.into());
+            };
+            match engine.snapshot_now() {
+                Ok(()) => Response::Ok(format!("snapshot epoch={}", engine.engine().epoch())),
+                Err(error) => Response::Error(error.to_string()),
+            }
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
-            // Wake the accept loop out of its blocking `accept`.
-            let _ = TcpStream::connect(shared.addr);
+            // The accept loop and every handler poll the flag; no wake-up
+            // connection is needed.
             Response::Ok("bye".into())
         }
     }
 }
 
-/// Reads request lines off one connection until EOF (or `SHUTDOWN`),
-/// writing one rendered response per request.
+/// What one attempt to read a request line produced.
+enum LineEvent {
+    /// A complete line (without its terminator), lossily decoded — bad
+    /// UTF-8 flows into `parse_request`, which answers `ERR`.
+    Line(String),
+    /// The line exceeded [`ServerConfig::max_line_bytes`].
+    TooLong,
+    /// EOF, a transport error, a stalled partial line, or shutdown.
+    Closed,
+}
+
+/// A line reader over a raw polling socket: accumulates bytes, yields
+/// complete lines, enforces the length cap and the completion deadline,
+/// and observes the shutdown flag between polls.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for a newline (avoids rescanning).
+    scanned: usize,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> LineReader {
+        LineReader { stream, buf: Vec::new(), scanned: 0 }
+    }
+
+    fn next_line(&mut self, shared: &Shared) -> LineEvent {
+        let config = &shared.config;
+        // The deadline for *this* line starts when its first byte is
+        // already waiting (pipelined) or arrives.
+        let mut started = if self.buf.is_empty() { None } else { Some(Instant::now()) };
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let pos = self.scanned + pos;
+                if pos > config.max_line_bytes {
+                    return LineEvent::TooLong;
+                }
+                let line = String::from_utf8_lossy(&self.buf[..pos]).into_owned();
+                self.buf.drain(..=pos);
+                self.scanned = 0;
+                return LineEvent::Line(line);
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > config.max_line_bytes {
+                return LineEvent::TooLong;
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return LineEvent::Closed;
+            }
+            if let Some(started) = started {
+                if started.elapsed() > config.line_timeout {
+                    // Slow loris: a line that cannot finish does not get to
+                    // keep its handler thread.
+                    return LineEvent::Closed;
+                }
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return LineEvent::Closed,
+                Ok(n) => {
+                    if self.buf.is_empty() {
+                        started = Some(Instant::now());
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(error)
+                    if matches!(
+                        error.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) => {}
+                Err(_) => return LineEvent::Closed,
+            }
+        }
+    }
+}
+
+/// Reads request lines off one connection until EOF, a transport fault,
+/// or shutdown, writing one rendered response per request.
 fn serve_connection(shared: &Shared, stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else {
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = stream.set_write_timeout(Some(shared.config.line_timeout));
+    let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut writer = io::BufWriter::new(write_half);
+    let mut reader = LineReader::new(stream);
+    loop {
+        let line = match reader.next_line(shared) {
+            LineEvent::Line(line) => line,
+            LineEvent::TooLong => {
+                // Tell the client why, then drop it — the connection's
+                // framing is unrecoverable past an oversized line.
+                let _ = writer.write_all(
+                    Response::Error("line too long".into()).render().as_bytes(),
+                );
+                let _ = writer.flush();
+                return;
+            }
+            LineEvent::Closed => return,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -124,51 +329,98 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
 pub struct LiveServer {
     addr: SocketAddr,
     accept: JoinHandle<()>,
+    shared: Arc<Shared>,
 }
 
 impl LiveServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
-    /// serving the given engine. The engine may already hold a
-    /// materialisation — its current state is published as the first
-    /// snapshot.
-    pub fn start(engine: IncrementalEngine, addr: impl ToSocketAddrs) -> std::io::Result<LiveServer> {
+    /// serving the given engine **without durability** and with default
+    /// limits. The engine may already hold a materialisation — its current
+    /// state is published as the first snapshot.
+    pub fn start(engine: IncrementalEngine, addr: impl ToSocketAddrs) -> io::Result<LiveServer> {
+        LiveServer::start_with(DurableEngine::volatile(engine), addr, ServerConfig::default())
+    }
+
+    /// Binds `addr` and serves a (possibly durable, possibly recovered)
+    /// engine under the given transport limits and budget defaults.
+    pub fn start_with(
+        engine: DurableEngine,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<LiveServer> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let threads = engine.threads();
-        let published = RwLock::new(engine.snapshot());
+        let threads = engine.engine().threads();
+        let published = RwLock::new(engine.engine().snapshot());
         let shared = Arc::new(Shared {
             engine: Mutex::new(engine),
             published,
             threads,
             shutdown: AtomicBool::new(false),
-            addr,
+            degraded: AtomicBool::new(false),
+            config,
         });
         let accept = std::thread::spawn({
             let shared = Arc::clone(&shared);
             move || {
                 let mut connections: Vec<JoinHandle<()>> = Vec::new();
-                for stream in listener.incoming() {
+                loop {
                     if shared.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    // Reap handlers whose client already disconnected, so a
-                    // long-lived server does not accumulate one handle per
-                    // connection it ever served.
-                    connections.retain(|connection| !connection.is_finished());
-                    let Ok(stream) = stream else { continue };
-                    let shared = Arc::clone(&shared);
-                    connections.push(std::thread::spawn(move || {
-                        serve_connection(&shared, stream)
-                    }));
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Accepted sockets must block (with timeouts);
+                            // nonblocking-ness is for the listener only.
+                            let _ = stream.set_nonblocking(false);
+                            // Reap handlers whose client already
+                            // disconnected, so a long-lived server does not
+                            // accumulate one handle per connection it ever
+                            // served.
+                            connections.retain(|connection| !connection.is_finished());
+                            let shared = Arc::clone(&shared);
+                            connections.push(std::thread::spawn(move || {
+                                serve_connection(&shared, stream)
+                            }));
+                        }
+                        Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
                 }
-                // Drain the handlers of already-accepted connections; they
-                // exit when their client disconnects.
+                // Drain in-flight handlers: each observes the shutdown flag
+                // within one poll interval and exits.
                 for connection in connections {
                     let _ = connection.join();
                 }
+                // With every handler drained, flush the WAL and mark the
+                // shutdown clean. A poisoned engine skips the marker — its
+                // mid-ingest state must not be certified clean.
+                if let Ok(mut engine) = shared.engine.lock() {
+                    let _ = engine.clean_shutdown();
+                }
             }
         });
-        Ok(LiveServer { addr, accept })
+        Ok(LiveServer { addr, accept, shared })
+    }
+
+    /// Recovers the state persisted in `config.dir` (snapshot + WAL tail
+    /// replay, bit-identical to the uncrashed engine) into `engine` — a
+    /// fresh engine over the same program — and starts serving it. Returns
+    /// the running server and the [`RecoveryReport`] describing what was
+    /// restored.
+    pub fn recover(
+        engine: IncrementalEngine,
+        config: crate::durability::DurabilityConfig,
+        addr: impl ToSocketAddrs,
+        server_config: ServerConfig,
+    ) -> Result<(LiveServer, crate::durability::RecoveryReport), crate::durability::ServiceError>
+    {
+        let (durable, report) = DurableEngine::recover(engine, config)?;
+        let server = LiveServer::start_with(durable, addr, server_config)?;
+        Ok((server, report))
     }
 
     /// The address the server is listening on.
@@ -176,9 +428,16 @@ impl LiveServer {
         self.addr
     }
 
-    /// Waits for the server to stop: `SHUTDOWN` stops the accept loop, and
-    /// the loop then drains the remaining connection handlers (each ends
-    /// when its client disconnects).
+    /// Requests shutdown programmatically — equivalent to a `SHUTDOWN`
+    /// request: the accept loop stops, handlers drain, the WAL is flushed
+    /// and the clean-shutdown marker is appended.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the server to stop: shutdown stops the accept loop, the
+    /// loop drains the remaining connection handlers, and the WAL is
+    /// closed cleanly.
     pub fn join(self) {
         let _ = self.accept.join();
     }
@@ -187,6 +446,7 @@ impl LiveServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{BufRead, BufReader, BufWriter};
     use vadalog_model::parser::parse_rules;
 
     const TWO_CLOSURES: &str = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).\n\
@@ -197,13 +457,13 @@ mod tests {
     }
 
     /// A minimal blocking protocol client for the tests.
-    struct Client {
+    pub(crate) struct Client {
         reader: BufReader<TcpStream>,
         writer: BufWriter<TcpStream>,
     }
 
     impl Client {
-        fn connect(addr: SocketAddr) -> Client {
+        pub(crate) fn connect(addr: SocketAddr) -> Client {
             let stream = TcpStream::connect(addr).expect("connect to live server");
             let reader = BufReader::new(stream.try_clone().expect("clone stream"));
             Client {
@@ -216,7 +476,7 @@ mod tests {
         /// — for query answers — the header plus exactly `answers=<n>`
         /// tuple lines plus the `END` line (framing by count, as the
         /// protocol requires).
-        fn send(&mut self, line: &str) -> Vec<String> {
+        pub(crate) fn send(&mut self, line: &str) -> Vec<String> {
             self.writer
                 .write_all(format!("{line}\n").as_bytes())
                 .expect("write request");
@@ -274,6 +534,8 @@ mod tests {
         let stats = client.send("STATS");
         assert!(stats[0].starts_with("OK {\"epoch\":2,"), "{stats:?}");
         assert!(stats[0].contains("\"rounds_incremental\""), "{stats:?}");
+        assert!(stats[0].contains("\"wal_records\":0"), "volatile server: {stats:?}");
+        assert!(stats[0].contains("\"degraded\":false"), "{stats:?}");
 
         // Unknown and malformed requests keep the connection alive.
         assert!(client.send("NOPE")[0].starts_with("ERR unknown command"));
@@ -350,6 +612,78 @@ mod tests {
         reader_conn.send("SHUTDOWN");
         drop(reader_conn);
         drop(writer_conn);
+        server.join();
+    }
+
+    #[test]
+    fn query_budgets_answer_structured_errors_and_keep_serving() {
+        let server = start(engine());
+        let addr = server.addr();
+        let mut client = Client::connect(addr);
+        client.send("BATCH edge(a, b). edge(b, c). edge(c, d).");
+
+        // A zero deadline always trips; the error names the limit.
+        let timed_out = client.send("QUERY TIMEOUT_MS=0 ?(X, Y) :- t(X, Y).");
+        assert_eq!(timed_out, vec!["ERR deadline timeout_ms=0"]);
+        // A row cap below the answer count trips.
+        let capped = client.send("QUERY MAX_ROWS=2 ?(X, Y) :- t(X, Y).");
+        assert_eq!(capped, vec!["ERR row-limit max_rows=2"]);
+
+        // The connection and the engine remain fully usable afterwards.
+        let ok = client.send("QUERY MAX_ROWS=100 ?(X, Y) :- t(X, Y).");
+        assert_eq!(ok[0], "OK answers=6 epoch=1");
+        let unlimited = client.send("QUERY ?(X) :- t(a, X).");
+        assert_eq!(unlimited, vec!["OK answers=3 epoch=1", "b", "c", "d", "END"]);
+        let ingest = client.send("FACT edge(d, e).");
+        assert!(ingest[0].starts_with("OK inserted=1 "), "{ingest:?}");
+
+        client.send("SHUTDOWN");
+        drop(client);
+        server.join();
+    }
+
+    #[test]
+    fn durable_server_recovers_its_materialisation_after_restart() {
+        let dir = std::env::temp_dir()
+            .join(format!("vadalog-server-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = crate::durability::DurabilityConfig::new(&dir);
+        let durable = DurableEngine::create(engine(), config.clone()).unwrap();
+        let server =
+            LiveServer::start_with(durable, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.addr());
+        client.send("BATCH edge(a, b). edge(b, c).");
+        let stats = client.send("STATS");
+        assert!(stats[0].contains("\"wal_records\":1"), "{stats:?}");
+        client.send("SHUTDOWN");
+        drop(client);
+        server.join();
+
+        // "Restart": a fresh engine over the same program recovers the
+        // materialisation from disk instead of re-deriving from scratch.
+        let (server, report) =
+            LiveServer::recover(engine(), config, "127.0.0.1:0", ServerConfig::default())
+                .unwrap();
+        assert!(report.clean_shutdown, "the shutdown above flushed and marked the WAL");
+        let mut client = Client::connect(server.addr());
+        let answers = client.send("QUERY ?(X) :- t(a, X).");
+        assert_eq!(answers, vec!["OK answers=2 epoch=1", "b", "c", "END"]);
+        // The SNAPSHOT verb persists on demand and truncates the log.
+        assert_eq!(client.send("SNAPSHOT"), vec!["OK snapshot epoch=1"]);
+        let stats = client.send("STATS");
+        assert!(stats[0].contains("\"snapshots_written\":1"), "{stats:?}");
+        client.send("SHUTDOWN");
+        drop(client);
+        server.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn programmatic_shutdown_needs_no_connection() {
+        let server = start(engine());
+        server.request_shutdown();
+        // Joins promptly: the accept loop polls the flag, no self-connect
+        // wake is involved.
         server.join();
     }
 }
