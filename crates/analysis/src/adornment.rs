@@ -1,0 +1,379 @@
+//! Adornment analysis: bound/free binding-pattern propagation (pass 7 of
+//! the diagnostics pipeline, and the input of the future magic-sets
+//! rewrite).
+//!
+//! Given a query, each intensional query atom seeds an *adornment* — a
+//! [`BindingPattern`] marking which argument positions arrive bound (the
+//! query's constants). Patterns propagate through the rules SIP-style
+//! (sideways information passing): for every rule deriving an adorned
+//! predicate, the head's bound positions bind their variables, body atoms
+//! are visited in a deterministic SIP order (atoms that already have a
+//! bound variable first, extensional before intensional, textual order as
+//! the tie-break), every visited atom binds its variables for the atoms
+//! after it, and each *intensional* body atom emits a new (predicate,
+//! pattern) pair to process.
+//!
+//! The fixpoint is an [`AdornmentReport`]: all reached adorned predicates,
+//! the per-rule adornments with their SIP orders, and the split into
+//! **demand-restricted** predicates (every reached adornment has a bound
+//! position — magic sets can prune their materialisation) and
+//! **unrestricted** ones (reached with an all-free pattern — demand cannot
+//! help). This is exactly the structure a magic-sets/SIP rewrite consumes;
+//! see ROADMAP's demand-driven evaluation rung.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+use vadalog_model::{Atom, ConjunctiveQuery, Predicate, Program, Term, Variable};
+
+/// Which argument positions of a predicate arrive bound. Renders in the
+/// classic `bf` notation: `b` for bound, `f` for free, one letter per
+/// position.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BindingPattern {
+    bound: Vec<bool>,
+}
+
+impl BindingPattern {
+    /// A pattern from explicit per-position boundness.
+    pub fn new(bound: Vec<bool>) -> BindingPattern {
+        BindingPattern { bound }
+    }
+
+    /// The all-free pattern of a given arity.
+    pub fn all_free(arity: usize) -> BindingPattern {
+        BindingPattern {
+            bound: vec![false; arity],
+        }
+    }
+
+    /// The pattern a query atom induces: constants are bound, variables
+    /// free.
+    pub fn from_query_atom(atom: &Atom) -> BindingPattern {
+        BindingPattern {
+            bound: atom
+                .terms
+                .iter()
+                .map(|t| !matches!(t, Term::Var(_)))
+                .collect(),
+        }
+    }
+
+    /// Parses `"bf"`-style notation.
+    pub fn parse(s: &str) -> Result<BindingPattern, String> {
+        s.chars()
+            .map(|c| match c {
+                'b' => Ok(true),
+                'f' => Ok(false),
+                other => Err(format!("bad adornment letter `{other}` (expected b/f)")),
+            })
+            .collect::<Result<Vec<bool>, String>>()
+            .map(BindingPattern::new)
+    }
+
+    /// Number of positions.
+    pub fn arity(&self) -> usize {
+        self.bound.len()
+    }
+
+    /// `true` iff position `i` is bound.
+    pub fn is_bound(&self, i: usize) -> bool {
+        self.bound.get(i).copied().unwrap_or(false)
+    }
+
+    /// Number of bound positions.
+    pub fn bound_count(&self) -> usize {
+        self.bound.iter().filter(|&&b| b).count()
+    }
+
+    /// `true` iff no position is bound.
+    pub fn is_all_free(&self) -> bool {
+        self.bound_count() == 0
+    }
+}
+
+impl fmt::Display for BindingPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bound {
+            f.write_str(if b { "b" } else { "f" })?;
+        }
+        Ok(())
+    }
+}
+
+/// A predicate together with one reached binding pattern.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AdornedPredicate {
+    /// The predicate.
+    pub predicate: Predicate,
+    /// The pattern it is demanded with.
+    pub pattern: BindingPattern,
+}
+
+impl fmt::Display for AdornedPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}^{}", self.predicate.name(), self.pattern)
+    }
+}
+
+/// The adornment of one body atom within a rule's SIP traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomAdornment {
+    /// Index of the atom in the rule body (textual position).
+    pub atom_index: usize,
+    /// The atom's predicate.
+    pub predicate: Predicate,
+    /// Boundness of each argument when the SIP order reaches the atom.
+    pub pattern: BindingPattern,
+    /// `true` iff the predicate is intensional (emits demand).
+    pub intensional: bool,
+}
+
+/// One rule processed under one head adornment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleAdornment {
+    /// Index of the rule in the program.
+    pub tgd_index: usize,
+    /// The head predicate and the pattern this pass was made for.
+    pub head: AdornedPredicate,
+    /// Per-body-atom adornments, in SIP visit order.
+    pub body: Vec<AtomAdornment>,
+}
+
+/// The adornment fixpoint over a program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdornmentReport {
+    /// The seed adornments (from the query's intensional atoms).
+    pub seeds: Vec<AdornedPredicate>,
+    /// Every (intensional predicate, pattern) pair reached.
+    pub adorned: BTreeSet<AdornedPredicate>,
+    /// Per-rule, per-head-adornment traversals.
+    pub rules: Vec<RuleAdornment>,
+    /// Intensional predicates whose every reached adornment has at least
+    /// one bound position: a magic-sets rewrite can prune them.
+    pub demand_restricted: BTreeSet<Predicate>,
+    /// Intensional predicates reached with an all-free adornment: demand
+    /// propagation cannot restrict them.
+    pub unrestricted: BTreeSet<Predicate>,
+}
+
+impl AdornmentReport {
+    /// The reached patterns of one predicate.
+    pub fn patterns_of(&self, p: Predicate) -> Vec<&BindingPattern> {
+        self.adorned
+            .iter()
+            .filter(|a| a.predicate == p)
+            .map(|a| &a.pattern)
+            .collect()
+    }
+}
+
+/// Adorns a program from a query: every intensional query atom seeds the
+/// pattern its constants induce.
+pub fn adorn_query(program: &Program, query: &ConjunctiveQuery) -> AdornmentReport {
+    let idb = program.intensional_predicates();
+    let seeds: Vec<AdornedPredicate> = query
+        .atoms
+        .iter()
+        .filter(|a| idb.contains(&a.predicate))
+        .map(|a| AdornedPredicate {
+            predicate: a.predicate,
+            pattern: BindingPattern::from_query_atom(a),
+        })
+        .collect();
+    adorn(program, &seeds)
+}
+
+/// Adorns a program from explicit seed adornments.
+pub fn adorn(program: &Program, seeds: &[AdornedPredicate]) -> AdornmentReport {
+    let idb = program.intensional_predicates();
+    let mut report = AdornmentReport {
+        seeds: seeds.to_vec(),
+        ..AdornmentReport::default()
+    };
+    let mut queue: VecDeque<AdornedPredicate> = VecDeque::new();
+    for seed in seeds {
+        if report.adorned.insert(seed.clone()) {
+            queue.push_back(seed.clone());
+        }
+    }
+
+    while let Some(demand) = queue.pop_front() {
+        for (i, tgd) in program.iter() {
+            for head in &tgd.head {
+                if head.predicate != demand.predicate {
+                    continue;
+                }
+                // Head variables at bound positions arrive bound.
+                let mut bound: BTreeSet<Variable> = BTreeSet::new();
+                for (pos, term) in head.terms.iter().enumerate() {
+                    if demand.pattern.is_bound(pos) {
+                        if let Term::Var(v) = term {
+                            bound.insert(*v);
+                        }
+                    }
+                }
+
+                // SIP traversal of the body.
+                let mut remaining: Vec<usize> = (0..tgd.body.len()).collect();
+                let mut body = Vec::with_capacity(tgd.body.len());
+                while !remaining.is_empty() {
+                    // Deterministic choice: a bound atom before an unbound
+                    // one, extensional before intensional, textual order as
+                    // the tie-break.
+                    let next_pos = remaining
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &ai)| {
+                            let atom = &tgd.body[ai];
+                            let has_bound = atom.variables().iter().any(|v| bound.contains(v));
+                            let intensional = idb.contains(&atom.predicate);
+                            (!has_bound, intensional, ai)
+                        })
+                        .map(|(pos, _)| pos)
+                        .expect("remaining is non-empty");
+                    let ai = remaining.remove(next_pos);
+                    let atom = &tgd.body[ai];
+                    let pattern = BindingPattern::new(
+                        atom.terms
+                            .iter()
+                            .map(|t| match t {
+                                Term::Var(v) => bound.contains(v),
+                                // Rules are constant-free, but stay total.
+                                _ => true,
+                            })
+                            .collect(),
+                    );
+                    let intensional = idb.contains(&atom.predicate);
+                    if intensional {
+                        let adorned = AdornedPredicate {
+                            predicate: atom.predicate,
+                            pattern: pattern.clone(),
+                        };
+                        if report.adorned.insert(adorned.clone()) {
+                            queue.push_back(adorned);
+                        }
+                    }
+                    body.push(AtomAdornment {
+                        atom_index: ai,
+                        predicate: atom.predicate,
+                        pattern,
+                        intensional,
+                    });
+                    bound.extend(atom.variables());
+                }
+                report.rules.push(RuleAdornment {
+                    tgd_index: i,
+                    head: demand.clone(),
+                    body,
+                });
+            }
+        }
+    }
+
+    for p in &idb {
+        let patterns = report.patterns_of(*p);
+        if patterns.is_empty() {
+            continue; // never demanded
+        }
+        if patterns.iter().any(|pat| pat.is_all_free()) {
+            report.unrestricted.insert(*p);
+        } else {
+            report.demand_restricted.insert(*p);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::parser::{parse_query, parse_rules};
+
+    const TC: &str = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).";
+
+    #[test]
+    fn bound_source_query_demand_restricts_tc() {
+        let program = parse_rules(TC).unwrap();
+        let query = parse_query("?(Y) :- t(a, Y).").unwrap();
+        let report = adorn_query(&program, &query);
+        assert_eq!(report.seeds.len(), 1);
+        assert_eq!(report.seeds[0].pattern.to_string(), "bf");
+        let t = Predicate::new("t");
+        assert!(report.demand_restricted.contains(&t), "{report:?}");
+        assert!(!report.unrestricted.contains(&t));
+        // The recursive rule propagates the bound first argument: t^bf
+        // reaches itself as t^bf (edge binds Y before t(Y, Z) is visited).
+        let patterns: Vec<String> = report
+            .patterns_of(t)
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        assert_eq!(patterns, vec!["bf"]);
+    }
+
+    #[test]
+    fn all_free_query_cannot_restrict() {
+        let program = parse_rules(TC).unwrap();
+        let query = parse_query("?(X, Y) :- t(X, Y).").unwrap();
+        let report = adorn_query(&program, &query);
+        let t = Predicate::new("t");
+        assert!(report.unrestricted.contains(&t));
+        assert!(!report.demand_restricted.contains(&t));
+    }
+
+    #[test]
+    fn sip_order_visits_bound_extensional_atoms_first() {
+        let program = parse_rules(TC).unwrap();
+        let query = parse_query("?(Y) :- t(a, Y).").unwrap();
+        let report = adorn_query(&program, &query);
+        // In the recursive rule the SIP order is edge(X, Y) then t(Y, Z):
+        // edge has the bound X and is extensional.
+        let recursive = report
+            .rules
+            .iter()
+            .find(|r| r.tgd_index == 1)
+            .expect("recursive rule adorned");
+        assert_eq!(recursive.body[0].predicate.name(), "edge");
+        assert_eq!(recursive.body[0].pattern.to_string(), "bf");
+        assert_eq!(recursive.body[1].predicate.name(), "t");
+        assert_eq!(recursive.body[1].pattern.to_string(), "bf");
+    }
+
+    #[test]
+    fn point_queries_bind_both_positions() {
+        let program = parse_rules(TC).unwrap();
+        let query = parse_query("? :- t(a, b).").unwrap();
+        let report = adorn_query(&program, &query);
+        let t = Predicate::new("t");
+        let patterns: BTreeSet<String> = report
+            .patterns_of(t)
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        // The seed is bb; the recursive rule keeps both positions bound
+        // (the head binds X and Z, edge then binds Y), so bb is stable.
+        assert!(patterns.contains("bb"), "{patterns:?}");
+        assert!(report.demand_restricted.contains(&t));
+    }
+
+    #[test]
+    fn non_query_predicates_are_not_adorned() {
+        let program = parse_rules("t(X, Y) :- edge(X, Y).\n s(X, Y) :- link(X, Y).").unwrap();
+        let query = parse_query("?(Y) :- t(a, Y).").unwrap();
+        let report = adorn_query(&program, &query);
+        assert!(report.patterns_of(Predicate::new("s")).is_empty());
+        assert!(!report.demand_restricted.contains(&Predicate::new("s")));
+        assert!(!report.unrestricted.contains(&Predicate::new("s")));
+    }
+
+    #[test]
+    fn patterns_parse_and_render() {
+        let p = BindingPattern::parse("bfb").unwrap();
+        assert_eq!(p.arity(), 3);
+        assert!(p.is_bound(0) && !p.is_bound(1) && p.is_bound(2));
+        assert_eq!(p.bound_count(), 2);
+        assert_eq!(p.to_string(), "bfb");
+        assert!(BindingPattern::parse("bx").is_err());
+        assert!(BindingPattern::all_free(2).is_all_free());
+    }
+}

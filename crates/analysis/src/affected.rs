@@ -68,9 +68,7 @@ impl AffectedPositions {
                     }
                     for head_atom in &tgd.head {
                         for (i, t) in head_atom.terms.iter().enumerate() {
-                            if t.as_var() == Some(*v)
-                                && affected.insert((head_atom.predicate, i))
-                            {
+                            if t.as_var() == Some(*v) && affected.insert((head_atom.predicate, i)) {
                                 changed = true;
                             }
                         }
@@ -222,10 +220,7 @@ mod tests {
     fn no_propagation_when_variable_also_occurs_at_safe_position() {
         // R(x, y), S(y) → P2(y): y also occurs at the non-affected S[1], so
         // P2[1] stays non-affected.
-        let program = parse_rules(
-            "r(X, Z) :- p(X).\n p2(Y) :- r(X, Y), s(Y).",
-        )
-        .unwrap();
+        let program = parse_rules("r(X, Z) :- p(X).\n p2(Y) :- r(X, Y), s(Y).").unwrap();
         let aff = AffectedPositions::compute(&program);
         assert!(!aff.is_affected((Predicate::new("p2"), 0)));
     }
@@ -269,10 +264,8 @@ mod tests {
 
     #[test]
     fn datalog_programs_have_no_affected_positions() {
-        let program = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let program =
+            parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
         let aff = AffectedPositions::compute(&program);
         assert!(aff.affected().is_empty());
         let tgd = &program.tgds()[1];

@@ -40,6 +40,18 @@ impl fmt::Display for ScenarioClass {
     }
 }
 
+/// Classifies a program and also runs the full diagnostics pipeline, so
+/// scenario sweeps (the E2 experiment, the lint CLI's `--scenarios` mode)
+/// get the class and the structured findings from one call.
+pub fn classify_with_diagnostics(
+    program: &Program,
+) -> (ScenarioClass, crate::diagnostics::DiagnosticReport) {
+    (
+        classify_scenario(program),
+        crate::diagnostics::analyze(program),
+    )
+}
+
 /// Classifies a program.
 pub fn classify_scenario(program: &Program) -> ScenarioClass {
     if !is_warded(program) {
@@ -63,37 +75,27 @@ mod tests {
 
     #[test]
     fn linear_tc_is_warded_pwl() {
-        let p = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
         assert_eq!(classify_scenario(&p), ScenarioClass::WardedPwl);
     }
 
     #[test]
     fn nonlinear_tc_is_linearizable() {
-        let p = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).").unwrap();
         assert_eq!(classify_scenario(&p), ScenarioClass::WardedLinearizable);
     }
 
     #[test]
     fn same_generation_is_warded_but_not_pwl() {
-        let p = parse_rules(
-            "sg(X, Y) :- flat(X, Y).\n sg(X, Y) :- up(X, X1), sg(X1, Y1), sg(Y1, Y).",
-        )
-        .unwrap();
+        let p =
+            parse_rules("sg(X, Y) :- flat(X, Y).\n sg(X, Y) :- up(X, X1), sg(X1, Y1), sg(Y1, Y).")
+                .unwrap();
         assert_eq!(classify_scenario(&p), ScenarioClass::WardedNonPwl);
     }
 
     #[test]
     fn dangerous_join_is_not_warded() {
-        let p = parse_rules(
-            "r(X, Z) :- p(X).\n t(Y, X) :- r(X, Y), r(W, Y).",
-        )
-        .unwrap();
+        let p = parse_rules("r(X, Z) :- p(X).\n t(Y, X) :- r(X, Y), r(W, Y).").unwrap();
         assert_eq!(classify_scenario(&p), ScenarioClass::NotWarded);
     }
 

@@ -106,18 +106,14 @@ mod tests {
 
     #[test]
     fn mutually_recursive_predicates_share_a_level() {
-        let levels = levels_of(
-            "p(X) :- e(X).\n p(X) :- q(X).\n q(X) :- p(X).",
-        );
+        let levels = levels_of("p(X) :- e(X).\n p(X) :- q(X).\n q(X) :- p(X).");
         assert_eq!(levels.level_of(pred("p")), levels.level_of(pred("q")));
         assert_eq!(levels.level_of(pred("p")), 2);
     }
 
     #[test]
     fn levels_grow_along_non_recursive_chains() {
-        let levels = levels_of(
-            "b(X) :- a(X).\n c(X) :- b(X).\n d(X) :- c(X).",
-        );
+        let levels = levels_of("b(X) :- a(X).\n c(X) :- b(X).\n d(X) :- c(X).");
         assert_eq!(levels.level_of(pred("a")), 1);
         assert_eq!(levels.level_of(pred("b")), 2);
         assert_eq!(levels.level_of(pred("c")), 3);
@@ -139,7 +135,10 @@ mod tests {
         // recursive {type, triple} component sits above subclassStar.
         assert_eq!(levels.level_of(pred("subclass")), 1);
         assert_eq!(levels.level_of(pred("subclassStar")), 2);
-        assert_eq!(levels.level_of(pred("type")), levels.level_of(pred("triple")));
+        assert_eq!(
+            levels.level_of(pred("type")),
+            levels.level_of(pred("triple"))
+        );
         assert_eq!(levels.level_of(pred("type")), 3);
         assert_eq!(levels.max_level(), 3);
     }

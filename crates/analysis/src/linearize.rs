@@ -71,11 +71,7 @@ pub fn linearize(program: &Program) -> LinearizationOutcome {
 
 /// Tries to rewrite a single TC-shaped rule; returns the replacement rules on
 /// success.
-fn try_linearize_rule(
-    program: &Program,
-    graph: &PredicateGraph,
-    tgd: &Tgd,
-) -> Option<Vec<Tgd>> {
+fn try_linearize_rule(program: &Program, graph: &PredicateGraph, tgd: &Tgd) -> Option<Vec<Tgd>> {
     // Shape: single head atom P(X, Z) over a binary predicate.
     if tgd.head.len() != 1 {
         return None;
@@ -148,10 +144,7 @@ mod tests {
 
     #[test]
     fn nonlinear_transitive_closure_is_linearized() {
-        let p = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).").unwrap();
         assert!(!is_piecewise_linear(&p));
         let out = linearize(&p);
         assert!(out.changed());
@@ -182,10 +175,7 @@ mod tests {
 
     #[test]
     fn already_linear_rules_are_untouched() {
-        let p = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
         let out = linearize(&p);
         assert!(!out.changed());
         assert_eq!(out.program.len(), 2);
@@ -214,10 +204,7 @@ mod tests {
         // Certain answers of the non-linear and linearised programs coincide
         // (checked here by a small hand evaluation through the datalog engine
         // in the integration tests; at unit level we check rule structure).
-        let p = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).").unwrap();
         let out = linearize(&p);
         for tgd in out.program.tgds() {
             assert!(tgd.is_datalog_rule());

@@ -69,10 +69,7 @@ mod tests {
 
     #[test]
     fn single_head_programs_are_unchanged() {
-        let p = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
         let n = normalize_single_head(&p).unwrap();
         assert_eq!(n.program.len(), 2);
         assert!(n.auxiliary_predicates.is_empty());
@@ -89,17 +86,14 @@ mod tests {
         // The auxiliary rule keeps the existential variables existential.
         let first = &n.program.tgds()[0];
         assert_eq!(first.existential_variables().len(), 2); // Z and W
-        // The projection rules are full.
+                                                            // The projection rules are full.
         assert!(n.program.tgds()[1].is_full());
         assert!(n.program.tgds()[2].is_full());
     }
 
     #[test]
     fn normalisation_preserves_wardedness_and_pwl_on_typical_programs() {
-        let p = parse_rules(
-            "r(X, Z), marked(X) :- p(X).\n p(Y) :- r(X, Y).",
-        )
-        .unwrap();
+        let p = parse_rules("r(X, Z), marked(X) :- p(X).\n p(Y) :- r(X, Y).").unwrap();
         let n = normalize_single_head(&p).unwrap();
         assert!(n.program.tgds().iter().all(|t| t.head.len() == 1));
         assert!(is_warded(&n.program));

@@ -150,9 +150,7 @@ impl PredicateGraph {
                                     }
                                 }
                                 let cyclic = members.len() > 1
-                                    || members
-                                        .iter()
-                                        .any(|&m| self.edges.contains(&(m, m)));
+                                    || members.iter().any(|&m| self.edges.contains(&(m, m)));
                                 self.scc_members.push(members);
                                 self.scc_cyclic.push(cyclic);
                             }
@@ -212,9 +210,7 @@ impl PredicateGraph {
     /// `p` itself when it is recursive).
     pub fn rec(&self, p: Predicate) -> BTreeSet<Predicate> {
         match self.scc_of.get(&p) {
-            Some(&id) if self.scc_cyclic[id] => {
-                self.scc_members[id].iter().copied().collect()
-            }
+            Some(&id) if self.scc_cyclic[id] => self.scc_members[id].iter().copied().collect(),
             _ => BTreeSet::new(),
         }
     }
@@ -224,6 +220,66 @@ impl PredicateGraph {
     /// in reverse topological order, so we reverse the id sequence.
     pub fn sccs_topological(&self) -> Vec<usize> {
         (0..self.scc_members.len()).rev().collect()
+    }
+
+    /// A shortest directed path `from → … → to` along the rule edges, found
+    /// by BFS over successors. `Some([from])` when `from == to`; `None` when
+    /// `to` is unreachable.
+    pub fn path(&self, from: Predicate, to: Predicate) -> Option<Vec<Predicate>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut parent: BTreeMap<Predicate, Predicate> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<Predicate> = [from].into();
+        while let Some(p) = queue.pop_front() {
+            for &next in self.successors.get(&p).map(Vec::as_slice).unwrap_or(&[]) {
+                if next == from || parent.contains_key(&next) {
+                    continue;
+                }
+                parent.insert(next, p);
+                if next == to {
+                    let mut rev = vec![to];
+                    let mut cur = to;
+                    while let Some(&prev) = parent.get(&cur) {
+                        rev.push(prev);
+                        cur = prev;
+                    }
+                    rev.reverse();
+                    return Some(rev);
+                }
+                queue.push_back(next);
+            }
+        }
+        None
+    }
+
+    /// The actual cycle two mutually recursive predicates lie on:
+    /// `a → … → b → … → a`, as a closed path starting and ending at `a`.
+    /// `None` when the two are not mutually recursive. This is what
+    /// diagnostics print when reporting recursion through a rule — the
+    /// concrete cycle, not just the SCC id.
+    pub fn cycle_between(&self, a: Predicate, b: Predicate) -> Option<Vec<Predicate>> {
+        if !self.mutually_recursive(a, b) {
+            return None;
+        }
+        if a == b {
+            // A self-loop, or a round trip through the SCC.
+            if self.edges.contains(&(a, a)) {
+                return Some(vec![a, a]);
+            }
+            let back = self
+                .successors
+                .get(&a)?
+                .iter()
+                .find(|&&next| self.mutually_recursive(next, a))?;
+            let mut cycle = vec![a];
+            cycle.extend(self.path(*back, a)?);
+            return Some(cycle);
+        }
+        let mut cycle = self.path(a, b)?;
+        let closing = self.path(b, a)?;
+        cycle.extend(closing.into_iter().skip(1));
+        Some(cycle)
     }
 
     /// The forward closure of `seeds` under the rule edges body → head:
@@ -265,10 +321,8 @@ mod tests {
 
     #[test]
     fn transitive_closure_graph_is_recursive_in_t_only() {
-        let program = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let program =
+            parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
         let g = PredicateGraph::new(&program);
         assert!(g.is_recursive(pred("t")));
         assert!(!g.is_recursive(pred("edge")));
@@ -323,10 +377,7 @@ mod tests {
 
     #[test]
     fn topological_order_respects_edges() {
-        let program = parse_rules(
-            "b(X) :- a(X).\n c(X) :- b(X).\n c(X) :- c(X).",
-        )
-        .unwrap();
+        let program = parse_rules("b(X) :- a(X).\n c(X) :- b(X).\n c(X) :- c(X).").unwrap();
         let g = PredicateGraph::new(&program);
         let order = g.sccs_topological();
         // Position of each SCC in the order.

@@ -45,6 +45,11 @@ impl PwlReport {
             .collect()
     }
 
+    /// The per-TGD results violating piece-wise linearity, in program order.
+    pub fn violations(&self) -> impl Iterator<Item = &TgdPwl> {
+        self.per_tgd.iter().filter(|t| !t.piecewise_linear)
+    }
+
     /// For a piece-wise linear TGD, the index of *the* recursive body atom, if
     /// any. Used by the engine's join-ordering optimisation (Section 7).
     pub fn recursive_atom_of(&self, tgd_index: usize) -> Option<usize> {
@@ -118,10 +123,7 @@ mod tests {
 
     #[test]
     fn linear_transitive_closure_is_pwl_il_and_linear() {
-        let p = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
         assert!(is_piecewise_linear(&p));
         assert!(is_intensionally_linear(&p));
         assert!(is_linear_datalog(&p));
@@ -129,10 +131,7 @@ mod tests {
 
     #[test]
     fn nonlinear_transitive_closure_is_not_pwl() {
-        let p = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).").unwrap();
         assert!(!is_piecewise_linear(&p));
         assert!(!is_intensionally_linear(&p));
         let graph = PredicateGraph::new(&p);
@@ -169,18 +168,13 @@ mod tests {
     #[test]
     fn mutual_recursion_across_predicates_counts_for_pwl() {
         // p and q are mutually recursive; a rule joining both is not PWL.
-        let p = parse_rules(
-            "p(X) :- e(X).\n p(X) :- q(X).\n q(X) :- p(X).\n r(X) :- p(X), q(X).",
-        )
-        .unwrap();
+        let p = parse_rules("p(X) :- e(X).\n p(X) :- q(X).\n q(X) :- p(X).\n r(X) :- p(X), q(X).")
+            .unwrap();
         // The last rule's head r is not recursive with p or q, so the rule is
         // fine; the program stays PWL.
         assert!(is_piecewise_linear(&p));
 
-        let bad = parse_rules(
-            "p(X) :- e(X).\n p(X) :- q(X).\n q(X) :- p(X), q(X).",
-        )
-        .unwrap();
+        let bad = parse_rules("p(X) :- e(X).\n p(X) :- q(X).\n q(X) :- p(X), q(X).").unwrap();
         assert!(!is_piecewise_linear(&bad));
     }
 

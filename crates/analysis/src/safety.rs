@@ -1,0 +1,161 @@
+//! Safety / range-restriction checks (pass 1 of the diagnostics pipeline).
+//!
+//! The formalism's rules are range-restricted by construction — every
+//! frontier variable occurs in the body — so the classical Datalog safety
+//! violation cannot arise from a parsed [`Program`]. What remains, and what
+//! this pass reports:
+//!
+//! * structural invalidity surviving a hand-built program
+//!   ([`crate::diagnostics::DiagnosticCode::InvalidProgram`]);
+//! * **null-generating rules** (head-only, existentially quantified
+//!   variables) when the target engine evaluates plain Datalog only
+//!   ([`crate::diagnostics::DiagnosticCode::NonDatalogRule`]) — the live
+//!   service's incremental engine is such a target;
+//! * **singleton variables**: a named variable occurring exactly once in
+//!   its rule, the classic typo shape
+//!   ([`crate::diagnostics::DiagnosticCode::SingletonVariable`]). Prefix a
+//!   deliberately-unused variable with `_` to silence the finding.
+
+use crate::diagnostics::{AnalyzerOptions, Diagnostic, DiagnosticCode, Severity};
+use std::collections::BTreeMap;
+use vadalog_model::{display_variables, AtomSpan, Program, Variable};
+
+/// Runs the safety pass, appending findings for every TGD.
+pub fn check_safety(program: &Program, options: &AnalyzerOptions) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    for (i, tgd) in program.iter() {
+        // Structural re-validation: parsed programs always pass, but
+        // `Program` can also be built from `Tgd::new_unchecked`.
+        if let Err(error) = tgd.validate() {
+            diagnostics.push(Diagnostic {
+                code: DiagnosticCode::InvalidProgram,
+                severity: Severity::Error,
+                tgd: Some(i),
+                atom: None,
+                variable: None,
+                predicate: None,
+                message: error.to_string(),
+            });
+        }
+
+        // Null-generating rules under a Datalog-only target.
+        let existential = tgd.existential_variables();
+        if !existential.is_empty() && options.require_datalog {
+            let first = *existential.iter().next().expect("non-empty");
+            let span = tgd
+                .head
+                .iter()
+                .position(|a| a.variables().contains(&first))
+                .map(AtomSpan::head);
+            let mut d = Diagnostic {
+                code: DiagnosticCode::NonDatalogRule,
+                severity: Severity::Error,
+                tgd: Some(i),
+                atom: span,
+                variable: Some(first),
+                predicate: None,
+                message: format!(
+                    "head variables {} are existentially quantified (null-generating \
+                     rule); the target engine evaluates plain Datalog only",
+                    display_variables(&existential)
+                ),
+            };
+            if span.is_none() {
+                d.atom = Some(AtomSpan::head(0));
+            }
+            diagnostics.push(d);
+        }
+
+        // Singleton variables.
+        let mut occurrences: BTreeMap<Variable, usize> = BTreeMap::new();
+        let mut first_span: BTreeMap<Variable, AtomSpan> = BTreeMap::new();
+        for (ai, atom) in tgd.body.iter().enumerate() {
+            for v in atom.variables() {
+                *occurrences.entry(v).or_insert(0) += 1;
+                first_span.entry(v).or_insert_with(|| AtomSpan::body(ai));
+            }
+        }
+        for (ai, atom) in tgd.head.iter().enumerate() {
+            for v in atom.variables() {
+                *occurrences.entry(v).or_insert(0) += 1;
+                first_span.entry(v).or_insert_with(|| AtomSpan::head(ai));
+            }
+        }
+        for (v, count) in occurrences {
+            // Existential variables are deliberately head-only; a single
+            // occurrence is their normal shape, not a typo.
+            if count == 1 && !v.name().starts_with('_') && !existential.contains(&v) {
+                diagnostics.push(Diagnostic {
+                    code: DiagnosticCode::SingletonVariable,
+                    severity: Severity::Info,
+                    tgd: Some(i),
+                    atom: first_span.get(&v).copied(),
+                    variable: Some(v),
+                    predicate: None,
+                    message: format!(
+                        "variable {} occurs exactly once in the rule (typo?); prefix \
+                         it with `_` if the single occurrence is deliberate",
+                        v.name()
+                    ),
+                });
+            }
+        }
+    }
+    diagnostics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vadalog_model::parser::parse_rules;
+
+    #[test]
+    fn singletons_are_flagged_but_underscores_are_not() {
+        let program = parse_rules("out(X) :- pair(X, Y).\n out2(X) :- pair(X, _).").unwrap();
+        let findings = check_safety(&program, &AnalyzerOptions::default());
+        let singles: Vec<_> = findings
+            .iter()
+            .filter(|d| d.code == DiagnosticCode::SingletonVariable)
+            .collect();
+        assert_eq!(singles.len(), 1);
+        assert_eq!(singles[0].variable.unwrap().name(), "Y");
+        assert_eq!(singles[0].tgd, Some(0));
+        assert_eq!(singles[0].atom, Some(AtomSpan::body(0)));
+    }
+
+    #[test]
+    fn existentials_error_only_under_datalog_target() {
+        let program = parse_rules("r(X, Z) :- p(X).").unwrap();
+        let tolerant = check_safety(&program, &AnalyzerOptions::default());
+        assert!(tolerant
+            .iter()
+            .all(|d| d.code != DiagnosticCode::NonDatalogRule));
+
+        let strict = AnalyzerOptions {
+            require_datalog: true,
+            ..AnalyzerOptions::default()
+        };
+        let findings = check_safety(&program, &strict);
+        let existential: Vec<_> = findings
+            .iter()
+            .filter(|d| d.code == DiagnosticCode::NonDatalogRule)
+            .collect();
+        assert_eq!(existential.len(), 1);
+        assert_eq!(existential[0].severity, Severity::Error);
+        assert_eq!(existential[0].variable.unwrap().name(), "Z");
+        assert!(existential[0].message.contains('Z'));
+    }
+
+    #[test]
+    fn existential_singletons_are_not_typos() {
+        // Z occurs once but is existentially quantified — its normal shape.
+        let program = parse_rules("r(X, Z) :- p(X).").unwrap();
+        let findings = check_safety(&program, &AnalyzerOptions::default());
+        assert!(
+            findings
+                .iter()
+                .all(|d| d.code != DiagnosticCode::SingletonVariable),
+            "{findings:?}"
+        );
+    }
+}

@@ -46,6 +46,21 @@ impl Stratification {
         self.strata.iter().position(|s| s.predicates.contains(&p))
     }
 
+    /// A one-line human-readable summary, e.g. `"3 strata (1 recursive)"`.
+    /// Used by the lint CLI to describe the evaluation pipeline shape.
+    pub fn summary(&self) -> String {
+        let recursive = self.strata.iter().filter(|s| s.recursive).count();
+        format!(
+            "{} {} ({recursive} recursive)",
+            self.strata.len(),
+            if self.strata.len() == 1 {
+                "stratum"
+            } else {
+                "strata"
+            },
+        )
+    }
+
     /// Per-stratum affectedness under a fact batch touching exactly the
     /// predicates of `touched`: stratum `i` is affected iff one of its
     /// predicates lies in the predicate graph's forward closure of the
@@ -76,20 +91,14 @@ pub fn stratify(program: &Program) -> Stratification {
         let members: BTreeSet<Predicate> = graph.scc_members(scc).iter().copied().collect();
         let rules: Vec<usize> = program
             .iter()
-            .filter(|(_, tgd)| {
-                tgd.head_predicates()
-                    .iter()
-                    .any(|h| members.contains(h))
-            })
+            .filter(|(_, tgd)| tgd.head_predicates().iter().any(|h| members.contains(h)))
             .map(|(i, _)| i)
             .collect();
         if rules.is_empty() {
             // Purely extensional component: nothing to evaluate.
             continue;
         }
-        let recursive = members
-            .iter()
-            .any(|&p| graph.is_recursive(p));
+        let recursive = members.iter().any(|&p| graph.is_recursive(p));
         strata.push(Stratum {
             predicates: members,
             rules,
@@ -106,10 +115,7 @@ mod tests {
 
     #[test]
     fn transitive_closure_has_a_single_recursive_stratum() {
-        let p = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
         let s = stratify(&p);
         assert_eq!(s.len(), 1);
         assert!(s.strata[0].recursive);
@@ -118,10 +124,8 @@ mod tests {
 
     #[test]
     fn strata_are_ordered_bottom_up() {
-        let p = parse_rules(
-            "b(X) :- a(X).\n c(X) :- b(X).\n c(X) :- c(X).\n d(X) :- c(X).",
-        )
-        .unwrap();
+        let p =
+            parse_rules("b(X) :- a(X).\n c(X) :- b(X).\n c(X) :- c(X).\n d(X) :- c(X).").unwrap();
         let s = stratify(&p);
         let b = s.stratum_of(Predicate::new("b")).unwrap();
         let c = s.stratum_of(Predicate::new("c")).unwrap();

@@ -7,7 +7,22 @@
 
 use crate::affected::{AffectedPositions, VariableClass};
 use std::collections::BTreeSet;
-use vadalog_model::{Program, Tgd, Variable};
+use vadalog_model::{display_variables, Program, Tgd, Variable};
+
+/// Why one body atom failed to qualify as a ward: it either misses some
+/// dangerous variables, or shares non-harmless variables with the rest of
+/// the body. Structured so diagnostics can name the exact failure.
+#[derive(Debug, Clone)]
+pub struct WardCandidate {
+    /// Index of the candidate atom in the TGD body.
+    pub atom_index: usize,
+    /// Dangerous variables the atom does not contain (empty when the atom
+    /// contains them all but fails on sharing).
+    pub missing: Vec<Variable>,
+    /// Non-harmless variables the atom shares with the rest of the body
+    /// (empty when it already fails on `missing`).
+    pub blocking: Vec<Variable>,
+}
 
 /// The result of checking a single TGD for wardedness.
 #[derive(Debug, Clone)]
@@ -24,6 +39,9 @@ pub struct TgdWardedness {
     pub warded: bool,
     /// Human-readable explanation for violations.
     pub violation: Option<String>,
+    /// For violations: per-body-atom reasons the candidacy failed, in atom
+    /// order. Empty for warded TGDs.
+    pub failed_candidates: Vec<WardCandidate>,
 }
 
 /// The result of checking a whole program for wardedness.
@@ -75,18 +93,30 @@ fn check_tgd(index: usize, tgd: &Tgd, affected: &AffectedPositions) -> TgdWarded
             ward: None,
             warded: true,
             violation: None,
+            failed_candidates: Vec::new(),
         };
     }
 
-    // A candidate ward must contain all dangerous variables …
-    let mut violation = None;
+    // A candidate ward must contain all dangerous variables and share only
+    // harmless variables with the rest of the body. Record *why* every
+    // failing atom failed, so diagnostics can name the candidates.
+    let mut failed_candidates = Vec::new();
     let mut ward = None;
-    'atoms: for (ai, atom) in tgd.body.iter().enumerate() {
+    for (ai, atom) in tgd.body.iter().enumerate() {
         let atom_vars: BTreeSet<Variable> = atom.variables().into_iter().collect();
-        if !dangerous.iter().all(|d| atom_vars.contains(d)) {
+        let missing: Vec<Variable> = dangerous
+            .iter()
+            .filter(|d| !atom_vars.contains(d))
+            .copied()
+            .collect();
+        if !missing.is_empty() {
+            failed_candidates.push(WardCandidate {
+                atom_index: ai,
+                missing,
+                blocking: Vec::new(),
+            });
             continue;
         }
-        // … and share only harmless variables with the rest of the body.
         let rest_vars: BTreeSet<Variable> = tgd
             .body
             .iter()
@@ -94,26 +124,50 @@ fn check_tgd(index: usize, tgd: &Tgd, affected: &AffectedPositions) -> TgdWarded
             .filter(|(bi, _)| *bi != ai)
             .flat_map(|(_, b)| b.variables())
             .collect();
-        for v in atom_vars.intersection(&rest_vars) {
-            if classification.class_of(*v) != Some(VariableClass::Harmless) {
-                violation = Some(format!(
-                    "candidate ward {atom} shares the non-harmless variable {v} with the rest of the body"
-                ));
-                continue 'atoms;
-            }
+        let blocking: Vec<Variable> = atom_vars
+            .intersection(&rest_vars)
+            .filter(|v| classification.class_of(**v) != Some(VariableClass::Harmless))
+            .copied()
+            .collect();
+        if blocking.is_empty() {
+            ward = Some(ai);
+            break;
         }
-        ward = Some(ai);
-        break;
+        failed_candidates.push(WardCandidate {
+            atom_index: ai,
+            missing: Vec::new(),
+            blocking,
+        });
     }
 
     let warded = ward.is_some();
+    let violation = if warded {
+        None
+    } else {
+        // Render variable names through the interner — never debug
+        // formatting.
+        let reasons: Vec<String> = failed_candidates
+            .iter()
+            .map(|c| {
+                let atom = &tgd.body[c.atom_index];
+                if !c.missing.is_empty() {
+                    format!("{atom} misses {}", display_variables(&c.missing))
+                } else {
+                    format!(
+                        "{atom} shares the non-harmless {} with the rest of the body",
+                        display_variables(&c.blocking)
+                    )
+                }
+            })
+            .collect();
+        Some(format!(
+            "no body atom wards the dangerous variables {}: {}",
+            display_variables(&dangerous),
+            reasons.join("; ")
+        ))
+    };
     if warded {
-        violation = None;
-    } else if violation.is_none() {
-        violation = Some(format!(
-            "no body atom contains all dangerous variables {:?}",
-            dangerous.iter().map(|v| v.name()).collect::<Vec<_>>()
-        ));
+        failed_candidates.clear();
     }
     TgdWardedness {
         tgd_index: index,
@@ -121,6 +175,7 @@ fn check_tgd(index: usize, tgd: &Tgd, affected: &AffectedPositions) -> TgdWarded
         ward,
         warded,
         violation,
+        failed_candidates,
     }
 }
 
@@ -131,10 +186,8 @@ mod tests {
 
     #[test]
     fn datalog_programs_are_trivially_warded() {
-        let program = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let program =
+            parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
         let report = check_wardedness(&program);
         assert!(report.is_warded());
         assert!(report.per_tgd.iter().all(|t| t.dangerous.is_empty()));
@@ -169,8 +222,15 @@ mod tests {
         // Type/Triple atom, underlined in the paper) is the ward.
         for idx in [2usize, 3, 4, 5] {
             let t = &report.per_tgd[idx];
-            assert!(!t.dangerous.is_empty(), "rule {idx} should have dangerous vars");
-            assert_eq!(t.ward, Some(0), "rule {idx} should be warded by its first atom");
+            assert!(
+                !t.dangerous.is_empty(),
+                "rule {idx} should have dangerous vars"
+            );
+            assert_eq!(
+                t.ward,
+                Some(0),
+                "rule {idx} should be warded by its first atom"
+            );
         }
         // Rules 1–2 involve only harmless variables.
         assert!(report.per_tgd[0].dangerous.is_empty());
@@ -190,10 +250,7 @@ mod tests {
         // both atoms do; but the candidate ward shares x or w? R(x,y) shares y
         // (dangerous) with R(w,y)? No: shared variables are y only, which is
         // dangerous → violation.
-        let program = parse_rules(
-            "r(X, Z) :- p(X).\n t(Y, X) :- r(X, Y), r(W, Y).",
-        )
-        .unwrap();
+        let program = parse_rules("r(X, Z) :- p(X).\n t(Y, X) :- r(X, Y), r(W, Y).").unwrap();
         let report = check_wardedness(&program);
         assert!(!report.is_warded());
         assert_eq!(report.violating_tgds(), vec![1]);
@@ -205,10 +262,7 @@ mod tests {
         // Two dangerous variables that never co-occur in a single atom.
         // P(x) → ∃z R(x,z) ; R(x,y), R(x2,y2) → T(y, y2):
         // y and y2 are each dangerous; no single atom contains both.
-        let program = parse_rules(
-            "r(X, Z) :- p(X).\n t(Y, Y2) :- r(X, Y), r(X2, Y2).",
-        )
-        .unwrap();
+        let program = parse_rules("r(X, Z) :- p(X).\n t(Y, Y2) :- r(X, Y), r(X2, Y2).").unwrap();
         let report = check_wardedness(&program);
         assert!(!report.is_warded());
         let bad = &report.per_tgd[1];
@@ -217,13 +271,46 @@ mod tests {
     }
 
     #[test]
+    fn violations_carry_structured_candidates_with_source_names() {
+        let program = parse_rules("r(X, Z) :- p(X).\n t(Y, Y2) :- r(X, Y), r(X2, Y2).").unwrap();
+        let report = check_wardedness(&program);
+        let bad = &report.per_tgd[1];
+        assert_eq!(bad.failed_candidates.len(), 2, "both atoms fail as wards");
+        // r(X, Y) misses Y2; r(X2, Y2) misses Y.
+        assert_eq!(bad.failed_candidates[0].missing, vec![Variable::new("Y2")]);
+        assert_eq!(bad.failed_candidates[1].missing, vec![Variable::new("Y")]);
+        let violation = bad.violation.as_deref().unwrap();
+        assert!(
+            violation.contains("Y, Y2"),
+            "interned names, no debug: {violation}"
+        );
+        assert!(!violation.contains("Variable("), "{violation}");
+        assert!(
+            !violation.contains('['),
+            "no debug-formatted list: {violation}"
+        );
+    }
+
+    #[test]
+    fn sharing_violations_name_the_blocking_variables() {
+        let program = parse_rules("r(X, Z) :- p(X).\n t(Y, X) :- r(X, Y), r(W, Y).").unwrap();
+        let report = check_wardedness(&program);
+        let bad = &report.per_tgd[1];
+        assert!(!bad.warded);
+        assert!(
+            bad.failed_candidates.iter().any(|c| !c.blocking.is_empty()),
+            "{:?}",
+            bad.failed_candidates
+        );
+        let violation = bad.violation.as_deref().unwrap();
+        assert!(violation.contains("non-harmless"), "{violation}");
+    }
+
+    #[test]
     fn harmless_sharing_with_the_ward_is_allowed() {
         // The ward may share harmless variables with the rest of the body:
         // R(x,y), S(x) → T(y): x is harmless (S[1] non-affected), y dangerous.
-        let program = parse_rules(
-            "r(X, Z) :- p(X).\n t(Y) :- r(X, Y), s(X).",
-        )
-        .unwrap();
+        let program = parse_rules("r(X, Z) :- p(X).\n t(Y) :- r(X, Y), s(X).").unwrap();
         let report = check_wardedness(&program);
         assert!(report.is_warded());
         assert_eq!(report.per_tgd[1].ward, Some(0));

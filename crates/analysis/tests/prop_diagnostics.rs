@@ -1,0 +1,330 @@
+//! Property tests for the diagnostics engine.
+//!
+//! 1. Analyzer verdicts are **invariant under predicate renaming**: applying
+//!    an injective rename to every predicate yields the same multiset of
+//!    findings with the predicates mapped through the rename.
+//! 2. Verdicts are **invariant under rule reordering** modulo the reported
+//!    TGD indexes: shuffling the rules permutes `tgd=` fields but never
+//!    changes what is found.
+//! 3. Every stable code `VLG001`–`VLG014` has at least one positive and one
+//!    negative fixture, so a code can neither silently stop firing nor
+//!    start firing on clean input.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use vadalog_analysis::diagnostics::{
+    analyze, analyze_source, analyze_with, AnalyzerOptions, DiagnosticCode, DiagnosticReport,
+    Severity,
+};
+use vadalog_model::parser::{parse_query, parse_rules};
+use vadalog_model::{Atom, Predicate, Program, Tgd};
+
+/// Programs exercising most passes: clean, unwarded, existentially
+/// recursive, duplicated, disconnected, misordered, underivable, non-PWL.
+const CORPUS: &[&str] = &[
+    "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
+    "r(X, Z) :- p(X).\n t(Y, Y2) :- r(X, Y), r(X2, Y2).",
+    "r(X, Z) :- p(X).\n p(Y) :- r(X, Y).",
+    "t(X, Y) :- e(X, Y).\n t(A, B) :- e(A, B).\n t(X, Z) :- e(X, Y), t(Y, Z).",
+    "out(X, Y) :- a(X), b(Y).\n out2(X, Y) :- a(X), c(Y), d(X, Y).",
+    "p(X) :- p(X).\n q(X) :- e(X).",
+    "sg(X, Y) :- flat(X, Y).\n sg(X, Y) :- up(X, X1), sg(X1, Y1), sg(Y1, Y).",
+    "subclassStar(X, Y) :- subclass(X, Y).\n\
+     subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).\n\
+     type(X, Z) :- type(X, Y), subclassStar(Y, Z).\n\
+     triple(X, Z, W) :- type(X, Y), restriction(Y, Z).\n\
+     triple(Z, W, X) :- triple(X, Y, Z), inverse(Y, W).\n\
+     type(X, W) :- triple(X, Y, Z), restriction(W, Y).",
+];
+
+/// The index-free shape of a finding: code, severity, variable name, and
+/// predicate name (mapped through `rename` when given). TGD and atom spans
+/// are deliberately excluded — they are exactly what reordering permutes.
+fn shape(
+    report: &DiagnosticReport,
+    rename: &BTreeMap<Predicate, Predicate>,
+) -> Vec<(DiagnosticCode, Severity, Option<String>, Option<String>)> {
+    let mut shapes: Vec<_> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            (
+                d.code,
+                d.severity,
+                d.variable.map(|v| v.name().to_string()),
+                d.predicate
+                    .map(|p| rename.get(&p).copied().unwrap_or(p).name().to_string()),
+            )
+        })
+        .collect();
+    shapes.sort();
+    shapes
+}
+
+fn rename_program(program: &Program, rename: &BTreeMap<Predicate, Predicate>) -> Program {
+    let map_atom = |atom: &Atom| {
+        Atom::new(
+            rename
+                .get(&atom.predicate)
+                .copied()
+                .unwrap_or(atom.predicate),
+            atom.terms.clone(),
+        )
+    };
+    Program::from_tgds(program.tgds().iter().map(|tgd| {
+        Tgd::new_unchecked(
+            tgd.body.iter().map(map_atom).collect(),
+            tgd.head.iter().map(map_atom).collect(),
+        )
+    }))
+    .expect("renaming preserves validity")
+}
+
+#[test]
+fn verdicts_are_invariant_under_predicate_renaming() {
+    for (case, source) in CORPUS.iter().enumerate() {
+        let program = parse_rules(source).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE + case as u64);
+        // An injective, deterministic rename with fresh obfuscated names.
+        let rename: BTreeMap<Predicate, Predicate> = program
+            .schema()
+            .into_iter()
+            .map(|p| {
+                let tag: u32 = rng.gen_range(0..1_000_000u32);
+                (p, Predicate::new(&format!("ren_{tag}_{}", p.name())))
+            })
+            .collect();
+        let renamed = rename_program(&program, &rename);
+
+        let base = analyze(&program);
+        let after = analyze(&renamed);
+        assert_eq!(
+            shape(&base, &rename),
+            shape(&after, &BTreeMap::new()),
+            "case {case}: renaming changed the verdict shape"
+        );
+        assert_eq!(base.admissible(), after.admissible(), "case {case}");
+        for severity in [Severity::Info, Severity::Warning, Severity::Error] {
+            assert_eq!(base.count(severity), after.count(severity), "case {case}");
+        }
+    }
+}
+
+#[test]
+fn verdicts_are_invariant_under_rule_reordering() {
+    for (case, source) in CORPUS.iter().enumerate() {
+        let program = parse_rules(source).unwrap();
+        let base = analyze(&program);
+        let mut rng = StdRng::seed_from_u64(0xBADCAB + case as u64);
+        for round in 0..4 {
+            // A seeded Fisher–Yates shuffle of the rule order.
+            let mut tgds: Vec<Tgd> = program.tgds().to_vec();
+            for i in (1..tgds.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                tgds.swap(i, j);
+            }
+            let shuffled = Program::from_tgds(tgds).unwrap();
+            let after = analyze(&shuffled);
+            assert_eq!(
+                shape(&base, &BTreeMap::new()),
+                shape(&after, &BTreeMap::new()),
+                "case {case} round {round}: reordering changed the verdict shape"
+            );
+            assert_eq!(
+                base.admissible(),
+                after.admissible(),
+                "case {case} round {round}"
+            );
+        }
+    }
+}
+
+/// A fixture: source text plus the options to analyze it under.
+struct Fixture {
+    source: &'static str,
+    options: fn() -> AnalyzerOptions,
+}
+
+fn default_options() -> AnalyzerOptions {
+    AnalyzerOptions::default()
+}
+
+fn datalog_options() -> AnalyzerOptions {
+    AnalyzerOptions {
+        require_datalog: true,
+        ..AnalyzerOptions::default()
+    }
+}
+
+fn serving_options() -> AnalyzerOptions {
+    AnalyzerOptions {
+        require_datalog: true,
+        known_edb: BTreeSet::from([Predicate::new("edge")]),
+        known_arities: BTreeMap::from([(Predicate::new("edge"), 2)]),
+        ..AnalyzerOptions::default()
+    }
+}
+
+fn bound_query_options() -> AnalyzerOptions {
+    AnalyzerOptions {
+        query: Some(parse_query("?(Y) :- t(a, Y).").unwrap()),
+        ..AnalyzerOptions::default()
+    }
+}
+
+fn free_query_options() -> AnalyzerOptions {
+    AnalyzerOptions {
+        query: Some(parse_query("?(X, Y) :- t(X, Y).").unwrap()),
+        ..AnalyzerOptions::default()
+    }
+}
+
+const TC: &str = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).";
+
+/// One positive (code fires) and one negative (code stays silent) fixture
+/// per stable code.
+fn fixtures(code: DiagnosticCode) -> (Fixture, Fixture) {
+    use DiagnosticCode::*;
+    let f = |source, options| Fixture { source, options };
+    match code {
+        InvalidProgram => (
+            f("t(X :- edge(X).", default_options),
+            f(TC, default_options),
+        ),
+        NonDatalogRule => (
+            f("r(X, Z) :- p(X).", datalog_options),
+            f("r(X, Z) :- p(X).", default_options),
+        ),
+        SingletonVariable => (
+            f("out(X) :- pair(X, Y).", default_options),
+            f("out(X) :- pair(X, _).", default_options),
+        ),
+        WardViolation => (
+            f(
+                "r(X, Z) :- p(X).\n t(Y, Y2) :- r(X, Y), r(X2, Y2).",
+                default_options,
+            ),
+            f("r(X, Z) :- p(X).\n p(Y) :- r(X, Y).", default_options),
+        ),
+        NonPiecewiseLinear => (
+            f(
+                "sg(X, Y) :- flat(X, Y).\n sg(X, Y) :- up(X, X1), sg(X1, Y1), sg(Y1, Y).",
+                default_options,
+            ),
+            f(TC, default_options),
+        ),
+        ExistentialRecursion => (
+            f("r(X, Z) :- p(X).\n p(Y) :- r(X, Y).", default_options),
+            f("r(X, Z) :- p(X).", default_options),
+        ),
+        DuplicateRule => (
+            f("t(X, Y) :- e(X, Y).\n t(A, B) :- e(A, B).", default_options),
+            f(TC, default_options),
+        ),
+        UnreadPredicate => (
+            f("q(X) :- e(X).", default_options),
+            f("p(X) :- e(X).\n p(X) :- p(X).", default_options),
+        ),
+        UnderivablePredicate => (
+            f("p(X) :- p(X).", default_options),
+            f("p(X) :- e(X).", default_options),
+        ),
+        EdbCollision => (
+            f("edge(Y, X) :- edge(X, Y).", serving_options),
+            f("edge(Y, X) :- edge(X, Y).", default_options),
+        ),
+        CrossProduct => (
+            f("out(X, Y) :- a(X), b(Y).", default_options),
+            f("out(X, Y) :- a(X), b(X, Y).", default_options),
+        ),
+        PlannerFallback => (
+            f("out(X, Y) :- a(X), c(Y), b(X, Y).", default_options),
+            f("out(X, Y) :- a(X), b(X, Y), c(Y).", default_options),
+        ),
+        DemandRestricted => (f(TC, bound_query_options), f(TC, free_query_options)),
+        UnrestrictedDemand => (f(TC, free_query_options), f(TC, bound_query_options)),
+    }
+}
+
+#[test]
+fn every_code_has_a_positive_and_a_negative_fixture() {
+    for code in DiagnosticCode::ALL {
+        let (positive, negative) = fixtures(code);
+        let (_, fired) = analyze_source(positive.source, &(positive.options)());
+        assert!(
+            !fired.with_code(code).is_empty(),
+            "{code}: positive fixture `{}` did not fire",
+            positive.source
+        );
+        let (program, silent) = analyze_source(negative.source, &(negative.options)());
+        assert!(
+            program.is_some(),
+            "{code}: negative fixture `{}` must parse",
+            negative.source
+        );
+        assert!(
+            silent.with_code(code).is_empty(),
+            "{code}: negative fixture `{}` fired anyway: {:?}",
+            negative.source,
+            silent.with_code(code)
+        );
+    }
+}
+
+#[test]
+fn fixture_severities_match_the_code_table() {
+    // Pin the documented severities so the table in the crate docs cannot
+    // drift from the implementation.
+    let expect = [
+        (DiagnosticCode::InvalidProgram, Severity::Error),
+        (DiagnosticCode::NonDatalogRule, Severity::Error),
+        (DiagnosticCode::SingletonVariable, Severity::Info),
+        (DiagnosticCode::WardViolation, Severity::Error),
+        (DiagnosticCode::NonPiecewiseLinear, Severity::Warning),
+        (DiagnosticCode::DuplicateRule, Severity::Warning),
+        (DiagnosticCode::UnreadPredicate, Severity::Info),
+        (DiagnosticCode::UnderivablePredicate, Severity::Warning),
+        (DiagnosticCode::EdbCollision, Severity::Error),
+        (DiagnosticCode::CrossProduct, Severity::Warning),
+        (DiagnosticCode::PlannerFallback, Severity::Info),
+        (DiagnosticCode::DemandRestricted, Severity::Info),
+        (DiagnosticCode::UnrestrictedDemand, Severity::Warning),
+    ];
+    for (code, severity) in expect {
+        let (positive, _) = fixtures(code);
+        let (_, report) = analyze_source(positive.source, &(positive.options)());
+        for d in report.with_code(code) {
+            assert_eq!(d.severity, severity, "{code}");
+        }
+    }
+    // VLG006 is severity-split: info when the rule is warded, warning when
+    // not.
+    let (_, warded) = analyze_source(
+        "r(X, Z) :- p(X).\n p(Y) :- r(X, Y).",
+        &AnalyzerOptions::default(),
+    );
+    assert!(warded
+        .with_code(DiagnosticCode::ExistentialRecursion)
+        .iter()
+        .all(|d| d.severity == Severity::Info));
+    let (_, unwarded) = analyze_source(
+        "r(X, Z) :- p(X).\n r(Y, W) :- r(X, Y), r(X2, Y).",
+        &AnalyzerOptions::default(),
+    );
+    assert!(unwarded
+        .with_code(DiagnosticCode::ExistentialRecursion)
+        .iter()
+        .all(|d| d.severity == Severity::Warning));
+}
+
+#[test]
+fn analyze_with_matches_analyze_source_on_parsed_programs() {
+    for source in CORPUS {
+        let program = parse_rules(source).unwrap();
+        let direct = analyze_with(&program, &AnalyzerOptions::default());
+        let (reparsed, via_source) = analyze_source(source, &AnalyzerOptions::default());
+        assert!(reparsed.is_some());
+        assert_eq!(direct.diagnostics, via_source.diagnostics);
+    }
+}

@@ -26,8 +26,7 @@ fn e1(c: &mut Criterion) {
             &n,
             |b, _| {
                 b.iter(|| {
-                    let outcome =
-                        linear_proof_search(&tc, &db, &boolean, SearchOptions::default());
+                    let outcome = linear_proof_search(&tc, &db, &boolean, SearchOptions::default());
                     assert!(outcome.is_accepted());
                 })
             },

@@ -19,7 +19,7 @@ fn e4(c: &mut Criterion) {
             let rewritten = rewrite_to_pwl_datalog(&tc, &query, RewriteOptions::default())
                 .unwrap()
                 .unwrap();
-            assert!(rewritten.program.len() > 0);
+            assert!(!rewritten.program.is_empty());
         })
     });
 

@@ -15,22 +15,14 @@ fn e8(c: &mut Criterion) {
 
     for &edges in &[100usize, 200] {
         let db = random_graph(edges / 4, edges, 3);
-        group.bench_with_input(
-            BenchmarkId::new("nonlinear_tc", edges),
-            &edges,
-            |b, _| {
-                let engine = DatalogEngine::new(nonlinear.clone()).unwrap();
-                b.iter(|| engine.evaluate(&db).stats.derived_atoms)
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("linearised_tc", edges),
-            &edges,
-            |b, _| {
-                let engine = DatalogEngine::new(linearized.clone()).unwrap();
-                b.iter(|| engine.evaluate(&db).stats.derived_atoms)
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("nonlinear_tc", edges), &edges, |b, _| {
+            let engine = DatalogEngine::new(nonlinear.clone()).unwrap();
+            b.iter(|| engine.evaluate(&db).stats.derived_atoms)
+        });
+        group.bench_with_input(BenchmarkId::new("linearised_tc", edges), &edges, |b, _| {
+            let engine = DatalogEngine::new(linearized.clone()).unwrap();
+            b.iter(|| engine.evaluate(&db).stats.derived_atoms)
+        });
     }
     group.finish();
 }

@@ -35,8 +35,7 @@ use vadalog_benchgen::iwarded::{iwarded_scenario, ScenarioMix};
 use vadalog_benchgen::owl::{owl_database, owl_program};
 use vadalog_chase::{ChaseConfig, ChaseEngine, TerminationPolicy};
 use vadalog_core::{
-    linear_proof_search, rewrite_to_pwl_datalog, CertainAnswerEngine, RewriteOptions,
-    SearchOptions,
+    linear_proof_search, rewrite_to_pwl_datalog, CertainAnswerEngine, RewriteOptions, SearchOptions,
 };
 use vadalog_datalog::DatalogEngine;
 use vadalog_engine::{EngineConfig, JoinOrdering, Reasoner};
@@ -113,7 +112,11 @@ fn recovery_bench(quick: bool) {
 
     println!("-- recovery: WAL overhead and crash recovery vs re-derivation --");
     let samples = if quick { 5 } else { 7 };
-    let (nodes, edges, links) = if quick { (160, 280, 160) } else { (240, 500, 300) };
+    let (nodes, edges, links) = if quick {
+        (160, 280, 160)
+    } else {
+        (240, 500, 300)
+    };
     let (delta_batches, batch_size) = if quick { (12usize, 10usize) } else { (24, 12) };
     let scenario = two_closure_delta_stream(nodes, edges, links, delta_batches, batch_size, 42);
     let dir = std::env::temp_dir().join(format!("vadalog-bench-recovery-{}", std::process::id()));
@@ -209,7 +212,9 @@ fn recovery_bench(quick: bool) {
         rederive_ms = rederive_ms.min(start.elapsed().as_secs_f64() * 1e3);
     }
     let recovery_speedup = rederive_ms / recovery_ms;
-    let snapshot_bytes = std::fs::metadata(dir.join("snapshot.bin")).map(|m| m.len()).unwrap_or(0);
+    let snapshot_bytes = std::fs::metadata(dir.join("snapshot.bin"))
+        .map(|m| m.len())
+        .unwrap_or(0);
 
     let mut table = Table::new(&["path", "wall ms", "note"]);
     table.row(&[
@@ -277,7 +282,11 @@ fn incremental_bench(quick: bool) {
 
     println!("-- incremental: live delta ingestion vs full re-evaluation --");
     let samples = if quick { 3 } else { 5 };
-    let (nodes, edges, links) = if quick { (100, 150, 100) } else { (200, 400, 260) };
+    let (nodes, edges, links) = if quick {
+        (100, 150, 100)
+    } else {
+        (200, 400, 260)
+    };
     let (delta_batches, batch_size) = (2usize, 4usize);
     let scenario = two_closure_delta_stream(nodes, edges, links, delta_batches, batch_size, 42);
 
@@ -308,8 +317,16 @@ fn incremental_bench(quick: bool) {
     let s_query = parse_query("?(X, Y) :- s(X, Y).").unwrap();
     let t_answers = live.answers(&t_query);
     let s_answers = live.answers(&s_query);
-    assert_eq!(t_answers, full.answers(&t_query), "t answers: incremental vs from-scratch");
-    assert_eq!(s_answers, full.answers(&s_query), "s answers: incremental vs from-scratch");
+    assert_eq!(
+        t_answers,
+        full.answers(&t_query),
+        "t answers: incremental vs from-scratch"
+    );
+    assert_eq!(
+        s_answers,
+        full.answers(&s_query),
+        "s answers: incremental vs from-scratch"
+    );
     assert_eq!(
         live.instance().sorted_row_layout(),
         full.instance.sorted_row_layout(),
@@ -397,7 +414,9 @@ fn parallel_bench(quick: bool) {
     let baseline = DatalogEngine::new(tc.clone()).unwrap().evaluate(&db);
     let mut tc_ms = Vec::new();
     for &threads in &thread_counts {
-        let engine = DatalogEngine::new(tc.clone()).unwrap().with_threads(threads);
+        let engine = DatalogEngine::new(tc.clone())
+            .unwrap()
+            .with_threads(threads);
         let warm = engine.evaluate(&db);
         assert_eq!(warm.stats.derived_atoms, baseline.stats.derived_atoms);
         assert_eq!(warm.stats.joins_evaluated, baseline.stats.joins_evaluated);
@@ -518,7 +537,10 @@ fn parallel_bench(quick: bool) {
 
     let mut table = Table::new(&["workload", "threads", "wall (ms)", "speedup vs 1"]);
     for (label, times) in [
-        (format!("TC materialisation ({nodes} nodes, {edges} edges)"), &tc_ms),
+        (
+            format!("TC materialisation ({nodes} nodes, {edges} edges)"),
+            &tc_ms,
+        ),
         ("3-hop CQ over closure".to_string(), &cq_ms),
         ("OWL 2 QL reasoning".to_string(), &owl_ms),
         ("data exchange chase".to_string(), &dex_ms),
@@ -602,24 +624,25 @@ fn joins_bench(quick: bool) {
 
     // Times one planned kernel enumeration (best of N), returning the
     // answer count, wall time and the kernel counters of the final run.
-    let time_plan = |spec: &JoinSpec, plan: &JoinPlan, target: &Instance| -> (u64, f64, JoinStats) {
-        let mut best_ms = f64::MAX;
-        let mut answers = 0u64;
-        let mut stats = JoinStats::default();
-        for _ in 0..samples {
-            let start = Instant::now();
-            let mut count = 0u64;
-            let mut matcher = Matcher::new(spec);
-            matcher.set_plan(Some(plan));
-            stats = matcher.for_each(target, |_| {
-                count += 1;
-                ControlFlow::Continue(())
-            });
-            best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
-            answers = count;
-        }
-        (answers, best_ms, stats)
-    };
+    let time_plan =
+        |spec: &JoinSpec, plan: &JoinPlan, target: &Instance| -> (u64, f64, JoinStats) {
+            let mut best_ms = f64::MAX;
+            let mut answers = 0u64;
+            let mut stats = JoinStats::default();
+            for _ in 0..samples {
+                let start = Instant::now();
+                let mut count = 0u64;
+                let mut matcher = Matcher::new(spec);
+                matcher.set_plan(Some(plan));
+                stats = matcher.for_each(target, |_| {
+                    count += 1;
+                    ControlFlow::Continue(())
+                });
+                best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                answers = count;
+            }
+            (answers, best_ms, stats)
+        };
 
     // Times a planned kernel count and the reference enumeration of the same
     // pattern, asserting equal answer counts (the bit-identity gate of the
@@ -667,7 +690,9 @@ fn joins_bench(quick: bool) {
     let closure = if (cq_nodes, cq_edges) == (nodes, edges) {
         warm.instance
     } else {
-        engine.evaluate(&random_graph(cq_nodes, cq_edges, 42)).instance
+        engine
+            .evaluate(&random_graph(cq_nodes, cq_edges, 42))
+            .instance
     };
     let v = Term::variable;
     let pattern = vec![
@@ -751,7 +776,10 @@ fn joins_bench(quick: bool) {
     )
     .len();
     let fk_seed_ms = start.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(fk_answers as usize, fk_seed_answers, "FK chain vs reference oracle");
+    assert_eq!(
+        fk_answers as usize, fk_seed_answers,
+        "FK chain vs reference oracle"
+    );
     let fk_index_bytes = fk_instance.index_bytes();
 
     let mut table = Table::new(&["workload", "kernel (ms)", "seed (ms)", "speedup"]);
@@ -761,10 +789,22 @@ fn joins_bench(quick: bool) {
             kernel_tc_ms,
             seed_tc_ms,
         ),
-        ("3-hop CQ over closure".to_string(), kernel_cq_ms, seed_cq_ms),
+        (
+            "3-hop CQ over closure".to_string(),
+            kernel_cq_ms,
+            seed_cq_ms,
+        ),
         ("OWL 2 QL typing CQ".to_string(), owl_kernel_ms, owl_seed_ms),
-        ("data-exchange connectivity CQ".to_string(), dex_kernel_ms, dex_seed_ms),
-        ("2-key FK join chain CQ".to_string(), fk_composite_ms, fk_seed_ms),
+        (
+            "data-exchange connectivity CQ".to_string(),
+            dex_kernel_ms,
+            dex_seed_ms,
+        ),
+        (
+            "2-key FK join chain CQ".to_string(),
+            fk_composite_ms,
+            fk_seed_ms,
+        ),
     ] {
         table.row(&[
             label,
@@ -830,7 +870,11 @@ fn joins_bench(quick: bool) {
 /// frontier while bottom-up evaluation materialises a growing instance.
 fn e1_space(quick: bool) {
     println!("-- E1: space usage, linear proof search vs. materialisation (reachability) --");
-    let sizes: &[usize] = if quick { &[50, 100] } else { &[50, 100, 200, 400] };
+    let sizes: &[usize] = if quick {
+        &[50, 100]
+    } else {
+        &[50, 100, 200, 400]
+    };
     let tc = program(LINEAR_TC);
     let query = parse_query("?(X, Y) :- t(X, Y).").unwrap();
     let mut table = Table::new(&[
@@ -944,18 +988,18 @@ fn e4_rewriting() {
             "existential loop",
             "r(X, Z) :- p(X).\n p(Y) :- r(X, Y).",
             "?(A) :- r(A, Y), r(Y, W).",
-            vadalog_model::parser::parse("p(a). p(b). p(c).").unwrap().database,
+            vadalog_model::parser::parse("p(a). p(b). p(c).")
+                .unwrap()
+                .database,
         ),
         (
             "subclass closure",
             "subclassStar(X, Y) :- subclass(X, Y).\n\
              subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).",
             "?(A, B) :- subclassStar(A, B).",
-            vadalog_model::parser::parse(
-                "subclass(c1, c2). subclass(c2, c3). subclass(c3, c4).",
-            )
-            .unwrap()
-            .database,
+            vadalog_model::parser::parse("subclass(c1, c2). subclass(c2, c3). subclass(c3, c4).")
+                .unwrap()
+                .database,
         ),
     ];
     let mut table = Table::new(&[
@@ -1036,7 +1080,12 @@ fn e5_tiling() {
 /// E6 — Section 7 ablations: join ordering and strata materialisation.
 fn e6_ablation(quick: bool) {
     println!("-- E6: Section 7 ablations (join ordering, strata materialisation) --");
-    let owl_db = owl_database(if quick { 15 } else { 40 }, 6, if quick { 60 } else { 200 }, 7);
+    let owl_db = owl_database(
+        if quick { 15 } else { 40 },
+        6,
+        if quick { 60 } else { 200 },
+        7,
+    );
     let dex = data_exchange_scenario(3, if quick { 40 } else { 120 }, 25, 11);
     let scenarios: Vec<(&str, vadalog_model::Program, Database)> = vec![
         ("OWL 2 QL (Example 3.3)", owl_program(), owl_db),
@@ -1053,10 +1102,7 @@ fn e6_ablation(quick: bool) {
     ]);
     for (name, prog, db) in scenarios {
         let configs: Vec<(&str, EngineConfig)> = vec![
-            (
-                "pwl-aware order, strata",
-                EngineConfig::default(),
-            ),
+            ("pwl-aware order, strata", EngineConfig::default()),
             (
                 "as-written order, strata",
                 EngineConfig {

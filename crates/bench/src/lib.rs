@@ -11,12 +11,10 @@ use vadalog_model::parser::parse_rules;
 use vadalog_model::Program;
 
 /// The linear transitive-closure program used throughout the experiments.
-pub const LINEAR_TC: &str =
-    "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).";
+pub const LINEAR_TC: &str = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).";
 
 /// The non-linear transitive-closure program of Section 1.2.
-pub const NONLINEAR_TC: &str =
-    "t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).";
+pub const NONLINEAR_TC: &str = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- t(X, Y), t(Y, Z).";
 
 /// Parses one of the canonical programs above.
 pub fn program(src: &str) -> Program {
@@ -87,11 +85,7 @@ pub mod seed_reference {
         let mut stats = SeedStats::default();
 
         for stratum in &stratification.strata {
-            let rules: Vec<&_> = stratum
-                .rules
-                .iter()
-                .map(|&i| &program.tgds()[i])
-                .collect();
+            let rules: Vec<&_> = stratum.rules.iter().map(|&i| &program.tgds()[i]).collect();
 
             let mut delta = Instance::new();
             for rule in &rules {
@@ -134,12 +128,9 @@ pub mod seed_reference {
                                 .filter(|(i, _)| *i != pos)
                                 .map(|(_, a)| a.clone())
                                 .collect();
-                            for h in homomorphisms_reference(
-                                &rest,
-                                &instance,
-                                &seed,
-                                HomSearch::all(),
-                            ) {
+                            for h in
+                                homomorphisms_reference(&rest, &instance, &seed, HomSearch::all())
+                            {
                                 let fact = h.apply_atom(&rule.head[0]);
                                 if !instance.contains(&fact) {
                                     next_delta
@@ -219,7 +210,10 @@ mod tests {
 
     #[test]
     fn canonical_programs_parse_and_classify() {
-        assert_eq!(classify_scenario(&program(LINEAR_TC)), ScenarioClass::WardedPwl);
+        assert_eq!(
+            classify_scenario(&program(LINEAR_TC)),
+            ScenarioClass::WardedPwl
+        );
         assert_eq!(
             classify_scenario(&program(NONLINEAR_TC)),
             ScenarioClass::WardedLinearizable

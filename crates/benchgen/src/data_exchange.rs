@@ -23,7 +23,12 @@ pub struct DataExchangeScenario {
 
 /// Generates a scenario with `width` source relations, `rows` tuples per
 /// relation, drawn from a domain of `domain` constants.
-pub fn data_exchange_scenario(width: usize, rows: usize, domain: usize, seed: u64) -> DataExchangeScenario {
+pub fn data_exchange_scenario(
+    width: usize,
+    rows: usize,
+    domain: usize,
+    seed: u64,
+) -> DataExchangeScenario {
     let width = width.max(1);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut src = String::new();

@@ -81,12 +81,18 @@ pub fn two_closure_delta_stream(
     let mut base = Database::new();
     let mut union = Database::new();
     for &pair in &edges[..split] {
-        base.insert(fact("edge", pair)).expect("edge facts are ground");
-        union.insert(fact("edge", pair)).expect("edge facts are ground");
+        base.insert(fact("edge", pair))
+            .expect("edge facts are ground");
+        union
+            .insert(fact("edge", pair))
+            .expect("edge facts are ground");
     }
     for &pair in &links {
-        base.insert(fact("link", pair)).expect("link facts are ground");
-        union.insert(fact("link", pair)).expect("link facts are ground");
+        base.insert(fact("link", pair))
+            .expect("link facts are ground");
+        union
+            .insert(fact("link", pair))
+            .expect("link facts are ground");
     }
     let deltas: Vec<Vec<Atom>> = edges[split..]
         .chunks(batch_size)
@@ -120,7 +126,10 @@ mod tests {
         for batch in &scenario.deltas {
             for atom in batch {
                 assert_eq!(atom.predicate, Predicate::new("edge"));
-                assert!(!scenario.base.contains(atom), "streamed facts are held back");
+                assert!(
+                    !scenario.base.contains(atom),
+                    "streamed facts are held back"
+                );
                 assert!(scenario.union.contains(atom));
             }
         }

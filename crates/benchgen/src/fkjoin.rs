@@ -126,7 +126,10 @@ mod tests {
         let inst = s.database.as_instance();
         assert_eq!(inst.relation_size(Predicate::new("src")), 200);
         let links = inst.relation_size(Predicate::new("link"));
-        assert!((100..=180).contains(&links), "≈70% of 200 pairs link, got {links}");
+        assert!(
+            (100..=180).contains(&links),
+            "≈70% of 200 pairs link, got {links}"
+        );
         assert!(
             inst.relation_size(Predicate::new("dst")) > links,
             "noise keeps dst the largest relation, so link drives the plan"
@@ -138,7 +141,10 @@ mod tests {
         let src = inst.relation(Predicate::new("src")).unwrap();
         assert_eq!(src.distinct_count(0), 10);
         assert_eq!(src.distinct_count(1), 20);
-        assert_eq!(src.key_distinct_count(vadalog_model::ColSet::new(&[0, 1])), 200);
+        assert_eq!(
+            src.key_distinct_count(vadalog_model::ColSet::new(&[0, 1])),
+            200
+        );
     }
 
     #[test]

@@ -120,9 +120,6 @@ mod tests {
         let db = preferential_attachment(100, 2, 3);
         assert!(db.len() >= 100);
         assert_eq!(db.as_instance().predicates().count(), 1);
-        assert_eq!(
-            db.as_instance().arity_of(Predicate::new("edge")),
-            Some(2)
-        );
+        assert_eq!(db.as_instance().arity_of(Predicate::new("edge")), Some(2));
     }
 }

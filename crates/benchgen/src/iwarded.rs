@@ -96,9 +96,7 @@ pub fn iwarded_scenario(kind: ScenarioKind, extra_rules: usize, seed: u64) -> Pr
     for i in 0..extra_rules {
         let rel = base_relations[rng.gen_range(0..base_relations.len())];
         match rng.gen_range(0..3) {
-            0 => src.push_str(&format!(
-                "invented_{i}(X, Z) :- {rel}(X, Y).\n"
-            )),
+            0 => src.push_str(&format!("invented_{i}(X, Z) :- {rel}(X, Y).\n")),
             1 => src.push_str(&format!(
                 "marker_{i}(Y) :- invented_{j}(X, Y).\n",
                 j = rng.gen_range(0..extra_rules.max(1)).min(i)

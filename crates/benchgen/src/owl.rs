@@ -31,24 +31,40 @@ pub fn owl_database(classes: usize, properties: usize, individuals: usize, seed:
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new();
     let mut add = |p: &str, args: &[&str]| {
-        db.insert(Atom::fact(p, args)).expect("generated facts are ground");
+        db.insert(Atom::fact(p, args))
+            .expect("generated facts are ground");
     };
 
     // Class hierarchy: class_i is a subclass of a random lower-numbered class.
     for i in 1..classes {
         let parent = rng.gen_range(0..i);
-        add("subclass", &[format!("class{i}").as_str(), format!("class{parent}").as_str()]);
+        add(
+            "subclass",
+            &[
+                format!("class{i}").as_str(),
+                format!("class{parent}").as_str(),
+            ],
+        );
     }
     // Properties, inverses and restriction classes.
     for p in 0..properties {
-        add("inverse", &[format!("prop{p}").as_str(), format!("inv_prop{p}").as_str()]);
+        add(
+            "inverse",
+            &[format!("prop{p}").as_str(), format!("inv_prop{p}").as_str()],
+        );
         let restriction_class = format!("class{}", rng.gen_range(0..classes.max(1)));
-        add("restriction", &[restriction_class.as_str(), format!("prop{p}").as_str()]);
+        add(
+            "restriction",
+            &[restriction_class.as_str(), format!("prop{p}").as_str()],
+        );
     }
     // Individuals typed with random classes.
     for i in 0..individuals {
         let class = rng.gen_range(0..classes.max(1));
-        add("type", &[format!("ind{i}").as_str(), format!("class{class}").as_str()]);
+        add(
+            "type",
+            &[format!("ind{i}").as_str(), format!("class{class}").as_str()],
+        );
     }
     db
 }
@@ -61,7 +77,8 @@ pub fn synthetic_kg(entities: usize, links: usize, categories: usize, seed: u64)
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new();
     let mut add = |p: &str, args: &[&str]| {
-        db.insert(Atom::fact(p, args)).expect("generated facts are ground");
+        db.insert(Atom::fact(p, args))
+            .expect("generated facts are ground");
     };
     let props = ["linksTo", "locatedIn", "partOf"];
     for _ in 0..links {
@@ -75,12 +92,18 @@ pub fn synthetic_kg(entities: usize, links: usize, categories: usize, seed: u64)
     }
     for e in 0..entities {
         let c = rng.gen_range(0..categories.max(1));
-        add("category", &[format!("e{e}").as_str(), format!("cat{c}").as_str()]);
+        add(
+            "category",
+            &[format!("e{e}").as_str(), format!("cat{c}").as_str()],
+        );
     }
     // A small category hierarchy so that recursive rules have work to do.
     for c in 1..categories {
         let parent = rng.gen_range(0..c);
-        add("subcategory", &[format!("cat{c}").as_str(), format!("cat{parent}").as_str()]);
+        add(
+            "subcategory",
+            &[format!("cat{c}").as_str(), format!("cat{parent}").as_str()],
+        );
     }
     db
 }
@@ -130,6 +153,8 @@ mod tests {
             .collect();
         assert!(preds.contains("category"));
         assert!(preds.contains("subcategory"));
-        assert!(preds.iter().any(|p| p == "linksTo" || p == "locatedIn" || p == "partOf"));
+        assert!(preds
+            .iter()
+            .any(|p| p == "linksTo" || p == "locatedIn" || p == "partOf"));
     }
 }

@@ -168,7 +168,11 @@ impl ChaseEngine {
             .collect();
 
         loop {
-            if !self.config.policy.allows_step(stats.steps, stats.nulls_created) {
+            if !self
+                .config
+                .policy
+                .allows_step(stats.steps, stats.nulls_created)
+            {
                 completed = false;
                 break;
             }
@@ -211,7 +215,11 @@ impl ChaseEngine {
                 let ctgd = &compiled[tgd_index];
                 for trigger in &round_triggers[tgd_index] {
                     stats.triggers_examined += 1;
-                    if !self.config.policy.allows_step(stats.steps, stats.nulls_created) {
+                    if !self
+                        .config
+                        .policy
+                        .allows_step(stats.steps, stats.nulls_created)
+                    {
                         completed = false;
                         break;
                     }
@@ -231,8 +239,7 @@ impl ChaseEngine {
                             let head_matcher = &mut head_matchers[tgd_index];
                             head_matcher.clear();
                             for (slot, &value) in trigger.values.iter().enumerate() {
-                                let bound =
-                                    head_matcher.prebind(ctgd.body.var_of(slot), value);
+                                let bound = head_matcher.prebind(ctgd.body.var_of(slot), value);
                                 debug_assert!(bound, "fresh matcher cannot conflict");
                             }
                             let mut satisfied = false;
@@ -481,10 +488,8 @@ mod tests {
 
     #[test]
     fn certain_answers_match_proposition_2_1() {
-        let program = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let program =
+            parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
         let db = parse("edge(a, b). edge(b, c).").unwrap().database;
         let query = parse_query("?(X, Y) :- t(X, Y).").unwrap();
         let answers = certain_answers(
@@ -533,7 +538,8 @@ mod tests {
 
     #[test]
     fn parallel_trigger_detection_is_identical_to_sequential() {
-        let rules = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).\n r(X, W) :- t(X, Y).";
+        let rules =
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).\n r(X, W) :- t(X, Y).";
         let facts = "edge(a, b). edge(b, c). edge(c, d). edge(d, b).";
         let sequential = run_chase(
             rules,
@@ -548,11 +554,17 @@ mod tests {
             );
             assert_eq!(sharded.stats.steps, sequential.stats.steps);
             assert_eq!(sharded.stats.nulls_created, sequential.stats.nulls_created);
-            assert_eq!(sharded.stats.triggers_examined, sequential.stats.triggers_examined);
+            assert_eq!(
+                sharded.stats.triggers_examined,
+                sequential.stats.triggers_examined
+            );
             // Null invention happens in the sequential apply phase, so even
             // the invented null ids — and with them the full row layouts —
             // must coincide.
-            assert_eq!(sharded.instance.row_layout(), sequential.instance.row_layout());
+            assert_eq!(
+                sharded.instance.row_layout(),
+                sequential.instance.row_layout()
+            );
         }
     }
 

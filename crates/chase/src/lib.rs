@@ -22,6 +22,8 @@ pub mod engine;
 pub mod provenance;
 pub mod termination;
 
-pub use engine::{certain_answers, ChaseConfig, ChaseEngine, ChaseResult, ChaseStats, ChaseVariant};
+pub use engine::{
+    certain_answers, ChaseConfig, ChaseEngine, ChaseResult, ChaseStats, ChaseVariant,
+};
 pub use provenance::{ChaseGraph, DerivationRecord};
 pub use termination::TerminationPolicy;

@@ -124,7 +124,7 @@ mod tests {
         });
         assert_eq!(g.len(), 2);
         assert_eq!(g.derivation_of(&t1).unwrap().tgd_index, 0);
-        assert_eq!(g.parents_of(&t1), &[a.clone()]);
+        assert_eq!(g.parents_of(&t1), std::slice::from_ref(&a));
         assert!(g.derivation_of(&a).is_none());
     }
 

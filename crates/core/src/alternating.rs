@@ -157,7 +157,11 @@ impl<'a> Searcher<'a> {
         self.max_state_size = self.max_state_size.max(state.size());
 
         // Acceptance: the state embeds into the database.
-        if exists_homomorphism(state.atoms(), self.database.as_instance(), &Substitution::new()) {
+        if exists_homomorphism(
+            state.atoms(),
+            self.database.as_instance(),
+            &Substitution::new(),
+        ) {
             self.proven.insert(state.clone());
             return true;
         }
@@ -242,7 +246,12 @@ impl<'a> Searcher<'a> {
 
     /// `true` iff some match-and-drop of `state.atoms()[index]` leads to a
     /// provable successor (Break short-circuits on the first proof).
-    fn drop_provable(&mut self, state: &CqState, index: usize, path: &mut HashSet<CqState>) -> bool {
+    fn drop_provable(
+        &mut self,
+        state: &CqState,
+        index: usize,
+        path: &mut HashSet<CqState>,
+    ) -> bool {
         let database = self.database;
         let atom = &state.atoms()[index];
         let spec = JoinSpec::compile(std::slice::from_ref(atom));
@@ -378,7 +387,13 @@ mod tests {
     #[test]
     fn variable_components_group_by_shared_variables() {
         let atoms = vec![
-            Atom::new("r", vec![vadalog_model::Term::variable("X"), vadalog_model::Term::variable("Y")]),
+            Atom::new(
+                "r",
+                vec![
+                    vadalog_model::Term::variable("X"),
+                    vadalog_model::Term::variable("Y"),
+                ],
+            ),
             Atom::new("s", vec![vadalog_model::Term::variable("Y")]),
             Atom::new("t", vec![vadalog_model::Term::variable("Z")]),
             Atom::new("u", vec![vadalog_model::Term::constant("c")]),

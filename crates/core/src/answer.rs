@@ -89,7 +89,10 @@ impl CertainAnswerEngine {
     /// Builds an engine for a program, choosing the strategy from the
     /// program's syntactic class. Fails for non-warded programs unless
     /// [`EngineOptions::allow_unwarded`] is set.
-    pub fn new(program: Program, options: EngineOptions) -> Result<CertainAnswerEngine, ModelError> {
+    pub fn new(
+        program: Program,
+        options: EngineOptions,
+    ) -> Result<CertainAnswerEngine, ModelError> {
         let warded = is_warded(&program);
         let piecewise_linear = is_piecewise_linear(&program);
         let strategy = if warded && piecewise_linear {

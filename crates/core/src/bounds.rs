@@ -31,10 +31,8 @@ mod tests {
 
     #[test]
     fn pwl_bound_grows_with_query_levels_and_body_size() {
-        let program = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let program =
+            parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
         let q = parse_query("?(X, Y) :- t(X, Y).").unwrap();
         // |q| = 1, max level = 2 (edge=1, t=2), max body = 2.
         assert_eq!(node_width_bound_ward_pwl(&q, &program), (1 + 1) * 2 * 2);
@@ -44,10 +42,8 @@ mod tests {
 
     #[test]
     fn ward_bound_is_twice_the_larger_of_query_and_body() {
-        let program = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- e(X, Y), e2(Y, W), t(W, Z).",
-        )
-        .unwrap();
+        let program =
+            parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- e(X, Y), e2(Y, W), t(W, Z).").unwrap();
         let q = parse_query("?(X, Y) :- t(X, Y).").unwrap();
         assert_eq!(node_width_bound_ward(&q, &program), 2 * 3);
         let q_big = parse_query("? :- t(A, B), t(B, C), t(C, D), t(D, E).").unwrap();

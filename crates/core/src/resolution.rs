@@ -393,10 +393,8 @@ mod tests {
 
     #[test]
     fn resolvent_count_respects_multiple_rules() {
-        let program = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let program =
+            parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
         let state = state_of("? :- t(a, V).");
         let resolvents = chunk_resolvents(&state, &program);
         assert_eq!(resolvents.len(), 2);

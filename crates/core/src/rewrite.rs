@@ -84,7 +84,11 @@ pub fn rewrite_to_pwl_datalog(
     query: &ConjunctiveQuery,
     options: RewriteOptions,
 ) -> Result<Option<RewrittenQuery>, ModelError> {
-    if query.atoms.iter().any(|a| a.terms.iter().any(Term::is_const)) {
+    if query
+        .atoms
+        .iter()
+        .any(|a| a.terms.iter().any(Term::is_const))
+    {
         return Err(ModelError::InvalidQuery(
             "the Datalog rewriting requires a constant-free query (constants can be \
              encoded with a fresh unary database predicate)"
@@ -143,8 +147,7 @@ pub fn rewrite_to_pwl_datalog(
             for (offset, v) in shared.iter().enumerate() {
                 freeze_shared.bind_var(*v, frozen_const(first_frozen + offset));
             }
-            let (child, child_map) =
-                canonical_rewrite_state(freeze_shared.apply_atoms(&idb_atoms));
+            let (child, child_map) = canonical_rewrite_state(freeze_shared.apply_atoms(&idb_atoms));
             let known = registry.contains(&child);
             registry.predicate_for(&child);
             if !known {
@@ -160,8 +163,7 @@ pub fn rewrite_to_pwl_datalog(
             if resolvent.state.size() > bound {
                 continue;
             }
-            let (child, child_map) =
-                canonical_rewrite_state(resolvent.state.atoms().to_vec());
+            let (child, child_map) = canonical_rewrite_state(resolvent.state.atoms().to_vec());
             let known = registry.contains(&child);
             registry.predicate_for(&child);
             if !known {
@@ -183,8 +185,7 @@ pub fn rewrite_to_pwl_datalog(
         .name_of_state(&initial)
         .expect("initial state registered");
     let order = frozen_order(&initial);
-    let inverse: BTreeMap<Symbol, Symbol> =
-        initial_map.iter().map(|(k, v)| (*v, *k)).collect();
+    let inverse: BTreeMap<Symbol, Symbol> = initial_map.iter().map(|(k, v)| (*v, *k)).collect();
     let out_vars: Vec<Variable> = (0..query.output.len())
         .map(|i| Variable::new(&format!("OUT{i}")))
         .collect();
@@ -412,7 +413,9 @@ mod tests {
         let rules = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).";
         let rewritten = rewrite(rules, "?(A, B) :- t(A, B).");
         assert!(is_intensionally_linear(&rewritten.program));
-        let db = parse("edge(a, b). edge(b, c). edge(c, d).").unwrap().database;
+        let db = parse("edge(a, b). edge(b, c). edge(c, d).")
+            .unwrap()
+            .database;
         let direct = DatalogEngine::new(parse_rules(rules).unwrap())
             .unwrap()
             .answers(&db, &parse_query("?(A, B) :- t(A, B).").unwrap());
@@ -477,11 +480,10 @@ mod tests {
              subclassStar(X, Z) :- subclassStar(X, Y), subclass(Y, Z).";
         let rewritten = rewrite(rules, "?(A, B) :- subclassStar(A, B).");
         assert!(is_intensionally_linear(&rewritten.program));
-        let db = parse(
-            "subclass(student, person). subclass(person, agent). subclass(agent, thing).",
-        )
-        .unwrap()
-        .database;
+        let db =
+            parse("subclass(student, person). subclass(person, agent). subclass(agent, thing).")
+                .unwrap()
+                .database;
         let direct = DatalogEngine::new(parse_rules(rules).unwrap())
             .unwrap()
             .answers(&db, &parse_query("?(A, B) :- subclassStar(A, B).").unwrap());

@@ -180,12 +180,27 @@ pub fn linear_proof_search(
     let edb = program.extensional_predicates();
     let support = PositionSupport::compute(program, database);
     if options.node_width.is_some() {
-        return bounded_search(program, database, boolean_query, options, full_bound, &edb, &support);
+        return bounded_search(
+            program,
+            database,
+            boolean_query,
+            options,
+            full_bound,
+            &edb,
+            &support,
+        );
     }
     let mut width = boolean_query.size().max(2).min(full_bound);
     loop {
-        let outcome =
-            bounded_search(program, database, boolean_query, options, width, &edb, &support);
+        let outcome = bounded_search(
+            program,
+            database,
+            boolean_query,
+            options,
+            width,
+            &edb,
+            &support,
+        );
         match outcome {
             SearchOutcome::Rejected { .. } if width < full_bound => {
                 width = (width * 2).min(full_bound);
@@ -342,8 +357,7 @@ fn drop_successors(
     matcher.for_each(instance, |bindings| {
         stats.drop_steps += 1;
         let successor = state.drop_atom(index, &bindings.to_substitution());
-        if !has_dead_atom(&successor, edb, database, support) && visited.insert(successor.clone())
-        {
+        if !has_dead_atom(&successor, edb, database, support) && visited.insert(successor.clone()) {
             frontier.push_back((successor, depth + 1));
         }
         ControlFlow::Continue(())

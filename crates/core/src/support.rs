@@ -113,12 +113,11 @@ impl PositionSupport {
                                         Some(Support::Top) => occ,
                                         Some(prev) => match (prev, occ) {
                                             (p, Support::Top) => p,
-                                            (
-                                                Support::Constants(a),
-                                                Support::Constants(b),
-                                            ) => Support::Constants(
-                                                a.intersection(&b).copied().collect(),
-                                            ),
+                                            (Support::Constants(a), Support::Constants(b)) => {
+                                                Support::Constants(
+                                                    a.intersection(&b).copied().collect(),
+                                                )
+                                            }
                                             (Support::Top, o) => o,
                                         },
                                     });
@@ -216,10 +215,7 @@ mod tests {
     fn repeated_variables_intersect_supports() {
         // The head variable occurs at two body positions; only values in both
         // supports survive.
-        let s = support(
-            "both(X) :- p(X), q(X).",
-            "p(a). p(b). q(b). q(c).",
-        );
+        let s = support("both(X) :- p(X), q(X).", "p(a). p(b). q(b). q(c).");
         let both = Predicate::new("both");
         assert!(s.supports(both, 0, Symbol::new("b")));
         assert!(!s.supports(both, 0, Symbol::new("a")));

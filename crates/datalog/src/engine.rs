@@ -358,8 +358,10 @@ impl DatalogEngine {
             // Compile every rule body once per stratum (head row templates
             // too); workers build their own (cheap) `Matcher` per task, so
             // nothing below clones a rule body or allocates per candidate.
-            let specs: Vec<JoinSpec> =
-                rules.iter().map(|rule| JoinSpec::compile(&rule.body)).collect();
+            let specs: Vec<JoinSpec> = rules
+                .iter()
+                .map(|rule| JoinSpec::compile(&rule.body))
+                .collect();
             let templates: Vec<RowTemplate> = rules
                 .iter()
                 .zip(specs.iter())
@@ -494,11 +496,7 @@ impl DatalogEngine {
     /// Evaluates the program and answers the query in one call. The query
     /// itself is answered through the sharded CQ kernel on the engine's
     /// configured thread count (answer sets are thread-count independent).
-    pub fn answers(
-        &self,
-        database: &Database,
-        query: &ConjunctiveQuery,
-    ) -> BTreeSet<Vec<Symbol>> {
+    pub fn answers(&self, database: &Database, query: &ConjunctiveQuery) -> BTreeSet<Vec<Symbol>> {
         query.evaluate_with_threads(&self.evaluate(database).instance, self.threads)
     }
 }
@@ -642,10 +640,10 @@ mod tests {
         let e = engine("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).");
         let result = e.evaluate(&db("edge(b, c). t(a, b)."));
         assert_eq!(result.stats.derived_atoms, 1); // t(b, c)
-        // Naive: 2 invocations. Round 2: only the new t(b, c) seeds the
-        // recursive position (1 invocation). A drifting watermark would
-        // re-seed t(a, b) for a 4th invocation — and on programs with
-        // existing matches, re-derive its consequences out of order.
+                                                   // Naive: 2 invocations. Round 2: only the new t(b, c) seeds the
+                                                   // recursive position (1 invocation). A drifting watermark would
+                                                   // re-seed t(a, b) for a 4th invocation — and on programs with
+                                                   // existing matches, re-derive its consequences out of order.
         assert_eq!(result.stats.joins_evaluated, 3);
         assert_eq!(result.stats.iterations, 2);
         let q = parse_query("?(X, Y) :- t(X, Y).").unwrap();
@@ -655,17 +653,22 @@ mod tests {
     #[test]
     fn sharded_threads_are_bit_identical_to_sequential() {
         let program = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).";
-        let database = db(
-            "edge(a, b). edge(b, c). edge(c, d). edge(d, a). edge(b, e). edge(e, f).",
-        );
+        let database =
+            db("edge(a, b). edge(b, c). edge(c, d). edge(d, a). edge(b, e). edge(e, f).");
         let sequential = engine(program).evaluate(&database);
         for threads in [2, 4] {
             let sharded = engine(program).with_threads(threads).evaluate(&database);
             assert_eq!(sharded.stats.derived_atoms, sequential.stats.derived_atoms);
-            assert_eq!(sharded.stats.joins_evaluated, sequential.stats.joins_evaluated);
+            assert_eq!(
+                sharded.stats.joins_evaluated,
+                sequential.stats.joins_evaluated
+            );
             assert_eq!(sharded.stats.join_probes, sequential.stats.join_probes);
             assert_eq!(sharded.stats.iterations, sequential.stats.iterations);
-            assert_eq!(sharded.stats.rows_prededuped, sequential.stats.rows_prededuped);
+            assert_eq!(
+                sharded.stats.rows_prededuped,
+                sequential.stats.rows_prededuped
+            );
             assert_eq!(
                 sharded.stats.composite_probes,
                 sequential.stats.composite_probes

@@ -149,10 +149,11 @@ impl IncrementalEngine {
             .strata
             .iter()
             .map(|stratum| {
-                let rules: Vec<&Tgd> =
-                    stratum.rules.iter().map(|&i| &program.tgds()[i]).collect();
-                let specs: Vec<JoinSpec> =
-                    rules.iter().map(|rule| JoinSpec::compile(&rule.body)).collect();
+                let rules: Vec<&Tgd> = stratum.rules.iter().map(|&i| &program.tgds()[i]).collect();
+                let specs: Vec<JoinSpec> = rules
+                    .iter()
+                    .map(|rule| JoinSpec::compile(&rule.body))
+                    .collect();
                 let templates: Vec<RowTemplate> = rules
                     .iter()
                     .zip(specs.iter())
@@ -555,16 +556,23 @@ mod tests {
     #[test]
     fn restored_state_continues_bit_identically() {
         // Reference: one engine runs the whole stream uninterrupted.
-        let batches =
-            ["edge(a, b). link(p, q).", "edge(b, c).", "edge(c, d). link(q, r).", "edge(a, d)."];
+        let batches = [
+            "edge(a, b). link(p, q).",
+            "edge(b, c).",
+            "edge(c, d). link(q, r).",
+            "edge(a, d).",
+        ];
         let mut reference = engine(TWO_CLOSURES).with_threads(2);
         // Capture after the second batch — mid-stream, at fixpoint.
         let mut captured = None;
         for (i, batch) in batches.iter().enumerate() {
             reference.ingest(&facts(batch)).unwrap();
             if i == 1 {
-                captured =
-                    Some((reference.instance().clone(), *reference.stats(), reference.epoch()));
+                captured = Some((
+                    reference.instance().clone(),
+                    *reference.stats(),
+                    reference.epoch(),
+                ));
             }
         }
 
@@ -579,7 +587,10 @@ mod tests {
 
         // Bit-identity: exact row layouts (arrival order included), all
         // counters, and the epoch.
-        assert_eq!(restored.instance().row_layout(), reference.instance().row_layout());
+        assert_eq!(
+            restored.instance().row_layout(),
+            reference.instance().row_layout()
+        );
         assert_eq!(restored.stats(), reference.stats());
         assert_eq!(restored.epoch(), reference.epoch());
         let q = parse_query("?(X, Y) :- t(X, Y).").unwrap();
@@ -589,7 +600,8 @@ mod tests {
     #[test]
     fn unaffected_strata_are_provably_skipped() {
         let mut live = engine(TWO_CLOSURES);
-        live.ingest(&facts("edge(a, b). edge(b, c). link(p, q). link(q, r).")).unwrap();
+        live.ingest(&facts("edge(a, b). edge(b, c). link(p, q). link(q, r)."))
+            .unwrap();
         let skipped_before = live.stats().strata_skipped;
 
         // A delta touching only `edge` must skip the link/s stratum.
@@ -598,7 +610,11 @@ mod tests {
         assert_eq!(outcome.strata_skipped, 1);
         assert!(outcome.rounds >= 1);
         assert_eq!(live.stats().strata_skipped, skipped_before + 1);
-        assert!(live.answers(&parse_query("?(X) :- t(X, d).").unwrap()).len() == 3);
+        assert!(
+            live.answers(&parse_query("?(X) :- t(X, d).").unwrap())
+                .len()
+                == 3
+        );
 
         // A duplicate-only batch touches nothing and skips everything.
         let outcome = live.ingest(&facts("edge(a, b).")).unwrap();
@@ -729,20 +745,33 @@ mod tests {
         live.ingest(&facts("edge(a, b).")).unwrap();
         let len_before = live.instance().len();
         let err = live
-            .ingest(&[Atom::fact("good", &["x"]), Atom::fact("edge", &["a", "b", "c"])])
+            .ingest(&[
+                Atom::fact("good", &["x"]),
+                Atom::fact("edge", &["a", "b", "c"]),
+            ])
             .unwrap_err();
         assert!(matches!(err, ModelError::ArityMismatch { .. }));
-        assert_eq!(live.instance().len(), len_before, "the good fact must not land");
+        assert_eq!(
+            live.instance().len(),
+            len_before,
+            "the good fact must not land"
+        );
 
         let err = live
-            .ingest(&[Atom::new("edge", vec![Term::variable("X"), Term::constant("b")])])
+            .ingest(&[Atom::new(
+                "edge",
+                vec![Term::variable("X"), Term::constant("b")],
+            )])
             .unwrap_err();
         assert!(matches!(err, ModelError::NonGroundFact(_)));
         assert_eq!(live.instance().len(), len_before);
 
         // Arity conflicts *within* a batch are caught too.
         let err = live
-            .ingest(&[Atom::fact("fresh", &["x"]), Atom::fact("fresh", &["x", "y"])])
+            .ingest(&[
+                Atom::fact("fresh", &["x"]),
+                Atom::fact("fresh", &["x", "y"]),
+            ])
             .unwrap_err();
         assert!(matches!(err, ModelError::ArityMismatch { .. }));
         assert_eq!(live.instance().len(), len_before);
@@ -777,7 +806,9 @@ mod tests {
         let parsed = parse("edge(a, b). edge(b, c). edge(c, d).").unwrap();
         let program = parse_rules(TWO_CLOSURES).unwrap();
         let live = IncrementalEngine::from_database(program.clone(), &parsed.database).unwrap();
-        let oneshot = DatalogEngine::new(program).unwrap().evaluate(&parsed.database);
+        let oneshot = DatalogEngine::new(program)
+            .unwrap()
+            .evaluate(&parsed.database);
         let q = parse_query("?(X, Y) :- t(X, Y).").unwrap();
         assert_eq!(live.answers(&q), oneshot.answers(&q));
         assert_eq!(sorted_rows(live.instance()), sorted_rows(&oneshot.instance));

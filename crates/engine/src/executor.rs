@@ -93,11 +93,23 @@ impl Reasoner {
                     .iter()
                     .filter(|r| stratum.rules.contains(&r.original_index))
                     .collect();
-                self.fixpoint(&rules, &mut instance, &mut stats, &mut null_counter, &mut null_depth);
+                self.fixpoint(
+                    &rules,
+                    &mut instance,
+                    &mut stats,
+                    &mut null_counter,
+                    &mut null_depth,
+                );
             }
         } else {
             let rules: Vec<&OptimizedRule> = self.optimized.rules.iter().collect();
-            self.fixpoint(&rules, &mut instance, &mut stats, &mut null_counter, &mut null_depth);
+            self.fixpoint(
+                &rules,
+                &mut instance,
+                &mut stats,
+                &mut null_counter,
+                &mut null_depth,
+            );
         }
 
         stats.peak_atoms = instance.len();
@@ -107,11 +119,7 @@ impl Reasoner {
     /// Materialises and evaluates a query in one call; the query runs
     /// through the sharded CQ kernel on [`EngineConfig::threads`] workers
     /// (answer sets are thread-count independent).
-    pub fn answers(
-        &self,
-        database: &Database,
-        query: &ConjunctiveQuery,
-    ) -> BTreeSet<Vec<Symbol>> {
+    pub fn answers(&self, database: &Database, query: &ConjunctiveQuery) -> BTreeSet<Vec<Symbol>> {
         query.evaluate_with_threads(&self.run(database).instance, self.config.threads)
     }
 
@@ -264,10 +272,8 @@ mod tests {
 
     #[test]
     fn transitive_closure_matches_expected_counts() {
-        let program = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let program =
+            parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
         let reasoner = Reasoner::new(&program, EngineConfig::default());
         let result = reasoner.run(&chain(5));
         // Closure of a 5-edge chain: 5+4+3+2+1 = 15 pairs.
@@ -277,10 +283,8 @@ mod tests {
 
     #[test]
     fn join_ordering_changes_probe_counts_but_not_answers() {
-        let program = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let program =
+            parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
         let database = chain(30);
         let query = parse_query("?(X, Y) :- t(X, Y).").unwrap();
 
@@ -318,7 +322,10 @@ mod tests {
                 ..EngineConfig::default()
             },
         );
-        assert_eq!(with.answers(&database, &query), without.answers(&database, &query));
+        assert_eq!(
+            with.answers(&database, &query),
+            without.answers(&database, &query)
+        );
     }
 
     #[test]

@@ -156,10 +156,8 @@ mod tests {
 
     #[test]
     fn pwl_aware_ordering_puts_the_recursive_atom_first() {
-        let program = parse_rules(
-            "t(X, Z) :- edge(X, Y), t(Y, Z).\n t(X, Y) :- edge(X, Y).",
-        )
-        .unwrap();
+        let program =
+            parse_rules("t(X, Z) :- edge(X, Y), t(Y, Z).\n t(X, Y) :- edge(X, Y).").unwrap();
         let optimized = optimize(&program, &EngineConfig::default());
         let rule0 = &optimized.rules[0];
         assert_eq!(rule0.rule.body[0].predicate.name(), "t");

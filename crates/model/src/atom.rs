@@ -203,11 +203,7 @@ mod tests {
         let vars = variables_of(&[a, b]);
         assert_eq!(
             vars,
-            vec![
-                Variable::new("X"),
-                Variable::new("Y"),
-                Variable::new("Z")
-            ]
+            vec![Variable::new("X"), Variable::new("Y"), Variable::new("Z")]
         );
     }
 

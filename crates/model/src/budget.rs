@@ -77,9 +77,9 @@ impl CancelCell {
             BudgetExceeded::RowLimit => STATE_ROW_LIMIT,
             BudgetExceeded::Cancelled => STATE_CANCELLED,
         };
-        let _ = self
-            .state
-            .compare_exchange(STATE_LIVE, state, Ordering::Relaxed, Ordering::Relaxed);
+        let _ =
+            self.state
+                .compare_exchange(STATE_LIVE, state, Ordering::Relaxed, Ordering::Relaxed);
     }
 
     /// The recorded cancellation reason, if the cell has been cancelled.

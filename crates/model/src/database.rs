@@ -614,8 +614,10 @@ impl KeyIndex {
         // adaptive per-key width, and the miss window restarts with it.
         self.filter.clear();
         if slots.len() >= FILTER_MIN_SLOTS {
-            let words =
-                (distinct * self.filter_bits_per_key).max(64).next_power_of_two() / 64;
+            let words = (distinct * self.filter_bits_per_key)
+                .max(64)
+                .next_power_of_two()
+                / 64;
             self.filter.resize(words, 0);
             for slot in slots.iter().filter(|s| s.len != 0) {
                 let (word, mask) = Self::filter_bit(words, slot.key);
@@ -641,8 +643,7 @@ impl KeyIndex {
                 std::collections::hash_map::Entry::Vacant(slot) => {
                     // Only a key new to the overflow can be new overall —
                     // the CSR probe is not worth running otherwise.
-                    let in_csr =
-                        !slots.is_empty() && slots[Self::slot_index(slots, key)].len != 0;
+                    let in_csr = !slots.is_empty() && slots[Self::slot_index(slots, key)].len != 0;
                     if !in_csr {
                         self.distinct += 1;
                     }
@@ -697,8 +698,10 @@ impl KeyIndex {
     /// overflow map untouched — at the current per-key provisioning, from
     /// the CSR keys plus the unmerged overflow keys.
     fn rebuild_filter(&mut self) {
-        let words =
-            (self.distinct * self.filter_bits_per_key).max(64).next_power_of_two() / 64;
+        let words = (self.distinct * self.filter_bits_per_key)
+            .max(64)
+            .next_power_of_two()
+            / 64;
         self.filter.clear();
         self.filter.resize(words, 0);
         for slot in self.slots.iter().filter(|s| s.len != 0) {
@@ -1271,7 +1274,11 @@ impl Instance {
 
     /// Inserts a fact given as a predicate and a term slice, without
     /// requiring a materialised [`Atom`]. Returns `true` if newly inserted.
-    pub fn insert_terms(&mut self, predicate: Predicate, terms: &[Term]) -> Result<bool, ModelError> {
+    pub fn insert_terms(
+        &mut self,
+        predicate: Predicate,
+        terms: &[Term],
+    ) -> Result<bool, ModelError> {
         let mut scratch = std::mem::take(&mut self.pack_scratch);
         let result = pack_row_into(predicate, terms, &mut scratch)
             .and_then(|()| self.insert_packed(predicate, &scratch));
@@ -1374,10 +1381,7 @@ impl Instance {
         position: usize,
         term: Term,
     ) -> impl Iterator<Item = Atom> + '_ {
-        let rel = self
-            .relations
-            .get(&p)
-            .filter(|rel| position < rel.arity());
+        let rel = self.relations.get(&p).filter(|rel| position < rel.arity());
         let atoms: Vec<Atom> = match (rel, PackedTerm::pack(term)) {
             (Some(rel), Some(key)) => rel.with_matching_rows(position, key, |ids| {
                 ids.iter().map(|id| rel.atom(id)).collect()
@@ -1488,7 +1492,8 @@ impl FromIterator<Atom> for Instance {
     fn from_iter<I: IntoIterator<Item = Atom>>(iter: I) -> Self {
         let mut inst = Instance::new();
         for a in iter {
-            inst.insert(a).expect("invalid atom while building instance");
+            inst.insert(a)
+                .expect("invalid atom while building instance");
         }
         inst
     }
@@ -1601,10 +1606,7 @@ mod tests {
     fn non_ground_facts_are_rejected() {
         let mut db = Database::new();
         let bad = Atom::new("edge", vec![Term::constant("a"), Term::variable("X")]);
-        assert!(matches!(
-            db.insert(bad),
-            Err(ModelError::NonGroundFact(_))
-        ));
+        assert!(matches!(db.insert(bad), Err(ModelError::NonGroundFact(_))));
     }
 
     #[test]
@@ -1628,7 +1630,10 @@ mod tests {
         assert_eq!(inst.len(), 1);
         assert_eq!(inst.nulls().len(), 1);
 
-        let bad = Atom::new("r", vec![Term::Var(Variable::new("X")), Term::constant("a")]);
+        let bad = Atom::new(
+            "r",
+            vec![Term::Var(Variable::new("X")), Term::constant("a")],
+        );
         assert!(inst.insert(bad).is_err());
     }
 
@@ -1683,8 +1688,14 @@ mod tests {
         inst.insert(Atom::fact("edge", &["a", "b"])).unwrap(); // duplicate
         let rel = inst.relation(Predicate::new("edge")).unwrap();
         assert_eq!(rel.len(), 2);
-        assert_eq!(rel.find_row(&[Term::constant("a"), Term::constant("b")]), Some(0));
-        assert_eq!(rel.find_row(&[Term::constant("b"), Term::constant("c")]), Some(1));
+        assert_eq!(
+            rel.find_row(&[Term::constant("a"), Term::constant("b")]),
+            Some(0)
+        );
+        assert_eq!(
+            rel.find_row(&[Term::constant("b"), Term::constant("c")]),
+            Some(1)
+        );
         assert_eq!(rel.atom(1), Atom::fact("edge", &["b", "c"]));
     }
 
@@ -1698,7 +1709,9 @@ mod tests {
         // itself must stay representable), so the last valid id is MAX - 1.
         assert_eq!(checked_row_id(u32::MAX as usize - 1, p), Ok(u32::MAX - 1));
         let err = checked_row_id(u32::MAX as usize, p).unwrap_err();
-        assert!(matches!(err, ModelError::CapacityExceeded { rows, .. } if rows == u32::MAX as usize));
+        assert!(
+            matches!(err, ModelError::CapacityExceeded { rows, .. } if rows == u32::MAX as usize)
+        );
         assert!(err.to_string().contains("big"));
     }
 
@@ -1722,7 +1735,10 @@ mod tests {
         assert_eq!(inst.insert_batch(p, 2, &rows).unwrap(), 1);
         assert_eq!(inst.len(), 2);
         let rel = inst.relation(p).unwrap();
-        assert_eq!(rel.find_row(&[Term::constant("b"), Term::constant("c")]), Some(1));
+        assert_eq!(
+            rel.find_row(&[Term::constant("b"), Term::constant("c")]),
+            Some(1)
+        );
     }
 
     #[test]
@@ -1801,7 +1817,10 @@ mod tests {
     fn colsets_canonicalise_and_fuse_losslessly() {
         assert_eq!(ColSet::new(&[2, 0]), ColSet::new(&[0, 2]));
         assert_eq!(ColSet::single(1).len(), 1);
-        assert_eq!(ColSet::new(&[2, 0, 1]).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            ColSet::new(&[2, 0, 1]).iter().collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         // Two-column fusion is injective: distinct pairs → distinct keys,
         // and order matters (fuse(a,b) ≠ fuse(b,a) for a ≠ b).
         let a = pk(Term::constant("fuse_a"));
@@ -1818,7 +1837,10 @@ mod tests {
         for i in 0..n {
             inst.insert(Atom::fact(
                 "edge",
-                &[format!("s{}", i % spread).as_str(), format!("o{i}").as_str()],
+                &[
+                    format!("s{}", i % spread).as_str(),
+                    format!("o{i}").as_str(),
+                ],
             ))
             .unwrap();
         }
@@ -1828,18 +1850,22 @@ mod tests {
     #[test]
     fn composite_probes_return_exactly_the_fused_matches() {
         let mut inst = Instance::new();
-        for (a, b, c) in [("x", "y", "1"), ("x", "y", "2"), ("x", "z", "3"), ("w", "y", "4")] {
+        for (a, b, c) in [
+            ("x", "y", "1"),
+            ("x", "y", "2"),
+            ("x", "z", "3"),
+            ("w", "y", "4"),
+        ] {
             inst.insert(Atom::fact("r", &[a, b, c])).unwrap();
         }
         let rel = inst.relation(Predicate::new("r")).unwrap();
         let cols = ColSet::new(&[0, 1]);
         let key = fuse_key(&[pk(Term::constant("x")), pk(Term::constant("y"))]);
-        let rows: Vec<RowId> =
-            rel.with_key_matching_rows(cols, key, |c| c.iter().collect());
+        let rows: Vec<RowId> = rel.with_key_matching_rows(cols, key, |c| c.iter().collect());
         assert_eq!(rows, vec![0, 1]);
         assert_eq!(rel.key_matching_count(cols, key), 2);
         assert_eq!(rel.key_distinct_count(cols), 3); // (x,y), (x,z), (w,y)
-        // Absent composite keys probe empty.
+                                                     // Absent composite keys probe empty.
         let miss = fuse_key(&[pk(Term::constant("w")), pk(Term::constant("z"))]);
         assert_eq!(rel.key_matching_count(cols, miss), 0);
         // A 3-column set is exact on this data too (the fold is verified by
@@ -1850,8 +1876,7 @@ mod tests {
             pk(Term::constant("y")),
             pk(Term::constant("2")),
         ]);
-        let rows3: Vec<RowId> =
-            rel.with_key_matching_rows(cols3, key3, |c| c.iter().collect());
+        let rows3: Vec<RowId> = rel.with_key_matching_rows(cols3, key3, |c| c.iter().collect());
         assert_eq!(rows3, vec![1]);
         assert_eq!(rel.key_distinct_count(cols3), 4);
     }
@@ -1863,7 +1888,9 @@ mod tests {
         let cols = ColSet::new(&[0, 1]);
         let key = fuse_key(&[pk(Term::constant("a")), pk(Term::constant("b"))]);
         assert_eq!(
-            inst.relation(Predicate::new("r")).unwrap().key_matching_count(cols, key),
+            inst.relation(Predicate::new("r"))
+                .unwrap()
+                .key_matching_count(cols, key),
             1
         );
         // Appends after the first probe extend the index (overflow path).
@@ -1871,7 +1898,11 @@ mod tests {
         let rel = inst.relation(Predicate::new("r")).unwrap();
         assert_eq!(rel.key_matching_count(cols, key), 2);
         let rows: Vec<RowId> = rel.with_key_matching_rows(cols, key, |c| c.iter().collect());
-        assert_eq!(rows, vec![0, 1], "candidates stay ascending across CSR + overflow");
+        assert_eq!(
+            rows,
+            vec![0, 1],
+            "candidates stay ascending across CSR + overflow"
+        );
     }
 
     #[test]
@@ -1885,7 +1916,10 @@ mod tests {
         for i in 0..400 {
             inst.insert(Atom::fact(
                 "edge",
-                &[format!("s{}", i % spread).as_str(), format!("o{i}").as_str()],
+                &[
+                    format!("s{}", i % spread).as_str(),
+                    format!("o{i}").as_str(),
+                ],
             ))
             .unwrap();
             if i % 13 == 0 {
@@ -1896,8 +1930,7 @@ mod tests {
                     let expected: Vec<RowId> = (0..=i as RowId)
                         .filter(|&r| r as usize % spread == s)
                         .collect();
-                    let got: Vec<RowId> =
-                        rel.with_matching_rows(0, key, |c| c.iter().collect());
+                    let got: Vec<RowId> = rel.with_matching_rows(0, key, |c| c.iter().collect());
                     assert_eq!(got, expected, "column 0 = s{s} after {i} inserts");
                 }
                 assert_eq!(rel.distinct_count(0), spread.min(i + 1));
@@ -1961,7 +1994,12 @@ mod tests {
     fn adaptive_filter_grows_when_the_measured_fp_rate_degrades() {
         // 2500 distinct keys → the slot table crosses the filter size gate.
         let mut inst = spread_relation(5000, 2500);
-        assert_eq!(inst.relation(Predicate::new("edge")).unwrap().distinct_count(0), 2500);
+        assert_eq!(
+            inst.relation(Predicate::new("edge"))
+                .unwrap()
+                .distinct_count(0),
+            2500
+        );
         let (words_before, bits_before) = filter_shape(&inst);
         assert!(words_before > 0, "large index carries a filter");
         assert_eq!(bits_before, FILTER_BITS_PER_KEY);
@@ -1990,13 +2028,21 @@ mod tests {
             assert_eq!(len, 0);
             filtered += usize::from(skipped);
         }
-        assert!(filtered > 150, "only {filtered}/200 misses were filtered after the resize");
+        assert!(
+            filtered > 150,
+            "only {filtered}/200 misses were filtered after the resize"
+        );
     }
 
     #[test]
     fn adaptive_filter_leaves_healthy_windows_alone() {
         let mut inst = spread_relation(5000, 2500);
-        assert_eq!(inst.relation(Predicate::new("edge")).unwrap().distinct_count(0), 2500);
+        assert_eq!(
+            inst.relation(Predicate::new("edge"))
+                .unwrap()
+                .distinct_count(0),
+            2500
+        );
         let before = filter_shape(&inst);
 
         // A healthy window: rate 1/20, under the 2/16 trigger — consumed
@@ -2019,7 +2065,8 @@ mod tests {
         // Too small a window (even at a terrible rate): no decision at all,
         // the evidence keeps accumulating.
         plant_filter_window(&mut inst, 8, 8);
-        inst.insert(Atom::fact("edge", &["s0", "tiny_window"])).unwrap();
+        inst.insert(Atom::fact("edge", &["s0", "tiny_window"]))
+            .unwrap();
         let rel = inst.relation(Predicate::new("edge")).unwrap();
         assert_eq!(rel.matching_count(0, Term::constant("s0")), 4);
         assert_eq!(filter_shape(&inst), before);
@@ -2035,7 +2082,12 @@ mod tests {
     #[test]
     fn adaptive_filter_growth_is_capped() {
         let mut inst = spread_relation(5000, 2500);
-        assert_eq!(inst.relation(Predicate::new("edge")).unwrap().distinct_count(0), 2500);
+        assert_eq!(
+            inst.relation(Predicate::new("edge"))
+                .unwrap()
+                .distinct_count(0),
+            2500
+        );
         {
             let rel = inst.relations.get_mut(&Predicate::new("edge")).unwrap();
             let mut index = rel.columns[0].write().unwrap();
@@ -2047,7 +2099,11 @@ mod tests {
         inst.insert(Atom::fact("edge", &["s0", "capped"])).unwrap();
         let rel = inst.relation(Predicate::new("edge")).unwrap();
         assert_eq!(rel.matching_count(0, Term::constant("s0")), 3);
-        assert_eq!(filter_shape(&inst), before, "provisioning never grows past the cap");
+        assert_eq!(
+            filter_shape(&inst),
+            before,
+            "provisioning never grows past the cap"
+        );
     }
 
     #[test]
@@ -2098,7 +2154,9 @@ mod tests {
         for i in 0..300 {
             let row = [Term::constant(&format!("v{i}"))];
             assert_eq!(inst.relation(p).unwrap().find_row(&row), Some(i as RowId));
-            assert!(!inst.insert(Atom::fact("n", &[format!("v{i}").as_str()])).unwrap());
+            assert!(!inst
+                .insert(Atom::fact("n", &[format!("v{i}").as_str()]))
+                .unwrap());
         }
         assert_eq!(inst.len(), 300);
     }
@@ -2111,7 +2169,10 @@ mod tests {
         let rel = inst.relation(Predicate::new("edge")).unwrap();
         rel.distinct_count(0);
         rel.key_distinct_count(ColSet::new(&[0, 1]));
-        assert!(inst.index_bytes() > before, "built indexes must be accounted");
+        assert!(
+            inst.index_bytes() > before,
+            "built indexes must be accounted"
+        );
     }
 
     #[test]

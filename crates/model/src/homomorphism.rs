@@ -192,9 +192,9 @@ impl JoinSpec {
                         });
                         ArgSpec::Slot(slot as u32)
                     }
-                    rigid => ArgSpec::Rigid(
-                        PackedTerm::pack(rigid).unwrap_or(PackedTerm::UNMATCHABLE),
-                    ),
+                    rigid => {
+                        ArgSpec::Rigid(PackedTerm::pack(rigid).unwrap_or(PackedTerm::UNMATCHABLE))
+                    }
                 })
                 .collect();
             compiled.push(CompiledAtom {
@@ -1053,7 +1053,9 @@ where
 {
     for id in candidates {
         ctx.stats.probes += 1;
-        if ctx.stats.probes.is_multiple_of(BUDGET_POLL_INTERVAL) && ctx.budget.is_some_and(|b| b.poll()) {
+        if ctx.stats.probes.is_multiple_of(BUDGET_POLL_INTERVAL)
+            && ctx.budget.is_some_and(|b| b.poll())
+        {
             return ControlFlow::Break(());
         }
         let mark = ctx.trail.len();
@@ -1108,8 +1110,24 @@ where
                 if ids.skipped_by_filter() {
                     ctx.stats.misses_filtered += 1;
                 }
-                try_candidates_planned(ctx, plan, step, atom, rel, ids.merged().iter().copied(), f)?;
-                try_candidates_planned(ctx, plan, step, atom, rel, ids.appended().iter().copied(), f)
+                try_candidates_planned(
+                    ctx,
+                    plan,
+                    step,
+                    atom,
+                    rel,
+                    ids.merged().iter().copied(),
+                    f,
+                )?;
+                try_candidates_planned(
+                    ctx,
+                    plan,
+                    step,
+                    atom,
+                    rel,
+                    ids.appended().iter().copied(),
+                    f,
+                )
             })
         }
         PlanProbe::Composite { cols } => {
@@ -1130,8 +1148,24 @@ where
                 if ids.skipped_by_filter() {
                     ctx.stats.misses_filtered += 1;
                 }
-                try_candidates_planned(ctx, plan, step, atom, rel, ids.merged().iter().copied(), f)?;
-                try_candidates_planned(ctx, plan, step, atom, rel, ids.appended().iter().copied(), f)
+                try_candidates_planned(
+                    ctx,
+                    plan,
+                    step,
+                    atom,
+                    rel,
+                    ids.merged().iter().copied(),
+                    f,
+                )?;
+                try_candidates_planned(
+                    ctx,
+                    plan,
+                    step,
+                    atom,
+                    rel,
+                    ids.appended().iter().copied(),
+                    f,
+                )
             })
         }
         PlanProbe::Scan => {
@@ -1157,7 +1191,9 @@ where
 {
     for id in candidates {
         ctx.stats.probes += 1;
-        if ctx.stats.probes.is_multiple_of(BUDGET_POLL_INTERVAL) && ctx.budget.is_some_and(|b| b.poll()) {
+        if ctx.stats.probes.is_multiple_of(BUDGET_POLL_INTERVAL)
+            && ctx.budget.is_some_and(|b| b.poll())
+        {
             return ControlFlow::Break(());
         }
         let mark = ctx.trail.len();
@@ -1252,7 +1288,13 @@ pub mod reference {
         }
         let mut remaining: Vec<&Atom> = atoms.iter().collect();
         let mut current = seed.clone();
-        search(&mut remaining, target, &mut current, &mut results, options.limit);
+        search(
+            &mut remaining,
+            target,
+            &mut current,
+            &mut results,
+            options.limit,
+        );
         results
     }
 
@@ -1290,15 +1332,13 @@ pub mod reference {
 
         // Use the position index on the first bound argument, otherwise scan
         // the whole relation.
-        let candidates: Vec<Atom> = match partial
-            .terms
-            .iter()
-            .enumerate()
-            .find(|(_, t)| !t.is_var())
-        {
-            Some((pos, term)) => target.atoms_matching(partial.predicate, pos, *term).collect(),
-            None => target.atoms_with_predicate(partial.predicate).collect(),
-        };
+        let candidates: Vec<Atom> =
+            match partial.terms.iter().enumerate().find(|(_, t)| !t.is_var()) {
+                Some((pos, term)) => target
+                    .atoms_matching(partial.predicate, pos, *term)
+                    .collect(),
+                None => target.atoms_with_predicate(partial.predicate).collect(),
+            };
 
         'candidates: for candidate in candidates {
             if candidate.arity() != partial.arity() {
@@ -1393,15 +1433,9 @@ mod tests {
         seed.bind_var(Variable::new("X"), Term::constant("b"));
         let hs = homomorphisms(&pattern, &db, &seed, HomSearch::all());
         assert_eq!(hs.len(), 1);
-        assert_eq!(
-            hs[0].get_var(Variable::new("Y")),
-            Some(Term::constant("c"))
-        );
+        assert_eq!(hs[0].get_var(Variable::new("Y")), Some(Term::constant("c")));
         // The seed's own bindings are part of the result.
-        assert_eq!(
-            hs[0].get_var(Variable::new("X")),
-            Some(Term::constant("b"))
-        );
+        assert_eq!(hs[0].get_var(Variable::new("X")), Some(Term::constant("b")));
     }
 
     #[test]
@@ -1424,10 +1458,7 @@ mod tests {
         let pattern = vec![Atom::new("r", vec![var("X"), var("X")])];
         let hs = homomorphisms(&pattern, &inst, &Substitution::new(), HomSearch::all());
         assert_eq!(hs.len(), 1);
-        assert_eq!(
-            hs[0].get_var(Variable::new("X")),
-            Some(Term::constant("a"))
-        );
+        assert_eq!(hs[0].get_var(Variable::new("X")), Some(Term::constant("a")));
     }
 
     #[test]
@@ -1557,7 +1588,8 @@ mod tests {
         // with r(c, _); the kernel must pick column 1 (one candidate).
         let mut db = Database::new();
         for i in 0..50 {
-            db.insert(Atom::fact("r", &["c", &format!("v{i}")])).unwrap();
+            db.insert(Atom::fact("r", &["c", &format!("v{i}")]))
+                .unwrap();
         }
         let inst = db.into_instance();
         let pattern = vec![Atom::new(
@@ -1568,7 +1600,10 @@ mod tests {
         let mut matcher = Matcher::new(&spec);
         let stats = matcher.for_each(&inst, |_| ControlFlow::Continue(()));
         assert_eq!(stats.matches, 1);
-        assert_eq!(stats.probes, 1, "most selective index position must be used");
+        assert_eq!(
+            stats.probes, 1,
+            "most selective index position must be used"
+        );
     }
 
     #[test]
@@ -1638,7 +1673,10 @@ mod tests {
         ];
         let spec = JoinSpec::compile(&pattern);
         let plan = spec.plan(&db, &[]);
-        assert!(plan.prefers_streaming(), "cross product has no good static order");
+        assert!(
+            plan.prefers_streaming(),
+            "cross product has no good static order"
+        );
         // Setting the plan anyway must not change the (cartesian) match set.
         let mut matcher = Matcher::new(&spec);
         matcher.set_plan(Some(&plan));
@@ -1665,8 +1703,11 @@ mod tests {
             }
         }
         for i in 0..20 {
-            db.insert(Atom::fact("e", &[&format!("x{}", i % 10), &format!("y{}", (i * 3) % 10)]))
-                .unwrap();
+            db.insert(Atom::fact(
+                "e",
+                &[&format!("x{}", i % 10), &format!("y{}", (i * 3) % 10)],
+            ))
+            .unwrap();
         }
         let inst = db.into_instance();
         // e(X, Y) drives (the smallest relation scans first); r(X, Y, Z)
@@ -1697,7 +1738,13 @@ mod tests {
             "two bound columns must plan a composite probe"
         );
         // The single-column plan on the same data answers identically.
-        let single = spec.plan_with_options(&inst, &[], PlanOptions { composite_keys: false });
+        let single = spec.plan_with_options(
+            &inst,
+            &[],
+            PlanOptions {
+                composite_keys: false,
+            },
+        );
         let (single_answers, single_stats) = run_with(Some(&single));
         assert_eq!(single_answers, composite_answers);
         assert_eq!(single_stats.composite_probes, 0);
@@ -1775,8 +1822,16 @@ mod tests {
         assert_eq!(
             unpacked,
             vec![
-                vec![Term::constant("a"), Term::constant("c"), Term::constant("tag")],
-                vec![Term::constant("b"), Term::constant("d"), Term::constant("tag")],
+                vec![
+                    Term::constant("a"),
+                    Term::constant("c"),
+                    Term::constant("tag")
+                ],
+                vec![
+                    Term::constant("b"),
+                    Term::constant("d"),
+                    Term::constant("tag")
+                ],
             ]
         );
     }
@@ -1793,11 +1848,15 @@ mod tests {
                 .iter()
                 .map(|h| h.to_string())
                 .collect();
-        let mut naive: Vec<String> =
-            reference::homomorphisms_reference(&pattern, &db, &Substitution::new(), HomSearch::all())
-                .iter()
-                .map(|h| h.to_string())
-                .collect();
+        let mut naive: Vec<String> = reference::homomorphisms_reference(
+            &pattern,
+            &db,
+            &Substitution::new(),
+            HomSearch::all(),
+        )
+        .iter()
+        .map(|h| h.to_string())
+        .collect();
         kernel.sort();
         naive.sort();
         assert_eq!(kernel, naive);

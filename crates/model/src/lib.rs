@@ -46,8 +46,8 @@ pub use budget::{BudgetExceeded, CancelCell, KernelBudget, QueryBudget, BUDGET_P
 pub use database::{fuse_key, Candidates, ColSet, Database, Instance, Relation, RowId};
 pub use error::ModelError;
 pub use homomorphism::{
-    exists_homomorphism, find_homomorphism, homomorphisms, Bindings, HomSearch, JoinPlan,
-    JoinSpec, JoinStats, Matcher, PlanOptions, RowTemplate, PREMATCHED_ROW,
+    exists_homomorphism, find_homomorphism, homomorphisms, Bindings, HomSearch, JoinPlan, JoinSpec,
+    JoinStats, Matcher, PlanOptions, RowTemplate, PREMATCHED_ROW,
 };
 pub use parallel::{DerivationBatch, MergeScratch, DELTA_SHARDS};
 pub use program::Program;
@@ -56,5 +56,5 @@ pub use snapshot::{InstanceSnapshot, SnapshotCell};
 pub use substitution::Substitution;
 pub use symbols::Symbol;
 pub use term::{NullId, PackedTerm, Term, Variable};
-pub use tgd::Tgd;
+pub use tgd::{display_variables, AtomSpan, RulePart, Tgd};
 pub use unify::{mgu_atom_with_atom, unify_all_with};

@@ -527,16 +527,21 @@ mod tests {
         .unwrap();
         assert_eq!(inserted, 2);
         let rel = inst.relation(p).unwrap();
-        assert_eq!(rel.find_row(&[Term::constant("a"), Term::constant("b")]), Some(0));
-        assert_eq!(rel.find_row(&[Term::constant("c"), Term::constant("d")]), Some(1));
+        assert_eq!(
+            rel.find_row(&[Term::constant("a"), Term::constant("b")]),
+            Some(0)
+        );
+        assert_eq!(
+            rel.find_row(&[Term::constant("c"), Term::constant("d")]),
+            Some(1)
+        );
     }
 
     #[test]
     fn merge_handles_zero_ary_heads() {
         let p = Predicate::new("goal");
         let mut inst = Instance::new();
-        let inserted =
-            merge_derivations(&mut inst, [DerivationBatch::new(p, 0)]).unwrap();
+        let inserted = merge_derivations(&mut inst, [DerivationBatch::new(p, 0)]).unwrap();
         assert_eq!(inserted, 0);
         let mut hit = DerivationBatch::new(p, 0);
         hit.matches = 3;
@@ -566,12 +571,18 @@ mod tests {
         };
         assert_eq!(batch.prededup_against(&inst), 2);
         assert_eq!(batch.rows, vec![pk("x"), pk("y"), pk("x"), pk("y")]);
-        assert_eq!(batch.matches, 4, "pre-dedup never touches the match counter");
+        assert_eq!(
+            batch.matches, 4,
+            "pre-dedup never touches the match counter"
+        );
         // Merging the filtered batch assigns the same ids a full merge would.
         let inserted = merge_derivations(&mut inst, [batch]).unwrap();
         assert_eq!(inserted, 1);
         let rel = inst.relation(Predicate::new("out")).unwrap();
-        assert_eq!(rel.find_row(&[Term::constant("x"), Term::constant("y")]), Some(2));
+        assert_eq!(
+            rel.find_row(&[Term::constant("x"), Term::constant("y")]),
+            Some(2)
+        );
     }
 
     #[test]
@@ -636,7 +647,10 @@ mod tests {
         let sequential = sharded_query_answers(&spec, &output, &inst, 1);
         assert_eq!(sequential.len(), 24); // 2-hop pairs on a 25-edge chain
         for threads in [2, 4, 8] {
-            assert_eq!(sharded_query_answers(&spec, &output, &inst, threads), sequential);
+            assert_eq!(
+                sharded_query_answers(&spec, &output, &inst, threads),
+                sequential
+            );
         }
     }
 
@@ -683,8 +697,7 @@ mod tests {
             max_rows: None,
         };
         for threads in [1, 4] {
-            let result =
-                sharded_query_answers_budgeted(&spec, &output, &inst, threads, &expired);
+            let result = sharded_query_answers_budgeted(&spec, &output, &inst, threads, &expired);
             assert_eq!(result, Err(BudgetExceeded::Deadline));
         }
     }
@@ -701,15 +714,20 @@ mod tests {
         ];
         let spec = JoinSpec::compile(&pattern);
         let output = [Variable::new("X"), Variable::new("Z")];
-        let capped = QueryBudget { timeout: None, max_rows: Some(10) };
+        let capped = QueryBudget {
+            timeout: None,
+            max_rows: Some(10),
+        };
         for threads in [1, 4] {
-            let result =
-                sharded_query_answers_budgeted(&spec, &output, &inst, threads, &capped);
+            let result = sharded_query_answers_budgeted(&spec, &output, &inst, threads, &capped);
             assert_eq!(result, Err(BudgetExceeded::RowLimit));
         }
         // The full answer set (1600 tuples) fits under a cap of 1600 on the
         // exact single-shard path.
-        let exact = QueryBudget { timeout: None, max_rows: Some(1600) };
+        let exact = QueryBudget {
+            timeout: None,
+            max_rows: Some(1600),
+        };
         let full = sharded_query_answers_budgeted(&spec, &output, &inst, 1, &exact).unwrap();
         assert_eq!(full.len(), 1600);
     }

@@ -145,15 +145,12 @@ impl Parser {
     }
 
     fn error_at(&self, message: impl Into<String>) -> ModelError {
-        let (line, column) = self
-            .peek()
-            .map(|t| (t.line, t.column))
-            .unwrap_or_else(|| {
-                self.tokens
-                    .last()
-                    .map(|t| (t.line, t.column))
-                    .unwrap_or((1, 1))
-            });
+        let (line, column) = self.peek().map(|t| (t.line, t.column)).unwrap_or_else(|| {
+            self.tokens
+                .last()
+                .map(|t| (t.line, t.column))
+                .unwrap_or((1, 1))
+        });
         ModelError::Parse {
             line,
             column,
@@ -573,7 +570,10 @@ mod tests {
         let tgd = &parsed.program.tgds()[0];
         // The `_` must not equal any named variable and appears only once.
         let vars = tgd.body_variables();
-        let anon: Vec<_> = vars.iter().filter(|v| v.name().starts_with("_Anon")).collect();
+        let anon: Vec<_> = vars
+            .iter()
+            .filter(|v| v.name().starts_with("_Anon"))
+            .collect();
         assert_eq!(anon.len(), 1);
     }
 
@@ -582,7 +582,10 @@ mod tests {
         let src = r#"label(n1, "Hello world"). count(n1, 42)."#;
         let parsed = parse(src).unwrap();
         assert_eq!(parsed.database.len(), 2);
-        assert!(parsed.database.domain().contains(&Symbol::new("Hello world")));
+        assert!(parsed
+            .database
+            .domain()
+            .contains(&Symbol::new("Hello world")));
         assert!(parsed.database.domain().contains(&Symbol::new("42")));
     }
 
@@ -606,7 +609,13 @@ mod tests {
         let rendered: Vec<String> = facts.iter().map(|f| f.to_string()).collect();
         assert_eq!(
             rendered,
-            vec!["edge(a, b)", "node(c)", "edge(b, c)", "label(c, x.y)", "edge(a, b)"]
+            vec![
+                "edge(a, b)",
+                "node(c)",
+                "edge(b, c)",
+                "label(c, x.y)",
+                "edge(a, b)"
+            ]
         );
         // Rules and non-ground atoms are rejected with a useful error.
         assert!(parse_fact_list("t(X, Y) :- edge(X, Y).").is_err());

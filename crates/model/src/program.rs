@@ -80,17 +80,17 @@ impl Program {
 
     /// The intensional predicates: those occurring in the head of some TGD.
     pub fn intensional_predicates(&self) -> BTreeSet<Predicate> {
-        self.tgds
-            .iter()
-            .flat_map(|t| t.head_predicates())
-            .collect()
+        self.tgds.iter().flat_map(|t| t.head_predicates()).collect()
     }
 
     /// The extensional (database) predicates `edb(Σ)`: schema predicates that
     /// never occur in a head.
     pub fn extensional_predicates(&self) -> BTreeSet<Predicate> {
         let idb = self.intensional_predicates();
-        self.schema().into_iter().filter(|p| !idb.contains(p)).collect()
+        self.schema()
+            .into_iter()
+            .filter(|p| !idb.contains(p))
+            .collect()
     }
 
     /// `true` iff every TGD is a Datalog rule (full, single head atom).

@@ -288,11 +288,8 @@ mod tests {
             vec![Term::constant("a"), Term::Null(NullId(0))],
         ))
         .unwrap();
-        let q = ConjunctiveQuery::new(
-            vec![v("Y")],
-            vec![Atom::new("r", vec![var("X"), var("Y")])],
-        )
-        .unwrap();
+        let q = ConjunctiveQuery::new(vec![v("Y")], vec![Atom::new("r", vec![var("X"), var("Y")])])
+            .unwrap();
         assert!(q.evaluate(&inst).is_empty());
         // But the Boolean projection of the same query holds.
         let b = ConjunctiveQuery::boolean(vec![Atom::new("r", vec![var("X"), var("Y")])]).unwrap();
@@ -309,7 +306,9 @@ mod tests {
         let frozen = q.instantiate(&[Symbol::new("a")]).unwrap();
         assert!(frozen.is_boolean());
         assert_eq!(frozen.atoms[0].to_string(), "edge(a, Y)");
-        assert!(q.instantiate(&[Symbol::new("a"), Symbol::new("b")]).is_none());
+        assert!(q
+            .instantiate(&[Symbol::new("a"), Symbol::new("b")])
+            .is_none());
     }
 
     #[test]

@@ -182,7 +182,11 @@ mod tests {
         s.bind_var(v("X"), Term::constant("a"));
         let atom = Atom::new(
             "r",
-            vec![Term::variable("X"), Term::variable("Y"), Term::constant("c")],
+            vec![
+                Term::variable("X"),
+                Term::variable("Y"),
+                Term::constant("c"),
+            ],
         );
         let applied = s.apply_atom(&atom);
         assert_eq!(applied.to_string(), "r(a, Y, c)");

@@ -226,7 +226,8 @@ impl PackedTerm {
 
     /// The constant inside this packed term, if any.
     pub fn as_const(self) -> Option<Symbol> {
-        self.is_const().then(|| Symbol::from_raw(self.0 & PACK_PAYLOAD_MASK))
+        self.is_const()
+            .then(|| Symbol::from_raw(self.0 & PACK_PAYLOAD_MASK))
     }
 
     /// `true` iff this packed term encodes a labelled null.
@@ -336,14 +337,13 @@ mod tests {
             Term::Null(NullId(1)),
             Term::constant("pk_ord_a"),
         ];
-        let mut packed: Vec<PackedTerm> =
-            terms.iter().map(|&t| PackedTerm::pack(t).unwrap()).collect();
+        let mut packed: Vec<PackedTerm> = terms
+            .iter()
+            .map(|&t| PackedTerm::pack(t).unwrap())
+            .collect();
         terms.sort();
         packed.sort();
-        assert_eq!(
-            packed.iter().map(|p| p.unpack()).collect::<Vec<_>>(),
-            terms
-        );
+        assert_eq!(packed.iter().map(|p| p.unpack()).collect::<Vec<_>>(), terms);
     }
 
     #[test]

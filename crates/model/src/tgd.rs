@@ -150,6 +150,92 @@ impl fmt::Display for Tgd {
     }
 }
 
+/// Which side of a rule an [`AtomSpan`] points into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RulePart {
+    /// The body φ of the TGD.
+    Body,
+    /// The head ψ of the TGD.
+    Head,
+}
+
+/// A (part, atom-index) coordinate into one rule, used by diagnostics to
+/// point at the offending atom. Renders as `body[2]` / `head[0]` and parses
+/// back from that form, so spans survive a trip over the line protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AtomSpan {
+    /// Body or head.
+    pub part: RulePart,
+    /// Index of the atom within that part.
+    pub index: usize,
+}
+
+impl AtomSpan {
+    /// A span into the body.
+    pub fn body(index: usize) -> AtomSpan {
+        AtomSpan {
+            part: RulePart::Body,
+            index,
+        }
+    }
+
+    /// A span into the head.
+    pub fn head(index: usize) -> AtomSpan {
+        AtomSpan {
+            part: RulePart::Head,
+            index,
+        }
+    }
+}
+
+impl fmt::Display for AtomSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let part = match self.part {
+            RulePart::Body => "body",
+            RulePart::Head => "head",
+        };
+        write!(f, "{part}[{}]", self.index)
+    }
+}
+
+impl std::str::FromStr for AtomSpan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<AtomSpan, String> {
+        let (part, rest) = if let Some(rest) = s.strip_prefix("body[") {
+            (RulePart::Body, rest)
+        } else if let Some(rest) = s.strip_prefix("head[") {
+            (RulePart::Head, rest)
+        } else {
+            return Err(format!("bad atom span `{s}`"));
+        };
+        let index = rest
+            .strip_suffix(']')
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("bad atom span `{s}`"))?;
+        Ok(AtomSpan { part, index })
+    }
+}
+
+impl Tgd {
+    /// The atom a span points at, if the span is in range.
+    pub fn atom_at(&self, span: AtomSpan) -> Option<&Atom> {
+        match span.part {
+            RulePart::Body => self.body.get(span.index),
+            RulePart::Head => self.head.get(span.index),
+        }
+    }
+}
+
+/// Renders a list of variables as source names (`Y, Z`) — diagnostics must
+/// never leak the interner's debug representation. Names are sorted, so the
+/// rendering does not depend on interner state.
+pub fn display_variables<'a>(vars: impl IntoIterator<Item = &'a Variable>) -> String {
+    let mut names: Vec<&str> = vars.into_iter().map(|v| v.name()).collect();
+    names.sort_unstable();
+    names.join(", ")
+}
+
 impl fmt::Debug for Tgd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Display::fmt(self, f)

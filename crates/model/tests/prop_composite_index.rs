@@ -16,8 +16,8 @@ use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 use vadalog_model::homomorphism::reference::homomorphisms_reference;
 use vadalog_model::{
-    fuse_key, Atom, ColSet, Database, HomSearch, Instance, JoinPlan, JoinSpec, Matcher,
-    PackedTerm, PlanOptions, Predicate, RowId, Substitution, Term,
+    fuse_key, Atom, ColSet, Database, HomSearch, Instance, JoinPlan, JoinSpec, Matcher, PackedTerm,
+    PlanOptions, Predicate, RowId, Substitution, Term,
 };
 
 const CASES: usize = 200;
@@ -112,7 +112,10 @@ fn composite_single_column_streaming_and_reference_agree() {
             run_plan(&spec, Some(&single_plan), &inst);
         let (stream_answers, stream_rows, stream_matches, _) = run_plan(&spec, None, &inst);
         composite_probes_total += comp_probes;
-        assert_eq!(single_probes, 0, "case {case}: single-column plans never fuse");
+        assert_eq!(
+            single_probes, 0,
+            "case {case}: single-column plans never fuse"
+        );
 
         assert_eq!(comp_answers, single_answers, "case {case}: {pattern:?}");
         assert_eq!(comp_answers, stream_answers, "case {case}: {pattern:?}");
@@ -124,7 +127,11 @@ fn composite_single_column_streaming_and_reference_agree() {
         let oracle =
             homomorphisms_reference(&pattern, &inst, &Substitution::new(), HomSearch::all());
         assert_eq!(comp_answers, canon(&oracle), "case {case} vs oracle");
-        assert_eq!(comp_matches as usize, oracle.len(), "case {case} count vs oracle");
+        assert_eq!(
+            comp_matches as usize,
+            oracle.len(),
+            "case {case} count vs oracle"
+        );
     }
     assert!(
         composite_probes_total > 0,
@@ -224,8 +231,10 @@ fn fingerprint_filters_are_transparent_to_probe_results() {
                 let pa = PackedTerm::pack(Term::constant(&format!("fa{a}"))).unwrap();
                 let pb = PackedTerm::pack(Term::constant(&format!("fb{b}"))).unwrap();
                 let key = fuse_key(&[pa, pb]);
-                let (indexed, skipped): (Vec<RowId>, bool) = rel
-                    .with_key_matching_rows(cols, key, |c| (c.iter().collect(), c.skipped_by_filter()));
+                let (indexed, skipped): (Vec<RowId>, bool) =
+                    rel.with_key_matching_rows(cols, key, |c| {
+                        (c.iter().collect(), c.skipped_by_filter())
+                    });
                 filtered += usize::from(skipped);
                 let expected = oracle.get(&(pa, pb)).cloned().unwrap_or_default();
                 assert_eq!(indexed, expected, "pair (fa{a}, fb{b})");
@@ -233,7 +242,10 @@ fn fingerprint_filters_are_transparent_to_probe_results() {
         }
         // 140×60 probes cover 6000 present pairs and 2400 absent ones; the
         // absent ones must be mostly filter-skipped (the filter exists).
-        assert!(filtered > 1500, "only {filtered} probes were filter-skipped");
+        assert!(
+            filtered > 1500,
+            "only {filtered} probes were filter-skipped"
+        );
     }
 
     // Phase 2: randomized small instances (below the filter gate — the
@@ -255,10 +267,7 @@ fn fingerprint_filters_are_transparent_to_probe_results() {
                 let v0 = Term::constant(["a", "b", "c", "d", "e", "zz"][rng.gen_range(0..6usize)]);
                 let v1 = Term::constant(["a", "b", "c", "d", "e", "zz"][rng.gen_range(0..6usize)]);
                 let (lo, hi) = if c0 < c1 { (v0, v1) } else { (v1, v0) };
-                let key = fuse_key(&[
-                    PackedTerm::pack(lo).unwrap(),
-                    PackedTerm::pack(hi).unwrap(),
-                ]);
+                let key = fuse_key(&[PackedTerm::pack(lo).unwrap(), PackedTerm::pack(hi).unwrap()]);
                 let indexed: Vec<RowId> =
                     rel.with_key_matching_rows(cols, key, |c| c.iter().collect());
                 let scanned: Vec<RowId> = (0..rel.row_count())
@@ -291,9 +300,7 @@ fn csr_stays_exact_through_append_probe_interleavings() {
                 let atom = Atom::new(
                     "q",
                     (0..4)
-                        .map(|_| {
-                            Term::constant(["a", "b", "c", "d"][rng.gen_range(0..4usize)])
-                        })
+                        .map(|_| Term::constant(["a", "b", "c", "d"][rng.gen_range(0..4usize)]))
                         .collect(),
                 );
                 inst.insert(atom).unwrap();
@@ -326,7 +333,11 @@ fn csr_stays_exact_through_append_probe_interleavings() {
                 single.insert(rel.row(id)[0]);
                 pairs.insert((rel.row(id)[0], rel.row(id)[2]));
             }
-            assert_eq!(rel.distinct_count(0), single.len(), "case {case} batch {batch}");
+            assert_eq!(
+                rel.distinct_count(0),
+                single.len(),
+                "case {case} batch {batch}"
+            );
             assert_eq!(
                 rel.key_distinct_count(cols),
                 pairs.len(),

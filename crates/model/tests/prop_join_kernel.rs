@@ -146,7 +146,9 @@ where
         }
         let mut changed = false;
         for fact in new_facts {
-            changed |= instance.insert(fact).expect("derived fact is variable-free");
+            changed |= instance
+                .insert(fact)
+                .expect("derived fact is variable-free");
         }
         if !changed {
             return instance;
@@ -217,7 +219,11 @@ fn planned_path_matches_streaming_and_reference_on_random_joins() {
         };
         let (planned, planned_rows, planned_matches) = run(Some(&plan));
         let (streamed, streamed_rows, streamed_matches) = run(None);
-        assert_eq!(canon(&planned), canon(&streamed), "case {case}: {pattern:?}");
+        assert_eq!(
+            canon(&planned),
+            canon(&streamed),
+            "case {case}: {pattern:?}"
+        );
         assert_eq!(planned_matches, streamed_matches, "case {case}");
         assert_eq!(planned_rows, streamed_rows, "case {case}: matched row ids");
         let naive =
@@ -277,6 +283,10 @@ fn kernel_existence_matches_reference() {
         let kernel = homomorphisms(&pattern, &inst, &Substitution::new(), HomSearch::first());
         let naive =
             homomorphisms_reference(&pattern, &inst, &Substitution::new(), HomSearch::first());
-        assert_eq!(kernel.is_empty(), naive.is_empty(), "case {case}: {pattern:?}");
+        assert_eq!(
+            kernel.is_empty(),
+            naive.is_empty(),
+            "case {case}: {pattern:?}"
+        );
     }
 }

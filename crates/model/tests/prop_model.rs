@@ -39,7 +39,11 @@ fn packed_terms_round_trip_all_ground_terms() {
         assert_eq!(p.is_null(), t.is_null());
         assert_eq!(p.as_const(), t.as_const());
         assert_eq!(p.as_null(), t.as_null());
-        assert_eq!(PackedTerm::pack(t), Some(p), "case {case}: packing is stable");
+        assert_eq!(
+            PackedTerm::pack(t),
+            Some(p),
+            "case {case}: packing is stable"
+        );
         if let Some((q, u)) = prev {
             assert_eq!(p.cmp(&q), t.cmp(&u), "case {case}: order isomorphism");
             assert_eq!(p == q, t == u, "case {case}: equality isomorphism");

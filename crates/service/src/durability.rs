@@ -85,7 +85,11 @@ pub struct DurabilityConfig {
 impl DurabilityConfig {
     /// Durability in `dir` with per-batch fsync and no automatic snapshots.
     pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
-        DurabilityConfig { dir: dir.into(), sync: SyncPolicy::Always, snapshot_every: None }
+        DurabilityConfig {
+            dir: dir.into(),
+            sync: SyncPolicy::Always,
+            snapshot_every: None,
+        }
     }
 
     /// Sets the automatic snapshot cadence.
@@ -157,7 +161,10 @@ impl DurableEngine {
     /// use [`DurableEngine::recover`] to resume from one. The engine's
     /// current state (often empty) is written as the initial snapshot so
     /// the directory is always recoverable, even before the first ingest.
-    pub fn create(engine: IncrementalEngine, config: DurabilityConfig) -> Result<DurableEngine, ServiceError> {
+    pub fn create(
+        engine: IncrementalEngine,
+        config: DurabilityConfig,
+    ) -> Result<DurableEngine, ServiceError> {
         std::fs::create_dir_all(&config.dir)?;
         let wal = Wal::create(&config.wal_path(), config.sync)?;
         let mut durable = DurableEngine {
@@ -308,9 +315,16 @@ impl DurableEngine {
     /// (records appended, WAL bytes, snapshots written, snapshot failures)
     /// — the durability counters reported by `STATS`.
     pub fn wal_stats(&self) -> (u64, u64, u64, u64) {
-        let (records, bytes) =
-            self.wal.as_ref().map_or((0, 0), |wal| (wal.records_appended(), wal.bytes()));
-        (records, bytes, self.snapshots_written, self.snapshot_failures)
+        let (records, bytes) = self
+            .wal
+            .as_ref()
+            .map_or((0, 0), |wal| (wal.records_appended(), wal.bytes()));
+        (
+            records,
+            bytes,
+            self.snapshots_written,
+            self.snapshot_failures,
+        )
     }
 
     /// The durability directory, if persistent.
@@ -321,7 +335,10 @@ impl DurableEngine {
 
 /// One ingest call, shared by the live path and replay so both sides of
 /// the bit-identity property run exactly the same code.
-fn self_ingest(engine: &mut IncrementalEngine, facts: &[Atom]) -> Result<IngestOutcome, ModelError> {
+fn self_ingest(
+    engine: &mut IncrementalEngine,
+    facts: &[Atom],
+) -> Result<IngestOutcome, ModelError> {
     engine.ingest(facts)
 }
 
@@ -346,10 +363,14 @@ mod tests {
     }
 
     fn batches() -> Vec<Vec<Atom>> {
-        ["edge(a, b). edge(b, c).", "edge(c, d).", "edge(d, e). edge(e, f)."]
-            .iter()
-            .map(|src| parse_fact_list(src).unwrap())
-            .collect()
+        [
+            "edge(a, b). edge(b, c).",
+            "edge(c, d).",
+            "edge(d, e). edge(e, f).",
+        ]
+        .iter()
+        .map(|src| parse_fact_list(src).unwrap())
+        .collect()
     }
 
     #[test]
@@ -371,7 +392,10 @@ mod tests {
         assert!(!report.clean_shutdown);
         assert_eq!(report.tail_dropped_bytes, 0);
         let engine = recovered.engine();
-        assert_eq!(engine.instance().row_layout(), reference.instance().row_layout());
+        assert_eq!(
+            engine.instance().row_layout(),
+            reference.instance().row_layout()
+        );
         assert_eq!(engine.stats(), reference.stats());
         assert_eq!(engine.epoch(), reference.epoch());
     }
@@ -393,8 +417,15 @@ mod tests {
         drop(durable);
 
         let (recovered, report) = DurableEngine::recover(fresh_engine(), config).unwrap();
-        assert_eq!(report.snapshot_epoch, Some(2), "snapshot covers the first two batches");
-        assert_eq!(report.records_replayed, 1, "only the post-snapshot batch replays");
+        assert_eq!(
+            report.snapshot_epoch,
+            Some(2),
+            "snapshot covers the first two batches"
+        );
+        assert_eq!(
+            report.records_replayed, 1,
+            "only the post-snapshot batch replays"
+        );
         assert!(report.clean_shutdown);
         assert_eq!(
             recovered.engine().instance().row_layout(),
@@ -410,7 +441,9 @@ mod tests {
         let engine = fresh_engine().with_row_capacity(3);
         let mut durable = DurableEngine::create(engine, DurabilityConfig::new(&dir)).unwrap();
         let mut reference = fresh_engine().with_row_capacity(3);
-        durable.ingest(&parse_fact_list("edge(a, b). edge(b, c).").unwrap()).unwrap();
+        durable
+            .ingest(&parse_fact_list("edge(a, b). edge(b, c).").unwrap())
+            .unwrap();
         let _ = reference.ingest(&parse_fact_list("edge(a, b). edge(b, c).").unwrap());
         // Over capacity: rejected live, logged anyway, re-rejected on replay.
         let over = parse_fact_list("edge(c, d). edge(d, e).").unwrap();
@@ -455,8 +488,14 @@ mod tests {
         drop(recovered);
 
         let (again, report) = DurableEngine::recover(fresh_engine(), no_cadence).unwrap();
-        assert_eq!(report.stale_skipped, 0, "the post-snapshot batch is not stale");
-        assert_eq!(again.engine().instance().row_layout(), reference.instance().row_layout());
+        assert_eq!(
+            report.stale_skipped, 0,
+            "the post-snapshot batch is not stale"
+        );
+        assert_eq!(
+            again.engine().instance().row_layout(),
+            reference.instance().row_layout()
+        );
         assert_eq!(again.engine().stats(), reference.stats());
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -464,7 +503,9 @@ mod tests {
     #[test]
     fn volatile_engines_ingest_without_touching_disk() {
         let mut durable = DurableEngine::volatile(fresh_engine());
-        durable.ingest(&parse_fact_list("edge(a, b).").unwrap()).unwrap();
+        durable
+            .ingest(&parse_fact_list("edge(a, b).").unwrap())
+            .unwrap();
         assert_eq!(durable.wal_stats(), (0, 0, 0, 0));
         assert!(durable.dir().is_none());
         durable.snapshot_now().unwrap();

@@ -53,18 +53,29 @@ static TEST_LOCK: Mutex<()> = Mutex::new(());
 /// panicking (often deliberately, via [`Action::Panic`]) must not wedge the
 /// rest of the suite.
 pub fn exclusive() -> MutexGuard<'static, ()> {
-    TEST_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    TEST_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 fn registry() -> MutexGuard<'static, HashMap<&'static str, Armed>> {
-    REGISTRY.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    REGISTRY
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Arms `site` to trigger `action` exactly once, after letting `skip` hits
 /// through unharmed. No-op in release builds.
 pub fn fail_once(site: &'static str, action: Action, skip: u64) {
     if cfg!(debug_assertions) {
-        registry().insert(site, Armed { action, skip, one_shot: true });
+        registry().insert(
+            site,
+            Armed {
+                action,
+                skip,
+                one_shot: true,
+            },
+        );
     }
 }
 
@@ -72,7 +83,14 @@ pub fn fail_once(site: &'static str, action: Action, skip: u64) {
 /// release builds.
 pub fn fail_always(site: &'static str, action: Action) {
     if cfg!(debug_assertions) {
-        registry().insert(site, Armed { action, skip: 0, one_shot: false });
+        registry().insert(
+            site,
+            Armed {
+                action,
+                skip: 0,
+                one_shot: false,
+            },
+        );
     }
 }
 

@@ -20,14 +20,29 @@
 //! | `FACT <fact>.` | `OK inserted=<n> duplicate=<n> derived=<n> strata_skipped=<n> rounds=<n> epoch=<e>` |
 //! | `BATCH <fact>. <fact>. …` | same as `FACT` (one evaluation for the whole batch) |
 //! | `QUERY [TIMEOUT_MS=<ms>] [MAX_ROWS=<n>] ?(X, …) :- body.` | `OK answers=<n> epoch=<e>`, then **exactly `n`** tuple lines (whitespace-separated constants, sorted; constants containing whitespace, quotes or control characters come back `"`-quoted with `\"`/`\\`/`\n` escapes), then `END` — or `ERR deadline timeout_ms=<ms>` / `ERR row-limit max_rows=<n>` when a budget trips |
-//! | `STATS` | `OK` followed by one JSON object on the same line (engine counters plus `wal_records`, `wal_bytes`, `snapshots_written`, `snapshot_failures`, `degraded`) |
+//! | `VALIDATE <rules>` | `OK diagnostics=<n> errors=<e> warnings=<w> admissible=<bool>`, then **exactly `n`** diagnostic lines (`VLG0xx <severity> [tgd=<i>] [atom=body[j]\|head[j]] [var=<V>] [pred=<p>] :: <message>`, parseable back via [`protocol::parse_diagnostic_line`]), then `END`. The candidate is analysed against the serving schema ([`vadalog_analysis::diagnostics`]); nothing is loaded. Under the default fail-closed [`AdmissionPolicy`], error-severity findings make the verdict `admissible=false` |
+//! | `STATS` | `OK` followed by one JSON object on the same line (engine counters plus `wal_records`, `wal_bytes`, `snapshots_written`, `snapshot_failures`, `programs_rejected`, `diagnostics_emitted`, `degraded`) |
 //! | `SNAPSHOT` | `OK snapshot epoch=<e>` after durably snapshotting the instance and truncating the WAL (a no-op `OK` on a volatile server) |
 //! | `SHUTDOWN` | `OK bye`; the server stops accepting connections, drains in-flight handlers, flushes the WAL and appends the clean-shutdown marker |
 //!
 //! Clients must frame query answers by the header's `answers=<n>` count —
 //! read exactly `n` tuple lines, then the `END` line — rather than scanning
 //! for `END`: the count makes the framing independent of tuple *content*
-//! (a constant named `END` is a legal answer).
+//! (a constant named `END` is a legal answer). Validation reports frame the
+//! same way, by `diagnostics=<n>`.
+//!
+//! # Admission
+//!
+//! The server is **fail-closed** by default ([`AdmissionPolicy::FailClosed`]):
+//! `VALIDATE` verdicts with error-severity diagnostics answer
+//! `admissible=false` and bump the `programs_rejected` counter, and `FACT` /
+//! `BATCH` requests targeting a *derived* predicate of the serving program
+//! are refused with `ERR` — rules own those relations, and asserting into
+//! them would silently mix asserted and derived tuples. Warnings are
+//! admitted but counted in `diagnostics_emitted`.
+//! [`AdmissionPolicy::WarnOnly`] restores the legacy permissive behaviour
+//! while keeping the counters. A fail-closed server also refuses to *start*
+//! over a serving program that itself fails validation.
 //!
 //! Facts and queries use the crate's surface syntax
 //! ([`vadalog_model::parser`]): `edge(a, b).`, `?(X) :- t(a, X).` and so
@@ -96,7 +111,8 @@ pub mod snapshot;
 pub mod wal;
 
 pub use durability::{DurabilityConfig, DurableEngine, RecoveryReport, ServiceError};
-pub use protocol::{parse_request, Request, Response};
-pub use server::{LiveServer, ServerConfig};
+pub use protocol::{parse_diagnostic_line, parse_request, Request, Response};
+pub use server::{AdmissionPolicy, LiveServer, ServerConfig};
+pub use vadalog_analysis::{Diagnostic, DiagnosticCode, Severity};
 pub use vadalog_datalog::{IncrementalEngine, IngestOutcome};
 pub use wal::SyncPolicy;

@@ -3,9 +3,10 @@
 //! the same protocol can later sit behind an async listener — and so tests
 //! can exercise it without a socket.
 
+use vadalog_analysis::{Diagnostic, DiagnosticCode, Severity};
 use vadalog_datalog::IngestOutcome;
 use vadalog_model::parser::{parse_fact_list, parse_query};
-use vadalog_model::{Atom, ConjunctiveQuery, Symbol};
+use vadalog_model::{Atom, AtomSpan, ConjunctiveQuery, Predicate, Symbol, Variable};
 
 /// A parsed protocol request.
 #[derive(Debug, Clone)]
@@ -23,6 +24,12 @@ pub enum Request {
         timeout_ms: Option<u64>,
         /// Per-request answer-count cap override.
         max_rows: Option<usize>,
+    },
+    /// `VALIDATE <rules>` — dry-run a candidate program through the
+    /// diagnostics pipeline against the serving schema; nothing is loaded.
+    Validate {
+        /// The candidate program's source text.
+        source: String,
     },
     /// `STATS` — report engine statistics as one JSON line.
     Stats,
@@ -44,7 +51,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "FACT" | "BATCH" => {
             let facts = parse_fact_list(rest).map_err(|e| e.to_string())?;
             if facts.is_empty() {
-                return Err(format!("{} requires at least one fact", keyword.to_ascii_uppercase()));
+                return Err(format!(
+                    "{} requires at least one fact",
+                    keyword.to_ascii_uppercase()
+                ));
             }
             if keyword.eq_ignore_ascii_case("FACT") && facts.len() != 1 {
                 return Err("FACT takes exactly one fact; use BATCH for several".into());
@@ -59,12 +69,21 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 max_rows,
             })
         }
+        "VALIDATE" => {
+            if rest.is_empty() {
+                return Err("VALIDATE requires a candidate program".into());
+            }
+            Ok(Request::Validate {
+                source: rest.to_string(),
+            })
+        }
         "STATS" => Ok(Request::Stats),
         "SNAPSHOT" => Ok(Request::Snapshot),
         "SHUTDOWN" => Ok(Request::Shutdown),
         "" => Err("empty command".into()),
         other => Err(format!(
-            "unknown command `{other}` (expected FACT, BATCH, QUERY, STATS, SNAPSHOT or SHUTDOWN)"
+            "unknown command `{other}` (expected FACT, BATCH, QUERY, VALIDATE, STATS, SNAPSHOT \
+             or SHUTDOWN)"
         )),
     }
 }
@@ -78,22 +97,26 @@ fn parse_query_options(mut rest: &str) -> Result<(&str, Option<u64>, Option<usiz
     let mut max_rows = None;
     loop {
         let token = rest.split_whitespace().next().unwrap_or("");
-        let Some((key, value)) = token.split_once('=') else { break };
+        let Some((key, value)) = token.split_once('=') else {
+            break;
+        };
         match key.to_ascii_uppercase().as_str() {
             "TIMEOUT_MS" => {
                 if timeout_ms.is_some() {
                     return Err("TIMEOUT_MS given twice".into());
                 }
-                let parsed: u64 =
-                    value.parse().map_err(|_| format!("bad TIMEOUT_MS value `{value}`"))?;
+                let parsed: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad TIMEOUT_MS value `{value}`"))?;
                 timeout_ms = Some(parsed);
             }
             "MAX_ROWS" => {
                 if max_rows.is_some() {
                     return Err("MAX_ROWS given twice".into());
                 }
-                let parsed: usize =
-                    value.parse().map_err(|_| format!("bad MAX_ROWS value `{value}`"))?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("bad MAX_ROWS value `{value}`"))?;
                 max_rows = Some(parsed);
             }
             _ => break, // not an option: the query text starts here
@@ -114,6 +137,14 @@ pub enum Response {
         epoch: u64,
         /// The answer tuples (already in the answer set's sorted order).
         tuples: Vec<Vec<Symbol>>,
+    },
+    /// A validation report: header line with counts and the admission
+    /// decision, one line per diagnostic, `END`.
+    Diagnostics {
+        /// The admission decision under the server's policy.
+        admissible: bool,
+        /// The findings, in pass order.
+        diagnostics: Vec<Diagnostic>,
     },
     /// A single `ERR <message>` line.
     Error(String),
@@ -149,8 +180,77 @@ impl Response {
                 out.push_str("END\n");
                 out
             }
+            Response::Diagnostics {
+                admissible,
+                diagnostics,
+            } => {
+                let errors = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .count();
+                let warnings = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == Severity::Warning)
+                    .count();
+                let mut out = format!(
+                    "OK diagnostics={} errors={errors} warnings={warnings} admissible={admissible}\n",
+                    diagnostics.len(),
+                );
+                for diagnostic in diagnostics {
+                    out.push_str(&one_line(&diagnostic.to_string()));
+                    out.push('\n');
+                }
+                out.push_str("END\n");
+                out
+            }
         }
     }
+}
+
+/// Parses one rendered diagnostic line (`VLG004 error tgd=1 atom=body[0]
+/// var=Y pred=t :: message`) back into a [`Diagnostic`] — the inverse of
+/// its `Display`, so validation output round-trips over the wire.
+pub fn parse_diagnostic_line(line: &str) -> Result<Diagnostic, String> {
+    let (head, message) = line
+        .split_once(" :: ")
+        .ok_or_else(|| format!("diagnostic line without ` :: ` separator: `{line}`"))?;
+    let mut tokens = head.split_whitespace();
+    let code = tokens
+        .next()
+        .and_then(DiagnosticCode::parse)
+        .ok_or_else(|| format!("bad diagnostic code in `{line}`"))?;
+    let severity: Severity = tokens
+        .next()
+        .ok_or_else(|| format!("missing severity in `{line}`"))?
+        .parse()?;
+    let mut diagnostic = Diagnostic {
+        code,
+        severity,
+        tgd: None,
+        atom: None,
+        variable: None,
+        predicate: None,
+        message: message.to_string(),
+    };
+    for token in tokens {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("bad diagnostic field `{token}`"))?;
+        match key {
+            "tgd" => {
+                diagnostic.tgd = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad tgd index `{value}`"))?,
+                );
+            }
+            "atom" => diagnostic.atom = Some(value.parse::<AtomSpan>()?),
+            "var" => diagnostic.variable = Some(Variable::new(value)),
+            "pred" => diagnostic.predicate = Some(Predicate::new(value)),
+            other => return Err(format!("unknown diagnostic field `{other}`")),
+        }
+    }
+    Ok(diagnostic)
 }
 
 /// Collapses embedded newlines so a message can never be mistaken for
@@ -223,17 +323,30 @@ mod tests {
         let q = parse_request("QUERY TIMEOUT_MS=250 MAX_ROWS=10 ?(X) :- t(a, X).").unwrap();
         assert!(matches!(
             q,
-            Request::Query { timeout_ms: Some(250), max_rows: Some(10), .. }
+            Request::Query {
+                timeout_ms: Some(250),
+                max_rows: Some(10),
+                ..
+            }
         ));
         let q = parse_request("QUERY max_rows=7 ?(X) :- t(a, X).").unwrap();
-        assert!(matches!(q, Request::Query { timeout_ms: None, max_rows: Some(7), .. }));
+        assert!(matches!(
+            q,
+            Request::Query {
+                timeout_ms: None,
+                max_rows: Some(7),
+                ..
+            }
+        ));
 
         assert!(parse_request("QUERY TIMEOUT_MS=abc ?(X) :- t(a, X).")
             .unwrap_err()
             .contains("bad TIMEOUT_MS"));
-        assert!(parse_request("QUERY MAX_ROWS=1 MAX_ROWS=2 ?(X) :- t(a, X).")
-            .unwrap_err()
-            .contains("twice"));
+        assert!(
+            parse_request("QUERY MAX_ROWS=1 MAX_ROWS=2 ?(X) :- t(a, X).")
+                .unwrap_err()
+                .contains("twice")
+        );
         // A query whose own text merely contains `=` is untouched: options
         // stop at the first non-option token.
         assert!(parse_request("QUERY TIMEOUT_MS=10 ?(X) :- ").is_err());
@@ -242,8 +355,12 @@ mod tests {
     #[test]
     fn malformed_requests_report_useful_errors() {
         assert!(parse_request("").unwrap_err().contains("empty"));
-        assert!(parse_request("NOPE x").unwrap_err().contains("unknown command"));
-        assert!(parse_request("FACT").unwrap_err().contains("at least one fact"));
+        assert!(parse_request("NOPE x")
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(parse_request("FACT")
+            .unwrap_err()
+            .contains("at least one fact"));
         assert!(parse_request("FACT edge(a, b). edge(b, c).")
             .unwrap_err()
             .contains("exactly one"));
@@ -271,6 +388,62 @@ mod tests {
         }
         .render();
         assert_eq!(rendered, "OK answers=2 epoch=3\na b\nc d\nEND\n");
+    }
+
+    #[test]
+    fn validate_requests_carry_the_candidate_source() {
+        let parsed = parse_request("VALIDATE t(X, Y) :- edge(X, Y).").unwrap();
+        assert!(matches!(
+            parsed,
+            Request::Validate { source } if source == "t(X, Y) :- edge(X, Y)."
+        ));
+        assert!(parse_request("VALIDATE")
+            .unwrap_err()
+            .contains("candidate program"));
+        assert!(parse_request("NOPE").unwrap_err().contains("VALIDATE"));
+    }
+
+    #[test]
+    fn diagnostics_render_with_count_based_framing() {
+        let (_, report) = vadalog_analysis::analyze_source(
+            "r(X, Z) :- p(X).\n t(Y, Y2) :- r(X, Y), r(X2, Y2).",
+            &vadalog_analysis::AnalyzerOptions::default(),
+        );
+        let count = report.diagnostics.len();
+        let errors = report.count(Severity::Error);
+        let rendered = Response::Diagnostics {
+            admissible: false,
+            diagnostics: report.diagnostics,
+        }
+        .render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(
+            lines[0].starts_with(&format!("OK diagnostics={count} errors={errors}")),
+            "{rendered}"
+        );
+        assert!(lines[0].ends_with("admissible=false"), "{rendered}");
+        assert_eq!(
+            lines.len(),
+            count + 2,
+            "header + n diagnostics + END: {rendered}"
+        );
+        assert_eq!(*lines.last().unwrap(), "END");
+    }
+
+    #[test]
+    fn diagnostic_lines_round_trip_through_parse() {
+        let (_, report) = vadalog_analysis::analyze_source(
+            "r(X, Z) :- p(X).\n t(Y, Y2) :- r(X, Y), r(X2, Y2).\n out(A, B) :- c(A), d(B).",
+            &vadalog_analysis::AnalyzerOptions::default(),
+        );
+        assert!(!report.diagnostics.is_empty());
+        for diagnostic in &report.diagnostics {
+            let parsed = parse_diagnostic_line(&diagnostic.to_string()).unwrap();
+            assert_eq!(&parsed, diagnostic);
+        }
+        assert!(parse_diagnostic_line("no separator here").is_err());
+        assert!(parse_diagnostic_line("VLG999 error :: nope").is_err());
+        assert!(parse_diagnostic_line("VLG001 loud :: nope").is_err());
     }
 
     #[test]

@@ -24,14 +24,28 @@
 use crate::durability::DurableEngine;
 use crate::failpoints;
 use crate::protocol::{parse_request, Request, Response};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use vadalog_analysis::{analyze_source, AnalyzerOptions};
 use vadalog_datalog::IncrementalEngine;
-use vadalog_model::{BudgetExceeded, InstanceSnapshot, QueryBudget};
+use vadalog_model::{BudgetExceeded, InstanceSnapshot, Predicate, QueryBudget};
+
+/// What the server does with programs and facts that fail validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Error-severity diagnostics reject (`VALIDATE` answers
+    /// `admissible=false`, facts targeting derived predicates answer
+    /// `ERR`); warnings are counted but admitted. The default.
+    #[default]
+    FailClosed,
+    /// Everything is admitted; diagnostics are still emitted and counted.
+    WarnOnly,
+}
 
 /// Transport limits and query-budget defaults.
 #[derive(Debug, Clone)]
@@ -49,6 +63,9 @@ pub struct ServerConfig {
     /// Socket read-timeout granularity — also how quickly idle handlers
     /// observe a shutdown request.
     pub poll_interval: Duration,
+    /// What happens to candidate programs with error-severity diagnostics
+    /// and to facts targeting derived predicates.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +76,7 @@ impl Default for ServerConfig {
             max_line_bytes: 1 << 20,
             line_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_millis(50),
+            admission: AdmissionPolicy::FailClosed,
         }
     }
 }
@@ -80,6 +98,18 @@ struct Shared {
     shutdown: AtomicBool,
     /// Latched when the engine mutex is found poisoned.
     degraded: AtomicBool,
+    /// Extensional relations of the serving program, precomputed at start
+    /// so `VALIDATE` never takes the engine lock.
+    serving_edb: BTreeSet<Predicate>,
+    /// Derived predicates of the serving program — fail-closed ingest
+    /// rejects facts targeting these (rules own those relations).
+    serving_idb: BTreeSet<Predicate>,
+    /// The serving schema's arities, for `VALIDATE` arity checks.
+    serving_arities: BTreeMap<Predicate, usize>,
+    /// Candidate programs rejected by the admission gate.
+    programs_rejected: AtomicU64,
+    /// Total diagnostics emitted by `VALIDATE` requests.
+    diagnostics_emitted: AtomicU64,
     config: ServerConfig,
 }
 
@@ -88,7 +118,10 @@ impl Shared {
     /// recovered with `into_inner` — the guarded value is a plain handle
     /// assignment, which cannot be left half-done.
     fn published_snapshot(&self) -> InstanceSnapshot {
-        self.published.read().unwrap_or_else(|poisoned| poisoned.into_inner()).clone()
+        self.published
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
     }
 }
 
@@ -97,6 +130,23 @@ impl Shared {
 fn handle_request(shared: &Shared, request: Request) -> Response {
     match request {
         Request::Ingest(facts) => {
+            // Fail-closed admission: ingest may only feed extensional
+            // relations — the engine itself would accept a fact over a
+            // derived predicate and silently mix asserted and derived
+            // tuples in a rule-owned relation.
+            if shared.config.admission == AdmissionPolicy::FailClosed {
+                if let Some(atom) = facts
+                    .iter()
+                    .find(|a| shared.serving_idb.contains(&a.predicate))
+                {
+                    shared.diagnostics_emitted.fetch_add(1, Ordering::SeqCst);
+                    return Response::Error(format!(
+                        "fact targets derived predicate `{}`: ingest may only feed extensional \
+                         relations (VLG010)",
+                        atom.predicate.name()
+                    ));
+                }
+            }
             if let Err(error) = failpoints::check("server.lock") {
                 return Response::Error(error.to_string());
             }
@@ -113,8 +163,10 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                     // Lock order is always engine → published, and queries
                     // take only `published`, so this cannot deadlock.
                     let snapshot = engine.engine().snapshot();
-                    *shared.published.write().unwrap_or_else(|poisoned| poisoned.into_inner()) =
-                        snapshot;
+                    *shared
+                        .published
+                        .write()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner()) = snapshot;
                     drop(engine);
                     Response::ingest(&outcome)
                 }
@@ -125,10 +177,16 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                 Err(error) => Response::Error(error.to_string()),
             }
         }
-        Request::Query { query, timeout_ms, max_rows } => {
+        Request::Query {
+            query,
+            timeout_ms,
+            max_rows,
+        } => {
             let snapshot = shared.published_snapshot();
             let budget = QueryBudget {
-                timeout: timeout_ms.map(Duration::from_millis).or(shared.config.default_timeout),
+                timeout: timeout_ms
+                    .map(Duration::from_millis)
+                    .or(shared.config.default_timeout),
                 max_rows: max_rows.or(shared.config.default_max_rows),
             };
             // No lock is held here: the query runs against the frozen
@@ -154,20 +212,43 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                 Err(BudgetExceeded::Cancelled) => Response::Error("cancelled".into()),
             }
         }
+        Request::Validate { source } => {
+            // A dry run against the serving schema: no engine lock, no
+            // state change beyond the counters.
+            let options = AnalyzerOptions {
+                require_datalog: true,
+                known_edb: shared.serving_edb.clone(),
+                known_arities: shared.serving_arities.clone(),
+                query: None,
+            };
+            let (_, report) = analyze_source(&source, &options);
+            shared
+                .diagnostics_emitted
+                .fetch_add(report.diagnostics.len() as u64, Ordering::SeqCst);
+            let admissible =
+                report.admissible() || shared.config.admission == AdmissionPolicy::WarnOnly;
+            if !admissible {
+                shared.programs_rejected.fetch_add(1, Ordering::SeqCst);
+            }
+            Response::Diagnostics {
+                admissible,
+                diagnostics: report.diagnostics,
+            }
+        }
         Request::Stats => {
             let Ok(engine) = shared.engine.lock() else {
                 shared.degraded.store(true, Ordering::SeqCst);
                 return Response::Error(ENGINE_UNAVAILABLE.into());
             };
-            let (wal_records, wal_bytes, snapshots_written, snapshot_failures) =
-                engine.wal_stats();
+            let (wal_records, wal_bytes, snapshots_written, snapshot_failures) = engine.wal_stats();
             let inner = engine.engine();
             let stats = inner.stats();
             Response::Ok(format!(
                 "{{\"epoch\":{},\"atoms\":{},\"derived_atoms\":{},\"iterations\":{},\
                  \"rounds_incremental\":{},\"strata_skipped\":{},\"joins_evaluated\":{},\
                  \"join_probes\":{},\"index_bytes\":{},\"wal_records\":{},\"wal_bytes\":{},\
-                 \"snapshots_written\":{},\"snapshot_failures\":{},\"degraded\":{}}}",
+                 \"snapshots_written\":{},\"snapshot_failures\":{},\"programs_rejected\":{},\
+                 \"diagnostics_emitted\":{},\"degraded\":{}}}",
                 inner.epoch(),
                 inner.instance().len(),
                 stats.derived_atoms,
@@ -181,6 +262,8 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                 wal_bytes,
                 snapshots_written,
                 snapshot_failures,
+                shared.programs_rejected.load(Ordering::SeqCst),
+                shared.diagnostics_emitted.load(Ordering::SeqCst),
                 shared.degraded.load(Ordering::SeqCst),
             ))
         }
@@ -226,14 +309,22 @@ struct LineReader {
 
 impl LineReader {
     fn new(stream: TcpStream) -> LineReader {
-        LineReader { stream, buf: Vec::new(), scanned: 0 }
+        LineReader {
+            stream,
+            buf: Vec::new(),
+            scanned: 0,
+        }
     }
 
     fn next_line(&mut self, shared: &Shared) -> LineEvent {
         let config = &shared.config;
         // The deadline for *this* line starts when its first byte is
         // already waiting (pipelined) or arrives.
-        let mut started = if self.buf.is_empty() { None } else { Some(Instant::now()) };
+        let mut started = if self.buf.is_empty() {
+            None
+        } else {
+            Some(Instant::now())
+        };
         let mut chunk = [0u8; 4096];
         loop {
             if let Some(pos) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
@@ -297,9 +388,8 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
             LineEvent::TooLong => {
                 // Tell the client why, then drop it — the connection's
                 // framing is unrecoverable past an oversized line.
-                let _ = writer.write_all(
-                    Response::Error("line too long".into()).render().as_bytes(),
-                );
+                let _ =
+                    writer.write_all(Response::Error("line too long".into()).render().as_bytes());
                 let _ = writer.flush();
                 return;
             }
@@ -338,7 +428,11 @@ impl LiveServer {
     /// limits. The engine may already hold a materialisation — its current
     /// state is published as the first snapshot.
     pub fn start(engine: IncrementalEngine, addr: impl ToSocketAddrs) -> io::Result<LiveServer> {
-        LiveServer::start_with(DurableEngine::volatile(engine), addr, ServerConfig::default())
+        LiveServer::start_with(
+            DurableEngine::volatile(engine),
+            addr,
+            ServerConfig::default(),
+        )
     }
 
     /// Binds `addr` and serves a (possibly durable, possibly recovered)
@@ -348,6 +442,34 @@ impl LiveServer {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<LiveServer> {
+        // Defensive gate: the serving program itself must pass validation.
+        // `IncrementalEngine::new` already guarantees a Datalog program, so
+        // this only fires for genuinely broken hand-built programs — but a
+        // fail-closed server refuses to come up serving one.
+        let program = engine.engine().program();
+        let serving_edb = program.extensional_predicates();
+        let serving_idb = program.intensional_predicates();
+        let serving_arities: BTreeMap<Predicate, usize> = program
+            .schema()
+            .into_iter()
+            .filter_map(|p| program.arity_of(p).map(|a| (p, a)))
+            .collect();
+        let report = vadalog_analysis::analyze(program);
+        if report.has_errors() && config.admission == AdmissionPolicy::FailClosed {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "serving program fails validation with {} error(s); first: {}",
+                    report.count(vadalog_analysis::Severity::Error),
+                    report
+                        .diagnostics
+                        .iter()
+                        .find(|d| d.severity == vadalog_analysis::Severity::Error)
+                        .map(|d| d.to_string())
+                        .unwrap_or_default(),
+                ),
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -359,6 +481,11 @@ impl LiveServer {
             threads,
             shutdown: AtomicBool::new(false),
             degraded: AtomicBool::new(false),
+            serving_edb,
+            serving_idb,
+            serving_arities,
+            programs_rejected: AtomicU64::new(0),
+            diagnostics_emitted: AtomicU64::new(0),
             config,
         });
         let accept = std::thread::spawn({
@@ -403,7 +530,11 @@ impl LiveServer {
                 }
             }
         });
-        Ok(LiveServer { addr, accept, shared })
+        Ok(LiveServer {
+            addr,
+            accept,
+            shared,
+        })
     }
 
     /// Recovers the state persisted in `config.dir` (snapshot + WAL tail
@@ -473,27 +604,30 @@ mod tests {
         }
 
         /// Sends one request line and reads the full response: one line, or
-        /// — for query answers — the header plus exactly `answers=<n>`
-        /// tuple lines plus the `END` line (framing by count, as the
-        /// protocol requires).
+        /// — for query answers and validation reports — the header plus
+        /// exactly `answers=<n>` / `diagnostics=<n>` body lines plus the
+        /// `END` line (framing by count, as the protocol requires).
         pub(crate) fn send(&mut self, line: &str) -> Vec<String> {
             self.writer
                 .write_all(format!("{line}\n").as_bytes())
                 .expect("write request");
             self.writer.flush().expect("flush request");
             let mut lines = vec![self.read_line()];
-            if let Some(rest) = lines[0].strip_prefix("OK answers=") {
+            let counted = lines[0]
+                .strip_prefix("OK answers=")
+                .or_else(|| lines[0].strip_prefix("OK diagnostics="));
+            if let Some(rest) = counted {
                 let count: usize = rest
                     .split_whitespace()
                     .next()
                     .and_then(|n| n.parse().ok())
-                    .expect("answer count in header");
+                    .expect("body-line count in header");
                 for _ in 0..count {
-                    let tuple = self.read_line();
-                    lines.push(tuple);
+                    let body = self.read_line();
+                    lines.push(body);
                 }
                 let end = self.read_line();
-                assert_eq!(end, "END", "answers must terminate with END");
+                assert_eq!(end, "END", "counted responses must terminate with END");
                 lines.push(end);
             }
             lines
@@ -524,7 +658,10 @@ mod tests {
         );
         let fact = client.send("FACT edge(c, d).");
         assert!(fact[0].starts_with("OK inserted=1 "), "{fact:?}");
-        assert!(fact[0].contains("strata_skipped=1"), "link stratum untouched: {fact:?}");
+        assert!(
+            fact[0].contains("strata_skipped=1"),
+            "link stratum untouched: {fact:?}"
+        );
 
         let answers = client.send("QUERY ?(X) :- t(X, d).");
         assert_eq!(answers, vec!["OK answers=3 epoch=2", "a", "b", "c", "END"]);
@@ -534,7 +671,10 @@ mod tests {
         let stats = client.send("STATS");
         assert!(stats[0].starts_with("OK {\"epoch\":2,"), "{stats:?}");
         assert!(stats[0].contains("\"rounds_incremental\""), "{stats:?}");
-        assert!(stats[0].contains("\"wal_records\":0"), "volatile server: {stats:?}");
+        assert!(
+            stats[0].contains("\"wal_records\":0"),
+            "volatile server: {stats:?}"
+        );
         assert!(stats[0].contains("\"degraded\":false"), "{stats:?}");
 
         // Unknown and malformed requests keep the connection alive.
@@ -633,7 +773,10 @@ mod tests {
         let ok = client.send("QUERY MAX_ROWS=100 ?(X, Y) :- t(X, Y).");
         assert_eq!(ok[0], "OK answers=6 epoch=1");
         let unlimited = client.send("QUERY ?(X) :- t(a, X).");
-        assert_eq!(unlimited, vec!["OK answers=3 epoch=1", "b", "c", "d", "END"]);
+        assert_eq!(
+            unlimited,
+            vec!["OK answers=3 epoch=1", "b", "c", "d", "END"]
+        );
         let ingest = client.send("FACT edge(d, e).");
         assert!(ingest[0].starts_with("OK inserted=1 "), "{ingest:?}");
 
@@ -644,8 +787,8 @@ mod tests {
 
     #[test]
     fn durable_server_recovers_its_materialisation_after_restart() {
-        let dir = std::env::temp_dir()
-            .join(format!("vadalog-server-recover-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("vadalog-server-recover-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let config = crate::durability::DurabilityConfig::new(&dir);
         let durable = DurableEngine::create(engine(), config.clone()).unwrap();
@@ -662,9 +805,11 @@ mod tests {
         // "Restart": a fresh engine over the same program recovers the
         // materialisation from disk instead of re-deriving from scratch.
         let (server, report) =
-            LiveServer::recover(engine(), config, "127.0.0.1:0", ServerConfig::default())
-                .unwrap();
-        assert!(report.clean_shutdown, "the shutdown above flushed and marked the WAL");
+            LiveServer::recover(engine(), config, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        assert!(
+            report.clean_shutdown,
+            "the shutdown above flushed and marked the WAL"
+        );
         let mut client = Client::connect(server.addr());
         let answers = client.send("QUERY ?(X) :- t(a, X).");
         assert_eq!(answers, vec!["OK answers=2 epoch=1", "b", "c", "END"]);
@@ -676,6 +821,113 @@ mod tests {
         drop(client);
         server.join();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_gate_rejects_bad_programs_and_keeps_serving() {
+        let server = start(engine());
+        let mut client = Client::connect(server.addr());
+        client.send("BATCH edge(a, b). edge(b, c).");
+
+        // A candidate writing into the serving EDB: rejected (VLG010) and
+        // the rejection is visible in STATS — but nothing about the live
+        // engine changed.
+        let verdict = client.send("VALIDATE edge(Y, X) :- edge(X, Y).");
+        assert!(verdict[0].starts_with("OK diagnostics="), "{verdict:?}");
+        assert!(verdict[0].ends_with("admissible=false"), "{verdict:?}");
+        assert!(
+            verdict.iter().any(|l| l.starts_with("VLG010 error")),
+            "EDB collision named: {verdict:?}"
+        );
+        assert_eq!(*verdict.last().unwrap(), "END");
+        // Every reported line round-trips through the protocol parser.
+        for line in &verdict[1..verdict.len() - 1] {
+            let parsed = crate::protocol::parse_diagnostic_line(line).unwrap();
+            assert_eq!(parsed.to_string(), *line);
+        }
+
+        // A clean candidate over the serving schema is admissible.
+        let clean = client.send("VALIDATE reach(X, Y) :- edge(X, Y).");
+        assert!(clean[0].ends_with("admissible=true"), "{clean:?}");
+
+        // An arity conflict with the serving schema is an error.
+        let arity = client.send("VALIDATE out(X) :- edge(X).");
+        assert!(arity[0].ends_with("admissible=false"), "{arity:?}");
+        assert!(
+            arity.iter().any(|l| l.starts_with("VLG001 error")),
+            "{arity:?}"
+        );
+
+        // The rejected programs left the engine fully serviceable.
+        let ok = client.send("FACT edge(c, d).");
+        assert!(ok[0].starts_with("OK inserted=1 "), "{ok:?}");
+        let answers = client.send("QUERY ?(X) :- t(a, X).");
+        assert_eq!(answers, vec!["OK answers=3 epoch=2", "b", "c", "d", "END"]);
+
+        // STATS counts both rejections and every diagnostic emitted.
+        let stats = client.send("STATS");
+        assert!(stats[0].contains("\"programs_rejected\":2"), "{stats:?}");
+        assert!(stats[0].contains("\"diagnostics_emitted\":"), "{stats:?}");
+        assert!(
+            !stats[0].contains("\"diagnostics_emitted\":0,"),
+            "{stats:?}"
+        );
+
+        client.send("SHUTDOWN");
+        drop(client);
+        server.join();
+    }
+
+    #[test]
+    fn fail_closed_ingest_refuses_facts_over_derived_predicates() {
+        let server = start(engine());
+        let mut client = Client::connect(server.addr());
+        client.send("FACT edge(a, b).");
+
+        // t is rule-owned: asserting into it would mix asserted and
+        // derived tuples, so the fail-closed default refuses.
+        let refused = client.send("FACT t(a, z).");
+        assert!(
+            refused[0].starts_with("ERR fact targets derived predicate `t`"),
+            "{refused:?}"
+        );
+        let answers = client.send("QUERY ?(X, Y) :- t(X, Y).");
+        assert_eq!(
+            answers[0], "OK answers=1 epoch=1",
+            "the ingest never happened: {answers:?}"
+        );
+
+        client.send("SHUTDOWN");
+        drop(client);
+        server.join();
+    }
+
+    #[test]
+    fn warn_only_admission_admits_everything_but_still_counts() {
+        let config = ServerConfig {
+            admission: AdmissionPolicy::WarnOnly,
+            ..ServerConfig::default()
+        };
+        let server =
+            LiveServer::start_with(DurableEngine::volatile(engine()), "127.0.0.1:0", config)
+                .unwrap();
+        let mut client = Client::connect(server.addr());
+
+        // The same EDB-collision candidate is admitted under WarnOnly…
+        let verdict = client.send("VALIDATE edge(Y, X) :- edge(X, Y).");
+        assert!(verdict[0].ends_with("admissible=true"), "{verdict:?}");
+        // …and legacy ingest behaviour (facts into derived relations) is
+        // preserved.
+        client.send("FACT edge(a, b).");
+        let asserted = client.send("FACT t(q, r).");
+        assert!(asserted[0].starts_with("OK inserted=1 "), "{asserted:?}");
+
+        let stats = client.send("STATS");
+        assert!(stats[0].contains("\"programs_rejected\":0"), "{stats:?}");
+
+        client.send("SHUTDOWN");
+        drop(client);
+        server.join();
     }
 
     #[test]

@@ -62,7 +62,10 @@ pub struct SnapshotData {
 pub fn write_snapshot(path: &Path, data: &SnapshotData) -> io::Result<()> {
     failpoints::check("snapshot.write")?;
     let bytes = encode(data)?;
-    let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let dir = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or(Path::new("."));
     let tmp = path.with_extension("tmp");
     {
         let mut file = File::create(&tmp)?;
@@ -158,7 +161,12 @@ fn encode(data: &SnapshotData) -> io::Result<Vec<u8>> {
 }
 
 fn decode(bytes: &[u8]) -> io::Result<SnapshotData> {
-    let corrupt = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("corrupt snapshot: {what}"));
+    let corrupt = |what: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("corrupt snapshot: {what}"),
+        )
+    };
     if bytes.len() < 12 || bytes[..4] != SNAPSHOT_MAGIC {
         return Err(corrupt("bad magic"));
     }
@@ -186,8 +194,10 @@ fn decode(bytes: &[u8]) -> io::Result<SnapshotData> {
     let dict_len = take_u32(&mut body).ok_or_else(|| corrupt("truncated dictionary"))? as usize;
     let mut dict: Vec<Symbol> = Vec::with_capacity(dict_len.min(1 << 20));
     for _ in 0..dict_len {
-        let len = take_u32(&mut body).ok_or_else(|| corrupt("truncated dictionary entry"))? as usize;
-        let text = take_bytes(&mut body, len).ok_or_else(|| corrupt("truncated dictionary entry"))?;
+        let len =
+            take_u32(&mut body).ok_or_else(|| corrupt("truncated dictionary entry"))? as usize;
+        let text =
+            take_bytes(&mut body, len).ok_or_else(|| corrupt("truncated dictionary entry"))?;
         let text = std::str::from_utf8(text).map_err(|_| corrupt("non-UTF-8 dictionary entry"))?;
         dict.push(Symbol::new(text));
     }
@@ -196,8 +206,11 @@ fn decode(bytes: &[u8]) -> io::Result<SnapshotData> {
     let mut packed_row: Vec<PackedTerm> = Vec::new();
     let relation_count = take_u32(&mut body).ok_or_else(|| corrupt("truncated relation count"))?;
     for _ in 0..relation_count {
-        let name_idx = take_u32(&mut body).ok_or_else(|| corrupt("truncated relation name"))? as usize;
-        let name = *dict.get(name_idx).ok_or_else(|| corrupt("relation name out of range"))?;
+        let name_idx =
+            take_u32(&mut body).ok_or_else(|| corrupt("truncated relation name"))? as usize;
+        let name = *dict
+            .get(name_idx)
+            .ok_or_else(|| corrupt("relation name out of range"))?;
         let predicate = Predicate(name);
         let arity = take_u32(&mut body).ok_or_else(|| corrupt("truncated arity"))? as usize;
         let rows = take_u64(&mut body).ok_or_else(|| corrupt("truncated row count"))?;
@@ -208,8 +221,9 @@ fn decode(bytes: &[u8]) -> io::Result<SnapshotData> {
                 let term = if encoded & NULL_BIT != 0 {
                     PackedTerm::pack_null(NullId((encoded & !NULL_BIT) as u64))
                 } else {
-                    let symbol =
-                        dict.get(encoded as usize).ok_or_else(|| corrupt("term out of range"))?;
+                    let symbol = dict
+                        .get(encoded as usize)
+                        .ok_or_else(|| corrupt("term out of range"))?;
                     PackedTerm::pack_symbol(*symbol)
                 };
                 packed_row.push(term.ok_or_else(|| corrupt("term beyond packed range"))?);
@@ -222,7 +236,12 @@ fn decode(bytes: &[u8]) -> io::Result<SnapshotData> {
     if !body.is_empty() {
         return Err(corrupt("trailing bytes"));
     }
-    Ok(SnapshotData { epoch, last_seq, stats, instance })
+    Ok(SnapshotData {
+        epoch,
+        last_seq,
+        stats,
+        instance,
+    })
 }
 
 /// Number of serialised stats counters; bumping [`DatalogStats`] must bump
@@ -283,22 +302,22 @@ mod tests {
     use vadalog_model::parser::{parse_fact_list, parse_rules};
 
     fn temp_snapshot(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "vadalog-snap-test-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("vadalog-snap-test-{}-{name}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir.join("snapshot.bin")
     }
 
     fn materialised_engine() -> IncrementalEngine {
-        let program = parse_rules(
-            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
-        )
-        .unwrap();
+        let program =
+            parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
         let mut engine = IncrementalEngine::new(program).unwrap();
-        engine.ingest(&parse_fact_list("edge(a, b). edge(b, c). edge(c, d).").unwrap()).unwrap();
-        engine.ingest(&parse_fact_list("edge(d, e).").unwrap()).unwrap();
+        engine
+            .ingest(&parse_fact_list("edge(a, b). edge(b, c). edge(c, d).").unwrap())
+            .unwrap();
+        engine
+            .ingest(&parse_fact_list("edge(d, e).").unwrap())
+            .unwrap();
         engine
     }
 
@@ -318,7 +337,10 @@ mod tests {
         assert_eq!(restored.last_seq, 17);
         assert_eq!(restored.stats, *engine.stats());
         // Bit-identity including arrival order, not just set equality.
-        assert_eq!(restored.instance.row_layout(), engine.instance().row_layout());
+        assert_eq!(
+            restored.instance.row_layout(),
+            engine.instance().row_layout()
+        );
         assert_eq!(restored.instance.len(), engine.instance().len());
     }
 

@@ -79,7 +79,11 @@ const CRC_TABLE: [u32; 256] = {
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
             bit += 1;
         }
         table[i] = crc;
@@ -160,8 +164,12 @@ pub struct Wal {
 impl Wal {
     /// Creates (or truncates) the log at `path` and writes the header.
     pub fn create(path: &Path, policy: SyncPolicy) -> io::Result<Wal> {
-        let mut file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
         file.write_all(&WAL_MAGIC)?;
         file.write_all(&WAL_VERSION.to_le_bytes())?;
         file.sync_data()?;
@@ -180,7 +188,11 @@ impl Wal {
     /// Opens an existing log for appending after a [`replay`] scan:
     /// truncates the file back to the replay's valid prefix (dropping any
     /// torn tail) and resumes the sequence numbering.
-    pub fn open_after_replay(path: &Path, policy: SyncPolicy, replay: &WalReplay) -> io::Result<Wal> {
+    pub fn open_after_replay(
+        path: &Path,
+        policy: SyncPolicy,
+        replay: &WalReplay,
+    ) -> io::Result<Wal> {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         if replay.dropped_bytes > 0 {
             file.set_len(replay.valid_len)?;
@@ -253,7 +265,9 @@ impl Wal {
         payload.extend_from_slice(&seq.to_le_bytes());
         payload.push(KIND_CLEAN_SHUTDOWN);
         let start = self.len;
-        let result = self.write_record(&payload).and_then(|()| self.file.sync_data());
+        let result = self
+            .write_record(&payload)
+            .and_then(|()| self.file.sync_data());
         if let Err(error) = result {
             let _ = self.file.set_len(start);
             self.len = start;
@@ -375,7 +389,10 @@ pub fn replay(path: &Path) -> io::Result<WalReplay> {
         return Ok(out);
     }
     if bytes.len() < HEADER_LEN as usize || bytes[..4] != WAL_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a WAL file (bad magic)"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a WAL file (bad magic)",
+        ));
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
     if version != WAL_VERSION {
@@ -422,7 +439,10 @@ fn decode_record(bytes: &[u8]) -> Option<(usize, WalRecord)> {
     }
     let seq = u64::from_le_bytes(payload[..8].try_into().unwrap());
     let record = match payload[8] {
-        KIND_BATCH => WalRecord::Batch { seq, facts: decode_facts(&payload[9..])? },
+        KIND_BATCH => WalRecord::Batch {
+            seq,
+            facts: decode_facts(&payload[9..])?,
+        },
         KIND_CLEAN_SHUTDOWN => WalRecord::CleanShutdown { seq },
         _ => return None,
     };
@@ -524,10 +544,8 @@ mod tests {
     use vadalog_model::parser::parse_fact_list;
 
     fn temp_path(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "vadalog-wal-test-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("vadalog-wal-test-{}-{name}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir.join("wal.log")
     }

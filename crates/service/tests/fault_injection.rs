@@ -55,7 +55,10 @@ fn random_batch(rng: &mut Rng) -> Vec<Atom> {
 }
 
 fn assert_same_state(recovered: &IncrementalEngine, reference: &IncrementalEngine) {
-    assert_eq!(recovered.instance().row_layout(), reference.instance().row_layout());
+    assert_eq!(
+        recovered.instance().row_layout(),
+        reference.instance().row_layout()
+    );
     assert_eq!(recovered.stats(), reference.stats());
     assert_eq!(recovered.epoch(), reference.epoch());
 }
@@ -66,16 +69,24 @@ fn assert_same_state(recovered: &IncrementalEngine, reference: &IncrementalEngin
 /// across sync policies and snapshot cadences.
 #[test]
 fn randomized_kill_and_recover_is_bit_identical_to_an_uncrashed_engine() {
-    for (trial, seed) in [0x9e3779b97f4a7c15u64, 42, 7_777_777].into_iter().enumerate() {
+    for (trial, seed) in [0x9e3779b97f4a7c15u64, 42, 7_777_777]
+        .into_iter()
+        .enumerate()
+    {
         let mut rng = Rng(seed);
         let dir = temp_dir(&format!("randomized-{trial}"));
         let cadence = 1 + rng.below(3);
-        let sync = if rng.below(2) == 0 { SyncPolicy::Always } else { SyncPolicy::EveryN(2) };
-        let config = DurabilityConfig::new(&dir).snapshot_every(cadence).sync(sync);
+        let sync = if rng.below(2) == 0 {
+            SyncPolicy::Always
+        } else {
+            SyncPolicy::EveryN(2)
+        };
+        let config = DurabilityConfig::new(&dir)
+            .snapshot_every(cadence)
+            .sync(sync);
 
         let mut reference = fresh_engine();
-        let mut durable =
-            Some(DurableEngine::create(fresh_engine(), config.clone()).unwrap());
+        let mut durable = Some(DurableEngine::create(fresh_engine(), config.clone()).unwrap());
         for step in 0..24 {
             let batch = random_batch(&mut rng);
             durable.as_mut().unwrap().ingest(&batch).unwrap();
@@ -86,7 +97,10 @@ fn randomized_kill_and_recover_is_bit_identical_to_an_uncrashed_engine() {
                 drop(durable.take());
                 let (recovered, report) =
                     DurableEngine::recover(fresh_engine(), config.clone()).unwrap();
-                assert!(!report.clean_shutdown, "no clean-shutdown marker was written");
+                assert!(
+                    !report.clean_shutdown,
+                    "no clean-shutdown marker was written"
+                );
                 assert_eq!(report.tail_dropped_bytes, 0, "no write was torn");
                 assert_same_state(recovered.engine(), &reference);
                 durable = Some(recovered);
@@ -174,11 +188,17 @@ mod injected {
 
         failpoints::fail_once("wal.append", Action::TornWrite, 0);
         let torn = parse_fact_list("edge(c, d).").unwrap();
-        assert!(durable.ingest(&torn).is_err(), "the torn append must not ack");
+        assert!(
+            durable.ingest(&torn).is_err(),
+            "the torn append must not ack"
+        );
         drop(durable);
 
         let (recovered, report) = DurableEngine::recover(fresh_engine(), config).unwrap();
-        assert!(report.tail_dropped_bytes > 0, "the torn frame is on disk and gets dropped");
+        assert!(
+            report.tail_dropped_bytes > 0,
+            "the torn frame is on disk and gets dropped"
+        );
         // The torn batch was never acknowledged, so losing it is correct;
         // everything acknowledged survives.
         assert_same_state(recovered.engine(), &reference);
@@ -231,7 +251,11 @@ mod injected {
         durable.ingest(&batch).unwrap();
         reference.ingest(&batch).unwrap();
         let (_, _, snapshots, failures) = durable.wal_stats();
-        assert_eq!((snapshots, failures), (1, 1), "initial snapshot, then one failure");
+        assert_eq!(
+            (snapshots, failures),
+            (1, 1),
+            "initial snapshot, then one failure"
+        );
 
         // The next ingest's automatic snapshot succeeds and truncates.
         let second = parse_fact_list("edge(b, c).").unwrap();
@@ -281,7 +305,10 @@ mod injected {
         doomed.write_all(b"FACT edge(b, c).\n").unwrap();
         let mut eof = String::new();
         let read = BufReader::new(doomed.try_clone().unwrap()).read_line(&mut eof);
-        assert!(matches!(read, Ok(0)), "the panicked handler closes without replying: {eof:?}");
+        assert!(
+            matches!(read, Ok(0)),
+            "the panicked handler closes without replying: {eof:?}"
+        );
 
         // Writes are now refused with a structured error…
         let err = send_line(&mut healthy, "FACT edge(c, d).");
@@ -297,10 +324,17 @@ mod injected {
         // Restart: the acked batch survives, the poisoned one (never acked,
         // but WAL'd) replays — at-least-once, exactly as documented.
         let mut reference = fresh_engine();
-        reference.ingest(&parse_fact_list("edge(a, b).").unwrap()).unwrap();
-        reference.ingest(&parse_fact_list("edge(b, c).").unwrap()).unwrap();
+        reference
+            .ingest(&parse_fact_list("edge(a, b).").unwrap())
+            .unwrap();
+        reference
+            .ingest(&parse_fact_list("edge(b, c).").unwrap())
+            .unwrap();
         let (recovered, report) = DurableEngine::recover(fresh_engine(), config).unwrap();
-        assert!(!report.clean_shutdown, "a poisoned engine must not certify a clean shutdown");
+        assert!(
+            !report.clean_shutdown,
+            "a poisoned engine must not certify a clean shutdown"
+        );
         assert_same_state(recovered.engine(), &reference);
         failpoints::clear_all();
         let _ = std::fs::remove_dir_all(&dir);

@@ -37,7 +37,10 @@ fn assert_serviceable(addr: SocketAddr) {
         "server must still ingest: {ok}"
     );
     let answers = send_line(&mut probe, "QUERY ?(X) :- edge(probe_a, X).");
-    assert!(answers.starts_with("OK answers="), "server must still query: {answers}");
+    assert!(
+        answers.starts_with("OK answers="),
+        "server must still query: {answers}"
+    );
 }
 
 #[test]
@@ -65,7 +68,10 @@ fn malformed_lines_answer_err_without_killing_the_connection() {
     ];
     for line in garbage {
         let response = send_line(&mut stream, line);
-        assert!(response.starts_with("ERR "), "`{line}` must answer ERR, got: {response}");
+        assert!(
+            response.starts_with("ERR "),
+            "`{line}` must answer ERR, got: {response}"
+        );
     }
     // The same connection still works after every rejection.
     assert!(send_line(&mut stream, "FACT edge(a, b).").starts_with("OK inserted=1"));
@@ -87,10 +93,15 @@ fn non_utf8_bytes_are_rejected_not_fatal() {
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut response = String::new();
     reader.read_line(&mut response).unwrap();
-    assert!(response.starts_with("ERR "), "lossy-decoded garbage must parse-fail: {response}");
+    assert!(
+        response.starts_with("ERR "),
+        "lossy-decoded garbage must parse-fail: {response}"
+    );
 
     // Pure binary noise on its own line.
-    stream.write_all(&[0x00, 0x01, 0xc3, 0x28, 0x80, b'\n']).unwrap();
+    stream
+        .write_all(&[0x00, 0x01, 0xc3, 0x28, 0x80, b'\n'])
+        .unwrap();
     response.clear();
     reader.read_line(&mut response).unwrap();
     assert!(response.starts_with("ERR "), "{response}");
@@ -103,10 +114,12 @@ fn non_utf8_bytes_are_rejected_not_fatal() {
 
 #[test]
 fn oversized_lines_get_a_structured_error_and_a_close() {
-    let config = ServerConfig { max_line_bytes: 4096, ..ServerConfig::default() };
-    let server =
-        LiveServer::start_with(DurableEngine::volatile(engine()), "127.0.0.1:0", config)
-            .expect("bind loopback");
+    let config = ServerConfig {
+        max_line_bytes: 4096,
+        ..ServerConfig::default()
+    };
+    let server = LiveServer::start_with(DurableEngine::volatile(engine()), "127.0.0.1:0", config)
+        .expect("bind loopback");
     let addr = server.addr();
 
     let mut stream = TcpStream::connect(addr).unwrap();
@@ -127,7 +140,10 @@ fn oversized_lines_get_a_structured_error_and_a_close() {
         Ok(0) => {}
         Ok(_) => assert_eq!(response.trim_end(), "ERR line too long"),
         Err(error) => assert!(
-            matches!(error.kind(), ErrorKind::ConnectionReset | ErrorKind::BrokenPipe),
+            matches!(
+                error.kind(),
+                ErrorKind::ConnectionReset | ErrorKind::BrokenPipe
+            ),
             "unexpected transport error: {error}"
         ),
     }
@@ -163,7 +179,10 @@ fn half_written_lines_and_abrupt_disconnects_leave_the_server_healthy() {
     stream.shutdown(std::net::Shutdown::Write).unwrap();
     let mut rest = String::new();
     let _ = BufReader::new(&stream).read_to_string(&mut rest);
-    assert!(rest.is_empty(), "an unterminated line is never answered: {rest:?}");
+    assert!(
+        rest.is_empty(),
+        "an unterminated line is never answered: {rest:?}"
+    );
     drop(stream);
 
     // Several clients connecting and vanishing without sending anything.
@@ -183,9 +202,8 @@ fn slow_loris_partial_lines_are_cut_off_by_the_line_deadline() {
         poll_interval: Duration::from_millis(20),
         ..ServerConfig::default()
     };
-    let server =
-        LiveServer::start_with(DurableEngine::volatile(engine()), "127.0.0.1:0", config)
-            .expect("bind loopback");
+    let server = LiveServer::start_with(DurableEngine::volatile(engine()), "127.0.0.1:0", config)
+        .expect("bind loopback");
     let addr = server.addr();
 
     let mut loris = TcpStream::connect(addr).unwrap();

@@ -80,9 +80,7 @@ pub fn has_tiling_within(
         }
         for first in starts {
             let mut stack = vec![first.clone()];
-            if let Some(solution) =
-                extend_downwards(system, &rows, &mut stack, max_height)
-            {
+            if let Some(solution) = extend_downwards(system, &rows, &mut stack, max_height) {
                 return Some(solution);
             }
         }
@@ -98,12 +96,16 @@ fn extend_downwards(
 ) -> Option<Tiling> {
     let last = stack.last().expect("stack never empty").clone();
     if last[0] == system.finish && stack.len() >= 2 {
-        return Some(Tiling { rows: stack.clone() });
+        return Some(Tiling {
+            rows: stack.clone(),
+        });
     }
     // A single-row tiling is allowed if start == finish, which well-formed
     // systems exclude; still handle it for robustness.
     if last[0] == system.finish && system.start == system.finish {
-        return Some(Tiling { rows: stack.clone() });
+        return Some(Tiling {
+            rows: stack.clone(),
+        });
     }
     if stack.len() >= max_height {
         return None;
@@ -177,24 +179,15 @@ mod tests {
     fn validity_checks_catch_broken_tilings() {
         let system = TilingSystem::solvable_example();
         let good = Tiling {
-            rows: vec![
-                vec!["a".into(), "r".into()],
-                vec!["b".into(), "r".into()],
-            ],
+            rows: vec![vec!["a".into(), "r".into()], vec!["b".into(), "r".into()]],
         };
         assert!(good.is_valid_for(&system));
         let bad_borders = Tiling {
-            rows: vec![
-                vec!["r".into(), "r".into()],
-                vec!["b".into(), "r".into()],
-            ],
+            rows: vec![vec!["r".into(), "r".into()], vec!["b".into(), "r".into()]],
         };
         assert!(!bad_borders.is_valid_for(&system));
         let bad_vertical = Tiling {
-            rows: vec![
-                vec!["b".into(), "r".into()],
-                vec!["a".into(), "r".into()],
-            ],
+            rows: vec![vec!["b".into(), "r".into()], vec!["a".into(), "r".into()]],
         };
         assert!(!bad_vertical.is_valid_for(&system));
     }

@@ -134,16 +134,10 @@ mod tests {
 
     #[test]
     fn construction_validates_tile_references() {
-        assert!(TilingSystem::new(
-            vec!["a"],
-            vec!["a"],
-            vec![],
-            vec![],
-            vec![],
-            "a",
-            "missing"
-        )
-        .is_err());
+        assert!(
+            TilingSystem::new(vec!["a"], vec!["a"], vec![], vec![], vec![], "a", "missing")
+                .is_err()
+        );
         assert!(TilingSystem::new(
             vec!["a", "b"],
             vec!["a"],

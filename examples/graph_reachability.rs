@@ -12,14 +12,14 @@ use vadalog::model::parser::{parse_query, parse_rules};
 use vadalog::model::Symbol;
 
 fn main() {
-    let tc = parse_rules(
-        "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).",
-    )
-    .unwrap();
+    let tc = parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
     let query = parse_query("?(X, Y) :- t(X, Y).").unwrap();
 
     println!("chain graphs: proof-search frontier stays constant while the closure grows\n");
-    println!("{:>8} {:>18} {:>22} {:>20}", "edges", "closure atoms", "search node width", "search states");
+    println!(
+        "{:>8} {:>18} {:>22} {:>20}",
+        "edges", "closure atoms", "search node width", "search states"
+    );
     for n in [50usize, 100, 200] {
         let db = chain_graph(n);
         let closure = DatalogEngine::new(tc.clone()).unwrap().evaluate(&db);

@@ -16,7 +16,10 @@ fn main() {
     let program = owl_program();
     assert!(is_warded(&program));
     assert!(is_piecewise_linear(&program));
-    println!("Example 3.3 rule set: {} TGDs, warded ∩ piece-wise linear", program.len());
+    println!(
+        "Example 3.3 rule set: {} TGDs, warded ∩ piece-wise linear",
+        program.len()
+    );
 
     // A small hand-written ontology about a university domain.
     let db = parse(

@@ -30,7 +30,11 @@ fn main() {
     "#;
 
     let parsed = parser::parse(source).expect("the program parses");
-    println!("parsed {} rules, {} facts", parsed.program.len(), parsed.database.len());
+    println!(
+        "parsed {} rules, {} facts",
+        parsed.program.len(),
+        parsed.database.len()
+    );
 
     // 1. Classify the program: it should be in WARD ∩ PWL, the space-efficient core.
     let class = classify_scenario(&parsed.program);

@@ -32,7 +32,10 @@ fn main() {
 
         // Ground truth from the bounded solver.
         let tiling = has_tiling_within(&system, 4, 4);
-        println!("bounded solver (≤4×4): tiling exists = {}", tiling.is_some());
+        println!(
+            "bounded solver (≤4×4): tiling exists = {}",
+            tiling.is_some()
+        );
         if let Some(t) = &tiling {
             for row in &t.rows {
                 println!("   {}", row.join(" "));

@@ -23,7 +23,9 @@ fn all_strategies_agree_on_transitive_closure() {
     let query = parse_query("?(X, Y) :- t(X, Y).").unwrap();
 
     // Ground truth: semi-naive Datalog (the program is plain Datalog).
-    let truth = DatalogEngine::new(program.clone()).unwrap().answers(&db, &query);
+    let truth = DatalogEngine::new(program.clone())
+        .unwrap()
+        .answers(&db, &query);
 
     // Chase.
     let chase = ChaseEngine::new(

@@ -113,7 +113,9 @@ fn section_1_2_linearisation_preserves_certain_answers() {
     let query = parse_query("?(X, Y) :- t(X, Y).").unwrap();
     for seed in 0..3u64 {
         let db = random_graph(10, 25, seed);
-        let before = DatalogEngine::new(nonlinear.clone()).unwrap().answers(&db, &query);
+        let before = DatalogEngine::new(nonlinear.clone())
+            .unwrap()
+            .answers(&db, &query);
         let after = DatalogEngine::new(outcome.program.clone())
             .unwrap()
             .answers(&db, &query);
@@ -140,7 +142,10 @@ fn introduction_statistics_shape_holds_on_a_generated_suite() {
     }
     // The shape of the paper's statistic: a majority is directly PWL, a small
     // slice is linearisable, and PWL + linearisable dominate the suite.
-    assert!(pwl > total / 3, "directly PWL scenarios should dominate ({pwl}/{total})");
+    assert!(
+        pwl > total / 3,
+        "directly PWL scenarios should dominate ({pwl}/{total})"
+    );
     assert!(linearizable > 0);
     assert!(pwl + linearizable > other);
 }

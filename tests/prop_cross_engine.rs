@@ -48,7 +48,9 @@ fn materialising_engines_agree() {
         let program = tc_program();
         let query = parse_query("?(X, Y) :- t(X, Y).").unwrap();
 
-        let datalog = DatalogEngine::new(program.clone()).unwrap().answers(&db, &query);
+        let datalog = DatalogEngine::new(program.clone())
+            .unwrap()
+            .answers(&db, &query);
         let chase = ChaseEngine::new(
             program.clone(),
             ChaseConfig::restricted(TerminationPolicy::Unbounded),
@@ -75,7 +77,9 @@ fn decision_procedure_matches_ground_truth() {
         }
         let program = tc_program();
         let query = parse_query("?(X, Y) :- t(X, Y).").unwrap();
-        let truth = DatalogEngine::new(program.clone()).unwrap().answers(&db, &query);
+        let truth = DatalogEngine::new(program.clone())
+            .unwrap()
+            .answers(&db, &query);
 
         let engine = CertainAnswerEngine::with_defaults(program).unwrap();
         let tuple = vec![
@@ -219,7 +223,10 @@ fn parallel_chase_and_reasoner_match_sequential_runs() {
         )
         .run(&db);
         assert_eq!(chase_par.stats.steps, chase_seq.stats.steps);
-        assert_eq!(row_layout(&chase_par.instance), row_layout(&chase_seq.instance));
+        assert_eq!(
+            row_layout(&chase_par.instance),
+            row_layout(&chase_seq.instance)
+        );
 
         let reasoner_seq = Reasoner::new(&program, EngineConfig::default()).run(&db);
         let reasoner_par = Reasoner::new(
@@ -253,7 +260,9 @@ fn enumeration_matches_ground_truth() {
         }
         let program = tc_program();
         let query = parse_query("?(X, Y) :- t(X, Y).").unwrap();
-        let truth = DatalogEngine::new(program.clone()).unwrap().answers(&db, &query);
+        let truth = DatalogEngine::new(program.clone())
+            .unwrap()
+            .answers(&db, &query);
         let engine = CertainAnswerEngine::with_defaults(program).unwrap();
         assert_eq!(engine.all_answers(&db, &query).unwrap(), truth);
     }

@@ -135,7 +135,9 @@ fn random_batch_splits_match_one_shot_evaluation() {
             continue;
         }
         let union = union_database(&stream);
-        let oneshot = DatalogEngine::new(program.clone()).unwrap().evaluate(&union);
+        let oneshot = DatalogEngine::new(program.clone())
+            .unwrap()
+            .evaluate(&union);
 
         let split_a = arb_split(&mut rng, &stream);
         let split_b = arb_split(&mut rng, &stream);
@@ -197,12 +199,27 @@ fn splits_are_bit_identical_across_thread_counts() {
                 "case {case}, {threads} threads: row-id ordering diverged"
             );
             let (a, b) = (sharded.stats(), sequential.stats());
-            assert_eq!(a.derived_atoms, b.derived_atoms, "case {case}, {threads} threads");
-            assert_eq!(a.joins_evaluated, b.joins_evaluated, "case {case}, {threads} threads");
-            assert_eq!(a.join_probes, b.join_probes, "case {case}, {threads} threads");
-            assert_eq!(a.rows_prededuped, b.rows_prededuped, "case {case}, {threads} threads");
+            assert_eq!(
+                a.derived_atoms, b.derived_atoms,
+                "case {case}, {threads} threads"
+            );
+            assert_eq!(
+                a.joins_evaluated, b.joins_evaluated,
+                "case {case}, {threads} threads"
+            );
+            assert_eq!(
+                a.join_probes, b.join_probes,
+                "case {case}, {threads} threads"
+            );
+            assert_eq!(
+                a.rows_prededuped, b.rows_prededuped,
+                "case {case}, {threads} threads"
+            );
             assert_eq!(a.iterations, b.iterations, "case {case}, {threads} threads");
-            assert_eq!(a.strata_skipped, b.strata_skipped, "case {case}, {threads} threads");
+            assert_eq!(
+                a.strata_skipped, b.strata_skipped,
+                "case {case}, {threads} threads"
+            );
             assert_eq!(
                 a.rounds_incremental, b.rounds_incremental,
                 "case {case}, {threads} threads"
@@ -233,11 +250,16 @@ fn fact_at_a_time_ingestion_converges() {
             continue;
         }
         let union = union_database(&stream);
-        let oneshot = DatalogEngine::new(program.clone()).unwrap().evaluate(&union);
+        let oneshot = DatalogEngine::new(program.clone())
+            .unwrap()
+            .evaluate(&union);
         let mut live = IncrementalEngine::new(program.clone()).unwrap();
         let mut inserted = 0;
         for fact in &stream {
-            inserted += live.ingest(std::slice::from_ref(fact)).unwrap().facts_inserted;
+            inserted += live
+                .ingest(std::slice::from_ref(fact))
+                .unwrap()
+                .facts_inserted;
         }
         assert_eq!(
             sorted_rows(live.instance()),
