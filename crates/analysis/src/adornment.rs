@@ -58,13 +58,20 @@ impl BindingPattern {
         }
     }
 
-    /// Parses `"bf"`-style notation.
+    /// Parses `"bf"`-style notation. The error names both the offending
+    /// character and its 1-based position — the string reaches users over
+    /// the wire (`MODE=` / `VALIDATE`), so "something was wrong somewhere"
+    /// is not an acceptable diagnostic.
     pub fn parse(s: &str) -> Result<BindingPattern, String> {
         s.chars()
-            .map(|c| match c {
+            .enumerate()
+            .map(|(i, c)| match c {
                 'b' => Ok(true),
                 'f' => Ok(false),
-                other => Err(format!("bad adornment letter `{other}` (expected b/f)")),
+                other => Err(format!(
+                    "bad adornment letter `{other}` at position {} of `{s}` (expected b/f)",
+                    i + 1
+                )),
             })
             .collect::<Result<Vec<bool>, String>>()
             .map(BindingPattern::new)
@@ -375,5 +382,18 @@ mod tests {
         assert_eq!(p.to_string(), "bfb");
         assert!(BindingPattern::parse("bx").is_err());
         assert!(BindingPattern::all_free(2).is_all_free());
+    }
+
+    #[test]
+    fn parse_error_names_character_and_position() {
+        let err = BindingPattern::parse("bfx").unwrap_err();
+        assert!(err.contains("`x`"), "error must echo the character: {err}");
+        assert!(
+            err.contains("position 3"),
+            "error must echo the position: {err}"
+        );
+        // The first offender wins when several letters are bad.
+        let err = BindingPattern::parse("zb?").unwrap_err();
+        assert!(err.contains("`z`") && err.contains("position 1"), "{err}");
     }
 }

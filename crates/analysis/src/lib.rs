@@ -26,7 +26,13 @@
 //!   `lint` example;
 //! * **adornment analysis** ([`adornment`]): bound/free SIP propagation from
 //!   a query binding pattern — the groundwork the magic-sets rewrite
-//!   consumes.
+//!   consumes;
+//! * the **magic-sets rewrite** ([`magic`]): demand-driven specialisation of
+//!   a program for one query binding pattern — magic guards, supplementary
+//!   SIP splits and ground seed facts, emitted as an ordinary positive
+//!   Datalog program the stratified evaluator runs unchanged. The demand
+//!   engine in the Datalog crate caches one rewrite per binding-pattern
+//!   signature ([`magic::demand_signature`]).
 //!
 //! # Diagnostic pass pipeline
 //!
@@ -34,7 +40,11 @@
 //! restriction, predicate-signature inference, wardedness, existential
 //! recursion, piece-wise linearity, plan-level dry runs, and (when a query
 //! is supplied) adornment. Every finding carries one of the stable codes
-//! below; codes never change meaning across releases.
+//! below; codes never change meaning across releases. The magic-sets
+//! rewrite ([`magic::magic_rewrite`]) is not a diagnostics pass — it is the
+//! adornment report's consumer, invoked per query by the demand engine and
+//! by the lint CLI (which prints the rewritten program when the linted file
+//! carries a query).
 //!
 //! # Error-code table
 //!
@@ -69,6 +79,7 @@ pub mod classify;
 pub mod diagnostics;
 pub mod levels;
 pub mod linearize;
+pub mod magic;
 pub mod normalize;
 pub mod predicate_graph;
 pub mod pwl;
@@ -85,6 +96,7 @@ pub use diagnostics::{
 };
 pub use levels::PredicateLevels;
 pub use linearize::{linearize, LinearizationOutcome};
+pub use magic::{demand_signature, magic_rewrite, MagicFallback, MagicRewrite};
 pub use normalize::{normalize_single_head, NormalizedProgram};
 pub use predicate_graph::PredicateGraph;
 pub use pwl::{is_intensionally_linear, is_linear_datalog, is_piecewise_linear, PwlReport};

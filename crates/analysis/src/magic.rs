@@ -1,0 +1,520 @@
+//! Magic-sets rewrite: demand-driven specialisation of a program for one
+//! query binding pattern (pass 8 of the pipeline, consuming the adornment
+//! pass's [`AdornmentReport`]).
+//!
+//! Given a query with at least one bound intensional atom, the rewrite
+//! produces an **ordinary Datalog program** the existing stratification /
+//! semi-naive / composite-index machinery evaluates unchanged:
+//!
+//! - one *adorned* copy `p__π` of every reached intensional predicate
+//!   `p^π`, defined by the original rules with intensional body atoms
+//!   renamed to their own adorned copies;
+//! - one *magic* predicate `m__p__π` of arity `π.bound_count()` per
+//!   adorned predicate with a bound position, holding the demanded
+//!   bindings; every adorned rule whose head pattern has a bound position
+//!   is guarded by its magic atom, so it only derives demanded tuples;
+//! - a chain of *supplementary* predicates `sup__<rule>__<π>__<i>` per
+//!   rule, one per SIP-ordered body split, carrying exactly the bindings
+//!   still needed (head variables plus variables of later atoms) from the
+//!   prefix `a_1 … a_i` to the rest of the rule — each intensional body
+//!   atom's magic rule reads the supplementary atom *before* it, so
+//!   demand propagates left to right along the SIP order;
+//! - per query, one ground *seed* fact `m__p__π(c̄)` per bound intensional
+//!   query atom (the constants at the bound positions). Seeds are **data**,
+//!   not rules — TGDs in this codebase are constant-free by construction,
+//!   so the query constants enter through the instance, which is also what
+//!   makes the per-binding-pattern program cache sound: only the seed facts
+//!   change between queries with the same pattern.
+//!
+//! The rewrite refuses (and the caller falls back to full evaluation) when
+//! the program is not plain Datalog, the query has no intensional atom,
+//! every intensional query atom is all-free (demand cannot prune
+//! anything), or a generated predicate name collides with the schema. The
+//! output is positive Datalog, so [`crate::stratify::stratify`] always
+//! succeeds on it — recursion through magic predicates stratifies into the
+//! same kind of mutually recursive strata the evaluator already handles.
+
+use crate::adornment::{adorn_query, AdornedPredicate, AdornmentReport, BindingPattern};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use vadalog_model::{Atom, ConjunctiveQuery, Predicate, Program, Term, Tgd, Variable};
+
+/// Why a magic-sets rewrite was refused. Callers fall back to full
+/// evaluation; the variant is surfaced in diagnostics and STATS-adjacent
+/// logging, so each carries enough detail to be actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MagicFallback {
+    /// The program has non-Datalog TGDs (existentials / multi-atom heads).
+    NotDatalog,
+    /// No query atom mentions an intensional predicate: the query reads
+    /// the database directly and there is nothing to demand.
+    NoIntensionalAtom,
+    /// Every intensional query atom has the all-free pattern; the rewrite
+    /// would demand every tuple anyway.
+    AllFree,
+    /// A generated predicate name already exists in the schema.
+    NameCollision(String),
+    /// A supplementary predicate would carry no variables at all.
+    EmptySupplementary {
+        /// The rule whose SIP split degenerated.
+        tgd_index: usize,
+    },
+    /// The rewritten rule set failed program construction (defensive; the
+    /// generated rules are constant-free and arity-consistent by design).
+    Construction(String),
+}
+
+impl fmt::Display for MagicFallback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MagicFallback::NotDatalog => write!(f, "program is not plain Datalog"),
+            MagicFallback::NoIntensionalAtom => {
+                write!(f, "query has no intensional atom to demand")
+            }
+            MagicFallback::AllFree => write!(f, "every intensional query atom is all-free"),
+            MagicFallback::NameCollision(name) => {
+                write!(f, "generated predicate `{name}` collides with the schema")
+            }
+            MagicFallback::EmptySupplementary { tgd_index } => {
+                write!(
+                    f,
+                    "rule {tgd_index} yields an empty supplementary predicate"
+                )
+            }
+            MagicFallback::Construction(err) => write!(f, "rewritten program rejected: {err}"),
+        }
+    }
+}
+
+/// The product of a magic-sets rewrite: a demand-specialised program plus
+/// the per-query seed facts and renamed query.
+///
+/// The program, renames and adornment depend only on the query's **binding
+/// pattern signature** (which intensional predicates are queried, with
+/// which bound/free shape) — [`MagicRewrite::specialise`] re-derives the
+/// seed facts and renamed query for any later query with the same
+/// signature, which is what the per-pattern specialised-program cache in
+/// the Datalog crate relies on.
+#[derive(Debug, Clone)]
+pub struct MagicRewrite {
+    /// The rewritten (magic + supplementary + adorned) rules.
+    pub program: Program,
+    /// Ground magic seed facts for the concrete query constants. Inserted
+    /// as data, never as rules.
+    pub seeds: Vec<Atom>,
+    /// The query with intensional atoms renamed to their adorned copies.
+    pub query: ConjunctiveQuery,
+    /// Adorned predicate → its name in the rewritten program.
+    pub renames: BTreeMap<AdornedPredicate, Predicate>,
+    /// Adorned predicate → its magic predicate (only patterns with at
+    /// least one bound position have one).
+    pub magic_predicates: BTreeMap<AdornedPredicate, Predicate>,
+    /// The adornment fixpoint the rewrite was generated from.
+    pub adornment: AdornmentReport,
+    /// The intensional predicates of the *original* program (used to
+    /// re-specialise later queries).
+    idb: BTreeSet<Predicate>,
+}
+
+impl MagicRewrite {
+    /// Recomputes the seed facts and renamed query for a query with the
+    /// same binding-pattern signature as the one this rewrite was built
+    /// for. Only the constants differ between such queries, so the cached
+    /// program, strata and join plans stay valid; this is the cache-hit
+    /// path. Errors if the signature does not match (the caller should
+    /// fall back to full evaluation).
+    pub fn specialise(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> Result<(Vec<Atom>, ConjunctiveQuery), String> {
+        let mut seeds = Vec::new();
+        let mut atoms = Vec::with_capacity(query.atoms.len());
+        for atom in &query.atoms {
+            if !self.idb.contains(&atom.predicate) {
+                atoms.push(atom.clone());
+                continue;
+            }
+            let adorned = AdornedPredicate {
+                predicate: atom.predicate,
+                pattern: BindingPattern::from_query_atom(atom),
+            };
+            let renamed = self.renames.get(&adorned).ok_or_else(|| {
+                format!("query atom `{atom}` has no adorned copy `{adorned}` in this rewrite")
+            })?;
+            if let Some(&magic) = self.magic_predicates.get(&adorned) {
+                let bound: Vec<Term> = atom
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| adorned.pattern.is_bound(*i))
+                    .map(|(_, t)| *t)
+                    .collect();
+                seeds.push(Atom::new(magic, bound));
+            }
+            atoms.push(Atom::new(*renamed, atom.terms.clone()));
+        }
+        Ok((
+            seeds,
+            ConjunctiveQuery::new_unchecked(query.output.clone(), atoms),
+        ))
+    }
+
+    /// Every predicate name the rewrite invented (adorned copies, magic
+    /// predicates, supplementaries). A served snapshot must not already
+    /// contain relations under these names — the demand engine checks.
+    pub fn generated_predicates(&self) -> BTreeSet<Predicate> {
+        let mut generated: BTreeSet<Predicate> = self.renames.values().copied().collect();
+        generated.extend(self.magic_predicates.values().copied());
+        generated.extend(
+            self.program
+                .schema()
+                .into_iter()
+                .filter(|p| p.name().starts_with("sup__")),
+        );
+        generated
+    }
+
+    /// Human-readable rendering of the whole rewrite — seed facts, rules,
+    /// renamed query — for the lint CLI and debugging.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for seed in &self.seeds {
+            out.push_str(&format!("{seed}. % seed\n"));
+        }
+        out.push_str(&self.program.to_string());
+        out.push_str(&format!("% query: {}\n", self.query));
+        out
+    }
+}
+
+fn adorned_name(p: Predicate, pattern: &BindingPattern) -> String {
+    format!("{}__{}", p.name(), pattern)
+}
+
+fn magic_name(p: Predicate, pattern: &BindingPattern) -> String {
+    format!("m__{}__{}", p.name(), pattern)
+}
+
+fn sup_name(tgd_index: usize, pattern: &BindingPattern, split: usize) -> String {
+    format!("sup__{tgd_index}__{pattern}__{split}")
+}
+
+/// Checks a generated name against the original schema and interns it.
+fn fresh(name: String, schema: &BTreeSet<Predicate>) -> Result<Predicate, MagicFallback> {
+    let p = Predicate::new(&name);
+    if schema.contains(&p) {
+        return Err(MagicFallback::NameCollision(name));
+    }
+    Ok(p)
+}
+
+/// The binding-pattern signature of a query against a program: the sorted
+/// (predicate, pattern) pairs of its intensional atoms. Two queries with
+/// equal signatures share one specialised program — this is the cache key
+/// of the demand engine. Empty iff the query has no intensional atom.
+pub fn demand_signature(
+    program: &Program,
+    query: &ConjunctiveQuery,
+) -> Vec<(Predicate, BindingPattern)> {
+    let idb = program.intensional_predicates();
+    let mut signature: Vec<(Predicate, BindingPattern)> = query
+        .atoms
+        .iter()
+        .filter(|a| idb.contains(&a.predicate))
+        .map(|a| (a.predicate, BindingPattern::from_query_atom(a)))
+        .collect();
+    signature.sort();
+    signature.dedup();
+    signature
+}
+
+/// Rewrites `program` for demand-driven evaluation of `query`.
+///
+/// See the module docs for the construction. On success the returned
+/// program is positive Datalog over the original extensional predicates
+/// plus the generated adorned / magic / supplementary predicates; seed
+/// facts plus the extensional data are a complete input for evaluating the
+/// renamed query with answers identical to full evaluation.
+pub fn magic_rewrite(
+    program: &Program,
+    query: &ConjunctiveQuery,
+) -> Result<MagicRewrite, MagicFallback> {
+    if !program.is_datalog() {
+        return Err(MagicFallback::NotDatalog);
+    }
+    let idb = program.intensional_predicates();
+    if !query.atoms.iter().any(|a| idb.contains(&a.predicate)) {
+        return Err(MagicFallback::NoIntensionalAtom);
+    }
+    let adornment = adorn_query(program, query);
+    if adornment.seeds.iter().all(|s| s.pattern.is_all_free()) {
+        return Err(MagicFallback::AllFree);
+    }
+    let schema = program.schema();
+
+    // Name every adorned copy and every magic predicate up front.
+    let mut renames = BTreeMap::new();
+    let mut magic_predicates = BTreeMap::new();
+    for adorned in &adornment.adorned {
+        renames.insert(
+            adorned.clone(),
+            fresh(adorned_name(adorned.predicate, &adorned.pattern), &schema)?,
+        );
+        if !adorned.pattern.is_all_free() {
+            magic_predicates.insert(
+                adorned.clone(),
+                fresh(magic_name(adorned.predicate, &adorned.pattern), &schema)?,
+            );
+        }
+    }
+
+    let mut rewritten = Program::new();
+    let mut add = |body: Vec<Atom>, head: Atom| -> Result<(), MagicFallback> {
+        let tgd =
+            Tgd::new(body, vec![head]).map_err(|e| MagicFallback::Construction(e.to_string()))?;
+        rewritten
+            .add(tgd)
+            .map_err(|e| MagicFallback::Construction(e.to_string()))
+    };
+
+    for ra in &adornment.rules {
+        let tgd = &program.tgds()[ra.tgd_index];
+        let head_atom = &tgd.head[0];
+        let head_pattern = &ra.head.pattern;
+        let adorned_head = Atom::new(renames[&ra.head], head_atom.terms.clone());
+
+        // Demand guard: the rule only fires for demanded head bindings.
+        let guard = magic_predicates.get(&ra.head).map(|&magic| {
+            let bound: Vec<Term> = head_atom
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| head_pattern.is_bound(*i))
+                .map(|(_, t)| *t)
+                .collect();
+            Atom::new(magic, bound)
+        });
+
+        // Walk the SIP order, threading the binding prefix through a chain
+        // of supplementary atoms.
+        let mut chain: Option<Atom> = guard;
+        let splits = ra.body.len();
+        for (step, aa) in ra.body.iter().enumerate() {
+            let original = &tgd.body[aa.atom_index];
+            let atom = if aa.intensional {
+                let key = AdornedPredicate {
+                    predicate: aa.predicate,
+                    pattern: aa.pattern.clone(),
+                };
+                Atom::new(renames[&key], original.terms.clone())
+            } else {
+                original.clone()
+            };
+
+            // A demanded intensional atom gets a magic rule: its bound
+            // arguments are exactly the bindings the prefix carries.
+            if aa.intensional && !aa.pattern.is_all_free() {
+                let key = AdornedPredicate {
+                    predicate: aa.predicate,
+                    pattern: aa.pattern.clone(),
+                };
+                let bound: Vec<Term> = original
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| aa.pattern.is_bound(*i))
+                    .map(|(_, t)| *t)
+                    .collect();
+                // A bound position means a bound variable, and rules are
+                // constant-free, so some earlier binder (guard or prefix
+                // atom) exists and the chain is non-empty here.
+                let prefix = chain
+                    .clone()
+                    .expect("bound atom pattern implies an earlier binder in the SIP order");
+                add(vec![prefix], Atom::new(magic_predicates[&key], bound))?;
+            }
+
+            if step + 1 == splits {
+                let mut body = Vec::new();
+                if let Some(prefix) = chain.take() {
+                    body.push(prefix);
+                }
+                body.push(atom);
+                add(body, adorned_head.clone())?;
+            } else {
+                // Supplementary split: keep the variables the rest of the
+                // rule (or the head) still needs.
+                let available: Vec<Variable> = {
+                    let mut seen = BTreeSet::new();
+                    chain
+                        .iter()
+                        .flat_map(|a| a.variables())
+                        .chain(atom.variables())
+                        .filter(|v| seen.insert(*v))
+                        .collect()
+                };
+                let mut needed: BTreeSet<Variable> = head_atom.variables().into_iter().collect();
+                for later in &ra.body[step + 1..] {
+                    needed.extend(tgd.body[later.atom_index].variables());
+                }
+                let mut keep: Vec<Variable> = available
+                    .iter()
+                    .filter(|v| needed.contains(v))
+                    .copied()
+                    .collect();
+                if keep.is_empty() {
+                    // Degenerate (cross-product) split: carry everything
+                    // rather than invent a 0-ary predicate.
+                    keep = available;
+                }
+                if keep.is_empty() {
+                    return Err(MagicFallback::EmptySupplementary {
+                        tgd_index: ra.tgd_index,
+                    });
+                }
+                let sup = fresh(sup_name(ra.tgd_index, head_pattern, step + 1), &schema)?;
+                let sup_atom = Atom::new(sup, keep.into_iter().map(Term::Var).collect());
+                let mut body = Vec::new();
+                if let Some(prefix) = chain.take() {
+                    body.push(prefix);
+                }
+                body.push(atom);
+                add(body, sup_atom.clone())?;
+                chain = Some(sup_atom);
+            }
+        }
+    }
+
+    let mut rewrite = MagicRewrite {
+        program: rewritten,
+        seeds: Vec::new(),
+        query: query.clone(),
+        renames,
+        magic_predicates,
+        adornment,
+        idb,
+    };
+    let (seeds, renamed) = rewrite
+        .specialise(query)
+        .map_err(MagicFallback::Construction)?;
+    rewrite.seeds = seeds;
+    rewrite.query = renamed;
+    Ok(rewrite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stratify::stratify;
+    use vadalog_model::parser::{parse_query, parse_rules};
+
+    const TC: &str = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).";
+
+    #[test]
+    fn bound_tc_query_generates_magic_and_supplementary_rules() {
+        let program = parse_rules(TC).unwrap();
+        let query = parse_query("?(Y) :- t(a, Y).").unwrap();
+        let rewrite = magic_rewrite(&program, &query).unwrap();
+
+        // One seed fact carrying the constant.
+        assert_eq!(rewrite.seeds.len(), 1);
+        assert_eq!(rewrite.seeds[0].to_string(), "m__t__bf(a)");
+        // The renamed query reads the adorned copy.
+        assert_eq!(rewrite.query.atoms[0].predicate.name(), "t__bf");
+
+        let rendered = rewrite.render();
+        // Base rule guarded by the magic atom.
+        assert!(
+            rendered.contains("t__bf(X, Y) :- m__t__bf(X), edge(X, Y)"),
+            "{rendered}"
+        );
+        // The recursive rule splits at the supplementary and feeds demand
+        // back into the magic predicate.
+        assert!(rendered.contains("sup__1__bf__1"), "{rendered}");
+        assert!(
+            rendered.contains("m__t__bf(Y) :- sup__1__bf__1"),
+            "{rendered}"
+        );
+
+        // The rewrite is ordinary positive Datalog: it stratifies, and the
+        // magic/adorned/supplementary predicates land in strata.
+        assert!(rewrite.program.is_datalog());
+        let strat = stratify(&rewrite.program);
+        assert!(!strat.is_empty());
+        assert!(strat.stratum_of(Predicate::new("t__bf")).is_some());
+        assert!(strat.stratum_of(Predicate::new("m__t__bf")).is_some());
+    }
+
+    #[test]
+    fn all_free_query_falls_back() {
+        let program = parse_rules(TC).unwrap();
+        let query = parse_query("?(X, Y) :- t(X, Y).").unwrap();
+        assert!(matches!(
+            magic_rewrite(&program, &query),
+            Err(MagicFallback::AllFree)
+        ));
+    }
+
+    #[test]
+    fn edb_only_query_falls_back() {
+        let program = parse_rules(TC).unwrap();
+        let query = parse_query("?(Y) :- edge(a, Y).").unwrap();
+        assert!(matches!(
+            magic_rewrite(&program, &query),
+            Err(MagicFallback::NoIntensionalAtom)
+        ));
+    }
+
+    #[test]
+    fn schema_collisions_fall_back() {
+        let program = parse_rules(
+            "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).\n\
+             keep(X) :- t__bf(X, X).",
+        )
+        .unwrap();
+        let query = parse_query("?(Y) :- t(a, Y).").unwrap();
+        assert!(matches!(
+            magic_rewrite(&program, &query),
+            Err(MagicFallback::NameCollision(name)) if name == "t__bf"
+        ));
+    }
+
+    #[test]
+    fn specialise_rebinds_constants_without_rebuilding() {
+        let program = parse_rules(TC).unwrap();
+        let rewrite = magic_rewrite(&program, &parse_query("?(Y) :- t(a, Y).").unwrap()).unwrap();
+        let (seeds, renamed) = rewrite
+            .specialise(&parse_query("?(Y) :- t(q17, Y).").unwrap())
+            .unwrap();
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(seeds[0].to_string(), "m__t__bf(q17)");
+        assert_eq!(renamed.atoms[0].predicate.name(), "t__bf");
+        // A different pattern is a different cache entry, not a respecialise.
+        assert!(rewrite
+            .specialise(&parse_query("? :- t(a, b).").unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn demand_signature_is_constant_insensitive() {
+        let program = parse_rules(TC).unwrap();
+        let a = demand_signature(&program, &parse_query("?(Y) :- t(a, Y).").unwrap());
+        let b = demand_signature(&program, &parse_query("?(Y) :- t(zz, Y).").unwrap());
+        let c = demand_signature(&program, &parse_query("? :- t(a, b).").unwrap());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].1.to_string(), "bf");
+        let edb = demand_signature(&program, &parse_query("?(Y) :- edge(a, Y).").unwrap());
+        assert!(edb.is_empty());
+    }
+
+    #[test]
+    fn point_query_binds_both_positions() {
+        let program = parse_rules(TC).unwrap();
+        let query = parse_query("? :- t(a, b).").unwrap();
+        let rewrite = magic_rewrite(&program, &query).unwrap();
+        assert_eq!(rewrite.seeds[0].to_string(), "m__t__bb(a, b)");
+        assert!(rewrite.render().contains("t__bb"), "{}", rewrite.render());
+    }
+}

@@ -20,7 +20,10 @@
 //! host's available parallelism), and the `incremental` experiment writes
 //! `BENCH_incremental.json` (delta-ingest wall-clock of the live
 //! incremental engine vs a full from-scratch re-evaluation of the union,
-//! with the affected-strata skip and bit-identity asserted first).
+//! with the affected-strata skip and bit-identity asserted first), and the
+//! `magic` experiment writes `BENCH_magic.json` (bound and point
+//! reachability queries through the demand-driven magic-sets path vs full
+//! materialisation, answers asserted bit-identical first).
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -90,6 +93,154 @@ fn main() {
     if run("recovery") {
         recovery_bench(quick);
     }
+    if run("magic") {
+        magic_bench(quick);
+    }
+}
+
+/// Magic — demand-driven evaluation of bound queries against full
+/// materialisation, on the disjoint-chains reachability workload (full
+/// closure grows with every chain; a bound query can only demand one
+/// chain's worth). Before any timing the harness asserts the magic path's
+/// answers **bit-identical** to the full path's for the bound and the
+/// point query, that the all-free query falls back, and that the second
+/// same-pattern query comes out of the specialised-program cache with the
+/// same bits; a tripped assert fails the CI job. Asserts the bound query
+/// via magic beats full materialisation ≥ 10x and demands ≪ the full
+/// closure, and writes `BENCH_magic.json`.
+fn magic_bench(quick: bool) {
+    use vadalog_benchgen::magic::bound_query_scenario;
+    use vadalog_datalog::{DemandEngine, DemandError};
+    use vadalog_model::QueryBudget;
+
+    println!("-- magic: demand-driven bound queries vs full materialisation --");
+    let samples = if quick { 3 } else { 5 };
+    let (chains, chain_len) = if quick { (60usize, 30usize) } else { (200, 60) };
+    let scenario = bound_query_scenario(chains, chain_len, 42);
+    let base = scenario.database.as_instance();
+    let budget = QueryBudget::unlimited();
+
+    // The full-path reference: materialise everything, then apply each CQ.
+    let engine = DatalogEngine::new(scenario.program.clone()).unwrap();
+    let reference = engine.evaluate(&scenario.database);
+    let full_tuples = reference.stats.derived_atoms;
+    assert_eq!(
+        scenario.full_query.evaluate(&reference.instance).len(),
+        scenario.full_closure_size,
+        "the workload's closure size must match its structure"
+    );
+
+    // Correctness gates: bit-identity on both bound shapes, fallback on
+    // the all-free shape, cache hit with the same bits on a repeat.
+    let demand = DemandEngine::new(scenario.program.clone());
+    let bound = demand.answer(base, &scenario.bound_query, &budget).unwrap();
+    assert_eq!(
+        bound.answers,
+        scenario.bound_query.evaluate(&reference.instance),
+        "magic and full answers must be bit-identical for the bound query"
+    );
+    let point = demand.answer(base, &scenario.point_query, &budget).unwrap();
+    assert_eq!(
+        point.answers,
+        scenario.point_query.evaluate(&reference.instance),
+        "magic and full answers must be bit-identical for the point query"
+    );
+    match demand.answer(base, &scenario.full_query, &budget) {
+        Err(DemandError::Fallback(_)) => {}
+        other => panic!("the all-free query must fall back, got {other:?}"),
+    }
+    let repeat = demand.answer(base, &scenario.bound_query, &budget).unwrap();
+    assert!(
+        repeat.cache_hit,
+        "second same-pattern query must hit the cache"
+    );
+    assert_eq!(
+        repeat.answers, bound.answers,
+        "cached answers must not drift"
+    );
+    let demanded = bound.demanded_tuples;
+    assert!(
+        demanded.saturating_mul(10) < full_tuples as u64,
+        "the bound query must demand far less than the full closure \
+         ({demanded} vs {full_tuples})"
+    );
+
+    // Timed: full materialisation + CQ, vs the magic path per query shape.
+    // `cold` pays rewrite + stratification + join compilation on a fresh
+    // engine; `warm` replays the cached specialised program.
+    let mut full_ms = f64::MAX;
+    for _ in 0..samples {
+        let start = Instant::now();
+        let result = engine.evaluate(&scenario.database);
+        let answers = scenario.bound_query.evaluate(&result.instance);
+        full_ms = full_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(answers.len(), scenario.bound_answer_size);
+    }
+    let magic_timing = |query: &vadalog_model::ConjunctiveQuery| -> (f64, f64) {
+        let mut cold = f64::MAX;
+        let mut warm = f64::MAX;
+        for _ in 0..samples {
+            let fresh = DemandEngine::new(scenario.program.clone());
+            let start = Instant::now();
+            fresh.answer(base, query, &budget).unwrap();
+            cold = cold.min(start.elapsed().as_secs_f64() * 1e3);
+            let start = Instant::now();
+            let again = fresh.answer(base, query, &budget).unwrap();
+            warm = warm.min(start.elapsed().as_secs_f64() * 1e3);
+            assert!(again.cache_hit);
+        }
+        (cold, warm)
+    };
+    let (bound_cold_ms, bound_warm_ms) = magic_timing(&scenario.bound_query);
+    let (point_cold_ms, point_warm_ms) = magic_timing(&scenario.point_query);
+    let bound_speedup = full_ms / bound_warm_ms;
+    let point_speedup = full_ms / point_warm_ms;
+
+    let mut table = Table::new(&["query", "wall ms", "note"]);
+    table.row(&[
+        "full TC + bound CQ".into(),
+        format!("{full_ms:.3}"),
+        format!("{full_tuples} tuples derived"),
+    ]);
+    table.row(&[
+        "bound reach(c, Y), magic cold".into(),
+        format!("{bound_cold_ms:.3}"),
+        "rewrite + compile + evaluate".into(),
+    ]);
+    table.row(&[
+        "bound reach(c, Y), magic warm".into(),
+        format!("{bound_warm_ms:.3}"),
+        format!("{demanded} tuples demanded, speedup {bound_speedup:.1}x"),
+    ]);
+    table.row(&[
+        "point reach(c, c'), magic warm".into(),
+        format!("{point_warm_ms:.3}"),
+        format!("speedup {point_speedup:.1}x (cold {point_cold_ms:.3} ms)"),
+    ]);
+    print!("{}", table.render());
+
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"chains\": {chains},\n    \"chain_len\": {chain_len},\n    \
+         \"edges\": {},\n    \"full_closure_size\": {}\n  }},\n  \
+         \"full_wall_ms\": {full_ms:.3},\n  \"full_materialised_tuples\": {full_tuples},\n  \
+         \"bound_magic_cold_wall_ms\": {bound_cold_ms:.3},\n  \
+         \"bound_magic_warm_wall_ms\": {bound_warm_ms:.3},\n  \
+         \"bound_speedup\": {bound_speedup:.2},\n  \
+         \"point_magic_cold_wall_ms\": {point_cold_ms:.3},\n  \
+         \"point_magic_warm_wall_ms\": {point_warm_ms:.3},\n  \
+         \"point_speedup\": {point_speedup:.2},\n  \
+         \"demanded_tuples\": {demanded},\n  \"answers_bit_identical\": true\n}}\n",
+        scenario.database.len(),
+        scenario.full_closure_size,
+    );
+    std::fs::write("BENCH_magic.json", &json).expect("write BENCH_magic.json");
+    println!("wrote BENCH_magic.json");
+
+    assert!(
+        bound_speedup >= 10.0,
+        "the bound query through the magic path must beat full materialisation \
+         by at least 10x, got {bound_speedup:.2}x"
+    );
 }
 
 /// Recovery — the durability tax and the recovery dividend, on the

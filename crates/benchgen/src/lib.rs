@@ -20,7 +20,10 @@
 //!   two-column key (the composite-index workload of `BENCH_joins.json`);
 //! * [`delta`] — delta-stream workloads (base database + small fact
 //!   batches) for the incremental-ingestion benchmark of
-//!   `BENCH_incremental.json`.
+//!   `BENCH_incremental.json`;
+//! * [`magic`] — bound-query reachability workloads (disjoint chains, so
+//!   full-closure size vs per-query demand is a structural property) for
+//!   the magic-sets benchmark of `BENCH_magic.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +33,7 @@ pub mod delta;
 pub mod fkjoin;
 pub mod graphs;
 pub mod iwarded;
+pub mod magic;
 pub mod owl;
 
 pub use data_exchange::data_exchange_scenario;
@@ -37,4 +41,5 @@ pub use delta::{two_closure_delta_stream, DeltaStreamScenario, TWO_CLOSURE_PROGR
 pub use fkjoin::{fk_join_scenario, FkJoinScenario};
 pub use graphs::{chain_graph, grid_graph, preferential_attachment, random_graph};
 pub use iwarded::{iwarded_scenario, ScenarioKind, ScenarioMix};
+pub use magic::{bound_query_scenario, BoundQueryScenario, REACH_PROGRAM};
 pub use owl::{owl_database, owl_program, synthetic_kg};

@@ -41,11 +41,12 @@
 
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
+use std::time::Instant;
 use vadalog_analysis::stratify::{stratify, Stratification};
 use vadalog_model::parallel::{self, DerivationBatch};
 use vadalog_model::{
-    Atom, ConjunctiveQuery, Database, Instance, JoinPlan, JoinSpec, Matcher, MergeScratch,
-    ModelError, Predicate, Program, RowId, RowTemplate, Symbol, Tgd,
+    Atom, BudgetExceeded, ConjunctiveQuery, Database, Instance, JoinPlan, JoinSpec, Matcher,
+    MergeScratch, ModelError, Predicate, Program, RowId, RowTemplate, Symbol, Tgd,
 };
 
 /// Counters describing an evaluation run.
@@ -295,6 +296,159 @@ pub(crate) fn seeded_round(
     })
 }
 
+/// Runs one stratum to fixpoint against `instance`: the sharded naive first
+/// round (driver-atom row ranges) followed, for recursive strata, by
+/// watermark-delta semi-naive rounds until no stratum predicate grows. The
+/// rules, compiled [`JoinSpec`]s and packed head [`RowTemplate`]s arrive
+/// precompiled — [`DatalogEngine::evaluate`] compiles them per stratum per
+/// run, while the demand engine's per-binding-pattern specialised-program
+/// cache compiles them once and replays them for every query of the
+/// pattern.
+///
+/// `deadline` is polled cooperatively at the top of every round (`None`
+/// never cancels): a passed deadline stops the fixpoint with
+/// [`BudgetExceeded::Deadline`] *between* rounds, leaving `instance` in a
+/// sound-but-incomplete state the caller must discard. Unbudgeted callers
+/// are bit-identical to the pre-extraction loop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stratum_fixpoint(
+    rules: &[&Tgd],
+    specs: &[JoinSpec],
+    templates: &[RowTemplate],
+    preds: &[Predicate],
+    recursive: bool,
+    instance: &mut Instance,
+    threads: usize,
+    scratch: &mut MergeScratch,
+    stats: &mut DatalogStats,
+    deadline: Option<Instant>,
+) -> Result<(), BudgetExceeded> {
+    let expired = |deadline: Option<Instant>| deadline.is_some_and(|d| Instant::now() >= d);
+    if expired(deadline) {
+        return Err(BudgetExceeded::Deadline);
+    }
+
+    // The delta of a round is not a separate instance: rows are
+    // append-only with stable ids, so "the facts derived in round
+    // i" is exactly a per-relation row-id range. Each round records
+    // the relation watermarks of the stratum's predicates; the next
+    // round replays the rows between the previous and the current
+    // watermark. A relation missing at the `lo` sample watermarks at
+    // 0, so a predicate first materialised in a later round gets the
+    // full `0..hi` range — every row of it is genuinely new. Rounds
+    // are evaluated against a frozen instance (derivations merge at
+    // the end of the round), so `lo..hi` is exactly the previous
+    // round's output and seed rows are never re-joined as delta.
+    let watermark = |instance: &Instance| -> Vec<RowId> {
+        preds
+            .iter()
+            .map(|&p| instance.relation(p).map(|r| r.row_count()).unwrap_or(0))
+            .collect()
+    };
+    let mut lo = watermark(instance);
+
+    // Naive first round, sharded by **driver-atom row ranges**: each
+    // rule's body atom 0 is the driver; its relation's rows are
+    // hash-partitioned into the fixed shard count and each
+    // (rule, shard) task prematches the driver rows and joins the
+    // remaining atoms with the rule's shared build/probe plan. A
+    // rule whose driver relation is absent (or has the wrong arity)
+    // can have no matches and contributes no tasks. The round still
+    // counts one `joins_evaluated` per rule — the whole instance
+    // drives each rule exactly once, however many shards execute it.
+    stats.joins_evaluated += rules.len();
+    let naive_shards: Vec<Option<Vec<Vec<RowId>>>> = rules
+        .iter()
+        .map(|rule| {
+            let driver = &rule.body[0];
+            instance
+                .relation(driver.predicate)
+                .filter(|rel| rel.arity() == driver.arity())
+                .map(|rel| parallel::shard_delta_rows(rel, 0, rel.row_count()))
+        })
+        .collect();
+    let naive_plans: Vec<JoinPlan> = specs.iter().map(|spec| spec.plan(instance, &[0])).collect();
+    struct NaiveTask {
+        rule_index: usize,
+        shard: usize,
+    }
+    let mut naive_tasks: Vec<NaiveTask> = Vec::new();
+    for (rule_index, shards) in naive_shards.iter().enumerate() {
+        if let Some(shards) = shards {
+            for (shard, rows) in shards.iter().enumerate() {
+                if !rows.is_empty() {
+                    naive_tasks.push(NaiveTask { rule_index, shard });
+                }
+            }
+        }
+    }
+    let frozen = &*instance;
+    let naive = parallel::run_tasks(threads, naive_tasks.len(), |task_index| {
+        let task = &naive_tasks[task_index];
+        let rule = rules[task.rule_index];
+        let driver = &rule.body[0];
+        let rel = frozen
+            .relation(driver.predicate)
+            .expect("sharded driver relation exists");
+        let rows = &naive_shards[task.rule_index]
+            .as_ref()
+            .expect("task shards exist")[task.shard];
+        let mut out = TaskOutput::new(&rule.head[0]);
+        let mut matcher = Matcher::new(&specs[task.rule_index]);
+        matcher.set_plan(Some(&naive_plans[task.rule_index]));
+        for &row_id in rows {
+            out.join_probes += 1;
+            matcher.clear();
+            if !matcher.prematch(0, rel.row(row_id)) {
+                continue;
+            }
+            let run = matcher.for_each(frozen, |bindings| {
+                bindings.emit(&templates[task.rule_index], &mut out.batch.rows);
+                ControlFlow::Continue(())
+            });
+            out.absorb_run(run);
+        }
+        out.prededup(frozen)
+    });
+    flush_round(naive, scratch, instance, stats);
+    stats.iterations += 1;
+
+    if !recursive {
+        return Ok(());
+    }
+
+    // Semi-naive rounds: differentiate each rule with respect to the
+    // predicates of this stratum, seeding one body atom from the
+    // delta. Each predicate's delta row range is hash-partitioned
+    // once per round into a fixed number of shards; the tasks of the
+    // round are the non-empty (rule, body position, shard) triples,
+    // a decomposition that depends only on the data so that merge
+    // order — and therefore row-id assignment — is identical for
+    // every thread count.
+    let mut hi = watermark(instance);
+    while lo.iter().zip(hi.iter()).any(|(l, h)| l < h) {
+        if expired(deadline) {
+            return Err(BudgetExceeded::Deadline);
+        }
+        stats.iterations += 1;
+        let deltas: Vec<DeltaRange> = preds
+            .iter()
+            .enumerate()
+            .filter(|&(pred_index, _)| lo[pred_index] < hi[pred_index])
+            .map(|(pred_index, &predicate)| DeltaRange {
+                predicate,
+                lo: lo[pred_index],
+                hi: hi[pred_index],
+            })
+            .collect();
+        let outputs = seeded_round(rules, specs, templates, &deltas, instance, threads);
+        flush_round(outputs, scratch, instance, stats);
+        lo = hi;
+        hi = watermark(instance);
+    }
+    Ok(())
+}
+
 /// A stratified semi-naive Datalog engine for a fixed program.
 #[derive(Debug, Clone)]
 pub struct DatalogEngine {
@@ -367,126 +521,20 @@ impl DatalogEngine {
                 .zip(specs.iter())
                 .map(|(rule, spec)| spec.row_template(&rule.head[0]))
                 .collect();
-
-            // The delta of a round is not a separate instance: rows are
-            // append-only with stable ids, so "the facts derived in round
-            // i" is exactly a per-relation row-id range. Each round records
-            // the relation watermarks of the stratum's predicates; the next
-            // round replays the rows between the previous and the current
-            // watermark. A relation missing at the `lo` sample watermarks at
-            // 0, so a predicate first materialised in a later round gets the
-            // full `0..hi` range — every row of it is genuinely new. Rounds
-            // are evaluated against a frozen instance (derivations merge at
-            // the end of the round), so `lo..hi` is exactly the previous
-            // round's output and seed rows are never re-joined as delta.
             let preds: Vec<Predicate> = stratum.predicates.iter().copied().collect();
-            let watermark = |instance: &Instance| -> Vec<RowId> {
-                preds
-                    .iter()
-                    .map(|&p| instance.relation(p).map(|r| r.row_count()).unwrap_or(0))
-                    .collect()
-            };
-            let mut lo = watermark(&instance);
-
-            // Naive first round, sharded by **driver-atom row ranges**: each
-            // rule's body atom 0 is the driver; its relation's rows are
-            // hash-partitioned into the fixed shard count and each
-            // (rule, shard) task prematches the driver rows and joins the
-            // remaining atoms with the rule's shared build/probe plan. A
-            // rule whose driver relation is absent (or has the wrong arity)
-            // can have no matches and contributes no tasks. The round still
-            // counts one `joins_evaluated` per rule — the whole instance
-            // drives each rule exactly once, however many shards execute it.
-            stats.joins_evaluated += rules.len();
-            let naive_shards: Vec<Option<Vec<Vec<RowId>>>> = rules
-                .iter()
-                .map(|rule| {
-                    let driver = &rule.body[0];
-                    instance
-                        .relation(driver.predicate)
-                        .filter(|rel| rel.arity() == driver.arity())
-                        .map(|rel| parallel::shard_delta_rows(rel, 0, rel.row_count()))
-                })
-                .collect();
-            let naive_plans: Vec<JoinPlan> = specs
-                .iter()
-                .map(|spec| spec.plan(&instance, &[0]))
-                .collect();
-            struct NaiveTask {
-                rule_index: usize,
-                shard: usize,
-            }
-            let mut naive_tasks: Vec<NaiveTask> = Vec::new();
-            for (rule_index, shards) in naive_shards.iter().enumerate() {
-                if let Some(shards) = shards {
-                    for (shard, rows) in shards.iter().enumerate() {
-                        if !rows.is_empty() {
-                            naive_tasks.push(NaiveTask { rule_index, shard });
-                        }
-                    }
-                }
-            }
-            let naive = parallel::run_tasks(self.threads, naive_tasks.len(), |task_index| {
-                let task = &naive_tasks[task_index];
-                let rule = rules[task.rule_index];
-                let driver = &rule.body[0];
-                let rel = instance
-                    .relation(driver.predicate)
-                    .expect("sharded driver relation exists");
-                let rows = &naive_shards[task.rule_index]
-                    .as_ref()
-                    .expect("task shards exist")[task.shard];
-                let mut out = TaskOutput::new(&rule.head[0]);
-                let mut matcher = Matcher::new(&specs[task.rule_index]);
-                matcher.set_plan(Some(&naive_plans[task.rule_index]));
-                for &row_id in rows {
-                    out.join_probes += 1;
-                    matcher.clear();
-                    if !matcher.prematch(0, rel.row(row_id)) {
-                        continue;
-                    }
-                    let run = matcher.for_each(&instance, |bindings| {
-                        bindings.emit(&templates[task.rule_index], &mut out.batch.rows);
-                        ControlFlow::Continue(())
-                    });
-                    out.absorb_run(run);
-                }
-                out.prededup(&instance)
-            });
-            flush_round(naive, &mut scratch, &mut instance, &mut stats);
-            stats.iterations += 1;
-
-            if !stratum.recursive {
-                continue;
-            }
-
-            // Semi-naive rounds: differentiate each rule with respect to the
-            // predicates of this stratum, seeding one body atom from the
-            // delta. Each predicate's delta row range is hash-partitioned
-            // once per round into a fixed number of shards; the tasks of the
-            // round are the non-empty (rule, body position, shard) triples,
-            // a decomposition that depends only on the data so that merge
-            // order — and therefore row-id assignment — is identical for
-            // every thread count.
-            let mut hi = watermark(&instance);
-            while lo.iter().zip(hi.iter()).any(|(l, h)| l < h) {
-                stats.iterations += 1;
-                let deltas: Vec<DeltaRange> = preds
-                    .iter()
-                    .enumerate()
-                    .filter(|&(pred_index, _)| lo[pred_index] < hi[pred_index])
-                    .map(|(pred_index, &predicate)| DeltaRange {
-                        predicate,
-                        lo: lo[pred_index],
-                        hi: hi[pred_index],
-                    })
-                    .collect();
-                let outputs =
-                    seeded_round(&rules, &specs, &templates, &deltas, &instance, self.threads);
-                flush_round(outputs, &mut scratch, &mut instance, &mut stats);
-                lo = hi;
-                hi = watermark(&instance);
-            }
+            stratum_fixpoint(
+                &rules,
+                &specs,
+                &templates,
+                &preds,
+                stratum.recursive,
+                &mut instance,
+                self.threads,
+                &mut scratch,
+                &mut stats,
+                None,
+            )
+            .expect("unbudgeted fixpoint never cancels");
         }
 
         stats.peak_atoms = instance.len();

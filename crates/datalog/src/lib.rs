@@ -14,12 +14,23 @@
 //! semi-naive iteration (rules are differentiated with respect to the
 //! predicates of the current stratum, so work in round *i + 1* is driven only
 //! by the atoms discovered in round *i*).
+//!
+//! Three engines share that round machinery:
+//!
+//! * [`DatalogEngine`] — batch full materialisation;
+//! * [`IncrementalEngine`] — a live instance maintained at fixpoint across
+//!   fact batches;
+//! * [`DemandEngine`] — demand-driven (magic-sets) evaluation of bound
+//!   queries against a frozen snapshot, with specialised programs cached
+//!   per binding pattern ([`demand`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod demand;
 pub mod engine;
 pub mod incremental;
 
+pub use demand::{DemandAnswer, DemandEngine, DemandError, DemandStats, SpecialisedProgram};
 pub use engine::{DatalogEngine, DatalogResult, DatalogStats};
 pub use incremental::{IncrementalEngine, IngestOutcome};

@@ -1351,6 +1351,30 @@ impl Instance {
         Ok(inserted)
     }
 
+    /// A new instance holding deep copies of the relations of exactly the
+    /// requested predicates (absent predicates are skipped). Cloned
+    /// relations keep their row ids, indexes and fingerprint filters, so a
+    /// projection of a served snapshot is immediately probe-ready.
+    ///
+    /// This is the scratch-instance primitive of the demand-driven query
+    /// path: a magic-sets evaluation copies only the extensional relations
+    /// its rewritten program reads out of the (immutable, `Arc`-shared)
+    /// snapshot and derives into the copy, so concurrent queries never
+    /// contend on shared state.
+    pub fn project(&self, predicates: impl IntoIterator<Item = Predicate>) -> Instance {
+        let mut projected = Instance::new();
+        for p in predicates {
+            if let Some(rel) = self.relations.get(&p) {
+                if projected.relations.contains_key(&p) {
+                    continue;
+                }
+                projected.len += rel.len();
+                projected.relations.insert(p, rel.clone());
+            }
+        }
+        projected
+    }
+
     /// `true` iff the atom is present.
     pub fn contains(&self, atom: &Atom) -> bool {
         self.relations

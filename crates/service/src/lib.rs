@@ -19,9 +19,9 @@
 //! |---|---|
 //! | `FACT <fact>.` | `OK inserted=<n> duplicate=<n> derived=<n> strata_skipped=<n> rounds=<n> epoch=<e>` |
 //! | `BATCH <fact>. <fact>. …` | same as `FACT` (one evaluation for the whole batch) |
-//! | `QUERY [TIMEOUT_MS=<ms>] [MAX_ROWS=<n>] ?(X, …) :- body.` | `OK answers=<n> epoch=<e>`, then **exactly `n`** tuple lines (whitespace-separated constants, sorted; constants containing whitespace, quotes or control characters come back `"`-quoted with `\"`/`\\`/`\n` escapes), then `END` — or `ERR deadline timeout_ms=<ms>` / `ERR row-limit max_rows=<n>` when a budget trips |
+//! | `QUERY [MODE=<MAGIC\|FULL\|AUTO>] [TIMEOUT_MS=<ms>] [MAX_ROWS=<n>] ?(X, …) :- body.` | `OK answers=<n> epoch=<e>`, then **exactly `n`** tuple lines (whitespace-separated constants, sorted; constants containing whitespace, quotes or control characters come back `"`-quoted with `\"`/`\\`/`\n` escapes), then `END` — or `ERR deadline timeout_ms=<ms>` / `ERR row-limit max_rows=<n>` when a budget trips |
 //! | `VALIDATE <rules>` | `OK diagnostics=<n> errors=<e> warnings=<w> admissible=<bool>`, then **exactly `n`** diagnostic lines (`VLG0xx <severity> [tgd=<i>] [atom=body[j]\|head[j]] [var=<V>] [pred=<p>] :: <message>`, parseable back via [`protocol::parse_diagnostic_line`]), then `END`. The candidate is analysed against the serving schema ([`vadalog_analysis::diagnostics`]); nothing is loaded. Under the default fail-closed [`AdmissionPolicy`], error-severity findings make the verdict `admissible=false` |
-//! | `STATS` | `OK` followed by one JSON object on the same line (engine counters plus `wal_records`, `wal_bytes`, `snapshots_written`, `snapshot_failures`, `programs_rejected`, `diagnostics_emitted`, `degraded`) |
+//! | `STATS` | `OK` followed by one JSON object on the same line (engine counters plus `wal_records`, `wal_bytes`, `snapshots_written`, `snapshot_failures`, `programs_rejected`, `diagnostics_emitted`, `magic_queries`, `magic_cache_hits`, `demanded_tuples`, `full_materialised_tuples`, a per-verb `latency` object with `count`/`total_micros`/`max_micros` for `query`/`fact`/`batch`, and `degraded`) |
 //! | `SNAPSHOT` | `OK snapshot epoch=<e>` after durably snapshotting the instance and truncating the WAL (a no-op `OK` on a volatile server) |
 //! | `SHUTDOWN` | `OK bye`; the server stops accepting connections, drains in-flight handlers, flushes the WAL and appends the clean-shutdown marker |
 //!
@@ -30,6 +30,22 @@
 //! for `END`: the count makes the framing independent of tuple *content*
 //! (a constant named `END` is a legal answer). Validation reports frame the
 //! same way, by `diagnostics=<n>`.
+//!
+//! # Demand-driven queries
+//!
+//! `MODE=` selects the query path. `FULL` answers from the served
+//! materialisation. `MAGIC` prefers the demand-driven path
+//! ([`vadalog_datalog::DemandEngine`]): the query is rewritten with magic
+//! sets, the specialised program is compiled once per binding-pattern
+//! signature and cached, and evaluation runs in a scratch instance layered
+//! over the published snapshot — deriving only the tuples the bound
+//! constants demand. `AUTO` (the default) takes the magic path whenever the
+//! query has at least one bound column and the rewrite applies, and the
+//! full path otherwise; `MODE=MAGIC` is a preference, not a correctness
+//! switch — unspecialisable queries silently fall back, and answers are
+//! identical on either path. `STATS` exposes the split: `magic_queries`,
+//! `magic_cache_hits` and cumulative `demanded_tuples` versus
+//! `full_materialised_tuples` (the size of the live materialisation).
 //!
 //! # Admission
 //!

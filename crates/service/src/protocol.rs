@@ -8,15 +8,53 @@ use vadalog_datalog::IngestOutcome;
 use vadalog_model::parser::{parse_fact_list, parse_query};
 use vadalog_model::{Atom, AtomSpan, ConjunctiveQuery, Predicate, Symbol, Variable};
 
+/// How a `QUERY` should be evaluated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QueryMode {
+    /// Pick the magic (demand-driven) path when the query has at least one
+    /// bound intensional atom and the rewrite specialises; fall back to
+    /// evaluating against the published full materialisation otherwise.
+    /// The default.
+    #[default]
+    Auto,
+    /// Demand the magic path. Still answers (correctly) through the full
+    /// materialisation when the rewrite cannot specialise the query —
+    /// `MODE=MAGIC` is a preference, not a correctness switch.
+    Magic,
+    /// Evaluate against the published full materialisation only.
+    Full,
+}
+
+impl QueryMode {
+    /// Parses a `MODE=` value (case-insensitive).
+    pub fn parse(value: &str) -> Result<QueryMode, String> {
+        match value.to_ascii_uppercase().as_str() {
+            "AUTO" => Ok(QueryMode::Auto),
+            "MAGIC" => Ok(QueryMode::Magic),
+            "FULL" => Ok(QueryMode::Full),
+            other => Err(format!(
+                "bad MODE value `{other}` (expected MAGIC, FULL or AUTO)"
+            )),
+        }
+    }
+}
+
 /// A parsed protocol request.
 #[derive(Debug, Clone)]
 pub enum Request {
     /// `FACT <fact>.` or `BATCH <fact>. …` — ingest the facts as one batch.
-    Ingest(Vec<Atom>),
-    /// `QUERY [TIMEOUT_MS=<n>] [MAX_ROWS=<n>] ?(X, …) :- body.` — answer
-    /// a CQ against the published snapshot, optionally bounding its
-    /// wall-clock time and answer count (server defaults apply to
-    /// unspecified limits).
+    Ingest {
+        /// The facts to ingest.
+        facts: Vec<Atom>,
+        /// `true` for `BATCH`, `false` for `FACT` — the verbs share one
+        /// ingest path but are metered separately in the per-verb latency
+        /// accounting.
+        batch: bool,
+    },
+    /// `QUERY [MODE=<MAGIC|FULL|AUTO>] [TIMEOUT_MS=<n>] [MAX_ROWS=<n>]
+    /// ?(X, …) :- body.` — answer a CQ against the published snapshot,
+    /// optionally forcing the evaluation mode and bounding wall-clock time
+    /// and answer count (server defaults apply to unspecified limits).
     Query {
         /// The conjunctive query.
         query: ConjunctiveQuery,
@@ -24,6 +62,8 @@ pub enum Request {
         timeout_ms: Option<u64>,
         /// Per-request answer-count cap override.
         max_rows: Option<usize>,
+        /// Evaluation-mode preference (`MODE=`, default `AUTO`).
+        mode: QueryMode,
     },
     /// `VALIDATE <rules>` — dry-run a candidate program through the
     /// diagnostics pipeline against the serving schema; nothing is loaded.
@@ -59,14 +99,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             if keyword.eq_ignore_ascii_case("FACT") && facts.len() != 1 {
                 return Err("FACT takes exactly one fact; use BATCH for several".into());
             }
-            Ok(Request::Ingest(facts))
+            Ok(Request::Ingest {
+                facts,
+                batch: keyword.eq_ignore_ascii_case("BATCH"),
+            })
         }
         "QUERY" => {
-            let (rest, timeout_ms, max_rows) = parse_query_options(rest)?;
+            let (rest, timeout_ms, max_rows, mode) = parse_query_options(rest)?;
             Ok(Request::Query {
                 query: parse_query(rest).map_err(|e| e.to_string())?,
                 timeout_ms,
                 max_rows,
+                mode,
             })
         }
         "VALIDATE" => {
@@ -88,13 +132,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
-/// Strips the optional leading `TIMEOUT_MS=<n>` / `MAX_ROWS=<n>` options
-/// off a `QUERY` argument string. Options precede the query text (the
-/// query itself contains spaces and periods, so trailing options would be
-/// ambiguous); each may appear at most once, in either order.
-fn parse_query_options(mut rest: &str) -> Result<(&str, Option<u64>, Option<usize>), String> {
+/// Strips the optional leading `MODE=<m>` / `TIMEOUT_MS=<n>` /
+/// `MAX_ROWS=<n>` options off a `QUERY` argument string. Options precede
+/// the query text (the query itself contains spaces and periods, so
+/// trailing options would be ambiguous); each may appear at most once, in
+/// any order.
+#[allow(clippy::type_complexity)]
+fn parse_query_options(
+    mut rest: &str,
+) -> Result<(&str, Option<u64>, Option<usize>, QueryMode), String> {
     let mut timeout_ms = None;
     let mut max_rows = None;
+    let mut mode: Option<QueryMode> = None;
     loop {
         let token = rest.split_whitespace().next().unwrap_or("");
         let Some((key, value)) = token.split_once('=') else {
@@ -119,11 +168,17 @@ fn parse_query_options(mut rest: &str) -> Result<(&str, Option<u64>, Option<usiz
                     .map_err(|_| format!("bad MAX_ROWS value `{value}`"))?;
                 max_rows = Some(parsed);
             }
+            "MODE" => {
+                if mode.is_some() {
+                    return Err("MODE given twice".into());
+                }
+                mode = Some(QueryMode::parse(value)?);
+            }
             _ => break, // not an option: the query text starts here
         }
         rest = rest[token.len()..].trim_start();
     }
-    Ok((rest, timeout_ms, max_rows))
+    Ok((rest, timeout_ms, max_rows, mode.unwrap_or_default()))
 }
 
 /// A protocol response, rendered to one or more `\n`-terminated lines.
@@ -302,20 +357,52 @@ mod tests {
     fn requests_parse_case_insensitively() {
         assert!(matches!(
             parse_request("FACT edge(a, b)."),
-            Ok(Request::Ingest(facts)) if facts.len() == 1
+            Ok(Request::Ingest { facts, batch: false }) if facts.len() == 1
         ));
         assert!(matches!(
             parse_request("batch edge(a, b). edge(b, c)."),
-            Ok(Request::Ingest(facts)) if facts.len() == 2
+            Ok(Request::Ingest { facts, batch: true }) if facts.len() == 2
         ));
         assert!(matches!(parse_request("  stats  "), Ok(Request::Stats)));
         assert!(matches!(parse_request("SHUTDOWN"), Ok(Request::Shutdown)));
         let q = parse_request("QUERY ?(X) :- t(a, X).").unwrap();
         assert!(matches!(
             q,
-            Request::Query { query, timeout_ms: None, max_rows: None } if query.output.len() == 1
+            Request::Query {
+                query,
+                timeout_ms: None,
+                max_rows: None,
+                mode: QueryMode::Auto,
+            } if query.output.len() == 1
         ));
         assert!(matches!(parse_request("SNAPSHOT"), Ok(Request::Snapshot)));
+    }
+
+    #[test]
+    fn query_mode_option_parses_and_rejects_garbage() {
+        let q = parse_request("QUERY MODE=MAGIC ?(X) :- t(a, X).").unwrap();
+        assert!(matches!(
+            q,
+            Request::Query {
+                mode: QueryMode::Magic,
+                ..
+            }
+        ));
+        let q = parse_request("QUERY mode=full TIMEOUT_MS=9 ?(X) :- t(a, X).").unwrap();
+        assert!(matches!(
+            q,
+            Request::Query {
+                mode: QueryMode::Full,
+                timeout_ms: Some(9),
+                ..
+            }
+        ));
+        assert!(parse_request("QUERY MODE=TURBO ?(X) :- t(a, X).")
+            .unwrap_err()
+            .contains("bad MODE value `TURBO`"));
+        assert!(parse_request("QUERY MODE=MAGIC MODE=FULL ?(X) :- t(a, X).")
+            .unwrap_err()
+            .contains("MODE given twice"));
     }
 
     #[test]

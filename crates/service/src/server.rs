@@ -23,7 +23,7 @@
 
 use crate::durability::DurableEngine;
 use crate::failpoints;
-use crate::protocol::{parse_request, Request, Response};
+use crate::protocol::{parse_request, QueryMode, Request, Response};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -32,7 +32,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use vadalog_analysis::{analyze_source, AnalyzerOptions};
-use vadalog_datalog::IncrementalEngine;
+use vadalog_datalog::{DemandEngine, DemandError, IncrementalEngine};
 use vadalog_model::{BudgetExceeded, InstanceSnapshot, Predicate, QueryBudget};
 
 /// What the server does with programs and facts that fail validation.
@@ -84,6 +84,34 @@ impl Default for ServerConfig {
 const ENGINE_UNAVAILABLE: &str =
     "engine-unavailable (a writer panicked mid-request; queries still serve the last snapshot)";
 
+/// Lock-free latency accounting for one protocol verb: request count, total
+/// handling time and worst case, all in microseconds. Reported by `STATS`.
+#[derive(Default)]
+struct VerbLatency {
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl VerbLatency {
+    fn record(&self, elapsed: Duration) {
+        let micros = elapsed.as_micros() as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// One `{"count":…,"total_micros":…,"max_micros":…}` JSON object.
+    fn render(&self) -> String {
+        format!(
+            "{{\"count\":{},\"total_micros\":{},\"max_micros\":{}}}",
+            self.count.load(Ordering::Relaxed),
+            self.total_micros.load(Ordering::Relaxed),
+            self.max_micros.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// The state shared between the accept loop and the connection handlers.
 struct Shared {
     /// The live engine behind its durability layer; ingests serialise here.
@@ -110,6 +138,15 @@ struct Shared {
     programs_rejected: AtomicU64,
     /// Total diagnostics emitted by `VALIDATE` requests.
     diagnostics_emitted: AtomicU64,
+    /// The demand-driven (magic-sets) query path, sharing nothing with the
+    /// live engine: it evaluates specialised programs against the published
+    /// snapshot and caches one compiled program per binding-pattern
+    /// signature.
+    demand: DemandEngine,
+    /// Per-verb latency accounting, reported by `STATS`.
+    latency_query: VerbLatency,
+    latency_fact: VerbLatency,
+    latency_batch: VerbLatency,
     config: ServerConfig,
 }
 
@@ -129,7 +166,7 @@ impl Shared {
 /// semantics; the socket loop around it only moves lines.
 fn handle_request(shared: &Shared, request: Request) -> Response {
     match request {
-        Request::Ingest(facts) => {
+        Request::Ingest { facts, .. } => {
             // Fail-closed admission: ingest may only feed extensional
             // relations — the engine itself would accept a fact over a
             // derived predicate and silently mix asserted and derived
@@ -181,6 +218,7 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
             query,
             timeout_ms,
             max_rows,
+            mode,
         } => {
             let snapshot = shared.published_snapshot();
             let budget = QueryBudget {
@@ -189,12 +227,28 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                     .or(shared.config.default_timeout),
                 max_rows: max_rows.or(shared.config.default_max_rows),
             };
-            // No lock is held here: the query runs against the frozen
-            // snapshot, concurrently with any in-flight ingest.
-            let answers = if budget.is_unlimited() {
-                Ok(query.evaluate_with_threads(&snapshot, shared.threads))
-            } else {
-                query.evaluate_budgeted(&snapshot, shared.threads, &budget)
+            // No lock is held here: either path runs against the frozen
+            // snapshot, concurrently with any in-flight ingest. MAGIC and
+            // AUTO prefer the demand-driven path; a fallback (all-free
+            // query, EDB-only query, name collision, …) silently takes the
+            // full path, while a tripped budget is final — full evaluation
+            // could only be slower.
+            let demanded = match mode {
+                QueryMode::Full => None,
+                QueryMode::Magic | QueryMode::Auto => {
+                    match shared.demand.answer(snapshot.instance(), &query, &budget) {
+                        Ok(answer) => Some(Ok(answer.answers)),
+                        Err(DemandError::Fallback(_)) => None,
+                        Err(DemandError::Budget(exceeded)) => Some(Err(exceeded)),
+                    }
+                }
+            };
+            let answers = match demanded {
+                Some(result) => result,
+                None if budget.is_unlimited() => {
+                    Ok(query.evaluate_with_threads(&snapshot, shared.threads))
+                }
+                None => query.evaluate_budgeted(&snapshot, shared.threads, &budget),
             };
             match answers {
                 Ok(answers) => Response::Answers {
@@ -243,12 +297,15 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
             let (wal_records, wal_bytes, snapshots_written, snapshot_failures) = engine.wal_stats();
             let inner = engine.engine();
             let stats = inner.stats();
+            let demand = shared.demand.stats();
             Response::Ok(format!(
                 "{{\"epoch\":{},\"atoms\":{},\"derived_atoms\":{},\"iterations\":{},\
                  \"rounds_incremental\":{},\"strata_skipped\":{},\"joins_evaluated\":{},\
                  \"join_probes\":{},\"index_bytes\":{},\"wal_records\":{},\"wal_bytes\":{},\
                  \"snapshots_written\":{},\"snapshot_failures\":{},\"programs_rejected\":{},\
-                 \"diagnostics_emitted\":{},\"degraded\":{}}}",
+                 \"diagnostics_emitted\":{},\"magic_queries\":{},\"magic_cache_hits\":{},\
+                 \"demanded_tuples\":{},\"full_materialised_tuples\":{},\
+                 \"latency\":{{\"query\":{},\"fact\":{},\"batch\":{}}},\"degraded\":{}}}",
                 inner.epoch(),
                 inner.instance().len(),
                 stats.derived_atoms,
@@ -264,6 +321,13 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                 snapshot_failures,
                 shared.programs_rejected.load(Ordering::SeqCst),
                 shared.diagnostics_emitted.load(Ordering::SeqCst),
+                demand.magic_queries,
+                demand.magic_cache_hits,
+                demand.demanded_tuples,
+                inner.instance().len(),
+                shared.latency_query.render(),
+                shared.latency_fact.render(),
+                shared.latency_batch.render(),
                 shared.degraded.load(Ordering::SeqCst),
             ))
         }
@@ -401,7 +465,22 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
         let (response, is_shutdown) = match parse_request(&line) {
             Ok(request) => {
                 let is_shutdown = matches!(request, Request::Shutdown);
-                (handle_request(shared, request), is_shutdown)
+                // Latency is metered per verb around the whole handler —
+                // snapshot clone, evaluation and rendering-relevant work —
+                // so STATS reflects what a client actually waited for
+                // (minus socket time).
+                let latency = match &request {
+                    Request::Query { .. } => Some(&shared.latency_query),
+                    Request::Ingest { batch: false, .. } => Some(&shared.latency_fact),
+                    Request::Ingest { batch: true, .. } => Some(&shared.latency_batch),
+                    _ => None,
+                };
+                let started = Instant::now();
+                let response = handle_request(shared, request);
+                if let Some(latency) = latency {
+                    latency.record(started.elapsed());
+                }
+                (response, is_shutdown)
             }
             Err(message) => (Response::Error(message), false),
         };
@@ -475,6 +554,7 @@ impl LiveServer {
         let addr = listener.local_addr()?;
         let threads = engine.engine().threads();
         let published = RwLock::new(engine.engine().snapshot());
+        let demand = DemandEngine::new(program.clone()).with_threads(threads);
         let shared = Arc::new(Shared {
             engine: Mutex::new(engine),
             published,
@@ -486,6 +566,10 @@ impl LiveServer {
             serving_arities,
             programs_rejected: AtomicU64::new(0),
             diagnostics_emitted: AtomicU64::new(0),
+            demand,
+            latency_query: VerbLatency::default(),
+            latency_fact: VerbLatency::default(),
+            latency_batch: VerbLatency::default(),
             config,
         });
         let accept = std::thread::spawn({
@@ -540,8 +624,8 @@ impl LiveServer {
     /// Recovers the state persisted in `config.dir` (snapshot + WAL tail
     /// replay, bit-identical to the uncrashed engine) into `engine` — a
     /// fresh engine over the same program — and starts serving it. Returns
-    /// the running server and the [`RecoveryReport`] describing what was
-    /// restored.
+    /// the running server and the [`RecoveryReport`](crate::durability::RecoveryReport)
+    /// describing what was restored.
     pub fn recover(
         engine: IncrementalEngine,
         config: crate::durability::DurabilityConfig,
@@ -779,6 +863,60 @@ mod tests {
         );
         let ingest = client.send("FACT edge(d, e).");
         assert!(ingest[0].starts_with("OK inserted=1 "), "{ingest:?}");
+
+        client.send("SHUTDOWN");
+        drop(client);
+        server.join();
+    }
+
+    #[test]
+    fn magic_queries_hit_the_specialised_program_cache() {
+        let server = start(engine());
+        let mut client = Client::connect(server.addr());
+        client.send("BATCH edge(a, b). edge(b, c). edge(c, d). link(p, q).");
+
+        // A bound query through the demand path answers exactly what the
+        // full path answers.
+        let full = client.send("QUERY MODE=FULL ?(X) :- t(a, X).");
+        let magic = client.send("QUERY MODE=MAGIC ?(X) :- t(a, X).");
+        assert_eq!(full, vec!["OK answers=3 epoch=1", "b", "c", "d", "END"]);
+        assert_eq!(magic, full);
+
+        // The second same-pattern query (different constant) skips the
+        // rewrite + compile: one cache hit, two magic queries.
+        let again = client.send("QUERY MODE=MAGIC ?(X) :- t(b, X).");
+        assert_eq!(again, vec!["OK answers=2 epoch=1", "c", "d", "END"]);
+        let stats = client.send("STATS");
+        assert!(stats[0].contains("\"magic_queries\":2"), "{stats:?}");
+        assert!(stats[0].contains("\"magic_cache_hits\":1"), "{stats:?}");
+        assert!(
+            !stats[0].contains("\"demanded_tuples\":0,"),
+            "the magic path derived something: {stats:?}"
+        );
+        assert!(
+            stats[0].contains("\"full_materialised_tuples\":"),
+            "{stats:?}"
+        );
+
+        // AUTO takes the magic path for bound queries too…
+        let auto = client.send("QUERY ?(X) :- t(c, X).");
+        assert_eq!(auto, vec!["OK answers=1 epoch=1", "d", "END"]);
+        // …and falls back to full evaluation when the query is all-free,
+        // without disturbing the magic counters.
+        let free = client.send("QUERY ?(X, Y) :- s(X, Y).");
+        assert_eq!(free, vec!["OK answers=1 epoch=1", "p q", "END"]);
+        let stats = client.send("STATS");
+        assert!(stats[0].contains("\"magic_queries\":3"), "{stats:?}");
+        assert!(stats[0].contains("\"magic_cache_hits\":2"), "{stats:?}");
+
+        // Per-verb latency accounting saw every QUERY, the FACT-free
+        // session and exactly one BATCH.
+        assert!(
+            stats[0].contains("\"latency\":{\"query\":{\"count\":5,"),
+            "{stats:?}"
+        );
+        assert!(stats[0].contains("\"fact\":{\"count\":0,"), "{stats:?}");
+        assert!(stats[0].contains("\"batch\":{\"count\":1,"), "{stats:?}");
 
         client.send("SHUTDOWN");
         drop(client);

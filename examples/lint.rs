@@ -11,7 +11,9 @@
 //! File mode parses the full surface syntax (facts, rules, queries),
 //! analyses the rules against the fact section's schema, and prints every
 //! diagnostic as its stable one-line form (`VLG0xx <severity> ... ::
-//! <message>`). Scenario mode lints the generated TC, composite-key join,
+//! <message>`). Files carrying a query additionally get the magic-sets
+//! rewrite the demand engine would evaluate for it (or the fallback reason
+//! when the query cannot be specialised). Scenario mode lints the generated TC, composite-key join,
 //! OWL 2 QL and data-exchange suites and fails if any of them produces an
 //! error-severity finding — CI runs this as a regression gate.
 //!
@@ -22,6 +24,7 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 use vadalog::analysis::classify::classify_with_diagnostics;
 use vadalog::analysis::diagnostics::{analyze_with, AnalyzerOptions, DiagnosticReport, Severity};
+use vadalog::analysis::magic::magic_rewrite;
 use vadalog::analysis::stratify::stratify;
 use vadalog::benchgen;
 use vadalog::model::parser;
@@ -78,6 +81,19 @@ fn lint_file(path: &str) -> bool {
     };
     let report = analyze_with(&parsed.program, &options);
     print_report(path, &parsed.program, &report);
+    // When the file carries a query, show what the demand engine would
+    // actually evaluate: the magic-sets rewrite specialised to it.
+    if let Some(query) = parsed.queries.first() {
+        match magic_rewrite(&parsed.program, query) {
+            Ok(rewrite) => {
+                println!("  magic rewrite:");
+                for line in rewrite.render().lines() {
+                    println!("    {line}");
+                }
+            }
+            Err(fallback) => println!("  magic rewrite: full evaluation ({fallback})"),
+        }
+    }
     !report.has_errors()
 }
 
