@@ -20,10 +20,14 @@
 //! host's available parallelism), and the `incremental` experiment writes
 //! `BENCH_incremental.json` (delta-ingest wall-clock of the live
 //! incremental engine vs a full from-scratch re-evaluation of the union,
-//! with the affected-strata skip and bit-identity asserted first), and the
+//! with the affected-strata skip and bit-identity asserted first), the
 //! `magic` experiment writes `BENCH_magic.json` (bound and point
 //! reachability queries through the demand-driven magic-sets path vs full
-//! materialisation, answers asserted bit-identical first).
+//! materialisation, answers asserted bit-identical first), and the
+//! `overload` experiment writes `BENCH_overload.json` (served/shed/rejected
+//! throughput of the reactor transport under a connection storm plus the
+//! health connection's latency percentiles, every answer served under load
+//! asserted bit-identical to the unloaded reference first).
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -96,6 +100,297 @@ fn main() {
     if run("magic") {
         magic_bench(quick);
     }
+    if run("overload") {
+        overload_bench(quick);
+    }
+}
+
+/// Overload — graceful degradation of the reactor transport under a
+/// connection storm, against a live server with deliberately small
+/// admission caps (2 workers, queue depth 2, a connection cap below the
+/// storm's width). Before any timing the harness captures the storm
+/// query's answers on an unloaded server and asserts every answer served
+/// *during* the storm **bit-identical** to them — shedding must be
+/// all-or-nothing, never a truncated answer set; a tripped assert fails
+/// the CI job. During the storm a dedicated health connection keeps
+/// issuing a point query and records wall latencies (a shed health reply
+/// counts — `ERR overloaded` *is* the responsiveness contract under
+/// load). Afterwards the harness asserts the STATS transport counters
+/// balance (`received` = `served` + `shed` + `failed` + the in-flight
+/// `STATS` itself), that the server is not degraded, and that the health
+/// p99 stays bounded. Writes `BENCH_overload.json` with served/shed/
+/// rejected throughput and the health latency percentiles.
+fn overload_bench(quick: bool) {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use vadalog_model::parser::parse_rules;
+    use vadalog_service::{DurableEngine, IncrementalEngine, LiveServer, ServerConfig};
+
+    println!("-- overload: load shedding and responsiveness under a connection storm --");
+    let (storm_threads, requests_per_thread) = if quick { (4usize, 30usize) } else { (8, 80) };
+    let chain_len = 80usize;
+
+    let program = parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).").unwrap();
+    let config = ServerConfig {
+        worker_threads: 2,
+        max_queue_depth: 2,
+        max_connections: 6,
+        overload_retry_ms: 5,
+        poll_interval: std::time::Duration::from_millis(5),
+        ..ServerConfig::default()
+    };
+    let server = LiveServer::start_with(
+        DurableEngine::volatile(IncrementalEngine::new(program).unwrap()),
+        "127.0.0.1:0",
+        config,
+    )
+    .expect("start overload server");
+    let addr = server.addr();
+
+    // Reads one full counted frame (header + `answers=<n>` lines + `END`).
+    fn read_frame(reader: &mut BufReader<TcpStream>) -> Vec<String> {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response header");
+        let mut lines = vec![line.trim_end().to_string()];
+        if let Some(rest) = lines[0].strip_prefix("OK answers=") {
+            let count: usize = rest
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse()
+                .expect("answer count");
+            for _ in 0..=count {
+                let mut body = String::new();
+                reader.read_line(&mut body).expect("read answer line");
+                lines.push(body.trim_end().to_string());
+            }
+        }
+        lines
+    }
+    fn ask(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Vec<String> {
+        stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+        read_frame(reader)
+    }
+    let connect = |addr| {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    };
+
+    const STORM_QUERY: &str = "QUERY ?(Y) :- t(n0, Y).";
+    const HEALTH_QUERY: &str = "QUERY ?(X) :- t(X, n1).";
+
+    // Seed the closure, then capture the reference answers *unloaded*.
+    let (mut control, mut control_reader) = connect(addr);
+    let chain: String = (0..chain_len)
+        .map(|i| format!("edge(n{i}, n{}). ", i + 1))
+        .collect();
+    let loaded = ask(&mut control, &mut control_reader, &format!("BATCH {chain}"));
+    assert!(loaded[0].starts_with("OK inserted="), "{loaded:?}");
+    let reference = ask(&mut control, &mut control_reader, STORM_QUERY);
+    assert_eq!(reference.len(), chain_len + 2, "header + answers + END");
+    let health_reference = ask(&mut control, &mut control_reader, HEALTH_QUERY);
+    assert!(health_reference[0].starts_with("OK answers=1"));
+
+    // The storm: each thread hammers short-lived connections; every served
+    // answer set is compared byte-for-byte against the unloaded reference.
+    let served = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let storm_start = Instant::now();
+    let (mut health, mut health_reader) = connect(addr);
+    let storm: Vec<_> = (0..storm_threads)
+        .map(|_| {
+            let reference = reference.clone();
+            let (served, shed, rejected) = (served.clone(), shed.clone(), rejected.clone());
+            std::thread::spawn(move || {
+                // One storm request: Ok(Some(true)) served, Ok(Some(false))
+                // shed, Ok(None) / Err rejected — errors anywhere (connect
+                // refused, a reset from an accept-time rejection racing the
+                // client's write) classify as rejected, because an
+                // *admitted* request is never cut in this workload.
+                let one_request = |reference: &[String]| -> std::io::Result<Option<bool>> {
+                    let mut stream = TcpStream::connect(addr)?;
+                    let mut reader = BufReader::new(stream.try_clone()?);
+                    stream.write_all(format!("{STORM_QUERY}\n").as_bytes())?;
+                    let mut header = String::new();
+                    if reader.read_line(&mut header)? == 0 {
+                        return Ok(None);
+                    }
+                    let header = header.trim_end();
+                    if let Some(rest) = header.strip_prefix("OK answers=") {
+                        let count: usize = rest.split_whitespace().next().unwrap().parse().unwrap();
+                        let mut frame = vec![header.to_string()];
+                        for _ in 0..=count {
+                            let mut body = String::new();
+                            reader.read_line(&mut body)?;
+                            frame.push(body.trim_end().to_string());
+                        }
+                        assert_eq!(
+                            frame, reference,
+                            "an answer served under load must be bit-identical \
+                             to the unloaded reference"
+                        );
+                        Ok(Some(true))
+                    } else if header.starts_with("ERR overloaded retry_ms=") {
+                        // Shed at the queue *or* rejected at accept — the
+                        // error line is the same, but a rejected socket
+                        // closes right after it while a shed request's
+                        // connection survives. STATS is exempt from
+                        // shedding, so it discriminates: answered → shed,
+                        // EOF → rejected.
+                        let mut probe = String::new();
+                        stream.write_all(b"STATS\n")?;
+                        if reader.read_line(&mut probe).unwrap_or(0) > 0 {
+                            Ok(Some(false))
+                        } else {
+                            Ok(None)
+                        }
+                    } else {
+                        panic!("unexpected storm response: {header:?}");
+                    }
+                };
+                for _ in 0..requests_per_thread {
+                    match one_request(&reference) {
+                        Ok(Some(true)) => served.fetch_add(1, Ordering::Relaxed),
+                        Ok(Some(false)) => shed.fetch_add(1, Ordering::Relaxed),
+                        Ok(None) | Err(_) => rejected.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            })
+        })
+        .collect();
+
+    // The health loop: a persistent admitted connection that must stay
+    // responsive for the whole storm — every round trip is timed, and a
+    // structured shed counts as a (fast) response.
+    let mut health_micros: Vec<u64> = Vec::new();
+    let mut health_served = 0u64;
+    let mut health_shed = 0u64;
+    while storm.iter().any(|t| !t.is_finished()) {
+        let start = Instant::now();
+        let frame = ask(&mut health, &mut health_reader, HEALTH_QUERY);
+        health_micros.push(start.elapsed().as_micros() as u64);
+        if frame[0].starts_with("OK answers=") {
+            assert_eq!(frame, health_reference, "health answers must not drift");
+            health_served += 1;
+        } else {
+            assert!(
+                frame[0].starts_with("ERR overloaded retry_ms="),
+                "unexpected health response: {frame:?}"
+            );
+            health_shed += 1;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    for thread in storm {
+        thread.join().expect("storm thread must not panic");
+    }
+    let storm_secs = storm_start.elapsed().as_secs_f64();
+    let served = served.load(Ordering::Relaxed);
+    let shed = shed.load(Ordering::Relaxed);
+    let rejected = rejected.load(Ordering::Relaxed);
+    assert_eq!(
+        served + shed + rejected,
+        (storm_threads * requests_per_thread) as u64,
+        "every storm request must be classified"
+    );
+
+    health_micros.sort_unstable();
+    let percentile = |q: f64| -> u64 {
+        let rank = ((q * health_micros.len() as f64).ceil() as usize).clamp(1, health_micros.len());
+        health_micros[rank - 1]
+    };
+    let (health_p50, health_p99) = (percentile(0.50), percentile(0.99));
+
+    // The books must balance at quiescence: every request the transport
+    // accepted was served, shed or failed — the `+ 1` is the in-flight
+    // STATS request reading its own counters.
+    let mut stats = String::new();
+    control.write_all(b"STATS\n").unwrap();
+    control_reader.read_line(&mut stats).unwrap();
+    let stat = |key: &str| -> u64 {
+        let needle = format!("\"{key}\":");
+        let at = stats
+            .find(&needle)
+            .unwrap_or_else(|| panic!("{key} in {stats}"));
+        stats[at + needle.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(
+        stat("requests_received"),
+        stat("requests_served") + stat("queries_shed") + stat("requests_failed") + 1,
+        "transport counters must balance: {stats}"
+    );
+    // Client-side `rejected` can exceed the server's accept-time count
+    // (connect failures never reach the listener) but never undershoot it.
+    assert!(stat("connections_rejected") <= rejected, "{stats}");
+    assert!(!stats.contains("\"degraded\":true"), "{stats}");
+    let queue_depth_max = stat("queue_depth_max");
+    control.write_all(b"SHUTDOWN\n").unwrap();
+    server.join();
+
+    let mut table = Table::new(&["metric", "value", "note"]);
+    table.row(&[
+        "storm requests served".into(),
+        served.to_string(),
+        format!("{:.0}/s over {storm_secs:.2}s", served as f64 / storm_secs),
+    ]);
+    table.row(&[
+        "storm requests shed".into(),
+        shed.to_string(),
+        format!(
+            "{:.0}/s, queue depth peaked at {queue_depth_max}",
+            shed as f64 / storm_secs
+        ),
+    ]);
+    table.row(&[
+        "storm connections rejected".into(),
+        rejected.to_string(),
+        "accept-time cap".into(),
+    ]);
+    table.row(&[
+        "health round trips".into(),
+        health_micros.len().to_string(),
+        format!("{health_served} served, {health_shed} shed"),
+    ]);
+    table.row(&[
+        "health latency".into(),
+        format!("p50 {health_p50} us"),
+        format!("p99 {health_p99} us"),
+    ]);
+    println!("{}", table.render());
+
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"chain_len\": {chain_len},\n    \
+         \"storm_threads\": {storm_threads},\n    \
+         \"requests_per_thread\": {requests_per_thread},\n    \
+         \"worker_threads\": 2,\n    \"max_queue_depth\": 2,\n    \"max_connections\": 6\n  }},\n  \
+         \"storm_wall_s\": {storm_secs:.3},\n  \
+         \"served\": {served},\n  \"shed\": {shed},\n  \"rejected\": {rejected},\n  \
+         \"served_per_s\": {served_rate:.1},\n  \"shed_per_s\": {shed_rate:.1},\n  \
+         \"queue_depth_max\": {queue_depth_max},\n  \
+         \"health\": {{\n    \"round_trips\": {rounds},\n    \"served\": {health_served},\n    \
+         \"shed\": {health_shed},\n    \"p50_micros\": {health_p50},\n    \
+         \"p99_micros\": {health_p99}\n  }},\n  \"answers_bit_identical\": true\n}}\n",
+        served_rate = served as f64 / storm_secs,
+        shed_rate = shed as f64 / storm_secs,
+        rounds = health_micros.len(),
+    );
+    std::fs::write("BENCH_overload.json", &json).expect("write BENCH_overload.json");
+    println!("wrote BENCH_overload.json");
+
+    assert!(
+        health_p99 < 2_000_000,
+        "the health connection must stay responsive under the storm \
+         (p99 {health_p99} us)"
+    );
 }
 
 /// Magic — demand-driven evaluation of bound queries against full

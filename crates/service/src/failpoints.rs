@@ -1,10 +1,13 @@
 //! Fault-injection points for the durability layer.
 //!
 //! A fail point is a named site in the code (`"wal.append"`, `"wal.sync"`,
-//! `"snapshot.write"`, `"durable.mid_ingest"`, `"server.lock"`) that tests
-//! can *arm* with an [`Action`]: return an injected I/O error, panic (a
-//! stand-in for the process dying at exactly that point), or tear a write
-//! in half. The sites call [`hit`] and interpret the returned action.
+//! `"snapshot.write"`, `"durable.mid_ingest"`, `"server.lock"`,
+//! `"reactor.job"`) that tests can *arm* with an [`Action`]: return an
+//! injected I/O error, panic (a stand-in for the process dying at exactly
+//! that point), tear a write in half, or stall for a fixed duration (a
+//! stand-in for a pathologically slow operation, used to exhaust the
+//! admission queue deterministically in overload tests). The sites call
+//! [`hit`] and interpret the returned action.
 //!
 //! The registry only exists in debug builds (`cfg!(debug_assertions)`):
 //! release builds const-fold every [`hit`] to [`Action::Off`], so the
@@ -31,6 +34,9 @@ pub enum Action {
     /// Write sites persist only a prefix of the record, then fail —
     /// simulating a crash mid-write (a torn tail).
     TornWrite,
+    /// The site sleeps for the given duration, then proceeds normally —
+    /// simulating a pathologically slow operation without failing it.
+    Stall(std::time::Duration),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -130,9 +136,9 @@ fn registry_hit(site: &'static str) -> Action {
 }
 
 /// The standard interpretation of an armed site that can only fail or
-/// panic (no torn-write semantics): returns the injected error, panics, or
-/// lets the caller proceed. [`Action::TornWrite`] at such a site degrades
-/// to a plain error.
+/// panic (no torn-write semantics): returns the injected error, panics,
+/// sleeps through an armed stall, or lets the caller proceed.
+/// [`Action::TornWrite`] at such a site degrades to a plain error.
 pub fn check(site: &'static str) -> std::io::Result<()> {
     match hit(site) {
         Action::Off => Ok(()),
@@ -140,6 +146,10 @@ pub fn check(site: &'static str) -> std::io::Result<()> {
             Err(std::io::Error::other(format!("failpoint {site}")))
         }
         Action::Panic => panic!("failpoint {site}"),
+        Action::Stall(for_how_long) => {
+            std::thread::sleep(for_how_long);
+            Ok(())
+        }
     }
 }
 

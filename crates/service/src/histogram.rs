@@ -1,0 +1,192 @@
+//! Fixed-bucket log-scale latency histograms for STATS.
+//!
+//! Each per-verb latency series is a lock-free histogram over microsecond
+//! values: 4 sub-buckets per power-of-two octave (an HdrHistogram-style
+//! layout), which bounds the relative quantile error at 25% while keeping
+//! the whole structure a flat array of atomics — recording is two
+//! `fetch_add`s and a `fetch_max`, cheap enough for the request hot path.
+//!
+//! `count`, `total`, and `max` stay exact (they are tracked separately from
+//! the buckets), so throughput and mean derived from STATS are unaffected
+//! by bucketing; only the percentiles are approximate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power-of-two octave. 4 gives ≤ 25% quantile error.
+const SUBBUCKETS: usize = 4;
+/// Octaves 2..=63 each get `SUBBUCKETS` buckets; values 0..4 get their own.
+const BUCKETS: usize = SUBBUCKETS + (64 - 2) * SUBBUCKETS;
+
+/// Maps a microsecond value to its bucket index.
+///
+/// Values below `SUBBUCKETS` index directly; larger values use
+/// `floor(log2 v)` for the octave and the next two mantissa bits for the
+/// sub-bucket, so bucket widths grow geometrically.
+fn bucket_index(value: u64) -> usize {
+    if value < SUBBUCKETS as u64 {
+        return value as usize;
+    }
+    let octave = 63 - value.leading_zeros() as usize;
+    let sub = ((value >> (octave - 2)) & 0b11) as usize;
+    SUBBUCKETS + (octave - 2) * SUBBUCKETS + sub
+}
+
+/// The inclusive upper edge of a bucket — what quantile queries report, so
+/// estimates err toward "slower than reality", never the flattering way.
+fn bucket_upper_edge(index: usize) -> u64 {
+    if index < SUBBUCKETS {
+        return index as u64;
+    }
+    let octave = (index - SUBBUCKETS) / SUBBUCKETS + 2;
+    let sub = ((index - SUBBUCKETS) % SUBBUCKETS) as u64;
+    let base = 1u64 << octave;
+    let width = 1u64 << (octave - 2);
+    base + (sub + 1) * width - 1
+}
+
+/// A concurrent log-scale histogram of microsecond latencies.
+pub struct LatencyHistogram {
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            count: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, micros: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of all observations, in microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.total_micros.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum observation, in microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` (0.0..=1.0): the upper edge of the bucket
+    /// containing the `ceil(q * count)`-th smallest observation, clamped to
+    /// the exact max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper_edge(index).min(self.max_micros());
+            }
+        }
+        self.max_micros()
+    }
+
+    /// Renders the histogram as the STATS JSON object for one verb. The
+    /// field order starts with `count` — existing clients (and tests) key
+    /// off that prefix.
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"count\":{},\"total_micros\":{},\"max_micros\":{},\
+             \"p50_micros\":{},\"p95_micros\":{},\"p99_micros\":{}}}",
+            self.count(),
+            self.total_micros(),
+            self.max_micros(),
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_tile_the_u64_range() {
+        // Every value maps into a bucket whose span contains it, edges are
+        // monotone, and consecutive values never map to a smaller bucket.
+        let mut last_index = 0usize;
+        for value in 0..4096u64 {
+            let index = bucket_index(value);
+            assert!(index >= last_index, "bucket index regressed at {value}");
+            assert!(value <= bucket_upper_edge(index));
+            last_index = index;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn exact_fields_are_exact() {
+        let h = LatencyHistogram::default();
+        for v in [3u64, 10, 100, 1000, 57] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.total_micros(), 1170);
+        assert_eq!(h.max_micros(), 1000);
+    }
+
+    #[test]
+    fn quantiles_bound_relative_error() {
+        let h = LatencyHistogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.50, 500u64), (0.95, 950), (0.99, 990)] {
+            let estimate = h.quantile(q);
+            assert!(
+                estimate >= exact && estimate as f64 <= exact as f64 * 1.25,
+                "q={q}: estimate {estimate} not within [{exact}, {}]",
+                exact as f64 * 1.25
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.99), 0, "empty histogram reports 0");
+        h.record(42);
+        assert_eq!(h.quantile(0.0), 42);
+        assert_eq!(h.quantile(1.0), 42);
+        // A single observation is clamped to the exact max, not the bucket
+        // edge.
+        assert_eq!(h.quantile(0.5), 42);
+    }
+
+    #[test]
+    fn render_is_valid_shape_and_count_first() {
+        let h = LatencyHistogram::default();
+        h.record(7);
+        let json = h.render();
+        assert!(json.starts_with("{\"count\":1,"), "got {json}");
+        assert!(json.contains("\"p99_micros\":7"));
+        assert!(json.ends_with('}'));
+    }
+}

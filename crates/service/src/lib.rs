@@ -21,9 +21,14 @@
 //! | `BATCH <fact>. <fact>. …` | same as `FACT` (one evaluation for the whole batch) |
 //! | `QUERY [MODE=<MAGIC\|FULL\|AUTO>] [TIMEOUT_MS=<ms>] [MAX_ROWS=<n>] ?(X, …) :- body.` | `OK answers=<n> epoch=<e>`, then **exactly `n`** tuple lines (whitespace-separated constants, sorted; constants containing whitespace, quotes or control characters come back `"`-quoted with `\"`/`\\`/`\n` escapes), then `END` — or `ERR deadline timeout_ms=<ms>` / `ERR row-limit max_rows=<n>` when a budget trips |
 //! | `VALIDATE <rules>` | `OK diagnostics=<n> errors=<e> warnings=<w> admissible=<bool>`, then **exactly `n`** diagnostic lines (`VLG0xx <severity> [tgd=<i>] [atom=body[j]\|head[j]] [var=<V>] [pred=<p>] :: <message>`, parseable back via [`protocol::parse_diagnostic_line`]), then `END`. The candidate is analysed against the serving schema ([`vadalog_analysis::diagnostics`]); nothing is loaded. Under the default fail-closed [`AdmissionPolicy`], error-severity findings make the verdict `admissible=false` |
-//! | `STATS` | `OK` followed by one JSON object on the same line (engine counters plus `wal_records`, `wal_bytes`, `snapshots_written`, `snapshot_failures`, `programs_rejected`, `diagnostics_emitted`, `magic_queries`, `magic_cache_hits`, `demanded_tuples`, `full_materialised_tuples`, a per-verb `latency` object with `count`/`total_micros`/`max_micros` for `query`/`fact`/`batch`, and `degraded`) |
+//! | `STATS` | `OK` followed by one JSON object on the same line (engine counters plus `wal_records`, `wal_bytes`, `snapshots_written`, `snapshot_failures`, `programs_rejected`, `diagnostics_emitted`, `magic_queries`, `magic_cache_hits`, `demanded_tuples`, `full_materialised_tuples`, a `transport` object with `connections_accepted`/`connections_rejected`/`connections_closed`/`requests_received`/`requests_served`/`requests_failed`/`queries_shed`/`queue_depth_max`, a per-verb `latency` object with `count`/`total_micros`/`max_micros`/`p50_micros`/`p95_micros`/`p99_micros` for `query`/`fact`/`batch`, and `degraded`). Never shed under overload |
 //! | `SNAPSHOT` | `OK snapshot epoch=<e>` after durably snapshotting the instance and truncating the WAL (a no-op `OK` on a volatile server) |
-//! | `SHUTDOWN` | `OK bye`; the server stops accepting connections, drains in-flight handlers, flushes the WAL and appends the clean-shutdown marker |
+//! | `SHUTDOWN` | `OK bye`; the server stops accepting connections, answers queued-but-unstarted requests `ERR shutting-down`, completes in-flight work, flushes the WAL and appends the clean-shutdown marker. Never shed under overload |
+//!
+//! Two structured errors come from the transport rather than the handler:
+//! `ERR overloaded retry_ms=<hint>` (admission control shed the connection
+//! or request — retry after the hinted backoff) and `ERR shutting-down`
+//! (the request arrived during drain).
 //!
 //! Clients must frame query answers by the header's `answers=<n>` count —
 //! read exactly `n` tuple lines, then the `END` line — rather than scanning
@@ -76,11 +81,34 @@
 //! * Queries clone the published snapshot handle (an `Arc` bump under a
 //!   briefly-held read lock) and evaluate against the frozen instance with
 //!   **no lock held** — a long query never blocks an ingest and vice versa.
-//! * The listener runs **thread-per-connection** over blocking `std::net`
-//!   sockets. The connection loop is deliberately thin — read line, call
-//!   the pure-ish request handler, write the rendered response — so an
-//!   async runtime can later replace the transport without touching the
-//!   protocol or the engine.
+//! * The transport is a **readiness-based reactor** (see below): requests
+//!   are handled by a fixed worker pool, so concurrency is bounded by
+//!   [`ServerConfig`], not by how many sockets are open.
+//!
+//! # Transport architecture
+//!
+//! The front door is one epoll **reactor thread** (over the offline
+//! `epoll` shim crate — thin safe wrappers on `epoll(7)`/`eventfd(2)`; the
+//! service crate itself forbids `unsafe`) plus a fixed **worker pool**:
+//!
+//! * The reactor owns the nonblocking listener and every connection's
+//!   read/write buffers, reassembles request lines, and keeps per-request
+//!   FIFO ordering by queueing parse errors alongside parsed requests.
+//!   Requests are dispatched (at most one in flight per connection) to a
+//!   bounded job queue; workers run the transport-free request handler
+//!   under `catch_unwind` and post replies back through an eventfd waker.
+//! * **Admission policy knobs** ([`ServerConfig`]): `max_connections`
+//!   (accept-time cap), `max_queue_depth` (request-time cap),
+//!   `worker_threads` (in-flight cap), `overload_retry_ms` (the backoff
+//!   hint carried by `ERR overloaded`), `idle_timeout` (optional reaper).
+//! * **Degradation ladder** under rising load: (1) requests queue, up to
+//!   `max_queue_depth`; (2) further requests are shed with
+//!   `ERR overloaded retry_ms=<hint>` — connections survive, `STATS` and
+//!   `SHUTDOWN` stay exempt; (3) accepts beyond `max_connections` are
+//!   rejected with the same error and closed; (4) misbehaving peers
+//!   (slow-loris writers, stalled readers, over-`max_line_bytes` lines)
+//!   are cut individually by the reactor's timer wheel. Shedding never
+//!   corrupts state: a shed request performed no engine work at all.
 //!
 //! # Durability model
 //!
@@ -121,7 +149,9 @@
 
 pub mod durability;
 pub mod failpoints;
+mod histogram;
 pub mod protocol;
+mod reactor;
 pub mod server;
 pub mod snapshot;
 pub mod wal;

@@ -1,36 +1,49 @@
-//! The thread-per-connection TCP front door (see the [crate docs](crate)
-//! for the protocol, the concurrency model and the durability model).
+//! The TCP front door: protocol semantics ([`handle_request`]) plus the
+//! server lifecycle around the readiness-based transport in
+//! [`reactor`](crate::reactor) (see the [crate docs](crate) for the
+//! protocol, the concurrency model and the durability model).
 //!
 //! # Robustness
 //!
-//! The transport defends itself against slow and broken clients:
+//! The transport defends itself against slow, broken, and *too many*
+//! clients:
 //!
-//! * Reads poll with a short socket timeout, so every handler notices a
-//!   requested shutdown within [`ServerConfig::poll_interval`] instead of
-//!   blocking forever on a silent connection.
+//! * One epoll reactor thread multiplexes every connection; a fixed worker
+//!   pool evaluates requests. A slow query occupies a worker, never the
+//!   event loop — accepts, reads, timeouts and `SHUTDOWN` stay responsive
+//!   under load.
+//! * Admission control degrades gracefully instead of collapsing: accepts
+//!   beyond [`ServerConfig::max_connections`] and requests beyond
+//!   [`ServerConfig::max_queue_depth`] answer a structured
+//!   `ERR overloaded retry_ms=<hint>` (`STATS` and `SHUTDOWN` are exempt,
+//!   so an operator can always diagnose and end an overload).
 //! * A line must fit in [`ServerConfig::max_line_bytes`] and complete
 //!   within [`ServerConfig::line_timeout`] of its first byte — the
-//!   slow-loris hole (one byte per minute, forever) closes a connection
-//!   instead of pinning a handler thread.
+//!   slow-loris hole (one byte per minute, forever) closes a connection.
+//!   The same deadline cuts off clients that stop reading their answers,
+//!   and [`ServerConfig::idle_timeout`] optionally reaps silent sockets.
 //! * A panicked writer poisons the engine mutex; subsequent writes answer
 //!   `ERR engine-unavailable` while queries keep serving from the last
 //!   published snapshot (reads never need the engine lock). The process
 //!   can be restarted to recover the WAL — mid-ingest state is never
 //!   trusted.
-//! * Shutdown is cooperative: the accept loop polls a flag (no self-connect
-//!   wake), drains in-flight handlers, then flushes the WAL and appends
-//!   the clean-shutdown marker.
+//! * Shutdown drains: the listener closes, queued-but-unstarted requests
+//!   answer `ERR shutting-down`, in-flight requests complete and flush,
+//!   then the WAL gets its clean-shutdown marker. An eventfd waker makes
+//!   programmatic shutdown prompt — no self-connect hack.
 
 use crate::durability::DurableEngine;
 use crate::failpoints;
-use crate::protocol::{parse_request, QueryMode, Request, Response};
+use crate::histogram::LatencyHistogram;
+use crate::protocol::{QueryMode, Request, Response};
+use crate::reactor::{self, TransportCounters};
 use std::collections::{BTreeMap, BTreeSet};
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use vadalog_analysis::{analyze_source, AnalyzerOptions};
 use vadalog_datalog::{DemandEngine, DemandError, IncrementalEngine};
 use vadalog_model::{BudgetExceeded, InstanceSnapshot, Predicate, QueryBudget};
@@ -58,14 +71,38 @@ pub struct ServerConfig {
     pub default_max_rows: Option<usize>,
     /// Hard cap on one request line; longer lines answer `ERR` and close.
     pub max_line_bytes: usize,
-    /// A started line must complete within this long of its first byte.
+    /// A started line must complete within this long of its first byte;
+    /// the same deadline bounds how long a written-but-unread reply may
+    /// stall before its connection is cut.
     pub line_timeout: Duration,
-    /// Socket read-timeout granularity — also how quickly idle handlers
-    /// observe a shutdown request.
+    /// The reactor's tick: epoll wait timeout and timer-wheel granularity
+    /// — also how quickly the transport observes a shutdown request.
     pub poll_interval: Duration,
     /// What happens to candidate programs with error-severity diagnostics
     /// and to facts targeting derived predicates.
     pub admission: AdmissionPolicy,
+    /// Concurrent-connection cap: accepts beyond it answer
+    /// `ERR overloaded retry_ms=<hint>` and close immediately.
+    pub max_connections: usize,
+    /// Pending job-queue depth cap: requests arriving while this many are
+    /// queued (excluding in-flight) are shed with the same structured
+    /// overload error; the connection survives. `STATS` and `SHUTDOWN`
+    /// are exempt.
+    pub max_queue_depth: usize,
+    /// Worker-pool size — the in-flight request cap. `0` picks
+    /// `max(2, available parallelism)`.
+    pub worker_threads: usize,
+    /// The `retry_ms` hint carried by `ERR overloaded` responses.
+    pub overload_retry_ms: u64,
+    /// Reap connections with no traffic in this long (`None`: idle
+    /// sockets live until shutdown — they cost a buffer, not a thread).
+    pub idle_timeout: Option<Duration>,
+    /// Clamp each accepted socket's kernel send buffer (`SO_SNDBUF`) to
+    /// roughly this many bytes (`None`: kernel autotuning). Bounding the
+    /// kernel's absorption makes the stalled-reader cutoff deterministic:
+    /// a peer that stops reading backs up into the reactor's user-space
+    /// write buffer quickly, where the write-stall deadline can see it.
+    pub send_buffer_bytes: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +114,12 @@ impl Default for ServerConfig {
             line_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_millis(50),
             admission: AdmissionPolicy::FailClosed,
+            max_connections: 1024,
+            max_queue_depth: 128,
+            worker_threads: 0,
+            overload_retry_ms: 100,
+            idle_timeout: None,
+            send_buffer_bytes: None,
         }
     }
 }
@@ -84,46 +127,18 @@ impl Default for ServerConfig {
 const ENGINE_UNAVAILABLE: &str =
     "engine-unavailable (a writer panicked mid-request; queries still serve the last snapshot)";
 
-/// Lock-free latency accounting for one protocol verb: request count, total
-/// handling time and worst case, all in microseconds. Reported by `STATS`.
-#[derive(Default)]
-struct VerbLatency {
-    count: AtomicU64,
-    total_micros: AtomicU64,
-    max_micros: AtomicU64,
-}
-
-impl VerbLatency {
-    fn record(&self, elapsed: Duration) {
-        let micros = elapsed.as_micros() as u64;
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_micros.fetch_add(micros, Ordering::Relaxed);
-        self.max_micros.fetch_max(micros, Ordering::Relaxed);
-    }
-
-    /// One `{"count":…,"total_micros":…,"max_micros":…}` JSON object.
-    fn render(&self) -> String {
-        format!(
-            "{{\"count\":{},\"total_micros\":{},\"max_micros\":{}}}",
-            self.count.load(Ordering::Relaxed),
-            self.total_micros.load(Ordering::Relaxed),
-            self.max_micros.load(Ordering::Relaxed),
-        )
-    }
-}
-
-/// The state shared between the accept loop and the connection handlers.
-struct Shared {
+/// The state shared between the reactor thread and the worker pool.
+pub(crate) struct Shared {
     /// The live engine behind its durability layer; ingests serialise here.
-    engine: Mutex<DurableEngine>,
+    pub(crate) engine: Mutex<DurableEngine>,
     /// The snapshot queries run against, republished after every ingest.
     /// Readers hold the lock only for the `Arc` clone.
     published: RwLock<InstanceSnapshot>,
     /// Worker threads for the sharded CQ kernel.
     threads: usize,
-    /// Set by `SHUTDOWN` (or programmatically); polled by the accept loop
-    /// and by every handler's line reader.
-    shutdown: AtomicBool,
+    /// Set by `SHUTDOWN` (or programmatically); the reactor observes it
+    /// and drains.
+    pub(crate) shutdown: AtomicBool,
     /// Latched when the engine mutex is found poisoned.
     degraded: AtomicBool,
     /// Extensional relations of the serving program, precomputed at start
@@ -143,11 +158,17 @@ struct Shared {
     /// snapshot and caches one compiled program per binding-pattern
     /// signature.
     demand: DemandEngine,
-    /// Per-verb latency accounting, reported by `STATS`.
-    latency_query: VerbLatency,
-    latency_fact: VerbLatency,
-    latency_batch: VerbLatency,
-    config: ServerConfig,
+    /// Per-verb latency histograms (p50/p95/p99), reported by `STATS`.
+    pub(crate) latency_query: LatencyHistogram,
+    pub(crate) latency_fact: LatencyHistogram,
+    pub(crate) latency_batch: LatencyHistogram,
+    /// Transport-layer accounting (accepts, rejects, sheds), reported by
+    /// `STATS` and maintained by the reactor.
+    pub(crate) transport: TransportCounters,
+    /// Interrupts the reactor's `epoll_wait` — for completions and
+    /// programmatic shutdown.
+    waker: Arc<epoll::Waker>,
+    pub(crate) config: ServerConfig,
 }
 
 impl Shared {
@@ -163,8 +184,9 @@ impl Shared {
 }
 
 /// Serves one request against the shared state. This is the whole protocol
-/// semantics; the socket loop around it only moves lines.
-fn handle_request(shared: &Shared, request: Request) -> Response {
+/// semantics; the reactor transport around it only moves lines. Workers
+/// call it off the job queue — it is deliberately transport-free.
+pub(crate) fn handle_request(shared: &Shared, request: Request) -> Response {
     match request {
         Request::Ingest { facts, .. } => {
             // Fail-closed admission: ingest may only feed extensional
@@ -305,6 +327,7 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                  \"snapshots_written\":{},\"snapshot_failures\":{},\"programs_rejected\":{},\
                  \"diagnostics_emitted\":{},\"magic_queries\":{},\"magic_cache_hits\":{},\
                  \"demanded_tuples\":{},\"full_materialised_tuples\":{},\
+                 \"transport\":{},\
                  \"latency\":{{\"query\":{},\"fact\":{},\"batch\":{}}},\"degraded\":{}}}",
                 inner.epoch(),
                 inner.instance().len(),
@@ -325,6 +348,7 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                 demand.magic_cache_hits,
                 demand.demanded_tuples,
                 inner.instance().len(),
+                shared.transport.render(),
                 shared.latency_query.render(),
                 shared.latency_fact.render(),
                 shared.latency_batch.render(),
@@ -342,162 +366,22 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
             }
         }
         Request::Shutdown => {
+            // Normally intercepted inline by the reactor (so it cannot be
+            // starved by a saturated worker pool); kept here so the
+            // handler's semantics stay complete on their own.
             shared.shutdown.store(true, Ordering::SeqCst);
-            // The accept loop and every handler poll the flag; no wake-up
-            // connection is needed.
+            shared.waker.wake();
             Response::Ok("bye".into())
         }
     }
 }
 
-/// What one attempt to read a request line produced.
-enum LineEvent {
-    /// A complete line (without its terminator), lossily decoded — bad
-    /// UTF-8 flows into `parse_request`, which answers `ERR`.
-    Line(String),
-    /// The line exceeded [`ServerConfig::max_line_bytes`].
-    TooLong,
-    /// EOF, a transport error, a stalled partial line, or shutdown.
-    Closed,
-}
-
-/// A line reader over a raw polling socket: accumulates bytes, yields
-/// complete lines, enforces the length cap and the completion deadline,
-/// and observes the shutdown flag between polls.
-struct LineReader {
-    stream: TcpStream,
-    buf: Vec<u8>,
-    /// Bytes of `buf` already scanned for a newline (avoids rescanning).
-    scanned: usize,
-}
-
-impl LineReader {
-    fn new(stream: TcpStream) -> LineReader {
-        LineReader {
-            stream,
-            buf: Vec::new(),
-            scanned: 0,
-        }
-    }
-
-    fn next_line(&mut self, shared: &Shared) -> LineEvent {
-        let config = &shared.config;
-        // The deadline for *this* line starts when its first byte is
-        // already waiting (pipelined) or arrives.
-        let mut started = if self.buf.is_empty() {
-            None
-        } else {
-            Some(Instant::now())
-        };
-        let mut chunk = [0u8; 4096];
-        loop {
-            if let Some(pos) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
-                let pos = self.scanned + pos;
-                if pos > config.max_line_bytes {
-                    return LineEvent::TooLong;
-                }
-                let line = String::from_utf8_lossy(&self.buf[..pos]).into_owned();
-                self.buf.drain(..=pos);
-                self.scanned = 0;
-                return LineEvent::Line(line);
-            }
-            self.scanned = self.buf.len();
-            if self.buf.len() > config.max_line_bytes {
-                return LineEvent::TooLong;
-            }
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return LineEvent::Closed;
-            }
-            if let Some(started) = started {
-                if started.elapsed() > config.line_timeout {
-                    // Slow loris: a line that cannot finish does not get to
-                    // keep its handler thread.
-                    return LineEvent::Closed;
-                }
-            }
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return LineEvent::Closed,
-                Ok(n) => {
-                    if self.buf.is_empty() {
-                        started = Some(Instant::now());
-                    }
-                    self.buf.extend_from_slice(&chunk[..n]);
-                }
-                Err(error)
-                    if matches!(
-                        error.kind(),
-                        io::ErrorKind::WouldBlock
-                            | io::ErrorKind::TimedOut
-                            | io::ErrorKind::Interrupted
-                    ) => {}
-                Err(_) => return LineEvent::Closed,
-            }
-        }
-    }
-}
-
-/// Reads request lines off one connection until EOF, a transport fault,
-/// or shutdown, writing one rendered response per request.
-fn serve_connection(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
-    let _ = stream.set_write_timeout(Some(shared.config.line_timeout));
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = io::BufWriter::new(write_half);
-    let mut reader = LineReader::new(stream);
-    loop {
-        let line = match reader.next_line(shared) {
-            LineEvent::Line(line) => line,
-            LineEvent::TooLong => {
-                // Tell the client why, then drop it — the connection's
-                // framing is unrecoverable past an oversized line.
-                let _ =
-                    writer.write_all(Response::Error("line too long".into()).render().as_bytes());
-                let _ = writer.flush();
-                return;
-            }
-            LineEvent::Closed => return,
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, is_shutdown) = match parse_request(&line) {
-            Ok(request) => {
-                let is_shutdown = matches!(request, Request::Shutdown);
-                // Latency is metered per verb around the whole handler —
-                // snapshot clone, evaluation and rendering-relevant work —
-                // so STATS reflects what a client actually waited for
-                // (minus socket time).
-                let latency = match &request {
-                    Request::Query { .. } => Some(&shared.latency_query),
-                    Request::Ingest { batch: false, .. } => Some(&shared.latency_fact),
-                    Request::Ingest { batch: true, .. } => Some(&shared.latency_batch),
-                    _ => None,
-                };
-                let started = Instant::now();
-                let response = handle_request(shared, request);
-                if let Some(latency) = latency {
-                    latency.record(started.elapsed());
-                }
-                (response, is_shutdown)
-            }
-            Err(message) => (Response::Error(message), false),
-        };
-        if writer.write_all(response.render().as_bytes()).is_err() || writer.flush().is_err() {
-            break;
-        }
-        if is_shutdown {
-            break;
-        }
-    }
-}
-
-/// A running live-materialisation server: a listener thread accepting
-/// connections, each served by its own thread against the shared engine.
+/// A running live-materialisation server: one reactor thread multiplexing
+/// every connection over epoll, plus its worker pool, serving the shared
+/// engine.
 pub struct LiveServer {
     addr: SocketAddr,
-    accept: JoinHandle<()>,
+    reactor: JoinHandle<()>,
     shared: Arc<Shared>,
 }
 
@@ -555,6 +439,7 @@ impl LiveServer {
         let threads = engine.engine().threads();
         let published = RwLock::new(engine.engine().snapshot());
         let demand = DemandEngine::new(program.clone()).with_threads(threads);
+        let waker = Arc::new(epoll::Waker::new()?);
         let shared = Arc::new(Shared {
             engine: Mutex::new(engine),
             published,
@@ -567,56 +452,20 @@ impl LiveServer {
             programs_rejected: AtomicU64::new(0),
             diagnostics_emitted: AtomicU64::new(0),
             demand,
-            latency_query: VerbLatency::default(),
-            latency_fact: VerbLatency::default(),
-            latency_batch: VerbLatency::default(),
+            latency_query: LatencyHistogram::default(),
+            latency_fact: LatencyHistogram::default(),
+            latency_batch: LatencyHistogram::default(),
+            transport: TransportCounters::default(),
+            waker: Arc::clone(&waker),
             config,
         });
-        let accept = std::thread::spawn({
+        let reactor = std::thread::spawn({
             let shared = Arc::clone(&shared);
-            move || {
-                let mut connections: Vec<JoinHandle<()>> = Vec::new();
-                loop {
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            // Accepted sockets must block (with timeouts);
-                            // nonblocking-ness is for the listener only.
-                            let _ = stream.set_nonblocking(false);
-                            // Reap handlers whose client already
-                            // disconnected, so a long-lived server does not
-                            // accumulate one handle per connection it ever
-                            // served.
-                            connections.retain(|connection| !connection.is_finished());
-                            let shared = Arc::clone(&shared);
-                            connections.push(std::thread::spawn(move || {
-                                serve_connection(&shared, stream)
-                            }));
-                        }
-                        Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(10));
-                        }
-                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
-                    }
-                }
-                // Drain in-flight handlers: each observes the shutdown flag
-                // within one poll interval and exits.
-                for connection in connections {
-                    let _ = connection.join();
-                }
-                // With every handler drained, flush the WAL and mark the
-                // shutdown clean. A poisoned engine skips the marker — its
-                // mid-ingest state must not be certified clean.
-                if let Ok(mut engine) = shared.engine.lock() {
-                    let _ = engine.clean_shutdown();
-                }
-            }
+            move || reactor::run(shared, listener, waker)
         });
         Ok(LiveServer {
             addr,
-            accept,
+            reactor,
             shared,
         })
     }
@@ -644,24 +493,26 @@ impl LiveServer {
     }
 
     /// Requests shutdown programmatically — equivalent to a `SHUTDOWN`
-    /// request: the accept loop stops, handlers drain, the WAL is flushed
-    /// and the clean-shutdown marker is appended.
+    /// request: the listener closes, in-flight requests complete and
+    /// flush, the WAL is flushed and the clean-shutdown marker appended.
+    /// The eventfd waker interrupts the reactor's wait immediately.
     pub fn request_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.waker.wake();
     }
 
-    /// Waits for the server to stop: shutdown stops the accept loop, the
-    /// loop drains the remaining connection handlers, and the WAL is
-    /// closed cleanly.
+    /// Waits for the server to stop: the reactor drains every connection,
+    /// joins its worker pool, and closes the WAL cleanly.
     pub fn join(self) {
-        let _ = self.accept.join();
+        let _ = self.reactor.join();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{BufRead, BufReader, BufWriter};
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    use std::net::TcpStream;
     use vadalog_model::parser::parse_rules;
 
     const TWO_CLOSURES: &str = "t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).\n\

@@ -345,6 +345,7 @@ impl Wal {
         frame.extend_from_slice(payload);
         match failpoints::hit("wal.append") {
             Action::Off => {}
+            Action::Stall(for_how_long) => std::thread::sleep(for_how_long),
             Action::Error => return Err(io::Error::other("failpoint wal.append")),
             Action::Panic => panic!("failpoint wal.append"),
             Action::TornWrite => {

@@ -1,0 +1,349 @@
+//! Offline stand-in for a readiness-notification crate (the build
+//! environment has no network access, so `mio`/`polling` are unavailable):
+//! a thin, **safe** wrapper over the Linux `epoll(7)` and `eventfd(2)`
+//! syscalls via direct libc FFI, with exactly the surface the
+//! `vadalog-service` reactor needs.
+//!
+//! All `unsafe` in the workspace's transport lives here, behind safe
+//! functions, so the service crate itself can keep `#![forbid(unsafe_code)]`.
+//! The wrapper is memory-safe by construction: every call passes either a
+//! caller-supplied raw fd (the kernel validates fds; a stale fd yields
+//! `EBADF`, never UB) or buffers whose lengths are taken from the Rust
+//! slices themselves.
+//!
+//! Linux-only, like the reactor it serves. The interest flags are re-exported
+//! as plain `u32` constants matching `<sys/epoll.h>`.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::time::Duration;
+
+/// The fd (or listener/waker) is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// The fd is writable (send buffer has room).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, need not be requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (always reported, need not be requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+const SOL_SOCKET: c_int = 1;
+const SO_SNDBUF: c_int = 7;
+const SO_RCVBUF: c_int = 8;
+
+/// `struct epoll_event`. Packed on x86-64 (the kernel ABI); naturally
+/// aligned elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: u32,
+    ) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// One readiness notification: the `token` the fd was registered with and
+/// the ready `events` mask (`EPOLLIN` / `EPOLLOUT` / `EPOLLERR` / …).
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Ready-state bits.
+    pub events: u32,
+    /// The registration's token.
+    pub token: u64,
+}
+
+/// An epoll instance. Registrations are level-triggered (the default and
+/// the forgiving mode: a fd stays ready until drained).
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a new close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 takes no pointers.
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        // SAFETY: `event` outlives the call; the kernel copies it. A bad
+        // `fd` is reported as EBADF, not UB.
+        cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut event) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` with the given interest mask and token.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Changes an existing registration's interest mask (and token).
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Removes a registration. Harmless to call for an fd the kernel
+    /// already dropped (closing an fd deregisters it implicitly).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, EPOLLIN, 0)
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout`
+    /// elapses (`None`: wait forever), appending the notifications to
+    /// `events` (cleared first). Returns the notification count; 0 on
+    /// timeout. `EINTR` is reported as a count of 0, not an error.
+    pub fn wait(&self, timeout: Option<Duration>, events: &mut Vec<Event>) -> io::Result<usize> {
+        events.clear();
+        const CAPACITY: usize = 256;
+        let mut raw = [EpollEvent { events: 0, data: 0 }; CAPACITY];
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            // Round up so a 1 ns timeout does not busy-spin at 0 ms.
+            Some(t) => t
+                .as_millis()
+                .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+                .min(c_int::MAX as u128) as c_int,
+        };
+        // SAFETY: the buffer pointer and capacity come from the same local
+        // array; the kernel writes at most `CAPACITY` entries.
+        let n = unsafe { epoll_wait(self.fd, raw.as_mut_ptr(), CAPACITY as c_int, timeout_ms) };
+        if n < 0 {
+            let error = io::Error::last_os_error();
+            if error.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(error);
+        }
+        for event in raw.iter().take(n as usize) {
+            // Copy out of the (possibly packed) struct field by field.
+            let (bits, token) = (event.events, event.data);
+            events.push(Event {
+                events: bits,
+                token,
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: closing an owned fd exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A cross-thread wake-up for an epoll loop, built on a nonblocking
+/// `eventfd`. Register [`Waker::fd`] for `EPOLLIN`; any thread may call
+/// [`Waker::wake`]; the loop calls [`Waker::drain`] when the fd reports
+/// readable.
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates the eventfd.
+    pub fn new() -> io::Result<Waker> {
+        // SAFETY: eventfd takes no pointers.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(Waker { fd })
+    }
+
+    /// The fd to register with the epoll instance (interest: `EPOLLIN`).
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Makes the next (or current) `epoll_wait` return. Infallible by
+    /// design: the only failure mode of writing to a nonblocking eventfd is
+    /// an already-pending wake (`EAGAIN` at the counter cap), which is the
+    /// desired state anyway.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes exactly 8 bytes from a live stack value.
+        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Consumes pending wakes so the fd stops reporting readable.
+    pub fn drain(&self) {
+        let mut counter: u64 = 0;
+        // SAFETY: reads exactly 8 bytes into a live stack value.
+        while unsafe { read(self.fd, (&mut counter as *mut u64).cast(), 8) } == 8 {}
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: closing an owned fd exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+// The waker is shared between the reactor and worker/handle threads; it is
+// just an fd, and eventfd reads/writes are thread-safe.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+/// Shrinks (or grows) a socket's kernel receive buffer. Test harnesses use
+/// a tiny receive buffer to simulate a slow consumer deterministically.
+pub fn set_recv_buffer(fd: RawFd, bytes: usize) -> io::Result<()> {
+    let value = bytes as c_int;
+    // SAFETY: optval/optlen describe the same live c_int.
+    cvt(unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_RCVBUF,
+            (&value as *const c_int).cast(),
+            std::mem::size_of::<c_int>() as u32,
+        )
+    })?;
+    Ok(())
+}
+
+/// Shrinks (or grows) a socket's kernel send buffer — the companion knob
+/// for making write-side backpressure reproducible in tests.
+pub fn set_send_buffer(fd: RawFd, bytes: usize) -> io::Result<()> {
+    let value = bytes as c_int;
+    // SAFETY: optval/optlen describe the same live c_int.
+    cvt(unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_SNDBUF,
+            (&value as *const c_int).cast(),
+            std::mem::size_of::<c_int>() as u32,
+        )
+    })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let epoll = Epoll::new().unwrap();
+        let waker = Waker::new().unwrap();
+        epoll.add(waker.fd(), EPOLLIN, 7).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending: times out.
+        let n = epoll
+            .wait(Some(Duration::from_millis(10)), &mut events)
+            .unwrap();
+        assert_eq!(n, 0);
+
+        waker.wake();
+        waker.wake(); // coalesces
+        let n = epoll
+            .wait(Some(Duration::from_millis(1000)), &mut events)
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].events & EPOLLIN != 0);
+
+        waker.drain();
+        let n = epoll
+            .wait(Some(Duration::from_millis(10)), &mut events)
+            .unwrap();
+        assert_eq!(n, 0, "drained waker must stop reporting readable");
+    }
+
+    #[test]
+    fn sockets_report_readable_and_writable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let epoll = Epoll::new().unwrap();
+        epoll
+            .add(server.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 42)
+            .unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        let n = epoll
+            .wait(Some(Duration::from_millis(2000)), &mut events)
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].events & EPOLLIN != 0);
+        let mut buf = [0u8; 8];
+        let read = (&server).read(&mut buf).unwrap();
+        assert_eq!(&buf[..read], b"ping");
+
+        // Writable interest fires immediately on an idle socket…
+        epoll.modify(server.as_raw_fd(), EPOLLOUT, 42).unwrap();
+        let n = epoll
+            .wait(Some(Duration::from_millis(2000)), &mut events)
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].events & EPOLLOUT != 0);
+
+        // …and a peer hang-up is reported once interest includes RDHUP.
+        epoll
+            .modify(server.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 42)
+            .unwrap();
+        drop(client);
+        let n = epoll
+            .wait(Some(Duration::from_millis(2000)), &mut events)
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].events & (EPOLLRDHUP | EPOLLHUP | EPOLLIN) != 0);
+
+        epoll.delete(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn recv_buffer_can_be_shrunk() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        set_recv_buffer(client.as_raw_fd(), 4096).unwrap();
+        set_send_buffer(client.as_raw_fd(), 4096).unwrap();
+    }
+}
