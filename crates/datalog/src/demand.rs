@@ -32,7 +32,7 @@
 //! answers are identical either way, which the cross-engine property suite
 //! pins.
 
-use crate::engine::{stratum_fixpoint, DatalogStats};
+use crate::engine::{stratum_fixpoint, DatalogStats, RoundProfile};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -81,6 +81,30 @@ pub struct DemandAnswer {
     /// `true` iff the specialised program came out of the cache (no
     /// rewrite, no stratification, no join compilation this query).
     pub cache_hit: bool,
+}
+
+/// Per-phase breakdown of one demand-driven answer, collected by
+/// [`DemandEngine::answer_profiled`] (the service's `PROFILE` verb).
+/// Purely observational: collecting it reads values the evaluation
+/// produced anyway, so profiled and unprofiled answers are bit-identical.
+#[derive(Debug, Clone, Default)]
+pub struct DemandProfile {
+    /// Wall micros spent obtaining the specialised program (near zero on a
+    /// cache hit).
+    pub rewrite_micros: u64,
+    /// Wall micros spent projecting the base relations and inserting the
+    /// magic seed facts into the scratch instance.
+    pub seed_micros: u64,
+    /// Number of ground magic seed facts inserted.
+    pub seed_facts: usize,
+    /// Per-stratum fixpoint breakdowns, one round list per stratum in
+    /// evaluation order.
+    pub strata: Vec<Vec<RoundProfile>>,
+    /// Wall micros of the final renamed-query evaluation over the scratch
+    /// instance.
+    pub answer_micros: u64,
+    /// The engine counters of the fixpoint over the scratch instance.
+    pub stats: DatalogStats,
 }
 
 /// Cumulative counters of a [`DemandEngine`], mirrored into the service's
@@ -266,8 +290,47 @@ impl DemandEngine {
         query: &ConjunctiveQuery,
         budget: &QueryBudget,
     ) -> Result<DemandAnswer, DemandError> {
+        self.answer_inner(base, query, budget, None)
+    }
+
+    /// [`DemandEngine::answer`] with a per-phase breakdown: rewrite/seed/
+    /// per-stratum-round/answer wall micros plus the full fixpoint
+    /// counters. The answer — tuples, demanded counts, cache behaviour —
+    /// is bit-identical to the unprofiled path.
+    pub fn answer_profiled(
+        &self,
+        base: &Instance,
+        query: &ConjunctiveQuery,
+        budget: &QueryBudget,
+    ) -> Result<(DemandAnswer, DemandProfile), DemandError> {
+        let mut profile = DemandProfile::default();
+        let answer = self.answer_inner(base, query, budget, Some(&mut profile))?;
+        Ok((answer, profile))
+    }
+
+    fn answer_inner(
+        &self,
+        base: &Instance,
+        query: &ConjunctiveQuery,
+        budget: &QueryBudget,
+        mut profile: Option<&mut DemandProfile>,
+    ) -> Result<DemandAnswer, DemandError> {
+        let mut span = vadalog_obs::span("demand.answer");
+        let phase_start =
+            |profile: &Option<&mut DemandProfile>| profile.is_some().then(Instant::now);
+        let micros = |start: Option<Instant>| start.map_or(0, |s| s.elapsed().as_micros() as u64);
         let deadline = budget.deadline();
-        let (specialised, cache_hit) = self.specialised(query).map_err(DemandError::Fallback)?;
+        let started = phase_start(&profile);
+        let (specialised, cache_hit) = self.specialised(query).map_err(|reason| {
+            vadalog_obs::event("demand.fallback", || format!("reason={reason}"));
+            DemandError::Fallback(reason)
+        })?;
+        if let Some(p) = profile.as_deref_mut() {
+            p.rewrite_micros = micros(started);
+        }
+        if span.active() {
+            span.kv("cache_hit", cache_hit);
+        }
         // A base relation under a generated name would be read as (or
         // shadowed by) rewrite output — refuse rather than mix data.
         if let Some(&taken) = specialised
@@ -275,9 +338,9 @@ impl DemandEngine {
             .iter()
             .find(|&&p| base.relation(p).is_some())
         {
-            return Err(DemandError::Fallback(MagicFallback::NameCollision(
-                taken.name().to_string(),
-            )));
+            let reason = MagicFallback::NameCollision(taken.name().to_string());
+            vadalog_obs::event("demand.fallback", || format!("reason={reason}"));
+            return Err(DemandError::Fallback(reason));
         }
         let (seeds, renamed_query) = specialised
             .rewrite
@@ -289,11 +352,17 @@ impl DemandEngine {
             self.magic_cache_hits.fetch_add(1, Ordering::Relaxed);
         }
 
+        let started = phase_start(&profile);
+        let seed_facts = seeds.len();
         let mut scratch = base.project(specialised.base_predicates.iter().copied());
         for seed in seeds {
             scratch
                 .insert(seed)
                 .map_err(|e| DemandError::Fallback(MagicFallback::Construction(e.to_string())))?;
+        }
+        if let Some(p) = profile.as_deref_mut() {
+            p.seed_micros = micros(started);
+            p.seed_facts = seed_facts;
         }
 
         let mut stats = DatalogStats::default();
@@ -304,6 +373,7 @@ impl DemandEngine {
                 .iter()
                 .map(|&i| &specialised.rewrite.program.tgds()[i])
                 .collect();
+            let mut rounds = profile.is_some().then(Vec::new);
             stratum_fixpoint(
                 &rules,
                 &stratum.specs,
@@ -315,12 +385,21 @@ impl DemandEngine {
                 &mut merge,
                 &mut stats,
                 deadline,
+                rounds.as_mut(),
             )
             .map_err(DemandError::Budget)?;
+            if let (Some(p), Some(rounds)) = (profile.as_deref_mut(), rounds) {
+                p.strata.push(rounds);
+            }
         }
         let demanded = stats.derived_atoms as u64;
         self.demanded_tuples.fetch_add(demanded, Ordering::Relaxed);
+        if span.active() {
+            span.kv("demanded_tuples", demanded);
+            span.kv("scratch_atoms", scratch.len());
+        }
 
+        let started = phase_start(&profile);
         let answers = if budget.is_unlimited() {
             renamed_query.evaluate_with_threads(&scratch, self.threads)
         } else {
@@ -342,6 +421,13 @@ impl DemandEngine {
                 .evaluate_budgeted(&scratch, self.threads, &residual)
                 .map_err(DemandError::Budget)?
         };
+        if let Some(p) = profile {
+            p.answer_micros = micros(started);
+            p.stats = stats;
+        }
+        if span.active() {
+            span.kv("answers", answers.len());
+        }
         Ok(DemandAnswer {
             answers,
             demanded_tuples: demanded,

@@ -99,6 +99,29 @@ pub struct DatalogStats {
     pub rounds_incremental: usize,
 }
 
+/// Observational breakdown of one fixpoint round, collected by
+/// [`stratum_fixpoint`] when the caller supplies a profile sink (the
+/// service's `PROFILE` verb does; plain evaluation passes `None` and pays
+/// nothing). Round 0 of a stratum is the naive round — its "delta" is the
+/// full driver row set; each later round's delta is the previous round's
+/// output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundProfile {
+    /// Round index within the stratum (0 = naive round).
+    pub round: usize,
+    /// Wall-clock micros of the round (task fan-out + merge).
+    pub wall_micros: u64,
+    /// Rows seeding the round: driver rows for the naive round, the summed
+    /// watermark delta ranges for semi-naive rounds.
+    pub delta_rows: u64,
+    /// Rows the round added to the instance (post-dedup).
+    pub derived_rows: u64,
+    /// Join-kernel candidate rows examined this round.
+    pub join_probes: u64,
+    /// Rows dropped by worker-side pre-dedup this round.
+    pub rows_prededuped: u64,
+}
+
 /// The result of evaluating a Datalog program over a database.
 #[derive(Debug, Clone)]
 pub struct DatalogResult {
@@ -310,6 +333,12 @@ pub(crate) fn seeded_round(
 /// [`BudgetExceeded::Deadline`] *between* rounds, leaving `instance` in a
 /// sound-but-incomplete state the caller must discard. Unbudgeted callers
 /// are bit-identical to the pre-extraction loop.
+///
+/// `profile`, when supplied, receives one [`RoundProfile`] per executed
+/// round (delta sizes, probes, pre-dedup, wall micros). The sink and the
+/// `datalog.round` trace spans are purely observational: they read counter
+/// deltas the round produced anyway, so supplying a sink or enabling
+/// tracing cannot change results or [`DatalogStats`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn stratum_fixpoint(
     rules: &[&Tgd],
@@ -322,10 +351,51 @@ pub(crate) fn stratum_fixpoint(
     scratch: &mut MergeScratch,
     stats: &mut DatalogStats,
     deadline: Option<Instant>,
+    mut profile: Option<&mut Vec<RoundProfile>>,
 ) -> Result<(), BudgetExceeded> {
     let expired = |deadline: Option<Instant>| deadline.is_some_and(|d| Instant::now() >= d);
     if expired(deadline) {
         return Err(BudgetExceeded::Deadline);
+    }
+
+    let mut stratum_span = vadalog_obs::span("datalog.stratum");
+    if stratum_span.active() {
+        stratum_span.kv("rules", rules.len());
+        stratum_span.kv("recursive", recursive);
+    }
+    // One closing record per round, shared by the trace span and the
+    // profile sink. Timing runs only when someone is listening.
+    let observing =
+        |profile: &Option<&mut Vec<RoundProfile>>| profile.is_some() || vadalog_obs::enabled();
+    #[allow(clippy::too_many_arguments)]
+    fn close_round(
+        round: usize,
+        start: Option<Instant>,
+        before: DatalogStats,
+        after: DatalogStats,
+        delta_rows: u64,
+        span: &mut vadalog_obs::Span,
+        profile: &mut Option<&mut Vec<RoundProfile>>,
+    ) {
+        let Some(start) = start else { return };
+        let sample = RoundProfile {
+            round,
+            wall_micros: start.elapsed().as_micros() as u64,
+            delta_rows,
+            derived_rows: (after.derived_atoms - before.derived_atoms) as u64,
+            join_probes: after.join_probes - before.join_probes,
+            rows_prededuped: after.rows_prededuped - before.rows_prededuped,
+        };
+        if span.active() {
+            span.kv("round", sample.round);
+            span.kv("delta_rows", sample.delta_rows);
+            span.kv("derived_rows", sample.derived_rows);
+            span.kv("join_probes", sample.join_probes);
+            span.kv("rows_prededuped", sample.rows_prededuped);
+        }
+        if let Some(sink) = profile.as_deref_mut() {
+            sink.push(sample);
+        }
     }
 
     // The delta of a round is not a separate instance: rows are
@@ -356,6 +426,9 @@ pub(crate) fn stratum_fixpoint(
     // can have no matches and contributes no tasks. The round still
     // counts one `joins_evaluated` per rule — the whole instance
     // drives each rule exactly once, however many shards execute it.
+    let mut round_span = vadalog_obs::span("datalog.round");
+    let round_start = observing(&profile).then(Instant::now);
+    let naive_before = *stats;
     stats.joins_evaluated += rules.len();
     let naive_shards: Vec<Option<Vec<Vec<RowId>>>> = rules
         .iter()
@@ -412,6 +485,25 @@ pub(crate) fn stratum_fixpoint(
     });
     flush_round(naive, scratch, instance, stats);
     stats.iterations += 1;
+    let naive_delta_rows = if round_start.is_some() {
+        naive_shards
+            .iter()
+            .flatten()
+            .map(|shards| shards.iter().map(|rows| rows.len() as u64).sum::<u64>())
+            .sum()
+    } else {
+        0
+    };
+    close_round(
+        0,
+        round_start,
+        naive_before,
+        *stats,
+        naive_delta_rows,
+        &mut round_span,
+        &mut profile,
+    );
+    drop(round_span);
 
     if !recursive {
         return Ok(());
@@ -426,10 +518,14 @@ pub(crate) fn stratum_fixpoint(
     // order — and therefore row-id assignment — is identical for
     // every thread count.
     let mut hi = watermark(instance);
+    let mut round = 1usize;
     while lo.iter().zip(hi.iter()).any(|(l, h)| l < h) {
         if expired(deadline) {
             return Err(BudgetExceeded::Deadline);
         }
+        let mut round_span = vadalog_obs::span("datalog.round");
+        let round_start = observing(&profile).then(Instant::now);
+        let before = *stats;
         stats.iterations += 1;
         let deltas: Vec<DeltaRange> = preds
             .iter()
@@ -443,6 +539,17 @@ pub(crate) fn stratum_fixpoint(
             .collect();
         let outputs = seeded_round(rules, specs, templates, &deltas, instance, threads);
         flush_round(outputs, scratch, instance, stats);
+        let delta_rows = deltas.iter().map(|d| (d.hi - d.lo) as u64).sum();
+        close_round(
+            round,
+            round_start,
+            before,
+            *stats,
+            delta_rows,
+            &mut round_span,
+            &mut profile,
+        );
+        round += 1;
         lo = hi;
         hi = watermark(instance);
     }
@@ -532,6 +639,7 @@ impl DatalogEngine {
                 self.threads,
                 &mut scratch,
                 &mut stats,
+                None,
                 None,
             )
             .expect("unbudgeted fixpoint never cancels");

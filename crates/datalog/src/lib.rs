@@ -29,8 +29,12 @@
 
 pub mod demand;
 pub mod engine;
+pub mod explain;
 pub mod incremental;
 
-pub use demand::{DemandAnswer, DemandEngine, DemandError, DemandStats, SpecialisedProgram};
-pub use engine::{DatalogEngine, DatalogResult, DatalogStats};
+pub use demand::{
+    DemandAnswer, DemandEngine, DemandError, DemandProfile, DemandStats, SpecialisedProgram,
+};
+pub use engine::{DatalogEngine, DatalogResult, DatalogStats, RoundProfile};
+pub use explain::{explain_query, ExplainReport};
 pub use incremental::{IncrementalEngine, IngestOutcome};

@@ -444,7 +444,7 @@ impl JoinSpec {
                     best = Some((i, atom_best.0, atom_best.1));
                 }
             }
-            let (atom, _, probe) = best.expect("some atom is open");
+            let (atom, estimate, probe) = best.expect("some atom is open");
             if !steps.is_empty() && matches!(probe, PlanProbe::Scan) {
                 let has_rigid = self.atoms[atom]
                     .args
@@ -460,15 +460,21 @@ impl JoinSpec {
                     bound[*s as usize] = true;
                 }
             }
-            steps.push(PlanStep { atom, probe });
+            steps.push(PlanStep {
+                atom,
+                probe,
+                estimate,
+            });
         }
         let mut prematched = prematched.to_vec();
         prematched.sort_unstable();
-        JoinPlan {
+        let plan = JoinPlan {
             prematched,
             steps,
             prefer_streaming,
-        }
+        };
+        vadalog_obs::event("model.plan", || plan.explain(self).join("; "));
+        plan
     }
 
     /// The fused key of atom `i` over `cols` when every fused position is
@@ -543,6 +549,11 @@ enum PlanProbe {
 struct PlanStep {
     atom: usize,
     probe: PlanProbe,
+    /// The planner's estimated fan-out (matching rows) when this step was
+    /// chosen — exact for rigid single/fused keys, an average otherwise.
+    /// Purely observational: surfaced by [`JoinPlan::explain`], never read
+    /// by the kernel.
+    estimate: usize,
 }
 
 /// A static join order with per-atom probe positions, computed once by
@@ -562,6 +573,41 @@ impl JoinPlan {
     /// scan). The matcher honours this automatically.
     pub fn prefers_streaming(&self) -> bool {
         self.prefer_streaming
+    }
+
+    /// Renders the plan as one line per step — the shared plan text used
+    /// by the service's `EXPLAIN` verb, the lint CLI and the `model.plan`
+    /// trace event, so plan descriptions cannot drift between surfaces.
+    ///
+    /// Each line reads
+    /// `step=<k> atom=<predicate>/<arity> probe=<kind> est=<fan-out>`
+    /// where `<kind>` is `scan`, `index(col=<pos>)` or
+    /// `composite(cols=<pos>+<pos>…)` and `est` is the planner's estimated
+    /// matching-row count when the step was chosen. When the planner
+    /// recorded a preference for the adaptive streaming kernel, a final
+    /// `fallback=streaming …` line says so.
+    pub fn explain(&self, spec: &JoinSpec) -> Vec<String> {
+        let mut lines = Vec::with_capacity(self.steps.len() + 1);
+        for (k, step) in self.steps.iter().enumerate() {
+            let probe = match step.probe {
+                PlanProbe::Index { pos } => format!("index(col={pos})"),
+                PlanProbe::Composite { cols } => {
+                    let cols: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+                    format!("composite(cols={})", cols.join("+"))
+                }
+                PlanProbe::Scan => "scan".to_string(),
+            };
+            lines.push(format!(
+                "step={k} atom={}/{} probe={probe} est={}",
+                spec.atom_predicate(step.atom),
+                spec.atom_arity(step.atom),
+                step.estimate,
+            ));
+        }
+        if self.prefer_streaming {
+            lines.push("fallback=streaming reason=unbound-mid-join-scan".to_string());
+        }
+        lines
     }
 
     /// `true` iff the plan was computed for exactly this prematched-atom
@@ -1085,7 +1131,7 @@ fn search_planned<F>(
 where
     F: FnMut(&Bindings<'_>) -> ControlFlow<()>,
 {
-    let Some(&PlanStep { atom, probe }) = plan.steps.get(step) else {
+    let Some(&PlanStep { atom, probe, .. }) = plan.steps.get(step) else {
         ctx.emitted += 1;
         ctx.stats.matches += 1;
         let view = Bindings {

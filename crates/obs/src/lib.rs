@@ -1,0 +1,459 @@
+//! Zero-dependency structured tracing for the vadalog engine and service.
+//!
+//! The model of this crate is deliberately small: a **span** is a named
+//! interval with a process-unique id, the id of the span that was open on
+//! the same thread when it started (its parent), start/end timestamps in
+//! monotonic nanoseconds and a free-form `key=value` payload; an **event**
+//! is a zero-length span. Finished records land in a bounded per-thread
+//! ring buffer and are collected with a global [`drain`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Near-zero cost when disabled.** Tracing is off by default; the
+//!    fast path of [`span`] and [`event`] is a single relaxed atomic load
+//!    and a branch. No allocation, no clock read, no thread-local touch.
+//! 2. **No locks on the record path.** Each thread owns a single-producer
+//!    ring; the producer never blocks and never waits for the drainer. A
+//!    full ring drops the newest record (bounded memory beats complete
+//!    traces) and counts the drop.
+//! 3. **Deterministic tests.** The clock is pluggable: the default reads
+//!    a process-wide monotonic clock, the manual clock is a global atomic
+//!    counter that advances by one on every read, so span timestamps in
+//!    tests are exact small integers.
+//!
+//! Consumers are expected to be *observational only*: nothing in this
+//! crate feeds back into evaluation, so enabling tracing must never
+//! change answers or engine counters (the workspace property-tests this).
+//!
+//! The per-slot `full` flag makes the ring a Lamport-style SPSC queue:
+//! the producer is the owning thread, and consumers (the global drain)
+//! are serialized by the registry lock, so each slot sees exactly one
+//! writer at a time with acquire/release handoff.
+
+use std::cell::{Cell, UnsafeCell};
+use std::fmt::{Display, Write as _};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Capacity of each per-thread ring (power of two). At ~100 bytes per
+/// record this bounds tracing memory to a few hundred KiB per thread.
+pub const RING_CAPACITY: usize = 4096;
+
+/// One finished span or event, as handed out by [`drain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Process-unique id of this span (never 0).
+    pub span_id: u64,
+    /// Id of the span open on the same thread when this one started, or 0
+    /// for a root span.
+    pub parent: u64,
+    /// Static name of the instrumentation site, e.g. `"datalog.round"`.
+    pub kind: &'static str,
+    /// Start timestamp in monotonic nanoseconds (manual-clock ticks in
+    /// tests).
+    pub start_nanos: u64,
+    /// End timestamp; equals `start_nanos` only for events under the
+    /// monotonic clock (the manual clock advances between the two reads).
+    pub end_nanos: u64,
+    /// Space-separated `key=value` pairs recorded while the span was open.
+    pub payload: String,
+}
+
+impl TraceRecord {
+    /// Wall duration of the span in nanoseconds (0 for events).
+    pub fn duration_nanos(&self) -> u64 {
+        self.end_nanos.saturating_sub(self.start_nanos)
+    }
+}
+
+// --- global switches -----------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static MANUAL_CLOCK: AtomicBool = AtomicBool::new(false);
+static MANUAL_NOW: AtomicU64 = AtomicU64::new(0);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Turn tracing on or off globally. Off is the default; while off, spans
+/// and events cost one atomic load and record nothing.
+pub fn set_enabled(enabled: bool) {
+    // Touch the epoch while cheap so the first traced span does not pay
+    // the one-time `Instant::now` initialisation inside its interval.
+    let _ = epoch();
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Switch to the deterministic manual clock: every clock read returns the
+/// next value of a global counter, so timestamps in tests are exact.
+pub fn use_manual_clock() {
+    MANUAL_NOW.store(0, Ordering::Relaxed);
+    MANUAL_CLOCK.store(true, Ordering::Relaxed);
+}
+
+/// Switch back to the default monotonic clock.
+pub fn use_monotonic_clock() {
+    MANUAL_CLOCK.store(false, Ordering::Relaxed);
+}
+
+fn now_nanos() -> u64 {
+    if MANUAL_CLOCK.load(Ordering::Relaxed) {
+        MANUAL_NOW.fetch_add(1, Ordering::Relaxed)
+    } else {
+        epoch().elapsed().as_nanos() as u64
+    }
+}
+
+// --- per-thread rings ----------------------------------------------------
+
+struct Slot {
+    full: AtomicBool,
+    value: UnsafeCell<Option<TraceRecord>>,
+}
+
+/// Bounded single-producer ring. The producer is the thread that owns the
+/// ring (via thread-local storage); consumers go through [`drain`], which
+/// serializes them behind the registry lock. The per-slot `full` flag
+/// carries the acquire/release handoff in both directions, so the
+/// `UnsafeCell` is never accessed by two threads at once.
+struct Ring {
+    slots: Box<[Slot]>,
+    /// Next slot to pop; written only by consumers (under the registry
+    /// lock).
+    head: AtomicUsize,
+    /// Next slot to push; written only by the producer thread.
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// Safety: see the struct docs — slot values are protected by the `full`
+// flag protocol (single producer, mutex-serialized consumers).
+unsafe impl Sync for Ring {}
+unsafe impl Send for Ring {}
+
+impl Ring {
+    fn new() -> Self {
+        let slots = (0..RING_CAPACITY)
+            .map(|_| Slot {
+                full: AtomicBool::new(false),
+                value: UnsafeCell::new(None),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ring {
+            slots,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Producer side: push or drop (never blocks).
+    fn push(&self, record: TraceRecord) {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let slot = &self.slots[tail & (RING_CAPACITY - 1)];
+        if slot.full.load(Ordering::Acquire) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Safety: `full` was false with acquire ordering, so the last
+        // consumer's `take` happened-before this write, and no other
+        // producer exists for this ring.
+        unsafe {
+            *slot.value.get() = Some(record);
+        }
+        slot.full.store(true, Ordering::Release);
+        self.tail.store(tail.wrapping_add(1), Ordering::Relaxed);
+    }
+
+    /// Consumer side: pop the oldest record, if any. Callers must hold
+    /// the registry lock.
+    fn pop(&self) -> Option<TraceRecord> {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[head & (RING_CAPACITY - 1)];
+        if !slot.full.load(Ordering::Acquire) {
+            return None;
+        }
+        // Safety: `full` was true with acquire ordering, so the
+        // producer's write happened-before; consumers are serialized by
+        // the registry lock.
+        let record = unsafe { (*slot.value.get()).take() };
+        slot.full.store(false, Ordering::Release);
+        self.head.store(head.wrapping_add(1), Ordering::Relaxed);
+        record
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static CURRENT_PARENT: Cell<u64> = const { Cell::new(0) };
+    static LOCAL_RING: Arc<Ring> = {
+        let ring = Arc::new(Ring::new());
+        registry().lock().expect("trace registry poisoned").push(ring.clone());
+        ring
+    };
+}
+
+fn push_record(record: TraceRecord) {
+    // `try_with` so spans that finish during thread teardown are dropped
+    // silently instead of panicking.
+    let _ = LOCAL_RING.try_with(|ring| ring.push(record));
+}
+
+/// Drain every thread's ring into one list, ordered by start timestamp
+/// (ties broken by span id, so manual-clock output is fully
+/// deterministic). Records produced concurrently with the drain may be
+/// picked up by the next drain.
+pub fn drain() -> Vec<TraceRecord> {
+    let rings = registry().lock().expect("trace registry poisoned");
+    let mut out = Vec::new();
+    for ring in rings.iter() {
+        while let Some(record) = ring.pop() {
+            out.push(record);
+        }
+    }
+    out.sort_by_key(|r| (r.start_nanos, r.span_id));
+    out
+}
+
+/// Total records dropped so far because a thread's ring was full.
+pub fn records_dropped() -> u64 {
+    let rings = registry().lock().expect("trace registry poisoned");
+    rings
+        .iter()
+        .map(|r| r.dropped.load(Ordering::Relaxed))
+        .sum()
+}
+
+// --- spans and events ----------------------------------------------------
+
+/// RAII guard for an open span. Records itself into the thread's ring
+/// when dropped; inert (all methods free) when tracing was disabled at
+/// creation.
+pub struct Span {
+    id: u64,
+    parent: u64,
+    kind: &'static str,
+    start: u64,
+    payload: String,
+}
+
+impl Span {
+    /// Whether this span will record anything. Use to skip expensive
+    /// payload computation at call sites.
+    pub fn active(&self) -> bool {
+        self.id != 0
+    }
+
+    /// Append one `key=value` pair to the payload. Free when inactive;
+    /// the value is only formatted when the span records.
+    pub fn kv(&mut self, key: &str, value: impl Display) {
+        if self.id == 0 {
+            return;
+        }
+        if !self.payload.is_empty() {
+            self.payload.push(' ');
+        }
+        let _ = write!(self.payload, "{key}={value}");
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        let _ = CURRENT_PARENT.try_with(|c| c.set(self.parent));
+        push_record(TraceRecord {
+            span_id: self.id,
+            parent: self.parent,
+            kind: self.kind,
+            start_nanos: self.start,
+            end_nanos: now_nanos(),
+            payload: std::mem::take(&mut self.payload),
+        });
+    }
+}
+
+/// Open a span. While the returned guard lives, spans and events started
+/// on the same thread have it as their parent. Returns an inert guard
+/// when tracing is disabled.
+pub fn span(kind: &'static str) -> Span {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return Span {
+            id: 0,
+            parent: 0,
+            kind,
+            start: 0,
+            payload: String::new(),
+        };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT_PARENT
+        .try_with(|c| {
+            let p = c.get();
+            c.set(id);
+            p
+        })
+        .unwrap_or(0);
+    Span {
+        id,
+        parent,
+        kind,
+        start: now_nanos(),
+        payload: String::new(),
+    }
+}
+
+/// Record an instantaneous event under the current span. The payload
+/// closure runs only when tracing is enabled.
+pub fn event(kind: &'static str, payload: impl FnOnce() -> String) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT_PARENT.try_with(|c| c.get()).unwrap_or(0);
+    let now = now_nanos();
+    push_record(TraceRecord {
+        span_id: id,
+        parent,
+        kind,
+        start_nanos: now,
+        end_nanos: now,
+        payload: payload(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The crate's state is global, so tests serialize on one lock and
+    /// start from a drained, disabled world.
+    fn with_exclusive_tracing(f: impl FnOnce()) {
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(false);
+        let _ = drain();
+        use_manual_clock();
+        set_enabled(true);
+        f();
+        set_enabled(false);
+        use_monotonic_clock();
+        let _ = drain();
+    }
+
+    #[test]
+    fn disabled_records_nothing_and_is_inert() {
+        with_exclusive_tracing(|| {
+            set_enabled(false);
+            let mut s = span("noop");
+            assert!(!s.active());
+            s.kv("ignored", 1);
+            drop(s);
+            event("noop.event", || unreachable!("payload must not run"));
+            assert!(drain().is_empty());
+        });
+    }
+
+    #[test]
+    fn spans_nest_and_timestamps_are_deterministic() {
+        with_exclusive_tracing(|| {
+            {
+                let mut outer = span("outer");
+                outer.kv("k", "v");
+                outer.kv("n", 7);
+                {
+                    let _inner = span("inner");
+                    event("tick", || "beat=1".to_string());
+                }
+            }
+            let records = drain();
+            assert_eq!(records.len(), 3);
+            let outer = records.iter().find(|r| r.kind == "outer").unwrap();
+            let inner = records.iter().find(|r| r.kind == "inner").unwrap();
+            let tick = records.iter().find(|r| r.kind == "tick").unwrap();
+            assert_eq!(outer.parent, 0);
+            assert_eq!(inner.parent, outer.span_id);
+            assert_eq!(tick.parent, inner.span_id);
+            assert_eq!(outer.payload, "k=v n=7");
+            assert_eq!(tick.payload, "beat=1");
+            // Manual clock: every read advances by one, and the outer
+            // span closes last.
+            assert!(outer.start_nanos < inner.start_nanos);
+            assert!(inner.end_nanos < outer.end_nanos);
+            assert_eq!(tick.start_nanos, tick.end_nanos);
+        });
+    }
+
+    #[test]
+    fn parent_restores_after_sibling_spans() {
+        with_exclusive_tracing(|| {
+            let root = span("root");
+            let root_id = root.id;
+            {
+                let _a = span("a");
+            }
+            {
+                let b = span("b");
+                assert_eq!(b.parent, root_id);
+            }
+            drop(root);
+            let records = drain();
+            let a = records.iter().find(|r| r.kind == "a").unwrap();
+            let b = records.iter().find(|r| r.kind == "b").unwrap();
+            assert_eq!(a.parent, root_id);
+            assert_eq!(b.parent, root_id);
+        });
+    }
+
+    #[test]
+    fn full_ring_drops_newest_and_counts() {
+        with_exclusive_tracing(|| {
+            let before = records_dropped();
+            for i in 0..(RING_CAPACITY + 10) {
+                event("flood", || format!("i={i}"));
+            }
+            let records = drain();
+            assert_eq!(records.len(), RING_CAPACITY);
+            assert_eq!(records_dropped() - before, 10);
+            // The oldest records survive; the overflow is dropped.
+            assert_eq!(records[0].payload, "i=0");
+        });
+    }
+
+    #[test]
+    fn drain_collects_across_threads() {
+        with_exclusive_tracing(|| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    std::thread::spawn(move || {
+                        let mut s = span("worker");
+                        s.kv("thread", t);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let records = drain();
+            let workers: Vec<_> = records.iter().filter(|r| r.kind == "worker").collect();
+            assert_eq!(workers.len(), 4);
+            // All four are roots of their own threads.
+            assert!(workers.iter().all(|r| r.parent == 0));
+        });
+    }
+}

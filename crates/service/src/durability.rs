@@ -191,6 +191,7 @@ impl DurableEngine {
         config: DurabilityConfig,
     ) -> Result<(DurableEngine, RecoveryReport), ServiceError> {
         std::fs::create_dir_all(&config.dir)?;
+        let mut span = vadalog_obs::span("recovery.replay");
         let mut engine = engine;
         let snapshot = read_snapshot(&config.snapshot_path())?;
         let mut last_seq = 0;
@@ -223,6 +224,12 @@ impl DurableEngine {
                 }
                 WalRecord::CleanShutdown { .. } => {}
             }
+        }
+
+        if span.active() {
+            span.kv("replayed", report.records_replayed);
+            span.kv("stale_skipped", report.stale_skipped);
+            span.kv("tail_dropped_bytes", report.tail_dropped_bytes);
         }
 
         let mut wal = if scanned.valid_len == 0 {

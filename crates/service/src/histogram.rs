@@ -38,10 +38,12 @@ fn bucket_upper_edge(index: usize) -> u64 {
         return index as u64;
     }
     let octave = (index - SUBBUCKETS) / SUBBUCKETS + 2;
-    let sub = ((index - SUBBUCKETS) % SUBBUCKETS) as u64;
-    let base = 1u64 << octave;
-    let width = 1u64 << (octave - 2);
-    base + (sub + 1) * width - 1
+    let sub = (index - SUBBUCKETS) % SUBBUCKETS;
+    let base = 1u128 << octave;
+    let width = 1u128 << (octave - 2);
+    // The top octave's last sub-bucket nominally ends at 2^64 - 1; the
+    // u128 intermediate keeps the computation from overflowing there.
+    (base + (sub as u128 + 1) * width - 1).min(u64::MAX as u128) as u64
 }
 
 /// A concurrent log-scale histogram of microsecond latencies.
@@ -104,6 +106,24 @@ impl LatencyHistogram {
             }
         }
         self.max_micros()
+    }
+
+    /// Cumulative bucket counts for Prometheus exposition: one
+    /// `(inclusive upper edge in micros, observations ≤ edge)` pair per
+    /// bucket that holds at least one observation, in increasing-edge
+    /// order. Empty buckets are elided (the cumulative counts already
+    /// carry them); the caller appends the mandatory `+Inf` bucket.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            let count = bucket.load(Ordering::Relaxed);
+            if count > 0 {
+                cumulative += count;
+                out.push((bucket_upper_edge(index), cumulative));
+            }
+        }
+        out
     }
 
     /// Renders the histogram as the STATS JSON object for one verb. The
@@ -178,6 +198,83 @@ mod tests {
         // A single observation is clamped to the exact max, not the bucket
         // edge.
         assert_eq!(h.quantile(0.5), 42);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_everywhere() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.total_micros(), 0);
+        assert_eq!(h.max_micros(), 0);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert!(h.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = LatencyHistogram::default();
+        h.record(123_456);
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 123_456, "q={q}");
+        }
+        assert_eq!(
+            h.cumulative_buckets(),
+            vec![(bucket_upper_edge(bucket_index(123_456)), 1)]
+        );
+    }
+
+    #[test]
+    fn top_bucket_saturation_stays_exact_and_ordered() {
+        let h = LatencyHistogram::default();
+        // Saturate the final bucket: u64::MAX and friends all land there.
+        for v in [u64::MAX, u64::MAX - 1, u64::MAX / 2 + 1] {
+            h.record(v);
+        }
+        h.record(10);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max_micros(), u64::MAX);
+        // The quantile clamp keeps the report at the exact max even though
+        // the bucket's nominal upper edge would overflow semantics.
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // Low quantiles report the small value's bucket edge (10 lives in
+        // the [10, 11] sub-bucket), never a saturated top bucket.
+        assert_eq!(h.quantile(0.25), 11);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last().unwrap().1, 4, "cumulative reaches count");
+        assert!(buckets
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn randomized_quantiles_are_monotone_and_bounded_by_max() {
+        // A cheap deterministic LCG — no external randomness crates.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for round in 0..20 {
+            let h = LatencyHistogram::default();
+            let samples = 1 + (next() % 500) as usize;
+            for _ in 0..samples {
+                h.record(next() % 10_000_000);
+            }
+            let (p50, p95, p99, max) = (
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.max_micros(),
+            );
+            assert!(
+                p50 <= p95 && p95 <= p99 && p99 <= max,
+                "round {round}: p50={p50} p95={p95} p99={p99} max={max}"
+            );
+        }
     }
 
     #[test]

@@ -20,8 +20,12 @@
 //! | `FACT <fact>.` | `OK inserted=<n> duplicate=<n> derived=<n> strata_skipped=<n> rounds=<n> epoch=<e>` |
 //! | `BATCH <fact>. <fact>. …` | same as `FACT` (one evaluation for the whole batch) |
 //! | `QUERY [MODE=<MAGIC\|FULL\|AUTO>] [TIMEOUT_MS=<ms>] [MAX_ROWS=<n>] ?(X, …) :- body.` | `OK answers=<n> epoch=<e>`, then **exactly `n`** tuple lines (whitespace-separated constants, sorted; constants containing whitespace, quotes or control characters come back `"`-quoted with `\"`/`\\`/`\n` escapes), then `END` — or `ERR deadline timeout_ms=<ms>` / `ERR row-limit max_rows=<n>` when a budget trips |
+//! | `EXPLAIN [MODE=<MAGIC\|FULL\|AUTO>] ?(X, …) :- body.` | `OK explain=<n> epoch=<e> magic=<bool>`, then **exactly `n`** plan lines, then `END`. Returns the plan *without evaluating*: the query's adornment, the magic-vs-full decision (with the fallback reason when the rewrite does not apply), and per-rule join plans — build/probe order, index kind and estimated fan-out per step. Consults (and warms) the specialised-program cache, so the header is truthful about what a subsequent `QUERY` would do. `TIMEOUT_MS`/`MAX_ROWS` are rejected — nothing runs |
+//! | `PROFILE [MODE=…] [TIMEOUT_MS=<ms>] [MAX_ROWS=<n>] ?(X, …) :- body.` | `OK profile=<n> answers=<a> epoch=<e> path=<magic\|full> [cache=<hit\|miss>]`, then **exactly `n`** phase lines (`phase=rewrite`, `phase=seed`, one `phase=stratum stratum=<s> round=<r> wall_micros=… delta_rows=… derived_rows=… join_probes=… rows_prededuped=…` per fixpoint round, `phase=answer`, and a final `totals …` line), then `END`. Evaluates the query exactly like `QUERY` (same budgets, same answers) but returns the per-phase breakdown instead of the tuples |
 //! | `VALIDATE <rules>` | `OK diagnostics=<n> errors=<e> warnings=<w> admissible=<bool>`, then **exactly `n`** diagnostic lines (`VLG0xx <severity> [tgd=<i>] [atom=body[j]\|head[j]] [var=<V>] [pred=<p>] :: <message>`, parseable back via [`protocol::parse_diagnostic_line`]), then `END`. The candidate is analysed against the serving schema ([`vadalog_analysis::diagnostics`]); nothing is loaded. Under the default fail-closed [`AdmissionPolicy`], error-severity findings make the verdict `admissible=false` |
-//! | `STATS` | `OK` followed by one JSON object on the same line (engine counters plus `wal_records`, `wal_bytes`, `snapshots_written`, `snapshot_failures`, `programs_rejected`, `diagnostics_emitted`, `magic_queries`, `magic_cache_hits`, `demanded_tuples`, `full_materialised_tuples`, a `transport` object with `connections_accepted`/`connections_rejected`/`connections_closed`/`requests_received`/`requests_served`/`requests_failed`/`queries_shed`/`queue_depth_max`, a per-verb `latency` object with `count`/`total_micros`/`max_micros`/`p50_micros`/`p95_micros`/`p99_micros` for `query`/`fact`/`batch`, and `degraded`). Never shed under overload |
+//! | `STATS` | `OK` followed by one JSON object on the same line (see **STATS schema** below). Never shed under overload |
+//! | `STATS SLOW=<n>` | `OK slow=<k> threshold_micros=<t\|disabled>`, then **exactly `k`** slow-query lines (newest first, `wall_micros=… verb=… <summary> query=…`), then `END`. Reads the bounded slow-query ring (capacity 64) |
+//! | `METRICS` | `OK metrics=<n>`, then **exactly `n`** Prometheus text-exposition lines (`# HELP`/`# TYPE` comments and `name{labels} value` samples — see **METRICS exposition** below), then `END`. Never shed under overload |
 //! | `SNAPSHOT` | `OK snapshot epoch=<e>` after durably snapshotting the instance and truncating the WAL (a no-op `OK` on a volatile server) |
 //! | `SHUTDOWN` | `OK bye`; the server stops accepting connections, answers queued-but-unstarted requests `ERR shutting-down`, completes in-flight work, flushes the WAL and appends the clean-shutdown marker. Never shed under overload |
 //!
@@ -33,8 +37,60 @@
 //! Clients must frame query answers by the header's `answers=<n>` count —
 //! read exactly `n` tuple lines, then the `END` line — rather than scanning
 //! for `END`: the count makes the framing independent of tuple *content*
-//! (a constant named `END` is a legal answer). Validation reports frame the
-//! same way, by `diagnostics=<n>`.
+//! (a constant named `END` is a legal answer). Every multi-line response
+//! frames the same way, by its own label: `diagnostics=<n>`, `explain=<n>`,
+//! `profile=<n>`, `metrics=<n>`, `slow=<n>`.
+//!
+//! # STATS schema
+//!
+//! The `STATS` JSON object is versioned: its first field is
+//! `"schema_version"` ([`STATS_SCHEMA_VERSION`], currently `1`). New fields
+//! are additive and do *not* bump the version; removals or renames do.
+//! Fields, in order:
+//!
+//! | Field | Meaning |
+//! |---|---|
+//! | `schema_version` | STATS schema version (this table describes `1`) |
+//! | `epoch` | Published snapshot epoch (bumps on every applied ingest) |
+//! | `atoms` | Rows in the live materialisation |
+//! | `derived_atoms` / `peak_atoms` / `iterations` | Engine totals: rows ever derived, high-water mark, fixpoint rounds |
+//! | `joins_evaluated` / `join_probes` / `composite_probes` / `probe_misses_filtered` / `rows_prededuped` | Join-kernel counters: join evaluations, index probes (composite-key subset broken out), probes skipped by the existence filter, rows deduplicated before insert |
+//! | `strata_skipped` / `rounds_incremental` | Incremental-maintenance savings: strata proven unaffected, delta-only rounds |
+//! | `index_bytes` | Approximate index memory footprint |
+//! | `wal_records` / `wal_bytes` | Write-ahead-log length (records, bytes) since the last truncation |
+//! | `snapshots_written` / `snapshot_failures` | Durable snapshot attempts (`SNAPSHOT` verb + cadence) |
+//! | `programs_rejected` / `diagnostics_emitted` | Admission outcomes: `VALIDATE` verdicts refused fail-closed, total diagnostics produced |
+//! | `magic_queries` / `magic_cache_hits` / `demanded_tuples` / `full_materialised_tuples` | Demand-driven split: queries that took the magic path, specialised-program cache hits, scratch tuples derived on demand, size of the full materialisation |
+//! | `slow_queries` | Records currently retained in the slow-query ring |
+//! | `transport` | `connections_accepted` / `connections_rejected` / `connections_closed` / `requests_received` / `requests_served` / `requests_failed` / `queries_shed` / `queue_depth_max`. At quiescence `requests_received == requests_served + queries_shed + requests_failed` |
+//! | `latency` | One object per verb (`query`, `fact`, `batch`, `explain`, `profile`, `validate`, `stats`, `metrics`, `snapshot`, `shutdown`), each `count`/`total_micros`/`max_micros`/`p50_micros`/`p95_micros`/`p99_micros`. `count`/`total`/`max` are exact; percentiles are log-bucketed (≤ 25% relative error). The per-verb counts sum to `requests_served` at quiescence |
+//! | `degraded` | `true` while admission control is shedding |
+//!
+//! # METRICS exposition
+//!
+//! `METRICS` renders the same counters in Prometheus text format, all
+//! names prefixed `vadalog_`. Monotone engine/service totals are
+//! `counter`s (`vadalog_iterations_total`, `vadalog_join_probes_total`,
+//! `vadalog_snapshots_written_total`, `vadalog_magic_queries_total`,
+//! `vadalog_requests_served_total`, …); point-in-time values are `gauge`s
+//! (`vadalog_epoch`, `vadalog_atoms`, `vadalog_index_bytes`,
+//! `vadalog_wal_bytes`, `vadalog_queue_depth_max`, `vadalog_slow_queries`,
+//! `vadalog_degraded`); and per-verb request latency is one `histogram`
+//! family, `vadalog_request_duration_micros` with a `verb` label —
+//! cumulative `_bucket{le=…}` series (empty buckets elided, `+Inf`
+//! mandatory) plus `_sum` and `_count` per verb. The suite's
+//! exposition-format validator test parses every emitted line.
+//!
+//! # Tracing
+//!
+//! The request lifecycle is instrumented with [`vadalog_obs`] spans —
+//! `service.request`, the WAL's `wal.append`/`wal.fsync`,
+//! `snapshot.write`, `recovery.replay`, and the engine-side spans beneath
+//! them. Tracing is **off by default** and near-zero-cost while disabled;
+//! enabling it never changes answers or counters (bit-identity is
+//! property-tested). Queries whose wall time crosses
+//! [`ServerConfig::slow_query_micros`] additionally record a compact
+//! profile summary into the slow-query ring served by `STATS SLOW=<n>`.
 //!
 //! # Demand-driven queries
 //!
@@ -103,8 +159,8 @@
 //!   hint carried by `ERR overloaded`), `idle_timeout` (optional reaper).
 //! * **Degradation ladder** under rising load: (1) requests queue, up to
 //!   `max_queue_depth`; (2) further requests are shed with
-//!   `ERR overloaded retry_ms=<hint>` — connections survive, `STATS` and
-//!   `SHUTDOWN` stay exempt; (3) accepts beyond `max_connections` are
+//!   `ERR overloaded retry_ms=<hint>` — connections survive, `STATS`,
+//!   `METRICS` and `SHUTDOWN` stay exempt; (3) accepts beyond `max_connections` are
 //!   rejected with the same error and closed; (4) misbehaving peers
 //!   (slow-loris writers, stalled readers, over-`max_line_bytes` lines)
 //!   are cut individually by the reactor's timer wheel. Shedding never
@@ -150,6 +206,7 @@
 pub mod durability;
 pub mod failpoints;
 mod histogram;
+mod metrics;
 pub mod protocol;
 mod reactor;
 pub mod server;
@@ -158,7 +215,7 @@ pub mod wal;
 
 pub use durability::{DurabilityConfig, DurableEngine, RecoveryReport, ServiceError};
 pub use protocol::{parse_diagnostic_line, parse_request, Request, Response};
-pub use server::{AdmissionPolicy, LiveServer, ServerConfig};
+pub use server::{AdmissionPolicy, LiveServer, ServerConfig, STATS_SCHEMA_VERSION};
 pub use vadalog_analysis::{Diagnostic, DiagnosticCode, Severity};
 pub use vadalog_datalog::{IncrementalEngine, IngestOutcome};
 pub use wal::SyncPolicy;

@@ -1,0 +1,291 @@
+//! Per-verb latency accounting, the slow-query log, and the Prometheus
+//! text-exposition rendering behind the `METRICS` verb.
+//!
+//! Every request the transport *serves* bills exactly one [`Verb`]
+//! histogram, so at quiescence the per-verb counts sum to the transport's
+//! `requests_served` counter — an invariant the server test-suite asserts.
+//! Shed and failed requests are accounted by the transport counters
+//! instead; nothing is billed twice.
+//!
+//! The exposition renderer emits the standard Prometheus text format
+//! (`# HELP` / `# TYPE` comments, `name{labels} value` samples, histograms
+//! as cumulative `_bucket{le=…}` series plus `_sum` and `_count`), one
+//! sample per response line so the count-framed protocol response carries
+//! it unmodified.
+
+use crate::histogram::LatencyHistogram;
+use crate::protocol::Request;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Which latency histogram a served request bills to — one variant per
+/// protocol verb.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Verb {
+    Query,
+    Fact,
+    Batch,
+    Explain,
+    Profile,
+    Validate,
+    Stats,
+    Metrics,
+    Snapshot,
+    Shutdown,
+}
+
+impl Verb {
+    /// Every verb, in the order the STATS `latency` object reports them
+    /// (`query` first — existing clients key off that prefix).
+    pub(crate) const ALL: [Verb; 10] = [
+        Verb::Query,
+        Verb::Fact,
+        Verb::Batch,
+        Verb::Explain,
+        Verb::Profile,
+        Verb::Validate,
+        Verb::Stats,
+        Verb::Metrics,
+        Verb::Snapshot,
+        Verb::Shutdown,
+    ];
+
+    /// The verb's wire-level lowercase name (STATS key, metric label).
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            Verb::Query => "query",
+            Verb::Fact => "fact",
+            Verb::Batch => "batch",
+            Verb::Explain => "explain",
+            Verb::Profile => "profile",
+            Verb::Validate => "validate",
+            Verb::Stats => "stats",
+            Verb::Metrics => "metrics",
+            Verb::Snapshot => "snapshot",
+            Verb::Shutdown => "shutdown",
+        }
+    }
+
+    /// The verb a parsed request bills to.
+    pub(crate) fn of(request: &Request) -> Verb {
+        match request {
+            Request::Query { .. } => Verb::Query,
+            Request::Ingest { batch: false, .. } => Verb::Fact,
+            Request::Ingest { batch: true, .. } => Verb::Batch,
+            Request::Explain { .. } => Verb::Explain,
+            Request::Profile { .. } => Verb::Profile,
+            Request::Validate { .. } => Verb::Validate,
+            Request::Stats { .. } => Verb::Stats,
+            Request::Metrics => Verb::Metrics,
+            Request::Snapshot => Verb::Snapshot,
+            Request::Shutdown => Verb::Shutdown,
+        }
+    }
+}
+
+/// One latency histogram per protocol verb.
+#[derive(Default)]
+pub(crate) struct VerbLatencies {
+    histograms: [LatencyHistogram; Verb::ALL.len()],
+}
+
+impl VerbLatencies {
+    pub(crate) fn get(&self, verb: Verb) -> &LatencyHistogram {
+        &self.histograms[verb as usize]
+    }
+
+    pub(crate) fn record(&self, verb: Verb, micros: u64) {
+        self.get(verb).record(micros);
+    }
+
+    /// Sum of all per-verb observation counts — equals the transport's
+    /// `requests_served` once quiescent (asserted by the server tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn total_count(&self) -> u64 {
+        self.histograms.iter().map(|h| h.count()).sum()
+    }
+
+    /// The STATS `latency` JSON object, one sub-object per verb in
+    /// [`Verb::ALL`] order.
+    pub(crate) fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, verb) in Verb::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", verb.name(), self.get(*verb).render()));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// How many slow-query records the bounded ring retains; the oldest record
+/// is evicted when a new one arrives at capacity.
+pub(crate) const SLOW_LOG_CAPACITY: usize = 64;
+
+/// One slow query: what ran, how long it took, and a compact profile
+/// summary (the `PROFILE` totals line, not the per-round breakdown).
+#[derive(Debug, Clone)]
+pub(crate) struct SlowQueryRecord {
+    /// End-to-end handler wall time, in microseconds.
+    pub(crate) wall_micros: u64,
+    /// `query` or `profile` — which verb ran it.
+    pub(crate) verb: &'static str,
+    /// The query's surface syntax.
+    pub(crate) query: String,
+    /// `key=value` profile summary (path, cache behaviour, counters).
+    pub(crate) summary: String,
+}
+
+impl SlowQueryRecord {
+    fn render(&self) -> String {
+        format!(
+            "wall_micros={} verb={} {} query={}",
+            self.wall_micros, self.verb, self.summary, self.query
+        )
+    }
+}
+
+/// A bounded ring of recent slow queries, written by the request handler
+/// whenever a query's wall time crosses
+/// [`ServerConfig::slow_query_micros`](crate::server::ServerConfig::slow_query_micros)
+/// and read back by `STATS SLOW=<n>`.
+#[derive(Default)]
+pub(crate) struct SlowQueryLog {
+    ring: Mutex<VecDeque<SlowQueryRecord>>,
+}
+
+impl SlowQueryLog {
+    pub(crate) fn push(&self, record: SlowQueryRecord) {
+        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.len() == SLOW_LOG_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Up to `n` most recent records, newest first, rendered one per line.
+    pub(crate) fn recent(&self, n: usize) -> Vec<String> {
+        let ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        ring.iter().rev().take(n).map(|r| r.render()).collect()
+    }
+
+    /// Number of records currently retained (bounded by the capacity).
+    pub(crate) fn len(&self) -> usize {
+        self.ring.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
+
+/// Appends a `# HELP` / `# TYPE` / sample triple for one counter.
+pub(crate) fn counter(lines: &mut Vec<String>, name: &str, help: &str, value: u64) {
+    lines.push(format!("# HELP {name} {help}"));
+    lines.push(format!("# TYPE {name} counter"));
+    lines.push(format!("{name} {value}"));
+}
+
+/// Appends a `# HELP` / `# TYPE` / sample triple for one gauge.
+pub(crate) fn gauge(lines: &mut Vec<String>, name: &str, help: &str, value: u64) {
+    lines.push(format!("# HELP {name} {help}"));
+    lines.push(format!("# TYPE {name} gauge"));
+    lines.push(format!("{name} {value}"));
+}
+
+/// Appends the per-verb request-latency histogram family: cumulative
+/// `_bucket{verb=…,le=…}` series (only buckets with observations, plus the
+/// mandatory `+Inf`), `_sum` and `_count` per verb.
+pub(crate) fn latency_family(lines: &mut Vec<String>, latencies: &VerbLatencies) {
+    let name = "vadalog_request_duration_micros";
+    lines.push(format!(
+        "# HELP {name} Wall time of served requests, by verb, in microseconds."
+    ));
+    lines.push(format!("# TYPE {name} histogram"));
+    for verb in Verb::ALL {
+        let histogram = latencies.get(verb);
+        let label = verb.name();
+        for (upper_edge, cumulative) in histogram.cumulative_buckets() {
+            lines.push(format!(
+                "{name}_bucket{{verb=\"{label}\",le=\"{upper_edge}\"}} {cumulative}"
+            ));
+        }
+        lines.push(format!(
+            "{name}_bucket{{verb=\"{label}\",le=\"+Inf\"}} {}",
+            histogram.count()
+        ));
+        lines.push(format!(
+            "{name}_sum{{verb=\"{label}\"}} {}",
+            histogram.total_micros()
+        ));
+        lines.push(format!(
+            "{name}_count{{verb=\"{label}\"}} {}",
+            histogram.count()
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_bill_distinct_histograms_and_sum_exactly() {
+        let latencies = VerbLatencies::default();
+        latencies.record(Verb::Query, 10);
+        latencies.record(Verb::Query, 20);
+        latencies.record(Verb::Snapshot, 5);
+        assert_eq!(latencies.get(Verb::Query).count(), 2);
+        assert_eq!(latencies.get(Verb::Snapshot).count(), 1);
+        assert_eq!(latencies.get(Verb::Validate).count(), 0);
+        assert_eq!(latencies.total_count(), 3);
+        let json = latencies.render();
+        assert!(json.starts_with("{\"query\":{\"count\":2,"), "{json}");
+        assert!(json.contains("\"snapshot\":{\"count\":1,"), "{json}");
+        assert!(json.contains("\"shutdown\":{\"count\":0,"), "{json}");
+    }
+
+    #[test]
+    fn slow_log_is_bounded_and_newest_first() {
+        let log = SlowQueryLog::default();
+        for i in 0..(SLOW_LOG_CAPACITY + 5) {
+            log.push(SlowQueryRecord {
+                wall_micros: i as u64,
+                verb: "query",
+                query: format!("?(X) :- t(c{i}, X)."),
+                summary: "path=full".into(),
+            });
+        }
+        assert_eq!(log.len(), SLOW_LOG_CAPACITY);
+        let recent = log.recent(2);
+        assert_eq!(recent.len(), 2);
+        assert!(
+            recent[0].starts_with(&format!("wall_micros={} ", SLOW_LOG_CAPACITY + 4)),
+            "{recent:?}"
+        );
+        // The oldest records were evicted.
+        let all = log.recent(usize::MAX);
+        assert!(all.iter().all(|l| !l.contains("query=?(X) :- t(c0, X).")));
+    }
+
+    #[test]
+    fn histogram_family_emits_cumulative_monotone_buckets() {
+        let latencies = VerbLatencies::default();
+        for v in [1u64, 3, 100, 100, 5000] {
+            latencies.record(Verb::Query, v);
+        }
+        let mut lines = Vec::new();
+        latency_family(&mut lines, &latencies);
+        let buckets: Vec<u64> = lines
+            .iter()
+            .filter(|l| l.contains("_bucket{verb=\"query\""))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+        assert_eq!(*buckets.last().unwrap(), 5, "+Inf bucket carries count");
+        assert!(lines
+            .iter()
+            .any(|l| l == "vadalog_request_duration_micros_count{verb=\"query\"} 5"));
+        assert!(lines
+            .iter()
+            .any(|l| l == "vadalog_request_duration_micros_sum{verb=\"query\"} 5204"));
+    }
+}

@@ -65,14 +65,48 @@ pub enum Request {
         /// Evaluation-mode preference (`MODE=`, default `AUTO`).
         mode: QueryMode,
     },
+    /// `EXPLAIN [MODE=<MAGIC|FULL|AUTO>] ?(X, …) :- body.` — return the
+    /// chosen evaluation plan (adornment, magic-vs-full decision with the
+    /// fallback reason, per-atom build/probe order with index kinds and
+    /// estimated fan-outs) **without evaluating** the query.
+    Explain {
+        /// The conjunctive query to explain.
+        query: ConjunctiveQuery,
+        /// Evaluation-mode preference (`MODE=`, default `AUTO`).
+        mode: QueryMode,
+    },
+    /// `PROFILE [options] ?(X, …) :- body.` — evaluate the query exactly
+    /// like `QUERY` (same options) and return a per-phase breakdown
+    /// instead of the tuples: wall micros per phase and per
+    /// stratum/round, join counters, demanded vs materialised tuples,
+    /// cache behaviour and the answer count.
+    Profile {
+        /// The conjunctive query.
+        query: ConjunctiveQuery,
+        /// Per-request deadline override, in milliseconds.
+        timeout_ms: Option<u64>,
+        /// Per-request answer-count cap override.
+        max_rows: Option<usize>,
+        /// Evaluation-mode preference (`MODE=`, default `AUTO`).
+        mode: QueryMode,
+    },
     /// `VALIDATE <rules>` — dry-run a candidate program through the
     /// diagnostics pipeline against the serving schema; nothing is loaded.
     Validate {
         /// The candidate program's source text.
         source: String,
     },
-    /// `STATS` — report engine statistics as one JSON line.
-    Stats,
+    /// `STATS` — report engine statistics as one JSON line — or, with
+    /// `SLOW=<n>`, the most recent `n` slow-query log records instead.
+    Stats {
+        /// `Some(n)`: return up to `n` recent slow-query records rather
+        /// than the statistics line.
+        slow: Option<usize>,
+    },
+    /// `METRICS` — report counters, gauges and latency histograms in
+    /// Prometheus text exposition format (count-framed like every
+    /// multi-line response).
+    Metrics,
     /// `SNAPSHOT` — persist the current engine state and truncate the WAL.
     Snapshot,
     /// `SHUTDOWN` — stop accepting connections.
@@ -113,6 +147,25 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 mode,
             })
         }
+        "EXPLAIN" => {
+            let (rest, timeout_ms, max_rows, mode) = parse_query_options(rest)?;
+            if timeout_ms.is_some() || max_rows.is_some() {
+                return Err("EXPLAIN does not evaluate; TIMEOUT_MS/MAX_ROWS do not apply".into());
+            }
+            Ok(Request::Explain {
+                query: parse_query(rest).map_err(|e| e.to_string())?,
+                mode,
+            })
+        }
+        "PROFILE" => {
+            let (rest, timeout_ms, max_rows, mode) = parse_query_options(rest)?;
+            Ok(Request::Profile {
+                query: parse_query(rest).map_err(|e| e.to_string())?,
+                timeout_ms,
+                max_rows,
+                mode,
+            })
+        }
         "VALIDATE" => {
             if rest.is_empty() {
                 return Err("VALIDATE requires a candidate program".into());
@@ -121,13 +174,26 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 source: rest.to_string(),
             })
         }
-        "STATS" => Ok(Request::Stats),
+        "STATS" => {
+            let slow = match rest.split_once('=') {
+                None if rest.is_empty() => None,
+                Some((key, value)) if key.trim().eq_ignore_ascii_case("SLOW") => Some(
+                    value
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad SLOW value `{}`", value.trim()))?,
+                ),
+                _ => return Err(format!("bad STATS option `{rest}` (expected SLOW=<n>)")),
+            };
+            Ok(Request::Stats { slow })
+        }
+        "METRICS" => Ok(Request::Metrics),
         "SNAPSHOT" => Ok(Request::Snapshot),
         "SHUTDOWN" => Ok(Request::Shutdown),
         "" => Err("empty command".into()),
         other => Err(format!(
-            "unknown command `{other}` (expected FACT, BATCH, QUERY, VALIDATE, STATS, SNAPSHOT \
-             or SHUTDOWN)"
+            "unknown command `{other}` (expected FACT, BATCH, QUERY, EXPLAIN, PROFILE, VALIDATE, \
+             STATS, METRICS, SNAPSHOT or SHUTDOWN)"
         )),
     }
 }
@@ -201,6 +267,21 @@ pub enum Response {
         /// The findings, in pass order.
         diagnostics: Vec<Diagnostic>,
     },
+    /// A generic count-framed multi-line response: `OK <label>=<n> [info]`,
+    /// `n` payload lines, `END`. Used by `EXPLAIN` (`label=explain`),
+    /// `PROFILE` (`profile`), `METRICS` (`metrics`) and `STATS SLOW=`
+    /// (`slow`) — clients frame by the header count exactly as they do for
+    /// `answers=` / `diagnostics=`.
+    Framed {
+        /// The header's count key (`explain`, `profile`, `metrics`,
+        /// `slow`).
+        label: &'static str,
+        /// Extra `key=value` text appended to the header line (may be
+        /// empty).
+        info: String,
+        /// The payload lines (rendered one per line, newline-collapsed).
+        lines: Vec<String>,
+    },
     /// A single `ERR <message>` line.
     Error(String),
 }
@@ -230,6 +311,20 @@ impl Response {
                 for tuple in tuples {
                     let cells: Vec<String> = tuple.iter().map(render_constant).collect();
                     out.push_str(&cells.join(" "));
+                    out.push('\n');
+                }
+                out.push_str("END\n");
+                out
+            }
+            Response::Framed { label, info, lines } => {
+                let mut out = format!("OK {label}={}", lines.len());
+                if !info.is_empty() {
+                    out.push(' ');
+                    out.push_str(&one_line(info));
+                }
+                out.push('\n');
+                for line in lines {
+                    out.push_str(&one_line(line));
                     out.push('\n');
                 }
                 out.push_str("END\n");
@@ -363,7 +458,11 @@ mod tests {
             parse_request("batch edge(a, b). edge(b, c)."),
             Ok(Request::Ingest { facts, batch: true }) if facts.len() == 2
         ));
-        assert!(matches!(parse_request("  stats  "), Ok(Request::Stats)));
+        assert!(matches!(
+            parse_request("  stats  "),
+            Ok(Request::Stats { slow: None })
+        ));
+        assert!(matches!(parse_request("metrics"), Ok(Request::Metrics)));
         assert!(matches!(parse_request("SHUTDOWN"), Ok(Request::Shutdown)));
         let q = parse_request("QUERY ?(X) :- t(a, X).").unwrap();
         assert!(matches!(
@@ -437,6 +536,89 @@ mod tests {
         // A query whose own text merely contains `=` is untouched: options
         // stop at the first non-option token.
         assert!(parse_request("QUERY TIMEOUT_MS=10 ?(X) :- ").is_err());
+    }
+
+    #[test]
+    fn explain_and_profile_requests_parse_like_query() {
+        let e = parse_request("EXPLAIN ?(X) :- t(a, X).").unwrap();
+        assert!(matches!(
+            e,
+            Request::Explain {
+                mode: QueryMode::Auto,
+                ..
+            }
+        ));
+        let e = parse_request("explain MODE=FULL ?(X) :- t(a, X).").unwrap();
+        assert!(matches!(
+            e,
+            Request::Explain {
+                mode: QueryMode::Full,
+                ..
+            }
+        ));
+        // EXPLAIN never evaluates, so evaluation budgets are rejected up
+        // front rather than silently ignored.
+        assert!(parse_request("EXPLAIN TIMEOUT_MS=10 ?(X) :- t(a, X).")
+            .unwrap_err()
+            .contains("does not evaluate"));
+
+        let p = parse_request("PROFILE MODE=MAGIC TIMEOUT_MS=250 MAX_ROWS=10 ?(X) :- t(a, X).")
+            .unwrap();
+        assert!(matches!(
+            p,
+            Request::Profile {
+                mode: QueryMode::Magic,
+                timeout_ms: Some(250),
+                max_rows: Some(10),
+                ..
+            }
+        ));
+        assert!(parse_request("PROFILE ?(X) :- ").is_err());
+    }
+
+    #[test]
+    fn stats_slow_option_parses_and_rejects_garbage() {
+        assert!(matches!(
+            parse_request("STATS SLOW=5"),
+            Ok(Request::Stats { slow: Some(5) })
+        ));
+        assert!(matches!(
+            parse_request("stats slow=0"),
+            Ok(Request::Stats { slow: Some(0) })
+        ));
+        assert!(parse_request("STATS SLOW=abc")
+            .unwrap_err()
+            .contains("bad SLOW value"));
+        assert!(parse_request("STATS FAST=1")
+            .unwrap_err()
+            .contains("bad STATS option"));
+    }
+
+    #[test]
+    fn framed_responses_render_with_count_based_framing() {
+        let framed = Response::Framed {
+            label: "explain",
+            info: "epoch=3 magic=true".into(),
+            lines: vec!["adornment t^bf".into(), "plan step=0".into()],
+        };
+        assert_eq!(
+            framed.render(),
+            "OK explain=2 epoch=3 magic=true\nadornment t^bf\nplan step=0\nEND\n"
+        );
+        // An empty payload still frames (header count 0, then END).
+        let empty = Response::Framed {
+            label: "slow",
+            info: String::new(),
+            lines: Vec::new(),
+        };
+        assert_eq!(empty.render(), "OK slow=0\nEND\n");
+        // Embedded newlines cannot break the line protocol.
+        let tricky = Response::Framed {
+            label: "metrics",
+            info: String::new(),
+            lines: vec!["a\nb".into()],
+        };
+        assert_eq!(tricky.render(), "OK metrics=1\na b\nEND\n");
     }
 
     #[test]

@@ -19,9 +19,9 @@
 //!   `max_connections` are answered `ERR overloaded retry_ms=<hint>` and
 //!   closed immediately, and requests arriving while the job queue holds
 //!   `max_queue_depth` entries are shed with the same structured error —
-//!   the connection survives, only the request is refused. `STATS` and
-//!   `SHUTDOWN` are exempt (an operator diagnosing an overload must not be
-//!   shed by it).
+//!   the connection survives, only the request is refused. `STATS`,
+//!   `METRICS` and `SHUTDOWN` are exempt (an operator diagnosing an
+//!   overload must not be shed by it).
 //! * **Deadlines** (line completion, write progress, optional idling) live
 //!   in a hashed timer wheel with `poll_interval` granularity. Entries are
 //!   validated when they fire — a stale entry for a connection that made
@@ -43,6 +43,7 @@
 //! in flight.
 
 use crate::failpoints;
+use crate::metrics::Verb;
 use crate::protocol::{parse_request, Request, Response};
 use crate::server::{handle_request, Shared};
 use epoll::{Epoll, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
@@ -97,24 +98,6 @@ impl TransportCounters {
             self.queries_shed.load(Ordering::Relaxed),
             self.queue_depth_max.load(Ordering::Relaxed),
         )
-    }
-}
-
-/// Which latency histogram a request bills to.
-#[derive(Clone, Copy)]
-enum Verb {
-    Query,
-    Fact,
-    Batch,
-    Other,
-}
-
-fn verb_of(request: &Request) -> Verb {
-    match request {
-        Request::Query { .. } => Verb::Query,
-        Request::Ingest { batch: false, .. } => Verb::Fact,
-        Request::Ingest { batch: true, .. } => Verb::Batch,
-        _ => Verb::Other,
     }
 }
 
@@ -228,15 +211,12 @@ fn worker_loop(shared: &Shared, queue: &JobQueue, completions: &Completions) {
                 let started = Instant::now();
                 match catch_unwind(AssertUnwindSafe(|| handle_request(shared, request))) {
                     Ok(response) => {
-                        let histogram = match verb {
-                            Verb::Query => Some(&shared.latency_query),
-                            Verb::Fact => Some(&shared.latency_fact),
-                            Verb::Batch => Some(&shared.latency_batch),
-                            Verb::Other => None,
-                        };
-                        if let Some(histogram) = histogram {
-                            histogram.record(started.elapsed().as_micros() as u64);
-                        }
+                        // Every served request bills exactly one verb, so
+                        // the per-verb counts sum to `requests_served` at
+                        // quiescence (SHUTDOWN is billed inline by `pump`).
+                        shared
+                            .latency
+                            .record(verb, started.elapsed().as_micros() as u64);
                         Outcome::Reply(response.render())
                     }
                     Err(_) => Outcome::CloseSilently,
@@ -661,10 +641,15 @@ impl Reactor {
                 Work::Request(request) => {
                     if matches!(request, Request::Shutdown) {
                         // Inline: prompt even when every worker is busy,
-                        // and exempt from shedding by design.
+                        // and exempt from shedding by design. Billed here
+                        // because it never reaches a worker.
+                        let started = Instant::now();
                         self.shared.shutdown.store(true, Ordering::SeqCst);
                         transport.requests_served.fetch_add(1, Ordering::Relaxed);
                         conn.queue_reply(&Response::Ok("bye".into()).render());
+                        self.shared
+                            .latency
+                            .record(Verb::Shutdown, started.elapsed().as_micros() as u64);
                         conn.closing = true;
                         drop_pending(conn, transport);
                         break;
@@ -674,7 +659,7 @@ impl Reactor {
                         conn.queue_reply(&Response::Error("shutting-down".into()).render());
                         continue;
                     }
-                    let exempt = matches!(request, Request::Stats);
+                    let exempt = matches!(request, Request::Stats { .. } | Request::Metrics);
                     if !exempt && self.queue.depth() >= config.max_queue_depth {
                         transport.queries_shed.fetch_add(1, Ordering::Relaxed);
                         conn.queue_reply(
@@ -686,7 +671,7 @@ impl Reactor {
                         );
                         continue;
                     }
-                    let verb = verb_of(&request);
+                    let verb = Verb::of(&request);
                     conn.busy = true;
                     let depth = self.queue.push(Job::Handle {
                         conn: token,

@@ -1,7 +1,7 @@
-//! The TCP front door: protocol semantics ([`handle_request`]) plus the
-//! server lifecycle around the readiness-based transport in
-//! [`reactor`](crate::reactor) (see the [crate docs](crate) for the
-//! protocol, the concurrency model and the durability model).
+//! The TCP front door: protocol semantics (`handle_request`) plus the
+//! server lifecycle around the readiness-based transport in the `reactor`
+//! module (see the [crate docs](crate) for the protocol, the concurrency
+//! model and the durability model).
 //!
 //! # Robustness
 //!
@@ -15,7 +15,8 @@
 //! * Admission control degrades gracefully instead of collapsing: accepts
 //!   beyond [`ServerConfig::max_connections`] and requests beyond
 //!   [`ServerConfig::max_queue_depth`] answer a structured
-//!   `ERR overloaded retry_ms=<hint>` (`STATS` and `SHUTDOWN` are exempt,
+//!   `ERR overloaded retry_ms=<hint>` (`STATS`, `METRICS` and `SHUTDOWN`
+//!   are exempt,
 //!   so an operator can always diagnose and end an overload).
 //! * A line must fit in [`ServerConfig::max_line_bytes`] and complete
 //!   within [`ServerConfig::line_timeout`] of its first byte — the
@@ -34,7 +35,7 @@
 
 use crate::durability::DurableEngine;
 use crate::failpoints;
-use crate::histogram::LatencyHistogram;
+use crate::metrics::{self, SlowQueryLog, SlowQueryRecord, Verb, VerbLatencies};
 use crate::protocol::{QueryMode, Request, Response};
 use crate::reactor::{self, TransportCounters};
 use std::collections::{BTreeMap, BTreeSet};
@@ -43,10 +44,10 @@ use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vadalog_analysis::{analyze_source, AnalyzerOptions};
-use vadalog_datalog::{DemandEngine, DemandError, IncrementalEngine};
-use vadalog_model::{BudgetExceeded, InstanceSnapshot, Predicate, QueryBudget};
+use vadalog_datalog::{explain_query, DemandEngine, DemandError, IncrementalEngine};
+use vadalog_model::{BudgetExceeded, ConjunctiveQuery, InstanceSnapshot, Predicate, QueryBudget};
 
 /// What the server does with programs and facts that fail validation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -103,6 +104,11 @@ pub struct ServerConfig {
     /// a peer that stops reading backs up into the reactor's user-space
     /// write buffer quickly, where the write-stall deadline can see it.
     pub send_buffer_bytes: Option<usize>,
+    /// `QUERY` / `PROFILE` requests whose handler wall time reaches this
+    /// many microseconds record a profile summary into the bounded
+    /// slow-query log, retrievable via `STATS SLOW=<n>` (`None`: the log
+    /// is disabled). Defaults to one second.
+    pub slow_query_micros: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -120,9 +126,15 @@ impl Default for ServerConfig {
             overload_retry_ms: 100,
             idle_timeout: None,
             send_buffer_bytes: None,
+            slow_query_micros: Some(1_000_000),
         }
     }
 }
+
+/// Version of the `STATS` JSON schema, reported as the object's first
+/// field. Bumped whenever a field is removed or changes meaning; additive
+/// fields do not bump it.
+pub const STATS_SCHEMA_VERSION: u64 = 1;
 
 const ENGINE_UNAVAILABLE: &str =
     "engine-unavailable (a writer panicked mid-request; queries still serve the last snapshot)";
@@ -158,10 +170,13 @@ pub(crate) struct Shared {
     /// snapshot and caches one compiled program per binding-pattern
     /// signature.
     demand: DemandEngine,
-    /// Per-verb latency histograms (p50/p95/p99), reported by `STATS`.
-    pub(crate) latency_query: LatencyHistogram,
-    pub(crate) latency_fact: LatencyHistogram,
-    pub(crate) latency_batch: LatencyHistogram,
+    /// Per-verb latency histograms (p50/p95/p99), reported by `STATS` and
+    /// exposed as a Prometheus histogram family by `METRICS`. Every served
+    /// request bills exactly one verb, so at quiescence the per-verb
+    /// counts sum to `transport.requests_served`.
+    pub(crate) latency: VerbLatencies,
+    /// Bounded ring of recent slow queries (`STATS SLOW=<n>`).
+    pub(crate) slow_log: SlowQueryLog,
     /// Transport-layer accounting (accepts, rejects, sheds), reported by
     /// `STATS` and maintained by the reactor.
     pub(crate) transport: TransportCounters,
@@ -183,10 +198,52 @@ impl Shared {
     }
 }
 
+/// Renders a tripped query budget as its structured protocol error.
+fn budget_error(exceeded: BudgetExceeded, budget: &QueryBudget) -> Response {
+    match exceeded {
+        BudgetExceeded::Deadline => Response::Error(format!(
+            "deadline timeout_ms={}",
+            budget.timeout.map_or(0, |t| t.as_millis() as u64)
+        )),
+        BudgetExceeded::RowLimit => Response::Error(format!(
+            "row-limit max_rows={}",
+            budget.max_rows.unwrap_or(0)
+        )),
+        BudgetExceeded::Cancelled => Response::Error("cancelled".into()),
+    }
+}
+
+/// Records a slow query when the handler wall time crosses the configured
+/// threshold (`None`: the log is disabled).
+fn maybe_slow(
+    shared: &Shared,
+    wall_micros: u64,
+    verb: &'static str,
+    query: &ConjunctiveQuery,
+    summary: String,
+) {
+    let Some(threshold) = shared.config.slow_query_micros else {
+        return;
+    };
+    if wall_micros < threshold {
+        return;
+    }
+    shared.slow_log.push(SlowQueryRecord {
+        wall_micros,
+        verb,
+        query: query.to_string(),
+        summary,
+    });
+}
+
 /// Serves one request against the shared state. This is the whole protocol
 /// semantics; the reactor transport around it only moves lines. Workers
 /// call it off the job queue — it is deliberately transport-free.
 pub(crate) fn handle_request(shared: &Shared, request: Request) -> Response {
+    let mut span = vadalog_obs::span("service.request");
+    if span.active() {
+        span.kv("verb", Verb::of(&request).name());
+    }
     match request {
         Request::Ingest { facts, .. } => {
             // Fail-closed admission: ingest may only feed extensional
@@ -249,17 +306,22 @@ pub(crate) fn handle_request(shared: &Shared, request: Request) -> Response {
                     .or(shared.config.default_timeout),
                 max_rows: max_rows.or(shared.config.default_max_rows),
             };
+            let started = Instant::now();
             // No lock is held here: either path runs against the frozen
             // snapshot, concurrently with any in-flight ingest. MAGIC and
             // AUTO prefer the demand-driven path; a fallback (all-free
             // query, EDB-only query, name collision, …) silently takes the
             // full path, while a tripped budget is final — full evaluation
             // could only be slower.
+            let mut magic: Option<(bool, u64)> = None;
             let demanded = match mode {
                 QueryMode::Full => None,
                 QueryMode::Magic | QueryMode::Auto => {
                     match shared.demand.answer(snapshot.instance(), &query, &budget) {
-                        Ok(answer) => Some(Ok(answer.answers)),
+                        Ok(answer) => {
+                            magic = Some((answer.cache_hit, answer.demanded_tuples));
+                            Some(Ok(answer.answers))
+                        }
                         Err(DemandError::Fallback(_)) => None,
                         Err(DemandError::Budget(exceeded)) => Some(Err(exceeded)),
                     }
@@ -273,19 +335,191 @@ pub(crate) fn handle_request(shared: &Shared, request: Request) -> Response {
                 None => query.evaluate_budgeted(&snapshot, shared.threads, &budget),
             };
             match answers {
-                Ok(answers) => Response::Answers {
-                    epoch: snapshot.epoch(),
-                    tuples: answers.into_iter().collect(),
-                },
-                Err(BudgetExceeded::Deadline) => Response::Error(format!(
-                    "deadline timeout_ms={}",
-                    budget.timeout.map_or(0, |t| t.as_millis() as u64)
-                )),
-                Err(BudgetExceeded::RowLimit) => Response::Error(format!(
-                    "row-limit max_rows={}",
-                    budget.max_rows.unwrap_or(0)
-                )),
-                Err(BudgetExceeded::Cancelled) => Response::Error("cancelled".into()),
+                Ok(answers) => {
+                    let summary = match magic {
+                        Some((cache_hit, demanded_tuples)) => format!(
+                            "path=magic cache={} demanded_tuples={demanded_tuples} answers={}",
+                            if cache_hit { "hit" } else { "miss" },
+                            answers.len()
+                        ),
+                        None => format!("path=full answers={}", answers.len()),
+                    };
+                    maybe_slow(
+                        shared,
+                        started.elapsed().as_micros() as u64,
+                        "query",
+                        &query,
+                        summary,
+                    );
+                    Response::Answers {
+                        epoch: snapshot.epoch(),
+                        tuples: answers.into_iter().collect(),
+                    }
+                }
+                Err(exceeded) => budget_error(exceeded, &budget),
+            }
+        }
+        Request::Explain { query, mode } => {
+            // Plan-only: nothing is evaluated and no lock is taken. The
+            // demand cache is consulted (and warmed) so the decision line
+            // can report hit/miss truthfully for the *next* query of this
+            // binding pattern.
+            let snapshot = shared.published_snapshot();
+            let prefer_magic = !matches!(mode, QueryMode::Full);
+            let cache_hit = if prefer_magic {
+                shared.demand.specialised(&query).ok().map(|(_, hit)| hit)
+            } else {
+                None
+            };
+            let report = explain_query(
+                shared.demand.program(),
+                snapshot.instance(),
+                &query,
+                prefer_magic,
+                cache_hit,
+            );
+            Response::Framed {
+                label: "explain",
+                info: format!("epoch={} magic={}", snapshot.epoch(), report.magic),
+                lines: report.lines,
+            }
+        }
+        Request::Profile {
+            query,
+            timeout_ms,
+            max_rows,
+            mode,
+        } => {
+            let snapshot = shared.published_snapshot();
+            let budget = QueryBudget {
+                timeout: timeout_ms
+                    .map(Duration::from_millis)
+                    .or(shared.config.default_timeout),
+                max_rows: max_rows.or(shared.config.default_max_rows),
+            };
+            let started = Instant::now();
+            // Same path selection as QUERY; the profiled demand answer is
+            // bit-identical to the unprofiled one.
+            let demanded = match mode {
+                QueryMode::Full => None,
+                QueryMode::Magic | QueryMode::Auto => {
+                    match shared
+                        .demand
+                        .answer_profiled(snapshot.instance(), &query, &budget)
+                    {
+                        Ok(profiled) => Some(Ok(profiled)),
+                        Err(DemandError::Fallback(_)) => None,
+                        Err(DemandError::Budget(exceeded)) => Some(Err(exceeded)),
+                    }
+                }
+            };
+            match demanded {
+                Some(Ok((answer, profile))) => {
+                    let cache = if answer.cache_hit { "hit" } else { "miss" };
+                    let mut lines = vec![
+                        format!(
+                            "phase=rewrite wall_micros={} cache={cache}",
+                            profile.rewrite_micros
+                        ),
+                        format!(
+                            "phase=seed wall_micros={} seed_facts={}",
+                            profile.seed_micros, profile.seed_facts
+                        ),
+                    ];
+                    for (stratum, rounds) in profile.strata.iter().enumerate() {
+                        for round in rounds {
+                            lines.push(format!(
+                                "phase=stratum stratum={stratum} round={} wall_micros={} \
+                                 delta_rows={} derived_rows={} join_probes={} rows_prededuped={}",
+                                round.round,
+                                round.wall_micros,
+                                round.delta_rows,
+                                round.derived_rows,
+                                round.join_probes,
+                                round.rows_prededuped
+                            ));
+                        }
+                    }
+                    lines.push(format!(
+                        "phase=answer wall_micros={}",
+                        profile.answer_micros
+                    ));
+                    let wall = started.elapsed().as_micros() as u64;
+                    let stats = profile.stats;
+                    lines.push(format!(
+                        "totals wall_micros={wall} joins_evaluated={} join_probes={} \
+                         composite_probes={} misses_filtered={} rows_prededuped={} \
+                         demanded_tuples={} scratch_atoms={} answers={}",
+                        stats.joins_evaluated,
+                        stats.join_probes,
+                        stats.composite_probes,
+                        stats.probe_misses_filtered,
+                        stats.rows_prededuped,
+                        answer.demanded_tuples,
+                        answer.scratch_atoms,
+                        answer.answers.len()
+                    ));
+                    maybe_slow(
+                        shared,
+                        wall,
+                        "profile",
+                        &query,
+                        format!(
+                            "path=magic cache={cache} demanded_tuples={} answers={}",
+                            answer.demanded_tuples,
+                            answer.answers.len()
+                        ),
+                    );
+                    Response::Framed {
+                        label: "profile",
+                        info: format!(
+                            "answers={} epoch={} path=magic cache={cache}",
+                            answer.answers.len(),
+                            snapshot.epoch()
+                        ),
+                        lines,
+                    }
+                }
+                Some(Err(exceeded)) => budget_error(exceeded, &budget),
+                None => {
+                    let eval_started = Instant::now();
+                    let answers = if budget.is_unlimited() {
+                        Ok(query.evaluate_with_threads(&snapshot, shared.threads))
+                    } else {
+                        query.evaluate_budgeted(&snapshot, shared.threads, &budget)
+                    };
+                    match answers {
+                        Ok(answers) => {
+                            let answer_micros = eval_started.elapsed().as_micros() as u64;
+                            let wall = started.elapsed().as_micros() as u64;
+                            let lines = vec![
+                                format!("phase=answer wall_micros={answer_micros}"),
+                                format!(
+                                    "totals wall_micros={wall} materialised_atoms={} answers={}",
+                                    snapshot.instance().len(),
+                                    answers.len()
+                                ),
+                            ];
+                            maybe_slow(
+                                shared,
+                                wall,
+                                "profile",
+                                &query,
+                                format!("path=full answers={}", answers.len()),
+                            );
+                            Response::Framed {
+                                label: "profile",
+                                info: format!(
+                                    "answers={} epoch={} path=full",
+                                    answers.len(),
+                                    snapshot.epoch()
+                                ),
+                                lines,
+                            }
+                        }
+                        Err(exceeded) => budget_error(exceeded, &budget),
+                    }
+                }
             }
         }
         Request::Validate { source } => {
@@ -311,7 +545,18 @@ pub(crate) fn handle_request(shared: &Shared, request: Request) -> Response {
                 diagnostics: report.diagnostics,
             }
         }
-        Request::Stats => {
+        Request::Stats { slow: Some(n) } => Response::Framed {
+            label: "slow",
+            info: format!(
+                "threshold_micros={}",
+                shared
+                    .config
+                    .slow_query_micros
+                    .map_or_else(|| "disabled".to_string(), |t| t.to_string())
+            ),
+            lines: shared.slow_log.recent(n),
+        },
+        Request::Stats { slow: None } => {
             let Ok(engine) = shared.engine.lock() else {
                 shared.degraded.store(true, Ordering::SeqCst);
                 return Response::Error(ENGINE_UNAVAILABLE.into());
@@ -321,14 +566,15 @@ pub(crate) fn handle_request(shared: &Shared, request: Request) -> Response {
             let stats = inner.stats();
             let demand = shared.demand.stats();
             Response::Ok(format!(
-                "{{\"epoch\":{},\"atoms\":{},\"derived_atoms\":{},\"iterations\":{},\
+                "{{\"schema_version\":{STATS_SCHEMA_VERSION},\
+                 \"epoch\":{},\"atoms\":{},\"derived_atoms\":{},\"iterations\":{},\
                  \"rounds_incremental\":{},\"strata_skipped\":{},\"joins_evaluated\":{},\
                  \"join_probes\":{},\"index_bytes\":{},\"wal_records\":{},\"wal_bytes\":{},\
                  \"snapshots_written\":{},\"snapshot_failures\":{},\"programs_rejected\":{},\
                  \"diagnostics_emitted\":{},\"magic_queries\":{},\"magic_cache_hits\":{},\
-                 \"demanded_tuples\":{},\"full_materialised_tuples\":{},\
+                 \"demanded_tuples\":{},\"full_materialised_tuples\":{},\"slow_queries\":{},\
                  \"transport\":{},\
-                 \"latency\":{{\"query\":{},\"fact\":{},\"batch\":{}}},\"degraded\":{}}}",
+                 \"latency\":{},\"degraded\":{}}}",
                 inner.epoch(),
                 inner.instance().len(),
                 stats.derived_atoms,
@@ -348,12 +594,201 @@ pub(crate) fn handle_request(shared: &Shared, request: Request) -> Response {
                 demand.magic_cache_hits,
                 demand.demanded_tuples,
                 inner.instance().len(),
+                shared.slow_log.len(),
                 shared.transport.render(),
-                shared.latency_query.render(),
-                shared.latency_fact.render(),
-                shared.latency_batch.render(),
+                shared.latency.render(),
                 shared.degraded.load(Ordering::SeqCst),
             ))
+        }
+        Request::Metrics => {
+            let Ok(engine) = shared.engine.lock() else {
+                shared.degraded.store(true, Ordering::SeqCst);
+                return Response::Error(ENGINE_UNAVAILABLE.into());
+            };
+            let (wal_records, wal_bytes, snapshots_written, snapshot_failures) = engine.wal_stats();
+            let inner = engine.engine();
+            let stats = *inner.stats();
+            let epoch = inner.epoch();
+            let atoms = inner.instance().len() as u64;
+            let index_bytes = inner.instance().index_bytes() as u64;
+            drop(engine);
+            let demand = shared.demand.stats();
+            let transport = &shared.transport;
+            let mut lines = Vec::new();
+            metrics::gauge(
+                &mut lines,
+                "vadalog_stats_schema_version",
+                "Version of the STATS JSON schema this server speaks.",
+                STATS_SCHEMA_VERSION,
+            );
+            metrics::gauge(
+                &mut lines,
+                "vadalog_epoch",
+                "Snapshot epoch of the served materialisation.",
+                epoch,
+            );
+            metrics::gauge(
+                &mut lines,
+                "vadalog_atoms",
+                "Atoms (EDB + IDB) in the live materialisation.",
+                atoms,
+            );
+            metrics::gauge(
+                &mut lines,
+                "vadalog_index_bytes",
+                "Bytes held by the live instance's join indexes.",
+                index_bytes,
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_iterations_total",
+                "Semi-naive iterations summed over all strata.",
+                stats.iterations as u64,
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_joins_evaluated_total",
+                "Join-kernel invocations.",
+                stats.joins_evaluated as u64,
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_join_probes_total",
+                "Candidate rows examined across all join-kernel invocations.",
+                stats.join_probes,
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_composite_probes_total",
+                "Probe steps answered by a composite fused-key index.",
+                stats.composite_probes,
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_probe_misses_filtered_total",
+                "Index probes skipped by the fingerprint filter.",
+                stats.probe_misses_filtered,
+            );
+            metrics::gauge(
+                &mut lines,
+                "vadalog_wal_records",
+                "Records in the write-ahead log since the last snapshot.",
+                wal_records,
+            );
+            metrics::gauge(
+                &mut lines,
+                "vadalog_wal_bytes",
+                "Bytes in the write-ahead log since the last snapshot.",
+                wal_bytes,
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_snapshots_written_total",
+                "Durable snapshots written.",
+                snapshots_written,
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_snapshot_failures_total",
+                "Durable snapshot attempts that failed.",
+                snapshot_failures,
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_programs_rejected_total",
+                "Candidate programs rejected by the admission gate.",
+                shared.programs_rejected.load(Ordering::SeqCst),
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_diagnostics_emitted_total",
+                "Diagnostics emitted by VALIDATE requests.",
+                shared.diagnostics_emitted.load(Ordering::SeqCst),
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_magic_queries_total",
+                "Queries answered through the demand-driven (magic) path.",
+                demand.magic_queries,
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_magic_cache_hits_total",
+                "Magic queries whose specialised program was cached.",
+                demand.magic_cache_hits,
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_demanded_tuples_total",
+                "Tuples derived across all demand-driven evaluations.",
+                demand.demanded_tuples,
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_connections_accepted_total",
+                "Connections accepted by the reactor.",
+                transport.connections_accepted.load(Ordering::Relaxed),
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_connections_rejected_total",
+                "Connections rejected by admission control.",
+                transport.connections_rejected.load(Ordering::Relaxed),
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_connections_closed_total",
+                "Connections closed for any reason.",
+                transport.connections_closed.load(Ordering::Relaxed),
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_requests_received_total",
+                "Request lines received (including ones that failed to parse).",
+                transport.requests_received.load(Ordering::Relaxed),
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_requests_served_total",
+                "Requests answered by the handler.",
+                transport.requests_served.load(Ordering::Relaxed),
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_requests_failed_total",
+                "Requests that failed (parse errors, drops, drain rejects).",
+                transport.requests_failed.load(Ordering::Relaxed),
+            );
+            metrics::counter(
+                &mut lines,
+                "vadalog_queries_shed_total",
+                "Requests shed by queue-depth admission control.",
+                transport.queries_shed.load(Ordering::Relaxed),
+            );
+            metrics::gauge(
+                &mut lines,
+                "vadalog_queue_depth_max",
+                "High-water mark of the job queue depth.",
+                transport.queue_depth_max.load(Ordering::Relaxed),
+            );
+            metrics::gauge(
+                &mut lines,
+                "vadalog_slow_queries",
+                "Slow-query records currently retained in the bounded log.",
+                shared.slow_log.len() as u64,
+            );
+            metrics::gauge(
+                &mut lines,
+                "vadalog_degraded",
+                "1 when a writer panic has poisoned the engine mutex.",
+                u64::from(shared.degraded.load(Ordering::SeqCst)),
+            );
+            metrics::latency_family(&mut lines, &shared.latency);
+            Response::Framed {
+                label: "metrics",
+                info: String::new(),
+                lines,
+            }
         }
         Request::Snapshot => {
             let Ok(mut engine) = shared.engine.lock() else {
@@ -452,9 +887,8 @@ impl LiveServer {
             programs_rejected: AtomicU64::new(0),
             diagnostics_emitted: AtomicU64::new(0),
             demand,
-            latency_query: LatencyHistogram::default(),
-            latency_fact: LatencyHistogram::default(),
-            latency_batch: LatencyHistogram::default(),
+            latency: VerbLatencies::default(),
+            slow_log: SlowQueryLog::default(),
             transport: TransportCounters::default(),
             waker: Arc::clone(&waker),
             config,
@@ -539,18 +973,27 @@ mod tests {
         }
 
         /// Sends one request line and reads the full response: one line, or
-        /// — for query answers and validation reports — the header plus
-        /// exactly `answers=<n>` / `diagnostics=<n>` body lines plus the
-        /// `END` line (framing by count, as the protocol requires).
+        /// — for count-framed responses — the header plus exactly as many
+        /// body lines as the header's count announces plus the `END` line
+        /// (framing by count, as the protocol requires). The counted
+        /// headers are whitelisted: single-line acks like `OK inserted=3`
+        /// must not be mistaken for frames.
         pub(crate) fn send(&mut self, line: &str) -> Vec<String> {
             self.writer
                 .write_all(format!("{line}\n").as_bytes())
                 .expect("write request");
             self.writer.flush().expect("flush request");
             let mut lines = vec![self.read_line()];
-            let counted = lines[0]
-                .strip_prefix("OK answers=")
-                .or_else(|| lines[0].strip_prefix("OK diagnostics="));
+            let counted = [
+                "answers",
+                "diagnostics",
+                "explain",
+                "profile",
+                "metrics",
+                "slow",
+            ]
+            .iter()
+            .find_map(|label| lines[0].strip_prefix(&format!("OK {label}=")));
             if let Some(rest) = counted {
                 let count: usize = rest
                     .split_whitespace()
@@ -604,7 +1047,10 @@ mod tests {
         assert_eq!(pairs, vec!["OK answers=1 epoch=2", "p q", "END"]);
 
         let stats = client.send("STATS");
-        assert!(stats[0].starts_with("OK {\"epoch\":2,"), "{stats:?}");
+        assert!(
+            stats[0].starts_with("OK {\"schema_version\":1,\"epoch\":2,"),
+            "{stats:?}"
+        );
         assert!(stats[0].contains("\"rounds_incremental\""), "{stats:?}");
         assert!(
             stats[0].contains("\"wal_records\":0"),
@@ -917,6 +1363,312 @@ mod tests {
         client.send("SHUTDOWN");
         drop(client);
         server.join();
+    }
+
+    /// Checks a METRICS payload against the Prometheus text exposition
+    /// format: comments are `# HELP` / `# TYPE`, samples are
+    /// `name[{labels}] value`, histogram buckets are cumulative and end at
+    /// `+Inf` with the series count.
+    fn validate_exposition(lines: &[String]) {
+        let mut typed: BTreeMap<String, String> = BTreeMap::new();
+        let mut bucket_last: BTreeMap<String, u64> = BTreeMap::new();
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("# ") {
+                let mut parts = rest.splitn(3, ' ');
+                let keyword = parts.next().unwrap_or_default();
+                let name = parts.next().unwrap_or_default();
+                let trailer = parts.next().unwrap_or_default();
+                assert!(
+                    keyword == "HELP" || keyword == "TYPE",
+                    "unknown comment keyword: {line}"
+                );
+                assert!(
+                    !name.is_empty() && !trailer.is_empty(),
+                    "bare comment: {line}"
+                );
+                if keyword == "TYPE" {
+                    assert!(
+                        trailer == "counter" || trailer == "gauge" || trailer == "histogram",
+                        "unknown type: {line}"
+                    );
+                    typed.insert(name.to_string(), trailer.to_string());
+                }
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name: {line}"
+            );
+            let value: u64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value: {line}"));
+            let family = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .unwrap_or(name);
+            assert!(
+                typed.contains_key(family),
+                "sample without a TYPE comment: {line}"
+            );
+            if name.ends_with("_bucket") {
+                // Cumulative within one labelled series: monotone counts.
+                let key = series.split(",le=").next().unwrap().to_string();
+                let last = bucket_last.entry(key).or_insert(0);
+                assert!(value >= *last, "bucket counts regressed: {line}");
+                *last = value;
+                assert!(series.contains("le=\""), "bucket without le: {line}");
+            }
+        }
+        // Every histogram's +Inf bucket equals its _count sample.
+        for line in lines {
+            if let Some((series, value)) = line.rsplit_once(' ') {
+                if series.contains("le=\"+Inf\"") {
+                    let count_series = series
+                        .replace("_bucket", "_count")
+                        .split(",le=")
+                        .next()
+                        .unwrap()
+                        .to_string()
+                        + "}";
+                    let count_line = lines
+                        .iter()
+                        .find(|l| l.starts_with(&format!("{count_series} ")))
+                        .unwrap_or_else(|| panic!("no _count for {series}"));
+                    assert_eq!(count_line.rsplit_once(' ').unwrap().1, value, "{series}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explain_profile_and_metrics_round_trip_over_loopback() {
+        let server = start(engine());
+        let mut client = Client::connect(server.addr());
+        client.send("BATCH edge(a, b). edge(b, c). edge(c, d). link(p, q).");
+
+        // EXPLAIN returns the plan without evaluating: the adornment, the
+        // magic decision, the rewrite and the join plan with estimates.
+        let explain = client.send("EXPLAIN ?(X) :- t(a, X).");
+        assert!(
+            explain[0].starts_with("OK explain=") && explain[0].ends_with("epoch=1 magic=true"),
+            "{explain:?}"
+        );
+        assert!(explain.iter().any(|l| l == "adornment t^bf"), "{explain:?}");
+        assert!(
+            explain
+                .iter()
+                .any(|l| l.starts_with("decision magic seeds=1 cache=miss")),
+            "{explain:?}"
+        );
+        assert!(
+            explain.iter().any(|l| l.starts_with("rewrite ")),
+            "{explain:?}"
+        );
+        assert!(
+            explain
+                .iter()
+                .any(|l| l.starts_with("plan step=0 atom=t/2 ") && l.contains(" est=")),
+            "{explain:?}"
+        );
+        // Nothing ran: no magic query was answered yet.
+        let stats = client.send("STATS");
+        assert!(stats[0].contains("\"magic_queries\":0"), "{stats:?}");
+
+        // The EXPLAIN warmed the specialised-program cache.
+        let again = client.send("EXPLAIN ?(X) :- t(b, X).");
+        assert!(
+            again
+                .iter()
+                .any(|l| l.starts_with("decision magic seeds=1 cache=hit")),
+            "{again:?}"
+        );
+        let full = client.send("EXPLAIN MODE=FULL ?(X) :- t(a, X).");
+        assert!(full[0].ends_with("magic=false"), "{full:?}");
+        assert!(
+            full.iter()
+                .any(|l| l == "decision full reason=mode=full requested"),
+            "{full:?}"
+        );
+        // EXPLAIN never evaluates, so evaluation budgets are rejected.
+        let bad = client.send("EXPLAIN TIMEOUT_MS=5 ?(X) :- t(a, X).");
+        assert!(
+            bad[0].starts_with("ERR EXPLAIN does not evaluate"),
+            "{bad:?}"
+        );
+
+        // PROFILE evaluates and returns the per-phase breakdown instead of
+        // the tuples; the answer count matches what QUERY returns.
+        let profile = client.send("PROFILE ?(X) :- t(a, X).");
+        assert!(
+            profile[0].starts_with("OK profile=")
+                && profile[0].contains("answers=3 epoch=1 path=magic cache=hit"),
+            "{profile:?}"
+        );
+        assert!(
+            profile.iter().any(|l| l.starts_with("phase=rewrite ")),
+            "{profile:?}"
+        );
+        assert!(
+            profile
+                .iter()
+                .any(|l| l.starts_with("phase=seed ") && l.contains("seed_facts=1")),
+            "{profile:?}"
+        );
+        assert!(
+            profile.iter().any(|l| l.starts_with("phase=stratum ")),
+            "{profile:?}"
+        );
+        let totals = profile
+            .iter()
+            .find(|l| l.starts_with("totals "))
+            .expect("totals line");
+        assert!(
+            totals.contains("answers=3") && totals.contains("joins_evaluated="),
+            "{totals}"
+        );
+        // Per-round derived rows sum to the demanded total.
+        let derived_sum: u64 = profile
+            .iter()
+            .filter(|l| l.starts_with("phase=stratum "))
+            .map(|l| field(l, "derived_rows"))
+            .sum();
+        assert_eq!(derived_sum, field(totals, "demanded_tuples"), "{profile:?}");
+
+        // An all-free query takes the timed full path.
+        let full_profile = client.send("PROFILE ?(X, Y) :- s(X, Y).");
+        assert!(full_profile[0].contains("path=full"), "{full_profile:?}");
+        assert!(
+            full_profile
+                .iter()
+                .any(|l| l.starts_with("totals ") && l.contains("answers=1")),
+            "{full_profile:?}"
+        );
+        // Budgets behave exactly like QUERY's.
+        let timed_out = client.send("PROFILE TIMEOUT_MS=0 ?(X) :- t(a, X).");
+        assert_eq!(timed_out, vec!["ERR deadline timeout_ms=0"]);
+
+        // METRICS emits valid Prometheus text exposition.
+        let metrics = client.send("METRICS");
+        assert!(metrics[0].starts_with("OK metrics="), "{metrics:?}");
+        let body = &metrics[1..metrics.len() - 1];
+        validate_exposition(body);
+        assert!(body.iter().any(|l| l == "vadalog_epoch 1"), "{metrics:?}");
+        assert!(
+            body.iter()
+                .any(|l| l.starts_with("vadalog_request_duration_micros_count{verb=\"query\"}")),
+            "{metrics:?}"
+        );
+
+        client.send("SHUTDOWN");
+        drop(client);
+        server.join();
+    }
+
+    /// Extracts `key=<number>` from a rendered profile line.
+    fn field(line: &str, key: &str) -> u64 {
+        line.split_whitespace()
+            .find_map(|token| token.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("no {key} in {line}"))
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn slow_queries_land_in_the_bounded_log() {
+        let config = ServerConfig {
+            slow_query_micros: Some(0), // every query is "slow"
+            ..ServerConfig::default()
+        };
+        let server =
+            LiveServer::start_with(DurableEngine::volatile(engine()), "127.0.0.1:0", config)
+                .unwrap();
+        let mut client = Client::connect(server.addr());
+        client.send("BATCH edge(a, b). edge(b, c).");
+
+        client.send("QUERY ?(X) :- t(a, X).");
+        client.send("PROFILE ?(X) :- t(b, X).");
+        let slow = client.send("STATS SLOW=10");
+        assert!(
+            slow[0].starts_with("OK slow=2 threshold_micros=0"),
+            "{slow:?}"
+        );
+        // Newest first; each record carries the verb, a profile summary
+        // and the query text.
+        assert!(
+            slow[1].contains("verb=profile")
+                && slow[1].contains("path=magic")
+                && slow[1].ends_with("query=Q(X) :- t(b, X)."),
+            "{slow:?}"
+        );
+        assert!(
+            slow[2].contains("verb=query") && slow[2].contains("answers=2"),
+            "{slow:?}"
+        );
+        let stats = client.send("STATS");
+        assert!(stats[0].contains("\"slow_queries\":2"), "{stats:?}");
+        let bad = client.send("STATS SLOW=abc");
+        assert!(bad[0].starts_with("ERR bad SLOW value"), "{bad:?}");
+
+        client.send("SHUTDOWN");
+        drop(client);
+        server.join();
+    }
+
+    #[test]
+    fn per_verb_latency_counts_balance_the_transport_ledger() {
+        let server = start(engine());
+        let mut client = Client::connect(server.addr());
+        client.send("BATCH edge(a, b). edge(b, c).");
+        client.send("FACT edge(c, d).");
+        client.send("QUERY ?(X) :- t(a, X).");
+        client.send("QUERY MODE=FULL ?(X, Y) :- t(X, Y).");
+        client.send("EXPLAIN ?(X) :- t(a, X).");
+        client.send("PROFILE ?(X) :- t(a, X).");
+        client.send("VALIDATE reach(X, Y) :- edge(X, Y).");
+        client.send("STATS");
+        client.send("METRICS");
+        client.send("SNAPSHOT");
+        client.send("STATS SLOW=5");
+        assert!(client.send("NOPE")[0].starts_with("ERR "), "parse failure");
+        client.send("SHUTDOWN");
+        drop(client);
+        let shared = Arc::clone(&server.shared);
+        server.join();
+
+        // At quiescence the books balance: every received request was
+        // served, shed, or failed — and every served request billed
+        // exactly one verb histogram.
+        let transport = &shared.transport;
+        let received = transport.requests_received.load(Ordering::Relaxed);
+        let served = transport.requests_served.load(Ordering::Relaxed);
+        let failed = transport.requests_failed.load(Ordering::Relaxed);
+        let shed = transport.queries_shed.load(Ordering::Relaxed);
+        assert_eq!(received, 13);
+        assert_eq!(received, served + shed + failed);
+        assert_eq!(shared.latency.total_count(), served);
+        for (verb, expected) in [
+            (Verb::Query, 2),
+            (Verb::Fact, 1),
+            (Verb::Batch, 1),
+            (Verb::Explain, 1),
+            (Verb::Profile, 1),
+            (Verb::Validate, 1),
+            (Verb::Stats, 2),
+            (Verb::Metrics, 1),
+            (Verb::Snapshot, 1),
+            (Verb::Shutdown, 1),
+        ] {
+            assert_eq!(
+                shared.latency.get(verb).count(),
+                expected,
+                "verb {}",
+                verb.name()
+            );
+        }
     }
 
     #[test]

@@ -61,7 +61,12 @@ pub struct SnapshotData {
 /// rename + directory fsync).
 pub fn write_snapshot(path: &Path, data: &SnapshotData) -> io::Result<()> {
     failpoints::check("snapshot.write")?;
+    let mut span = vadalog_obs::span("snapshot.write");
     let bytes = encode(data)?;
+    if span.active() {
+        span.kv("epoch", data.epoch);
+        span.kv("bytes", bytes.len());
+    }
     let dir = path
         .parent()
         .filter(|p| !p.as_os_str().is_empty())

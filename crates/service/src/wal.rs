@@ -246,11 +246,16 @@ impl Wal {
     /// rolled back so the log never holds a record for a batch the caller
     /// will not apply.
     pub fn append_batch(&mut self, facts: &[Atom]) -> io::Result<u64> {
+        let mut span = vadalog_obs::span("wal.append");
         let seq = self.next_seq;
         let mut payload = Vec::with_capacity(64);
         payload.extend_from_slice(&seq.to_le_bytes());
         payload.push(KIND_BATCH);
         encode_facts(facts, &mut payload)?;
+        if span.active() {
+            span.kv("seq", seq);
+            span.kv("bytes", payload.len());
+        }
         self.append_payload(&payload)?;
         self.next_seq = seq + 1;
         self.records_appended += 1;
@@ -281,6 +286,10 @@ impl Wal {
     /// Fsyncs any unsynced appends (a no-op under [`SyncPolicy::Always`]).
     pub fn sync(&mut self) -> io::Result<()> {
         if self.unsynced > 0 {
+            let mut span = vadalog_obs::span("wal.fsync");
+            if span.active() {
+                span.kv("unsynced", self.unsynced);
+            }
             failpoints::check("wal.sync")?;
             self.file.sync_data()?;
             self.unsynced = 0;

@@ -11,11 +11,15 @@
 //! File mode parses the full surface syntax (facts, rules, queries),
 //! analyses the rules against the fact section's schema, and prints every
 //! diagnostic as its stable one-line form (`VLG0xx <severity> ... ::
-//! <message>`). Files carrying a query additionally get the magic-sets
-//! rewrite the demand engine would evaluate for it (or the fallback reason
-//! when the query cannot be specialised). Scenario mode lints the generated TC, composite-key join,
-//! OWL 2 QL and data-exchange suites and fails if any of them produces an
-//! error-severity finding — CI runs this as a regression gate.
+//! <message>`). Files carrying a query additionally get the exact plan
+//! report the service's `EXPLAIN` verb would return for it — adornment,
+//! the magic-vs-full decision (with the fallback reason when the query
+//! cannot be specialised), the rewrite, and the build/probe join plan —
+//! rendered by the one shared [`explain_query`] path, so the CLI and the
+//! wire protocol cannot drift. Scenario mode lints the generated TC,
+//! composite-key join, OWL 2 QL and data-exchange suites and fails if any
+//! of them produces an error-severity finding — CI runs this as a
+//! regression gate.
 //!
 //! The process exits non-zero iff any error-severity diagnostic was
 //! emitted.
@@ -24,9 +28,9 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 use vadalog::analysis::classify::classify_with_diagnostics;
 use vadalog::analysis::diagnostics::{analyze_with, AnalyzerOptions, DiagnosticReport, Severity};
-use vadalog::analysis::magic::magic_rewrite;
 use vadalog::analysis::stratify::stratify;
 use vadalog::benchgen;
+use vadalog::datalog::explain_query;
 use vadalog::model::parser;
 use vadalog::model::{Instance, Predicate, Program};
 
@@ -81,17 +85,17 @@ fn lint_file(path: &str) -> bool {
     };
     let report = analyze_with(&parsed.program, &options);
     print_report(path, &parsed.program, &report);
-    // When the file carries a query, show what the demand engine would
-    // actually evaluate: the magic-sets rewrite specialised to it.
+    // When the file carries a query, print the same plan report the
+    // service's EXPLAIN verb returns — one shared renderer, no drift.
+    // `cache_hit: None`: the CLI has no specialised-program cache.
     if let Some(query) = parsed.queries.first() {
-        match magic_rewrite(&parsed.program, query) {
-            Ok(rewrite) => {
-                println!("  magic rewrite:");
-                for line in rewrite.render().lines() {
-                    println!("    {line}");
-                }
-            }
-            Err(fallback) => println!("  magic rewrite: full evaluation ({fallback})"),
+        let explained = explain_query(&parsed.program, instance, query, true, None);
+        println!(
+            "  explain path={}:",
+            if explained.magic { "magic" } else { "full" }
+        );
+        for line in &explained.lines {
+            println!("    {line}");
         }
     }
     !report.has_errors()

@@ -1,0 +1,219 @@
+//! Query-level observability, end to end over loopback TCP: `EXPLAIN` a
+//! bound query without running it, `PROFILE` the same query and check the
+//! per-round breakdown against the totals, scrape the `METRICS` Prometheus
+//! exposition, read the slow-query log back through `STATS SLOW=<n>`, and
+//! drain the structured trace spans the request left behind.
+//!
+//! Run with: `cargo run --example observability`
+//!
+//! Two invariants are asserted, so this doubles as a smoke test in CI:
+//!
+//! * the `EXPLAIN` plan says the bound query takes the magic path and
+//!   adorns the closure predicate `t^bf`;
+//! * in the `PROFILE` breakdown, the per-round `derived_rows` sum to the
+//!   `demanded_tuples` figure on the totals line — every scratch tuple is
+//!   accounted to exactly one fixpoint round.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use vadalog::model::parser::parse_rules;
+use vadalog::service::{DurableEngine, IncrementalEngine, LiveServer, ServerConfig};
+
+/// A minimal blocking protocol client. Multi-line responses are framed by
+/// the header's count — `OK <label>=<n> …` is followed by exactly `n`
+/// lines and then `END` — so the client whitelists the counted labels and
+/// never scans for `END`.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to the live server");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client {
+            reader,
+            writer: BufWriter::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Vec<String> {
+        writeln!(self.writer, "{line}").expect("write request");
+        self.writer.flush().expect("flush request");
+        let mut lines = vec![self.read_line()];
+        let counted = [
+            "answers",
+            "diagnostics",
+            "explain",
+            "profile",
+            "metrics",
+            "slow",
+        ]
+        .iter()
+        .find_map(|label| lines[0].strip_prefix(&format!("OK {label}=")));
+        if let Some(rest) = counted {
+            let count: usize = rest
+                .split_whitespace()
+                .next()
+                .and_then(|n| n.parse().ok())
+                .expect("count in header");
+            for _ in 0..count {
+                let body = self.read_line();
+                lines.push(body);
+            }
+            let end = self.read_line();
+            assert_eq!(end, "END", "counted responses must terminate with END");
+            lines.push(end);
+        }
+        lines
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        line.trim_end_matches('\n').to_string()
+    }
+}
+
+/// Extracts `key=<u64>` from a space-separated profile/summary line.
+fn field(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|part| part.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no {key}= field in {line:?}"))
+}
+
+fn main() {
+    // Tracing is off by default; turning it on never changes answers or
+    // counters (that bit-identity is property-tested in the suite).
+    vadalog::obs::set_enabled(true);
+
+    let program = parse_rules("t(X, Y) :- edge(X, Y).\n t(X, Z) :- edge(X, Y), t(Y, Z).")
+        .expect("program parses");
+    let engine = IncrementalEngine::new(program).expect("plain Datalog program");
+    let config = ServerConfig {
+        // Threshold 0: every query is "slow", so the log fills immediately.
+        slow_query_micros: Some(0),
+        ..ServerConfig::default()
+    };
+    let server = LiveServer::start_with(DurableEngine::volatile(engine), "127.0.0.1:0", config)
+        .expect("bind an ephemeral port");
+    let addr = server.addr();
+    println!("live server listening on {addr}");
+
+    let mut client = Client::connect(addr);
+    let show = |request: &str, response: &[String]| {
+        println!("> {request}");
+        for line in response {
+            println!("< {line}");
+        }
+    };
+
+    let batch = "BATCH edge(a, b). edge(b, c). edge(c, d).";
+    show(batch, &client.send(batch));
+
+    // EXPLAIN: the plan, without evaluating anything.
+    let explain = client.send("EXPLAIN ?(Y) :- t(a, Y).");
+    show("EXPLAIN ?(Y) :- t(a, Y).", &explain);
+    assert!(
+        explain[0].starts_with("OK explain=") && explain[0].ends_with("magic=true"),
+        "bound query must take the magic path: {}",
+        explain[0]
+    );
+    // The asserted plan facts: the closure predicate is adorned
+    // bound-free, and the join plan enumerates its build/probe steps.
+    assert!(explain.iter().any(|l| l == "adornment t^bf"), "{explain:?}");
+    assert!(
+        explain
+            .iter()
+            .any(|l| l.starts_with("plan step=0 atom=t/2 ")),
+        "{explain:?}"
+    );
+
+    // PROFILE: evaluate the same query, get the breakdown instead of rows.
+    let profile = client.send("PROFILE ?(Y) :- t(a, Y).");
+    show("PROFILE ?(Y) :- t(a, Y).", &profile);
+    assert!(profile[0].contains("answers=3"), "{}", profile[0]);
+    assert!(profile[0].contains("path=magic"), "{}", profile[0]);
+    let totals = profile
+        .iter()
+        .find(|l| l.starts_with("totals "))
+        .expect("profile carries a totals line");
+    // The profile invariant: per-round derived rows sum to the demanded
+    // tuples the magic evaluation materialised in its scratch instance.
+    let per_round: u64 = profile
+        .iter()
+        .filter(|l| l.starts_with("phase=stratum "))
+        .map(|l| field(l, "derived_rows"))
+        .sum();
+    assert_eq!(
+        per_round,
+        field(totals, "demanded_tuples"),
+        "per-round derived_rows must sum to demanded_tuples"
+    );
+
+    // An ordinary query, so the slow log (threshold 0) has a QUERY entry.
+    show(
+        "QUERY ?(X) :- t(X, d).",
+        &client.send("QUERY ?(X) :- t(X, d)."),
+    );
+
+    // The slow-query log, newest first. EXPLAIN never evaluates, so only
+    // the PROFILE and the QUERY recorded entries.
+    let slow = client.send("STATS SLOW=5");
+    show("STATS SLOW=5", &slow);
+    assert!(
+        slow[0].starts_with("OK slow=2 threshold_micros=0"),
+        "{}",
+        slow[0]
+    );
+    assert!(slow[1].contains("verb=query"), "{}", slow[1]);
+    assert!(slow[1].contains("query=Q(X) :- t(X, d)."), "{}", slow[1]);
+
+    // METRICS: Prometheus text exposition of the same counters.
+    let metrics = client.send("METRICS");
+    println!("> METRICS ({} lines)", metrics.len() - 2);
+    for line in metrics.iter().filter(|l| {
+        l.starts_with("vadalog_epoch ")
+            || l.starts_with("vadalog_atoms ")
+            || l.starts_with("vadalog_demanded_tuples_total ")
+            || l.contains("duration_micros_count{verb=\"query\"}")
+    }) {
+        println!("< {line}");
+    }
+    assert!(
+        metrics.iter().any(|l| l == "vadalog_epoch 1"),
+        "one batch applied"
+    );
+    assert!(
+        metrics
+            .iter()
+            .any(|l| l.starts_with("vadalog_request_duration_micros_bucket{verb=\"query\",")),
+        "latency histogram family present"
+    );
+
+    show("SHUTDOWN", &client.send("SHUTDOWN"));
+    drop(client);
+    server.join();
+
+    // The spans the requests left behind, per instrumentation site.
+    let records = vadalog::obs::drain();
+    let mut kinds: Vec<&str> = records.iter().map(|r| r.kind).collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    println!(
+        "trace: {} records from {} span kinds",
+        records.len(),
+        kinds.len()
+    );
+    for kind in kinds {
+        let count = records.iter().filter(|r| r.kind == kind).count();
+        println!("  {kind} x{count}");
+    }
+    assert!(
+        records.iter().any(|r| r.kind == "service.request"),
+        "request lifecycle spans recorded"
+    );
+    println!("observability example passed");
+}

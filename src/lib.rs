@@ -8,5 +8,6 @@ pub use vadalog_core as core;
 pub use vadalog_datalog as datalog;
 pub use vadalog_engine as engine;
 pub use vadalog_model as model;
+pub use vadalog_obs as obs;
 pub use vadalog_service as service;
 pub use vadalog_tiling as tiling;
